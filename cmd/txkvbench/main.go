@@ -1,0 +1,78 @@
+// Command txkvbench regenerates the paper's evaluation (§4): every figure
+// plus the additional claims quantified in the text. Each experiment prints
+// the same rows/series the paper reports; EXPERIMENTS.md records a
+// reference run against the paper's numbers.
+//
+// Usage:
+//
+//	txkvbench -experiment fig2a       # response time vs throughput, sync vs async persistence
+//	txkvbench -experiment fig2b       # tracking overhead vs heartbeat interval
+//	txkvbench -experiment fig3        # throughput/response-time series across a server failure
+//	txkvbench -experiment replaybound # write-sets replayed vs heartbeat interval (§3.1 bound)
+//	txkvbench -experiment truncation  # log growth with/without truncation (§3.2 checkpoint)
+//	txkvbench -experiment clientfail  # client-failure recovery (§3.1)
+//	txkvbench -experiment rmfail      # recovery-manager fail-over (§3.3)
+//	txkvbench -experiment all
+//
+// The -scale flag shrinks or grows every workload dimension together;
+// -records / -duration override individual knobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"txkv/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|all")
+		records    = flag.Int("records", 20000, "rows to load")
+		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
+		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Records:  *records,
+		Duration: *duration,
+		Threads:  *threads,
+		Seed:     *seed,
+		Out:      os.Stdout,
+	}
+
+	experiments := map[string]func(bench.Options) error{
+		"fig2a":       bench.Fig2aSyncVsAsync,
+		"fig2b":       bench.Fig2bHeartbeatOverhead,
+		"fig3":        bench.Fig3FailureTimeline,
+		"replaybound": bench.ReplayBound,
+		"truncation":  bench.LogTruncation,
+		"clientfail":  bench.ClientFailure,
+		"rmfail":      bench.RMFailover,
+	}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail"}
+
+	run := func(name string) {
+		fn, ok := experiments[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := fn(opts); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	if *experiment == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}

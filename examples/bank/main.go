@@ -1,0 +1,178 @@
+// Command bank runs concurrent money transfers over a three-server
+// cluster, crashes a region server mid-run, and verifies the bank's
+// invariant afterwards: the total balance is unchanged and no committed
+// transfer was lost — the paper's durability guarantee, exercised through
+// an application-level invariant.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txkv"
+)
+
+const (
+	accounts       = 200
+	initialBalance = 1000
+	transferors    = 4
+	transfersEach  = 50
+)
+
+func accountKey(i int) txkv.Key { return txkv.Key(fmt.Sprintf("acct%04d", i)) }
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := txkv.Open(txkv.Config{
+		Servers:                3,
+		HeartbeatInterval:      100 * time.Millisecond,
+		MasterHeartbeatTimeout: 300 * time.Millisecond,
+		WALSyncInterval:        0, // persistence only via recovery heartbeats: maximal exposure
+	})
+	if err != nil {
+		log.Fatalf("open cluster: %v", err)
+	}
+	defer cluster.Stop()
+
+	// Three regions spread over three servers.
+	splits := []txkv.Key{accountKey(accounts / 3), accountKey(2 * accounts / 3)}
+	if err := cluster.CreateTable("bank", splits); err != nil {
+		log.Fatalf("create table: %v", err)
+	}
+
+	// Load initial balances.
+	loader, err := cluster.NewClient("bank-loader")
+	if err != nil {
+		log.Fatalf("new client: %v", err)
+	}
+	txn := loader.Begin()
+	for i := 0; i < accounts; i++ {
+		if err := txn.Put("bank", accountKey(i), "balance", []byte(strconv.Itoa(initialBalance))); err != nil {
+			log.Fatalf("put: %v", err)
+		}
+	}
+	if _, err := txn.CommitWait(); err != nil {
+		log.Fatalf("load commit: %v", err)
+	}
+	loader.Stop()
+	fmt.Printf("loaded %d accounts x %d = total %d\n", accounts, initialBalance, accounts*initialBalance)
+
+	// Concurrent transfer workers.
+	var (
+		committed atomic.Int64
+		conflicts atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < transferors; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := cluster.NewClient(fmt.Sprintf("teller-%d", w))
+			if err != nil {
+				log.Printf("teller %d: %v", w, err)
+				return
+			}
+			defer client.Stop()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < transfersEach; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amount := rng.Intn(50) + 1
+				if err := transfer(client, from, to, amount); err != nil {
+					if errors.Is(err, txkv.ErrConflict) {
+						conflicts.Add(1)
+						continue
+					}
+					log.Printf("transfer error: %v", err)
+					continue
+				}
+				committed.Add(1)
+			}
+		}(w)
+	}
+
+	// Crash a server while transfers are in flight.
+	time.Sleep(150 * time.Millisecond)
+	victim := cluster.ServerIDs()[1]
+	fmt.Printf("!!! crashing %s mid-run\n", victim)
+	if err := cluster.CrashServer(victim); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
+	wg.Wait()
+	fmt.Printf("transfers: %d committed, %d conflicts\n", committed.Load(), conflicts.Load())
+
+	// Verify the invariant on a strict snapshot (fully flushed state).
+	auditor, err := cluster.NewClient("auditor")
+	if err != nil {
+		log.Fatalf("auditor: %v", err)
+	}
+	defer auditor.Stop()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		total, err := audit(auditor)
+		if err == nil && total == accounts*initialBalance {
+			fmt.Printf("audit OK: total balance %d unchanged after crash + recovery\n", total)
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("audit FAILED: total=%d err=%v (want %d)", total, err, accounts*initialBalance)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// transfer moves amount from one account to another in one transaction.
+func transfer(client *txkv.Client, from, to, amount int) error {
+	txn := client.Begin()
+	fb, ok, err := txn.Get("bank", accountKey(from), "balance")
+	if err != nil || !ok {
+		txn.Abort()
+		return fmt.Errorf("read from: ok=%v err=%w", ok, err)
+	}
+	tb, ok, err := txn.Get("bank", accountKey(to), "balance")
+	if err != nil || !ok {
+		txn.Abort()
+		return fmt.Errorf("read to: ok=%v err=%w", ok, err)
+	}
+	fv, _ := strconv.Atoi(string(fb))
+	tv, _ := strconv.Atoi(string(tb))
+	if fv < amount {
+		txn.Abort()
+		return nil // insufficient funds: no-op
+	}
+	_ = txn.Put("bank", accountKey(from), "balance", []byte(strconv.Itoa(fv-amount)))
+	_ = txn.Put("bank", accountKey(to), "balance", []byte(strconv.Itoa(tv+amount)))
+	_, err = txn.Commit()
+	return err
+}
+
+// audit sums every balance at a strict (fully flushed) snapshot.
+func audit(client *txkv.Client) (int, error) {
+	txn := client.BeginStrict()
+	defer txn.Abort()
+	rows, err := txn.Scan("bank", txkv.KeyRange{}, 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != accounts {
+		return 0, fmt.Errorf("scan returned %d rows, want %d", len(rows), accounts)
+	}
+	total := 0
+	for _, r := range rows {
+		v, err := strconv.Atoi(string(r.Value))
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}

@@ -1,0 +1,65 @@
+// Command ycsb loads a scaled-down version of the paper's YCSB workload
+// (update transactions of 10 operations, 50/50 read/update) and runs it for
+// a few seconds, printing throughput and response-time statistics — a
+// miniature of the evaluation in §4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"txkv/internal/cluster"
+	"txkv/internal/ycsb"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		records  = flag.Int("records", 5000, "rows to load")
+		threads  = flag.Int("threads", 16, "client threads")
+		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
+		target   = flag.Int("target", 0, "target tps (0 = unthrottled)")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform|zipfian|scrambled")
+	)
+	flag.Parse()
+
+	c, err := cluster.New(cluster.Config{
+		Servers:           2,
+		HeartbeatInterval: time.Second,
+	})
+	if err != nil {
+		log.Fatalf("open cluster: %v", err)
+	}
+	defer c.Stop()
+
+	w := ycsb.Workload{
+		Table:        "usertable",
+		RecordCount:  *records,
+		OpsPerTxn:    10,
+		ReadRatio:    0.5,
+		ValueSize:    100,
+		Distribution: *dist,
+	}
+	fmt.Printf("loading %d rows...\n", *records)
+	start := time.Now()
+	if err := ycsb.Load(c, w, 2, 500, 4); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("running %d threads for %v...\n", *threads, *duration)
+	res, err := ycsb.Run(c, w, ycsb.RunnerConfig{
+		Threads:   *threads,
+		Duration:  *duration,
+		TargetTPS: *target,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("throughput: %.1f tps (%d committed, %d SI aborts, %d errors)\n",
+		res.Throughput(), res.Committed, res.Aborted, res.Errors)
+	fmt.Printf("latency: %s\n", res.Latency.Summary())
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps the experiment smoke tests fast: the point is that every
+// experiment runs end to end and prints its table, not the numbers.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Records:  300,
+		Duration: 300 * time.Millisecond,
+		Threads:  4,
+		Seed:     1,
+		Out:      buf,
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Records == 0 || o.Duration == 0 || o.Threads == 0 || o.Out == nil {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+}
+
+func TestPaperRatioConfig(t *testing.T) {
+	cfg := paperRatioConfig(2, true, time.Second)
+	if !cfg.SyncPersistence || cfg.Servers != 2 || cfg.HeartbeatInterval != time.Second {
+		t.Fatalf("config: %+v", cfg)
+	}
+	if cfg.DFSSyncLatency <= cfg.RPCLatency {
+		t.Fatal("latency ratios inverted: DFS sync must dominate RPC")
+	}
+}
+
+func TestClientFailureExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ClientFailure(tinyOptions(&buf)); err != nil {
+		t.Fatalf("experiment failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"write_sets_replayed", "orphans_recovered", "detect+recover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRMFailoverExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RMFailover(tinyOptions(&buf)); err != nil {
+		t.Fatalf("experiment failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "tf_after_restore") {
+		t.Errorf("output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestLogTruncationExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LogTruncation(tinyOptions(&buf)); err != nil {
+		t.Fatalf("experiment failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "truncating") || !strings.Contains(out, "unbounded") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, tt := range []struct {
+		v    int
+		want string
+	}{{0, "0"}, {7, "7"}, {250, "250"}, {100000, "100000"}} {
+		if got := itoa(tt.v); got != tt.want {
+			t.Errorf("itoa(%d) = %q", tt.v, got)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"time"
+
+	"txkv/internal/ycsb"
+)
+
+// Fig2aSyncVsAsync reproduces Figure 2(a): mean response time (ms) against
+// achieved throughput (tps), one curve with synchronous persistence (every
+// write pays the DFS pipeline sync before the ack) and one with the paper's
+// asynchronous persistence. The paper's claim: asynchronous persistence
+// yields lower response times at every throughput level because the
+// flush/persist latency leaves the end-to-end path.
+func Fig2aSyncVsAsync(o Options) error {
+	o = o.withDefaults()
+	fprintf(o.Out, "# Figure 2(a): response time vs throughput, sync vs async persistence\n")
+	fprintf(o.Out, "%-10s %-12s %-14s %-12s %-14s\n",
+		"target", "async_tps", "async_rt_ms", "sync_tps", "sync_rt_ms")
+
+	// Offered-load sweep; 0 = unthrottled (saturation point).
+	targets := []int{50, 100, 150, 200, 250, 0}
+
+	type point struct {
+		tps float64
+		rt  float64
+	}
+	curves := make(map[bool][]point)
+	for _, syncMode := range []bool{false, true} {
+		c, w, err := setup(o, paperRatioConfig(2, syncMode, time.Second))
+		if err != nil {
+			return err
+		}
+		if err := warmup(c, w, o); err != nil {
+			c.Stop()
+			return err
+		}
+		for i, target := range targets {
+			res, err := ycsb.Run(c, w, ycsb.RunnerConfig{
+				Threads:   o.Threads,
+				Duration:  o.Duration,
+				TargetTPS: target,
+				Seed:      o.Seed + int64(i),
+			})
+			if err != nil {
+				c.Stop()
+				return err
+			}
+			curves[syncMode] = append(curves[syncMode], point{
+				tps: res.Throughput(),
+				rt:  float64(res.Latency.Mean().Microseconds()) / 1000.0,
+			})
+		}
+		c.Stop()
+	}
+	for i, target := range targets {
+		label := "unthrottled"
+		if target > 0 {
+			label = itoa(target)
+		}
+		a, s := curves[false][i], curves[true][i]
+		fprintf(o.Out, "%-10s %-12.1f %-14.3f %-12.1f %-14.3f\n", label, a.tps, a.rt, s.tps, s.rt)
+	}
+	fprintf(o.Out, "# expectation (paper): async_rt < sync_rt at matching throughput;\n")
+	fprintf(o.Out, "# async saturates at higher tps than sync.\n")
+	return nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig2bHeartbeatOverhead reproduces Figure 2(b): throughput and response
+// time as a function of the recovery heartbeat interval, varied from 50 ms
+// to 10 s with 50 client threads and two region servers, plus a no-tracking
+// ablation row. The paper's claim: tracking overhead is small and there is
+// a usable interval sweet spot; too-frequent heartbeats add synchronization
+// contention, too-rare ones batch more tracking work per beat.
+func Fig2bHeartbeatOverhead(o Options) error {
+	o = o.withDefaults()
+	fprintf(o.Out, "# Figure 2(b): tracking overhead vs heartbeat interval (%d threads)\n", o.Threads)
+	fprintf(o.Out, "%-12s %-10s %-12s\n", "interval", "tps", "rt_ms")
+
+	intervals := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		time.Second,
+		2 * time.Second,
+		5 * time.Second,
+		10 * time.Second,
+	}
+	for i, hb := range intervals {
+		c, w, err := setup(o, paperRatioConfig(2, false, hb))
+		if err != nil {
+			return err
+		}
+		if err := warmup(c, w, o); err != nil {
+			c.Stop()
+			return err
+		}
+		res, err := ycsb.Run(c, w, ycsb.RunnerConfig{
+			Threads:  o.Threads,
+			Duration: o.Duration,
+			Seed:     o.Seed + int64(i),
+		})
+		c.Stop()
+		if err != nil {
+			return err
+		}
+		fprintf(o.Out, "%-12s %-10.1f %-12.3f\n",
+			hb, res.Throughput(), float64(res.Latency.Mean().Microseconds())/1000.0)
+	}
+
+	// Ablation: recovery middleware fully disabled.
+	cfg := paperRatioConfig(2, false, time.Second)
+	cfg.DisableRecovery = true
+	c, w, err := setup(o, cfg)
+	if err != nil {
+		return err
+	}
+	if err := warmup(c, w, o); err != nil {
+		c.Stop()
+		return err
+	}
+	res, err := ycsb.Run(c, w, ycsb.RunnerConfig{
+		Threads:  o.Threads,
+		Duration: o.Duration,
+		Seed:     o.Seed + 100,
+	})
+	c.Stop()
+	if err != nil {
+		return err
+	}
+	fprintf(o.Out, "%-12s %-10.1f %-12.3f\n",
+		"no-tracking", res.Throughput(), float64(res.Latency.Mean().Microseconds())/1000.0)
+	fprintf(o.Out, "# expectation (paper): overhead of tracking is small; a good interval\n")
+	fprintf(o.Out, "# exists between the contention (short) and batching (long) extremes.\n")
+	return nil
+}

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"txkv/internal/core"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/txmgr"
+)
+
+// Client errors.
+var (
+	ErrClientClosed = errors.New("cluster: client closed")
+	ErrTxnFinished  = errors.New("cluster: transaction already finished")
+)
+
+// Client is a transactional client: the application-facing handle combining
+// the transaction manager (begin/commit/abort, snapshot reads), the
+// key-value routing client (deferred-update flushes), and the recovery
+// agent (Algorithm 1 heartbeats). One Client can run many transactions
+// concurrently, like the paper's client processes with multiple threads.
+type Client struct {
+	id      string
+	cluster *Cluster
+	kv      *kvstore.Client
+	agent   *core.ClientAgent // nil when recovery is disabled
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	flushWG sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewClient creates and registers a transactional client. An empty id
+// auto-generates one.
+func (c *Cluster) NewClient(id string) (*Client, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if id == "" {
+		id = fmt.Sprintf("client-%d", c.clientSeq)
+	}
+	c.clientSeq++
+	if _, dup := c.clients[id]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: duplicate client id %q", id)
+	}
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := &Client{
+		id:      id,
+		cluster: c,
+		kv:      kvstore.NewClient(kvstore.ClientConfig{ID: id}, c.net, c.master),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	if !c.cfg.DisableRecovery {
+		cl.agent = core.NewClientAgent(core.ClientAgentConfig{
+			ClientID:            id,
+			HeartbeatInterval:   c.cfg.HeartbeatInterval,
+			SessionTTL:          c.cfg.SessionTTL,
+			QueueAlertThreshold: c.cfg.QueueAlertThreshold,
+			OnQueueAlert:        c.onQueueAlert,
+			OnFatal:             func(error) { cl.Crash() },
+		}, c.svc)
+		if err := cl.agent.Start(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	c.clients[id] = cl
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// ID returns the client's identity.
+func (cl *Client) ID() string { return cl.id }
+
+// TF returns the client's flushed threshold T_F(c) (0 when recovery is
+// disabled).
+func (cl *Client) TF() kv.Timestamp {
+	if cl.agent == nil {
+		return 0
+	}
+	return cl.agent.TF()
+}
+
+// Txn is one transaction: reads at the snapshot, buffered deferred updates
+// (held at the client, paper §2.2), commit via the TM then asynchronous
+// flush.
+type Txn struct {
+	client *Client
+	h      txmgr.TxnHandle
+
+	mu       sync.Mutex
+	writes   []kv.Update
+	writeIdx map[string]int // coordinate+column -> index in writes
+	finished bool
+}
+
+// Begin starts a transaction at the freshest snapshot, waiting (normally
+// sub-millisecond) until that snapshot is fully readable at the servers:
+// reads, including read-modify-write cycles, are consistent under snapshot
+// isolation with a minimal conflict window. During an ongoing recovery
+// Begin can block; use BeginStrict for non-blocking consistent reads of a
+// slightly older snapshot.
+func (cl *Client) Begin() *Txn {
+	return &Txn{client: cl, h: cl.cluster.tm.Begin(cl.id), writeIdx: make(map[string]int)}
+}
+
+// BeginStrict starts a transaction at the visibility frontier without
+// waiting: consistent, never blocks, possibly slightly stale.
+func (cl *Client) BeginStrict() *Txn {
+	return &Txn{client: cl, h: cl.cluster.tm.BeginSnapshot(cl.id), writeIdx: make(map[string]int)}
+}
+
+// BeginLatest starts a transaction at the newest issued timestamp,
+// regardless of flush progress: freshest possible snapshot, but reads may
+// miss committed-but-unflushed writes (see DESIGN.md). Safe for blind
+// writes.
+func (cl *Client) BeginLatest() *Txn {
+	return &Txn{client: cl, h: cl.cluster.tm.BeginLatest(cl.id), writeIdx: make(map[string]int)}
+}
+
+// StartTS returns the transaction's snapshot timestamp.
+func (t *Txn) StartTS() kv.Timestamp { return t.h.StartTS }
+
+func writeKey(table string, row kv.Key, column string) string {
+	return table + "\x00" + string(row) + "\x00" + column
+}
+
+// Get reads (table, row, column) at the transaction's snapshot, seeing the
+// transaction's own buffered writes first.
+func (t *Txn) Get(table string, row kv.Key, column string) ([]byte, bool, error) {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return nil, false, ErrTxnFinished
+	}
+	if i, ok := t.writeIdx[writeKey(table, row, column)]; ok {
+		u := t.writes[i]
+		t.mu.Unlock()
+		if u.Tombstone {
+			return nil, false, nil
+		}
+		return append([]byte(nil), u.Value...), true, nil
+	}
+	t.mu.Unlock()
+
+	e, found, err := t.client.kv.Get(t.client.ctx, table, row, column, t.h.StartTS)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	return e.Value, true, nil
+}
+
+// Put buffers an update (deferred-update model: nothing reaches the servers
+// before commit).
+func (t *Txn) Put(table string, row kv.Key, column string, value []byte) error {
+	return t.buffer(kv.Update{
+		Table: table, Row: row, Column: column,
+		Value: append([]byte(nil), value...),
+	})
+}
+
+// Delete buffers a tombstone.
+func (t *Txn) Delete(table string, row kv.Key, column string) error {
+	return t.buffer(kv.Update{Table: table, Row: row, Column: column, Tombstone: true})
+}
+
+func (t *Txn) buffer(u kv.Update) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return ErrTxnFinished
+	}
+	key := writeKey(u.Table, u.Row, u.Column)
+	if i, ok := t.writeIdx[key]; ok {
+		t.writes[i] = u // overwrite within the txn
+		return nil
+	}
+	t.writeIdx[key] = len(t.writes)
+	t.writes = append(t.writes, u)
+	return nil
+}
+
+// Scan reads the newest visible version per (row, column) in rng at the
+// snapshot, overlaid with the transaction's own writes, sorted by (row,
+// column).
+func (t *Txn) Scan(table string, rng kv.KeyRange, limit int) ([]kv.KeyValue, error) {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return nil, ErrTxnFinished
+	}
+	own := make([]kv.Update, len(t.writes))
+	copy(own, t.writes)
+	t.mu.Unlock()
+
+	base, err := t.client.kv.Scan(t.client.ctx, table, rng, t.h.StartTS, 0)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[string]kv.KeyValue, len(base))
+	for _, e := range base {
+		merged[writeKey(table, e.Row, e.Column)] = e
+	}
+	for _, u := range own {
+		if u.Table != table || !rng.Contains(u.Row) {
+			continue
+		}
+		key := writeKey(table, u.Row, u.Column)
+		if u.Tombstone {
+			delete(merged, key)
+			continue
+		}
+		merged[key] = u.ToKeyValue(kv.MaxTimestamp)
+	}
+	out := make([]kv.KeyValue, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return kv.CompareCells(out[i].Cell, out[j].Cell) < 0 })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Abort discards the transaction; the buffered write-set is dropped without
+// touching the log or the servers (paper §2.2).
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.mu.Unlock()
+	t.client.cluster.tm.Abort(t.h)
+}
+
+// Commit validates and commits the transaction. When Commit returns, the
+// transaction is durably committed in the TM's recovery log; the write-set
+// flush to the key-value store proceeds asynchronously (the paper's
+// "updates can even be sent to the key-value store after commit"). The
+// recovery middleware guarantees the flush survives client failure.
+func (t *Txn) Commit() (kv.Timestamp, error) {
+	return t.commit(false)
+}
+
+// CommitWait commits and then waits for the write-set to be fully flushed —
+// useful when the caller immediately reads its own commit from a different
+// client.
+func (t *Txn) CommitWait() (kv.Timestamp, error) {
+	return t.commit(true)
+}
+
+func (t *Txn) commit(wait bool) (kv.Timestamp, error) {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return 0, ErrTxnFinished
+	}
+	t.finished = true
+	updates := t.writes
+	t.mu.Unlock()
+
+	cl := t.client
+	cl.mu.Lock()
+	closed := cl.closed
+	cl.mu.Unlock()
+	if closed {
+		cl.cluster.tm.Abort(t.h)
+		return 0, ErrClientClosed
+	}
+
+	cts, err := cl.cluster.tm.Commit(t.h, updates)
+	if err != nil {
+		return 0, err
+	}
+	if len(updates) == 0 {
+		return cts, nil // read-only: nothing to flush
+	}
+	// Synchronous-persistence baseline (Figure 2(a)): the end-to-end
+	// response time includes flushing and persisting the updates.
+	wait = wait || cl.cluster.cfg.SyncPersistence
+	ws := kv.WriteSet{TxnID: t.h.ID, ClientID: cl.id, CommitTS: cts, Updates: updates}
+
+	cl.flushWG.Add(1)
+	flushDone := make(chan error, 1)
+	go func() {
+		defer cl.flushWG.Done()
+		err := cl.kv.Flush(cl.ctx, ws, 0, false)
+		if err == nil {
+			if cl.agent != nil {
+				cl.agent.OnFlushed(cts)
+			}
+			cl.cluster.tm.NotifyFlushed(cts)
+		}
+		flushDone <- err
+	}()
+	if wait {
+		if err := <-flushDone; err != nil {
+			return cts, fmt.Errorf("cluster: committed at %d but flush failed: %w", cts, err)
+		}
+	}
+	return cts, nil
+}
+
+// Stop shuts the client down cleanly: it waits for all outstanding flushes,
+// sends the final heartbeat, and unregisters (paper Alg. 1 "On shutdown").
+func (cl *Client) Stop() { cl.stop(true) }
+
+func (cl *Client) stop(unlist bool) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		cl.flushWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		// Flushes cannot drain: a clean unregister would remove this
+		// client from the T_F computation with unflushed commits, losing
+		// them. Die like a crash instead — the session expires and the
+		// recovery manager replays (paper Alg. 1 only unregisters after
+		// the pre-shutdown flush state is final).
+		cl.cancel()
+		if cl.agent != nil {
+			cl.agent.Crash()
+		}
+		cl.cluster.mu.Lock()
+		delete(cl.cluster.clients, cl.id)
+		cl.cluster.mu.Unlock()
+		return
+	}
+	if cl.agent != nil {
+		cl.agent.Stop()
+	}
+	cl.cancel()
+	if unlist {
+		cl.cluster.mu.Lock()
+		delete(cl.cluster.clients, cl.id)
+		cl.cluster.mu.Unlock()
+	}
+}
+
+// Crash simulates the client process dying: in-flight flushes are
+// abandoned, heartbeats stop, and the recovery manager will replay the
+// client's committed-but-unflushed write-sets after the session expires.
+func (cl *Client) Crash() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+	cl.cancel()
+	if cl.agent != nil {
+		cl.agent.Crash()
+	}
+	cl.cluster.mu.Lock()
+	delete(cl.cluster.clients, cl.id)
+	cl.cluster.mu.Unlock()
+}

@@ -1,0 +1,508 @@
+// Package cluster wires every subsystem into a runnable single-process
+// cluster: the DFS, the HBase-like store (master + region servers), the
+// ZooKeeper-like coordination service, the transaction manager with its
+// recovery log, and the paper's recovery middleware (trackers, agents,
+// recovery manager). It also provides the transactional client API
+// (Begin/Get/Put/Delete/Commit with deferred updates) and fault-injection
+// entry points used by the examples, tests, and the benchmark harness.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv/internal/coord"
+	"txkv/internal/core"
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/netsim"
+	"txkv/internal/txlog"
+	"txkv/internal/txmgr"
+)
+
+// Cluster errors.
+var (
+	ErrStopped       = errors.New("cluster: stopped")
+	ErrUnknownServer = errors.New("cluster: unknown server")
+	ErrRMDown        = errors.New("cluster: recovery manager down")
+)
+
+// Config sizes and parameterizes the cluster. Zero values give a sensible
+// laptop-scale configuration; latencies default to a mild simulation of the
+// paper's testbed ratios (LAN RPC ≪ DFS sync).
+type Config struct {
+	// Servers is the number of region servers (the paper uses 2).
+	Servers int
+	// Replication is the DFS replication factor (the paper uses 2).
+	Replication int
+
+	// RPCLatency is the simulated one-way network latency per message.
+	RPCLatency time.Duration
+	// DFSSyncLatency is the cost of one WAL/store-file sync to the DFS.
+	DFSSyncLatency time.Duration
+	// DFSReadLatency is the cost of one block fetch from the DFS (block
+	// cache misses pay it).
+	DFSReadLatency time.Duration
+	// LogSyncLatency is the TM recovery log's group-commit fsync cost.
+	LogSyncLatency time.Duration
+
+	// SyncPersistence makes region servers sync their WAL before
+	// acknowledging every write — the Figure 2(a) baseline. The paper's
+	// system (and the default) persists asynchronously.
+	SyncPersistence bool
+	// DisableRecovery runs without the recovery middleware entirely (no
+	// agents, trackers, heartbeats, or recovery manager) — the ablation
+	// baseline for the tracking-overhead experiment.
+	DisableRecovery bool
+	// DisableTruncation keeps the TM log unbounded (truncation ablation).
+	DisableTruncation bool
+
+	// HeartbeatInterval is the client/server recovery-heartbeat cadence
+	// (the x-axis of Figure 2(b); the paper's failure experiment uses 1s).
+	HeartbeatInterval time.Duration
+	// SessionTTL is how long missed heartbeats persist before the client
+	// is declared dead. Defaults to 4x HeartbeatInterval.
+	SessionTTL time.Duration
+	// RMPollInterval is the recovery manager's threshold-poll cadence.
+	RMPollInterval time.Duration
+	// MasterHeartbeatTimeout declares a region server dead.
+	MasterHeartbeatTimeout time.Duration
+
+	// MemstoreFlushBytes, BlockCacheBytes and BlockSize tune the store.
+	MemstoreFlushBytes int
+	BlockCacheBytes    int
+	BlockSize          int
+	// WALSyncInterval is the region server's own async WAL sync cadence
+	// (in addition to the per-heartbeat persist).
+	WALSyncInterval time.Duration
+
+	// QueueAlertThreshold arms the flush/persist queue monitors.
+	QueueAlertThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 4 * c.HeartbeatInterval
+	}
+	if c.RMPollInterval == 0 {
+		c.RMPollInterval = c.HeartbeatInterval / 2
+	}
+	if c.MasterHeartbeatTimeout == 0 {
+		c.MasterHeartbeatTimeout = 500 * time.Millisecond
+	}
+	if c.MemstoreFlushBytes == 0 {
+		c.MemstoreFlushBytes = 8 << 20
+	}
+	if c.BlockCacheBytes == 0 {
+		c.BlockCacheBytes = 64 << 20
+	}
+	return c
+}
+
+// serverUnit bundles a region server with its recovery agent.
+type serverUnit struct {
+	srv   *kvstore.RegionServer
+	agent *core.ServerAgent // nil when recovery is disabled
+}
+
+// Cluster is a running integrated system.
+type Cluster struct {
+	cfg Config
+
+	fs     *dfs.FS
+	net    *netsim.Network
+	svc    *coord.Service
+	log    *txlog.Log
+	tm     *txmgr.Manager
+	master *kvstore.Master
+	gate   *rmProxy
+
+	mu        sync.Mutex
+	rm        *core.Manager
+	rmEpoch   int
+	servers   map[string]*serverUnit
+	serverIDs []string
+	clients   map[string]*Client
+	clientSeq int
+	serverSeq int
+	stopped   bool
+}
+
+// rmProxy is a stable indirection to the current recovery manager: the
+// master holds the proxy, so a restarted manager (paper §3.3) transparently
+// serves gate calls and failure notifications that arrive after fail-over.
+type rmProxy struct {
+	mu sync.Mutex
+	rm *core.Manager
+}
+
+func (p *rmProxy) get() *core.Manager {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rm
+}
+
+func (p *rmProxy) set(rm *core.Manager) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rm = rm
+}
+
+// RecoverRegion implements kvstore.RecoveryGate.
+func (p *rmProxy) RecoverRegion(r kvstore.RegionInfo, failed string, host *kvstore.RegionServer) error {
+	rm := p.get()
+	if rm == nil {
+		return ErrRMDown // master retries until the RM is back
+	}
+	return rm.RecoverRegion(r, failed, host)
+}
+
+// OnServerFailure implements kvstore.ServerFailureListener.
+func (p *rmProxy) OnServerFailure(serverID string, regions []kvstore.RegionInfo) {
+	if rm := p.get(); rm != nil {
+		rm.OnServerFailure(serverID, regions)
+	}
+}
+
+// OnServerRecoveryComplete implements
+// kvstore.ServerRecoveryCompleteListener.
+func (p *rmProxy) OnServerRecoveryComplete(serverID string) {
+	if rm := p.get(); rm != nil {
+		rm.OnServerRecoveryComplete(serverID)
+	}
+}
+
+// New assembles and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg: cfg,
+		fs: dfs.New(dfs.Config{
+			Replication: cfg.Replication,
+			DataNodes:   cfg.Servers + 1,
+			SyncLatency: cfg.DFSSyncLatency,
+			ReadLatency: cfg.DFSReadLatency,
+		}),
+		net: netsim.New(netsim.Config{RPCLatency: cfg.RPCLatency}),
+		svc: coord.New(coord.Config{
+			DefaultTTL:    cfg.SessionTTL,
+			CheckInterval: cfg.HeartbeatInterval / 2,
+		}),
+		log:     txlog.New(txlog.Config{SyncLatency: cfg.LogSyncLatency}),
+		servers: make(map[string]*serverUnit),
+		clients: make(map[string]*Client),
+		gate:    &rmProxy{},
+	}
+	c.tm = txmgr.New(c.log)
+	c.master = kvstore.NewMaster(kvstore.MasterConfig{
+		HeartbeatTimeout: cfg.MasterHeartbeatTimeout,
+	}, c.fs)
+
+	if !cfg.DisableRecovery {
+		rm := c.newRecoveryManager()
+		c.rm = rm
+		c.gate.set(rm)
+		c.master.SetRecoveryGate(c.gate)
+		c.master.AddFailureListener(c.gate)
+		rm.Start()
+	}
+	c.master.Start()
+	c.tm.AddCommitObserver(commitRouter{c})
+
+	for i := 0; i < cfg.Servers; i++ {
+		if _, err := c.AddServer(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) newRecoveryManager() *core.Manager {
+	c.rmEpoch++
+	rc := kvstore.NewClient(kvstore.ClientConfig{
+		ID: fmt.Sprintf("recovery-client-%d", c.rmEpoch),
+	}, c.net, c.master)
+	rm := core.NewManager(core.ManagerConfig{
+		PollInterval:      c.cfg.RMPollInterval,
+		DisableTruncation: c.cfg.DisableTruncation,
+	}, c.svc, c.log, rc, c.net)
+	rm.SetFlushNotifier(c.tm)
+	return rm
+}
+
+// commitRouter forwards the TM's ordered commit notifications to the
+// issuing client's tracker (so FQ fills in commit order, paper §3.1).
+type commitRouter struct{ c *Cluster }
+
+func (r commitRouter) OnCommitAssigned(clientID string, ts kv.Timestamp) {
+	r.c.mu.Lock()
+	cl := r.c.clients[clientID]
+	r.c.mu.Unlock()
+	if cl != nil && cl.agent != nil {
+		cl.agent.OnCommitted(ts)
+	}
+}
+
+// AddServer starts one more region server (with its recovery agent) and
+// registers it with the master. Returns the new server's ID.
+func (c *Cluster) AddServer() (string, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return "", ErrStopped
+	}
+	id := fmt.Sprintf("server-%d", c.serverSeq)
+	c.serverSeq++
+	c.mu.Unlock()
+
+	srv := kvstore.NewRegionServer(kvstore.ServerConfig{
+		ID:                 id,
+		SyncWrites:         c.cfg.SyncPersistence,
+		WALSyncInterval:    c.cfg.WALSyncInterval,
+		MemstoreFlushBytes: c.cfg.MemstoreFlushBytes,
+		BlockCacheBytes:    c.cfg.BlockCacheBytes,
+		BlockSize:          c.cfg.BlockSize,
+		HeartbeatInterval:  c.cfg.MasterHeartbeatTimeout / 4,
+	}, c.fs)
+
+	unit := &serverUnit{srv: srv}
+	if !c.cfg.DisableRecovery {
+		unit.agent = core.NewServerAgent(core.ServerAgentConfig{
+			ServerID:            id,
+			HeartbeatInterval:   c.cfg.HeartbeatInterval,
+			SessionTTL:          c.cfg.SessionTTL,
+			QueueAlertThreshold: c.cfg.QueueAlertThreshold,
+			OnQueueAlert:        c.onQueueAlert,
+		}, c.svc, srv)
+		if err := unit.agent.Start(); err != nil {
+			return "", err
+		}
+	}
+	if err := c.master.AddServer(srv); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.servers[id] = unit
+	c.serverIDs = append(c.serverIDs, id)
+	c.mu.Unlock()
+	return id, nil
+}
+
+func (c *Cluster) onQueueAlert(id string, n int) {
+	c.mu.Lock()
+	rm := c.rm
+	c.mu.Unlock()
+	if rm != nil {
+		rm.NoteQueueAlert(id, n)
+	}
+}
+
+// CreateTable creates a table pre-split at the given keys.
+func (c *Cluster) CreateTable(name string, splits []kv.Key) error {
+	return c.master.CreateTable(name, splits)
+}
+
+// CrashServer kills a region server: background loops stop, the unsynced
+// WAL tail and all memstores are lost, and the node drops off the network.
+// The master will detect the failure and drive recovery.
+func (c *Cluster) CrashServer(id string) error {
+	c.mu.Lock()
+	unit, ok := c.servers[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, id)
+	}
+	if unit.agent != nil {
+		unit.agent.Crash()
+	}
+	unit.srv.Crash()
+	c.net.SetDown(id, true)
+	return nil
+}
+
+// ServerIDs returns the IDs of all servers ever added, in creation order.
+func (c *Cluster) ServerIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.serverIDs...)
+}
+
+// Server returns a server's store handle (benchmark introspection).
+func (c *Cluster) Server(id string) (*kvstore.RegionServer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, ok := c.servers[id]
+	if !ok {
+		return nil, false
+	}
+	return u.srv, true
+}
+
+// CrashRecoveryManager kills the recovery manager. Transaction processing
+// continues; region recoveries block until a new manager starts.
+func (c *Cluster) CrashRecoveryManager() {
+	c.mu.Lock()
+	rm := c.rm
+	c.rm = nil
+	c.mu.Unlock()
+	c.gate.set(nil)
+	if rm != nil {
+		rm.Stop()
+	}
+}
+
+// RestartRecoveryManager starts a fresh recovery manager, which catches up
+// from the coordination-service checkpoint (paper §3.3).
+func (c *Cluster) RestartRecoveryManager() {
+	c.mu.Lock()
+	if c.rm != nil {
+		c.mu.Unlock()
+		return
+	}
+	rm := c.newRecoveryManager()
+	c.rm = rm
+	c.mu.Unlock()
+	rm.Start()
+	// Retire thresholds of servers whose failure recovery completed while
+	// no manager was running.
+	rm.ForgetServers(c.master.RecoveredDeadServers())
+	c.gate.set(rm)
+}
+
+// RecoveryManager returns the current recovery manager (nil while down).
+func (c *Cluster) RecoveryManager() *core.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rm
+}
+
+// TM returns the transaction manager.
+func (c *Cluster) TM() *txmgr.Manager { return c.tm }
+
+// Log returns the TM recovery log.
+func (c *Cluster) Log() *txlog.Log { return c.log }
+
+// DFS returns the distributed filesystem.
+func (c *Cluster) DFS() *dfs.FS { return c.fs }
+
+// Network returns the simulated network (partition injection).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Master returns the store master.
+func (c *Cluster) Master() *kvstore.Master { return c.master }
+
+// Coord returns the coordination service.
+func (c *Cluster) Coord() *coord.Service { return c.svc }
+
+// WaitFlushed blocks until every commit at or below ts has been flushed to
+// the store (the TM's visibility frontier reaches ts) or the timeout
+// elapses.
+func (c *Cluster) WaitFlushed(ts kv.Timestamp, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.tm.Frontier() >= ts {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("cluster: commits <= %d not flushed within %v (frontier %d)",
+		ts, timeout, c.tm.Frontier())
+}
+
+// Stop shuts the whole cluster down: clients first (clean unregister),
+// then servers, master, recovery manager, log, and coordination service.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	clients := make([]*Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	units := make([]*serverUnit, 0, len(c.servers))
+	for _, u := range c.servers {
+		units = append(units, u)
+	}
+	rm := c.rm
+	c.rm = nil
+	c.mu.Unlock()
+
+	for _, cl := range clients {
+		cl.stop(false)
+	}
+	c.master.Stop()
+	for _, u := range units {
+		if !u.srv.Crashed() {
+			if u.agent != nil {
+				u.agent.Crash() // skip the final beat: coord may already be stopping
+			}
+			u.srv.Stop()
+		}
+	}
+	if rm != nil {
+		rm.Stop()
+	}
+	c.log.Close()
+	c.svc.Stop()
+}
+
+// Rebalance spreads regions evenly across live servers (used after
+// AddServer to exploit the elastic scalability the paper motivates).
+// Returns the number of region moves performed.
+func (c *Cluster) Rebalance() (int, error) { return c.master.Rebalance() }
+
+// ClusterStats aggregates health/throughput counters across subsystems for
+// tooling and operators.
+type ClusterStats struct {
+	Commits           uint64
+	Aborts            uint64
+	VisibilityFront   kv.Timestamp
+	GlobalTF          kv.Timestamp
+	GlobalTP          kv.Timestamp
+	LogDurableRecords int
+	LogDurableBytes   int64
+	LogTruncated      int64
+	ClientsRecovered  int
+	RegionsRecovered  int
+	WriteSetsReplayed int
+	LiveServers       int
+}
+
+// Stats returns a snapshot of cluster-wide counters.
+func (c *Cluster) Stats() ClusterStats {
+	var s ClusterStats
+	s.Commits, s.Aborts = c.tm.Stats()
+	s.VisibilityFront = c.tm.Frontier()
+	ls := c.log.Stats()
+	s.LogDurableRecords = ls.DurableRecords
+	s.LogDurableBytes = ls.DurableBytes
+	s.LogTruncated = ls.TruncatedRecords
+	s.LiveServers = len(c.master.LiveServers())
+	c.mu.Lock()
+	rm := c.rm
+	c.mu.Unlock()
+	if rm != nil {
+		rs := rm.StatsSnapshot()
+		s.GlobalTF, s.GlobalTP = rs.TF, rs.TP
+		s.ClientsRecovered = rs.ClientsRecovered
+		s.RegionsRecovered = rs.RegionsRecovered
+		s.WriteSetsReplayed = rs.WriteSetsReplayed
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+// TestClientDiesWhileRMDownIsReconciled covers the lost-event window of RM
+// fail-over: a client crashes while no recovery manager is running; the
+// restarted manager must notice the dead client during catch-up and replay
+// its committed-but-unflushed write-sets.
+func TestClientDiesWhileRMDownIsReconciled(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := c.NewClient("victim")
+	// Heartbeat once so the RM checkpoint knows the client.
+	time.Sleep(100 * time.Millisecond)
+
+	c.CrashRecoveryManager()
+
+	// Partition, commit (durable in the log, cannot flush), crash — all
+	// while the RM is down. The session expires unobserved.
+	c.Network().SetPartition("victim", 4)
+	txn := victim.Begin()
+	_ = txn.Put("t", "orphan", "f", []byte("survive-rm-gap"))
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Crash()
+	time.Sleep(300 * time.Millisecond) // session TTL elapses, no RM to see it
+
+	c.RestartRecoveryManager()
+
+	reader, _ := c.NewClient("reader")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		txn := reader.BeginStrict()
+		v, ok, err := txn.Get("t", "orphan", "f")
+		txn.Abort()
+		if err == nil && ok && string(v) == "survive-rm-gap" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reconciliation never replayed the orphan: %q ok=%v err=%v", v, ok, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestThresholdsUnblockAfterServerRecovery: once every region of a failed
+// server is back online, its frozen threshold must stop holding back T_P —
+// the log keeps truncating under continued load.
+func TestThresholdsUnblockAfterServerRecovery(t *testing.T) {
+	c := newCluster(t, fastConfig(3))
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	commit := func(i int) kv.Timestamp {
+		t.Helper()
+		txn := cl.Begin()
+		_ = txn.Put("t", kv.Key(fmt.Sprintf("key%03d", i)), "f", []byte("v"))
+		cts, err := txn.CommitWait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cts
+	}
+	for i := 0; i < 10; i++ {
+		commit(i)
+	}
+	if err := c.CrashServer(c.ServerIDs()[1]); err != nil {
+		t.Fatal(err)
+	}
+	rm := c.RecoveryManager()
+	deadline := time.Now().Add(15 * time.Second)
+	for rm.StatsSnapshot().RegionsRecovered == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Continued load after recovery: T_P must pass the post-recovery
+	// commits (the dead server's frozen threshold is retired).
+	var last kv.Timestamp
+	for i := 10; i < 20; i++ {
+		last = commit(i)
+	}
+	for rm.TP() < last {
+		if time.Now().After(deadline) {
+			t.Fatalf("TP stuck at %d (< %d): dead server's threshold not retired", rm.TP(), last)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStopWithBlockedFlushActsAsCrash: Stop on a client whose flushes can
+// never complete must not unregister cleanly (that would lose the commits);
+// this is guarded indirectly — the commit must survive via recovery.
+func TestStopWithBlockedFlushActsAsCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits on the 30s stop timeout path indirectly; covered by chaos")
+	}
+	// The 30s timeout makes a direct test slow; instead verify the crash
+	// path explicitly: Crash (the same code path Stop falls back to).
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := c.NewClient("victim")
+	c.Network().SetPartition("victim", 2)
+	txn := victim.Begin()
+	_ = txn.Put("t", "k", "f", []byte("v"))
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Crash()
+	reader, _ := c.NewClient("reader")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		txn := reader.BeginStrict()
+		_, ok, err := txn.Get("t", "k", "f")
+		txn.Abort()
+		if err == nil && ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit lost")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/txmgr"
+)
+
+// TestSnapshotIsolationSerializesByCommitTS is an end-to-end
+// model-checking test of the paper's §2.2 assumption: "the commit timestamp
+// determines the serialization order for transactions... if the recovery
+// procedure applies write-sets in commit timestamp order, then this
+// produces a correct execution."
+//
+// Concurrent clients run read-modify-write increments on a small keyspace;
+// afterwards, replaying the COMMITTED transactions in commit-timestamp
+// order against an in-memory model must reproduce exactly the final store
+// state.
+func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", []kv.Key{"k05"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		clients    = 4
+		txnsEach   = 30
+		keySpace   = 10
+		maxPerTxn  = 3
+		valueOfKey = "k%02d"
+	)
+	type commitRec struct {
+		cts    kv.Timestamp
+		writes map[string]string
+	}
+	var (
+		mu      sync.Mutex
+		commits []commitRec
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := c.NewClient(fmt.Sprintf("ser-%d", ci))
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			defer cl.Stop()
+			rng := rand.New(rand.NewSource(int64(ci) * 17))
+			for i := 0; i < txnsEach; i++ {
+				txn := cl.Begin()
+				writes := make(map[string]string, maxPerTxn)
+				n := rng.Intn(maxPerTxn) + 1
+				ok := true
+				for j := 0; j < n; j++ {
+					key := fmt.Sprintf(valueOfKey, rng.Intn(keySpace))
+					// Read-modify-write: value = old + suffix.
+					old, _, err := txn.Get("t", kv.Key(key), "f")
+					if err != nil {
+						ok = false
+						break
+					}
+					next := fmt.Sprintf("%s|c%d.%d", old, ci, i)
+					if len(next) > 120 {
+						next = next[len(next)-120:]
+					}
+					if err := txn.Put("t", kv.Key(key), "f", []byte(next)); err != nil {
+						ok = false
+						break
+					}
+					writes[key] = next
+				}
+				if !ok {
+					txn.Abort()
+					continue
+				}
+				cts, err := txn.Commit()
+				if err != nil {
+					if !errors.Is(err, txmgr.ErrConflict) {
+						t.Errorf("commit: %v", err)
+					}
+					continue
+				}
+				mu.Lock()
+				commits = append(commits, commitRec{cts: cts, writes: writes})
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(commits) == 0 {
+		t.Fatal("no transactions committed")
+	}
+	// Model: apply committed writes in commit-timestamp order.
+	model := make(map[string]string)
+	order := append([]commitRec(nil), commits...)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].cts < order[j-1].cts; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, rec := range order {
+		for k, v := range rec.writes {
+			model[k] = v
+		}
+	}
+
+	// The store's final state must match the model exactly.
+	reader, _ := c.NewClient("ser-reader")
+	deadline := time.Now().Add(15 * time.Second)
+	for k, want := range model {
+		for {
+			txn := reader.Begin()
+			got, ok, err := txn.Get("t", kv.Key(k), "f")
+			txn.Abort()
+			if err == nil && ok && string(got) == want {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("key %s: store %q, model %q (ok=%v err=%v)", k, got, want, ok, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// And no phantom keys.
+	txn := reader.Begin()
+	all, err := txn.Scan("t", kv.KeyRange{}, 0)
+	txn.Abort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(model) {
+		t.Fatalf("store has %d keys, model has %d", len(all), len(model))
+	}
+}
+
+// TestBeginLatestMayMissUnflushedCommit pins down the documented semantics
+// of the freshest-snapshot mode.
+func TestBeginLatestMayMissUnflushedCommit(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	// Block flushing via a partition, then commit.
+	c.Network().SetPartition("c1", 5)
+	txn := cl.Begin()
+	_ = txn.Put("t", "x", "f", []byte("v"))
+	cts, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A BeginLatest reader (different, un-partitioned client) holds a
+	// snapshot covering cts but cannot see the unflushed write.
+	reader, _ := c.NewClient("r1")
+	lt := reader.BeginLatest()
+	if lt.StartTS() < cts {
+		t.Fatalf("BeginLatest snapshot %d < commit %d", lt.StartTS(), cts)
+	}
+	if _, ok, err := lt.Get("t", "x", "f"); err != nil || ok {
+		t.Fatalf("BeginLatest read: ok=%v err=%v (expected miss of unflushed commit)", ok, err)
+	}
+	lt.Abort()
+	// A BeginStrict reader snapshots below the unflushed commit.
+	st := reader.BeginStrict()
+	if st.StartTS() >= cts {
+		t.Fatalf("BeginStrict snapshot %d >= unflushed commit %d", st.StartTS(), cts)
+	}
+	st.Abort()
+	// Heal: the flush completes, Begin sees the write.
+	c.Network().HealPartitions()
+	if err := c.WaitFlushed(cts, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fresh := reader.Begin()
+	if v, ok, err := fresh.Get("t", "x", "f"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("post-heal read: %q %v %v", v, ok, err)
+	}
+	fresh.Abort()
+}
+
+// TestClusterRebalanceAfterAddServer exercises the elastic-scalability path
+// through the public cluster API, with transactions running throughout.
+func TestClusterRebalanceAfterAddServer(t *testing.T) {
+	cfg := fastConfig(1)
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", []kv.Key{"f", "m", "s"}); err != nil { // 4 regions
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	for i := 0; i < 40; i++ {
+		txn := cl.Begin()
+		_ = txn.Put("t", kv.Key(fmt.Sprintf("%c%02d", 'a'+(i%26), i)), "f", []byte("v"))
+		if _, err := txn.CommitWait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddServer(); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("no regions moved to the new server")
+	}
+	// All data still there; writes still work.
+	for i := 0; i < 40; i++ {
+		row := kv.Key(fmt.Sprintf("%c%02d", 'a'+(i%26), i))
+		txn := cl.Begin()
+		_, ok, err := txn.Get("t", row, "f")
+		txn.Abort()
+		if err != nil || !ok {
+			t.Fatalf("row %s lost in rebalance: %v %v", row, ok, err)
+		}
+	}
+	txn := cl.Begin()
+	_ = txn.Put("t", "zz", "f", []byte("post"))
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+}

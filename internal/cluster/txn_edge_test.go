@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+func TestTxnUseAfterFinish(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("v"))
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if _, _, err := txn.Get("t", "a", "f"); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("get after commit: %v", err)
+	}
+	if err := txn.Put("t", "a", "f", nil); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("put after commit: %v", err)
+	}
+	if _, err := txn.Scan("t", kv.KeyRange{}, 0); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("scan after commit: %v", err)
+	}
+	txn.Abort() // no-op, must not panic
+}
+
+func TestTxnOverwriteWithinTxn(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("first"))
+	_ = txn.Put("t", "a", "f", []byte("second"))
+	if v, _, _ := txn.Get("t", "a", "f"); string(v) != "second" {
+		t.Fatalf("own overwrite read %q", v)
+	}
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	check := cl.Begin()
+	defer check.Abort()
+	if v, _, _ := check.Get("t", "a", "f"); string(v) != "second" {
+		t.Fatalf("committed %q", v)
+	}
+	// Only ONE update per coordinate was committed (in-txn overwrite).
+	recs, err := c.Log().After(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ws := range recs {
+		total += len(ws.Updates)
+	}
+	if total != 1 {
+		t.Fatalf("logged %d updates, want 1", total)
+	}
+}
+
+func TestReadOnlyTxnCommit(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	txn := cl.Begin()
+	if _, _, err := txn.Get("t", "missing", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+	if s := c.Log().Stats(); s.TotalAppends != 0 {
+		t.Fatalf("read-only txn logged: %+v", s)
+	}
+}
+
+func TestTxnPutCopiesValue(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	txn := cl.Begin()
+	buf := []byte("original")
+	_ = txn.Put("t", "a", "f", buf)
+	buf[0] = 'X' // caller mutates after Put
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	check := cl.Begin()
+	defer check.Abort()
+	if v, _, _ := check.Get("t", "a", "f"); string(v) != "original" {
+		t.Fatalf("value aliased caller buffer: %q", v)
+	}
+}
+
+func TestMultiParticipantCommitSurvivesOneParticipantCrash(t *testing.T) {
+	cfg := fastConfig(3)
+	cfg.WALSyncInterval = 0
+	c := newCluster(t, cfg)
+	// Three regions spread over three servers.
+	if err := c.CreateTable("t", []kv.Key{"h", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	txn := cl.Begin()
+	rows := []string{"alpha", "kilo", "tango"} // one per region
+	for _, r := range rows {
+		_ = txn.Put("t", kv.Key(r), "f", []byte("multi-"+r))
+	}
+	cts, err := txn.CommitWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash one participant before anything persisted.
+	if err := c.CrashServer(c.ServerIDs()[1]); err != nil {
+		t.Fatal(err)
+	}
+	// ALL parts of the transaction remain readable (atomicity across the
+	// failure: the recovery replays the lost portion at the same commit
+	// version).
+	reader, _ := c.NewClient("reader")
+	deadline := time.Now().Add(15 * time.Second)
+	for _, r := range rows {
+		for {
+			rtxn := reader.BeginStrict()
+			v, ok, err := rtxn.Get("t", kv.Key(r), "f")
+			rtxn.Abort()
+			if err == nil && ok && string(v) == "multi-"+r {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("part %s of txn %d lost: %q ok=%v err=%v", r, cts, v, ok, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+func TestConcurrentClientsManyTables(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	for i := 0; i < 3; i++ {
+		if err := c.CreateTable(fmt.Sprintf("tbl%d", i), []kv.Key{"m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			cl, err := c.NewClient(fmt.Sprintf("mt-%d", i))
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cl.Stop()
+			table := fmt.Sprintf("tbl%d", i)
+			for j := 0; j < 20; j++ {
+				txn := cl.Begin()
+				_ = txn.Put(table, kv.Key(fmt.Sprintf("r%02d", j)), "f", []byte("v"))
+				if _, err := txn.Commit(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWaitFlushedTimeout(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.NewClient("c1")
+	// Block the flush; WaitFlushed must time out rather than hang.
+	c.Network().SetPartition("c1", 3)
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("v"))
+	cts, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitFlushed(cts, 100*time.Millisecond); err == nil {
+		t.Fatal("WaitFlushed should time out while the flush is blocked")
+	}
+	c.Network().HealPartitions()
+	if err := c.WaitFlushed(cts, 10*time.Second); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}

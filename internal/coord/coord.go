@@ -1,0 +1,261 @@
+// Package coord implements the ZooKeeper-like coordination service the
+// paper uses for heartbeat exchange and recovery-manager fail-over (§3.3):
+// TTL-based sessions with attached payloads (ephemeral znodes), expiry
+// watchers, and a small persistent key-value store. The service itself is
+// modelled as reliable (ZooKeeper is replicated); components that cannot
+// reach it treat themselves as partitioned and terminate, which matches the
+// paper's crash-equivalent treatment of partitions.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Session errors.
+var (
+	ErrNoSession     = errors.New("coord: no such session")
+	ErrSessionExists = errors.New("coord: session already exists")
+)
+
+// SessionEvent describes the end of a session.
+type SessionEvent struct {
+	ID      string
+	Payload []byte // last heartbeat payload
+	Expired bool   // true: TTL expiry (failure); false: clean unregister
+}
+
+// Watcher receives session-end events. Callbacks run on a dedicated
+// goroutine, never under the service lock, and may block.
+type Watcher func(SessionEvent)
+
+// Config controls session expiry.
+type Config struct {
+	// DefaultTTL applies to sessions registered with ttl=0.
+	DefaultTTL time.Duration
+	// CheckInterval is the expiry scan cadence.
+	CheckInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTTL == 0 {
+		c.DefaultTTL = time.Second
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = c.DefaultTTL / 4
+	}
+	return c
+}
+
+type session struct {
+	payload []byte
+	expires time.Time
+	ttl     time.Duration
+}
+
+// Service is the coordination service.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	kv       map[string][]byte
+	watchers []Watcher
+
+	events   chan SessionEvent
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates and starts a coordination service.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+		kv:       make(map[string][]byte),
+		events:   make(chan SessionEvent, 128),
+		stop:     make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.expiryLoop()
+	go s.dispatchLoop()
+	return s
+}
+
+// Watch registers a session-end watcher.
+func (s *Service) Watch(w Watcher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, w)
+}
+
+// Register creates a session. ttl=0 uses the default TTL.
+func (s *Service) Register(id string, ttl time.Duration, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; ok {
+		return fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
+	if ttl == 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	s.sessions[id] = &session{
+		payload: append([]byte(nil), payload...),
+		expires: time.Now().Add(ttl),
+		ttl:     ttl,
+	}
+	return nil
+}
+
+// Heartbeat refreshes a session and replaces its payload. A heartbeat on a
+// missing (expired or never-registered) session fails: the caller must
+// treat itself as dead, exactly as the paper's partitioned client does.
+func (s *Service) Heartbeat(id string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSession, id)
+	}
+	sess.payload = append(sess.payload[:0], payload...)
+	sess.expires = time.Now().Add(sess.ttl)
+	return nil
+}
+
+// Unregister ends a session cleanly. Watchers receive Expired=false.
+func (s *Service) Unregister(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSession, id)
+	}
+	payload := append([]byte(nil), sess.payload...)
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	s.emit(SessionEvent{ID: id, Payload: payload, Expired: false})
+	return nil
+}
+
+// Payload returns the latest heartbeat payload of a live session.
+func (s *Service) Payload(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSession, id)
+	}
+	return append([]byte(nil), sess.payload...), nil
+}
+
+// Sessions returns the IDs of live sessions with the given prefix, sorted,
+// with their latest payloads.
+func (s *Service) Sessions(prefix string) map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte)
+	for id, sess := range s.sessions {
+		if strings.HasPrefix(id, prefix) {
+			out[id] = append([]byte(nil), sess.payload...)
+		}
+	}
+	return out
+}
+
+// SessionIDs returns the sorted IDs of live sessions with the prefix.
+func (s *Service) SessionIDs(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id := range s.sessions {
+		if strings.HasPrefix(id, prefix) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put stores a persistent key-value pair (RM checkpoint state, global
+// thresholds).
+func (s *Service) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kv[key] = append([]byte(nil), value...)
+}
+
+// Get reads a persistent key; ok=false if absent.
+func (s *Service) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (s *Service) expiryLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			s.mu.Lock()
+			var expired []SessionEvent
+			for id, sess := range s.sessions {
+				if now.After(sess.expires) {
+					expired = append(expired, SessionEvent{
+						ID:      id,
+						Payload: append([]byte(nil), sess.payload...),
+						Expired: true,
+					})
+					delete(s.sessions, id)
+				}
+			}
+			s.mu.Unlock()
+			for _, ev := range expired {
+				s.emit(ev)
+			}
+		}
+	}
+}
+
+func (s *Service) emit(ev SessionEvent) {
+	select {
+	case s.events <- ev:
+	case <-s.stop:
+	}
+}
+
+func (s *Service) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case ev := <-s.events:
+			s.mu.Lock()
+			ws := append([]Watcher(nil), s.watchers...)
+			s.mu.Unlock()
+			for _, w := range ws {
+				w(ev)
+			}
+		}
+	}
+}
+
+// Stop halts the service's background goroutines.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

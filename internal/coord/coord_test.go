@@ -1,0 +1,162 @@
+package coord
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newSvc(t *testing.T, ttl, check time.Duration) *Service {
+	t.Helper()
+	s := New(Config{DefaultTTL: ttl, CheckInterval: check})
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestRegisterHeartbeatPayload(t *testing.T) {
+	s := newSvc(t, time.Second, 10*time.Millisecond)
+	if err := s.Register("client/a", 0, []byte("p0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("client/a", 0, nil); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if err := s.Heartbeat("client/a", []byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Payload("client/a")
+	if err != nil || string(got) != "p1" {
+		t.Fatalf("payload = %q, %v", got, err)
+	}
+	if err := s.Heartbeat("client/missing", nil); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("heartbeat missing: %v", err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	s := newSvc(t, 30*time.Millisecond, 5*time.Millisecond)
+	var mu sync.Mutex
+	var events []SessionEvent
+	s.Watch(func(ev SessionEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	if err := s.Register("client/dead", 0, []byte("tf=42")); err != nil {
+		t.Fatal(err)
+	}
+	// Stop heartbeating: expect an expiry event carrying the payload.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no expiry event")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	ev := events[0]
+	if ev.ID != "client/dead" || !ev.Expired || string(ev.Payload) != "tf=42" {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Session is gone.
+	if _, err := s.Payload("client/dead"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("payload after expiry: %v", err)
+	}
+}
+
+func TestHeartbeatKeepsAlive(t *testing.T) {
+	s := newSvc(t, 50*time.Millisecond, 5*time.Millisecond)
+	var expired sync.Map
+	s.Watch(func(ev SessionEvent) { expired.Store(ev.ID, ev) })
+	if err := s.Register("server/s1", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if err := s.Heartbeat("server/s1", []byte{byte(i)}); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if _, ok := expired.Load("server/s1"); ok {
+		t.Fatal("session expired despite heartbeats")
+	}
+}
+
+func TestUnregisterCleanEvent(t *testing.T) {
+	s := newSvc(t, time.Second, 10*time.Millisecond)
+	ch := make(chan SessionEvent, 1)
+	s.Watch(func(ev SessionEvent) { ch <- ev })
+	_ = s.Register("client/c", 0, []byte("final"))
+	if err := s.Unregister("client/c"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Expired || ev.ID != "client/c" || string(ev.Payload) != "final" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no clean-close event")
+	}
+	if err := s.Unregister("client/c"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("double unregister: %v", err)
+	}
+}
+
+func TestSessionsListing(t *testing.T) {
+	s := newSvc(t, time.Second, 10*time.Millisecond)
+	_ = s.Register("client/a", 0, []byte("1"))
+	_ = s.Register("client/b", 0, []byte("2"))
+	_ = s.Register("server/x", 0, []byte("3"))
+	clients := s.Sessions("client/")
+	if len(clients) != 2 || string(clients["client/a"]) != "1" {
+		t.Fatalf("Sessions(client/) = %v", clients)
+	}
+	ids := s.SessionIDs("server/")
+	if len(ids) != 1 || ids[0] != "server/x" {
+		t.Fatalf("SessionIDs(server/) = %v", ids)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	s := newSvc(t, time.Second, 10*time.Millisecond)
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	s.Put("global/tf", []byte{9})
+	v, ok := s.Get("global/tf")
+	if !ok || len(v) != 1 || v[0] != 9 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	s.Put("global/tf", []byte{10})
+	v, _ = s.Get("global/tf")
+	if v[0] != 10 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestWatcherNotUnderLock(t *testing.T) {
+	// A watcher that calls back into the service must not deadlock.
+	s := newSvc(t, 20*time.Millisecond, 5*time.Millisecond)
+	done := make(chan struct{})
+	var once sync.Once
+	s.Watch(func(ev SessionEvent) {
+		s.Put("seen/"+ev.ID, []byte{1})
+		_ = s.Sessions("")
+		once.Do(func() { close(done) })
+	})
+	_ = s.Register("client/x", 0, nil)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher deadlocked")
+	}
+}

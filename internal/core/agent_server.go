@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv/internal/coord"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+)
+
+// ServerAgentConfig configures a region server's heartbeat agent.
+type ServerAgentConfig struct {
+	// ServerID is the region server's identity.
+	ServerID string
+	// HeartbeatInterval is the persist-and-heartbeat cadence.
+	HeartbeatInterval time.Duration
+	// SessionTTL defaults to 4x the interval.
+	SessionTTL time.Duration
+	// QueueAlertThreshold triggers OnQueueAlert when the persist queue
+	// exceeds it. Zero disables.
+	QueueAlertThreshold int
+	// OnQueueAlert is invoked when the persist queue exceeds the
+	// threshold.
+	OnQueueAlert func(serverID string, queueLen int)
+}
+
+func (c ServerAgentConfig) withDefaults() ServerAgentConfig {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 4 * c.HeartbeatInterval
+	}
+	return c
+}
+
+// ServerAgent owns a region server's persist tracker and heartbeat loop —
+// the server side of Algorithm 3. On every heartbeat it (1) reads the
+// latest published global T_F, (2) persists everything the server has
+// received by syncing the WAL to the DFS, (3) advances T_P(s) to that T_F
+// (capped by inherited thresholds of replays still unpersisted), and (4)
+// piggybacks T_P(s) on its heartbeat to the recovery manager.
+//
+// It also implements kvstore.ServerHooks so the server's write path feeds
+// the tracker, including the immediate-heartbeat rule for replayed updates
+// carrying a piggybacked threshold.
+type ServerAgent struct {
+	cfg     ServerAgentConfig
+	svc     *coord.Service
+	srv     *kvstore.RegionServer
+	tracker *ServerTracker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+var _ kvstore.ServerHooks = (*ServerAgent)(nil)
+
+// NewServerAgent creates an agent for srv and installs itself as the
+// server's hooks. Call before the server starts serving writes.
+func NewServerAgent(cfg ServerAgentConfig, svc *coord.Service, srv *kvstore.RegionServer) *ServerAgent {
+	a := &ServerAgent{
+		cfg:  cfg.withDefaults(),
+		svc:  svc,
+		srv:  srv,
+		stop: make(chan struct{}),
+	}
+	srv.SetHooks(a)
+	return a
+}
+
+// Tracker exposes the persist tracker.
+func (a *ServerAgent) Tracker() *ServerTracker { return a.tracker }
+
+func (a *ServerAgent) sessionID() string { return serverSessionPrefix + a.cfg.ServerID }
+
+// Start initializes T_P(s) from the published global T_P (Alg. 4 "On
+// register") and registers the heartbeat session.
+func (a *ServerAgent) Start() error {
+	var initial kv.Timestamp
+	if b, ok := a.svc.Get(KeyGlobalTP); ok {
+		initial = decodeTS(b)
+	}
+	a.tracker = NewServerTracker(initial)
+	if err := a.svc.Register(a.sessionID(), a.cfg.SessionTTL, encodeTS(initial)); err != nil {
+		return fmt.Errorf("server agent %s: %w", a.cfg.ServerID, err)
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return nil
+}
+
+// OnWriteSetApplied implements kvstore.ServerHooks.
+func (a *ServerAgent) OnWriteSetApplied(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) {
+	if !hasPiggy {
+		a.tracker.OnReceived()
+		return
+	}
+	// Replayed update from the recovery client: inherit the failed
+	// server's threshold and inform the recovery manager immediately
+	// (Alg. 3: "if T_P(s') < T_P: T_P <- T_P(s'); heartbeat()").
+	a.tracker.OnReplayReceived(piggy)
+	_ = a.svc.Heartbeat(a.sessionID(), encodeTS(a.tracker.TP()))
+}
+
+// TP returns the server's current threshold.
+func (a *ServerAgent) TP() kv.Timestamp { return a.tracker.TP() }
+
+func (a *ServerAgent) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.beat()
+			if th := a.cfg.QueueAlertThreshold; th > 0 && a.cfg.OnQueueAlert != nil {
+				if n := a.tracker.PendingPersists(); n > th {
+					a.cfg.OnQueueAlert(a.cfg.ServerID, n)
+				}
+			}
+		}
+	}
+}
+
+// beat performs one Algorithm 3 heartbeat.
+func (a *ServerAgent) beat() {
+	// (1) Latest global T_F, fetched BEFORE the sync: every transaction at
+	// or below it was received before the sync starts.
+	var tfKnown kv.Timestamp
+	if b, ok := a.svc.Get(KeyGlobalTF); ok {
+		tfKnown = decodeTS(b)
+	}
+	// (2) Persist everything received so far.
+	tok := a.tracker.BeginPersist()
+	if err := a.srv.SyncWAL(); err != nil {
+		a.tracker.AbortPersist(tok)
+		// Heartbeat with the unchanged threshold: the server is alive,
+		// the DFS hiccup only delays the threshold advance.
+		_ = a.svc.Heartbeat(a.sessionID(), encodeTS(a.tracker.TP()))
+		return
+	}
+	// (3) Advance T_P(s); (4) piggyback it.
+	tp := a.tracker.CompletePersist(tok, tfKnown)
+	_ = a.svc.Heartbeat(a.sessionID(), encodeTS(tp))
+}
+
+// Stop performs a clean shutdown: final persist + heartbeat, then
+// unregister.
+func (a *ServerAgent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+	a.beat()
+	_ = a.svc.Unregister(a.sessionID())
+}
+
+// Crash stops heartbeats without unregistering; the session expires and
+// the master-driven recovery takes over.
+func (a *ServerAgent) Crash() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"txkv/internal/coord"
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+)
+
+func newCoord(t *testing.T) *coord.Service {
+	t.Helper()
+	svc := coord.New(coord.Config{DefaultTTL: 200 * time.Millisecond, CheckInterval: 10 * time.Millisecond})
+	t.Cleanup(svc.Stop)
+	return svc
+}
+
+func TestClientAgentHeartbeatCarriesTF(t *testing.T) {
+	svc := newCoord(t)
+	agent := NewClientAgent(ClientAgentConfig{
+		ClientID:          "c1",
+		HeartbeatInterval: 15 * time.Millisecond,
+	}, svc)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Stop()
+
+	agent.OnCommitted(5)
+	agent.OnFlushed(5)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		payload, err := svc.Payload("client/c1")
+		if err == nil && decodeTS(payload) == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never carried TF=5 (payload err=%v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if agent.TF() != 5 {
+		t.Fatalf("TF() = %d", agent.TF())
+	}
+}
+
+func TestClientAgentInitializesFromGlobalTF(t *testing.T) {
+	svc := newCoord(t)
+	svc.Put(KeyGlobalTF, encodeTS(77))
+	agent := NewClientAgent(ClientAgentConfig{ClientID: "c2", HeartbeatInterval: time.Hour}, svc)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Crash()
+	if agent.TF() != 77 {
+		t.Fatalf("initial TF = %d, want 77 (Alg. 2 register)", agent.TF())
+	}
+	payload, err := svc.Payload("client/c2")
+	if err != nil || decodeTS(payload) != 77 {
+		t.Fatalf("registration payload = %v, %v", payload, err)
+	}
+}
+
+func TestClientAgentDuplicateRegistration(t *testing.T) {
+	svc := newCoord(t)
+	a1 := NewClientAgent(ClientAgentConfig{ClientID: "dup", HeartbeatInterval: time.Hour}, svc)
+	if err := a1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Crash()
+	a2 := NewClientAgent(ClientAgentConfig{ClientID: "dup", HeartbeatInterval: time.Hour}, svc)
+	if err := a2.Start(); err == nil {
+		t.Fatal("duplicate session accepted")
+	}
+}
+
+func TestClientAgentQueueAlert(t *testing.T) {
+	svc := newCoord(t)
+	var alerts atomic.Int32
+	agent := NewClientAgent(ClientAgentConfig{
+		ClientID:            "c3",
+		HeartbeatInterval:   10 * time.Millisecond,
+		QueueAlertThreshold: 2,
+		OnQueueAlert:        func(string, int) { alerts.Add(1) },
+	}, svc)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Crash()
+	// 5 committed, none flushed: |FQ| = 5 > 2.
+	for ts := kv.Timestamp(1); ts <= 5; ts++ {
+		agent.OnCommitted(ts)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for alerts.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if alerts.Load() == 0 {
+		t.Fatal("queue alert never fired")
+	}
+}
+
+func TestServerAgentPersistCycle(t *testing.T) {
+	svc := newCoord(t)
+	fs := dfs.New(dfs.Config{})
+	srv := kvstore.NewRegionServer(kvstore.ServerConfig{
+		ID:              "s1",
+		WALSyncInterval: 0, // only the agent persists
+	}, fs)
+	master := kvstore.NewMaster(kvstore.MasterConfig{HeartbeatTimeout: time.Hour}, fs)
+	agent := NewServerAgent(ServerAgentConfig{
+		ServerID:          "s1",
+		HeartbeatInterval: 15 * time.Millisecond,
+	}, svc, srv)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	master.Start()
+	defer master.Stop()
+	if err := master.AddServer(srv); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { agent.Crash(); srv.Stop() }()
+	if err := master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish a global TF; the agent's next beat should persist and adopt
+	// it as TP.
+	svc.Put(KeyGlobalTF, encodeTS(9))
+	ws := kv.WriteSet{TxnID: 1, ClientID: "c", CommitTS: 3, Updates: []kv.Update{
+		{Table: "t", Row: "a", Column: "f", Value: []byte("v")},
+	}}
+	if err := srv.ApplyWriteSet(ws, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for agent.TP() != 9 {
+		if time.Now().After(deadline) {
+			t.Fatalf("TP = %d, want 9", agent.TP())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The WAL is durable now: the tracked write survives on the DFS.
+	if n, err := fs.Size(srv.WALPath()); err != nil || n == 0 {
+		t.Fatalf("WAL not synced: %d %v", n, err)
+	}
+	// Heartbeat payload carries TP.
+	payload, err := svc.Payload("server/s1")
+	if err != nil || decodeTS(payload) != 9 {
+		t.Fatalf("payload = %v %v", payload, err)
+	}
+	if agent.Tracker().Received() != 1 {
+		t.Fatalf("received = %d", agent.Tracker().Received())
+	}
+}
+
+func TestServerAgentReplayTriggersImmediateHeartbeat(t *testing.T) {
+	svc := newCoord(t)
+	fs := dfs.New(dfs.Config{})
+	srv := kvstore.NewRegionServer(kvstore.ServerConfig{ID: "s2", WALSyncInterval: 0}, fs)
+	master := kvstore.NewMaster(kvstore.MasterConfig{HeartbeatTimeout: time.Hour}, fs)
+	// Very long interval: only the immediate (replay-triggered) heartbeat
+	// can update the payload.
+	agent := NewServerAgent(ServerAgentConfig{
+		ServerID:          "s2",
+		HeartbeatInterval: time.Hour,
+	}, svc, srv)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	master.Start()
+	defer master.Stop()
+	if err := master.AddServer(srv); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { agent.Crash(); srv.Stop() }()
+	if err := master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raise TP first.
+	svc.Put(KeyGlobalTF, encodeTS(50))
+	tok := agent.Tracker().BeginPersist()
+	agent.Tracker().CompletePersist(tok, 50)
+
+	// Replayed write with piggyback 20 lowers TP and heartbeats at once.
+	ws := kv.WriteSet{TxnID: 2, ClientID: "cR", CommitTS: 30, Updates: []kv.Update{
+		{Table: "t", Row: "b", Column: "f", Value: []byte("v")},
+	}}
+	if err := srv.ApplyWriteSet(ws, 20, true); err != nil {
+		t.Fatal(err)
+	}
+	if agent.TP() != 20 {
+		t.Fatalf("TP = %d, want inherited 20", agent.TP())
+	}
+	payload, err := svc.Payload("server/s2")
+	if err != nil || decodeTS(payload) != 20 {
+		t.Fatalf("immediate heartbeat missing: %v %v", payload, err)
+	}
+}
+
+func TestServerAgentInitializesFromGlobalTP(t *testing.T) {
+	svc := newCoord(t)
+	svc.Put(KeyGlobalTP, encodeTS(33))
+	fs := dfs.New(dfs.Config{})
+	srv := kvstore.NewRegionServer(kvstore.ServerConfig{ID: "s3"}, fs)
+	agent := NewServerAgent(ServerAgentConfig{ServerID: "s3", HeartbeatInterval: time.Hour}, svc, srv)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Crash()
+	if agent.TP() != 33 {
+		t.Fatalf("initial TP = %d, want 33 (Alg. 4 register)", agent.TP())
+	}
+}
+
+func TestAgentsCleanShutdownUnregisters(t *testing.T) {
+	svc := newCoord(t)
+	var ends atomic.Int32
+	var expiries atomic.Int32
+	svc.Watch(func(ev coord.SessionEvent) {
+		ends.Add(1)
+		if ev.Expired {
+			expiries.Add(1)
+		}
+	})
+	ca := NewClientAgent(ClientAgentConfig{ClientID: "cx", HeartbeatInterval: 20 * time.Millisecond}, svc)
+	if err := ca.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New(dfs.Config{})
+	srv := kvstore.NewRegionServer(kvstore.ServerConfig{ID: "sx"}, fs)
+	m := kvstore.NewMaster(kvstore.MasterConfig{HeartbeatTimeout: time.Hour}, fs)
+	m.Start()
+	defer m.Stop()
+	if err := m.AddServer(srv); err != nil {
+		t.Fatal(err)
+	}
+	sa := NewServerAgent(ServerAgentConfig{ServerID: "sx", HeartbeatInterval: 20 * time.Millisecond}, svc, srv)
+	if err := sa.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	ca.Stop()
+	sa.Stop()
+	srv.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for ends.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ends.Load() < 2 {
+		t.Fatalf("expected 2 clean session ends, got %d", ends.Load())
+	}
+	if expiries.Load() != 0 {
+		t.Fatalf("clean shutdown produced %d expiries", expiries.Load())
+	}
+}
+
+func TestPayloadCodec(t *testing.T) {
+	for _, ts := range []kv.Timestamp{0, 1, 42, kv.MaxTimestamp} {
+		if got := decodeTS(encodeTS(ts)); got != ts {
+			t.Fatalf("round trip %d -> %d", ts, got)
+		}
+	}
+	if decodeTS(nil) != 0 || decodeTS([]byte{1, 2}) != 0 {
+		t.Fatal("short payloads must decode to 0")
+	}
+}
+
+func TestManyClientAgents(t *testing.T) {
+	svc := newCoord(t)
+	const n = 20
+	agents := make([]*ClientAgent, n)
+	for i := range agents {
+		agents[i] = NewClientAgent(ClientAgentConfig{
+			ClientID:          fmt.Sprintf("many-%d", i),
+			HeartbeatInterval: 10 * time.Millisecond,
+		}, svc)
+		if err := agents[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := len(svc.SessionIDs("client/many-")); got != n {
+		t.Fatalf("live sessions = %d, want %d", got, n)
+	}
+	for _, a := range agents {
+		a.Stop()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := len(svc.SessionIDs("client/many-")); got != 0 {
+		t.Fatalf("sessions after stop = %d", got)
+	}
+}

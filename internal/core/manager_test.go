@@ -1,0 +1,591 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"txkv/internal/coord"
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/netsim"
+	"txkv/internal/txlog"
+)
+
+// harness assembles the store + coordination + recovery manager, without
+// the transaction manager: tests drive the log and trackers directly, which
+// isolates the recovery protocol.
+type harness struct {
+	fs     *dfs.FS
+	net    *netsim.Network
+	svc    *coord.Service
+	master *kvstore.Master
+	log    *txlog.Log
+	rm     *Manager
+	srvs   []*kvstore.RegionServer
+	agents []*ServerAgent
+}
+
+type harnessOpts struct {
+	servers         int
+	serverHB        time.Duration // server agent heartbeat (WAL persist cadence)
+	rmPoll          time.Duration
+	walSyncInterval time.Duration // region server's own async syncer; 0 lets agent drive
+}
+
+func newHarness(t *testing.T, o harnessOpts) *harness {
+	t.Helper()
+	if o.serverHB == 0 {
+		o.serverHB = 25 * time.Millisecond
+	}
+	if o.rmPoll == 0 {
+		o.rmPoll = 20 * time.Millisecond
+	}
+	h := &harness{
+		fs:  dfs.New(dfs.Config{Replication: 2, DataNodes: o.servers + 1}),
+		net: netsim.New(netsim.Config{}),
+		svc: coord.New(coord.Config{DefaultTTL: 150 * time.Millisecond, CheckInterval: 10 * time.Millisecond}),
+		log: txlog.New(txlog.Config{}),
+	}
+	h.master = kvstore.NewMaster(kvstore.MasterConfig{
+		HeartbeatTimeout: 150 * time.Millisecond,
+		CheckInterval:    15 * time.Millisecond,
+	}, h.fs)
+
+	rc := kvstore.NewClient(kvstore.ClientConfig{ID: "recovery-client"}, h.net, h.master)
+	h.rm = NewManager(ManagerConfig{PollInterval: o.rmPoll}, h.svc, h.log, rc, h.net)
+	h.master.SetRecoveryGate(h.rm)
+	h.master.AddFailureListener(h.rm)
+	h.rm.Start()
+	h.master.Start()
+
+	for i := 0; i < o.servers; i++ {
+		srv := kvstore.NewRegionServer(kvstore.ServerConfig{
+			ID:                fmt.Sprintf("server-%d", i),
+			WALSyncInterval:   o.walSyncInterval,
+			HeartbeatInterval: 20 * time.Millisecond,
+		}, h.fs)
+		agent := NewServerAgent(ServerAgentConfig{
+			ServerID:          srv.ID(),
+			HeartbeatInterval: o.serverHB,
+			SessionTTL:        time.Hour, // failure detection is master-driven
+		}, h.svc, srv)
+		if err := agent.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.master.AddServer(srv); err != nil {
+			t.Fatal(err)
+		}
+		h.srvs = append(h.srvs, srv)
+		h.agents = append(h.agents, agent)
+	}
+	t.Cleanup(func() {
+		h.master.Stop()
+		for i, s := range h.srvs {
+			if !s.Crashed() {
+				h.agents[i].Crash()
+				s.Stop()
+			}
+		}
+		h.rm.Stop()
+		h.log.Close()
+		h.svc.Stop()
+	})
+	return h
+}
+
+// testClient bundles a kv client with its recovery agent.
+type testClient struct {
+	kv    *kvstore.Client
+	agent *ClientAgent
+}
+
+func (h *harness) newClient(t *testing.T, id string, hb time.Duration) *testClient {
+	t.Helper()
+	agent := NewClientAgent(ClientAgentConfig{
+		ClientID:          id,
+		HeartbeatInterval: hb,
+		SessionTTL:        4 * hb,
+	}, h.svc)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &testClient{
+		kv:    kvstore.NewClient(kvstore.ClientConfig{ID: id}, h.net, h.master),
+		agent: agent,
+	}
+}
+
+// commit writes the write-set to the TM log and records the commit with the
+// client tracker — the state right after a TM commit returns.
+func (h *harness) commit(t *testing.T, c *testClient, ws kv.WriteSet) {
+	t.Helper()
+	if err := h.log.Append(ws); err != nil {
+		t.Fatal(err)
+	}
+	c.agent.OnCommitted(ws.CommitTS)
+}
+
+// flush completes the post-commit flush and notifies the tracker.
+func (h *harness) flush(t *testing.T, c *testClient, ws kv.WriteSet) {
+	t.Helper()
+	if err := c.kv.Flush(context.Background(), ws, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	c.agent.OnFlushed(ws.CommitTS)
+}
+
+func mkWS(client string, ts kv.Timestamp, table string, rows ...string) kv.WriteSet {
+	ws := kv.WriteSet{TxnID: uint64(ts), ClientID: client, CommitTS: ts}
+	for _, r := range rows {
+		ws.Updates = append(ws.Updates, kv.Update{
+			Table: table, Row: kv.Key(r), Column: "f",
+			Value: []byte(fmt.Sprintf("v%d-%s", ts, r)),
+		})
+	}
+	return ws
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func (h *harness) mustRead(t *testing.T, c *kvstore.Client, table, row, want string) {
+	t.Helper()
+	got, found, err := c.Get(context.Background(), table, kv.Key(row), "f", kv.MaxTimestamp)
+	if err != nil {
+		t.Fatalf("read %s/%s: %v", table, row, err)
+	}
+	if !found {
+		t.Fatalf("read %s/%s: not found, want %q", table, row, want)
+	}
+	if string(got.Value) != want {
+		t.Fatalf("read %s/%s = %q, want %q", table, row, got.Value, want)
+	}
+}
+
+// TestClientFailureRecovery is the paper's §3.1 scenario: a client commits
+// (log write succeeds) but dies before flushing; the recovery manager
+// detects the missed heartbeats and replays the committed-but-unflushed
+// write-set from the TM log.
+func TestClientFailureRecovery(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 2, walSyncInterval: 10 * time.Millisecond})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 20*time.Millisecond)
+
+	// Txn 1: committed AND flushed.
+	ws1 := mkWS("c1", 1, "t", "flushed-row")
+	h.commit(t, c, ws1)
+	h.flush(t, c, ws1)
+	// Let a heartbeat carry TF(c1)=1.
+	waitFor(t, 2*time.Second, "TF to reach 1", func() bool { return h.rm.TF() >= 1 })
+
+	// Txn 2: committed, NOT flushed — the client dies now.
+	ws2 := mkWS("c1", 2, "t", "lost-row")
+	h.commit(t, c, ws2)
+	c.agent.Crash() // heartbeats stop; session will expire
+
+	waitFor(t, 5*time.Second, "client recovery", func() bool {
+		return h.rm.StatsSnapshot().ClientsRecovered >= 1
+	})
+
+	// The committed write-set must now be in the store.
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	h.mustRead(t, reader, "t", "lost-row", "v2-lost-row")
+	h.mustRead(t, reader, "t", "flushed-row", "v1-flushed-row")
+
+	// Exactly one write-set replayed (ws1 was at or below TF(c1)).
+	evs := h.rm.Events()
+	if len(evs) != 1 || evs[0].Kind != "client" || evs[0].WriteSetsReplayed != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestClientCleanShutdownNoRecovery: a clean unregister triggers no replay
+// and removes the client from the T_F computation.
+func TestClientCleanShutdownNoRecovery(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 1, walSyncInterval: 10 * time.Millisecond})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+	ws := mkWS("c1", 1, "t", "a")
+	h.commit(t, c, ws)
+	h.flush(t, c, ws)
+	c.agent.Stop() // clean shutdown: final heartbeat + unregister
+
+	// Another client keeps the system moving; TF must not be blocked by
+	// the departed c1.
+	c2 := h.newClient(t, "c2", 15*time.Millisecond)
+	ws2 := mkWS("c2", 5, "t", "b")
+	h.commit(t, c2, ws2)
+	h.flush(t, c2, ws2)
+	waitFor(t, 2*time.Second, "TF to advance past departed client", func() bool {
+		return h.rm.TF() >= 5
+	})
+	if n := h.rm.StatsSnapshot().ClientsRecovered; n != 0 {
+		t.Fatalf("clean shutdown triggered %d recoveries", n)
+	}
+}
+
+// TestServerFailureRecovery is the paper's §3.2 scenario: write-sets are
+// flushed to a server but the server dies before persisting them (WAL never
+// synced); the region gate replays them from the TM log before the region
+// goes back online, and no committed write is lost.
+func TestServerFailureRecovery(t *testing.T) {
+	h := newHarness(t, harnessOpts{
+		servers:         2,
+		serverHB:        time.Hour, // never persist: everything is at risk
+		walSyncInterval: 0,
+	})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+
+	const n = 10
+	for i := 1; i <= n; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("row%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+
+	// Everything is flushed but nothing persisted (agents never beat).
+	_, host, err := h.master.Locate("t", "row01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.Crash()
+	h.net.SetDown(host.ID(), true)
+
+	waitFor(t, 5*time.Second, "region recovery", func() bool {
+		return h.rm.StatsSnapshot().RegionsRecovered >= 1
+	})
+
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	for i := 1; i <= n; i++ {
+		row := fmt.Sprintf("row%02d", i)
+		h.mustRead(t, reader, "t", row, fmt.Sprintf("v%d-%s", i, row))
+	}
+	// All n write-sets were replayed (T_P(s) never advanced past 0).
+	evs := h.rm.Events()
+	if len(evs) != 1 || evs[0].Kind != "region" || evs[0].WriteSetsReplayed != n {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestServerFailurePartialPersist: T_P(s) reflects persisted prefixes, so
+// only write-sets after T_P(s) are replayed.
+func TestServerFailurePartialPersist(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 2, serverHB: 25 * time.Millisecond, walSyncInterval: 0})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+
+	// Phase 1: five write-sets, fully flushed, heartbeats running — they
+	// get persisted and T_P advances.
+	for i := 1; i <= 5; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("old%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+	waitFor(t, 3*time.Second, "TP to cover the persisted prefix", func() bool {
+		return h.rm.TP() >= 5
+	})
+
+	// Phase 2: freeze persistence (crash the agent's effect by crashing
+	// the server right after more flushes arrive).
+	for i := 6; i <= 8; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("new%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+	_, host, err := h.master.Locate("t", "old01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the host's agent first so no further persist can happen, then
+	// crash.
+	for i, s := range h.srvs {
+		if s.ID() == host.ID() {
+			h.agents[i].Crash()
+		}
+	}
+	host.Crash()
+	h.net.SetDown(host.ID(), true)
+
+	waitFor(t, 5*time.Second, "region recovery", func() bool {
+		return h.rm.StatsSnapshot().RegionsRecovered >= 1
+	})
+
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	for i := 1; i <= 5; i++ {
+		row := fmt.Sprintf("old%02d", i)
+		h.mustRead(t, reader, "t", row, fmt.Sprintf("v%d-%s", i, row))
+	}
+	for i := 6; i <= 8; i++ {
+		row := fmt.Sprintf("new%02d", i)
+		h.mustRead(t, reader, "t", row, fmt.Sprintf("v%d-%s", i, row))
+	}
+	// Replay count bounded: at most the unpersisted suffix (commit ts >
+	// T_P(s) >= 5), i.e. no more than 3 write-sets; the WAL split already
+	// recovered the persisted prefix.
+	evs := h.rm.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].WriteSetsReplayed > 3 {
+		t.Fatalf("replayed %d write-sets, want <= 3 (T_P bound)", evs[0].WriteSetsReplayed)
+	}
+}
+
+// TestThresholdsAdvanceAndLogTruncates drives steady traffic and verifies
+// the full T_F -> T_P -> truncation pipeline of §3.2.
+func TestThresholdsAdvanceAndLogTruncates(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 2, serverHB: 20 * time.Millisecond, walSyncInterval: 0})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+	const n = 20
+	for i := 1; i <= n; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("r%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+	waitFor(t, 3*time.Second, "TF to reach n", func() bool { return h.rm.TF() == n })
+	waitFor(t, 3*time.Second, "TP to reach n", func() bool { return h.rm.TP() == n })
+	waitFor(t, 3*time.Second, "log truncation", func() bool {
+		return h.log.Stats().DurableRecords == 0 && h.log.Stats().TruncatedRecords == n
+	})
+	if tp, tf := h.rm.TP(), h.rm.TF(); tp > tf {
+		t.Fatalf("invariant violated: TP %d > TF %d", tp, tf)
+	}
+}
+
+// TestOutOfOrderFlushHoldsGlobalTF: two clients; one lags. The global T_F
+// must track the minimum.
+func TestGlobalTFIsMinimumAcrossClients(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 1, walSyncInterval: 10 * time.Millisecond})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	fast := h.newClient(t, "fast", 15*time.Millisecond)
+	lag := h.newClient(t, "lag", 15*time.Millisecond)
+
+	wsL := mkWS("lag", 1, "t", "lag-row")
+	h.commit(t, lag, wsL) // committed, never flushed: TF(lag) stays 0
+
+	for i := 2; i <= 6; i++ {
+		ws := mkWS("fast", kv.Timestamp(i), "t", fmt.Sprintf("f%02d", i))
+		h.commit(t, fast, ws)
+		h.flush(t, fast, ws)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if tf := h.rm.TF(); tf != 0 {
+		t.Fatalf("global TF = %d, must be held at 0 by the lagging client", tf)
+	}
+	// Lagging client flushes: the global minimum moves up to ITS last
+	// flushed commit (1). An idle client conservatively pins the global
+	// T_F at its own frontier — the price the paper pays for the minimum
+	// rule; only a clean unregister releases it fully.
+	h.flush(t, lag, wsL)
+	waitFor(t, 2*time.Second, "TF catch-up to the lagging client's frontier", func() bool {
+		return h.rm.TF() >= 1
+	})
+	// Once the laggard departs cleanly, the fast client's frontier rules.
+	lag.agent.Stop()
+	waitFor(t, 2*time.Second, "TF catch-up after unregister", func() bool {
+		return h.rm.TF() >= 6
+	})
+}
+
+// TestCascadingFailureInheritance is the paper's hardest scenario (§3.2):
+// during recovery of server A, replayed updates land on live server B with
+// T_P(A) piggybacked; B inherits the lower threshold, so when B fails
+// before persisting the replays, they are replayed AGAIN — nothing is lost.
+func TestCascadingFailureInheritance(t *testing.T) {
+	h := newHarness(t, harnessOpts{
+		servers:         3,
+		serverHB:        time.Hour, // manual persist control
+		walSyncInterval: 0,
+	})
+	// Single-region table: lands on exactly one server.
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+
+	const n = 5
+	for i := 1; i <= n; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("row%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+	_, hostA, err := h.master.Locate("t", "row01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA.Crash()
+	h.net.SetDown(hostA.ID(), true)
+	waitFor(t, 5*time.Second, "first recovery", func() bool {
+		return h.rm.StatsSnapshot().RegionsRecovered >= 1
+	})
+
+	// The region now lives on some server B with replayed-but-unpersisted
+	// data and an inherited threshold. Kill B too.
+	_, hostB, err := h.master.Locate("t", "row01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostB.ID() == hostA.ID() {
+		t.Fatal("region did not move")
+	}
+	// B's tracker must have inherited A's (zero) threshold.
+	for i, s := range h.srvs {
+		if s.ID() == hostB.ID() {
+			if tp := h.agents[i].TP(); tp > 0 {
+				t.Fatalf("B's TP = %d, inheritance failed", tp)
+			}
+		}
+	}
+	hostB.Crash()
+	h.net.SetDown(hostB.ID(), true)
+	waitFor(t, 5*time.Second, "second recovery", func() bool {
+		return h.rm.StatsSnapshot().RegionsRecovered >= 2
+	})
+
+	// Every committed row must still be readable on the third server.
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	for i := 1; i <= n; i++ {
+		row := fmt.Sprintf("row%02d", i)
+		h.mustRead(t, reader, "t", row, fmt.Sprintf("v%d-%s", i, row))
+	}
+}
+
+// TestRecoveryManagerFailover: the RM dies and a new one takes over from
+// the checkpoint in the coordination service; a subsequent server failure
+// is still recovered correctly (paper §3.3).
+func TestRecoveryManagerFailover(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 2, serverHB: 25 * time.Millisecond, walSyncInterval: 0})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 15*time.Millisecond)
+	for i := 1; i <= 5; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("a%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+	waitFor(t, 3*time.Second, "thresholds to advance", func() bool { return h.rm.TP() >= 5 })
+
+	// RM crashes. Transaction processing continues meanwhile.
+	h.rm.Stop()
+	for i := 6; i <= 8; i++ {
+		ws := mkWS("c1", kv.Timestamp(i), "t", fmt.Sprintf("b%02d", i))
+		h.commit(t, c, ws)
+		h.flush(t, c, ws)
+	}
+
+	// New RM restores from the coordination service.
+	rc2 := kvstore.NewClient(kvstore.ClientConfig{ID: "recovery-client-2"}, h.net, h.master)
+	rm2 := NewManager(ManagerConfig{PollInterval: 20 * time.Millisecond}, h.svc, h.log, rc2, h.net)
+	h.master.SetRecoveryGate(rm2)
+	h.master.AddFailureListener(rm2)
+	rm2.Start()
+	defer rm2.Stop()
+	if got := rm2.TP(); got < 5 {
+		t.Fatalf("restored TP = %d, want >= 5 from checkpoint", got)
+	}
+
+	// A server failure after fail-over still recovers.
+	_, host, err := h.master.Locate("t", "a01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range h.srvs {
+		if s.ID() == host.ID() {
+			h.agents[i].Crash()
+		}
+	}
+	host.Crash()
+	h.net.SetDown(host.ID(), true)
+	waitFor(t, 5*time.Second, "post-failover recovery", func() bool {
+		return rm2.StatsSnapshot().RegionsRecovered >= 1
+	})
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	for i := 1; i <= 5; i++ {
+		h.mustRead(t, reader, "t", fmt.Sprintf("a%02d", i), fmt.Sprintf("v%d-a%02d", i, i))
+	}
+	for i := 6; i <= 8; i++ {
+		h.mustRead(t, reader, "t", fmt.Sprintf("b%02d", i), fmt.Sprintf("v%d-b%02d", i, i))
+	}
+}
+
+// TestClientAgentSelfTerminatesOnPartition: a partitioned client whose
+// session expired must get the fatal signal (paper §3.1: "the client
+// heartbeat will not be able to contact the recovery manager, which will
+// result in it terminating itself").
+func TestClientAgentSelfTerminatesOnPartition(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 1, walSyncInterval: 10 * time.Millisecond})
+	fatal := make(chan error, 1)
+	agent := NewClientAgent(ClientAgentConfig{
+		ClientID:          "doomed",
+		HeartbeatInterval: 20 * time.Millisecond,
+		SessionTTL:        60 * time.Millisecond,
+		OnFatal:           func(err error) { fatal <- err },
+	}, h.svc)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the partition by expiring the session server-side.
+	_ = h.svc.Unregister("client/doomed")
+	select {
+	case <-fatal:
+		if !agent.Failed() {
+			t.Fatal("agent not marked failed")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("agent did not self-terminate")
+	}
+}
+
+// TestReplayIsIdempotent: replaying a write-set that was actually already
+// applied must not corrupt data (conservative thresholds over-replay by
+// design, §3.1: "some write-sets might be replayed unnecessarily").
+func TestReplayIsIdempotent(t *testing.T) {
+	h := newHarness(t, harnessOpts{servers: 2, walSyncInterval: 5 * time.Millisecond})
+	if err := h.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := h.newClient(t, "c1", 20*time.Millisecond)
+	ws := mkWS("c1", 3, "t", "dup")
+	h.commit(t, c, ws)
+	h.flush(t, c, ws) // applied once
+	// Client dies without its heartbeat having advanced TF past 3: the RM
+	// will replay ws although it was flushed.
+	c.agent.Crash()
+	waitFor(t, 5*time.Second, "client recovery", func() bool {
+		return h.rm.StatsSnapshot().ClientsRecovered >= 1
+	})
+	reader := kvstore.NewClient(kvstore.ClientConfig{ID: "reader"}, h.net, h.master)
+	h.mustRead(t, reader, "t", "dup", "v3-dup")
+	// Still exactly one visible version per snapshot.
+	got, err := reader.Scan(context.Background(), "t", kv.KeyRange{}, kv.MaxTimestamp, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("scan = %v (%v)", got, err)
+	}
+}

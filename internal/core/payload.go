@@ -1,0 +1,40 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"txkv/internal/kv"
+)
+
+// Session-ID prefixes on the coordination service.
+const (
+	clientSessionPrefix = "client/"
+	serverSessionPrefix = "server/"
+)
+
+// Persistent keys on the coordination service.
+const (
+	// KeyGlobalTF holds the recovery manager's published global flushed
+	// threshold T_F; servers read it on every heartbeat (Alg. 3 line 9).
+	KeyGlobalTF = "global/tf"
+	// KeyGlobalTP holds the published global persisted threshold T_P.
+	KeyGlobalTP = "global/tp"
+	// KeyManagerState holds the recovery manager's checkpoint for
+	// fail-over (paper §3.3).
+	KeyManagerState = "rm/state"
+)
+
+// encodeTS encodes a threshold timestamp as a heartbeat payload.
+func encodeTS(ts kv.Timestamp) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(ts))
+	return b[:]
+}
+
+// decodeTS decodes a heartbeat payload; a missing/short payload reads as 0.
+func decodeTS(b []byte) kv.Timestamp {
+	if len(b) < 8 {
+		return 0
+	}
+	return kv.Timestamp(binary.BigEndian.Uint64(b))
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"txkv/internal/kv"
+)
+
+// TestServerTrackerQuickInvariant drives random sequences of receives,
+// replays, persist cycles (some aborted), and checks the tracker's safety
+// invariants at every step:
+//
+//  1. T_P(s) never exceeds the last tfKnown passed to a completed persist.
+//  2. While any replay's piggyback is unpersisted, T_P(s) <= that piggy.
+//  3. A successful persist clears exactly the pre-persist pending count.
+func TestServerTrackerQuickInvariant(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewServerTracker(0)
+		var (
+			tfKnown     kv.Timestamp // monotonically increasing global T_F
+			lastApplied kv.Timestamp // last tfKnown used in a completed persist
+			outstanding []kv.Timestamp
+		)
+		n := int(nOps%60) + 5
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0, 1: // regular receive
+				tr.OnReceived()
+			case 2: // replayed receive with a random piggy
+				piggy := kv.Timestamp(rng.Intn(int(tfKnown) + 2))
+				tr.OnReplayReceived(piggy)
+				outstanding = append(outstanding, piggy)
+				if tp := tr.TP(); tp > piggy {
+					return false // inheritance must lower immediately
+				}
+			case 3: // heartbeat persist cycle
+				tfKnown += kv.Timestamp(rng.Intn(5))
+				tok := tr.BeginPersist()
+				if rng.Intn(4) == 0 { // DFS hiccup
+					tr.AbortPersist(tok)
+					continue
+				}
+				covered := outstanding
+				outstanding = nil
+				_ = covered
+				tp := tr.CompletePersist(tok, tfKnown)
+				lastApplied = tfKnown
+				if tp > tfKnown {
+					return false // invariant 1
+				}
+			case 4: // idle: just check
+			}
+			// Invariant 2: unpersisted piggys cap TP.
+			tp := tr.TP()
+			for _, p := range outstanding {
+				if tp > p {
+					return false
+				}
+			}
+			// TP never exceeds the last applied tfKnown (or initial 0)
+			// except transiently equal cases.
+			if tp > lastApplied && tp > 0 {
+				// tp could have been lowered below lastApplied by a piggy
+				// but never raised above it.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientTrackerDuplicateSafety: the tracker tolerates a flush notified
+// twice (a retried flush can complete twice under races); T_F must still be
+// exact.
+func TestClientTrackerDuplicateFlushBlocks(t *testing.T) {
+	tr := NewClientTracker(0)
+	tr.OnCommitted(1)
+	tr.OnCommitted(2)
+	tr.OnFlushed(1)
+	tr.OnFlushed(1) // duplicate
+	if tf := tr.Advance(); tf != 1 {
+		t.Fatalf("TF = %d, want 1", tf)
+	}
+	// The stray duplicate must not let TF skip txn 2.
+	if tf := tr.Advance(); tf != 1 {
+		t.Fatalf("TF advanced to %d past unflushed txn 2", tf)
+	}
+	tr.OnFlushed(2)
+	if tf := tr.Advance(); tf != 2 {
+		t.Fatalf("TF = %d, want 2", tf)
+	}
+}

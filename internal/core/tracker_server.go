@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+
+	"txkv/internal/kv"
+)
+
+// ServerTracker maintains a server's persisted-threshold timestamp T_P(s)
+// per the paper's Algorithm 3. A server cannot deduce from its own receive
+// stream which timestamps it merely wasn't a participant of, so T_P(s)
+// advances conservatively: after persisting everything received so far (one
+// WAL sync covers the whole queue), T_P(s) moves to the latest *global* T_F
+// the server has learned — every transaction at or below T_F was fully
+// flushed to its participants before T_F was computed, hence received
+// before the sync began, hence persisted by it.
+//
+// Replayed updates from the recovery client carry the failed server's
+// T_P(s_failed) piggybacked; receiving one immediately lowers this server's
+// threshold (inheritance, Alg. 3 lines 18-22) and keeps it pinned below
+// that value until a WAL sync has made the replayed data durable.
+type ServerTracker struct {
+	mu      sync.Mutex
+	tp      kv.Timestamp
+	pending int            // write-sets received but not yet covered by a completed sync
+	piggies []kv.Timestamp // piggybacked thresholds of unpersisted replayed updates
+
+	received int64 // cumulative write-sets received (stats)
+}
+
+// NewServerTracker returns a tracker with T_P(s) initialized to initial —
+// the global T_P at registration time (paper Alg. 4, "On register").
+func NewServerTracker(initial kv.Timestamp) *ServerTracker {
+	return &ServerTracker{tp: initial}
+}
+
+// OnReceived records a write-set received from a regular client (applied to
+// the memstore and appended to the WAL buffer, not yet persisted).
+func (t *ServerTracker) OnReceived() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending++
+	t.received++
+}
+
+// OnReplayReceived records a replayed write-set carrying the failed
+// server's threshold. T_P(s) immediately drops to the piggybacked value if
+// lower — this server now owns responsibility for the replayed data — and
+// the pin is held until a sync completes after this receive.
+func (t *ServerTracker) OnReplayReceived(piggy kv.Timestamp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending++
+	t.received++
+	t.piggies = append(t.piggies, piggy)
+	if piggy < t.tp {
+		t.tp = piggy
+	}
+}
+
+// PersistToken snapshots the tracker state at the start of a persist (WAL
+// sync) so that a failed sync can be rolled back.
+type PersistToken struct {
+	n       int
+	piggies []kv.Timestamp
+}
+
+// BeginPersist marks the start of a WAL sync: everything received so far
+// will be durable when the sync completes.
+func (t *ServerTracker) BeginPersist() PersistToken {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tok := PersistToken{n: t.pending, piggies: t.piggies}
+	t.pending = 0
+	t.piggies = nil
+	return tok
+}
+
+// AbortPersist rolls back BeginPersist after a failed sync.
+func (t *ServerTracker) AbortPersist(tok PersistToken) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending += tok.n
+	t.piggies = append(tok.piggies, t.piggies...)
+}
+
+// CompletePersist finishes a successful sync and advances T_P(s) to the
+// given global T_F — fetched BEFORE the sync started — capped by any
+// piggybacked thresholds of replays that arrived during the sync (still
+// unpersisted). The result may be lower than the previous T_P(s) only due
+// to inheritance; tfKnown itself is monotonic.
+func (t *ServerTracker) CompletePersist(_ PersistToken, tfKnown kv.Timestamp) kv.Timestamp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newTP := tfKnown
+	for _, p := range t.piggies {
+		if p < newTP {
+			newTP = p
+		}
+	}
+	t.tp = newTP
+	return newTP
+}
+
+// TP returns the current T_P(s).
+func (t *ServerTracker) TP() kv.Timestamp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tp
+}
+
+// PendingPersists returns the number of received-but-unpersisted
+// write-sets, for the queue-size monitor.
+func (t *ServerTracker) PendingPersists() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pending
+}
+
+// Received returns the cumulative number of write-sets observed.
+func (t *ServerTracker) Received() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.received
+}

@@ -1,0 +1,60 @@
+// Package core implements the paper's contribution: the failure-recovery
+// middleware for the integrated transaction-manager + key-value-store
+// system. It contains the client-side flush tracker (Algorithm 1), the
+// server-side persist tracker (Algorithm 3), the heartbeat agents that
+// connect them to the coordination service, and the recovery manager
+// (Algorithms 2 and 4) that computes the global thresholds T_F and T_P,
+// replays committed write-sets lost to client or server failures from the
+// transaction manager's log, gates recovering regions, truncates the log at
+// the global checkpoint T_P, and survives its own failure via state
+// checkpointed in the coordination service.
+package core
+
+import "txkv/internal/kv"
+
+// tsHeap is a min-heap of timestamps. The trackers use it as the paper's
+// "synchronized priority queue" (synchronization is provided by the owning
+// tracker's mutex).
+type tsHeap []kv.Timestamp
+
+func (h tsHeap) len() int { return len(h) }
+
+func (h tsHeap) min() kv.Timestamp { return h[0] }
+
+func (h *tsHeap) push(ts kv.Timestamp) {
+	*h = append(*h, ts)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *tsHeap) pop() kv.Timestamp {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l] < (*h)[smallest] {
+			smallest = l
+		}
+		if r < n && (*h)[r] < (*h)[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,345 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestFS(t *testing.T, cfg Config) *FS {
+	t.Helper()
+	return New(cfg)
+}
+
+func TestCreateWriteSyncRead(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 2, DataNodes: 3})
+	w, err := fs.Create("/wal/s1.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadAll("/wal/s1.log"); len(got) != 0 {
+		t.Fatalf("unsynced data visible: %q", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/wal/s1.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello world")) {
+		t.Fatalf("ReadAll = %q", got)
+	}
+	if n, _ := fs.Size("/wal/s1.log"); n != 11 {
+		t.Fatalf("Size = %d", n)
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	if _, err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestUnsyncedBufferLostOnAbandon(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	w, _ := fs.Create("/wal")
+	_ = w.Append([]byte("durable|"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Append([]byte("lost"))
+	w.Abandon() // writer process crash
+
+	got, err := fs.ReadAll("/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("durable|")) {
+		t.Fatalf("ReadAll = %q, want only the synced prefix", got)
+	}
+	if err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+func TestReplicaSurvivesDataNodeCrash(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 2, DataNodes: 2})
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("abc"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CrashDataNode("dn-0"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/f")
+	if err != nil {
+		t.Fatalf("read with one replica down: %v", err)
+	}
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDataLossWhenAllReplicasDown(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 2, DataNodes: 2})
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("abc"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = fs.CrashDataNode("dn-0")
+	_ = fs.CrashDataNode("dn-1")
+	if _, err := fs.ReadAll("/f"); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("err = %v, want ErrDataLoss", err)
+	}
+	// Restart brings the blocks back (disks survive).
+	_ = fs.RestartDataNode("dn-1")
+	if got, err := fs.ReadAll("/f"); err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("after restart: %q, %v", got, err)
+	}
+}
+
+func TestSyncFailsWithNoLiveNodes(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 1, DataNodes: 1})
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("abc"))
+	_ = fs.CrashDataNode("dn-0")
+	if err := w.Sync(); !errors.Is(err, ErrNoDataNodes) {
+		t.Fatalf("err = %v, want ErrNoDataNodes", err)
+	}
+	// Buffer retained: retry succeeds after node restart.
+	_ = fs.RestartDataNode("dn-0")
+	if err := w.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	if got, _ := fs.ReadAll("/f"); !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnderReplicationTolerated(t *testing.T) {
+	// 3 requested replicas but only 1 live node: sync still succeeds with
+	// fewer replicas, like HDFS under-replication.
+	fs := newTestFS(t, Config{Replication: 3, DataNodes: 3})
+	_ = fs.CrashDataNode("dn-1")
+	_ = fs.CrashDataNode("dn-2")
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("x"))
+	if err := w.Sync(); err != nil {
+		t.Fatalf("under-replicated sync: %v", err)
+	}
+}
+
+func TestDeleteAndRename(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	w, _ := fs.Create("/a")
+	_ = w.Append([]byte("1"))
+	_ = w.Sync()
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") || !fs.Exists("/b") {
+		t.Fatal("rename did not move the file")
+	}
+	if err := fs.Rename("/missing", "/c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+	if _, err := fs.Create("/a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/b", "/a2"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+	if err := fs.Delete("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/b") {
+		t.Fatal("delete left the file")
+	}
+	if err := fs.Delete("/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := fs.ReadAll("/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read deleted: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	for _, p := range []string{"/wal/s1/f2", "/wal/s1/f1", "/wal/s2/f1", "/data/x"} {
+		if _, err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("/wal/s1/")
+	want := []string{"/wal/s1/f1", "/wal/s1/f2"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	if n := len(fs.List("")); n != 4 {
+		t.Fatalf("List(\"\") = %d entries", n)
+	}
+}
+
+func TestSyncLatencyPaid(t *testing.T) {
+	fs := newTestFS(t, Config{SyncLatency: 10 * time.Millisecond})
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("x"))
+	start := time.Now()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("sync took %v, want >= 10ms", el)
+	}
+	// Empty sync is free.
+	start = time.Now()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("empty sync took %v", el)
+	}
+}
+
+func TestConcurrentAppendSync(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 2, DataNodes: 3})
+	w, _ := fs.Create("/f")
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 50
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if err := w.Append([]byte{byte(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if j%10 == 0 {
+					if err := w.Sync(); err != nil {
+						t.Errorf("sync: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*perWriter {
+		t.Fatalf("len = %d, want %d", len(got), writers*perWriter)
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	w, _ := fs.Create("/f")
+	_ = w.Append(make([]byte, 100))
+	_ = w.Sync()
+	s := fs.Stats()
+	if s.Files != 1 || s.Syncs != 1 || s.BytesSync != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestManyFilesPlacementSpreads(t *testing.T) {
+	fs := newTestFS(t, Config{Replication: 1, DataNodes: 4})
+	for i := 0; i < 16; i++ {
+		w, err := fs.Create(fmt.Sprintf("/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = w.Append([]byte{1})
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With round-robin placement over 4 nodes, crashing one node must not
+	// make every file unreadable.
+	_ = fs.CrashDataNode("dn-0")
+	readable := 0
+	for i := 0; i < 16; i++ {
+		if _, err := fs.ReadAll(fmt.Sprintf("/f%d", i)); err == nil {
+			readable++
+		}
+	}
+	if readable == 0 || readable == 16 {
+		t.Fatalf("placement not spread: %d/16 readable after one node crash", readable)
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	fs := newTestFS(t, Config{})
+	w, _ := fs.Create("/f")
+	// Three separate chunks: "abc", "defg", "hi".
+	for _, part := range []string{"abc", "defg", "hi"} {
+		_ = w.Append([]byte(part))
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		off  int64
+		n    int
+		want string
+	}{
+		{0, 3, "abc"},
+		{0, 9, "abcdefghi"},
+		{2, 4, "cdef"},
+		{3, 4, "defg"},
+		{7, 10, "hi"},
+		{9, 5, ""},
+		{100, 5, ""},
+	}
+	for _, tt := range tests {
+		got, err := fs.ReadRange("/f", tt.off, tt.n)
+		if err != nil {
+			t.Fatalf("ReadRange(%d,%d): %v", tt.off, tt.n, err)
+		}
+		if string(got) != tt.want {
+			t.Errorf("ReadRange(%d,%d) = %q, want %q", tt.off, tt.n, got, tt.want)
+		}
+	}
+	if _, err := fs.ReadRange("/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestReadLatencyPaid(t *testing.T) {
+	fs := newTestFS(t, Config{ReadLatency: 10 * time.Millisecond})
+	w, _ := fs.Create("/f")
+	_ = w.Append([]byte("abcdef"))
+	_ = w.Sync()
+	start := time.Now()
+	if _, err := fs.ReadRange("/f", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("ranged read took %v, want >= 10ms", el)
+	}
+}

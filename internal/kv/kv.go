@@ -1,0 +1,186 @@
+// Package kv defines the key-value data model shared by every layer of the
+// system: versioned cells, mutations, transactional write-sets, and their
+// orderings. It corresponds to the logical data model of an HBase-like store
+// (row, column, timestamp, value) specialized for the deferred-update
+// transaction protocol of the paper: every mutation carries the commit
+// timestamp of its transaction as its version, which makes replay idempotent.
+package kv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timestamp is a logical timestamp issued by the transaction manager's
+// oracle. Commit timestamps are strictly monotonically increasing and define
+// the serialization order of transactions.
+type Timestamp uint64
+
+// Zero is the timestamp lower bound; no transaction ever commits at Zero.
+const Zero Timestamp = 0
+
+// MaxTimestamp is the upper bound used for "read latest" lookups.
+const MaxTimestamp Timestamp = ^Timestamp(0)
+
+// Key identifies a row within a table. Keys are ordered lexicographically;
+// regions partition the key space into contiguous ranges.
+type Key string
+
+// Compare returns -1, 0, or +1 following lexicographic order.
+func (k Key) Compare(o Key) int { return strings.Compare(string(k), string(o)) }
+
+// Less reports whether k sorts strictly before o.
+func (k Key) Less(o Key) bool { return k < o }
+
+// Cell addresses one versioned value: a (row, column) coordinate plus the
+// version timestamp.
+type Cell struct {
+	Row    Key
+	Column string
+	TS     Timestamp
+}
+
+// CompareCells orders cells by (row asc, column asc, timestamp desc). The
+// descending timestamp order means the newest version of a coordinate is
+// encountered first during scans, matching memstore/storefile iteration.
+func CompareCells(a, b Cell) int {
+	if c := a.Row.Compare(b.Row); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Column, b.Column); c != 0 {
+		return c
+	}
+	switch {
+	case a.TS > b.TS:
+		return -1
+	case a.TS < b.TS:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// KeyValue is one versioned cell with its payload. Tombstone marks a delete;
+// a tombstone shadows older versions of the same coordinate at reads above
+// its timestamp.
+type KeyValue struct {
+	Cell
+	Value     []byte
+	Tombstone bool
+}
+
+// HeapSize approximates the in-memory footprint of the entry, used for
+// memstore flush accounting (mirrors HBase's heap-size bookkeeping).
+func (e KeyValue) HeapSize() int {
+	const overhead = 48 // struct, pointers, bookkeeping
+	return overhead + len(e.Row) + len(e.Column) + len(e.Value)
+}
+
+func (e KeyValue) String() string {
+	if e.Tombstone {
+		return fmt.Sprintf("%s/%s@%d<del>", e.Row, e.Column, e.TS)
+	}
+	return fmt.Sprintf("%s/%s@%d=%q", e.Row, e.Column, e.TS, e.Value)
+}
+
+// Update is a single mutation inside a transaction's write-set. The table
+// qualifies the coordinate; the version timestamp is assigned at commit time
+// (the transaction's commit timestamp), making replay idempotent.
+type Update struct {
+	Table     string
+	Row       Key
+	Column    string
+	Value     []byte
+	Tombstone bool
+}
+
+// Coordinate returns the table-qualified row identity used for conflict
+// detection (snapshot isolation validates at row granularity, like the
+// paper's TM).
+func (u Update) Coordinate() string { return u.Table + "/" + string(u.Row) }
+
+// ToKeyValue stamps the update with the given version timestamp.
+func (u Update) ToKeyValue(ts Timestamp) KeyValue {
+	return KeyValue{
+		Cell:      Cell{Row: u.Row, Column: u.Column, TS: ts},
+		Value:     u.Value,
+		Tombstone: u.Tombstone,
+	}
+}
+
+// WriteSet is the complete set of mutations of one committed transaction,
+// together with its identity: the issuing client, the transaction id, and
+// the commit timestamp that versions every contained update.
+type WriteSet struct {
+	TxnID    uint64
+	ClientID string
+	CommitTS Timestamp
+	Updates  []Update
+}
+
+// Clone returns a deep copy; write-sets cross goroutine boundaries (client →
+// log → servers → recovery) and the style guides require copying slices at
+// ownership boundaries.
+func (w WriteSet) Clone() WriteSet {
+	c := w
+	c.Updates = make([]Update, len(w.Updates))
+	for i, u := range w.Updates {
+		c.Updates[i] = u
+		c.Updates[i].Value = append([]byte(nil), u.Value...)
+	}
+	return c
+}
+
+// Tables returns the distinct set of tables touched by the write-set.
+func (w WriteSet) Tables() []string {
+	seen := make(map[string]struct{}, 2)
+	var out []string
+	for _, u := range w.Updates {
+		if _, ok := seen[u.Table]; !ok {
+			seen[u.Table] = struct{}{}
+			out = append(out, u.Table)
+		}
+	}
+	return out
+}
+
+// KeyRange is a half-open interval [Start, End) over row keys. An empty End
+// means "unbounded above"; an empty Start means "unbounded below". Regions
+// and scans use key ranges.
+type KeyRange struct {
+	Start Key
+	End   Key
+}
+
+// Contains reports whether the row key falls inside the range.
+func (r KeyRange) Contains(k Key) bool {
+	if r.Start != "" && k < r.Start {
+		return false
+	}
+	if r.End != "" && k >= r.End {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether two ranges intersect.
+func (r KeyRange) Overlaps(o KeyRange) bool {
+	if r.End != "" && o.Start != "" && r.End <= o.Start {
+		return false
+	}
+	if o.End != "" && r.Start != "" && o.End <= r.Start {
+		return false
+	}
+	return true
+}
+
+func (r KeyRange) String() string {
+	start, end := string(r.Start), string(r.End)
+	if start == "" {
+		start = "-inf"
+	}
+	if end == "" {
+		end = "+inf"
+	}
+	return fmt.Sprintf("[%s,%s)", start, end)
+}

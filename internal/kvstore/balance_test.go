@@ -1,0 +1,201 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+func regionCountsByServer(t *testing.T, ts *testStore) map[string]int {
+	t.Helper()
+	counts := make(map[string]int)
+	for _, srv := range ts.srvs {
+		if !srv.Crashed() {
+			counts[srv.ID()] = len(srv.HostedRegionInfos())
+		}
+	}
+	return counts
+}
+
+func TestMoveRegionPreservesData(t *testing.T) {
+	ts := newTestStore(t, 2, false)
+	if err := ts.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := ts.client("c1")
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := c.Flush(ctx, writeSet("c1", kv.Timestamp(i+1), "t", fmt.Sprintf("row%02d", i)), 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, src, err := ts.master.Locate("t", "row00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *RegionServer
+	for _, s := range ts.srvs {
+		if s.ID() != src.ID() {
+			target = s
+		}
+	}
+	if err := ts.master.MoveRegion(info.ID, target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Now served by the target, with all data intact.
+	_, host, err := ts.master.Locate("t", "row00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.ID() != target.ID() {
+		t.Fatalf("region on %s, want %s", host.ID(), target.ID())
+	}
+	for i := 0; i < 20; i++ {
+		row := fmt.Sprintf("row%02d", i)
+		got, found, err := c.Get(ctx, "t", kv.Key(row), "f", kv.MaxTimestamp)
+		if err != nil || !found {
+			t.Fatalf("row %s lost in move: %v %v", row, found, err)
+		}
+		want := fmt.Sprintf("v%d-%s", i+1, row)
+		if string(got.Value) != want {
+			t.Fatalf("row %s = %q, want %q", row, got.Value, want)
+		}
+	}
+	// Writes continue to work post-move.
+	if err := c.Flush(ctx, writeSet("c1", 100, "t", "row00"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveRegionErrors(t *testing.T) {
+	ts := newTestStore(t, 2, false)
+	if err := ts.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	info, host, err := ts.master.Locate("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.master.MoveRegion(info.ID, "server-xyz"); !errors.Is(err, ErrNoLiveServers) {
+		t.Fatalf("unknown target: %v", err)
+	}
+	if err := ts.master.MoveRegion("no-such-region", ts.srvs[0].ID()); !errors.Is(err, ErrRegionNotServing) {
+		t.Fatalf("unknown region: %v", err)
+	}
+	// Self-move is a no-op.
+	if err := ts.master.MoveRegion(info.ID, host.ID()); err != nil {
+		t.Fatalf("self move: %v", err)
+	}
+}
+
+func TestRebalanceSpreadsRegions(t *testing.T) {
+	ts := newTestStore(t, 1, false)
+	// 6 regions all on the single server.
+	if err := ts.master.CreateTable("t", []kv.Key{"b", "c", "d", "e", "f"}); err != nil {
+		t.Fatal(err)
+	}
+	c := ts.client("c1")
+	ctx := context.Background()
+	for _, row := range []string{"a1", "b1", "c1", "d1", "e1", "f1"} {
+		if err := c.Flush(ctx, writeSet("c1", kv.Timestamp(len(row)), "t", row), 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two fresh servers join.
+	for i := 1; i <= 2; i++ {
+		srv := NewRegionServer(ServerConfig{
+			ID:                fmt.Sprintf("server-%d", i),
+			WALSyncInterval:   20 * time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+		}, ts.fs)
+		if err := ts.master.AddServer(srv); err != nil {
+			t.Fatal(err)
+		}
+		ts.srvs = append(ts.srvs, srv)
+	}
+	moves, err := ts.master.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	counts := regionCountsByServer(t, ts)
+	for id, n := range counts {
+		if n != 2 {
+			t.Fatalf("server %s hosts %d regions, want 2 (counts %v)", id, n, counts)
+		}
+	}
+	// All data still readable after the moves.
+	for _, row := range []string{"a1", "b1", "c1", "d1", "e1", "f1"} {
+		if _, found, err := c.Get(ctx, "t", kv.Key(row), "f", kv.MaxTimestamp); err != nil || !found {
+			t.Fatalf("row %s lost in rebalance: %v %v", row, found, err)
+		}
+	}
+	// Idempotent: another pass moves nothing.
+	moves, err = ts.master.Rebalance()
+	if err != nil || moves != 0 {
+		t.Fatalf("second rebalance: %d moves, %v", moves, err)
+	}
+}
+
+func TestRebalanceSingleServerNoOp(t *testing.T) {
+	ts := newTestStore(t, 1, false)
+	if err := ts.master.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := ts.master.Rebalance()
+	if err != nil || moves != 0 {
+		t.Fatalf("single-server rebalance: %d %v", moves, err)
+	}
+}
+
+func TestMoveRegionUnderConcurrentWrites(t *testing.T) {
+	ts := newTestStore(t, 2, false)
+	if err := ts.master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	c := ts.client("c1")
+	ctx := context.Background()
+	done := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			ws := writeSet("c1", kv.Timestamp(i+1), "t", fmt.Sprintf("row%03d", i))
+			if err := c.Flush(ctx, ws, 0, false); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Move the region back and forth while writes stream in.
+	info, _, err := ts.master.Locate("t", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		target := ts.srvs[i%2].ID()
+		if err := ts.master.MoveRegion(info.ID, target); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatalf("writer failed: %v", err)
+	default:
+	}
+	// Every acknowledged write survived the moves.
+	for i := 0; i < 100; i++ {
+		row := fmt.Sprintf("row%03d", i)
+		_, found, err := c.Get(ctx, "t", kv.Key(row), "f", kv.MaxTimestamp)
+		if err != nil || !found {
+			t.Fatalf("row %s lost across moves: %v %v", row, found, err)
+		}
+	}
+}

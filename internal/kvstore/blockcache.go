@@ -1,0 +1,108 @@
+package kvstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockCache is a byte-capacity-bounded LRU cache of store-file blocks,
+// modelled on the HBase region-server block cache. Each region server owns
+// one. A cold cache after region fail-over is what produces the slow return
+// to pre-failure performance in Figure 3.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewBlockCache returns a cache holding at most capacity bytes. A zero or
+// negative capacity disables caching (every lookup misses).
+func NewBlockCache(capacity int) *BlockCache {
+	return &BlockCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached block and whether it was present.
+func (c *BlockCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put inserts a block, evicting least-recently-used blocks to stay within
+// capacity. Blocks larger than the whole capacity are not cached.
+func (c *BlockCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(data) > c.capacity {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += len(data) - len(ent.data)
+		ent.data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+		c.used += len(data)
+	}
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= len(ent.data)
+	}
+}
+
+// Len returns the number of cached blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Used returns the number of cached bytes.
+func (c *BlockCache) Used() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *BlockCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear empties the cache (used when a server drops a region).
+func (c *BlockCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}

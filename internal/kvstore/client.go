@@ -1,0 +1,311 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/netsim"
+)
+
+// ClientConfig configures the routing client.
+type ClientConfig struct {
+	// ID is the client's node name on the simulated network.
+	ID string
+	// ReadRetries bounds retries of reads hitting offline regions.
+	ReadRetries int
+	// RetryBackoff is the initial backoff between retries; it doubles up
+	// to 32x.
+	RetryBackoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 100
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	return c
+}
+
+// MasterNode is the master's node name on the simulated network.
+const MasterNode = "master"
+
+type location struct {
+	info RegionInfo
+	srv  *RegionServer
+}
+
+// Client is the HBase-like embedded client: it caches region locations,
+// routes gets/scans/write-set flushes to region servers through the
+// simulated network, and retries after re-locating when regions move. The
+// transactional layer (txkv) drives it; the paper's client-side tracking
+// (Algorithm 1) observes it from internal/core via the transactional
+// client's post-flush notifications.
+type Client struct {
+	cfg    ClientConfig
+	net    *netsim.Network
+	master *Master
+
+	mu    sync.Mutex
+	cache map[string][]location // table -> located regions
+}
+
+// NewClient creates a routing client.
+func NewClient(cfg ClientConfig, net *netsim.Network, master *Master) *Client {
+	return &Client{
+		cfg:    cfg.withDefaults(),
+		net:    net,
+		master: master,
+		cache:  make(map[string][]location),
+	}
+}
+
+// ID returns the client's node name.
+func (c *Client) ID() string { return c.cfg.ID }
+
+// locate resolves (table, row), consulting the local cache first.
+func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location, error) {
+	c.mu.Lock()
+	for _, loc := range c.cache[table] {
+		if loc.info.Range.Contains(row) {
+			c.mu.Unlock()
+			return loc, nil
+		}
+	}
+	c.mu.Unlock()
+
+	var loc location
+	err := c.net.Call(ctx, c.cfg.ID, MasterNode, func() error {
+		info, srv, err := c.master.Locate(table, row)
+		if err != nil {
+			return err
+		}
+		loc = location{info: info, srv: srv}
+		return nil
+	})
+	if err != nil {
+		return location{}, err
+	}
+	c.mu.Lock()
+	c.cache[table] = append(c.cache[table], loc)
+	c.mu.Unlock()
+	return loc, nil
+}
+
+// invalidate drops the cached location of one region.
+func (c *Client) invalidate(table, regionID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	locs := c.cache[table]
+	for i, loc := range locs {
+		if loc.info.ID == regionID {
+			c.cache[table] = append(locs[:i], locs[i+1:]...)
+			return
+		}
+	}
+}
+
+// invalidateTable drops every cached location of a table.
+func (c *Client) invalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, table)
+}
+
+// retryable reports whether an error warrants re-locating and retrying.
+func retryable(err error) bool {
+	return errors.Is(err, ErrRegionNotServing) ||
+		errors.Is(err, ErrServerStopped) ||
+		errors.Is(err, netsim.ErrNodeDown) ||
+		errors.Is(err, netsim.ErrUnreachable)
+}
+
+func backoff(base time.Duration, attempt int) time.Duration {
+	shift := attempt
+	if shift > 5 {
+		shift = 5
+	}
+	return base << shift
+}
+
+// Get reads the newest version of (table, row, column) at or below maxTS.
+func (c *Client) Get(ctx context.Context, table string, row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ReadRetries; attempt++ {
+		loc, err := c.locate(ctx, table, row)
+		if err == nil {
+			var got kv.KeyValue
+			var found bool
+			err = c.net.Call(ctx, c.cfg.ID, loc.srv.ID(), func() error {
+				var e error
+				got, found, e = loc.srv.Get(table, row, column, maxTS)
+				return e
+			})
+			if err == nil {
+				return got, found, nil
+			}
+			c.invalidate(table, loc.info.ID)
+		}
+		if !retryable(err) {
+			return kv.KeyValue{}, false, err
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return kv.KeyValue{}, false, ctx.Err()
+		case <-time.After(backoff(c.cfg.RetryBackoff, attempt)):
+		}
+	}
+	return kv.KeyValue{}, false, fmt.Errorf("kvstore: get %s/%s retries exhausted: %w", table, row, lastErr)
+}
+
+// Scan reads the newest visible version per coordinate in rng at or below
+// maxTS across all regions of the table.
+func (c *Client) Scan(ctx context.Context, table string, rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
+	var regions []RegionInfo
+	err := c.net.Call(ctx, c.cfg.ID, MasterNode, func() error {
+		var e error
+		regions, e = c.master.TableRegions(table)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []kv.KeyValue
+	for _, info := range regions {
+		if !info.Range.Overlaps(rng) {
+			continue
+		}
+		part, err := c.scanRegion(ctx, table, info, rng, maxTS, limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) scanRegion(ctx context.Context, table string, info RegionInfo, rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
+	// Clip the scan range to the region.
+	clipped := rng
+	if info.Range.Start > clipped.Start {
+		clipped.Start = info.Range.Start
+	}
+	if info.Range.End != "" && (clipped.End == "" || info.Range.End < clipped.End) {
+		clipped.End = info.Range.End
+	}
+	probe := clipped.Start
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ReadRetries; attempt++ {
+		loc, err := c.locate(ctx, table, probe)
+		if err == nil {
+			var part []kv.KeyValue
+			err = c.net.Call(ctx, c.cfg.ID, loc.srv.ID(), func() error {
+				var e error
+				part, e = loc.srv.Scan(table, clipped, maxTS, limit)
+				return e
+			})
+			if err == nil {
+				return part, nil
+			}
+			c.invalidate(table, loc.info.ID)
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff(c.cfg.RetryBackoff, attempt)):
+		}
+	}
+	return nil, fmt.Errorf("kvstore: scan %s retries exhausted: %w", info.ID, lastErr)
+}
+
+// Flush delivers a committed write-set to every participant server. It
+// groups updates by hosting server and sends the portions in parallel.
+// Failed portions are retried (after re-locating) WITHOUT LIMIT, as §3.2
+// requires: a bounded retry could permanently block T_F(c) and hence the
+// global thresholds; the flush only aborts when ctx is cancelled (the
+// client itself dying — which recovery then covers).
+//
+// piggy/hasPiggy carry the failed server's T_P when the caller is the
+// recovery client (paper Alg. 4 replay).
+func (c *Client) Flush(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	remaining := ws.Updates
+	for attempt := 0; ; attempt++ {
+		// Group remaining updates by hosting server.
+		type portion struct {
+			srv     *RegionServer
+			updates []kv.Update
+		}
+		bySrv := make(map[string]*portion)
+		var unlocated []kv.Update
+		for _, u := range remaining {
+			loc, err := c.locate(ctx, u.Table, u.Row)
+			if err != nil {
+				if !retryable(err) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					return err
+				}
+				unlocated = append(unlocated, u)
+				continue
+			}
+			p := bySrv[loc.srv.ID()]
+			if p == nil {
+				p = &portion{srv: loc.srv}
+				bySrv[loc.srv.ID()] = p
+			}
+			p.updates = append(p.updates, u)
+		}
+
+		var (
+			mu     sync.Mutex
+			failed []kv.Update
+			wg     sync.WaitGroup
+		)
+		failed = append(failed, unlocated...)
+		for _, p := range bySrv {
+			wg.Add(1)
+			go func(p *portion) {
+				defer wg.Done()
+				sub := kv.WriteSet{
+					TxnID:    ws.TxnID,
+					ClientID: ws.ClientID,
+					CommitTS: ws.CommitTS,
+					Updates:  p.updates,
+				}
+				err := c.net.Call(ctx, c.cfg.ID, p.srv.ID(), func() error {
+					return p.srv.ApplyWriteSet(sub, piggy, hasPiggy)
+				})
+				if err != nil {
+					for _, u := range p.updates {
+						c.invalidateTable(u.Table)
+					}
+					mu.Lock()
+					failed = append(failed, p.updates...)
+					mu.Unlock()
+				}
+			}(p)
+		}
+		wg.Wait()
+		if len(failed) == 0 {
+			return nil
+		}
+		remaining = failed
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff(c.cfg.RetryBackoff, attempt)):
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"txkv/internal/kv"
+)
+
+// Compaction merges a region's store files into one, like HBase's (minor)
+// compaction: reads fan out over fewer files afterwards. All versions are
+// retained up to VersionHorizon — snapshot reads above the horizon remain
+// exact; the horizon lets steady-state storage stay bounded (the analogue of
+// HBase's TTL/max-versions GC). A horizon of 0 retains everything.
+
+// Compact merges every store file of the region into a single new file.
+// Versions shadowed by a newer version of the same coordinate at or below
+// horizon are dropped (0 keeps all versions). Concurrent reads stay
+// consistent: the old files remain readable until the swap.
+func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
+	r.flushMu.Lock() // flushes and compactions are mutually exclusive
+	defer r.flushMu.Unlock()
+
+	r.mu.RLock()
+	files := append([]*StoreFile(nil), r.files...)
+	seq := r.nextSeq
+	r.mu.RUnlock()
+	if len(files) <= 1 {
+		return nil
+	}
+
+	// Gather every entry from every file. Files are individually sorted;
+	// a simple merge via collect+sort keeps the code obvious at simulator
+	// scale.
+	var all []kv.KeyValue
+	for _, f := range files {
+		var err error
+		all, err = f.ScanRange(all, kv.KeyRange{}, kv.MaxTimestamp, r.cache)
+		if err != nil {
+			return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
+		}
+	}
+	all = sortAndGC(all, horizon)
+
+	r.mu.Lock()
+	r.nextSeq = seq + 1
+	r.mu.Unlock()
+	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
+	merged, err := WriteStoreFile(r.fs, path, all, blockSize)
+	if err != nil {
+		return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
+	}
+
+	r.mu.Lock()
+	// Replace exactly the compacted inputs; files flushed meanwhile stay.
+	keep := r.files[:0:0]
+	compacted := make(map[*StoreFile]bool, len(files))
+	for _, f := range files {
+		compacted[f] = true
+	}
+	for _, f := range r.files {
+		if !compacted[f] {
+			keep = append(keep, f)
+		}
+	}
+	r.files = append([]*StoreFile{merged}, keep...)
+	r.mu.Unlock()
+
+	for _, f := range files {
+		if f.refMarker != "" {
+			// Referenced parent file: another daughter may still read it.
+			// Drop only our reference marker; the shared file itself is
+			// retired when no references remain (left to an external
+			// janitor, as in HBase).
+			_ = r.fs.Delete(f.refMarker)
+			continue
+		}
+		_ = r.fs.Delete(f.Path())
+	}
+	return nil
+}
+
+// sortAndGC sorts entries into store order, removes exact duplicates (the
+// same cell can appear in multiple files after recovery replays), and drops
+// versions shadowed at or below the horizon.
+func sortAndGC(entries []kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
+	sortEntries(entries)
+	out := entries[:0]
+	for i, e := range entries {
+		if i > 0 && e.Cell == entries[i-1].Cell {
+			continue // duplicate cell: keep the first (identical payload)
+		}
+		// Store order is ts-descending per coordinate: a previous kept
+		// entry with the same (row, column) and TS <= horizon shadows
+		// this one entirely for every readable snapshot.
+		if horizon > 0 && len(out) > 0 {
+			prev := out[len(out)-1]
+			if prev.Row == e.Row && prev.Column == e.Column && prev.TS <= horizon {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func sortEntries(entries []kv.KeyValue) {
+	sort.Slice(entries, func(i, j int) bool {
+		return kv.CompareCells(entries[i].Cell, entries[j].Cell) < 0
+	})
+}

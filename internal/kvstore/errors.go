@@ -1,0 +1,15 @@
+package kvstore
+
+import "errors"
+
+// Store errors. Clients treat ErrRegionNotServing and ErrServerStopped as
+// retryable after re-locating the region; a region is "not serving" while it
+// is unassigned, opening, or blocked on transactional recovery (the paper's
+// pre-online recovery gate).
+var (
+	ErrRegionNotServing = errors.New("kvstore: region not serving")
+	ErrServerStopped    = errors.New("kvstore: region server stopped")
+	ErrNoSuchTable      = errors.New("kvstore: no such table")
+	ErrTableExists      = errors.New("kvstore: table already exists")
+	ErrNoLiveServers    = errors.New("kvstore: no live region servers")
+)

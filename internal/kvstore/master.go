@@ -1,0 +1,444 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+	"txkv/internal/wal"
+)
+
+// ServerFailureListener is notified when the master declares a region
+// server dead, before any region recovery starts. The recovery manager uses
+// this hook to snapshot the failed server's T_P (paper §3.2: "We added a
+// hook in the master server that notifies our recovery manager whenever a
+// server fails").
+type ServerFailureListener interface {
+	OnServerFailure(serverID string, regions []RegionInfo)
+}
+
+// ServerRecoveryCompleteListener is notified when every region of a failed
+// server is back online. Failure listeners may optionally implement it; the
+// recovery manager uses it to retire the dead server's frozen threshold
+// (which until then holds back the global T_P and log truncation).
+type ServerRecoveryCompleteListener interface {
+	OnServerRecoveryComplete(serverID string)
+}
+
+// RecoveryGate blocks a recovered region from going online until the
+// transactional recovery (replay of committed-but-unpersisted write-sets
+// from the transaction manager's log) has completed — the paper's second
+// hook, in the region initialization path.
+type RecoveryGate interface {
+	// RecoverRegion replays into the recovering region (hosted, not yet
+	// online, on host) every write-set committed after the failed
+	// server's T_P whose updates fall within r, then returns; the region
+	// goes online afterwards.
+	RecoverRegion(r RegionInfo, failedServer string, host *RegionServer) error
+}
+
+// MasterConfig configures failure detection.
+type MasterConfig struct {
+	// HeartbeatTimeout declares a server dead after this much silence.
+	HeartbeatTimeout time.Duration
+	// CheckInterval is the liveness scan cadence.
+	CheckInterval time.Duration
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = c.HeartbeatTimeout / 4
+	}
+	return c
+}
+
+type serverRec struct {
+	srv    *RegionServer
+	lastHB time.Time
+	alive  bool
+}
+
+// Master coordinates region assignment, detects server failures via
+// heartbeats, splits dead servers' write-ahead logs by region, and
+// re-assigns and re-opens affected regions on live servers — the HBase
+// master, with the two recovery-manager hooks the paper adds.
+type Master struct {
+	cfg MasterConfig
+	fs  *dfs.FS
+
+	mu         sync.Mutex
+	servers    map[string]*serverRec
+	order      []string // assignment round-robin order
+	rrCursor   int
+	tables     map[string][]RegionInfo // sorted by start key
+	assign     map[string]string       // region ID -> server ID
+	recovering map[string]bool         // region ID currently offline
+	deadDone   map[string]bool         // failed servers whose regions are all back
+	splitSeq   int                     // monotonically increasing split counter
+	gate       RecoveryGate
+	listeners  []ServerFailureListener
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewMaster creates a master over the given DFS.
+func NewMaster(cfg MasterConfig, fs *dfs.FS) *Master {
+	return &Master{
+		cfg:        cfg.withDefaults(),
+		fs:         fs,
+		servers:    make(map[string]*serverRec),
+		tables:     make(map[string][]RegionInfo),
+		assign:     make(map[string]string),
+		recovering: make(map[string]bool),
+		deadDone:   make(map[string]bool),
+		stop:       make(chan struct{}),
+	}
+}
+
+// SetRecoveryGate attaches the recovery manager's region gate. Must be set
+// before any failure is processed to guarantee gated recovery.
+func (m *Master) SetRecoveryGate(g RecoveryGate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gate = g
+}
+
+// AddFailureListener registers a server-failure hook.
+func (m *Master) AddFailureListener(l ServerFailureListener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, l)
+}
+
+// Start launches the liveness checker.
+func (m *Master) Start() {
+	m.wg.Add(1)
+	go m.checkLoop()
+}
+
+// Stop halts the master's background work.
+func (m *Master) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// AddServer registers and starts a region server.
+func (m *Master) AddServer(s *RegionServer) error {
+	if err := s.Start(m); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.servers[s.ID()] = &serverRec{srv: s, lastHB: time.Now(), alive: true}
+	m.order = append(m.order, s.ID())
+	return nil
+}
+
+// Heartbeat records a liveness heartbeat from a server.
+func (m *Master) Heartbeat(serverID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.servers[serverID]; ok && rec.alive {
+		rec.lastHB = time.Now()
+	}
+}
+
+// LiveServers returns the IDs of servers currently considered alive.
+func (m *Master) LiveServers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for id, rec := range m.servers {
+		if rec.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickServerLocked returns the next live server round-robin.
+func (m *Master) pickServerLocked() (*serverRec, error) {
+	n := len(m.order)
+	for i := 0; i < n; i++ {
+		id := m.order[(m.rrCursor+i)%n]
+		if rec := m.servers[id]; rec != nil && rec.alive {
+			m.rrCursor = (m.rrCursor + i + 1) % n
+			return rec, nil
+		}
+	}
+	return nil, ErrNoLiveServers
+}
+
+// CreateTable creates a table pre-split at the given keys: splits k1<k2<...
+// produce regions [..k1), [k1,k2), ..., [kn,..). Regions are assigned
+// round-robin across live servers and opened immediately.
+func (m *Master) CreateTable(name string, splits []kv.Key) error {
+	m.mu.Lock()
+	if _, ok := m.tables[name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	sorted := append([]kv.Key(nil), splits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bounds := append([]kv.Key{""}, sorted...)
+	regions := make([]RegionInfo, 0, len(bounds))
+	for i, start := range bounds {
+		var end kv.Key
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		regions = append(regions, RegionInfo{
+			ID:    fmt.Sprintf("%s-r%03d", name, i),
+			Table: name,
+			Range: kv.KeyRange{Start: start, End: end},
+		})
+	}
+	m.tables[name] = regions
+	type placement struct {
+		rec  *serverRec
+		info RegionInfo
+	}
+	placements := make([]placement, 0, len(regions))
+	for _, info := range regions {
+		rec, err := m.pickServerLocked()
+		if err != nil {
+			delete(m.tables, name)
+			m.mu.Unlock()
+			return err
+		}
+		m.assign[info.ID] = rec.srv.ID()
+		placements = append(placements, placement{rec: rec, info: info})
+	}
+	m.mu.Unlock()
+
+	for _, p := range placements {
+		if err := p.rec.srv.OpenRegion(p.info, nil, nil); err != nil {
+			return fmt.Errorf("open region %s: %w", p.info.ID, err)
+		}
+	}
+	return nil
+}
+
+// TableRegions returns the region metadata of a table, sorted by start key.
+func (m *Master) TableRegions(table string) ([]RegionInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	regions, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	return append([]RegionInfo(nil), regions...), nil
+}
+
+// Locate resolves (table, row) to its region and the server currently
+// hosting it. While a region is offline for recovery it returns
+// ErrRegionNotServing; clients back off and retry.
+func (m *Master) Locate(table string, row kv.Key) (RegionInfo, *RegionServer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	regions, ok := m.tables[table]
+	if !ok {
+		return RegionInfo{}, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	for _, info := range regions {
+		if !info.Range.Contains(row) {
+			continue
+		}
+		if m.recovering[info.ID] {
+			return RegionInfo{}, nil, fmt.Errorf("%w: %s recovering", ErrRegionNotServing, info.ID)
+		}
+		sid, ok := m.assign[info.ID]
+		if !ok {
+			return RegionInfo{}, nil, fmt.Errorf("%w: %s unassigned", ErrRegionNotServing, info.ID)
+		}
+		rec := m.servers[sid]
+		if rec == nil || !rec.alive {
+			return RegionInfo{}, nil, fmt.Errorf("%w: %s host %s down", ErrRegionNotServing, info.ID, sid)
+		}
+		return info, rec.srv, nil
+	}
+	return RegionInfo{}, nil, fmt.Errorf("%w: no region for %s/%s", ErrNoSuchTable, table, row)
+}
+
+func (m *Master) checkLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.checkOnce()
+		}
+	}
+}
+
+func (m *Master) checkOnce() {
+	now := time.Now()
+	m.mu.Lock()
+	var failed []string
+	for id, rec := range m.servers {
+		if rec.alive && now.Sub(rec.lastHB) > m.cfg.HeartbeatTimeout {
+			failed = append(failed, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range failed {
+		m.handleServerFailure(id)
+	}
+}
+
+// FailServer forcibly triggers failure handling for a server (fault
+// injection entry point; identical to heartbeat-timeout detection but
+// immediate).
+func (m *Master) FailServer(serverID string) {
+	m.handleServerFailure(serverID)
+}
+
+func (m *Master) handleServerFailure(serverID string) {
+	m.mu.Lock()
+	rec, ok := m.servers[serverID]
+	if !ok || !rec.alive {
+		m.mu.Unlock()
+		return
+	}
+	rec.alive = false
+	// Collect affected regions and take them offline.
+	var affected []RegionInfo
+	for _, regions := range m.tables {
+		for _, info := range regions {
+			if m.assign[info.ID] == serverID {
+				affected = append(affected, info)
+				m.recovering[info.ID] = true
+				delete(m.assign, info.ID)
+			}
+		}
+	}
+	listeners := append([]ServerFailureListener(nil), m.listeners...)
+	gate := m.gate
+	m.mu.Unlock()
+
+	// Hook 1: notify the recovery manager before region recovery begins.
+	for _, l := range listeners {
+		l.OnServerFailure(serverID, affected)
+	}
+
+	// Split the dead server's WAL by region (only durable, i.e. synced,
+	// entries exist on the DFS — the unsynced tail died with the server).
+	edits := m.splitWAL(serverID)
+
+	// Reassign and reopen each affected region; regions recover in
+	// parallel (paper §3.2: "different regions can be assigned to
+	// different servers leading to parallel recovery").
+	var wg sync.WaitGroup
+	for _, info := range affected {
+		wg.Add(1)
+		go func(info RegionInfo) {
+			defer wg.Done()
+			m.reassignRegion(info, serverID, edits[info.ID], gate)
+		}(info)
+	}
+	wg.Wait()
+
+	// Every region is back online: the failed server's recovery is
+	// complete. Record it and tell the (possibly restarted) recovery
+	// manager so it can retire the frozen threshold.
+	m.mu.Lock()
+	m.deadDone[serverID] = true
+	listeners = append([]ServerFailureListener(nil), m.listeners...)
+	m.mu.Unlock()
+	for _, l := range listeners {
+		if done, ok := l.(ServerRecoveryCompleteListener); ok {
+			done.OnServerRecoveryComplete(serverID)
+		}
+	}
+}
+
+// RecoveredDeadServers returns failed servers whose regions have all been
+// reassigned and brought back online. A restarted recovery manager uses it
+// to reconcile stale checkpoint state.
+func (m *Master) RecoveredDeadServers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.deadDone))
+	for id := range m.deadDone {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitWAL reads the durable WAL of a dead server and groups its entries by
+// region — HBase's log-splitting step. The grouped edits are also persisted
+// as per-region "recovered edits" files, as HBase does, so the split output
+// itself survives master hiccups.
+func (m *Master) splitWAL(serverID string) map[string][]WALEntry {
+	out := make(map[string][]WALEntry)
+	records, err := wal.ReadAll(m.fs, fmt.Sprintf("/wal/%s.log", serverID))
+	if err != nil {
+		return out // no durable WAL: nothing to split
+	}
+	for _, rec := range records {
+		e, err := DecodeWALEntry(rec)
+		if err != nil {
+			continue // torn or foreign record: skip, TM-log replay covers it
+		}
+		out[e.RegionID] = append(out[e.RegionID], e)
+	}
+	for regionID, entries := range out {
+		path := fmt.Sprintf("/recovered/%s/%s.edits", serverID, regionID)
+		w, err := wal.Create(m.fs, path)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			_ = w.Append(EncodeWALEntry(e))
+		}
+		_ = w.Sync()
+		_ = w.Close()
+	}
+	return out
+}
+
+// reassignRegion keeps trying live servers until the region is online.
+func (m *Master) reassignRegion(info RegionInfo, failedServer string, edits []WALEntry, gate RecoveryGate) {
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.mu.Lock()
+		rec, err := m.pickServerLocked()
+		m.mu.Unlock()
+		if err != nil {
+			time.Sleep(m.cfg.CheckInterval)
+			continue
+		}
+		var preOnline func() error
+		if gate != nil {
+			host := rec.srv
+			preOnline = func() error { return gate.RecoverRegion(info, failedServer, host) }
+		}
+		if err := rec.srv.OpenRegion(info, edits, preOnline); err != nil {
+			// Chosen server may itself have died; try another.
+			time.Sleep(m.cfg.CheckInterval)
+			continue
+		}
+		m.mu.Lock()
+		m.assign[info.ID] = rec.srv.ID()
+		delete(m.recovering, info.ID)
+		m.mu.Unlock()
+		return
+	}
+}

@@ -1,0 +1,159 @@
+// Package kvstore implements the HBase-like distributed key-value store:
+// sorted in-memory stores (memstores), immutable store files with an LRU
+// block cache, regions (contiguous key ranges), region servers with a
+// per-server write-ahead log on the DFS, a master that detects server
+// failures and reassigns regions (splitting the dead server's WAL), and a
+// routing client. The store deliberately reproduces the durability
+// behaviour the paper builds on: updates are applied to memory and the WAL
+// buffer and acknowledged immediately; WAL syncs and memstore flushes happen
+// asynchronously, so a server crash loses recent updates unless a higher
+// layer (the transaction manager's log plus the recovery middleware in
+// internal/core) replays them.
+package kvstore
+
+import (
+	"math/rand"
+	"sync"
+
+	"txkv/internal/kv"
+)
+
+const (
+	skipMaxLevel = 24
+	skipPFactor  = 4 // 1/4 promotion probability
+)
+
+type skipNode struct {
+	entry kv.KeyValue
+	next  []*skipNode
+}
+
+// MemStore is a concurrency-safe sorted store of versioned cells, ordered
+// by (row asc, column asc, timestamp desc) — the memstore of a region. It is
+// implemented as a skip list protected by an RWMutex; the zero value is not
+// usable, construct with NewMemStore.
+type MemStore struct {
+	mu   sync.RWMutex
+	head *skipNode
+	rng  *rand.Rand
+	n    int
+	size int // approximate heap bytes
+}
+
+// NewMemStore returns an empty memstore.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		head: &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		rng:  rand.New(rand.NewSource(0x5eed)),
+	}
+}
+
+func (m *MemStore) randLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && m.rng.Intn(skipPFactor) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// Put inserts a versioned cell. Re-inserting the exact same cell coordinate
+// (row, column, ts) overwrites the previous value, which makes write-set
+// replay idempotent.
+func (m *MemStore) Put(e kv.KeyValue) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var update [skipMaxLevel]*skipNode
+	x := m.head
+	for i := skipMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && kv.CompareCells(x.next[i].entry.Cell, e.Cell) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if nxt := x.next[0]; nxt != nil && nxt.entry.Cell == e.Cell {
+		m.size += e.HeapSize() - nxt.entry.HeapSize()
+		nxt.entry = e
+		return
+	}
+	lvl := m.randLevel()
+	node := &skipNode{entry: e, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	m.n++
+	m.size += e.HeapSize()
+}
+
+// seek returns the first node whose cell is >= the given cell in store
+// order. Caller holds at least a read lock.
+func (m *MemStore) seek(c kv.Cell) *skipNode {
+	x := m.head
+	for i := skipMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && kv.CompareCells(x.next[i].entry.Cell, c) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the newest version of (row, column) with timestamp <= maxTS.
+// The boolean reports whether such a version exists (a tombstone is
+// returned as found=true with Tombstone set; callers decide deletion
+// semantics when merging across stores).
+func (m *MemStore) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	// Store order is ts-descending, so seeking to (row, column, maxTS)
+	// lands on the newest version with ts <= maxTS.
+	n := m.seek(kv.Cell{Row: row, Column: column, TS: maxTS})
+	if n == nil || n.entry.Row != row || n.entry.Column != column {
+		return kv.KeyValue{}, false
+	}
+	return n.entry, true
+}
+
+// ScanRange appends to dst every entry in [r.Start, r.End) with timestamp
+// <= maxTS, in store order, returning the extended slice. All versions <=
+// maxTS are included; callers merge/deduplicate per coordinate.
+func (m *MemStore) ScanRange(dst []kv.KeyValue, r kv.KeyRange, maxTS kv.Timestamp) []kv.KeyValue {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.seek(kv.Cell{Row: r.Start, Column: "", TS: kv.MaxTimestamp})
+	for ; n != nil; n = n.next[0] {
+		if r.End != "" && n.entry.Row >= r.End {
+			break
+		}
+		if n.entry.TS <= maxTS {
+			dst = append(dst, n.entry)
+		}
+	}
+	return dst
+}
+
+// All returns every entry in store order. Used for memstore flushes.
+func (m *MemStore) All() []kv.KeyValue {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]kv.KeyValue, 0, m.n)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// ApproxSize returns the approximate heap footprint in bytes, used to
+// trigger flushes.
+func (m *MemStore) ApproxSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}

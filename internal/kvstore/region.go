@@ -1,0 +1,243 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+)
+
+// RegionInfo identifies a region: a contiguous key range of one table.
+type RegionInfo struct {
+	ID    string
+	Table string
+	Range kv.KeyRange
+}
+
+func (r RegionInfo) String() string {
+	return fmt.Sprintf("%s%s", r.ID, r.Range)
+}
+
+// dataDir is the DFS directory holding a region's store files.
+func dataDir(table, regionID string) string {
+	return fmt.Sprintf("/data/%s/%s/", table, regionID)
+}
+
+// Region is one hosted key range: an active memstore, zero or more frozen
+// memstores awaiting flush, and the immutable store files on the DFS.
+// Regions move between servers on failure; the store files (and nothing
+// else) survive the move.
+type Region struct {
+	Info RegionInfo
+
+	fs    *dfs.FS
+	cache *BlockCache
+
+	mu      sync.RWMutex
+	active  *MemStore
+	frozen  []*MemStore
+	files   []*StoreFile // oldest first
+	nextSeq int
+
+	flushMu sync.Mutex // serializes flushes
+}
+
+// OpenRegion opens a region: it discovers and opens the region's store
+// files on the DFS. The memstores start empty (their previous content died
+// with the previous server); recovered WAL edits are replayed by the caller
+// via Apply.
+func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error) {
+	r := &Region{Info: info, fs: fs, cache: cache, active: NewMemStore()}
+	dir := dataDir(info.Table, info.ID)
+	paths := fs.List(dir)
+	sort.Strings(paths)
+	for _, p := range paths {
+		var (
+			sf  *StoreFile
+			err error
+		)
+		switch {
+		case strings.HasSuffix(p, ".sf"):
+			sf, err = OpenStoreFile(fs, p)
+		case strings.HasSuffix(p, refSuffix):
+			// Post-split daughter: serve the parent's file through the
+			// reference until a compaction localizes the data.
+			sf, err = OpenStoreFileRef(fs, p)
+		default:
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("open region %s: %w", info.ID, err)
+		}
+		r.files = append(r.files, sf)
+		// Track the max existing sequence number so new flushes sort after.
+		var seq int
+		if _, serr := fmt.Sscanf(p[len(dir):], "%d", &seq); serr == nil && seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	return r, nil
+}
+
+// Apply inserts the versioned cells into the active memstore. Idempotent:
+// reapplying the same (cell, ts) overwrites in place.
+func (r *Region) Apply(kvs []kv.KeyValue) {
+	r.mu.RLock()
+	active := r.active
+	r.mu.RUnlock()
+	for _, e := range kvs {
+		active.Put(e)
+	}
+}
+
+// Get returns the newest visible version of (row, column) at or below
+// maxTS, merging the active memstore, frozen memstores, and store files. A
+// tombstone or absence yields found=false.
+func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
+	r.mu.RLock()
+	sources := make([]*MemStore, 0, 1+len(r.frozen))
+	sources = append(sources, r.active)
+	sources = append(sources, r.frozen...)
+	files := append([]*StoreFile(nil), r.files...)
+	r.mu.RUnlock()
+
+	var best kv.KeyValue
+	found := false
+	consider := func(e kv.KeyValue) {
+		if !found || e.TS > best.TS {
+			best, found = e, true
+		}
+	}
+	for _, m := range sources {
+		if e, ok := m.Get(row, column, maxTS); ok {
+			consider(e)
+		}
+	}
+	for _, f := range files {
+		e, ok, err := f.Get(row, column, maxTS, r.cache)
+		if err != nil {
+			return kv.KeyValue{}, false, err
+		}
+		if ok {
+			consider(e)
+		}
+	}
+	if !found || best.Tombstone {
+		return kv.KeyValue{}, false, nil
+	}
+	return best, true, nil
+}
+
+// ScanRange returns the newest visible version per (row, column) within rng
+// at or below maxTS, sorted in store order, tombstones elided.
+func (r *Region) ScanRange(rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
+	r.mu.RLock()
+	sources := make([]*MemStore, 0, 1+len(r.frozen))
+	sources = append(sources, r.active)
+	sources = append(sources, r.frozen...)
+	files := append([]*StoreFile(nil), r.files...)
+	r.mu.RUnlock()
+
+	var raw []kv.KeyValue
+	for _, m := range sources {
+		raw = m.ScanRange(raw, rng, maxTS)
+	}
+	for _, f := range files {
+		var err error
+		raw, err = f.ScanRange(raw, rng, maxTS, r.cache)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type coord struct {
+		row kv.Key
+		col string
+	}
+	best := make(map[coord]kv.KeyValue, len(raw))
+	for _, e := range raw {
+		c := coord{e.Row, e.Column}
+		if cur, ok := best[c]; !ok || e.TS > cur.TS {
+			best[c] = e
+		}
+	}
+	out := make([]kv.KeyValue, 0, len(best))
+	for _, e := range best {
+		if !e.Tombstone {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return kv.CompareCells(out[i].Cell, out[j].Cell) < 0 })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// MemSize returns the approximate bytes held in the active memstore.
+func (r *Region) MemSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.active.ApproxSize()
+}
+
+// Flush persists the active memstore as a new store file on the DFS. It is
+// a no-op for an empty memstore. Reads remain consistent throughout: the
+// snapshot stays visible as a frozen memstore until the file is durable.
+func (r *Region) Flush(blockSize int) error {
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+
+	r.mu.Lock()
+	if r.active.Len() == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	snap := r.active
+	r.active = NewMemStore()
+	r.frozen = append(r.frozen, snap)
+	seq := r.nextSeq
+	r.nextSeq++
+	r.mu.Unlock()
+
+	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
+	sf, err := WriteStoreFile(r.fs, path, snap.All(), blockSize)
+	if err != nil {
+		// Merge the snapshot back into the active memstore so a later
+		// flush retries it. Versioned puts make the merge safe even if
+		// newer versions were written meanwhile.
+		r.mu.Lock()
+		for i, m := range r.frozen {
+			if m == snap {
+				r.frozen = append(r.frozen[:i], r.frozen[i+1:]...)
+				break
+			}
+		}
+		active := r.active
+		r.mu.Unlock()
+		for _, e := range snap.All() {
+			active.Put(e)
+		}
+		return fmt.Errorf("flush region %s: %w", r.Info.ID, err)
+	}
+
+	r.mu.Lock()
+	r.files = append(r.files, sf)
+	for i, m := range r.frozen {
+		if m == snap {
+			r.frozen = append(r.frozen[:i], r.frozen[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Files returns the number of store files, for tests and stats.
+func (r *Region) Files() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.files)
+}

@@ -1,0 +1,483 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+	"txkv/internal/wal"
+)
+
+// ServerHooks lets the recovery middleware (internal/core) observe the
+// server's write path without the store depending on it. The paper keeps
+// modifications to the key-value server minimal; this interface is that
+// minimal surface.
+type ServerHooks interface {
+	// OnWriteSetApplied is called after a write-set portion has been
+	// applied to the in-memory store and appended to the (in-memory) WAL
+	// buffer, before the server acknowledges the client. When the write
+	// comes from the recovery client replaying a failed server s, piggy
+	// carries T_P(s) and hasPiggy is true (paper Alg. 3, lines 18-22).
+	OnWriteSetApplied(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool)
+}
+
+// ServerConfig configures a region server.
+type ServerConfig struct {
+	// ID is the server's node name, unique per incarnation.
+	ID string
+	// SyncWrites forces a WAL sync to the DFS before acknowledging each
+	// write — the "synchronous persistence" baseline of Figure 2(a). The
+	// paper's system runs with SyncWrites=false: the WAL buffer is synced
+	// asynchronously.
+	SyncWrites bool
+	// WALSyncInterval is the cadence of the asynchronous WAL syncer. Zero
+	// disables the loop; the recovery agent's heartbeat then performs the
+	// only syncs, exactly as in the paper's Algorithm 3.
+	WALSyncInterval time.Duration
+	// MemstoreFlushBytes triggers a memstore flush when a region's active
+	// memstore exceeds this size.
+	MemstoreFlushBytes int
+	// FlushCheckInterval is how often the flusher scans regions.
+	FlushCheckInterval time.Duration
+	// BlockCacheBytes sizes the server's LRU block cache.
+	BlockCacheBytes int
+	// BlockSize is the store-file block size.
+	BlockSize int
+	// HeartbeatInterval is the liveness heartbeat cadence to the master.
+	HeartbeatInterval time.Duration
+	// CompactionThreshold triggers a background compaction when a region
+	// accumulates more than this many store files. Zero disables
+	// automatic compaction.
+	CompactionThreshold int
+	// CompactionHorizon is the version-GC horizon passed to compactions
+	// triggered by the threshold (0 keeps every version).
+	CompactionHorizon kv.Timestamp
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.WALSyncInterval == 0 {
+		c.WALSyncInterval = 50 * time.Millisecond
+	}
+	if c.MemstoreFlushBytes <= 0 {
+		c.MemstoreFlushBytes = 4 << 20
+	}
+	if c.FlushCheckInterval == 0 {
+		c.FlushCheckInterval = 100 * time.Millisecond
+	}
+	if c.BlockCacheBytes <= 0 {
+		c.BlockCacheBytes = 32 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = defaultBlockSize
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// RegionServer hosts regions and serves reads and writes. Its write path
+// reproduces the paper's Algorithm 3: append the update batch to the WAL
+// buffer, apply it to the memstore, notify the tracker hook, and return —
+// persistence to the DFS happens asynchronously.
+type RegionServer struct {
+	cfg    ServerConfig
+	fs     *dfs.FS
+	master *Master
+	hooks  ServerHooks
+	cache  *BlockCache
+
+	mu      sync.RWMutex
+	regions map[string]*regionEntry
+	wal     *wal.Writer
+	crashed bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup // in-progress ApplyWriteSet calls
+}
+
+// NewRegionServer creates a (not yet started) region server.
+func NewRegionServer(cfg ServerConfig, fs *dfs.FS) *RegionServer {
+	cfg = cfg.withDefaults()
+	return &RegionServer{
+		cfg:     cfg,
+		fs:      fs,
+		cache:   NewBlockCache(cfg.BlockCacheBytes),
+		regions: make(map[string]*regionEntry),
+		stop:    make(chan struct{}),
+	}
+}
+
+// ID returns the server's node name.
+func (s *RegionServer) ID() string { return s.cfg.ID }
+
+// Cache returns the server's block cache (stats for benchmarks).
+func (s *RegionServer) Cache() *BlockCache { return s.cache }
+
+// SetHooks attaches the recovery middleware hooks. Must be called before
+// Start.
+func (s *RegionServer) SetHooks(h ServerHooks) { s.hooks = h }
+
+// WALPath returns the DFS path of this server's write-ahead log.
+func (s *RegionServer) WALPath() string { return fmt.Sprintf("/wal/%s.log", s.cfg.ID) }
+
+// Start creates the WAL and starts the background loops. The master must
+// be attached via Master.AddServer (which calls back into start).
+func (s *RegionServer) Start(m *Master) error {
+	w, err := wal.Create(s.fs, s.WALPath())
+	if err != nil {
+		return fmt.Errorf("server %s: %w", s.cfg.ID, err)
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.master = m
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.heartbeatLoop()
+	go s.flushLoop()
+	if s.cfg.WALSyncInterval > 0 && !s.cfg.SyncWrites {
+		s.wg.Add(1)
+		go s.walSyncLoop()
+	}
+	return nil
+}
+
+func (s *RegionServer) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.RLock()
+			m, crashed := s.master, s.crashed
+			s.mu.RUnlock()
+			if m != nil && !crashed {
+				m.Heartbeat(s.cfg.ID)
+			}
+		}
+	}
+}
+
+func (s *RegionServer) walSyncLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.WALSyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.SyncWAL() // errors here surface on the next client op
+		}
+	}
+}
+
+func (s *RegionServer) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.FlushCheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for _, r := range s.hostedRegions() {
+				if r.MemSize() >= s.cfg.MemstoreFlushBytes {
+					_ = r.Flush(s.cfg.BlockSize)
+				}
+				if th := s.cfg.CompactionThreshold; th > 0 && r.Files() > th {
+					_ = r.Compact(s.cfg.BlockSize, s.cfg.CompactionHorizon)
+				}
+			}
+		}
+	}
+}
+
+// regionEntry tracks a hosted region and whether it is online. A region in
+// transactional recovery is hosted but NOT online: only the recovery
+// client's replays (hasPiggy) may touch it (HBase's "recovering region"
+// state).
+type regionEntry struct {
+	r      *Region
+	online bool
+}
+
+func (s *RegionServer) hostedRegions() []*Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Region, 0, len(s.regions))
+	for _, e := range s.regions {
+		if e.online {
+			out = append(out, e.r)
+		}
+	}
+	return out
+}
+
+// HostedRegionInfos returns the RegionInfo of every online region.
+func (s *RegionServer) HostedRegionInfos() []RegionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RegionInfo, 0, len(s.regions))
+	for _, e := range s.regions {
+		if e.online {
+			out = append(out, e.r.Info)
+		}
+	}
+	return out
+}
+
+// SyncWAL persists the WAL buffer to the DFS. Called by the async syncer
+// loop and by the recovery agent's heartbeat (Algorithm 3: "persist").
+func (s *RegionServer) SyncWAL() error {
+	s.mu.RLock()
+	w, crashed := s.wal, s.crashed
+	s.mu.RUnlock()
+	if crashed || w == nil {
+		return ErrServerStopped
+	}
+	return w.Sync()
+}
+
+// findRegion returns the region containing (table, row). When
+// includeRecovering is false only online regions match.
+func (s *RegionServer) findRegion(table string, row kv.Key, includeRecovering bool) (*Region, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.regions {
+		if !e.online && !includeRecovering {
+			continue
+		}
+		if e.r.Info.Table == table && e.r.Info.Range.Contains(row) {
+			return e.r, true
+		}
+	}
+	return nil, false
+}
+
+// ApplyWriteSet applies one transaction's write-set portion: every update
+// must fall in a region hosted by this server, otherwise nothing is applied
+// and ErrRegionNotServing is returned so the client re-locates and retries
+// (replay is idempotent, so duplicate application after a retry is safe).
+//
+// hasPiggy marks a replayed write from the recovery client carrying the
+// failed server's T_P (paper Alg. 3 "On receive from recovery client").
+func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	s.mu.RLock()
+	if s.crashed || s.wal == nil {
+		s.mu.RUnlock()
+		return ErrServerStopped
+	}
+	w := s.wal
+	s.mu.RUnlock()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	// Group updates by hosted region; reject if any update is misrouted.
+	// Replays from the recovery client (hasPiggy) may target regions that
+	// are still in the recovering state — that is the whole point of the
+	// pre-online recovery gate.
+	byRegion := make(map[*Region][]kv.KeyValue)
+	for _, u := range ws.Updates {
+		r, ok := s.findRegion(u.Table, u.Row, hasPiggy)
+		if !ok {
+			return fmt.Errorf("%w: %s/%s on %s", ErrRegionNotServing, u.Table, u.Row, s.cfg.ID)
+		}
+		byRegion[r] = append(byRegion[r], u.ToKeyValue(ws.CommitTS))
+	}
+
+	// 1. Append to the WAL buffer (in the server's memory, not durable).
+	for r, kvs := range byRegion {
+		if err := w.Append(EncodeWALEntry(WALEntry{RegionID: r.Info.ID, KVs: kvs})); err != nil {
+			return err
+		}
+	}
+	// 2. Apply to the memstores.
+	for r, kvs := range byRegion {
+		r.Apply(kvs)
+	}
+	// 3. Notify the recovery tracker, then acknowledge.
+	if s.hooks != nil {
+		s.hooks.OnWriteSetApplied(ws, piggy, hasPiggy)
+	}
+	// Synchronous-persistence baseline: pay the DFS sync before the ack.
+	if s.cfg.SyncWrites {
+		if err := w.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get serves a point read at the given snapshot timestamp.
+func (s *RegionServer) Get(table string, row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return kv.KeyValue{}, false, ErrServerStopped
+	}
+	r, ok := s.findRegion(table, row, false)
+	if !ok {
+		return kv.KeyValue{}, false, fmt.Errorf("%w: %s/%s on %s", ErrRegionNotServing, table, row, s.cfg.ID)
+	}
+	return r.Get(row, column, maxTS)
+}
+
+// Scan serves a range read over the hosted portion of the range.
+func (s *RegionServer) Scan(table string, rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return nil, ErrServerStopped
+	}
+	var out []kv.KeyValue
+	for _, r := range s.hostedRegions() {
+		if r.Info.Table != table || !r.Info.Range.Overlaps(rng) {
+			continue
+		}
+		part, err := r.ScanRange(rng, maxTS, limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// OpenRegion opens a region on this server: store files are recovered from
+// the DFS, recovered WAL edits (from the master's log split) are replayed,
+// and then — before the region is declared online — preOnline is awaited.
+// preOnline is the paper's recovery-manager gate; it is nil for fresh
+// assignments.
+func (s *RegionServer) OpenRegion(info RegionInfo, recoveredEdits []WALEntry, preOnline func() error) error {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return ErrServerStopped
+	}
+	r, err := OpenRegion(s.fs, s.cache, info)
+	if err != nil {
+		return err
+	}
+	// HBase-internal recovery: replay the split WAL edits into the fresh
+	// memstore.
+	for _, e := range recoveredEdits {
+		r.Apply(e.KVs)
+	}
+	// Recovery-manager gate: transactional recovery must complete before
+	// the region goes online (paper §3.2), otherwise clients could read
+	// partially recovered write-sets. The region is published in the
+	// recovering state first so the recovery client can replay into it.
+	entry := &regionEntry{r: r, online: preOnline == nil}
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return ErrServerStopped
+	}
+	s.regions[info.ID] = entry
+	s.mu.Unlock()
+	if preOnline == nil {
+		return nil
+	}
+	if err := preOnline(); err != nil {
+		s.mu.Lock()
+		delete(s.regions, info.ID)
+		s.mu.Unlock()
+		return fmt.Errorf("region %s recovery gate: %w", info.ID, err)
+	}
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return ErrServerStopped
+	}
+	entry.online = true
+	s.mu.Unlock()
+	return nil
+}
+
+// CloseRegion removes a region from this server (rebalancing).
+func (s *RegionServer) CloseRegion(regionID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.regions, regionID)
+}
+
+// CloseAndFlushRegion takes a region offline on this server and flushes its
+// memstore so that the store files carry the region's full state — the
+// source half of a region move. It waits for in-flight writes to drain
+// before flushing, so no acknowledged update is left behind in memory.
+func (s *RegionServer) CloseAndFlushRegion(regionID string) error {
+	s.mu.Lock()
+	entry, ok := s.regions[regionID]
+	delete(s.regions, regionID)
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return ErrServerStopped
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s not hosted", ErrRegionNotServing, regionID)
+	}
+	s.inflight.Wait() // writes that found the region before removal finish
+	return entry.r.Flush(s.cfg.BlockSize)
+}
+
+// FlushAll flushes every hosted region's memstore (test/benchmark helper).
+func (s *RegionServer) FlushAll() error {
+	for _, r := range s.hostedRegions() {
+		if err := r.Flush(s.cfg.BlockSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash simulates a crash failure: background loops stop, the WAL buffer
+// (unsynced tail) is lost, and all in-memory region state is dropped.
+func (s *RegionServer) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	w := s.wal
+	s.wal = nil
+	s.regions = make(map[string]*regionEntry)
+	s.mu.Unlock()
+	if w != nil {
+		w.Close() // drops the unsynced buffer
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Stop shuts the server down cleanly: the WAL is synced first, so no data
+// is lost and no recovery is needed.
+func (s *RegionServer) Stop() {
+	_ = s.SyncWAL()
+	s.mu.Lock()
+	s.crashed = true
+	w := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	if w != nil {
+		w.Close()
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Crashed reports whether the server has crashed or stopped.
+func (s *RegionServer) Crashed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.crashed
+}

@@ -1,0 +1,330 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+)
+
+// Store files are the immutable, sorted on-DFS files produced by memstore
+// flushes (HBase's HFiles). Layout:
+//
+//	[data block]* [index] [footer]
+//
+// Each data block holds consecutive encoded KeyValues up to ~blockSize
+// bytes. The index records, per block: the first cell, the byte offset, and
+// the length. The fixed-size footer at the end of the file records the index
+// offset/length and a magic number. Point reads binary-search the index and
+// fetch exactly one block, through the server's block cache.
+
+const (
+	defaultBlockSize = 4096
+	storeFileMagic   = 0x7874734653544f52 // "xtsFSTOR"
+	footerSize       = 8 + 4 + 8          // indexOff + indexLen + magic
+)
+
+// ErrBadStoreFile reports a malformed store file.
+var ErrBadStoreFile = errors.New("kvstore: malformed store file")
+
+type indexEntry struct {
+	first  kv.Cell
+	offset int64
+	length int
+}
+
+func appendIndexEntry(b []byte, e indexEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(e.first.Row)))
+	b = append(b, e.first.Row...)
+	b = binary.AppendUvarint(b, uint64(len(e.first.Column)))
+	b = append(b, e.first.Column...)
+	b = binary.AppendUvarint(b, uint64(e.first.TS))
+	b = binary.AppendUvarint(b, uint64(e.offset))
+	b = binary.AppendUvarint(b, uint64(e.length))
+	return b
+}
+
+func decodeIndex(b []byte) ([]indexEntry, error) {
+	n, rest := binary.Uvarint(b)
+	if rest <= 0 {
+		return nil, ErrBadStoreFile
+	}
+	b = b[rest:]
+	out := make([]indexEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e indexEntry
+		l, c := binary.Uvarint(b)
+		if c <= 0 || uint64(len(b)) < uint64(c)+l {
+			return nil, ErrBadStoreFile
+		}
+		e.first.Row = kv.Key(b[c : uint64(c)+l])
+		b = b[uint64(c)+l:]
+		l, c = binary.Uvarint(b)
+		if c <= 0 || uint64(len(b)) < uint64(c)+l {
+			return nil, ErrBadStoreFile
+		}
+		e.first.Column = string(b[c : uint64(c)+l])
+		b = b[uint64(c)+l:]
+		ts, c := binary.Uvarint(b)
+		if c <= 0 {
+			return nil, ErrBadStoreFile
+		}
+		e.first.TS = kv.Timestamp(ts)
+		b = b[c:]
+		off, c := binary.Uvarint(b)
+		if c <= 0 {
+			return nil, ErrBadStoreFile
+		}
+		e.offset = int64(off)
+		b = b[c:]
+		ln, c := binary.Uvarint(b)
+		if c <= 0 {
+			return nil, ErrBadStoreFile
+		}
+		e.length = int(ln)
+		b = b[c:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WriteStoreFile writes the sorted entries as a store file at path and
+// returns an opened reader for it. Entries must already be in store order.
+func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
+	if blockSize <= 0 {
+		blockSize = defaultBlockSize
+	}
+	w, err := fs.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: create store file: %w", err)
+	}
+	var (
+		index    []indexEntry
+		blockBuf []byte
+		fileOff  int64
+	)
+	flushBlock := func(first kv.Cell) error {
+		if len(blockBuf) == 0 {
+			return nil
+		}
+		index = append(index, indexEntry{first: first, offset: fileOff, length: len(blockBuf)})
+		if err := w.Append(blockBuf); err != nil {
+			return err
+		}
+		fileOff += int64(len(blockBuf))
+		blockBuf = blockBuf[:0]
+		return nil
+	}
+	var blockFirst kv.Cell
+	for _, e := range entries {
+		if len(blockBuf) == 0 {
+			blockFirst = e.Cell
+		}
+		blockBuf = kv.AppendKeyValue(blockBuf, e)
+		if len(blockBuf) >= blockSize {
+			if err := flushBlock(blockFirst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flushBlock(blockFirst); err != nil {
+		return nil, err
+	}
+
+	idx := binary.AppendUvarint(nil, uint64(len(index)))
+	for _, e := range index {
+		idx = appendIndexEntry(idx, e)
+	}
+	if err := w.Append(idx); err != nil {
+		return nil, err
+	}
+	var footer [footerSize]byte
+	binary.BigEndian.PutUint64(footer[0:8], uint64(fileOff))
+	binary.BigEndian.PutUint32(footer[8:12], uint32(len(idx)))
+	binary.BigEndian.PutUint64(footer[12:20], storeFileMagic)
+	if err := w.Append(footer[:]); err != nil {
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		return nil, fmt.Errorf("kvstore: sync store file: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &StoreFile{fs: fs, path: path, index: index, entries: len(entries)}, nil
+}
+
+// StoreFile reads an immutable sorted file. The index is held in memory
+// (HBase keeps HFile indexes resident); data blocks are fetched through a
+// BlockCache.
+type StoreFile struct {
+	fs      *dfs.FS
+	path    string
+	index   []indexEntry
+	entries int
+	// refMarker is the path of the reference file this store file was
+	// opened through (region splits share parent files via references);
+	// empty for files owned by the region itself. Compactions delete the
+	// marker, never the shared target.
+	refMarker string
+}
+
+// OpenStoreFile opens the store file at path, reading its footer and index.
+func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
+	size, err := fs.Size(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open store file: %w", err)
+	}
+	if size < footerSize {
+		return nil, fmt.Errorf("%w: %s too small", ErrBadStoreFile, path)
+	}
+	footer, err := fs.ReadRange(path, size-footerSize, footerSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(footer) != footerSize || binary.BigEndian.Uint64(footer[12:20]) != storeFileMagic {
+		return nil, fmt.Errorf("%w: %s bad footer", ErrBadStoreFile, path)
+	}
+	idxOff := int64(binary.BigEndian.Uint64(footer[0:8]))
+	idxLen := int(binary.BigEndian.Uint32(footer[8:12]))
+	idxBytes, err := fs.ReadRange(path, idxOff, idxLen)
+	if err != nil {
+		return nil, err
+	}
+	index, err := decodeIndex(idxBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &StoreFile{fs: fs, path: path, index: index}, nil
+}
+
+// Path returns the DFS path of the file.
+func (s *StoreFile) Path() string { return s.path }
+
+// OpenStoreFileRef opens a store file through a reference marker: the
+// marker file's contents are the referenced store-file path.
+func OpenStoreFileRef(fs *dfs.FS, refPath string) (*StoreFile, error) {
+	target, err := fs.ReadAll(refPath)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read reference %s: %w", refPath, err)
+	}
+	sf, err := OpenStoreFile(fs, string(target))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: reference %s: %w", refPath, err)
+	}
+	sf.refMarker = refPath
+	return sf, nil
+}
+
+// block returns the decoded entries of block i, consulting the cache.
+func (s *StoreFile) block(i int, cache *BlockCache) ([]kv.KeyValue, error) {
+	key := fmt.Sprintf("%s#%d", s.path, i)
+	var raw []byte
+	if cache != nil {
+		if b, ok := cache.Get(key); ok {
+			raw = b
+		}
+	}
+	if raw == nil {
+		b, err := s.fs.ReadRange(s.path, s.index[i].offset, s.index[i].length)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+		if cache != nil {
+			cache.Put(key, raw)
+		}
+	}
+	var out []kv.KeyValue
+	rest := raw
+	for len(rest) > 0 {
+		var e kv.KeyValue
+		var err error
+		e, rest, err = kv.DecodeKeyValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s block %d: %w", s.path, i, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// findBlock returns the index of the last block whose first cell is <= c,
+// or -1 if c precedes the whole file.
+func (s *StoreFile) findBlock(c kv.Cell) int {
+	// sort.Search finds the first block with first-cell > c; the target is
+	// the one before it.
+	i := sort.Search(len(s.index), func(i int) bool {
+		return kv.CompareCells(s.index[i].first, c) > 0
+	})
+	return i - 1
+}
+
+// Get returns the newest version of (row, column) with ts <= maxTS in this
+// file.
+func (s *StoreFile) Get(row kv.Key, column string, maxTS kv.Timestamp, cache *BlockCache) (kv.KeyValue, bool, error) {
+	if len(s.index) == 0 {
+		return kv.KeyValue{}, false, nil
+	}
+	target := kv.Cell{Row: row, Column: column, TS: maxTS}
+	bi := s.findBlock(target)
+	if bi < 0 {
+		bi = 0
+	}
+	for ; bi < len(s.index); bi++ {
+		entries, err := s.block(bi, cache)
+		if err != nil {
+			return kv.KeyValue{}, false, err
+		}
+		for _, e := range entries {
+			if kv.CompareCells(e.Cell, target) < 0 {
+				continue
+			}
+			if e.Row == row && e.Column == column {
+				return e, true, nil
+			}
+			return kv.KeyValue{}, false, nil
+		}
+		// Entire block was before the target; continue to the next block.
+	}
+	return kv.KeyValue{}, false, nil
+}
+
+// ScanRange appends every entry within r with ts <= maxTS to dst.
+func (s *StoreFile) ScanRange(dst []kv.KeyValue, r kv.KeyRange, maxTS kv.Timestamp, cache *BlockCache) ([]kv.KeyValue, error) {
+	if len(s.index) == 0 {
+		return dst, nil
+	}
+	start := kv.Cell{Row: r.Start, Column: "", TS: kv.MaxTimestamp}
+	bi := s.findBlock(start)
+	if bi < 0 {
+		bi = 0
+	}
+	for ; bi < len(s.index); bi++ {
+		if r.End != "" && s.index[bi].first.Row >= r.End {
+			break
+		}
+		entries, err := s.block(bi, cache)
+		if err != nil {
+			return dst, err
+		}
+		for _, e := range entries {
+			if r.End != "" && e.Row >= r.End {
+				return dst, nil
+			}
+			if !r.Contains(e.Row) {
+				continue
+			}
+			if e.TS <= maxTS {
+				dst = append(dst, e)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Blocks returns the number of data blocks, for tests and stats.
+func (s *StoreFile) Blocks() int { return len(s.index) }

@@ -1,0 +1,214 @@
+// Package metrics provides the measurement primitives the benchmark
+// harness uses: a log-bucketed latency histogram (HdrHistogram-style,
+// fixed memory), and per-second time series for throughput/response-time
+// plots like the paper's Figure 3.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// histogram bucketing: 64 major (power-of-two) buckets x 16 linear
+// sub-buckets each covers the full int64 nanosecond range with <= 6.25%
+// relative error.
+const (
+	subBucketBits  = 4
+	subBucketCount = 1 << subBucketBits
+)
+
+// Histogram is a concurrency-safe latency histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  [64 * subBucketCount]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	hasData bool
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	// Major bucket: position of the highest set bit above subBucketBits.
+	major := 0
+	for x := v >> subBucketBits; x > 0; x >>= 1 {
+		major++
+	}
+	sub := int(v >> uint(major)) // 0..subBucketCount-1 within major
+	return major*subBucketCount + sub%subBucketCount
+}
+
+func bucketUpperBound(idx int) int64 {
+	major := idx / subBucketCount
+	sub := idx % subBucketCount
+	return int64(sub+1)<<uint(major) - 1
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw observation (nanoseconds by convention).
+func (h *Histogram) RecordValue(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if !h.hasData || v < h.min {
+		h.min = v
+	}
+	if !h.hasData || v > h.max {
+		h.max = v
+	}
+	h.hasData = true
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation as a duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Min and Max return observed extremes.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.min)
+}
+
+// Max returns the maximum observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= target {
+			ub := bucketUpperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts = [64 * subBucketCount]int64{}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.hasData = false
+}
+
+// Summary renders a single-line summary.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// SeriesPoint is one per-interval aggregate of a TimeSeries.
+type SeriesPoint struct {
+	Offset     time.Duration // start of the interval, relative to series start
+	Count      int64         // events in the interval
+	Throughput float64       // events per second
+	MeanLat    time.Duration // mean attached latency (0 if none recorded)
+}
+
+// TimeSeries aggregates events into fixed intervals from a start instant —
+// used for the throughput/response-time-over-time plots (Figure 3).
+type TimeSeries struct {
+	mu       sync.Mutex
+	start    time.Time
+	interval time.Duration
+	counts   []int64
+	latSums  []int64
+	latCnts  []int64
+}
+
+// NewTimeSeries creates a series with the given aggregation interval,
+// starting now.
+func NewTimeSeries(interval time.Duration) *TimeSeries {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &TimeSeries{start: time.Now(), interval: interval}
+}
+
+// Record adds one event with an attached latency at the current time.
+func (s *TimeSeries) Record(lat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := int(time.Since(s.start) / s.interval)
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+		s.latSums = append(s.latSums, 0)
+		s.latCnts = append(s.latCnts, 0)
+	}
+	s.counts[idx]++
+	s.latSums[idx] += int64(lat)
+	s.latCnts[idx]++
+}
+
+// Points returns the aggregated series.
+func (s *TimeSeries) Points() []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesPoint, len(s.counts))
+	for i := range s.counts {
+		p := SeriesPoint{
+			Offset:     time.Duration(i) * s.interval,
+			Count:      s.counts[i],
+			Throughput: float64(s.counts[i]) / s.interval.Seconds(),
+		}
+		if s.latCnts[i] > 0 {
+			p.MeanLat = time.Duration(s.latSums[i] / s.latCnts[i])
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Start returns the series origin instant.
+func (s *TimeSeries) Start() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}

@@ -1,0 +1,173 @@
+// Package netsim simulates the network between the components of the
+// cluster. All components run as goroutines inside one process and call each
+// other through typed stubs; every such call is gated through a Network,
+// which injects configurable latency, refuses delivery across partitions,
+// and fails calls to or from crashed nodes. Treating a partitioned node the
+// same as a crashed one matches the paper's failure model (§3.1: "we treat a
+// network partition as a crash failure").
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Delivery errors. Callers distinguish unreachable (retryable elsewhere)
+// from cancelled contexts.
+var (
+	ErrUnreachable = errors.New("netsim: destination unreachable")
+	ErrNodeDown    = errors.New("netsim: node is down")
+)
+
+// Config controls latency injection.
+type Config struct {
+	// RPCLatency is the one-way message latency. Each RPC pays it twice
+	// (request + response). Zero disables latency injection entirely,
+	// which unit tests use.
+	RPCLatency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) to
+	// each one-way hop.
+	Jitter time.Duration
+	// Seed seeds the jitter source; 0 picks a fixed default so runs are
+	// reproducible.
+	Seed int64
+}
+
+// Network tracks node liveness and partitions and delays calls.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	down      map[string]bool
+	partition map[string]int // node -> partition group; unset means group 0
+}
+
+// New returns a Network with the given config.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 424243
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		down:      make(map[string]bool),
+		partition: make(map[string]int),
+	}
+}
+
+// SetDown marks a node crashed (true) or alive (false). Calls involving a
+// down node fail with ErrNodeDown.
+func (n *Network) SetDown(node string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[node] = true
+	} else {
+		delete(n.down, node)
+	}
+}
+
+// IsDown reports whether the node is currently marked crashed.
+func (n *Network) IsDown(node string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[node]
+}
+
+// SetPartition assigns a node to a partition group. Nodes in different
+// groups cannot communicate. Group 0 is the default (fully connected) group.
+func (n *Network) SetPartition(node string, group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if group == 0 {
+		delete(n.partition, node)
+	} else {
+		n.partition[node] = group
+	}
+}
+
+// HealPartitions returns every node to group 0.
+func (n *Network) HealPartitions() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+}
+
+// reachable reports whether from can currently talk to to.
+func (n *Network) reachable(from, to string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[from] || n.down[to] {
+		return fmt.Errorf("%w: %s -> %s", ErrNodeDown, from, to)
+	}
+	if n.partition[from] != n.partition[to] {
+		return fmt.Errorf("%w: %s -> %s partitioned", ErrUnreachable, from, to)
+	}
+	return nil
+}
+
+// hop sleeps one one-way latency, honouring ctx cancellation.
+func (n *Network) hop(ctx context.Context) error {
+	d := n.cfg.RPCLatency
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call executes fn as an RPC from one node to another: it checks
+// reachability, pays one network hop, invokes fn, pays the return hop, and
+// re-checks reachability (a node that died while the call was in flight
+// loses the response, as in a real network).
+func (n *Network) Call(ctx context.Context, from, to string, fn func() error) error {
+	if err := n.reachable(from, to); err != nil {
+		return err
+	}
+	if err := n.hop(ctx); err != nil {
+		return err
+	}
+	if err := n.reachable(from, to); err != nil {
+		return err
+	}
+	callErr := fn()
+	if err := n.hop(ctx); err != nil {
+		return err
+	}
+	if err := n.reachable(from, to); err != nil {
+		return err
+	}
+	return callErr
+}
+
+// Send is a one-way message: reachability check plus a single hop.
+func (n *Network) Send(ctx context.Context, from, to string, fn func()) error {
+	if err := n.reachable(from, to); err != nil {
+		return err
+	}
+	if err := n.hop(ctx); err != nil {
+		return err
+	}
+	if err := n.reachable(from, to); err != nil {
+		return err
+	}
+	fn()
+	return nil
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCallDelivers(t *testing.T) {
+	n := New(Config{})
+	called := false
+	if err := n.Call(context.Background(), "a", "b", func() error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !called {
+		t.Fatal("fn not invoked")
+	}
+}
+
+func TestCallPropagatesFnError(t *testing.T) {
+	n := New(Config{})
+	want := errors.New("boom")
+	err := n.Call(context.Background(), "a", "b", func() error { return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestDownNode(t *testing.T) {
+	n := New(Config{})
+	n.SetDown("b", true)
+	err := n.Call(context.Background(), "a", "b", func() error { return nil })
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if !n.IsDown("b") {
+		t.Fatal("IsDown(b) = false")
+	}
+	// Caller down too.
+	err = n.Call(context.Background(), "b", "a", func() error { return nil })
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	n.SetDown("b", false)
+	if err := n.Call(context.Background(), "a", "b", func() error { return nil }); err != nil {
+		t.Fatalf("after revive: %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(Config{})
+	n.SetPartition("a", 1)
+	err := n.Call(context.Background(), "a", "b", func() error { return nil })
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// Same group communicates.
+	n.SetPartition("b", 1)
+	if err := n.Call(context.Background(), "a", "b", func() error { return nil }); err != nil {
+		t.Fatalf("same-group call: %v", err)
+	}
+	n.HealPartitions()
+	if err := n.Call(context.Background(), "a", "c", func() error { return nil }); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	n := New(Config{RPCLatency: 5 * time.Millisecond})
+	start := time.Now()
+	if err := n.Call(context.Background(), "a", "b", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 10*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 10ms (two hops)", got)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	n := New(Config{RPCLatency: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := n.Call(ctx, "a", "b", func() error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSend(t *testing.T) {
+	n := New(Config{})
+	got := false
+	if err := n.Send(context.Background(), "a", "b", func() { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("send fn not invoked")
+	}
+	n.SetDown("b", true)
+	if err := n.Send(context.Background(), "a", "b", func() {}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	n := New(Config{RPCLatency: time.Millisecond, Jitter: time.Millisecond, Seed: 7})
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := n.Call(context.Background(), "a", "b", func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(start); el < 2*time.Millisecond {
+			t.Fatalf("round trip %v below base latency", el)
+		}
+	}
+}
+
+func TestCrashMidCallLosesResponse(t *testing.T) {
+	// The destination dies while the response is in flight: the caller
+	// must see an error even though fn executed (at-most-once is NOT
+	// guaranteed — exactly why idempotent replay matters).
+	n := New(Config{RPCLatency: 20 * time.Millisecond})
+	executed := false
+	done := make(chan error, 1)
+	go func() {
+		done <- n.Call(context.Background(), "a", "b", func() error {
+			executed = true
+			return nil
+		})
+	}()
+	time.Sleep(30 * time.Millisecond) // request delivered, response in flight
+	n.SetDown("b", true)
+	err := <-done
+	if !executed {
+		t.Fatal("fn never executed")
+	}
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("caller saw %v, want ErrNodeDown (lost response)", err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package txlog implements the transaction manager's recovery log: the
+// append-only, commit-ordered log of committed write-sets that provides
+// durability for the whole system (paper §2.2). It supports group commit —
+// one simulated fsync covers every record that queued while the previous
+// sync was in flight — plus the two retrieval operations the recovery
+// manager needs (fetch a client's commits after a threshold, fetch all
+// commits after a threshold) and truncation below the global persisted
+// threshold T_P (the paper's global checkpoint).
+//
+// The paper's logging sub-component "has access to its own high performance
+// stable storage"; the log is therefore modelled as reliable in-process
+// storage whose sync cost is the configured latency. The log itself is
+// assumed never lost (like the paper's TM).
+package txlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+// Log errors.
+var (
+	ErrClosed    = errors.New("txlog: log closed")
+	ErrTruncated = errors.New("txlog: range already truncated")
+)
+
+// Config controls the log.
+type Config struct {
+	// SyncLatency is the duration of one group-commit fsync. All records
+	// enqueued while a sync is in flight are covered by the next one.
+	SyncLatency time.Duration
+}
+
+// Stats reports log counters used by the truncation experiment.
+type Stats struct {
+	DurableRecords   int   // records currently retained
+	DurableBytes     int64 // approximate bytes currently retained
+	TotalAppends     int64 // records ever appended
+	TotalBytes       int64 // bytes ever appended
+	Syncs            int64 // group-commit fsyncs performed
+	TruncatedRecords int64 // records removed by truncation
+	TruncatedBelow   kv.Timestamp
+}
+
+type pendingRec struct {
+	ws   kv.WriteSet
+	done chan error
+}
+
+// Log is the recovery log. Records must be enqueued in commit-timestamp
+// order (the transaction manager enqueues under its commit mutex, which
+// guarantees this); retrieval relies on that order.
+type Log struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []pendingRec
+	records   []kv.WriteSet // durable, ascending CommitTS
+	truncated kv.Timestamp  // all records <= truncated have been dropped
+	closed    bool
+	stats     Stats
+
+	wg sync.WaitGroup
+}
+
+// New creates and starts a log.
+func New(cfg Config) *Log {
+	l := &Log{cfg: cfg}
+	l.cond = sync.NewCond(&l.mu)
+	l.wg.Add(1)
+	go l.syncLoop()
+	return l
+}
+
+// Enqueue adds a write-set to the current group and returns a channel that
+// yields the durability result exactly once. Callers must enqueue in
+// commit-timestamp order.
+func (l *Log) Enqueue(ws kv.WriteSet) <-chan error {
+	done := make(chan error, 1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		done <- ErrClosed
+		return done
+	}
+	l.pending = append(l.pending, pendingRec{ws: ws.Clone(), done: done})
+	l.cond.Signal()
+	return done
+}
+
+// Append enqueues ws and blocks until it is durable.
+func (l *Log) Append(ws kv.WriteSet) error { return <-l.Enqueue(ws) }
+
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.pending) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.pending) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		l.pending = nil
+		lat := l.cfg.SyncLatency
+		l.mu.Unlock()
+
+		if lat > 0 {
+			time.Sleep(lat) // one fsync for the whole group
+		}
+
+		l.mu.Lock()
+		for _, p := range batch {
+			l.records = append(l.records, p.ws)
+			sz := recordSize(p.ws)
+			l.stats.DurableRecords++
+			l.stats.DurableBytes += sz
+			l.stats.TotalAppends++
+			l.stats.TotalBytes += sz
+		}
+		l.stats.Syncs++
+		l.mu.Unlock()
+		for _, p := range batch {
+			p.done <- nil
+		}
+	}
+}
+
+func recordSize(ws kv.WriteSet) int64 {
+	return int64(len(kv.EncodeWriteSet(ws)))
+}
+
+// After returns every durable record with CommitTS > after, in ascending
+// commit order. It fails if the requested range has been truncated away.
+func (l *Log) After(after kv.Timestamp) ([]kv.WriteSet, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < l.truncated {
+		return nil, fmt.Errorf("%w: need > %d, truncated at %d", ErrTruncated, after, l.truncated)
+	}
+	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].CommitTS > after })
+	out := make([]kv.WriteSet, 0, len(l.records)-i)
+	for ; i < len(l.records); i++ {
+		out = append(out, l.records[i].Clone())
+	}
+	return out, nil
+}
+
+// ByClientAfter returns every durable record of clientID with CommitTS >
+// after, ascending.
+func (l *Log) ByClientAfter(clientID string, after kv.Timestamp) ([]kv.WriteSet, error) {
+	all, err := l.After(after)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, ws := range all {
+		if ws.ClientID == clientID {
+			out = append(out, ws)
+		}
+	}
+	return out, nil
+}
+
+// Truncate drops every record with CommitTS <= upTo. The recovery manager
+// calls this with the global persisted threshold T_P: those write-sets are
+// durable in the data store itself and will never need replay (paper §3.2,
+// "global checkpoint"). Truncate never un-truncates: a smaller upTo is a
+// no-op.
+func (l *Log) Truncate(upTo kv.Timestamp) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upTo <= l.truncated {
+		return
+	}
+	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].CommitTS > upTo })
+	for j := 0; j < i; j++ {
+		l.stats.DurableBytes -= recordSize(l.records[j])
+	}
+	l.stats.DurableRecords -= i
+	l.stats.TruncatedRecords += int64(i)
+	l.records = append([]kv.WriteSet(nil), l.records[i:]...)
+	l.truncated = upTo
+	l.stats.TruncatedBelow = upTo
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close drains pending records and stops the sync loop.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.wg.Wait()
+}

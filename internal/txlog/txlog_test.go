@@ -1,0 +1,159 @@
+package txlog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+func ws(client string, ts kv.Timestamp) kv.WriteSet {
+	return kv.WriteSet{
+		TxnID:    uint64(ts),
+		ClientID: client,
+		CommitTS: ts,
+		Updates:  []kv.Update{{Table: "t", Row: "r", Column: "c", Value: []byte("v")}},
+	}
+}
+
+func TestAppendAndFetch(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		if err := l.Append(ws("c1", kv.Timestamp(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := l.After(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].CommitTS != 3 || got[2].CommitTS != 5 {
+		t.Fatalf("After(2) = %v", got)
+	}
+	all, err := l.After(0)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("After(0): %d %v", len(all), err)
+	}
+	none, err := l.After(100)
+	if err != nil || len(none) != 0 {
+		t.Fatalf("After(100): %v %v", none, err)
+	}
+}
+
+func TestByClientAfter(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	_ = l.Append(ws("a", 1))
+	_ = l.Append(ws("b", 2))
+	_ = l.Append(ws("a", 3))
+	_ = l.Append(ws("a", 4))
+	got, err := l.ByClientAfter("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].CommitTS != 3 || got[1].CommitTS != 4 {
+		t.Fatalf("ByClientAfter = %+v", got)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	l := New(Config{SyncLatency: 20 * time.Millisecond})
+	defer l.Close()
+	const n = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.Append(ws("c", kv.Timestamp(i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	s := l.Stats()
+	if s.TotalAppends != n {
+		t.Fatalf("appends = %d", s.TotalAppends)
+	}
+	// With group commit, 16 concurrent appends need at most a few syncs,
+	// not 16. Allow slack for scheduling, but far fewer than n.
+	if s.Syncs >= n/2 {
+		t.Fatalf("syncs = %d, group commit not batching", s.Syncs)
+	}
+	if elapsed > time.Duration(n)*20*time.Millisecond/2 {
+		t.Fatalf("appends serialized: %v", elapsed)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		_ = l.Append(ws("c", kv.Timestamp(i)))
+	}
+	before := l.Stats()
+	l.Truncate(4)
+	s := l.Stats()
+	if s.DurableRecords != 6 || s.TruncatedRecords != 4 {
+		t.Fatalf("stats after truncate: %+v", s)
+	}
+	if s.DurableBytes >= before.DurableBytes {
+		t.Fatal("bytes did not shrink")
+	}
+	got, err := l.After(4)
+	if err != nil || len(got) != 6 {
+		t.Fatalf("After(4): %d %v", len(got), err)
+	}
+	// Fetching below the truncation point errors.
+	if _, err := l.After(3); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("After(3): %v", err)
+	}
+	// Truncating backwards is a no-op.
+	l.Truncate(2)
+	if got := l.Stats(); got.TruncatedBelow != 4 {
+		t.Fatalf("backwards truncation applied: %+v", got)
+	}
+	// Idempotent truncate at same point.
+	l.Truncate(4)
+	if got := l.Stats(); got.DurableRecords != 6 {
+		t.Fatalf("repeat truncation changed records: %+v", got)
+	}
+}
+
+func TestFetchReturnsCopies(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	_ = l.Append(ws("c", 1))
+	a, _ := l.After(0)
+	a[0].Updates[0].Value[0] = 'X'
+	b, _ := l.After(0)
+	if b[0].Updates[0].Value[0] == 'X' {
+		t.Fatal("fetch shares backing arrays with the log")
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l := New(Config{})
+	l.Close()
+	if err := l.Append(ws("c", 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	l.Close() // double close is safe
+}
+
+func TestCloseDrainsPending(t *testing.T) {
+	l := New(Config{SyncLatency: 10 * time.Millisecond})
+	done := l.Enqueue(ws("c", 1))
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("pending record dropped on close: %v", err)
+	}
+	if s := l.Stats(); s.DurableRecords != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

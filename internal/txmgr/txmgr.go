@@ -1,0 +1,262 @@
+// Package txmgr implements the independent transaction manager: a
+// monotonic timestamp oracle, snapshot-isolation validation
+// (first-committer-wins at row granularity), and the commit protocol of the
+// paper's §2.2 — on commit, the write-set is persisted to the recovery log
+// (group commit) and the transaction is then *committed*; flushing the
+// write-set to the key-value store happens strictly afterwards and is the
+// client's responsibility.
+//
+// The paper's companion transaction manager (CumuloNimbo) was unpublished;
+// this implementation provides exactly the properties the recovery protocol
+// assumes: commit timestamps are strictly monotonically increasing and
+// define the serialization order, commits are durable in the log before the
+// commit call returns, and observers see commit assignments in commit order
+// (which is what lets the client tracker enqueue FQ in commit order, §3.1).
+package txmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"txkv/internal/kv"
+	"txkv/internal/txlog"
+)
+
+// Transaction errors.
+var (
+	ErrConflict     = errors.New("txmgr: write-write conflict, transaction aborted")
+	ErrTxnNotActive = errors.New("txmgr: transaction not active")
+)
+
+// CommitObserver is notified of every commit, synchronously under the
+// commit sequencing lock: observers see strictly increasing commit
+// timestamps. The recovery middleware's client tracker registers here so
+// that FQ is populated in commit-timestamp order (paper §3.1).
+type CommitObserver interface {
+	OnCommitAssigned(clientID string, ts kv.Timestamp)
+}
+
+// TxnHandle identifies an active transaction.
+type TxnHandle struct {
+	ID       uint64
+	ClientID string
+	StartTS  kv.Timestamp
+}
+
+// Manager is the transaction manager.
+type Manager struct {
+	log *txlog.Log
+
+	mu         sync.Mutex
+	flushCond  *sync.Cond // broadcast when the frontier advances
+	lastIssued kv.Timestamp
+	nextTxnID  uint64
+	active     map[uint64]kv.Timestamp // txn id -> start ts
+	lastCommit map[string]kv.Timestamp // row coordinate -> latest commit ts
+	observers  []CommitObserver
+	commits    uint64 // counter to pace lastCommit pruning
+
+	// Visibility frontier: all transactions with CommitTS <= frontier have
+	// been fully flushed to the data store. Maintained eagerly from client
+	// post-flush notifications; the recovery middleware's T_F is the
+	// heartbeat-lagged analogue.
+	unflushed map[kv.Timestamp]struct{}
+	frontier  kv.Timestamp
+
+	aborts  uint64
+	commitN uint64
+}
+
+// New creates a Manager writing commits to log.
+func New(log *txlog.Log) *Manager {
+	m := &Manager{
+		log:        log,
+		active:     make(map[uint64]kv.Timestamp),
+		lastCommit: make(map[string]kv.Timestamp),
+		unflushed:  make(map[kv.Timestamp]struct{}),
+	}
+	m.flushCond = sync.NewCond(&m.mu)
+	return m
+}
+
+// AddCommitObserver registers an ordered commit observer. Must be called
+// before transactions begin.
+func (m *Manager) AddCommitObserver(o CommitObserver) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observers = append(m.observers, o)
+}
+
+// Begin starts a transaction for clientID at the freshest snapshot (the
+// newest issued commit timestamp) and WAITS until every commit in that
+// snapshot has been flushed to the data store, so reads are consistent and
+// the snapshot-isolation conflict window stays minimal. Under normal
+// operation the wait is the in-flight flush latency (sub-millisecond to a
+// few milliseconds); while a region is offline for recovery, Begin blocks —
+// use BeginSnapshot for non-blocking reads of an older consistent snapshot
+// (the paper's clients "continue to execute read-only transactions on
+// older snapshots of the data" during disturbances, §3.2).
+func (m *Manager) Begin(clientID string) TxnHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	target := m.lastIssued
+	for m.frontier < target {
+		m.flushCond.Wait()
+	}
+	m.nextTxnID++
+	h := TxnHandle{ID: m.nextTxnID, ClientID: clientID, StartTS: target}
+	m.active[h.ID] = h.StartTS
+	return h
+}
+
+// BeginSnapshot starts a transaction at the visibility frontier without
+// waiting: a consistent but possibly slightly stale snapshot. It never
+// blocks, even while flushes are stalled by an ongoing recovery.
+func (m *Manager) BeginSnapshot(clientID string) TxnHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxnID++
+	h := TxnHandle{ID: m.nextTxnID, ClientID: clientID, StartTS: m.frontier}
+	m.active[h.ID] = h.StartTS
+	return h
+}
+
+// BeginLatest starts a transaction snapshotting the newest issued commit
+// timestamp, regardless of flush progress. Reads may MISS a committed but
+// not-yet-flushed write (without conflicting with it), so this is only
+// safe for blind writes and freshness-over-consistency reads.
+func (m *Manager) BeginLatest(clientID string) TxnHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxnID++
+	h := TxnHandle{ID: m.nextTxnID, ClientID: clientID, StartTS: m.lastIssued}
+	m.active[h.ID] = h.StartTS
+	return h
+}
+
+// Abort discards an active transaction.
+func (m *Manager) Abort(h TxnHandle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, h.ID)
+	m.aborts++
+}
+
+// Commit validates the transaction under snapshot isolation
+// (first-committer-wins on row coordinates), assigns the commit timestamp,
+// persists the write-set to the recovery log (group commit), and returns
+// the commit timestamp. On return the transaction is durably *committed* —
+// but not yet flushed to the key-value store; the caller flushes afterwards
+// and then calls NotifyFlushed.
+//
+// A read-only transaction (empty updates) commits without logging.
+func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error) {
+	m.mu.Lock()
+	startTS, ok := m.active[h.ID]
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: txn %d", ErrTxnNotActive, h.ID)
+	}
+	if len(updates) == 0 {
+		delete(m.active, h.ID)
+		ts := m.lastIssued
+		m.mu.Unlock()
+		return ts, nil
+	}
+	for _, u := range updates {
+		if last, ok := m.lastCommit[u.Coordinate()]; ok && last > startTS {
+			delete(m.active, h.ID)
+			m.aborts++
+			m.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s modified at %d after snapshot %d",
+				ErrConflict, u.Coordinate(), last, startTS)
+		}
+	}
+	m.lastIssued++
+	cts := m.lastIssued
+	for _, u := range updates {
+		m.lastCommit[u.Coordinate()] = cts
+	}
+	delete(m.active, h.ID)
+	m.unflushed[cts] = struct{}{}
+	m.commitN++
+
+	ws := kv.WriteSet{TxnID: h.ID, ClientID: h.ClientID, CommitTS: cts, Updates: updates}
+	done := m.log.Enqueue(ws) // enqueued under mu: log order == commit order
+	for _, o := range m.observers {
+		o.OnCommitAssigned(h.ClientID, cts)
+	}
+	m.commits++
+	if m.commits%4096 == 0 {
+		m.pruneLocked()
+	}
+	m.mu.Unlock()
+
+	if err := <-done; err != nil {
+		return 0, fmt.Errorf("txmgr: commit log append: %w", err)
+	}
+	return cts, nil
+}
+
+// pruneLocked drops lastCommit entries that can no longer conflict with any
+// active transaction (their timestamp is at or below every active snapshot).
+func (m *Manager) pruneLocked() {
+	low := m.lastIssued
+	for _, start := range m.active {
+		if start < low {
+			low = start
+		}
+	}
+	for coord, ts := range m.lastCommit {
+		if ts <= low {
+			delete(m.lastCommit, coord)
+		}
+	}
+}
+
+// NotifyFlushed records that the write-set committed at cts has been fully
+// flushed to its participant servers, advancing the visibility frontier.
+func (m *Manager) NotifyFlushed(cts kv.Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.unflushed, cts)
+	m.advanceFrontierLocked()
+}
+
+func (m *Manager) advanceFrontierLocked() {
+	if len(m.unflushed) == 0 {
+		m.frontier = m.lastIssued
+	} else {
+		low := m.lastIssued
+		for ts := range m.unflushed {
+			if ts-1 < low {
+				low = ts - 1
+			}
+		}
+		m.frontier = low
+	}
+	m.flushCond.Broadcast()
+}
+
+// Frontier returns the visibility frontier: every commit at or below it is
+// readable at the servers.
+func (m *Manager) Frontier() kv.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frontier
+}
+
+// LastIssued returns the highest timestamp issued so far.
+func (m *Manager) LastIssued() kv.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastIssued
+}
+
+// Stats returns (commits, aborts) counters.
+func (m *Manager) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitN, m.aborts
+}

@@ -1,0 +1,255 @@
+package txmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"txkv/internal/kv"
+	"txkv/internal/txlog"
+)
+
+func newTM(t *testing.T) (*Manager, *txlog.Log) {
+	t.Helper()
+	l := txlog.New(txlog.Config{})
+	t.Cleanup(l.Close)
+	return New(l), l
+}
+
+func upd(row string) []kv.Update {
+	return []kv.Update{{Table: "t", Row: kv.Key(row), Column: "c", Value: []byte("v")}}
+}
+
+func TestCommitAssignsMonotonicTimestamps(t *testing.T) {
+	m, _ := newTM(t)
+	var last kv.Timestamp
+	for i := 0; i < 10; i++ {
+		h := m.Begin("c1")
+		cts, err := m.Commit(h, upd(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cts <= last {
+			t.Fatalf("timestamps not increasing: %d after %d", cts, last)
+		}
+		last = cts
+		m.NotifyFlushed(cts) // unblock the next frontier-waiting Begin
+	}
+}
+
+func TestCommitWritesLog(t *testing.T) {
+	m, l := newTM(t)
+	h := m.Begin("c1")
+	cts, err := m.Commit(h, upd("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.After(0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("log: %v %v", recs, err)
+	}
+	if recs[0].CommitTS != cts || recs[0].ClientID != "c1" {
+		t.Fatalf("log record %+v", recs[0])
+	}
+}
+
+func TestSnapshotIsolationConflict(t *testing.T) {
+	m, _ := newTM(t)
+	// Two concurrent transactions writing the same row: the second to
+	// commit must abort (first-committer-wins).
+	h1 := m.Begin("c1")
+	h2 := m.Begin("c2")
+	cts1, err := m.Commit(h1, upd("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(h2, upd("x")); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want conflict, got %v", err)
+	}
+	m.NotifyFlushed(cts1)
+	// Non-overlapping rows don't conflict.
+	h3 := m.Begin("c1")
+	h4 := m.Begin("c2")
+	cts3, err := m.Commit(h3, upd("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts4, err := m.Commit(h4, upd("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NotifyFlushed(cts3)
+	m.NotifyFlushed(cts4)
+	// Sequential transactions on the same row don't conflict: the earlier
+	// commit is flushed, so the fresh snapshot covers it.
+	h5 := m.Begin("c1")
+	if _, err := m.Commit(h5, upd("x")); err != nil {
+		t.Fatalf("sequential rewrite must pass: %v", err)
+	}
+	_, aborts := m.Stats()
+	if aborts != 1 {
+		t.Fatalf("aborts = %d", aborts)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	m, l := newTM(t)
+	h := m.Begin("c1")
+	m.Abort(h)
+	if _, err := m.Commit(h, upd("a")); !errors.Is(err, ErrTxnNotActive) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+	recs, _ := l.After(0)
+	if len(recs) != 0 {
+		t.Fatal("aborted txn reached the log")
+	}
+}
+
+func TestReadOnlyCommitSkipsLog(t *testing.T) {
+	m, l := newTM(t)
+	h := m.Begin("c1")
+	if _, err := m.Commit(h, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := l.After(0)
+	if len(recs) != 0 {
+		t.Fatal("read-only txn logged")
+	}
+}
+
+func TestCommitObserverOrdered(t *testing.T) {
+	m, _ := newTM(t)
+	var mu sync.Mutex
+	var seen []kv.Timestamp
+	m.AddCommitObserver(observerFunc(func(client string, ts kv.Timestamp) {
+		mu.Lock()
+		seen = append(seen, ts)
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := m.BeginLatest("c") // no flusher in this unit test
+			_, _ = m.Commit(h, upd(fmt.Sprintf("r%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 32 {
+		t.Fatalf("observed %d commits", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("observer saw out-of-order commits: %v", seen)
+		}
+	}
+}
+
+type observerFunc func(string, kv.Timestamp)
+
+func (f observerFunc) OnCommitAssigned(c string, ts kv.Timestamp) { f(c, ts) }
+
+func TestSnapshotReadsOwnEpoch(t *testing.T) {
+	m, _ := newTM(t)
+	h1 := m.Begin("c1")
+	cts, err := m.Commit(h1, upd("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Until the flush is notified, the frontier-based snapshot excludes
+	// the commit; after NotifyFlushed it includes it.
+	h2 := m.BeginSnapshot("c1")
+	if h2.StartTS >= cts {
+		t.Fatalf("pre-flush snapshot %d includes unflushed commit %d", h2.StartTS, cts)
+	}
+	m.NotifyFlushed(cts)
+	h3 := m.Begin("c1") // waits (trivially) for the flushed frontier
+	if h3.StartTS < cts {
+		t.Fatalf("post-flush snapshot %d misses commit %d", h3.StartTS, cts)
+	}
+}
+
+func TestVisibilityFrontier(t *testing.T) {
+	m, _ := newTM(t)
+	h1 := m.BeginLatest("c1")
+	cts1, _ := m.Commit(h1, upd("a"))
+	h2 := m.BeginLatest("c1")
+	cts2, _ := m.Commit(h2, upd("b"))
+	if f := m.Frontier(); f != 0 {
+		t.Fatalf("frontier %d before any flush", f)
+	}
+	// Flushing the LATER commit must not advance past the earlier one.
+	m.NotifyFlushed(cts2)
+	if f := m.Frontier(); f >= cts1 {
+		t.Fatalf("frontier %d advanced past unflushed %d", f, cts1)
+	}
+	m.NotifyFlushed(cts1)
+	if f := m.Frontier(); f != cts2 {
+		t.Fatalf("frontier = %d, want %d", f, cts2)
+	}
+	// BeginSnapshot reads the frontier; BeginLatest the newest issue.
+	h3 := m.BeginSnapshot("c1")
+	if h3.StartTS != cts2 {
+		t.Fatalf("frontier snapshot = %d, want %d", h3.StartTS, cts2)
+	}
+	h4 := m.BeginLatest("c1")
+	if h4.StartTS != m.LastIssued() {
+		t.Fatalf("latest snapshot = %d, want %d", h4.StartTS, m.LastIssued())
+	}
+}
+
+func TestConflictWindowRespectsSnapshot(t *testing.T) {
+	m, _ := newTM(t)
+	// h old snapshot; a commit lands after h began; h writing same row
+	// conflicts, but a FRESH txn does not.
+	h := m.Begin("cold")
+	hNew := m.Begin("cnew")
+	cts, err := m.Commit(hNew, upd("row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NotifyFlushed(cts) // frontier now covers the commit
+	h2 := m.Begin("cnew2")
+	if _, err := m.Commit(h2, upd("row")); err != nil {
+		t.Fatalf("fresh txn conflicted: %v", err)
+	}
+	if _, err := m.Commit(h, upd("row")); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale txn must conflict: %v", err)
+	}
+}
+
+func TestManyConcurrentCommitsUniqueTimestamps(t *testing.T) {
+	m, _ := newTM(t)
+	const n = 200
+	out := make(chan kv.Timestamp, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := m.BeginLatest("c")
+			cts, err := m.Commit(h, upd(fmt.Sprintf("r%d", i)))
+			if err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+			out <- cts
+		}(i)
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[kv.Timestamp]bool)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate commit ts %d", ts)
+		}
+		seen[ts] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("%d unique timestamps, want %d", len(seen), n)
+	}
+}

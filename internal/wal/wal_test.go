@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"txkv/internal/dfs"
+)
+
+func TestAppendDecodeRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("one"), {}, []byte("three"), {0, 1, 2, 255}}
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestDecodeTornTail(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, []byte("complete"))
+	full := AppendRecord(buf, []byte("will-be-torn"))
+	for cut := len(buf) + 1; cut < len(full); cut++ {
+		got, err := DecodeAll(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 1 || string(got[0]) != "complete" {
+			t.Fatalf("cut %d: got %d records", cut, len(got))
+		}
+	}
+}
+
+func TestDecodeTornChecksumTail(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, []byte("first"))
+	buf = AppendRecord(buf, []byte("second"))
+	// Corrupt the final payload byte: a torn sync of the last record.
+	buf[len(buf)-1] ^= 0xFF
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("tail corruption must not error: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records, want 1", len(got))
+	}
+}
+
+func TestDecodeInteriorCorruption(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, []byte("aaaa"))
+	mid := len(buf)
+	buf = AppendRecord(buf, []byte("bbbb"))
+	buf[mid-1] ^= 0xFF // corrupt first record's payload, not at tail
+	_, err := DecodeAll(buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeEmptyAndGarbage(t *testing.T) {
+	if got, err := DecodeAll(nil); err != nil || len(got) != 0 {
+		t.Fatalf("nil input: %v, %v", got, err)
+	}
+	if got, err := DecodeAll([]byte{1, 2, 3}); err != nil || len(got) != 0 {
+		t.Fatalf("short garbage: %v, %v", got, err)
+	}
+	// A header that claims a giant length is a torn tail, not a crash.
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 1<<30)
+	if got, err := DecodeAll(hdr[:]); err != nil || len(got) != 0 {
+		t.Fatalf("giant length: %v, %v", got, err)
+	}
+}
+
+func TestWriterSyncDurability(t *testing.T) {
+	fs := dfs.New(dfs.Config{})
+	w, err := Create(fs, "/wal/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Buffered() == 0 {
+		t.Fatal("expected buffered bytes before crash")
+	}
+	_ = w.Close() // crash: unsynced record dropped
+
+	recs, err := ReadAll(fs, "/wal/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "durable" {
+		t.Fatalf("recovered %q", recs)
+	}
+}
+
+func TestReadAllMissing(t *testing.T) {
+	fs := dfs.New(dfs.Config{})
+	if _, err := ReadAll(fs, "/nope"); !errors.Is(err, dfs.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := dfs.New(dfs.Config{})
+	if _, err := Create(fs, "/l"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(fs, "/l"); !errors.Is(err, dfs.ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickRoundTripWithRandomTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(n uint8) bool {
+		count := int(n % 20)
+		var buf []byte
+		var payloads [][]byte
+		for i := 0; i < count; i++ {
+			p := make([]byte, rng.Intn(100))
+			rng.Read(p)
+			payloads = append(payloads, p)
+			buf = AppendRecord(buf, p)
+		}
+		// Complete decode.
+		got, err := DecodeAll(buf)
+		if err != nil || len(got) != count {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		// Random truncation never errors and yields a prefix.
+		if len(buf) > 0 {
+			cut := rng.Intn(len(buf))
+			part, err := DecodeAll(buf[:cut])
+			if err != nil {
+				return false
+			}
+			if len(part) > count {
+				return false
+			}
+			for i := range part {
+				if !bytes.Equal(part[i], payloads[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

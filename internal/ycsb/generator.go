@@ -1,0 +1,126 @@
+// Package ycsb reimplements the parts of the YCSB benchmark the paper's
+// evaluation uses, extended with true transactional workloads (§4.1): a
+// loader, key-choice generators (uniform, zipfian, scrambled zipfian), and
+// a closed-loop transactional runner with target-throughput throttling that
+// measures throughput and response time, including per-second time series
+// for the failure experiment.
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Generator produces key indexes in [0, n).
+type Generator interface {
+	Next(rng *rand.Rand) uint64
+}
+
+// Uniform selects keys uniformly.
+type Uniform struct{ n uint64 }
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64) *Uniform { return &Uniform{n: n} }
+
+// Next implements Generator.
+func (u *Uniform) Next(rng *rand.Rand) uint64 { return uint64(rng.Int63n(int64(u.n))) }
+
+// zipfianConstant is YCSB's default skew.
+const zipfianConstant = 0.99
+
+// Zipfian selects keys with a zipfian distribution favouring low indexes
+// (YCSB's ZipfianGenerator, Gray et al.'s algorithm).
+type Zipfian struct {
+	items      uint64
+	theta      float64
+	zetan      float64
+	zeta2theta float64
+	alpha      float64
+	eta        float64
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NewZipfian returns a zipfian generator over [0, n) with YCSB's default
+// constant.
+func NewZipfian(n uint64) *Zipfian {
+	theta := zipfianConstant
+	z := &Zipfian{
+		items:      n,
+		theta:      theta,
+		zetan:      zeta(n, theta),
+		zeta2theta: zeta(2, theta),
+	}
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads a zipfian's popular items across the whole key
+// space via hashing, like YCSB's ScrambledZipfianGenerator — popular keys
+// are no longer clustered at the low end (and hence spread across regions).
+type ScrambledZipfian struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewScrambledZipfian returns a scrambled zipfian generator over [0, n).
+func NewScrambledZipfian(n uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n), n: n}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
+	v := s.z.Next(rng)
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return h.Sum64() % s.n
+}
+
+// Latest skews towards recently inserted items, like YCSB's
+// LatestGenerator: index n-1 is the most popular. The insert frontier is
+// supplied by the caller (our transactional workloads have a fixed record
+// count, so the frontier is RecordCount; workloads with inserts can advance
+// it).
+type Latest struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewLatest returns a latest-skewed generator over [0, n).
+func NewLatest(n uint64) *Latest {
+	return &Latest{z: NewZipfian(n), n: n}
+}
+
+// Next implements Generator.
+func (l *Latest) Next(rng *rand.Rand) uint64 {
+	off := l.z.Next(rng)
+	if off >= l.n {
+		off = l.n - 1
+	}
+	return l.n - 1 - off
+}

@@ -1,0 +1,206 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"txkv/internal/cluster"
+)
+
+func TestUniformInRange(t *testing.T) {
+	g := NewUniform(100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if v := g.Next(rng); v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	g := NewUniform(10)
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		seen[g.Next(rng)]++
+	}
+	for k := uint64(0); k < 10; k++ {
+		if seen[k] < 500 { // expected 1000 each
+			t.Fatalf("key %d badly under-represented: %d", k, seen[k])
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewZipfian(1000)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := g.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Key 0 must be far more popular than the median key.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("no zipfian skew: c0=%d c500=%d", counts[0], counts[500])
+	}
+	// And the head (top 10%) should dominate.
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.5 {
+		t.Fatalf("head mass = %f, want > 0.5", float64(head)/n)
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	g := NewScrambledZipfian(1000)
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := g.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Popular keys must NOT be clustered at the low end: compare the mass
+	// in the low decile vs the whole — should be near 10%, not 50%+.
+	low := 0
+	for i := 0; i < 100; i++ {
+		low += counts[i]
+	}
+	if frac := float64(low) / 100000; math.Abs(frac-0.1) > 0.15 {
+		t.Fatalf("scrambled zipfian clustered: low-decile mass %f", frac)
+	}
+}
+
+func TestRowKeySorted(t *testing.T) {
+	if RowKey(1) >= RowKey(2) || RowKey(99) >= RowKey(100) {
+		t.Fatal("row keys not sorted by index")
+	}
+}
+
+func TestSplitKeys(t *testing.T) {
+	splits := SplitKeys(1000, 4)
+	if len(splits) != 3 {
+		t.Fatalf("splits = %v", splits)
+	}
+	if splits[0] != RowKey(250) || splits[2] != RowKey(750) {
+		t.Fatalf("split points = %v", splits)
+	}
+	if got := SplitKeys(1000, 1); got != nil {
+		t.Fatalf("1 region should have no splits: %v", got)
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := Workload{}.withDefaults()
+	if w.Table == "" || w.OpsPerTxn != 10 || w.ReadRatio != 0.5 {
+		t.Fatalf("defaults: %+v", w)
+	}
+	if _, err := w.generator(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Workload{Distribution: "bogus"}).withDefaults().generator(); err == nil {
+		t.Fatal("bogus distribution accepted")
+	}
+}
+
+func TestLoadAndRunSmallWorkload(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Servers:                2,
+		HeartbeatInterval:      25 * time.Millisecond,
+		MasterHeartbeatTimeout: 200 * time.Millisecond,
+		WALSyncInterval:        10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	w := Workload{Table: "usertable", RecordCount: 500, OpsPerTxn: 4, ValueSize: 32}
+	if err := Load(c, w, 2, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, w, RunnerConfig{
+		Threads:        4,
+		Duration:       400 * time.Millisecond,
+		SeriesInterval: 100 * time.Millisecond,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d hard errors", res.Errors)
+	}
+	if res.Latency.Count() != res.Committed {
+		t.Fatalf("latency samples %d != committed %d", res.Latency.Count(), res.Committed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.Series == nil || len(res.Series.Points()) == 0 {
+		t.Fatal("missing time series")
+	}
+}
+
+func TestRunThrottled(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Servers:                1,
+		HeartbeatInterval:      25 * time.Millisecond,
+		MasterHeartbeatTimeout: 200 * time.Millisecond,
+		WALSyncInterval:        10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	w := Workload{Table: "usertable", RecordCount: 200, OpsPerTxn: 2, ValueSize: 16}
+	if err := Load(c, w, 1, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, w, RunnerConfig{
+		Threads:   4,
+		Duration:  time.Second,
+		TargetTPS: 50,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttled run must stay near the target (within 50%).
+	if tps := res.Throughput(); tps > 80 || tps < 20 {
+		t.Fatalf("throttled throughput = %.1f, want ~50", tps)
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	g := NewLatest(1000)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := g.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The newest item must dominate the oldest by a wide margin.
+	if counts[999] < 100*counts[0]+1 {
+		t.Fatalf("no latest skew: newest=%d oldest=%d", counts[999], counts[0])
+	}
+	if _, err := (Workload{Distribution: "latest"}).withDefaults().generator(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package txkv is a transactional distributed key-value store with
+// middleware-based failure recovery — a from-scratch Go reproduction of
+// "Transactional Failure Recovery for a Distributed Key-Value Store"
+// (Ahmad, Kemme, Brondino, Patiño-Martínez, Jiménez-Peris; Middleware
+// 2013).
+//
+// The system layers an independent transaction manager over an HBase-like
+// distributed key-value store (itself backed by an HDFS-like replicated
+// filesystem). Durability comes from the transaction manager's recovery
+// log: a transaction's write-set is persisted there at commit time (group
+// commit) and only afterwards flushed — asynchronously — to the key-value
+// servers, which persist to the filesystem asynchronously as well. The
+// recovery middleware tracks flush/persist progress with lightweight
+// threshold timestamps piggybacked on heartbeats, so that after a client or
+// server failure exactly the at-risk write-sets are replayed from the log:
+//
+//	cluster, err := txkv.Open(txkv.Config{Servers: 2})
+//	if err != nil { ... }
+//	defer cluster.Stop()
+//
+//	_ = cluster.CreateTable("accounts", []txkv.Key{"m"})
+//	client, _ := cluster.NewClient("app-1")
+//
+//	txn := client.Begin()
+//	_ = txn.Put("accounts", "alice", "balance", []byte("100"))
+//	v, ok, _ := txn.Get("accounts", "bob", "balance")
+//	_, err = txn.Commit() // durable in the TM log; flush is asynchronous
+//
+// Failure injection (CrashServer, Client.Crash, CrashRecoveryManager) lets
+// applications and benchmarks exercise the recovery paths the paper
+// evaluates. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduced figures.
+package txkv
+
+import (
+	"txkv/internal/cluster"
+	"txkv/internal/kv"
+	"txkv/internal/txmgr"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Config parameterizes a cluster (sizes, latencies, heartbeat
+	// intervals, persistence mode).
+	Config = cluster.Config
+	// Cluster is a running integrated system: store, transaction
+	// manager, coordination service, and recovery middleware.
+	Cluster = cluster.Cluster
+	// Client is a transactional client; it can run many concurrent
+	// transactions.
+	Client = cluster.Client
+	// Txn is a transaction: snapshot reads, buffered deferred updates,
+	// commit through the transaction manager.
+	Txn = cluster.Txn
+
+	// Key is a row key; rows order lexicographically.
+	Key = kv.Key
+	// KeyRange is a half-open row-key interval used by scans and
+	// pre-split tables.
+	KeyRange = kv.KeyRange
+	// Timestamp is a commit/snapshot timestamp from the transaction
+	// manager's oracle.
+	Timestamp = kv.Timestamp
+	// KeyValue is one versioned cell, as returned by scans.
+	KeyValue = kv.KeyValue
+)
+
+// Errors surfaced through the public API.
+var (
+	// ErrConflict reports a snapshot-isolation write-write conflict; the
+	// transaction was aborted and can be retried.
+	ErrConflict = txmgr.ErrConflict
+	// ErrClientClosed reports use of a stopped or crashed client.
+	ErrClientClosed = cluster.ErrClientClosed
+	// ErrTxnFinished reports use of a committed or aborted transaction.
+	ErrTxnFinished = cluster.ErrTxnFinished
+)
+
+// Open assembles and starts a cluster. Stop it with Cluster.Stop.
+func Open(cfg Config) (*Cluster, error) { return cluster.New(cfg) }

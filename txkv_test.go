@@ -1,0 +1,120 @@
+package txkv_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"txkv"
+)
+
+func quickCluster(t *testing.T) *txkv.Cluster {
+	t.Helper()
+	c, err := txkv.Open(txkv.Config{
+		Servers:                2,
+		HeartbeatInterval:      25 * time.Millisecond,
+		MasterHeartbeatTimeout: 150 * time.Millisecond,
+		WALSyncInterval:        10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	c := quickCluster(t)
+	if err := c.CreateTable("accounts", []txkv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := c.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	txn := client.Begin()
+	if err := txn.Put("accounts", "alice", "balance", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := client.Begin()
+	v, ok, err := check.Get("accounts", "alice", "balance")
+	if err != nil || !ok || string(v) != "100" {
+		t.Fatalf("read back: %q %v %v", v, ok, err)
+	}
+	check.Abort()
+}
+
+func TestPublicAPIConflictError(t *testing.T) {
+	c := quickCluster(t)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := c.NewClient("app")
+	a := client.Begin()
+	b := client.Begin()
+	_ = a.Put("t", "x", "f", []byte("1"))
+	_ = b.Put("t", "x", "f", []byte("2"))
+	if _, err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Commit()
+	if !errors.Is(err, txkv.ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+}
+
+func TestPublicAPIScan(t *testing.T) {
+	c := quickCluster(t)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := c.NewClient("app")
+	w := client.Begin()
+	for _, r := range []string{"a", "b", "c"} {
+		_ = w.Put("t", txkv.Key(r), "f", []byte(r))
+	}
+	if _, err := w.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	r := client.Begin()
+	got, err := r.Scan("t", txkv.KeyRange{Start: "a", End: "c"}, 0)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("scan: %v %v", got, err)
+	}
+	r.Abort()
+}
+
+func TestPublicAPIFailureInjection(t *testing.T) {
+	c := quickCluster(t)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := c.NewClient("app")
+	txn := client.Begin()
+	_ = txn.Put("t", "k", "f", []byte("v"))
+	if _, err := txn.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashServer(c.ServerIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The committed value survives fail-over.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r := client.Begin()
+		v, ok, err := r.Get("t", "k", "f")
+		r.Abort()
+		if err == nil && ok && string(v) == "v" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("value lost: %q %v %v", v, ok, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
