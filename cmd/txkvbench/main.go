@@ -12,6 +12,7 @@
 //	txkvbench -experiment truncation  # log growth with/without truncation (§3.2 checkpoint)
 //	txkvbench -experiment clientfail  # client-failure recovery (§3.1)
 //	txkvbench -experiment rmfail      # recovery-manager fail-over (§3.3)
+//	txkvbench -experiment durability  # storage engine: mem vs disk backend + timed restart
 //	txkvbench -experiment all
 //
 // The -scale flag shrinks or grows every workload dimension together;
@@ -31,7 +32,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -55,8 +56,9 @@ func main() {
 		"truncation":  bench.LogTruncation,
 		"clientfail":  bench.ClientFailure,
 		"rmfail":      bench.RMFailover,
+		"durability":  bench.Durability,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -5,9 +5,15 @@
 // recovery manager itself is bounced; afterwards every acknowledged write
 // is audited against a strict snapshot.
 //
+// With -datadir the cluster journals durable state to real files, and after
+// the campaign the whole cluster is stopped and reopened from that
+// directory before the audit — so the audit additionally proves real
+// crash-restart recovery, not just in-process fail-over.
+//
 // Usage:
 //
 //	txkvchaos -duration 20s -servers 3 -clients 4 -seed 7
+//	txkvchaos -duration 20s -datadir /tmp/txkv-chaos
 package main
 
 import (
@@ -32,26 +38,37 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent transactional clients")
 		keys     = flag.Int("keys", 500, "key-space size")
 		seed     = flag.Int64("seed", 1, "fault-schedule seed")
+		dataDir  = flag.String("datadir", "", "journal durable state here and audit across a full stop+reopen")
 	)
 	flag.Parse()
 	if *servers < 2 {
 		log.Fatal("need at least 2 servers to survive crashes")
 	}
 
-	cluster, err := txkv.Open(txkv.Config{
+	cfg := txkv.Config{
 		Servers:                *servers,
 		HeartbeatInterval:      200 * time.Millisecond,
 		MasterHeartbeatTimeout: 500 * time.Millisecond,
 		WALSyncInterval:        0, // persistence only via heartbeats: maximal exposure
-	})
+	}
+	if *dataDir != "" {
+		cfg.Persistence = txkv.PersistDisk
+		cfg.DataDir = *dataDir
+	}
+	cluster, err := txkv.Open(cfg)
 	if err != nil {
 		log.Fatalf("open cluster: %v", err)
 	}
-	defer cluster.Stop()
+	defer func() { cluster.Stop() }()
 
 	splits := []txkv.Key{keyOf(*keys / 3), keyOf(2 * *keys / 3)}
 	if err := cluster.CreateTable("chaos", splits); err != nil {
-		log.Fatalf("create table: %v", err)
+		// A persistent data directory from an earlier campaign restores
+		// the table on open; keep writing into it.
+		if !errors.Is(err, txkv.ErrTableExists) {
+			log.Fatalf("create table: %v", err)
+		}
+		fmt.Printf("reusing restored table from %s\n", *dataDir)
 	}
 
 	type ack struct {
@@ -169,6 +186,19 @@ func main() {
 
 	fmt.Printf("campaign done: %d committed, %d conflicts, %d server crashes, %d RM bounces\n",
 		committed, conflicts, crashes, rmBounces)
+
+	// With a data directory, the real test: stop the whole process-local
+	// cluster and reopen it from disk. The audit below then runs against
+	// the restarted incarnation — acknowledged commits must have survived
+	// the restart, not just the in-campaign crashes.
+	if *dataDir != "" {
+		fmt.Printf("[%s] restarting cluster from %s\n", time.Now().Format("15:04:05.000"), *dataDir)
+		cluster.Stop()
+		cluster, err = txkv.Reopen(cfg)
+		if err != nil {
+			log.Fatalf("reopen cluster: %v", err)
+		}
+	}
 
 	// Audit: every acknowledged row must hold one of its acknowledged
 	// values (later acks may overwrite earlier ones).

@@ -1,0 +1,3 @@
+module txkv
+
+go 1.24

@@ -19,6 +19,7 @@ import (
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
 	"txkv/internal/netsim"
+	"txkv/internal/storage"
 	"txkv/internal/txlog"
 	"txkv/internal/txmgr"
 )
@@ -81,6 +82,22 @@ type Config struct {
 
 	// QueueAlertThreshold arms the flush/persist queue monitors.
 	QueueAlertThreshold int
+
+	// Persistence selects where durable state lives: PersistNone (default)
+	// keeps the TM recovery log, the DFS, and table layouts in process
+	// memory — the original simulation — while PersistDisk journals them
+	// through internal/storage segmented logs under DataDir. A cluster
+	// opened with PersistDisk over a directory that already holds state
+	// reopens it: table layouts are restored, synced DFS files (store
+	// files, WAL segments) come back, and every committed-but-unpersisted
+	// write-set is replayed from the recovery log before clients run.
+	Persistence PersistenceMode
+	// DataDir is the root directory for durable state. Required when
+	// Persistence is PersistDisk; ignored otherwise.
+	DataDir string
+	// StorageSegmentBytes caps one storage-log segment before rotation
+	// (0 = the storage engine's default, 4 MiB).
+	StorageSegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -121,13 +138,14 @@ type serverUnit struct {
 type Cluster struct {
 	cfg Config
 
-	fs     *dfs.FS
-	net    *netsim.Network
-	svc    *coord.Service
-	log    *txlog.Log
-	tm     *txmgr.Manager
-	master *kvstore.Master
-	gate   *rmProxy
+	fs        *dfs.FS
+	net       *netsim.Network
+	svc       *coord.Service
+	log       *txlog.Log
+	tm        *txmgr.Manager
+	master    *kvstore.Master
+	gate      *rmProxy
+	layoutLog *storage.Log // nil without persistence
 
 	mu        sync.Mutex
 	rm        *core.Manager
@@ -184,31 +202,93 @@ func (p *rmProxy) OnServerRecoveryComplete(serverID string) {
 	}
 }
 
-// New assembles and starts a cluster.
+// New assembles and starts a cluster. With Config.Persistence set to
+// PersistDisk, a DataDir that already holds state is reopened: every
+// committed transaction of the previous incarnation is readable once New
+// returns (see Reopen).
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+
+	var (
+		txBackend  storage.Backend
+		dfsOpenLog func(name string) (*storage.Log, error)
+		layoutLog  *storage.Log
+	)
+	if cfg.Persistence == PersistDisk {
+		if cfg.DataDir == "" {
+			return nil, ErrNoDataDir
+		}
+		be, err := storage.NewDiskBackend(dataSubdir(cfg.DataDir, "txlog"))
+		if err != nil {
+			return nil, err
+		}
+		txBackend = be
+		dfsOpenLog = func(name string) (*storage.Log, error) {
+			return diskLog(dataSubdir(cfg.DataDir, "dfs", name), cfg.StorageSegmentBytes)
+		}
+		if layoutLog, err = diskLog(dataSubdir(cfg.DataDir, "cluster"), cfg.StorageSegmentBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	fs, err := dfs.Open(dfs.Config{
+		Replication: cfg.Replication,
+		DataNodes:   cfg.Servers + 1,
+		SyncLatency: cfg.DFSSyncLatency,
+		ReadLatency: cfg.DFSReadLatency,
+		OpenLog:     dfsOpenLog,
+	})
+	if err != nil {
+		if layoutLog != nil {
+			_ = layoutLog.Close()
+		}
+		return nil, err
+	}
+	log, err := txlog.Open(txlog.Config{
+		SyncLatency:  cfg.LogSyncLatency,
+		Backend:      txBackend,
+		SegmentBytes: cfg.StorageSegmentBytes,
+	})
+	if err != nil {
+		if layoutLog != nil {
+			_ = layoutLog.Close()
+		}
+		_ = fs.Close()
+		return nil, err
+	}
+
 	c := &Cluster{
 		cfg: cfg,
-		fs: dfs.New(dfs.Config{
-			Replication: cfg.Replication,
-			DataNodes:   cfg.Servers + 1,
-			SyncLatency: cfg.DFSSyncLatency,
-			ReadLatency: cfg.DFSReadLatency,
-		}),
+		fs:  fs,
 		net: netsim.New(netsim.Config{RPCLatency: cfg.RPCLatency}),
 		svc: coord.New(coord.Config{
 			DefaultTTL:    cfg.SessionTTL,
 			CheckInterval: cfg.HeartbeatInterval / 2,
 		}),
-		log:     txlog.New(txlog.Config{SyncLatency: cfg.LogSyncLatency}),
-		servers: make(map[string]*serverUnit),
-		clients: make(map[string]*Client),
-		gate:    &rmProxy{},
+		log:       log,
+		layoutLog: layoutLog,
+		servers:   make(map[string]*serverUnit),
+		clients:   make(map[string]*Client),
+		gate:      &rmProxy{},
 	}
-	c.tm = txmgr.New(c.log)
+	c.tm = txmgr.New(c.log) // oracle seeded past every recovered commit
 	c.master = kvstore.NewMaster(kvstore.MasterConfig{
 		HeartbeatTimeout: cfg.MasterHeartbeatTimeout,
 	}, c.fs)
+
+	// Detect prior state before anything writes to the reopened logs.
+	var (
+		layouts   map[string][]kvstore.RegionInfo
+		order     []string
+		reopening bool
+	)
+	if layoutLog != nil {
+		if layouts, order, err = replayLayouts(layoutLog); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		reopening = len(order) > 0 || c.log.LastTS() > 0
+	}
 
 	if !cfg.DisableRecovery {
 		rm := c.newRecoveryManager()
@@ -221,13 +301,42 @@ func New(cfg Config) (*Cluster, error) {
 	c.master.Start()
 	c.tm.AddCommitObserver(commitRouter{c})
 
+	// The previous incarnation's server WALs must be swept (their durable
+	// entries harvested as recovered edits) before fresh servers create
+	// logs at the same paths.
+	var edits map[string][]kvstore.WALEntry
+	if reopening {
+		edits = c.harvestWALEdits()
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		if _, err := c.AddServer(); err != nil {
 			c.Stop()
 			return nil, err
 		}
 	}
+	if reopening {
+		if err := c.restoreState(layouts, order, edits); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	// Journal layout changes from here on. Restoration itself does not
+	// re-journal: the restored layouts are already the journal's last
+	// records.
+	if layoutLog != nil {
+		c.master.SetLayoutSink(c)
+	}
 	return c, nil
+}
+
+// Reopen opens a cluster over an existing data directory, restoring every
+// committed transaction of the previous incarnation. It is New with the
+// persistence configuration made explicit and validated.
+func Reopen(cfg Config) (*Cluster, error) {
+	if cfg.Persistence != PersistDisk {
+		return nil, errors.New("cluster: Reopen requires Persistence == PersistDisk")
+	}
+	return New(cfg)
 }
 
 func (c *Cluster) newRecoveryManager() *core.Manager {
@@ -460,6 +569,10 @@ func (c *Cluster) Stop() {
 	}
 	c.log.Close()
 	c.svc.Stop()
+	if c.layoutLog != nil {
+		_ = c.layoutLog.Close()
+	}
+	_ = c.fs.Close()
 }
 
 // Rebalance spreads regions evenly across live servers (used after

@@ -456,14 +456,21 @@ func (m *Manager) recoverClient(clientID string, lastTF kv.Timestamp) {
 	if tf, ok := m.clientTF[clientID]; ok && tf > lastTF {
 		lastTF = tf
 	}
+	// Write-sets at or below the truncation watermark are durably
+	// persisted in the data store (that is what permits truncation), so a
+	// stale threshold — e.g. a client that died before reporting any T_F
+	// on a cluster reopened past an earlier checkpoint — can be raised to
+	// the watermark without losing anything that still needs replay.
+	if tb := m.log.TruncatedBelow(); lastTF < tb {
+		lastTF = tb
+	}
 	m.clientTF[clientID] = lastTF // freeze
 	m.mu.Unlock()
 
 	records, err := m.log.ByClientAfter(clientID, lastTF)
 	if err != nil {
-		// Threshold below the truncation point cannot happen for live
-		// bookkeeping (truncation uses the global minimum); a restarted
-		// manager with stale state falls back to replaying nothing.
+		// The range was truncated between the clamp above and the fetch
+		// (its write-sets are persisted); nothing needs replay.
 		records = nil
 	}
 	m.mu.Lock()
@@ -541,6 +548,12 @@ func (m *Manager) RecoverRegion(r kvstore.RegionInfo, failedID string, host *kvs
 	}
 	tpS := f.tp
 	m.mu.Unlock()
+	// As in recoverClient: everything at or below the truncation watermark
+	// is durably persisted, so a stale T_P(s) (a server that died before
+	// reporting any threshold on a reopened cluster) clamps up to it.
+	if tb := m.log.TruncatedBelow(); tpS < tb {
+		tpS = tb
+	}
 
 	f.fetchOnce.Do(func() {
 		f.records, f.fetchErr = m.log.After(tpS)

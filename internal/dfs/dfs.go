@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"txkv/internal/storage"
 )
 
 // Filesystem errors.
@@ -52,6 +54,12 @@ type Config struct {
 	// cache misses in the store pay this; it drives the cache warm-up
 	// effect after fail-over in Figure 3.
 	ReadLatency time.Duration
+	// OpenLog, when set, enables durable persistence: the name node
+	// journals metadata through the "meta" storage log and every data node
+	// journals block contents through a log named after it. Reopening a
+	// filesystem over the same logs (via Open) restores all synced state.
+	// Nil keeps the filesystem purely in-process, the seed's behavior.
+	OpenLog func(name string) (*storage.Log, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,7 @@ type dataNode struct {
 	id     string
 	alive  bool
 	blocks map[uint64][]byte
+	log    *storage.Log // nil without persistence
 }
 
 // Stats reports filesystem-wide counters, used by benchmarks.
@@ -100,10 +109,26 @@ type FS struct {
 	nextID  uint64
 	place   int // round-robin placement cursor
 	stats   Stats
+
+	metaLog *storage.Log // nil without persistence
 }
 
-// New creates a filesystem with cfg.DataNodes data nodes named "dn-0"...
+// New creates a memory-only filesystem with cfg.DataNodes data nodes named
+// "dn-0"... For a persistent filesystem use Open.
 func New(cfg Config) *FS {
+	cfg.OpenLog = nil
+	fs, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable: the memory-only path cannot fail
+	}
+	return fs
+}
+
+// Open creates a filesystem, replaying existing persistence logs when
+// cfg.OpenLog is set: every file whose data was synced before the previous
+// process stopped is restored, chunks that never became durable are
+// dropped (they were never acknowledged).
+func Open(cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
 	fs := &FS{
 		cfg:   cfg,
@@ -115,7 +140,18 @@ func New(cfg Config) *FS {
 		fs.nodes[id] = &dataNode{id: id, alive: true, blocks: make(map[uint64][]byte)}
 		fs.nodeIDs = append(fs.nodeIDs, id)
 	}
-	return fs
+	if cfg.OpenLog != nil {
+		meta, err := cfg.OpenLog("meta")
+		if err != nil {
+			return nil, fmt.Errorf("dfs: open meta log: %w", err)
+		}
+		fs.metaLog = meta
+		if err := fs.replayPersisted(cfg); err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
+	}
+	return fs, nil
 }
 
 // CrashDataNode marks a data node down; its replicas become unavailable
@@ -185,46 +221,88 @@ func (fs *FS) pickReplicas() ([]*dataNode, error) {
 // the path already exists.
 func (fs *FS) Create(path string) (*Writer, error) {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if _, ok := fs.files[path]; ok {
+		fs.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrExists, path)
 	}
 	fs.files[path] = &file{open: true}
+	wait := fs.appendMetaLocked(encodeCreateRec(path))
+	fs.mu.Unlock()
+	if err := waitPersist([]<-chan storage.AppendResult{wait}); err != nil {
+		fs.mu.Lock()
+		delete(fs.files, path)
+		fs.mu.Unlock()
+		return nil, err
+	}
 	return &Writer{fs: fs, path: path}, nil
 }
 
-// Delete removes a file. Deleting a missing file returns ErrNotFound.
+// Delete removes a file. Deleting a missing file returns ErrNotFound. With
+// persistence, a failed journal append rolls the removal back so memory and
+// journal never diverge (the file would otherwise resurrect at reopen).
 func (fs *FS) Delete(path string) error {
+	type savedBlock struct {
+		nd   *dataNode
+		id   uint64
+		data []byte
+	}
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
 	if !ok {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
+	var saved []savedBlock
 	for _, c := range f.chunks {
 		for _, r := range c.replicas {
 			if nd, ok := fs.nodes[r]; ok {
-				delete(nd.blocks, c.id)
+				if data, ok := nd.blocks[c.id]; ok {
+					saved = append(saved, savedBlock{nd: nd, id: c.id, data: data})
+					delete(nd.blocks, c.id)
+				}
 			}
 		}
 	}
 	delete(fs.files, path)
+	wait := fs.appendMetaLocked(encodeDeleteRec(path))
+	fs.mu.Unlock()
+	if err := waitPersist([]<-chan storage.AppendResult{wait}); err != nil {
+		fs.mu.Lock()
+		fs.files[path] = f
+		for _, s := range saved {
+			s.nd.blocks[s.id] = s.data
+		}
+		fs.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
 // Rename atomically moves a file, as the name-node metadata operation it is.
 func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	f, ok := fs.files[oldPath]
 	if !ok {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
 	}
 	if _, ok := fs.files[newPath]; ok {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrExists, newPath)
 	}
 	delete(fs.files, oldPath)
 	fs.files[newPath] = f
+	wait := fs.appendMetaLocked(encodeRenameRec(oldPath, newPath))
+	fs.mu.Unlock()
+	if err := waitPersist([]<-chan storage.AppendResult{wait}); err != nil {
+		fs.mu.Lock()
+		if fs.files[newPath] == f {
+			delete(fs.files, newPath)
+			fs.files[oldPath] = f
+		}
+		fs.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -407,7 +485,10 @@ func (w *Writer) Sync() error {
 	return nil
 }
 
-// commitChunk registers one durable chunk for path.
+// commitChunk registers one durable chunk for path. With persistence, the
+// chunk is acknowledged only once its payload is durable on every replica's
+// log and its metadata on the name-node log; the simulated sync latency is
+// charged on top (it models the replication pipeline, not the local fsync).
 func (fs *FS) commitChunk(path string, data []byte) error {
 	fs.mu.Lock()
 	f, ok := fs.files[path]
@@ -424,16 +505,52 @@ func (fs *FS) commitChunk(path string, data []byte) error {
 	fs.nextID++
 	c := chunk{id: id, size: len(data)}
 	stored := append([]byte(nil), data...)
+	var blockLogs []*storage.Log
 	for _, nd := range replicas {
 		nd.blocks[id] = stored
 		c.replicas = append(c.replicas, nd.id)
+		if nd.log != nil {
+			blockLogs = append(blockLogs, nd.log)
+		}
 	}
 	f.chunks = append(f.chunks, c)
+	meta := fs.metaLog
 	fs.stats.Syncs++
 	fs.stats.BytesSync += int64(len(data))
 	lat := fs.cfg.SyncLatency
 	fs.mu.Unlock()
 
+	// Journal outside fs.mu: an enqueue writes the frame inline and may
+	// even fsync on a segment rotation — neither should stall every other
+	// filesystem operation. Ordering does not depend on the enqueue
+	// order: chunk ids are assigned under fs.mu and replay sorts each
+	// file's chunks by id.
+	var waits []<-chan storage.AppendResult
+	for _, log := range blockLogs {
+		waits = append(waits, log.Enqueue(encodeBlockRec(id, stored)))
+	}
+	if meta != nil {
+		waits = append(waits, meta.Enqueue(encodeChunkRec(path, c)))
+	}
+
+	if err := waitPersist(waits); err != nil {
+		// Roll the registration back so the writer's retry (which
+		// re-buffers the data) cannot leave a phantom chunk behind.
+		fs.mu.Lock()
+		for i, cc := range f.chunks {
+			if cc.id == id {
+				f.chunks = append(f.chunks[:i], f.chunks[i+1:]...)
+				break
+			}
+		}
+		for _, nd := range replicas {
+			delete(nd.blocks, id)
+		}
+		fs.stats.Syncs--
+		fs.stats.BytesSync -= int64(len(data))
+		fs.mu.Unlock()
+		return err
+	}
 	if lat > 0 {
 		time.Sleep(lat)
 	}

@@ -1,0 +1,329 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"txkv/internal/storage"
+)
+
+// Durable persistence for the simulated filesystem. When Config.OpenLog is
+// set, the name node journals every metadata operation (create, delete,
+// rename, chunk commit) to a "meta" storage log and each data node journals
+// its block contents to its own log. Open replays the logs, so a filesystem
+// reopened over the same backing directory restores every synced file —
+// which is what lets a whole cluster stop and come back (internal/cluster's
+// reopen path).
+//
+// Replay is conservative about partial writes: a chunk whose payload never
+// became durable on any replica log is dropped from its file (it was never
+// acknowledged — Writer.Sync waits for both the replica and meta records),
+// and a file whose every chunk vanished that way is removed entirely.
+// Because Writer.Sync ships whole buffered records as one chunk, dropping a
+// chunk never tears the framing of the WAL stored above the filesystem.
+
+// Meta-log record ops.
+const (
+	persistOpCreate = 1
+	persistOpDelete = 2
+	persistOpRename = 3
+	persistOpChunk  = 4
+)
+
+var errBadPersistRecord = errors.New("dfs: malformed persistence record")
+
+func appendLenPrefixed(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readLenPrefixed(b []byte) (string, []byte, error) {
+	n, c := binary.Uvarint(b)
+	if c <= 0 || uint64(len(b)-c) < n {
+		return "", nil, errBadPersistRecord
+	}
+	return string(b[c : c+int(n)]), b[c+int(n):], nil
+}
+
+func encodeCreateRec(path string) []byte {
+	return appendLenPrefixed([]byte{persistOpCreate}, path)
+}
+
+func encodeDeleteRec(path string) []byte {
+	return appendLenPrefixed([]byte{persistOpDelete}, path)
+}
+
+func encodeRenameRec(oldPath, newPath string) []byte {
+	return appendLenPrefixed(appendLenPrefixed([]byte{persistOpRename}, oldPath), newPath)
+}
+
+func encodeChunkRec(path string, c chunk) []byte {
+	b := appendLenPrefixed([]byte{persistOpChunk}, path)
+	b = binary.AppendUvarint(b, c.id)
+	b = binary.AppendUvarint(b, uint64(c.size))
+	b = binary.AppendUvarint(b, uint64(len(c.replicas)))
+	for _, r := range c.replicas {
+		b = appendLenPrefixed(b, r)
+	}
+	return b
+}
+
+func decodeChunkRec(b []byte) (string, chunk, error) {
+	path, b, err := readLenPrefixed(b)
+	if err != nil {
+		return "", chunk{}, err
+	}
+	var c chunk
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", chunk{}, errBadPersistRecord
+	}
+	b = b[n:]
+	c.id = id
+	size, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", chunk{}, errBadPersistRecord
+	}
+	b = b[n:]
+	c.size = int(size)
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", chunk{}, errBadPersistRecord
+	}
+	b = b[n:]
+	for i := uint64(0); i < cnt; i++ {
+		var r string
+		if r, b, err = readLenPrefixed(b); err != nil {
+			return "", chunk{}, err
+		}
+		c.replicas = append(c.replicas, r)
+	}
+	return path, c, nil
+}
+
+// encodeBlockRec frames one data-node block record: chunk id + payload.
+func encodeBlockRec(id uint64, data []byte) []byte {
+	b := binary.AppendUvarint(make([]byte, 0, len(data)+10), id)
+	return append(b, data...)
+}
+
+func decodeBlockRec(b []byte) (uint64, []byte, error) {
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errBadPersistRecord
+	}
+	return id, b[n:], nil
+}
+
+// appendMetaLocked enqueues a meta record while the caller holds fs.mu (so
+// log order matches in-memory order) and returns the durability wait.
+func (fs *FS) appendMetaLocked(rec []byte) <-chan storage.AppendResult {
+	if fs.metaLog == nil {
+		return nil
+	}
+	return fs.metaLog.Enqueue(rec)
+}
+
+func waitPersist(waits []<-chan storage.AppendResult) error {
+	var firstErr error
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		if res := <-w; res.Err != nil && firstErr == nil {
+			firstErr = res.Err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("dfs: persist: %w", firstErr)
+	}
+	return nil
+}
+
+// replayPersisted rebuilds the filesystem from its meta and node logs.
+// Caller is Open, before the FS is shared; no locking needed.
+func (fs *FS) replayPersisted(cfg Config) error {
+	var maxID uint64
+	discovered := map[string]bool{}
+
+	err := fs.metaLog.Replay(func(_ storage.RecordPos, payload []byte) error {
+		if len(payload) == 0 {
+			return nil
+		}
+		op, rest := payload[0], payload[1:]
+		switch op {
+		case persistOpCreate:
+			path, _, err := readLenPrefixed(rest)
+			if err != nil {
+				return nil // damaged record: skip
+			}
+			if _, ok := fs.files[path]; !ok {
+				fs.files[path] = &file{}
+			}
+		case persistOpDelete:
+			path, _, err := readLenPrefixed(rest)
+			if err != nil {
+				return nil
+			}
+			delete(fs.files, path)
+		case persistOpRename:
+			oldPath, rest2, err := readLenPrefixed(rest)
+			if err != nil {
+				return nil
+			}
+			newPath, _, err := readLenPrefixed(rest2)
+			if err != nil {
+				return nil
+			}
+			if f, ok := fs.files[oldPath]; ok {
+				delete(fs.files, oldPath)
+				fs.files[newPath] = f
+			}
+		case persistOpChunk:
+			path, c, err := decodeChunkRec(rest)
+			if err != nil {
+				return nil
+			}
+			if c.id >= maxID {
+				maxID = c.id + 1
+			}
+			for _, r := range c.replicas {
+				discovered[r] = true
+			}
+			if f, ok := fs.files[path]; ok {
+				f.chunks = append(f.chunks, c)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("dfs: replay meta log: %w", err)
+	}
+
+	// Data nodes: the configured count plus any node a replayed chunk
+	// references (a previous incarnation may have run with more nodes).
+	for id := range discovered {
+		if _, ok := fs.nodes[id]; !ok {
+			fs.nodes[id] = &dataNode{id: id, alive: true, blocks: make(map[uint64][]byte)}
+			fs.nodeIDs = append(fs.nodeIDs, id)
+		}
+	}
+	sort.Slice(fs.nodeIDs, func(i, j int) bool {
+		return nodeOrdinal(fs.nodeIDs[i]) < nodeOrdinal(fs.nodeIDs[j])
+	})
+
+	for _, id := range fs.nodeIDs {
+		nd := fs.nodes[id]
+		log, err := cfg.OpenLog(id)
+		if err != nil {
+			return fmt.Errorf("dfs: open node log %s: %w", id, err)
+		}
+		nd.log = log
+		err = log.Replay(func(_ storage.RecordPos, payload []byte) error {
+			cid, data, err := decodeBlockRec(payload)
+			if err != nil {
+				return nil
+			}
+			nd.blocks[cid] = append([]byte(nil), data...)
+			if cid >= maxID {
+				maxID = cid + 1
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("dfs: replay node log %s: %w", id, err)
+		}
+	}
+
+	// Chunk ids are assigned in commit order under fs.mu, but the meta
+	// records may have been enqueued in a different order — restore each
+	// file's chunk order by id.
+	for _, f := range fs.files {
+		sort.Slice(f.chunks, func(i, j int) bool { return f.chunks[i].id < f.chunks[j].id })
+	}
+
+	// Drop chunks whose payload never became durable anywhere (never
+	// acknowledged), and files torn down to zero chunks by that rule.
+	blockExists := func(id uint64) bool {
+		for _, nd := range fs.nodes {
+			if _, ok := nd.blocks[id]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	live := map[uint64]bool{}
+	for path, f := range fs.files {
+		kept := f.chunks[:0:0]
+		for _, c := range f.chunks {
+			if blockExists(c.id) {
+				kept = append(kept, c)
+				live[c.id] = true
+			}
+		}
+		if len(kept) == 0 {
+			// Nothing durable ever reached this path: either all its
+			// chunks were torn, or it was created and the crash came
+			// before the first sync. Either way no Sync for it returned,
+			// so dropping it loses nothing acknowledged — and keeping it
+			// would leave artifacts like an empty store file that fails
+			// to open and bricks every subsequent cluster reopen.
+			delete(fs.files, path)
+			continue
+		}
+		f.chunks = kept
+	}
+	// Orphaned blocks (deleted files, dropped chunks) are not restored.
+	for _, nd := range fs.nodes {
+		for id := range nd.blocks {
+			if !live[id] {
+				delete(nd.blocks, id)
+			}
+		}
+	}
+	fs.nextID = maxID
+	return nil
+}
+
+// nodeOrdinal orders "dn-3" numerically, unknown names last alphabetically.
+func nodeOrdinal(id string) int {
+	if n, ok := strings.CutPrefix(id, "dn-"); ok {
+		var v int
+		if _, err := fmt.Sscanf(n, "%d", &v); err == nil {
+			return v
+		}
+	}
+	return int(^uint(0) >> 1)
+}
+
+// Close releases the persistence logs (flushing pending syncs). A
+// memory-only filesystem has nothing to release.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	meta := fs.metaLog
+	fs.metaLog = nil
+	var nodeLogs []*storage.Log
+	for _, nd := range fs.nodes {
+		if nd.log != nil {
+			nodeLogs = append(nodeLogs, nd.log)
+			nd.log = nil
+		}
+	}
+	fs.mu.Unlock()
+
+	var firstErr error
+	for _, l := range nodeLogs {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if meta != nil {
+		if err := meta.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

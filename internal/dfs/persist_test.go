@@ -1,0 +1,212 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"txkv/internal/storage"
+)
+
+func diskOpenLog(t *testing.T, root string) func(name string) (*storage.Log, error) {
+	t.Helper()
+	return func(name string) (*storage.Log, error) {
+		be, err := storage.NewDiskBackend(filepath.Join(root, name))
+		if err != nil {
+			return nil, err
+		}
+		return storage.Open(storage.Config{Backend: be})
+	}
+}
+
+func TestPersistReopenRestoresSyncedFiles(t *testing.T) {
+	root := t.TempDir()
+	fs, err := Open(Config{DataNodes: 3, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// One fully synced file with multiple chunks.
+	w, err := fs.Create("/wal/a.log")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var want []byte
+	for i := 0; i < 3; i++ {
+		part := bytes.Repeat([]byte{byte('a' + i)}, 100)
+		want = append(want, part...)
+		if err := w.Append(part); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	// A second file whose tail is appended but never synced: the tail must
+	// not survive (crash-consistent semantics).
+	w2, err := fs.Create("/wal/b.log")
+	if err != nil {
+		t.Fatalf("create b: %v", err)
+	}
+	if err := w2.Append([]byte("durable")); err != nil {
+		t.Fatalf("append b: %v", err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatalf("sync b: %v", err)
+	}
+	if err := w2.Append([]byte("lost-tail")); err != nil {
+		t.Fatalf("append b tail: %v", err)
+	}
+	// A renamed and a deleted file.
+	w3, _ := fs.Create("/tmp/c")
+	_ = w3.Append([]byte("c-data"))
+	_ = w3.Sync()
+	_ = w3.Close()
+	if err := fs.Rename("/tmp/c", "/data/c"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	w4, _ := fs.Create("/tmp/d")
+	_ = w4.Append([]byte("d-data"))
+	_ = w4.Sync()
+	_ = w4.Close()
+	if err := fs.Delete("/tmp/d"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// "Restart the process": reopen over the same logs.
+	fs2, err := Open(Config{DataNodes: 3, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+
+	got, err := fs2.ReadAll("/wal/a.log")
+	if err != nil {
+		t.Fatalf("read a: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("a.log = %d bytes, want %d", len(got), len(want))
+	}
+	if got, err := fs2.ReadAll("/wal/b.log"); err != nil || string(got) != "durable" {
+		t.Fatalf("b.log = %q (%v), want only the synced prefix", got, err)
+	}
+	if got, err := fs2.ReadAll("/data/c"); err != nil || string(got) != "c-data" {
+		t.Fatalf("renamed c = %q (%v)", got, err)
+	}
+	if fs2.Exists("/tmp/c") || fs2.Exists("/tmp/d") {
+		t.Fatal("stale paths resurrected after reopen")
+	}
+	// The restored file keeps serving reads with one data node down
+	// (replication survived the restart).
+	if err := fs2.CrashDataNode("dn-0"); err != nil {
+		t.Fatalf("crash dn-0: %v", err)
+	}
+	if _, err := fs2.ReadAll("/wal/a.log"); err != nil {
+		t.Fatalf("read a with dn-0 down: %v", err)
+	}
+}
+
+// TestPersistReopenDropsNeverSyncedFiles guards the crash window between
+// Create and the first Sync: the replayed filesystem must not keep the
+// empty path (an empty store file would fail to open and brick every
+// subsequent cluster reopen).
+func TestPersistReopenDropsNeverSyncedFiles(t *testing.T) {
+	root := t.TempDir()
+	fs, err := Open(Config{DataNodes: 2, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Created, appended, never synced — the crash comes "now".
+	w, err := fs.Create("/data/t/r/00000001.sf")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	_ = w.Append([]byte("buffered, not durable"))
+	// A synced sibling must survive.
+	w2, _ := fs.Create("/data/t/r/00000000.sf")
+	_ = w2.Append([]byte("durable"))
+	if err := w2.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	fs.Close()
+
+	fs2, err := Open(Config{DataNodes: 2, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	if fs2.Exists("/data/t/r/00000001.sf") {
+		t.Fatal("never-synced file survived reopen")
+	}
+	if got := fs2.List("/data/t/r/"); len(got) != 1 {
+		t.Fatalf("listed %v, want only the synced file", got)
+	}
+	if got, err := fs2.ReadAll("/data/t/r/00000000.sf"); err != nil || string(got) != "durable" {
+		t.Fatalf("synced sibling = %q (%v)", got, err)
+	}
+}
+
+func TestPersistReopenManyFilesAndRanges(t *testing.T) {
+	root := t.TempDir()
+	fs, err := Open(Config{DataNodes: 2, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	contents := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("/data/t/r/%08d.sf", i)
+		w, err := fs.Create(path)
+		if err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		data := bytes.Repeat([]byte{byte(i)}, 64+i)
+		contents[path] = data
+		_ = w.Append(data)
+		if err := w.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", path, err)
+		}
+		_ = w.Close()
+	}
+	fs.Close()
+
+	fs2, err := Open(Config{DataNodes: 2, Replication: 2, OpenLog: diskOpenLog(t, root)})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	paths := fs2.List("/data/t/r/")
+	if len(paths) != 10 {
+		t.Fatalf("listed %d paths, want 10", len(paths))
+	}
+	for path, want := range contents {
+		if sz, err := fs2.Size(path); err != nil || sz != int64(len(want)) {
+			t.Fatalf("size %s = %d (%v), want %d", path, sz, err, len(want))
+		}
+		got, err := fs2.ReadRange(path, 4, 16)
+		if err != nil {
+			t.Fatalf("read range %s: %v", path, err)
+		}
+		if !bytes.Equal(got, want[4:20]) {
+			t.Fatalf("range read %s mismatch", path)
+		}
+	}
+	// Writes keep flowing after a reopen (chunk ids must not collide).
+	w, err := fs2.Create("/data/after")
+	if err != nil {
+		t.Fatalf("create after reopen: %v", err)
+	}
+	_ = w.Append([]byte("fresh"))
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync after reopen: %v", err)
+	}
+	for path, want := range contents {
+		got, err := fs2.ReadAll(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("old file %s damaged by post-reopen write: %v", path, err)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package kvstore
 
 import (
+	"container/heap"
 	"fmt"
-	"sort"
 
 	"txkv/internal/kv"
 )
@@ -29,18 +29,20 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 		return nil
 	}
 
-	// Gather every entry from every file. Files are individually sorted;
-	// a simple merge via collect+sort keeps the code obvious at simulator
-	// scale.
-	var all []kv.KeyValue
+	// Each store file is individually sorted in store order, so the k
+	// files merge in one pass through a k-way heap: O(n log k) instead of
+	// the collect-everything-and-sort O(n log n).
+	runs := make([][]kv.KeyValue, 0, len(files))
 	for _, f := range files {
-		var err error
-		all, err = f.ScanRange(all, kv.KeyRange{}, kv.MaxTimestamp, r.cache)
+		run, err := f.ScanRange(nil, kv.KeyRange{}, kv.MaxTimestamp, r.cache)
 		if err != nil {
 			return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
 		}
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
 	}
-	all = sortAndGC(all, horizon)
+	all := mergeRuns(runs, horizon)
 
 	r.mu.Lock()
 	r.nextSeq = seq + 1
@@ -80,32 +82,76 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	return nil
 }
 
-// sortAndGC sorts entries into store order, removes exact duplicates (the
-// same cell can appear in multiple files after recovery replays), and drops
-// versions shadowed at or below the horizon.
-func sortAndGC(entries []kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
-	sortEntries(entries)
-	out := entries[:0]
-	for i, e := range entries {
-		if i > 0 && e.Cell == entries[i-1].Cell {
-			continue // duplicate cell: keep the first (identical payload)
+// runHeap is a min-heap over the heads of k sorted runs, ordered by cell
+// (ties broken by run index so the earliest run pops first — "keep the
+// first" for exact duplicates matches the previous collect+sort behavior).
+type runHeap struct {
+	runs  [][]kv.KeyValue
+	heads []int // heap of run indices; runs[i][cursor[i]] is i's head
+	cur   []int
+}
+
+func (h *runHeap) Len() int { return len(h.heads) }
+
+func (h *runHeap) Less(a, b int) bool {
+	i, j := h.heads[a], h.heads[b]
+	c := kv.CompareCells(h.runs[i][h.cur[i]].Cell, h.runs[j][h.cur[j]].Cell)
+	if c != 0 {
+		return c < 0
+	}
+	return i < j
+}
+
+func (h *runHeap) Swap(a, b int) { h.heads[a], h.heads[b] = h.heads[b], h.heads[a] }
+
+func (h *runHeap) Push(x any) { h.heads = append(h.heads, x.(int)) }
+
+func (h *runHeap) Pop() any {
+	x := h.heads[len(h.heads)-1]
+	h.heads = h.heads[:len(h.heads)-1]
+	return x
+}
+
+// mergeRuns merges k individually sorted runs into one sorted slice in
+// store order, removing exact duplicates (the same cell can appear in
+// multiple files after recovery replays) and dropping versions shadowed at
+// or below the horizon.
+func mergeRuns(runs [][]kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]kv.KeyValue, 0, total)
+	h := &runHeap{runs: runs, cur: make([]int, len(runs))}
+	for i, r := range runs {
+		if len(r) > 0 {
+			h.heads = append(h.heads, i)
 		}
-		// Store order is ts-descending per coordinate: a previous kept
-		// entry with the same (row, column) and TS <= horizon shadows
-		// this one entirely for every readable snapshot.
-		if horizon > 0 && len(out) > 0 {
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		i := h.heads[0]
+		e := runs[i][h.cur[i]]
+		h.cur[i]++
+		if h.cur[i] < len(runs[i]) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+
+		if len(out) > 0 {
 			prev := out[len(out)-1]
-			if prev.Row == e.Row && prev.Column == e.Column && prev.TS <= horizon {
+			if e.Cell == prev.Cell {
+				continue // duplicate cell: keep the first (identical payload)
+			}
+			// Store order is ts-descending per coordinate: a previously
+			// kept entry with the same (row, column) and TS <= horizon
+			// shadows this one entirely for every readable snapshot.
+			if horizon > 0 && prev.Row == e.Row && prev.Column == e.Column && prev.TS <= horizon {
 				continue
 			}
 		}
 		out = append(out, e)
 	}
 	return out
-}
-
-func sortEntries(entries []kv.KeyValue) {
-	sort.Slice(entries, func(i, j int) bool {
-		return kv.CompareCells(entries[i].Cell, entries[j].Cell) < 0
-	})
 }

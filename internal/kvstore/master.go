@@ -28,6 +28,16 @@ type ServerRecoveryCompleteListener interface {
 	OnServerRecoveryComplete(serverID string)
 }
 
+// LayoutSink observes every change to a table's region layout (creation and
+// splits). The cluster registers a sink that journals layouts to stable
+// storage, so a reopened cluster can restore each table's exact region set
+// (including regions created by runtime splits, whose store files would
+// otherwise be orphaned). A sink error fails the layout change's caller:
+// acknowledging a layout that is not durable would lose data at reopen.
+type LayoutSink interface {
+	RecordLayout(table string, regions []RegionInfo) error
+}
+
 // RecoveryGate blocks a recovered region from going online until the
 // transactional recovery (replay of committed-but-unpersisted write-sets
 // from the transaction manager's log) has completed — the paper's second
@@ -83,6 +93,8 @@ type Master struct {
 	splitSeq   int                     // monotonically increasing split counter
 	gate       RecoveryGate
 	listeners  []ServerFailureListener
+	layoutSink LayoutSink
+	layoutMu   sync.Mutex // orders layout snapshots into the sink
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -116,6 +128,33 @@ func (m *Master) AddFailureListener(l ServerFailureListener) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.listeners = append(m.listeners, l)
+}
+
+// SetLayoutSink attaches the layout journal hook.
+func (m *Master) SetLayoutSink(s LayoutSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.layoutSink = s
+}
+
+// recordLayout publishes a table's current region set to the sink. Must be
+// called without m.mu held. layoutMu spans the snapshot and the journal
+// append, so concurrent layout changes cannot journal an older snapshot
+// after a newer one (replay is last-record-wins).
+func (m *Master) recordLayout(table string) error {
+	m.layoutMu.Lock()
+	defer m.layoutMu.Unlock()
+	m.mu.Lock()
+	sink := m.layoutSink
+	regions := append([]RegionInfo(nil), m.tables[table]...)
+	m.mu.Unlock()
+	if sink == nil || regions == nil {
+		return nil
+	}
+	if err := sink.RecordLayout(table, regions); err != nil {
+		return fmt.Errorf("kvstore: journal layout of %s: %w", table, err)
+	}
+	return nil
 }
 
 // Start launches the liveness checker.
@@ -225,7 +264,43 @@ func (m *Master) CreateTable(name string, splits []kv.Key) error {
 			return fmt.Errorf("open region %s: %w", p.info.ID, err)
 		}
 	}
-	return nil
+	return m.recordLayout(name)
+}
+
+// RestoreTable re-registers a table with an explicit region set — the
+// cluster-reopen path. The regions' store files are discovered from the DFS
+// as each region opens; edits carries per-region recovered WAL entries
+// harvested from the previous incarnation's server logs.
+func (m *Master) RestoreTable(name string, regions []RegionInfo, edits map[string][]WALEntry) error {
+	m.mu.Lock()
+	if _, ok := m.tables[name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	m.tables[name] = append([]RegionInfo(nil), regions...)
+	type placement struct {
+		rec  *serverRec
+		info RegionInfo
+	}
+	placements := make([]placement, 0, len(regions))
+	for _, info := range regions {
+		rec, err := m.pickServerLocked()
+		if err != nil {
+			delete(m.tables, name)
+			m.mu.Unlock()
+			return err
+		}
+		m.assign[info.ID] = rec.srv.ID()
+		placements = append(placements, placement{rec: rec, info: info})
+	}
+	m.mu.Unlock()
+
+	for _, p := range placements {
+		if err := p.rec.srv.OpenRegion(p.info, edits[p.info.ID], nil); err != nil {
+			return fmt.Errorf("restore region %s: %w", p.info.ID, err)
+		}
+	}
+	return m.recordLayout(name)
 }
 
 // TableRegions returns the region metadata of a table, sorted by start key.

@@ -317,6 +317,34 @@ func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPigg
 	return nil
 }
 
+// ReplayWriteSet applies a recovered write-set portion straight to the
+// hosted regions' memstores: no WAL append and no tracker notification.
+// This is the cluster-reopen replay path — the write-set is already durable
+// in the transaction manager's recovery log, and the reopen sequence
+// flushes every memstore before the cluster goes live, so journaling it
+// again would only double the bytes. Application is idempotent (versioned
+// puts overwrite in place).
+func (s *RegionServer) ReplayWriteSet(ws kv.WriteSet) error {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return ErrServerStopped
+	}
+	byRegion := make(map[*Region][]kv.KeyValue)
+	for _, u := range ws.Updates {
+		r, ok := s.findRegion(u.Table, u.Row, true)
+		if !ok {
+			return fmt.Errorf("%w: %s/%s on %s", ErrRegionNotServing, u.Table, u.Row, s.cfg.ID)
+		}
+		byRegion[r] = append(byRegion[r], u.ToKeyValue(ws.CommitTS))
+	}
+	for r, kvs := range byRegion {
+		r.Apply(kvs)
+	}
+	return nil
+}
+
 // Get serves a point read at the given snapshot timestamp.
 func (s *RegionServer) Get(table string, row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
 	s.mu.RLock()

@@ -134,5 +134,5 @@ func (m *Master) SplitRegion(regionID string, splitKey kv.Key) error {
 	m.assign[right.ID] = srcID
 	delete(m.recovering, parent.ID)
 	m.mu.Unlock()
-	return nil
+	return m.recordLayout(table)
 }

@@ -1,0 +1,579 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// Log errors.
+var (
+	ErrClosed      = errors.New("storage: log closed")
+	ErrRecordSize  = errors.New("storage: record exceeds maximum size")
+	ErrBadCallback = errors.New("storage: replay callback failed")
+)
+
+const (
+	frameHeaderSize     = 8       // 4-byte length + 4-byte CRC-32C
+	maxRecordBytes      = 1 << 30 // sanity bound while scanning
+	defaultSegmentBytes = 4 << 20
+	minSegmentBytes     = 4 << 10
+	segmentSuffix       = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config controls a segmented log.
+type Config struct {
+	// Backend holds the segment files. Nil means a fresh MemBackend.
+	Backend Backend
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (a segment may exceed it by at most one record). Default 4 MiB.
+	SegmentBytes int64
+	// SyncDelay adds a simulated latency to every fsync (group commit
+	// window). Used by the in-memory backend to model the paper's
+	// stable-storage sync cost; zero for real disks.
+	SyncDelay time.Duration
+}
+
+// RecordPos locates a record: the segment it lives in and its byte offset.
+type RecordPos struct {
+	Segment uint64
+	Offset  int64
+}
+
+// AppendResult is delivered once an enqueued record is durable.
+type AppendResult struct {
+	Pos RecordPos
+	Err error
+}
+
+// Stats reports log engine counters.
+type Stats struct {
+	Segments        int    // segment files currently on the backend
+	ActiveSegment   uint64 // id of the segment receiving appends
+	Appends         int64  // records appended this incarnation
+	AppendedBytes   int64  // payload bytes appended this incarnation
+	Syncs           int64  // fsyncs performed (group commit batches)
+	TailDropped     int64  // bytes discarded by open-time torn-tail repair
+	DroppedSegments int64  // segments discarded past a corruption point
+	RemovedSegments int64  // segments reclaimed by DropSegmentsBefore
+}
+
+type syncWaiter struct {
+	seq uint64
+	ch  chan AppendResult
+	pos RecordPos
+}
+
+// Log is an append-only segmented log. Appends are framed as
+//
+//	[4 bytes big-endian length][4 bytes CRC-32C of payload][payload]
+//
+// and become durable in group-commit batches: every record enqueued while a
+// sync is in flight is covered by the next one. Open repairs a torn tail
+// (and drops any suffix past a corrupted record) so a crash between write
+// and sync never prevents reopening.
+type Log struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals the syncer
+	segments  []uint64   // ascending; last is active
+	active    File
+	activeID  uint64
+	activeLen int64
+	syncedLen int64  // durable prefix of the active segment, in bytes
+	writeSeq  uint64 // records written (not necessarily durable)
+	syncedSeq uint64 // records durable
+	waiters   []syncWaiter
+	closed    bool
+	stats     Stats
+
+	wg sync.WaitGroup
+}
+
+func segmentName(id uint64) string { return fmt.Sprintf("%016d%s", id, segmentSuffix) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	var id uint64
+	if _, err := fmt.Sscanf(name, "%016d"+segmentSuffix, &id); err != nil || id == 0 {
+		return 0, false
+	}
+	if name != segmentName(id) {
+		return 0, false
+	}
+	return id, true
+}
+
+// Open creates or resumes a segmented log on cfg.Backend. Resuming scans
+// every segment: the first torn or corrupted record truncates its segment at
+// that point and discards all later segments, so the log always reopens with
+// a clean, fully checksummed prefix.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Backend == nil {
+		cfg.Backend = NewMemBackend()
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.SegmentBytes < minSegmentBytes {
+		cfg.SegmentBytes = minSegmentBytes
+	}
+	l := &Log{cfg: cfg}
+	l.cond = sync.NewCond(&l.mu)
+
+	names, err := cfg.Backend.List()
+	if err != nil {
+		return nil, fmt.Errorf("storage: list segments: %w", err)
+	}
+	for _, name := range names {
+		if id, ok := parseSegmentName(name); ok {
+			l.segments = append(l.segments, id)
+		}
+	}
+
+	if len(l.segments) == 0 {
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else if err := l.recover(); err != nil {
+		return nil, err
+	}
+
+	l.wg.Add(1)
+	go l.syncLoop()
+	return l, nil
+}
+
+// createSegmentLocked starts a brand-new segment and makes it active.
+func (l *Log) createSegmentLocked(id uint64) error {
+	f, err := l.cfg.Backend.Create(segmentName(id))
+	if err != nil {
+		return fmt.Errorf("storage: create segment %d: %w", id, err)
+	}
+	if l.active != nil {
+		_ = l.active.Close()
+	}
+	l.segments = append(l.segments, id)
+	l.active = f
+	l.activeID = id
+	l.activeLen = 0
+	l.syncedLen = 0
+	return nil
+}
+
+// recover scans existing segments in order, repairs the first torn or
+// corrupt point, and opens the surviving tail segment for appending.
+func (l *Log) recover() error {
+	for i, id := range l.segments {
+		name := segmentName(id)
+		data, err := l.cfg.Backend.ReadAll(name)
+		if err != nil {
+			return fmt.Errorf("storage: read segment %d: %w", id, err)
+		}
+		validLen, clean := scanFrames(data, nil)
+		if clean && i < len(l.segments)-1 {
+			continue
+		}
+		if !clean || validLen < int64(len(data)) {
+			l.stats.TailDropped += int64(len(data)) - validLen
+			if err := l.cfg.Backend.Truncate(name, validLen); err != nil {
+				return fmt.Errorf("storage: truncate segment %d: %w", id, err)
+			}
+		}
+		if !clean {
+			// Everything after a corrupted record is untrustworthy: the
+			// log's contract is an ordered, gapless prefix of appends.
+			for _, later := range l.segments[i+1:] {
+				if err := l.cfg.Backend.Remove(segmentName(later)); err != nil {
+					return fmt.Errorf("storage: drop segment %d: %w", later, err)
+				}
+				l.stats.DroppedSegments++
+			}
+			l.segments = l.segments[:i+1]
+		}
+		f, err := l.cfg.Backend.OpenAppend(name)
+		if err != nil {
+			return fmt.Errorf("storage: open segment %d: %w", id, err)
+		}
+		l.active = f
+		l.activeID = id
+		l.activeLen = validLen
+		l.syncedLen = validLen // on-disk prefix at open is trusted as durable
+		return nil
+	}
+	return nil
+}
+
+// scanFrames walks the framed records in data, invoking fn (if non-nil) for
+// each valid payload with its byte offset. It returns the length of the
+// valid prefix and whether the scan consumed data cleanly (false means a
+// CRC mismatch or impossible length — real corruption rather than a clean
+// end or a torn tail).
+func scanFrames(data []byte, fn func(off int64, payload []byte)) (int64, bool) {
+	off := 0
+	for off+frameHeaderSize <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes {
+			return int64(off), false
+		}
+		body := off + frameHeaderSize
+		if body+n > len(data) {
+			return int64(off), true // torn tail: payload truncated mid-write
+		}
+		payload := data[body : body+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// A half-written final record is a torn tail; a bad checksum
+			// with more data after it is corruption.
+			return int64(off), body+n == len(data)
+		}
+		if fn != nil {
+			fn(int64(off), payload)
+		}
+		off = body + n
+	}
+	return int64(off), off == len(data)
+}
+
+// appendFrame returns payload framed for the log.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// writeFrameLocked writes one framed record to the active segment, rotating
+// first if the active segment is full. Caller holds l.mu.
+func (l *Log) writeFrameLocked(payload []byte) (RecordPos, error) {
+	if int64(len(payload)) > maxRecordBytes {
+		return RecordPos{}, ErrRecordSize
+	}
+	if l.activeLen >= l.cfg.SegmentBytes && l.activeLen > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return RecordPos{}, err
+		}
+	}
+	pos := RecordPos{Segment: l.activeID, Offset: l.activeLen}
+	frame := appendFrame(nil, payload)
+	if _, err := l.active.Write(frame); err != nil {
+		// A partial write would leave a garbage frame mid-segment; a
+		// later successful append after it would make every record from
+		// here on unreadable at reopen (interior CRC failure drops the
+		// whole suffix). Cut the file back to the last good length.
+		_ = l.cfg.Backend.Truncate(segmentName(l.activeID), l.activeLen)
+		return RecordPos{}, fmt.Errorf("storage: append: %w", err)
+	}
+	l.activeLen += int64(len(frame))
+	l.writeSeq++
+	l.stats.Appends++
+	l.stats.AppendedBytes += int64(len(payload))
+	return pos, nil
+}
+
+// rotateLocked syncs and closes the active segment and starts the next one.
+// Everything written so far becomes durable, so pending waiters are
+// released. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		err = fmt.Errorf("storage: rotate sync: %w", err)
+		l.rollbackUnsyncedLocked(err)
+		return err
+	}
+	l.stats.Syncs++
+	l.syncedSeq = l.writeSeq
+	l.releaseWaitersLocked(l.writeSeq, nil)
+	return l.createSegmentLocked(l.activeID + 1)
+}
+
+// rollbackBatchLocked undoes the frames a failed AppendBatch already wrote.
+// When the batch stayed within the segment it started in, the exact prefix
+// is restored; when a rotation intervened (batch larger than a segment),
+// the sealed part is already durable and the best that can be done is to
+// roll back the whole unsynced suffix, failing pending waiters. Caller
+// holds l.mu.
+func (l *Log) rollbackBatchLocked(seg uint64, length int64, seq uint64, cause error) {
+	if l.activeID == seg {
+		if err := l.cfg.Backend.Truncate(segmentName(seg), length); err == nil {
+			l.activeLen = length
+			l.writeSeq = seq
+		}
+		return
+	}
+	l.rollbackUnsyncedLocked(cause)
+}
+
+// rollbackUnsyncedLocked handles a failed fsync: the frames written since
+// the last successful sync are truncated away so that records whose append
+// was reported as failed can never become durable later (a ghost commit on
+// replay), and every pending waiter is failed. Caller holds l.mu.
+func (l *Log) rollbackUnsyncedLocked(cause error) {
+	if err := l.cfg.Backend.Truncate(segmentName(l.activeID), l.syncedLen); err == nil {
+		l.activeLen = l.syncedLen
+		l.writeSeq = l.syncedSeq
+	}
+	// If the truncate itself failed the bytes' fate is unknown; either
+	// way the appenders must see the failure.
+	l.releaseWaitersLocked(^uint64(0), cause)
+}
+
+// releaseWaitersLocked completes every waiter at or below seq. Caller holds
+// l.mu.
+func (l *Log) releaseWaitersLocked(seq uint64, err error) {
+	kept := l.waiters[:0]
+	for _, w := range l.waiters {
+		if w.seq <= seq {
+			w.ch <- AppendResult{Pos: w.pos, Err: err}
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.waiters = kept
+}
+
+// Enqueue appends payload to the log and returns a channel that yields the
+// durability result exactly once. Record order is the order of Enqueue
+// calls; durability arrives in group-commit batches.
+func (l *Log) Enqueue(payload []byte) <-chan AppendResult {
+	ch := make(chan AppendResult, 1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		ch <- AppendResult{Err: ErrClosed}
+		return ch
+	}
+	pos, err := l.writeFrameLocked(payload)
+	if err != nil {
+		ch <- AppendResult{Err: err}
+		return ch
+	}
+	l.waiters = append(l.waiters, syncWaiter{seq: l.writeSeq, ch: ch, pos: pos})
+	l.cond.Signal()
+	return ch
+}
+
+// Append appends payload and blocks until it is durable.
+func (l *Log) Append(payload []byte) (RecordPos, error) {
+	res := <-l.Enqueue(payload)
+	return res.Pos, res.Err
+}
+
+// AppendBatch appends every payload in order and blocks until the whole
+// batch is durable under (at most) one fsync. It returns each record's
+// position.
+func (l *Log) AppendBatch(payloads [][]byte) ([]RecordPos, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	ch := make(chan AppendResult, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	startSeg, startLen, startSeq := l.activeID, l.activeLen, l.writeSeq
+	positions := make([]RecordPos, 0, len(payloads))
+	for _, p := range payloads {
+		pos, err := l.writeFrameLocked(p)
+		if err != nil {
+			// Un-write the batch's earlier frames: the caller is told
+			// the whole batch failed, so none of it may become durable
+			// with the next successful sync (ghost records at replay).
+			l.rollbackBatchLocked(startSeg, startLen, startSeq, err)
+			l.mu.Unlock()
+			return nil, err
+		}
+		positions = append(positions, pos)
+	}
+	l.waiters = append(l.waiters, syncWaiter{seq: l.writeSeq, ch: ch, pos: positions[len(positions)-1]})
+	l.cond.Signal()
+	l.mu.Unlock()
+	if res := <-ch; res.Err != nil {
+		return nil, res.Err
+	}
+	return positions, nil
+}
+
+// Sync blocks until every record appended so far is durable.
+func (l *Log) Sync() error {
+	ch := make(chan AppendResult, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.syncedSeq >= l.writeSeq {
+		l.mu.Unlock()
+		return nil
+	}
+	l.waiters = append(l.waiters, syncWaiter{seq: l.writeSeq, ch: ch})
+	l.cond.Signal()
+	l.mu.Unlock()
+	return (<-ch).Err
+}
+
+// syncLoop is the group-commit fsync worker: it batches every record
+// enqueued since the previous sync under a single fsync.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.waiters) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.waiters) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		target := l.writeSeq
+		targetLen := l.activeLen
+		segID := l.activeID
+		f := l.active
+		l.mu.Unlock()
+
+		err := f.Sync()
+		if d := l.cfg.SyncDelay; d > 0 {
+			time.Sleep(d) // one (simulated) stable-storage sync per batch
+		}
+
+		l.mu.Lock()
+		l.stats.Syncs++
+		switch {
+		case l.activeID != segID:
+			// A rotation intervened: it synced the snapshot's file and
+			// released everything up to the rotation point itself, so
+			// this result (even an error from the now-closed handle) is
+			// stale. Waiters enqueued after the rotation are picked up by
+			// the next iteration.
+		case err != nil:
+			l.rollbackUnsyncedLocked(err)
+		default:
+			if target > l.syncedSeq {
+				l.syncedSeq = target
+			}
+			if targetLen > l.syncedLen {
+				l.syncedLen = targetLen
+			}
+			l.releaseWaitersLocked(target, nil)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Replay invokes fn for every durable record in append order. It is meant
+// for open-time recovery: callers must not append concurrently, and fn must
+// not call back into the log.
+func (l *Log) Replay(fn func(pos RecordPos, payload []byte) error) error {
+	l.mu.Lock()
+	segments := append([]uint64(nil), l.segments...)
+	l.mu.Unlock()
+	for _, id := range segments {
+		data, err := l.cfg.Backend.ReadAll(segmentName(id))
+		if err != nil {
+			return fmt.Errorf("storage: replay segment %d: %w", id, err)
+		}
+		var cbErr error
+		scanFrames(data, func(off int64, payload []byte) {
+			if cbErr != nil {
+				return
+			}
+			if err := fn(RecordPos{Segment: id, Offset: off}, payload); err != nil {
+				cbErr = err
+			}
+		})
+		if cbErr != nil {
+			return fmt.Errorf("%w: %v", ErrBadCallback, cbErr)
+		}
+	}
+	return nil
+}
+
+// Rotate forces a segment switch, making everything written durable.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+// ActiveSegment returns the id of the segment receiving appends.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activeID
+}
+
+// DropSegmentsBefore removes every sealed segment with id < seg, reclaiming
+// space below a caller-determined retention point (the txlog calls this with
+// the segment of its first retained record after truncation). The active
+// segment is never removed. Returns the number of segments removed.
+func (l *Log) DropSegmentsBefore(seg uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	kept := l.segments[:0]
+	for _, id := range l.segments {
+		if id < seg && id != l.activeID {
+			if err := l.cfg.Backend.Remove(segmentName(id)); err != nil {
+				return removed, fmt.Errorf("storage: drop segment %d: %w", id, err)
+			}
+			removed++
+			l.stats.RemovedSegments++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	l.segments = kept
+	return removed, nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Segments = len(l.segments)
+	s.ActiveSegment = l.activeID
+	return s
+}
+
+// Close drains pending syncs, fsyncs the active segment, and releases it.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.active != nil {
+		if l.syncedSeq < l.writeSeq {
+			err = l.active.Sync()
+			if err == nil {
+				l.syncedSeq = l.writeSeq
+			}
+		}
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	return err
+}

@@ -1,0 +1,422 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func replayAll(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := l.Replay(func(_ RecordPos, payload []byte) error {
+		out = append(out, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func testAppendReplay(t *testing.T, be Backend) {
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, p)
+		if _, err := l.Append(p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got := replayAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen over the same backend: every record must still replay.
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestAppendReplayMem(t *testing.T) { testAppendReplay(t, NewMemBackend()) }
+
+func TestAppendReplayDisk(t *testing.T) {
+	be, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatalf("disk backend: %v", err)
+	}
+	testAppendReplay(t, be)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	be := NewMemBackend()
+	l, err := Open(Config{Backend: be, SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 32; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 4 {
+		t.Fatalf("expected rotation to produce >= 4 segments, got %d", st.Segments)
+	}
+	if got := replayAll(t, l); len(got) != 32 {
+		t.Fatalf("replayed %d records across segments, want 32", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	// A nonzero sync cost is what makes batching observable: records that
+	// queue while a sync is in flight share the next one.
+	l, err := Open(Config{SyncDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := replayAll(t, l); len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	st := l.Stats()
+	if st.Syncs >= n {
+		t.Fatalf("group commit ineffective: %d syncs for %d appends", st.Syncs, n)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	be, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatalf("disk backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Simulate a crash mid-write: append half a record to the segment.
+	seg := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	torn := appendFrame(nil, []byte("torn-record"))
+	if _, err := f.Write(torn[:len(torn)-4]); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want the 10 intact ones", len(got))
+	}
+	if l2.Stats().TailDropped == 0 {
+		t.Fatal("expected TailDropped > 0 after torn-tail repair")
+	}
+	// The log must accept appends after repair and keep them on replay.
+	if _, err := l2.Append([]byte("after-repair")); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if got := replayAll(t, l2); len(got) != 11 || string(got[10]) != "after-repair" {
+		t.Fatalf("post-repair replay = %d records (last %q)", len(got), got[len(got)-1])
+	}
+	l2.Close()
+}
+
+func TestCorruptRecordDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	be, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatalf("disk backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var positions []RecordPos
+	for i := 0; i < 10; i++ {
+		pos, err := l.Append([]byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		positions = append(positions, pos)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Flip one byte inside record 6's payload: records 0..5 stay intact,
+	// the corrupted record and everything after it are dropped.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[positions[6].Offset+frameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen with corruption: %v", err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6 (corrupt suffix dropped)", len(got))
+	}
+	for i := range got {
+		if want := fmt.Sprintf("payload-%d", i); string(got[i]) != want {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestCorruptionInEarlierSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	be, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatalf("disk backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be, SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("y"), 512)
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("need >= 3 segments, got %d", l.Stats().Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Corrupt the first record of segment 2.
+	seg := filepath.Join(dir, segmentName(2))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment 2: %v", err)
+	}
+	data[frameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite segment 2: %v", err)
+	}
+
+	l2, err := Open(Config{Backend: be, SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.DroppedSegments == 0 {
+		t.Fatal("expected later segments to be dropped after interior corruption")
+	}
+	got := replayAll(t, l2)
+	for _, p := range got {
+		if !bytes.Equal(p, payload) {
+			t.Fatal("surviving record corrupted")
+		}
+	}
+	if _, err := l2.Append(payload); err != nil {
+		t.Fatalf("append after corruption recovery: %v", err)
+	}
+}
+
+func TestDropSegmentsBefore(t *testing.T) {
+	be := NewMemBackend()
+	l, err := Open(Config{Backend: be, SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("z"), 1024)
+	for i := 0; i < 24; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	active := l.ActiveSegment()
+	if active < 3 {
+		t.Fatalf("expected several segments, active = %d", active)
+	}
+	removed, err := l.DropSegmentsBefore(active)
+	if err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("expected sealed segments to be removed")
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.ActiveSegment != active {
+		t.Fatalf("stats after drop: %+v", st)
+	}
+	// Records in the active segment still replay; appends continue.
+	before := len(replayAll(t, l))
+	if _, err := l.Append(payload); err != nil {
+		t.Fatalf("append after drop: %v", err)
+	}
+	if got := len(replayAll(t, l)); got != before+1 {
+		t.Fatalf("replay after drop+append = %d, want %d", got, before+1)
+	}
+}
+
+// faultBackend wraps a MemBackend whose files fail their next Sync while
+// `fail` is set — for exercising the fsync-failure rollback.
+type faultBackend struct {
+	*MemBackend
+	fail bool
+}
+
+type faultFile struct {
+	File
+	b *faultBackend
+}
+
+func (f faultFile) Sync() error {
+	if f.b.fail {
+		return fmt.Errorf("injected sync failure")
+	}
+	return f.File.Sync()
+}
+
+func (b *faultBackend) Create(name string) (File, error) {
+	f, err := b.MemBackend.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{File: f, b: b}, nil
+}
+
+func (b *faultBackend) OpenAppend(name string) (File, error) {
+	f, err := b.MemBackend.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{File: f, b: b}, nil
+}
+
+// TestFailedSyncLeavesNoGhostRecords: a record whose append was reported
+// failed (fsync error) must not become durable later — the unsynced suffix
+// is rolled back, so replay never resurrects it.
+func TestFailedSyncLeavesNoGhostRecords(t *testing.T) {
+	be := &faultBackend{MemBackend: NewMemBackend()}
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := l.Append([]byte("good-1")); err != nil {
+		t.Fatalf("append good-1: %v", err)
+	}
+	be.fail = true
+	if _, err := l.Append([]byte("ghost")); err == nil {
+		t.Fatal("append during sync failure should error")
+	}
+	be.fail = false
+	if _, err := l.Append([]byte("good-2")); err != nil {
+		t.Fatalf("append good-2 after recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 2 || string(got[0]) != "good-1" || string(got[1]) != "good-2" {
+		t.Fatalf("replay = %q, want exactly the two acknowledged records", got)
+	}
+}
+
+func TestAppendBatchPositionsAndReopen(t *testing.T) {
+	be, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatalf("disk backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	batch := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	positions, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatalf("append batch: %v", err)
+	}
+	if len(positions) != len(batch) {
+		t.Fatalf("got %d positions, want %d", len(positions), len(batch))
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i].Segment == positions[i-1].Segment && positions[i].Offset <= positions[i-1].Offset {
+			t.Fatalf("positions not increasing: %+v", positions)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != 3 || string(got[2]) != "ccc" {
+		t.Fatalf("batch replay = %q", got)
+	}
+}

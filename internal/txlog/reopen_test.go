@@ -1,0 +1,151 @@
+package txlog
+
+import (
+	"fmt"
+	"testing"
+
+	"txkv/internal/kv"
+	"txkv/internal/storage"
+)
+
+func wsAt(ts kv.Timestamp, client string) kv.WriteSet {
+	return kv.WriteSet{
+		TxnID:    uint64(ts),
+		ClientID: client,
+		CommitTS: ts,
+		Updates: []kv.Update{{
+			Table: "t", Row: kv.Key(fmt.Sprintf("row-%04d", ts)), Column: "c",
+			Value: []byte(fmt.Sprintf("v%d", ts)),
+		}},
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	be, err := storage.NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for ts := kv.Timestamp(1); ts <= 50; ts++ {
+		client := "alice"
+		if ts%2 == 0 {
+			client = "bob"
+		}
+		if err := l.Append(wsAt(ts, client)); err != nil {
+			t.Fatalf("append %d: %v", ts, err)
+		}
+	}
+	l.Close()
+
+	l2, err := Open(Config{Backend: be})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+
+	if got := l2.LastTS(); got != 50 {
+		t.Fatalf("LastTS after reopen = %d, want 50", got)
+	}
+	all, err := l2.After(0)
+	if err != nil {
+		t.Fatalf("After(0): %v", err)
+	}
+	if len(all) != 50 {
+		t.Fatalf("replayed %d records, want 50", len(all))
+	}
+	for i, ws := range all {
+		if ws.CommitTS != kv.Timestamp(i+1) {
+			t.Fatalf("record %d has CommitTS %d, want %d", i, ws.CommitTS, i+1)
+		}
+		if len(ws.Updates) != 1 || string(ws.Updates[0].Value) != fmt.Sprintf("v%d", i+1) {
+			t.Fatalf("record %d payload mismatch: %+v", i, ws.Updates)
+		}
+	}
+	bob, err := l2.ByClientAfter("bob", 10)
+	if err != nil {
+		t.Fatalf("ByClientAfter: %v", err)
+	}
+	if len(bob) != 20 { // even timestamps 12..50
+		t.Fatalf("bob records after 10 = %d, want 20", len(bob))
+	}
+	if st := l2.Stats(); st.ReplayedRecords != 50 || st.DurableRecords != 50 {
+		t.Fatalf("stats after reopen: %+v", st)
+	}
+}
+
+func TestReopenHonorsTruncationWatermark(t *testing.T) {
+	be, err := storage.NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	l, err := Open(Config{Backend: be, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for ts := kv.Timestamp(1); ts <= 200; ts++ {
+		if err := l.Append(wsAt(ts, "c")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	l.Truncate(120)
+	segsAfter := l.Stats().Segments
+	l.Close()
+
+	l2, err := Open(Config{Backend: be, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.TruncatedBelow(); got != 120 {
+		t.Fatalf("TruncatedBelow after reopen = %d, want 120", got)
+	}
+	if _, err := l2.After(100); err == nil {
+		t.Fatal("After(100) should fail inside the truncated range")
+	}
+	rest, err := l2.After(120)
+	if err != nil {
+		t.Fatalf("After(120): %v", err)
+	}
+	if len(rest) != 80 || rest[0].CommitTS != 121 {
+		t.Fatalf("retained = %d records starting at %d, want 80 starting at 121",
+			len(rest), rest[0].CommitTS)
+	}
+	if got := l2.LastTS(); got != 200 {
+		t.Fatalf("LastTS = %d, want 200", got)
+	}
+	if l2.Stats().Segments > segsAfter {
+		t.Fatalf("reopen grew segments: %d > %d", l2.Stats().Segments, segsAfter)
+	}
+}
+
+func TestTruncateReclaimsSegments(t *testing.T) {
+	l, err := Open(Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	for ts := kv.Timestamp(1); ts <= 400; ts++ {
+		if err := l.Append(wsAt(ts, "c")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	before := l.Stats().Segments
+	if before < 3 {
+		t.Fatalf("need several segments to test reclamation, got %d", before)
+	}
+	l.Truncate(390)
+	after := l.Stats().Segments
+	if after >= before {
+		t.Fatalf("truncation reclaimed nothing: %d -> %d segments", before, after)
+	}
+	rest, err := l.After(390)
+	if err != nil {
+		t.Fatalf("After(390): %v", err)
+	}
+	if len(rest) != 10 {
+		t.Fatalf("retained %d records, want 10", len(rest))
+	}
+}

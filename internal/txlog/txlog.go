@@ -1,19 +1,24 @@
 // Package txlog implements the transaction manager's recovery log: the
 // append-only, commit-ordered log of committed write-sets that provides
 // durability for the whole system (paper §2.2). It supports group commit —
-// one simulated fsync covers every record that queued while the previous
-// sync was in flight — plus the two retrieval operations the recovery
-// manager needs (fetch a client's commits after a threshold, fetch all
-// commits after a threshold) and truncation below the global persisted
-// threshold T_P (the paper's global checkpoint).
+// one fsync covers every record that queued while the previous sync was in
+// flight — plus the two retrieval operations the recovery manager needs
+// (fetch a client's commits after a threshold, fetch all commits after a
+// threshold) and truncation below the global persisted threshold T_P (the
+// paper's global checkpoint).
 //
 // The paper's logging sub-component "has access to its own high performance
-// stable storage"; the log is therefore modelled as reliable in-process
-// storage whose sync cost is the configured latency. The log itself is
-// assumed never lost (like the paper's TM).
+// stable storage"; that stable storage is an internal/storage segmented log.
+// With the default in-memory backend the log behaves like the original
+// simulation (reliable in-process storage whose sync cost is the configured
+// latency); with a disk backend every committed write-set is durable on
+// real files, the in-memory retrieval index is rebuilt by replaying the
+// segments on Open, and truncation both journals a marker and reclaims
+// whole segments below the retained point.
 package txlog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/storage"
 )
 
 // Log errors.
@@ -29,22 +35,35 @@ var (
 	ErrTruncated = errors.New("txlog: range already truncated")
 )
 
+// truncMarkerFormat tags a truncation-watermark record in the storage log.
+// kv write-set encodings begin with 0x11; this byte must stay distinct.
+const truncMarkerFormat = 0x12
+
 // Config controls the log.
 type Config struct {
 	// SyncLatency is the duration of one group-commit fsync. All records
 	// enqueued while a sync is in flight are covered by the next one.
 	SyncLatency time.Duration
+	// Backend is the stable storage holding the log's segments. Nil means
+	// a fresh in-memory backend (the default for tests and benchmarks); a
+	// storage.DiskBackend makes commits durable across process restarts.
+	Backend storage.Backend
+	// SegmentBytes caps a storage segment before rotation (0 = default).
+	SegmentBytes int64
 }
 
 // Stats reports log counters used by the truncation experiment.
 type Stats struct {
 	DurableRecords   int   // records currently retained
 	DurableBytes     int64 // approximate bytes currently retained
-	TotalAppends     int64 // records ever appended
-	TotalBytes       int64 // bytes ever appended
+	TotalAppends     int64 // records ever appended (since open)
+	TotalBytes       int64 // bytes ever appended (since open)
 	Syncs            int64 // group-commit fsyncs performed
 	TruncatedRecords int64 // records removed by truncation
 	TruncatedBelow   kv.Timestamp
+	Segments         int // storage segments currently on the backend
+	ReplayedRecords  int // records recovered from stable storage at Open
+	ReplayedDropped  int // replayed records discarded (truncated/undecodable)
 }
 
 type pendingRec struct {
@@ -52,29 +71,119 @@ type pendingRec struct {
 	done chan error
 }
 
+// logRec is one durable, indexed commit record and the storage segment
+// holding its bytes (used to reclaim whole segments on truncation).
+type logRec struct {
+	ws  kv.WriteSet
+	seg uint64
+}
+
 // Log is the recovery log. Records must be enqueued in commit-timestamp
 // order (the transaction manager enqueues under its commit mutex, which
 // guarantees this); retrieval relies on that order.
 type Log struct {
-	cfg Config
+	cfg   Config
+	store *storage.Log
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	pending   []pendingRec
-	records   []kv.WriteSet // durable, ascending CommitTS
-	truncated kv.Timestamp  // all records <= truncated have been dropped
+	records   []logRec     // durable, ascending CommitTS
+	truncated kv.Timestamp // all records <= truncated have been dropped
+	lastTS    kv.Timestamp // highest CommitTS ever observed (incl. truncated)
 	closed    bool
 	stats     Stats
+
+	// ioMu spans each batch's storage append plus its index insertion, and
+	// Truncate's marker append plus segment reclamation. Without it a
+	// truncation could observe an empty index while a durable batch is
+	// still between AppendBatch and the index, and reclaim the very
+	// segment holding that batch's records. Always acquired before mu.
+	ioMu sync.Mutex
 
 	wg sync.WaitGroup
 }
 
-// New creates and starts a log.
-func New(cfg Config) *Log {
-	l := &Log{cfg: cfg}
+// Open creates or resumes a log on cfg.Backend. Resuming replays the
+// storage segments to rebuild the in-memory retrieval index: commit records
+// re-populate the index in commit order and truncation markers re-establish
+// the watermark, so a reopened log serves After/ByClientAfter exactly as if
+// the process had never stopped.
+func Open(cfg Config) (*Log, error) {
+	store, err := storage.Open(storage.Config{
+		Backend:      cfg.Backend,
+		SegmentBytes: cfg.SegmentBytes,
+		SyncDelay:    cfg.SyncLatency,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("txlog: open storage: %w", err)
+	}
+	l := &Log{cfg: cfg, store: store}
 	l.cond = sync.NewCond(&l.mu)
+
+	err = store.Replay(func(pos storage.RecordPos, payload []byte) error {
+		if len(payload) == 0 {
+			return nil
+		}
+		if payload[0] == truncMarkerFormat {
+			ts, err := decodeTruncMarker(payload)
+			if err != nil {
+				l.stats.ReplayedDropped++
+				return nil
+			}
+			if ts > l.truncated {
+				l.truncated = ts
+			}
+			if ts > l.lastTS {
+				l.lastTS = ts
+			}
+			return nil
+		}
+		ws, err := kv.DecodeWriteSet(payload)
+		if err != nil {
+			l.stats.ReplayedDropped++ // foreign or damaged record: skip
+			return nil
+		}
+		l.records = append(l.records, logRec{ws: ws, seg: pos.Segment})
+		if ws.CommitTS > l.lastTS {
+			l.lastTS = ws.CommitTS
+		}
+		l.stats.ReplayedRecords++
+		return nil
+	})
+	if err != nil {
+		_ = store.Close()
+		return nil, fmt.Errorf("txlog: replay: %w", err)
+	}
+
+	// Apply the recovered watermark: markers can trail the records they
+	// cover, so the drop happens after the full replay.
+	if l.truncated > 0 {
+		i := sort.Search(len(l.records), func(i int) bool {
+			return l.records[i].ws.CommitTS > l.truncated
+		})
+		l.stats.ReplayedDropped += i
+		l.records = append([]logRec(nil), l.records[i:]...)
+	}
+	for _, r := range l.records {
+		sz := recordSize(r.ws)
+		l.stats.DurableRecords++
+		l.stats.DurableBytes += sz
+	}
+	l.stats.TruncatedBelow = l.truncated
+
 	l.wg.Add(1)
 	go l.syncLoop()
+	return l, nil
+}
+
+// New creates and starts a log. It panics if the backend cannot be opened —
+// use Open to handle resumable (disk) backends gracefully.
+func New(cfg Config) *Log {
+	l, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return l
 }
 
@@ -110,26 +219,36 @@ func (l *Log) syncLoop() {
 		}
 		batch := l.pending
 		l.pending = nil
-		lat := l.cfg.SyncLatency
 		l.mu.Unlock()
 
-		if lat > 0 {
-			time.Sleep(lat) // one fsync for the whole group
+		// One storage group-commit (single fsync + the configured sync
+		// latency) covers the whole batch.
+		payloads := make([][]byte, len(batch))
+		for i, p := range batch {
+			payloads[i] = kv.EncodeWriteSet(p.ws)
 		}
+		l.ioMu.Lock()
+		positions, err := l.store.AppendBatch(payloads)
 
 		l.mu.Lock()
-		for _, p := range batch {
-			l.records = append(l.records, p.ws)
-			sz := recordSize(p.ws)
-			l.stats.DurableRecords++
-			l.stats.DurableBytes += sz
-			l.stats.TotalAppends++
-			l.stats.TotalBytes += sz
+		if err == nil {
+			for i, p := range batch {
+				l.records = append(l.records, logRec{ws: p.ws, seg: positions[i].Segment})
+				if p.ws.CommitTS > l.lastTS {
+					l.lastTS = p.ws.CommitTS
+				}
+				sz := int64(len(payloads[i]))
+				l.stats.DurableRecords++
+				l.stats.DurableBytes += sz
+				l.stats.TotalAppends++
+				l.stats.TotalBytes += sz
+			}
+			l.stats.Syncs++
 		}
-		l.stats.Syncs++
 		l.mu.Unlock()
+		l.ioMu.Unlock()
 		for _, p := range batch {
-			p.done <- nil
+			p.done <- err
 		}
 	}
 }
@@ -146,10 +265,10 @@ func (l *Log) After(after kv.Timestamp) ([]kv.WriteSet, error) {
 	if after < l.truncated {
 		return nil, fmt.Errorf("%w: need > %d, truncated at %d", ErrTruncated, after, l.truncated)
 	}
-	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].CommitTS > after })
+	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].ws.CommitTS > after })
 	out := make([]kv.WriteSet, 0, len(l.records)-i)
 	for ; i < len(l.records); i++ {
-		out = append(out, l.records[i].Clone())
+		out = append(out, l.records[i].ws.Clone())
 	}
 	return out, nil
 }
@@ -170,36 +289,112 @@ func (l *Log) ByClientAfter(clientID string, after kv.Timestamp) ([]kv.WriteSet,
 	return out, nil
 }
 
+// Retained returns every durable record still in the log, ascending — the
+// replay set a reopened cluster applies to its stores.
+func (l *Log) Retained() []kv.WriteSet {
+	l.mu.Lock()
+	after := l.truncated
+	l.mu.Unlock()
+	out, err := l.After(after)
+	if err != nil {
+		return nil // truncation raced forward; the new range needs no replay
+	}
+	return out
+}
+
+// LastTS returns the highest commit timestamp the log has ever observed,
+// including truncated records. A reopened transaction manager seeds its
+// timestamp oracle here so fresh commits sort after every recovered one.
+func (l *Log) LastTS() kv.Timestamp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastTS
+}
+
+// TruncatedBelow returns the current truncation watermark.
+func (l *Log) TruncatedBelow() kv.Timestamp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+func encodeTruncMarker(ts kv.Timestamp) []byte {
+	return binary.AppendUvarint([]byte{truncMarkerFormat}, uint64(ts))
+}
+
+func decodeTruncMarker(payload []byte) (kv.Timestamp, error) {
+	if len(payload) < 2 || payload[0] != truncMarkerFormat {
+		return 0, errors.New("txlog: bad truncation marker")
+	}
+	v, n := binary.Uvarint(payload[1:])
+	if n <= 0 {
+		return 0, errors.New("txlog: truncated truncation marker")
+	}
+	return kv.Timestamp(v), nil
+}
+
 // Truncate drops every record with CommitTS <= upTo. The recovery manager
 // calls this with the global persisted threshold T_P: those write-sets are
 // durable in the data store itself and will never need replay (paper §3.2,
 // "global checkpoint"). Truncate never un-truncates: a smaller upTo is a
-// no-op.
+// no-op. The watermark is journaled to stable storage (so a reopened log
+// does not resurrect truncated records) and storage segments wholly below
+// the retained point are physically reclaimed.
 func (l *Log) Truncate(upTo kv.Timestamp) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if upTo <= l.truncated {
+	if l.closed || upTo <= l.truncated {
+		l.mu.Unlock()
 		return
 	}
-	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].CommitTS > upTo })
+	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].ws.CommitTS > upTo })
 	for j := 0; j < i; j++ {
-		l.stats.DurableBytes -= recordSize(l.records[j])
+		l.stats.DurableBytes -= recordSize(l.records[j].ws)
 	}
 	l.stats.DurableRecords -= i
 	l.stats.TruncatedRecords += int64(i)
-	l.records = append([]kv.WriteSet(nil), l.records[i:]...)
+	l.records = append([]logRec(nil), l.records[i:]...)
 	l.truncated = upTo
+	if upTo > l.lastTS {
+		l.lastTS = upTo
+	}
 	l.stats.TruncatedBelow = upTo
+	l.mu.Unlock()
+
+	// ioMu: no commit batch may sit between its storage append and its
+	// index insertion while segments are chosen for reclamation, or the
+	// choice below could drop the segment holding that batch.
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+
+	// Journal the watermark before reclaiming segments: if the process
+	// dies between the two, replay sees the marker and still drops the
+	// truncated range.
+	if _, err := l.store.AppendBatch([][]byte{encodeTruncMarker(upTo)}); err != nil {
+		return // backend failing; leave segments in place
+	}
+	// Everything below the first retained record's segment is reclaimable;
+	// with nothing retained (and no batch in flight, per ioMu), everything
+	// below the active segment is.
+	l.mu.Lock()
+	keepSeg := l.store.ActiveSegment()
+	if len(l.records) > 0 {
+		keepSeg = l.records[0].seg
+	}
+	l.mu.Unlock()
+	_, _ = l.store.DropSegmentsBefore(keepSeg)
 }
 
 // Stats returns a snapshot of the log counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	s := l.stats
+	s.Segments = l.store.Stats().Segments
+	return s
 }
 
-// Close drains pending records and stops the sync loop.
+// Close drains pending records, stops the sync loop, and releases the
+// stable storage.
 func (l *Log) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -210,4 +405,5 @@ func (l *Log) Close() {
 	l.cond.Signal()
 	l.mu.Unlock()
 	l.wg.Wait()
+	_ = l.store.Close()
 }

@@ -68,13 +68,22 @@ type Manager struct {
 	commitN uint64
 }
 
-// New creates a Manager writing commits to log.
+// New creates a Manager writing commits to log. The timestamp oracle is
+// seeded from the log's highest recovered commit timestamp, so a manager
+// over a reopened recovery log issues fresh timestamps strictly after every
+// commit of the previous incarnation; the visibility frontier starts there
+// too (the reopen path replays and flushes all retained write-sets before
+// clients run).
 func New(log *txlog.Log) *Manager {
 	m := &Manager{
 		log:        log,
 		active:     make(map[uint64]kv.Timestamp),
 		lastCommit: make(map[string]kv.Timestamp),
 		unflushed:  make(map[kv.Timestamp]struct{}),
+	}
+	if log != nil {
+		m.lastIssued = log.LastTS()
+		m.frontier = m.lastIssued
 	}
 	m.flushCond = sync.NewCond(&m.mu)
 	return m

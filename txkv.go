@@ -28,13 +28,26 @@
 //
 // Failure injection (CrashServer, Client.Crash, CrashRecoveryManager) lets
 // applications and benchmarks exercise the recovery paths the paper
-// evaluates. See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduced figures.
+// evaluates. With Config.Persistence set to PersistDisk and a DataDir, the
+// recovery log, the filesystem, and table layouts are journaled through the
+// internal/storage segmented-log engine to real files, and a stopped (or
+// killed) cluster reopens from the same directory with every committed
+// transaction intact:
+//
+//	cluster, err := txkv.Open(txkv.Config{
+//		Servers:     2,
+//		Persistence: txkv.PersistDisk,
+//		DataDir:     "/var/lib/txkv",
+//	})
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+// figures.
 package txkv
 
 import (
 	"txkv/internal/cluster"
 	"txkv/internal/kv"
+	"txkv/internal/kvstore"
 	"txkv/internal/txmgr"
 )
 
@@ -63,6 +76,20 @@ type (
 	Timestamp = kv.Timestamp
 	// KeyValue is one versioned cell, as returned by scans.
 	KeyValue = kv.KeyValue
+
+	// PersistenceMode selects where durable state lives (PersistNone or
+	// PersistDisk).
+	PersistenceMode = cluster.PersistenceMode
+)
+
+// Persistence modes for Config.Persistence.
+const (
+	// PersistNone keeps all state in process memory (the default): the
+	// original pure simulation.
+	PersistNone = cluster.PersistNone
+	// PersistDisk journals durable state to real files under
+	// Config.DataDir; the cluster survives process restarts.
+	PersistDisk = cluster.PersistDisk
 )
 
 // Errors surfaced through the public API.
@@ -74,7 +101,16 @@ var (
 	ErrClientClosed = cluster.ErrClientClosed
 	// ErrTxnFinished reports use of a committed or aborted transaction.
 	ErrTxnFinished = cluster.ErrTxnFinished
+	// ErrTableExists reports CreateTable on an existing table — including
+	// one restored by reopening a persistent data directory.
+	ErrTableExists = kvstore.ErrTableExists
 )
 
-// Open assembles and starts a cluster. Stop it with Cluster.Stop.
+// Open assembles and starts a cluster. Stop it with Cluster.Stop. With
+// PersistDisk, a DataDir holding a previous incarnation's state is reopened
+// with all committed transactions intact.
 func Open(cfg Config) (*Cluster, error) { return cluster.New(cfg) }
+
+// Reopen opens a cluster over an existing data directory. It is Open with
+// the persistence configuration validated: Persistence must be PersistDisk.
+func Reopen(cfg Config) (*Cluster, error) { return cluster.Reopen(cfg) }
