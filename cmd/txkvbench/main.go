@@ -13,7 +13,11 @@
 //	txkvbench -experiment clientfail  # client-failure recovery (§3.1)
 //	txkvbench -experiment rmfail      # recovery-manager fail-over (§3.3)
 //	txkvbench -experiment durability  # storage engine: mem vs disk backend + timed restart
+//	txkvbench -experiment readwrite   # hot-path Get/Scan latency + parallel commit throughput
 //	txkvbench -experiment all
+//
+// The readwrite experiment additionally writes its machine-readable result
+// to the path given by -json (the BENCH_PR2.json regression format).
 //
 // The -scale flag shrinks or grows every workload dimension together;
 // -records / -duration override individual knobs.
@@ -32,13 +36,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		jsonPath   = flag.String("json", "", "write readwrite results as JSON to this path")
 	)
 	flag.Parse()
+	bench.ReadWriteJSONPath = *jsonPath
 
 	opts := bench.Options{
 		Records:  *records,
@@ -57,8 +63,9 @@ func main() {
 		"clientfail":  bench.ClientFailure,
 		"rmfail":      bench.RMFailover,
 		"durability":  bench.Durability,
+		"readwrite":   bench.ReadWrite,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txkv/internal/cluster"
+	"txkv/internal/kv"
+	"txkv/internal/metrics"
+	"txkv/internal/ycsb"
+)
+
+// ReadWrite benchmarks the store's hot path in isolation from the failure
+// machinery: multi-client point-read latency, limited range scans, and
+// committed-transaction throughput under concurrent writers. It is the
+// regression harness for the lock-free read path and striped commit
+// validation work — BENCH_PR2.json in the repo root records a before/after
+// pair in the ReadWriteResult format (see EXPERIMENTS.md).
+//
+// Three phases run against one loaded cluster:
+//
+//  1. get: Threads closed-loop readers issue single-row snapshot Gets.
+//  2. scan: Threads closed-loop readers issue ScanRange over a random
+//     64-row window with Limit 16 (limit pushdown is the point).
+//  3. commit: at least 8 client processes run write-only transactions;
+//     committed transactions per second exercises validation striping.
+
+// scanWindow and scanLimit shape the scan phase: a window wide enough to
+// span several blocks, a limit small enough that streaming early-exit
+// matters.
+const (
+	scanWindow = 64
+	scanLimit  = 16
+)
+
+// ReadWriteResult is the machine-readable output of one ReadWrite run,
+// written to ReadWriteJSONPath when set (the txkvbench -json flag).
+type ReadWriteResult struct {
+	Records       int     `json:"records"`
+	Threads       int     `json:"threads"`
+	CommitClients int     `json:"commit_clients"`
+	DurationSec   float64 `json:"duration_sec"`
+
+	GetOpsPerSec float64 `json:"get_ops_per_sec"`
+	GetP50Micros float64 `json:"get_p50_us"`
+	GetP99Micros float64 `json:"get_p99_us"`
+
+	ScanOpsPerSec float64 `json:"scan_ops_per_sec"`
+	ScanP50Micros float64 `json:"scan_p50_us"`
+	ScanP99Micros float64 `json:"scan_p99_us"`
+
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	CommitAborts  int64   `json:"commit_aborts"`
+}
+
+// ReadWriteJSONPath, when non-empty, makes ReadWrite additionally write its
+// ReadWriteResult as JSON to the given file (set by cmd/txkvbench -json).
+var ReadWriteJSONPath string
+
+// ReadWrite runs the hot-path experiment and prints one row per phase.
+func ReadWrite(o Options) error {
+	o = o.withDefaults()
+	res, err := readWriteRun(o)
+	if err != nil {
+		return err
+	}
+
+	fprintf(o.Out, "# readwrite: hot-path Get / limited Scan / parallel commit\n")
+	fprintf(o.Out, "%-8s %14s %12s %12s\n", "phase", "ops/s", "p50-us", "p99-us")
+	fprintf(o.Out, "%-8s %14.0f %12.1f %12.1f\n", "get", res.GetOpsPerSec, res.GetP50Micros, res.GetP99Micros)
+	fprintf(o.Out, "%-8s %14.0f %12.1f %12.1f\n", "scan", res.ScanOpsPerSec, res.ScanP50Micros, res.ScanP99Micros)
+	fprintf(o.Out, "%-8s %14.0f   (%d clients, %d aborts)\n", "commit", res.CommitsPerSec, res.CommitClients, res.CommitAborts)
+
+	if ReadWriteJSONPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ReadWriteJSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("readwrite: write json: %w", err)
+		}
+		fprintf(o.Out, "\nwrote %s\n", ReadWriteJSONPath)
+	}
+	return nil
+}
+
+func readWriteRun(o Options) (ReadWriteResult, error) {
+	res := ReadWriteResult{
+		Records:     o.Records,
+		Threads:     o.Threads,
+		DurationSec: o.Duration.Seconds(),
+	}
+	// Unlike the figure experiments, this one zeroes the simulated network
+	// and storage latencies: the point is the software hot path (locks,
+	// allocations, validation), which the paper-ratio sleeps would bury.
+	cfg := paperRatioConfig(2, false, time.Second)
+	cfg.RPCLatency = 0
+	cfg.LogSyncLatency = 0
+	cfg.DFSSyncLatency = 0
+	cfg.DFSReadLatency = 0
+	c, w, err := setup(o, cfg)
+	if err != nil {
+		return res, err
+	}
+	defer c.Stop()
+	if err := warmup(c, w, o); err != nil {
+		return res, err
+	}
+
+	// Phase 1+2: closed-loop read-only clients. One transaction per
+	// operation would measure Begin/Abort machinery; instead each thread
+	// holds a snapshot transaction and re-takes it every 256 operations so
+	// the snapshot stays fresh without dominating the measurement.
+	getHist, getOps, err := readPhase(c, w, o, func(txn *cluster.Txn, rng *rand.Rand) error {
+		row := ycsb.RowKey(uint64(rng.Intn(w.RecordCount)))
+		_, _, err := txn.Get(w.Table, row, "field0")
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.GetOpsPerSec = float64(getOps) / o.Duration.Seconds()
+	res.GetP50Micros = float64(getHist.Quantile(0.50)) / 1e3
+	res.GetP99Micros = float64(getHist.Quantile(0.99)) / 1e3
+
+	scanHist, scanOps, err := readPhase(c, w, o, func(txn *cluster.Txn, rng *rand.Rand) error {
+		start := rng.Intn(w.RecordCount)
+		rng2 := kv.KeyRange{
+			Start: ycsb.RowKey(uint64(start)),
+			End:   ycsb.RowKey(uint64(start + scanWindow)),
+		}
+		_, err := txn.Scan(w.Table, rng2, scanLimit)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ScanOpsPerSec = float64(scanOps) / o.Duration.Seconds()
+	res.ScanP50Micros = float64(scanHist.Quantile(0.50)) / 1e3
+	res.ScanP99Micros = float64(scanHist.Quantile(0.99)) / 1e3
+
+	// Phase 3: write-only transactions across >= 8 client processes — the
+	// validation-striping measurement. Uniform keys keep true conflicts
+	// rare, so committed/s is bounded by validation + group commit, not by
+	// aborts.
+	commitClients := 8
+	if o.Threads > commitClients {
+		commitClients = o.Threads
+	}
+	res.CommitClients = commitClients
+	wr := w
+	wr.ReadRatio = 0.01 // effectively write-only; keep >0 so defaulting doesn't kick in
+	runRes, err := ycsb.Run(c, wr, ycsb.RunnerConfig{
+		Threads:  commitClients,
+		Clients:  commitClients,
+		Duration: o.Duration,
+		Seed:     o.Seed + 7,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.CommitsPerSec = runRes.Throughput()
+	res.CommitAborts = runRes.Aborted
+	return res, nil
+}
+
+// readPhase runs o.Threads closed-loop readers for o.Duration and returns
+// the per-op latency histogram and total op count.
+func readPhase(c *cluster.Cluster, w ycsb.Workload, o Options, op func(*cluster.Txn, *rand.Rand) error) (*metrics.Histogram, int64, error) {
+	hist := &metrics.Histogram{}
+	var ops atomic.Int64
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+
+	cl, err := c.NewClient("")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer cl.Stop()
+
+	stopAt := time.Now().Add(o.Duration)
+	var wg sync.WaitGroup
+	for th := 0; th < o.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed*31 + int64(th)))
+			txn := cl.BeginStrict()
+			defer txn.Abort()
+			n := 0
+			for time.Now().Before(stopAt) {
+				if n++; n%256 == 0 {
+					txn.Abort()
+					txn = cl.BeginStrict()
+				}
+				start := time.Now()
+				if err := op(txn, rng); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				hist.Record(time.Since(start))
+				ops.Add(1)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return hist, ops.Load(), nil
+}

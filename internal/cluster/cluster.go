@@ -29,6 +29,9 @@ var (
 	ErrStopped       = errors.New("cluster: stopped")
 	ErrUnknownServer = errors.New("cluster: unknown server")
 	ErrRMDown        = errors.New("cluster: recovery manager down")
+	// ErrDataDirLocked reports that another live cluster already holds the
+	// configured DataDir (matchable with errors.Is on either name).
+	ErrDataDirLocked = storage.ErrDirLocked
 )
 
 // Config sizes and parameterizes the cluster. Zero values give a sensible
@@ -145,7 +148,8 @@ type Cluster struct {
 	tm        *txmgr.Manager
 	master    *kvstore.Master
 	gate      *rmProxy
-	layoutLog *storage.Log // nil without persistence
+	layoutLog *storage.Log     // nil without persistence
+	dirLock   *storage.DirLock // nil without persistence
 
 	mu        sync.Mutex
 	rm        *core.Manager
@@ -213,13 +217,21 @@ func New(cfg Config) (*Cluster, error) {
 		txBackend  storage.Backend
 		dfsOpenLog func(name string) (*storage.Log, error)
 		layoutLog  *storage.Log
+		dirLock    *storage.DirLock
 	)
 	if cfg.Persistence == PersistDisk {
 		if cfg.DataDir == "" {
 			return nil, ErrNoDataDir
 		}
+		// Exclusive DataDir lock: a second live cluster on the same
+		// directory would interleave journal writes; reject it up front.
+		var err error
+		if dirLock, err = storage.LockDir(cfg.DataDir); err != nil {
+			return nil, err
+		}
 		be, err := storage.NewDiskBackend(dataSubdir(cfg.DataDir, "txlog"))
 		if err != nil {
+			_ = dirLock.Unlock()
 			return nil, err
 		}
 		txBackend = be
@@ -227,6 +239,7 @@ func New(cfg Config) (*Cluster, error) {
 			return diskLog(dataSubdir(cfg.DataDir, "dfs", name), cfg.StorageSegmentBytes)
 		}
 		if layoutLog, err = diskLog(dataSubdir(cfg.DataDir, "cluster"), cfg.StorageSegmentBytes); err != nil {
+			_ = dirLock.Unlock()
 			return nil, err
 		}
 	}
@@ -242,6 +255,7 @@ func New(cfg Config) (*Cluster, error) {
 		if layoutLog != nil {
 			_ = layoutLog.Close()
 		}
+		_ = dirLock.Unlock()
 		return nil, err
 	}
 	log, err := txlog.Open(txlog.Config{
@@ -254,6 +268,7 @@ func New(cfg Config) (*Cluster, error) {
 			_ = layoutLog.Close()
 		}
 		_ = fs.Close()
+		_ = dirLock.Unlock()
 		return nil, err
 	}
 
@@ -267,6 +282,7 @@ func New(cfg Config) (*Cluster, error) {
 		}),
 		log:       log,
 		layoutLog: layoutLog,
+		dirLock:   dirLock,
 		servers:   make(map[string]*serverUnit),
 		clients:   make(map[string]*Client),
 		gate:      &rmProxy{},
@@ -573,6 +589,7 @@ func (c *Cluster) Stop() {
 		_ = c.layoutLog.Close()
 	}
 	_ = c.fs.Close()
+	_ = c.dirLock.Unlock()
 }
 
 // Rebalance spreads regions evenly across live servers (used after

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDataDirLock verifies that two live clusters cannot share a DataDir,
+// and that a clean Stop releases the directory for reopening.
+func TestDataDirLock(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Servers:     1,
+		Persistence: PersistDisk,
+		DataDir:     dir,
+	}
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("first cluster: %v", err)
+	}
+	if _, err := New(cfg); !errors.Is(err, ErrDataDirLocked) {
+		c1.Stop()
+		t.Fatalf("second cluster on live DataDir: got %v, want ErrDataDirLocked", err)
+	}
+	c1.Stop()
+
+	c2, err := Reopen(cfg)
+	if err != nil {
+		t.Fatalf("reopen after stop: %v", err)
+	}
+	c2.Stop()
+}

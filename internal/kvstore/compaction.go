@@ -1,7 +1,6 @@
 package kvstore
 
 import (
-	"container/heap"
 	"fmt"
 
 	"txkv/internal/kv"
@@ -21,17 +20,19 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	r.flushMu.Lock() // flushes and compactions are mutually exclusive
 	defer r.flushMu.Unlock()
 
-	r.mu.RLock()
-	files := append([]*StoreFile(nil), r.files...)
-	seq := r.nextSeq
-	r.mu.RUnlock()
+	v := r.view.Load()
+	files := v.files
 	if len(files) <= 1 {
 		return nil
 	}
+	r.mu.Lock()
+	seq := r.nextSeq
+	r.nextSeq++
+	r.mu.Unlock()
 
 	// Each store file is individually sorted in store order, so the k
-	// files merge in one pass through a k-way heap: O(n log k) instead of
-	// the collect-everything-and-sort O(n log n).
+	// files merge in one pass through the shared k-way heap: O(n log k)
+	// instead of the collect-everything-and-sort O(n log n).
 	runs := make([][]kv.KeyValue, 0, len(files))
 	for _, f := range files {
 		run, err := f.ScanRange(nil, kv.KeyRange{}, kv.MaxTimestamp, r.cache)
@@ -42,30 +43,34 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 			runs = append(runs, run)
 		}
 	}
-	all := mergeRuns(runs, horizon)
+	all, err := mergeRuns(runs, horizon)
+	if err != nil {
+		return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
+	}
 
-	r.mu.Lock()
-	r.nextSeq = seq + 1
-	r.mu.Unlock()
 	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
 	merged, err := WriteStoreFile(r.fs, path, all, blockSize)
 	if err != nil {
 		return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
 	}
 
-	r.mu.Lock()
-	// Replace exactly the compacted inputs; files flushed meanwhile stay.
-	keep := r.files[:0:0]
 	compacted := make(map[*StoreFile]bool, len(files))
 	for _, f := range files {
 		compacted[f] = true
 	}
-	for _, f := range r.files {
-		if !compacted[f] {
-			keep = append(keep, f)
+	r.mu.Lock()
+	r.swapView(func(old regionView) regionView {
+		// Replace exactly the compacted inputs; files flushed meanwhile stay.
+		nf := make([]*StoreFile, 0, len(old.files))
+		nf = append(nf, merged)
+		for _, f := range old.files {
+			if !compacted[f] {
+				nf = append(nf, f)
+			}
 		}
-	}
-	r.files = append([]*StoreFile{merged}, keep...)
+		old.files = nf
+		return old
+	})
 	r.mu.Unlock()
 
 	for _, f := range files {
@@ -82,63 +87,32 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	return nil
 }
 
-// runHeap is a min-heap over the heads of k sorted runs, ordered by cell
-// (ties broken by run index so the earliest run pops first — "keep the
-// first" for exact duplicates matches the previous collect+sort behavior).
-type runHeap struct {
-	runs  [][]kv.KeyValue
-	heads []int // heap of run indices; runs[i][cursor[i]] is i's head
-	cur   []int
-}
-
-func (h *runHeap) Len() int { return len(h.heads) }
-
-func (h *runHeap) Less(a, b int) bool {
-	i, j := h.heads[a], h.heads[b]
-	c := kv.CompareCells(h.runs[i][h.cur[i]].Cell, h.runs[j][h.cur[j]].Cell)
-	if c != 0 {
-		return c < 0
-	}
-	return i < j
-}
-
-func (h *runHeap) Swap(a, b int) { h.heads[a], h.heads[b] = h.heads[b], h.heads[a] }
-
-func (h *runHeap) Push(x any) { h.heads = append(h.heads, x.(int)) }
-
-func (h *runHeap) Pop() any {
-	x := h.heads[len(h.heads)-1]
-	h.heads = h.heads[:len(h.heads)-1]
-	return x
-}
-
 // mergeRuns merges k individually sorted runs into one sorted slice in
 // store order, removing exact duplicates (the same cell can appear in
 // multiple files after recovery replays) and dropping versions shadowed at
-// or below the horizon.
-func mergeRuns(runs [][]kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
+// or below the horizon. Built on the same streaming merger as the region
+// scan path; ties on exact cells keep the earliest run, matching the
+// previous collect+sort behavior.
+func mergeRuns(runs [][]kv.KeyValue, horizon kv.Timestamp) ([]kv.KeyValue, error) {
 	total := 0
+	iters := make([]kvIter, 0, len(runs))
 	for _, r := range runs {
 		total += len(r)
+		iters = append(iters, &sliceIter{s: r})
 	}
 	out := make([]kv.KeyValue, 0, total)
-	h := &runHeap{runs: runs, cur: make([]int, len(runs))}
-	for i, r := range runs {
-		if len(r) > 0 {
-			h.heads = append(h.heads, i)
+	mg := newMerger(iters)
+	for {
+		e, ok, err := mg.next()
+		if err != nil {
+			// Never reached with slice-backed runs, but the merger is
+			// shared with I/O-backed iterators: a partial merge must not
+			// masquerade as a complete one (Compact deletes its inputs).
+			return nil, err
 		}
-	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		i := h.heads[0]
-		e := runs[i][h.cur[i]]
-		h.cur[i]++
-		if h.cur[i] < len(runs[i]) {
-			heap.Fix(h, 0)
-		} else {
-			heap.Pop(h)
+		if !ok {
+			return out, nil
 		}
-
 		if len(out) > 0 {
 			prev := out[len(out)-1]
 			if e.Cell == prev.Cell {
@@ -153,5 +127,4 @@ func mergeRuns(runs [][]kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
 		}
 		out = append(out, e)
 	}
-	return out
 }

@@ -9,7 +9,7 @@ import (
 	"txkv/internal/kv"
 )
 
-func buildRegionWithFiles(t *testing.T, nFiles, rowsPerFile int) (*Region, *dfs.FS) {
+func buildRegionWithFiles(t testing.TB, nFiles, rowsPerFile int) (*Region, *dfs.FS) {
 	t.Helper()
 	fs := dfs.New(dfs.Config{})
 	r, err := OpenRegion(fs, NewBlockCache(1<<20), RegionInfo{ID: "t-r000", Table: "t", Range: kv.KeyRange{}})
@@ -119,7 +119,10 @@ func TestMergeRunsKWay(t *testing.T) {
 		{mkKV("a", "f", 9, "a9"), mkKV("a", "f", 3, "a3"), mkKV("b", "f", 4, "b4")},
 		{mkKV("b", "f", 8, "b8"), mkKV("d", "f", 1, "d1")},
 	}
-	out := mergeRuns(runs, 0)
+	out, err := mergeRuns(runs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantOrder := []struct {
 		row string
 		ts  kv.Timestamp
@@ -136,7 +139,10 @@ func TestMergeRunsKWay(t *testing.T) {
 	}
 	// With the horizon above every timestamp, only the newest version per
 	// coordinate survives.
-	out = mergeRuns(runs, 100)
+	out, err = mergeRuns(runs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 4 { // a@9, b@8, c@2, d@1
 		t.Fatalf("horizon merge kept %d entries, want 4: %v", len(out), out)
 	}
@@ -144,10 +150,10 @@ func TestMergeRunsKWay(t *testing.T) {
 		t.Fatalf("horizon merge order wrong: %v", out)
 	}
 	// Degenerate cases.
-	if got := mergeRuns(nil, 0); len(got) != 0 {
+	if got, _ := mergeRuns(nil, 0); len(got) != 0 {
 		t.Fatalf("empty merge: %v", got)
 	}
-	if got := mergeRuns([][]kv.KeyValue{{}, {mkKV("x", "f", 1, "x1")}}, 0); len(got) != 1 {
+	if got, _ := mergeRuns([][]kv.KeyValue{{}, {mkKV("x", "f", 1, "x1")}}, 0); len(got) != 1 {
 		t.Fatalf("single-entry merge: %v", got)
 	}
 }
@@ -159,7 +165,8 @@ func sortAndGC(entries []kv.KeyValue, horizon kv.Timestamp) []kv.KeyValue {
 	sort.Slice(entries, func(i, j int) bool {
 		return kv.CompareCells(entries[i].Cell, entries[j].Cell) < 0
 	})
-	return mergeRuns([][]kv.KeyValue{entries}, horizon)
+	out, _ := mergeRuns([][]kv.KeyValue{entries}, horizon)
+	return out
 }
 
 func TestSortAndGC(t *testing.T) {

@@ -12,4 +12,7 @@ var (
 	ErrNoSuchTable      = errors.New("kvstore: no such table")
 	ErrTableExists      = errors.New("kvstore: table already exists")
 	ErrNoLiveServers    = errors.New("kvstore: no live region servers")
+	// ErrBadStoreFileName reports a file in a region's data directory whose
+	// name is not a strict decimal sequence plus the expected suffix.
+	ErrBadStoreFileName = errors.New("kvstore: malformed store-file name")
 )

@@ -3,8 +3,10 @@ package kvstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
@@ -26,6 +28,17 @@ func dataDir(table, regionID string) string {
 	return fmt.Sprintf("/data/%s/%s/", table, regionID)
 }
 
+// regionView is the immutable read view of a region: the current active
+// memstore, the frozen memstores awaiting flush, and the store files.
+// Readers load it with one atomic pointer read — no lock, no slice copies —
+// and mutators (freeze, flush completion, compaction, open) publish a fresh
+// view. The slices are never mutated after publication.
+type regionView struct {
+	active *MemStore
+	frozen []*MemStore  // oldest first
+	files  []*StoreFile // oldest first
+}
+
 // Region is one hosted key range: an active memstore, zero or more frozen
 // memstores awaiting flush, and the immutable store files on the DFS.
 // Regions move between servers on failure; the store files (and nothing
@@ -36,13 +49,31 @@ type Region struct {
 	fs    *dfs.FS
 	cache *BlockCache
 
-	mu      sync.RWMutex
-	active  *MemStore
-	frozen  []*MemStore
-	files   []*StoreFile // oldest first
+	view atomic.Pointer[regionView]
+
+	mu      sync.Mutex // guards view swaps and nextSeq
 	nextSeq int
 
-	flushMu sync.Mutex // serializes flushes
+	flushMu sync.Mutex // serializes flushes and compactions
+}
+
+// swapView publishes a new read view derived from the current one. Caller
+// holds r.mu.
+func (r *Region) swapView(mutate func(old regionView) regionView) *regionView {
+	nv := mutate(*r.view.Load())
+	r.view.Store(&nv)
+	return &nv
+}
+
+// cloneFrozenWithout returns frozen minus snap, as a fresh slice.
+func cloneFrozenWithout(frozen []*MemStore, snap *MemStore) []*MemStore {
+	out := make([]*MemStore, 0, len(frozen))
+	for _, m := range frozen {
+		if m != snap {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // OpenRegion opens a region: it discovers and opens the region's store
@@ -50,79 +81,109 @@ type Region struct {
 // with the previous server); recovered WAL edits are replayed by the caller
 // via Apply.
 func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error) {
-	r := &Region{Info: info, fs: fs, cache: cache, active: NewMemStore()}
+	r := &Region{Info: info, fs: fs, cache: cache}
 	dir := dataDir(info.Table, info.ID)
 	paths := fs.List(dir)
 	sort.Strings(paths)
+	var files []*StoreFile
 	for _, p := range paths {
 		var (
-			sf  *StoreFile
-			err error
+			isRef bool
+			stem  string
 		)
 		switch {
 		case strings.HasSuffix(p, ".sf"):
-			sf, err = OpenStoreFile(fs, p)
+			stem = strings.TrimSuffix(p[len(dir):], ".sf")
 		case strings.HasSuffix(p, refSuffix):
+			isRef, stem = true, strings.TrimSuffix(p[len(dir):], refSuffix)
+		default:
+			continue
+		}
+		// The name must be exactly a decimal sequence plus the suffix — a
+		// lenient parse here would silently accept (and then mis-order)
+		// foreign files that happen to contain a digit. Checked before the
+		// open so a malformed name is reported as such, not as a corrupt
+		// file. The max existing sequence is tracked so new flushes sort
+		// after every recovered file.
+		seq, err := parseStoreFileSeq(stem)
+		if err != nil {
+			return nil, fmt.Errorf("open region %s: %w: %q", info.ID, ErrBadStoreFileName, p)
+		}
+		var sf *StoreFile
+		if isRef {
 			// Post-split daughter: serve the parent's file through the
 			// reference until a compaction localizes the data.
 			sf, err = OpenStoreFileRef(fs, p)
-		default:
-			continue
+		} else {
+			sf, err = OpenStoreFile(fs, p)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("open region %s: %w", info.ID, err)
 		}
-		r.files = append(r.files, sf)
-		// Track the max existing sequence number so new flushes sort after.
-		var seq int
-		if _, serr := fmt.Sscanf(p[len(dir):], "%d", &seq); serr == nil && seq >= r.nextSeq {
+		files = append(files, sf)
+		if seq >= r.nextSeq {
 			r.nextSeq = seq + 1
 		}
 	}
+	r.view.Store(&regionView{active: NewMemStore(), files: files})
 	return r, nil
+}
+
+// parseStoreFileSeq parses a store-file name stem as a strict non-negative
+// decimal (fmt.Sscanf's "%d" would tolerate garbage prefixes and signs).
+func parseStoreFileSeq(stem string) (int, error) {
+	n, err := strconv.ParseUint(stem, 10, 31)
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
 }
 
 // Apply inserts the versioned cells into the active memstore. Idempotent:
 // reapplying the same (cell, ts) overwrites in place.
+//
+// If a freeze swaps the view mid-batch, the batch is re-applied into the
+// new active memstore: the flush that froze the old one may already have
+// snapshotted it without these cells, and re-application (idempotent
+// versioned puts) guarantees they reach a store that will still be flushed.
 func (r *Region) Apply(kvs []kv.KeyValue) {
-	r.mu.RLock()
-	active := r.active
-	r.mu.RUnlock()
-	for _, e := range kvs {
-		active.Put(e)
+	for {
+		v := r.view.Load()
+		for _, e := range kvs {
+			v.active.Put(e)
+		}
+		// Only a freeze replaces the active memstore; flush-completion and
+		// compaction swaps reuse it and need no re-application.
+		if r.view.Load().active == v.active {
+			return
+		}
 	}
 }
 
 // Get returns the newest visible version of (row, column) at or below
 // maxTS, merging the active memstore, frozen memstores, and store files. A
-// tombstone or absence yields found=false.
+// tombstone or absence yields found=false. The memstore path is lock-free
+// and allocation-free: one atomic view load, skip-list seeks, no copies.
 func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
-	r.mu.RLock()
-	sources := make([]*MemStore, 0, 1+len(r.frozen))
-	sources = append(sources, r.active)
-	sources = append(sources, r.frozen...)
-	files := append([]*StoreFile(nil), r.files...)
-	r.mu.RUnlock()
+	v := r.view.Load()
 
 	var best kv.KeyValue
 	found := false
-	consider := func(e kv.KeyValue) {
-		if !found || e.TS > best.TS {
+	if e, ok := v.active.Get(row, column, maxTS); ok {
+		best, found = e, true
+	}
+	for _, m := range v.frozen {
+		if e, ok := m.Get(row, column, maxTS); ok && (!found || e.TS > best.TS) {
 			best, found = e, true
 		}
 	}
-	for _, m := range sources {
-		if e, ok := m.Get(row, column, maxTS); ok {
-			consider(e)
-		}
-	}
-	for _, f := range files {
+	for _, f := range v.files {
 		e, ok, err := f.Get(row, column, maxTS, r.cache)
 		if err != nil {
 			return kv.KeyValue{}, false, err
 		}
-		if ok {
-			consider(e)
+		if ok && (!found || e.TS > best.TS) {
+			best, found = e, true
 		}
 	}
 	if !found || best.Tombstone {
@@ -132,55 +193,59 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 }
 
 // ScanRange returns the newest visible version per (row, column) within rng
-// at or below maxTS, sorted in store order, tombstones elided.
+// at or below maxTS, sorted in store order, tombstones elided. The sources
+// stream through a k-way heap merge that deduplicates by coordinate in
+// merge order and stops as soon as limit entries have been produced —
+// nothing beyond the limit is materialized or even decoded.
 func (r *Region) ScanRange(rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	r.mu.RLock()
-	sources := make([]*MemStore, 0, 1+len(r.frozen))
-	sources = append(sources, r.active)
-	sources = append(sources, r.frozen...)
-	files := append([]*StoreFile(nil), r.files...)
-	r.mu.RUnlock()
+	v := r.view.Load()
 
-	var raw []kv.KeyValue
-	for _, m := range sources {
-		raw = m.ScanRange(raw, rng, maxTS)
+	iters := make([]kvIter, 0, 1+len(v.frozen)+len(v.files))
+	iters = append(iters, v.active.Iter(rng, maxTS))
+	for _, m := range v.frozen {
+		iters = append(iters, m.Iter(rng, maxTS))
 	}
-	for _, f := range files {
-		var err error
-		raw, err = f.ScanRange(raw, rng, maxTS, r.cache)
+	for _, f := range v.files {
+		fi, err := f.Iter(rng, maxTS, r.cache)
 		if err != nil {
 			return nil, err
 		}
+		iters = append(iters, fi)
 	}
-	type coord struct {
-		row kv.Key
-		col string
-	}
-	best := make(map[coord]kv.KeyValue, len(raw))
-	for _, e := range raw {
-		c := coord{e.Row, e.Column}
-		if cur, ok := best[c]; !ok || e.TS > cur.TS {
-			best[c] = e
+	mg := newMerger(iters)
+
+	var (
+		out     []kv.KeyValue
+		lastRow kv.Key
+		lastCol string
+		have    bool
+	)
+	for {
+		e, ok, err := mg.next()
+		if err != nil {
+			return nil, err
 		}
-	}
-	out := make([]kv.KeyValue, 0, len(best))
-	for _, e := range best {
-		if !e.Tombstone {
-			out = append(out, e)
+		if !ok {
+			break
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return kv.CompareCells(out[i].Cell, out[j].Cell) < 0 })
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+		if have && e.Row == lastRow && e.Column == lastCol {
+			continue // older version (or exact duplicate) of an emitted coordinate
+		}
+		lastRow, lastCol, have = e.Row, e.Column, true
+		if e.Tombstone {
+			continue // coordinate is deleted at this snapshot
+		}
+		out = append(out, e)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out, nil
 }
 
 // MemSize returns the approximate bytes held in the active memstore.
 func (r *Region) MemSize() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.active.ApproxSize()
+	return r.view.Load().active.ApproxSize()
 }
 
 // Flush persists the active memstore as a new store file on the DFS. It is
@@ -191,13 +256,17 @@ func (r *Region) Flush(blockSize int) error {
 	defer r.flushMu.Unlock()
 
 	r.mu.Lock()
-	if r.active.Len() == 0 {
+	if r.view.Load().active.Len() == 0 {
 		r.mu.Unlock()
 		return nil
 	}
-	snap := r.active
-	r.active = NewMemStore()
-	r.frozen = append(r.frozen, snap)
+	var snap *MemStore
+	r.swapView(func(old regionView) regionView {
+		snap = old.active
+		old.active = NewMemStore()
+		old.frozen = append(cloneFrozenWithout(old.frozen, nil), snap)
+		return old
+	})
 	seq := r.nextSeq
 	r.nextSeq++
 	r.mu.Unlock()
@@ -209,35 +278,28 @@ func (r *Region) Flush(blockSize int) error {
 		// flush retries it. Versioned puts make the merge safe even if
 		// newer versions were written meanwhile.
 		r.mu.Lock()
-		for i, m := range r.frozen {
-			if m == snap {
-				r.frozen = append(r.frozen[:i], r.frozen[i+1:]...)
-				break
-			}
-		}
-		active := r.active
+		nv := r.swapView(func(old regionView) regionView {
+			old.frozen = cloneFrozenWithout(old.frozen, snap)
+			return old
+		})
 		r.mu.Unlock()
 		for _, e := range snap.All() {
-			active.Put(e)
+			nv.active.Put(e)
 		}
 		return fmt.Errorf("flush region %s: %w", r.Info.ID, err)
 	}
 
 	r.mu.Lock()
-	r.files = append(r.files, sf)
-	for i, m := range r.frozen {
-		if m == snap {
-			r.frozen = append(r.frozen[:i], r.frozen[i+1:]...)
-			break
-		}
-	}
+	r.swapView(func(old regionView) regionView {
+		old.files = append(append([]*StoreFile(nil), old.files...), sf)
+		old.frozen = cloneFrozenWithout(old.frozen, snap)
+		return old
+	})
 	r.mu.Unlock()
 	return nil
 }
 
 // Files returns the number of store files, for tests and stats.
 func (r *Region) Files() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.files)
+	return len(r.view.Load().files)
 }

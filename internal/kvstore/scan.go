@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"container/heap"
+
+	"txkv/internal/kv"
+)
+
+// Streaming k-way merge over sorted KeyValue sources, shared by the region
+// scan path (memstore + store-file iterators) and compaction (in-memory
+// runs). Sources must each be sorted in store order; the merge yields the
+// union in store order, breaking exact-cell ties by source rank (lower rank
+// wins), so a consumer that deduplicates by taking the first occurrence
+// reproduces the old collect-sort-dedup semantics without materializing the
+// inputs.
+
+// kvIter is a sorted stream of entries in store order. Valid reports
+// whether the iterator is positioned on an entry; Head returns it; Next
+// advances (and may perform I/O for file-backed iterators).
+type kvIter interface {
+	Valid() bool
+	Head() kv.KeyValue
+	Next() error
+}
+
+// sliceIter streams an in-memory sorted run.
+type sliceIter struct {
+	s []kv.KeyValue
+	i int
+}
+
+func (it *sliceIter) Valid() bool       { return it.i < len(it.s) }
+func (it *sliceIter) Head() kv.KeyValue { return it.s[it.i] }
+func (it *sliceIter) Next() error       { it.i++; return nil }
+
+// merger pops entries from k sorted iterators in global store order.
+type merger struct {
+	iters []kvIter // heap-ordered by (head cell, rank)
+	ranks []int    // parallel to iters: original source index
+}
+
+// newMerger builds a merger over the given sources; invalid (empty)
+// sources are dropped. Rank is the position in the iters argument.
+func newMerger(iters []kvIter) *merger {
+	m := &merger{}
+	for i, it := range iters {
+		if it.Valid() {
+			m.iters = append(m.iters, it)
+			m.ranks = append(m.ranks, i)
+		}
+	}
+	heap.Init(m)
+	return m
+}
+
+func (m *merger) Len() int { return len(m.iters) }
+
+func (m *merger) Less(a, b int) bool {
+	c := kv.CompareCells(m.iters[a].Head().Cell, m.iters[b].Head().Cell)
+	if c != 0 {
+		return c < 0
+	}
+	return m.ranks[a] < m.ranks[b]
+}
+
+func (m *merger) Swap(a, b int) {
+	m.iters[a], m.iters[b] = m.iters[b], m.iters[a]
+	m.ranks[a], m.ranks[b] = m.ranks[b], m.ranks[a]
+}
+
+func (m *merger) Push(x any) { panic("kvstore: merger.Push unused") }
+
+func (m *merger) Pop() any {
+	n := len(m.iters) - 1
+	m.iters = m.iters[:n]
+	m.ranks = m.ranks[:n]
+	return nil
+}
+
+// next returns the globally smallest entry and advances its source.
+// ok=false means the merge is exhausted.
+func (m *merger) next() (kv.KeyValue, bool, error) {
+	if len(m.iters) == 0 {
+		return kv.KeyValue{}, false, nil
+	}
+	it := m.iters[0]
+	e := it.Head()
+	if err := it.Next(); err != nil {
+		return kv.KeyValue{}, false, err
+	}
+	if it.Valid() {
+		heap.Fix(m, 0)
+	} else {
+		heap.Pop(m)
+	}
+	return e, true, nil
+}

@@ -328,3 +328,83 @@ func (s *StoreFile) ScanRange(dst []kv.KeyValue, r kv.KeyRange, maxTS kv.Timesta
 
 // Blocks returns the number of data blocks, for tests and stats.
 func (s *StoreFile) Blocks() int { return len(s.index) }
+
+// Iter returns a streaming iterator over the entries of r with ts <= maxTS,
+// in store order. Blocks are fetched (through the cache) one at a time as
+// the iterator advances, so a limited scan touches only the blocks it
+// actually consumes.
+func (s *StoreFile) Iter(r kv.KeyRange, maxTS kv.Timestamp, cache *BlockCache) (*FileIter, error) {
+	it := &FileIter{sf: s, cache: cache, rng: r, maxTS: maxTS}
+	if len(s.index) == 0 {
+		return it, nil
+	}
+	it.bi = s.findBlock(kv.Cell{Row: r.Start, Column: "", TS: kv.MaxTimestamp})
+	if it.bi < 0 {
+		it.bi = 0
+	}
+	if err := it.loadAndSkip(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// FileIter streams one store file's visible entries. See StoreFile.Iter.
+type FileIter struct {
+	sf    *StoreFile
+	cache *BlockCache
+	rng   kv.KeyRange
+	maxTS kv.Timestamp
+
+	bi      int // next block index to load
+	entries []kv.KeyValue
+	pos     int
+	done    bool
+}
+
+// loadAndSkip loads blocks starting at bi until it finds a visible entry or
+// runs off the range/file. On return the iterator is positioned or done.
+func (it *FileIter) loadAndSkip() error {
+	for {
+		for it.pos < len(it.entries) {
+			e := it.entries[it.pos]
+			if it.rng.End != "" && e.Row >= it.rng.End {
+				it.done = true
+				return nil
+			}
+			if e.TS <= it.maxTS && it.rng.Contains(e.Row) {
+				return nil
+			}
+			it.pos++
+		}
+		if it.bi >= len(it.sf.index) {
+			it.done = true
+			return nil
+		}
+		// A block's first cell is its minimum, so a block starting at or
+		// past the range end cannot contribute — stop without fetching it.
+		if it.rng.End != "" && it.sf.index[it.bi].first.Row >= it.rng.End {
+			it.done = true
+			return nil
+		}
+		entries, err := it.sf.block(it.bi, it.cache)
+		if err != nil {
+			return err
+		}
+		it.bi++
+		it.entries = entries
+		it.pos = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *FileIter) Valid() bool { return !it.done && it.pos < len(it.entries) }
+
+// Head returns the current entry. Only call when Valid.
+func (it *FileIter) Head() kv.KeyValue { return it.entries[it.pos] }
+
+// Next advances to the next visible entry, loading further blocks as
+// needed.
+func (it *FileIter) Next() error {
+	it.pos++
+	return it.loadAndSkip()
+}

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ErrDirLocked reports that another live process holds a data directory.
+var ErrDirLocked = errors.New("storage: data directory locked by another process")
+
+// errLockHeld is returned by flockExclusive when the lock is held elsewhere
+// (as opposed to the flock syscall itself failing).
+var errLockHeld = errors.New("storage: lock held")
+
+// DirLock is an exclusive advisory lock on a data directory, preventing two
+// clusters from journaling into the same DataDir concurrently (which would
+// interleave their segments beyond repair). The lock is an flock(2) on a
+// LOCK file inside the directory: it is released automatically if the
+// holding process dies, so a crashed cluster never needs manual cleanup.
+type DirLock struct {
+	f *os.File
+}
+
+// LockDir takes the exclusive lock on dir, creating the directory and its
+// LOCK file as needed. A directory already held by a live process (this one
+// or another) yields ErrDirLocked immediately — the caller must not touch
+// the directory's contents.
+func LockDir(dir string) (*DirLock, error) {
+	if dir == "" {
+		return nil, errors.New("storage: LockDir requires a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open lock file: %w", err)
+	}
+	if err := flockExclusive(f); err != nil {
+		_ = f.Close()
+		if errors.Is(err, errLockHeld) {
+			return nil, fmt.Errorf("%w: %s", ErrDirLocked, dir)
+		}
+		// A failing flock syscall (unsupported filesystem, I/O error) is
+		// not a lock conflict; surface it as what it is.
+		return nil, fmt.Errorf("storage: flock %s: %w", dir, err)
+	}
+	// Record the holder for operator forensics; the flock, not the
+	// content, is the actual mutual exclusion.
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+	return &DirLock{f: f}, nil
+}
+
+// Unlock releases the lock. Safe to call once; the lock file itself is left
+// in place (its flock vanishes with the descriptor).
+func (l *DirLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Close() // closing the descriptor drops the flock
+	l.f = nil
+	return err
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock(2): the lock file is
+// still created (best-effort operator signal), but mutual exclusion is not
+// enforced.
+func flockExclusive(*os.File) error { return nil }

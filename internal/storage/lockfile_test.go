@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLockDirExclusion(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("first lock: %v", err)
+	}
+	if _, err := LockDir(dir); !errors.Is(err, ErrDirLocked) {
+		t.Fatalf("second lock: got %v, want ErrDirLocked", err)
+	}
+	if err := l1.Unlock(); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("relock after unlock: %v", err)
+	}
+	defer l2.Unlock()
+
+	// The LOCK file records the holder's pid.
+	data, err := os.ReadFile(filepath.Join(dir, "LOCK"))
+	if err != nil || len(data) == 0 {
+		t.Fatalf("LOCK file unreadable: %q %v", data, err)
+	}
+}
+
+func TestLockDirCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	l, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("lock on fresh path: %v", err)
+	}
+	defer l.Unlock()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("directory not created: %v", err)
+	}
+}
+
+func TestUnlockNilSafe(t *testing.T) {
+	var l *DirLock
+	if err := l.Unlock(); err != nil {
+		t.Fatalf("nil unlock: %v", err)
+	}
+	if err := (&DirLock{}).Unlock(); err != nil {
+		t.Fatalf("empty unlock: %v", err)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock(2) on f. flock locks
+// belong to the open file description, so a second open of the same LOCK
+// file — even within this process — conflicts, which is exactly the
+// two-clusters-one-DataDir case the lock exists to reject.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+		return errLockHeld
+	}
+	return err
+}

@@ -101,7 +101,20 @@ type Log struct {
 	// segment holding that batch's records. Always acquired before mu.
 	ioMu sync.Mutex
 
+	// encoded carries encoder-prepared batches to the sync loop. The
+	// buffer of one lets the encoder serialize batch N+1 while the fsync
+	// of batch N is still in flight, so payload encoding never extends the
+	// group-commit critical path.
+	encoded chan encodedBatch
+
 	wg sync.WaitGroup
+}
+
+// encodedBatch is one group of records with their payloads already
+// serialized, ready for a single storage append + fsync.
+type encodedBatch struct {
+	recs     []pendingRec
+	payloads [][]byte
 }
 
 // Open creates or resumes a log on cfg.Backend. Resuming replays the
@@ -172,7 +185,9 @@ func Open(cfg Config) (*Log, error) {
 	}
 	l.stats.TruncatedBelow = l.truncated
 
-	l.wg.Add(1)
+	l.encoded = make(chan encodedBatch, 1)
+	l.wg.Add(2)
+	go l.encodeLoop()
 	go l.syncLoop()
 	return l, nil
 }
@@ -206,8 +221,14 @@ func (l *Log) Enqueue(ws kv.WriteSet) <-chan error {
 // Append enqueues ws and blocks until it is durable.
 func (l *Log) Append(ws kv.WriteSet) error { return <-l.Enqueue(ws) }
 
-func (l *Log) syncLoop() {
+// encodeLoop drains pending records, serializes their payloads, and hands
+// complete batches to the sync loop. Encoding runs outside every lock and —
+// thanks to the channel buffer — concurrently with the previous batch's
+// fsync, so serialization cost overlaps stable-storage latency instead of
+// adding to it.
+func (l *Log) encodeLoop() {
 	defer l.wg.Done()
+	defer close(l.encoded)
 	for {
 		l.mu.Lock()
 		for len(l.pending) == 0 && !l.closed {
@@ -221,23 +242,30 @@ func (l *Log) syncLoop() {
 		l.pending = nil
 		l.mu.Unlock()
 
-		// One storage group-commit (single fsync + the configured sync
-		// latency) covers the whole batch.
 		payloads := make([][]byte, len(batch))
 		for i, p := range batch {
 			payloads[i] = kv.EncodeWriteSet(p.ws)
 		}
+		l.encoded <- encodedBatch{recs: batch, payloads: payloads}
+	}
+}
+
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	for batch := range l.encoded {
+		// One storage group-commit (single fsync + the configured sync
+		// latency) covers the whole batch.
 		l.ioMu.Lock()
-		positions, err := l.store.AppendBatch(payloads)
+		positions, err := l.store.AppendBatch(batch.payloads)
 
 		l.mu.Lock()
 		if err == nil {
-			for i, p := range batch {
+			for i, p := range batch.recs {
 				l.records = append(l.records, logRec{ws: p.ws, seg: positions[i].Segment})
 				if p.ws.CommitTS > l.lastTS {
 					l.lastTS = p.ws.CommitTS
 				}
-				sz := int64(len(payloads[i]))
+				sz := int64(len(batch.payloads[i]))
 				l.stats.DurableRecords++
 				l.stats.DurableBytes += sz
 				l.stats.TotalAppends++
@@ -247,7 +275,7 @@ func (l *Log) syncLoop() {
 		}
 		l.mu.Unlock()
 		l.ioMu.Unlock()
-		for _, p := range batch {
+		for _, p := range batch.recs {
 			p.done <- err
 		}
 	}

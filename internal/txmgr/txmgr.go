@@ -17,6 +17,7 @@ package txmgr
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 
 	"txkv/internal/kv"
@@ -44,16 +45,34 @@ type TxnHandle struct {
 	StartTS  kv.Timestamp
 }
 
+// commitShards is the number of independent validation stripes. Commits
+// touching disjoint stripe sets validate fully in parallel; only timestamp
+// assignment, log enqueueing, and observer notification serialize on the
+// sequencing mutex. Power of two so the stripe index is a mask.
+const commitShards = 64
+
+// commitShard is one stripe of the first-committer-wins table: the latest
+// commit timestamp per row coordinate hashing to this stripe.
+type commitShard struct {
+	mu         sync.Mutex
+	lastCommit map[string]kv.Timestamp
+	_          [48]byte // pad to 64 bytes (8+8+48) so stripes don't false-share
+}
+
 // Manager is the transaction manager.
 type Manager struct {
 	log *txlog.Log
 
-	mu         sync.Mutex
+	// shards hold the snapshot-isolation validation state, striped by row
+	// hash. Lock order: shard mutexes (ascending index) before mu.
+	shards   [commitShards]commitShard
+	hashSeed maphash.Seed
+
+	mu         sync.Mutex // the commit sequencing lock
 	flushCond  *sync.Cond // broadcast when the frontier advances
 	lastIssued kv.Timestamp
 	nextTxnID  uint64
 	active     map[uint64]kv.Timestamp // txn id -> start ts
-	lastCommit map[string]kv.Timestamp // row coordinate -> latest commit ts
 	observers  []CommitObserver
 	commits    uint64 // counter to pace lastCommit pruning
 
@@ -68,6 +87,27 @@ type Manager struct {
 	commitN uint64
 }
 
+// commitCoords precomputes, once per update, the conflict coordinate and
+// its stripe index, plus the ascending deduplicated stripe set (the lock
+// order that prevents deadlock between concurrent commits). Hashing each
+// coordinate exactly once keeps the validation path lean.
+func (m *Manager) commitCoords(updates []kv.Update, coords []string, stripes []int, set []int) ([]string, []int, []int) {
+	var mask [commitShards]bool
+	for _, u := range updates {
+		c := u.Coordinate()
+		s := int(maphash.String(m.hashSeed, c) & (commitShards - 1))
+		coords = append(coords, c)
+		stripes = append(stripes, s)
+		mask[s] = true
+	}
+	for i, hit := range mask {
+		if hit {
+			set = append(set, i)
+		}
+	}
+	return coords, stripes, set
+}
+
 // New creates a Manager writing commits to log. The timestamp oracle is
 // seeded from the log's highest recovered commit timestamp, so a manager
 // over a reopened recovery log issues fresh timestamps strictly after every
@@ -76,10 +116,13 @@ type Manager struct {
 // clients run).
 func New(log *txlog.Log) *Manager {
 	m := &Manager{
-		log:        log,
-		active:     make(map[uint64]kv.Timestamp),
-		lastCommit: make(map[string]kv.Timestamp),
-		unflushed:  make(map[kv.Timestamp]struct{}),
+		log:       log,
+		active:    make(map[uint64]kv.Timestamp),
+		unflushed: make(map[kv.Timestamp]struct{}),
+		hashSeed:  maphash.MakeSeed(),
+	}
+	for i := range m.shards {
+		m.shards[i].lastCommit = make(map[string]kv.Timestamp)
 	}
 	if log != nil {
 		m.lastIssued = log.LastTS()
@@ -159,6 +202,15 @@ func (m *Manager) Abort(h TxnHandle) {
 // but not yet flushed to the key-value store; the caller flushes afterwards
 // and then calls NotifyFlushed.
 //
+// Validation is striped: the transaction locks only the stripes covering
+// its row coordinates (ascending, so concurrent commits never deadlock),
+// validates against them, and — still holding them — takes the sequencing
+// mutex just long enough to draw the commit timestamp, enqueue the log
+// record, and notify the ordered observers. Transactions over disjoint
+// stripes validate and publish fully in parallel; conflicting ones
+// serialize on their shared stripe, which is exactly the
+// first-committer-wins order.
+//
 // A read-only transaction (empty updates) commits without logging.
 func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error) {
 	m.mu.Lock()
@@ -173,54 +225,97 @@ func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error)
 		m.mu.Unlock()
 		return ts, nil
 	}
-	for _, u := range updates {
-		if last, ok := m.lastCommit[u.Coordinate()]; ok && last > startTS {
+	m.mu.Unlock()
+
+	var (
+		coordBuf  [8]string
+		stripeBuf [8]int
+		setBuf    [commitShards]int
+	)
+	coords, stripes, shardIdx := m.commitCoords(updates, coordBuf[:0], stripeBuf[:0], setBuf[:0])
+	for _, i := range shardIdx {
+		m.shards[i].mu.Lock()
+	}
+	unlockShards := func() {
+		for _, i := range shardIdx {
+			m.shards[i].mu.Unlock()
+		}
+	}
+
+	for i, coord := range coords {
+		if last, ok := m.shards[stripes[i]].lastCommit[coord]; ok && last > startTS {
+			unlockShards()
+			m.mu.Lock()
 			delete(m.active, h.ID)
 			m.aborts++
 			m.mu.Unlock()
 			return 0, fmt.Errorf("%w: %s modified at %d after snapshot %d",
-				ErrConflict, u.Coordinate(), last, startTS)
+				ErrConflict, coord, last, startTS)
 		}
 	}
+
+	// Sequencing critical section: timestamp assignment, commit-ordered log
+	// enqueue, and ordered observer notification — nothing else.
+	m.mu.Lock()
 	m.lastIssued++
 	cts := m.lastIssued
-	for _, u := range updates {
-		m.lastCommit[u.Coordinate()] = cts
-	}
 	delete(m.active, h.ID)
 	m.unflushed[cts] = struct{}{}
 	m.commitN++
-
 	ws := kv.WriteSet{TxnID: h.ID, ClientID: h.ClientID, CommitTS: cts, Updates: updates}
 	done := m.log.Enqueue(ws) // enqueued under mu: log order == commit order
 	for _, o := range m.observers {
 		o.OnCommitAssigned(h.ClientID, cts)
 	}
 	m.commits++
-	if m.commits%4096 == 0 {
-		m.pruneLocked()
+	doPrune := m.commits%4096 == 0
+	var pruneLow kv.Timestamp
+	if doPrune {
+		pruneLow = m.pruneWatermarkLocked()
 	}
 	m.mu.Unlock()
 
+	// Publish the commit into the stripes before releasing them: the next
+	// transaction touching these rows must observe cts.
+	for i, coord := range coords {
+		m.shards[stripes[i]].lastCommit[coord] = cts
+	}
+	unlockShards()
+
+	if doPrune {
+		m.prune(pruneLow)
+	}
 	if err := <-done; err != nil {
 		return 0, fmt.Errorf("txmgr: commit log append: %w", err)
 	}
 	return cts, nil
 }
 
-// pruneLocked drops lastCommit entries that can no longer conflict with any
-// active transaction (their timestamp is at or below every active snapshot).
-func (m *Manager) pruneLocked() {
-	low := m.lastIssued
+// pruneWatermarkLocked returns the timestamp at or below which a lastCommit
+// entry can never conflict again: the minimum of the visibility frontier
+// (no future Begin/BeginSnapshot/BeginLatest can take an older snapshot)
+// and every active transaction's snapshot.
+func (m *Manager) pruneWatermarkLocked() kv.Timestamp {
+	low := m.frontier
 	for _, start := range m.active {
 		if start < low {
 			low = start
 		}
 	}
-	for coord, ts := range m.lastCommit {
-		if ts <= low {
-			delete(m.lastCommit, coord)
+	return low
+}
+
+// prune drops lastCommit entries at or below low, one stripe at a time.
+func (m *Manager) prune(low kv.Timestamp) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for coord, ts := range s.lastCommit {
+			if ts <= low {
+				delete(s.lastCommit, coord)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 

@@ -104,6 +104,9 @@ var (
 	// ErrTableExists reports CreateTable on an existing table — including
 	// one restored by reopening a persistent data directory.
 	ErrTableExists = kvstore.ErrTableExists
+	// ErrDataDirLocked reports Open on a DataDir already held by a live
+	// cluster (possibly in another process).
+	ErrDataDirLocked = cluster.ErrDataDirLocked
 )
 
 // Open assembles and starts a cluster. Stop it with Cluster.Stop. With
