@@ -14,6 +14,7 @@
 //	txkvbench -experiment rmfail      # recovery-manager fail-over (§3.3)
 //	txkvbench -experiment durability  # storage engine: mem vs disk backend + timed restart
 //	txkvbench -experiment readwrite   # hot-path Get/Scan latency + parallel commit throughput
+//	txkvbench -experiment compaction  # DataDir plateau + read p99 under the storage janitor
 //	txkvbench -experiment all
 //
 // The readwrite experiment additionally writes its machine-readable result
@@ -36,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -64,8 +65,9 @@ func main() {
 		"rmfail":      bench.RMFailover,
 		"durability":  bench.Durability,
 		"readwrite":   bench.ReadWrite,
+		"compaction":  bench.Compaction,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

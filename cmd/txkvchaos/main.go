@@ -39,6 +39,7 @@ func main() {
 		keys     = flag.Int("keys", 500, "key-space size")
 		seed     = flag.Int64("seed", 1, "fault-schedule seed")
 		dataDir  = flag.String("datadir", "", "journal durable state here and audit across a full stop+reopen")
+		compact  = flag.Duration("compact", time.Second, "storage-janitor cadence (WAL rolls, store-file + DFS log compaction) racing the faults; 0 disables")
 	)
 	flag.Parse()
 	if *servers < 2 {
@@ -50,6 +51,13 @@ func main() {
 		HeartbeatInterval:      200 * time.Millisecond,
 		MasterHeartbeatTimeout: 500 * time.Millisecond,
 		WALSyncInterval:        0, // persistence only via heartbeats: maximal exposure
+		// The storage janitor races the fault schedule: WAL rolls,
+		// store-file compactions, and DFS log compactions run while
+		// servers crash around them, so the campaign (and the reopen
+		// audit below) exercises interrupted reclamation, not just
+		// interrupted commits.
+		CompactionInterval:  *compact,
+		CompactionThreshold: 4,
 	}
 	if *dataDir != "" {
 		cfg.Persistence = txkv.PersistDisk
@@ -186,6 +194,11 @@ func main() {
 
 	fmt.Printf("campaign done: %d committed, %d conflicts, %d server crashes, %d RM bounces\n",
 		committed, conflicts, crashes, rmBounces)
+	if rc := cluster.ReclaimStats(); rc.Compactions > 0 {
+		size, _ := cluster.DataDirBytes()
+		fmt.Printf("reclamation: %d passes, %d store files retired (%d logical bytes), %d segments dropped (%d physical bytes reclaimed); datadir now %d bytes\n",
+			rc.Compactions, rc.FilesRetired, rc.BytesRetired, rc.SegmentsDropped, rc.BytesReclaimed, size)
+	}
 
 	// With a data directory, the real test: stop the whole process-local
 	// cluster and reopen it from disk. The audit below then runs against

@@ -70,6 +70,24 @@ func TestLogTruncationExperiment(t *testing.T) {
 	}
 }
 
+// TestCompactionExperiment runs a tiny lifecycle soak end to end: it must
+// complete without a reader error (the deferred-deletion guarantee) and
+// with reclamation actually engaged.
+func TestCompactionExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak experiment")
+	}
+	var buf bytes.Buffer
+	err := Compaction(Options{Records: 1000, Duration: 3 * time.Second, Threads: 4, Out: &buf})
+	if err != nil {
+		t.Fatalf("compaction experiment: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PLATEAU") {
+		t.Fatalf("DataDir did not plateau:\n%s", out)
+	}
+}
+
 func TestItoa(t *testing.T) {
 	for _, tt := range []struct {
 		v    int

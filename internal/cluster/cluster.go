@@ -18,6 +18,7 @@ import (
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
+	"txkv/internal/metrics"
 	"txkv/internal/netsim"
 	"txkv/internal/storage"
 	"txkv/internal/txlog"
@@ -86,6 +87,17 @@ type Config struct {
 	// QueueAlertThreshold arms the flush/persist queue monitors.
 	QueueAlertThreshold int
 
+	// CompactionThreshold makes region servers compact a region in the
+	// background once it exceeds this many store files (0 disables the
+	// trigger; ReclaimStorage and the janitor compact regardless).
+	CompactionThreshold int
+	// CompactionInterval, when non-zero, runs the storage janitor on this
+	// cadence: every live server compacts its multi-file regions (with the
+	// transaction manager's safe-snapshot version-GC horizon) and the DFS
+	// persistence logs are checkpointed, so DataDir plateaus instead of
+	// growing with all-time writes. Zero disables the janitor.
+	CompactionInterval time.Duration
+
 	// Persistence selects where durable state lives: PersistNone (default)
 	// keeps the TM recovery log, the DFS, and table layouts in process
 	// memory — the original simulation — while PersistDisk journals them
@@ -151,6 +163,10 @@ type Cluster struct {
 	layoutLog *storage.Log     // nil without persistence
 	dirLock   *storage.DirLock // nil without persistence
 
+	reclaim     *metrics.ReclaimMetrics // shared by the DFS and every region server
+	janitorStop chan struct{}           // non-nil while the janitor runs
+	janitorWG   sync.WaitGroup
+
 	mu        sync.Mutex
 	rm        *core.Manager
 	rmEpoch   int
@@ -213,6 +229,7 @@ func (p *rmProxy) OnServerRecoveryComplete(serverID string) {
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 
+	reclaim := &metrics.ReclaimMetrics{}
 	var (
 		txBackend  storage.Backend
 		dfsOpenLog func(name string) (*storage.Log, error)
@@ -250,6 +267,7 @@ func New(cfg Config) (*Cluster, error) {
 		SyncLatency: cfg.DFSSyncLatency,
 		ReadLatency: cfg.DFSReadLatency,
 		OpenLog:     dfsOpenLog,
+		Reclaim:     reclaim,
 	})
 	if err != nil {
 		if layoutLog != nil {
@@ -283,6 +301,7 @@ func New(cfg Config) (*Cluster, error) {
 		log:       log,
 		layoutLog: layoutLog,
 		dirLock:   dirLock,
+		reclaim:   reclaim,
 		servers:   make(map[string]*serverUnit),
 		clients:   make(map[string]*Client),
 		gate:      &rmProxy{},
@@ -342,6 +361,11 @@ func New(cfg Config) (*Cluster, error) {
 	if layoutLog != nil {
 		c.master.SetLayoutSink(c)
 	}
+	if cfg.CompactionInterval > 0 {
+		c.janitorStop = make(chan struct{})
+		c.janitorWG.Add(1)
+		go c.janitorLoop()
+	}
 	return c, nil
 }
 
@@ -394,13 +418,16 @@ func (c *Cluster) AddServer() (string, error) {
 	c.mu.Unlock()
 
 	srv := kvstore.NewRegionServer(kvstore.ServerConfig{
-		ID:                 id,
-		SyncWrites:         c.cfg.SyncPersistence,
-		WALSyncInterval:    c.cfg.WALSyncInterval,
-		MemstoreFlushBytes: c.cfg.MemstoreFlushBytes,
-		BlockCacheBytes:    c.cfg.BlockCacheBytes,
-		BlockSize:          c.cfg.BlockSize,
-		HeartbeatInterval:  c.cfg.MasterHeartbeatTimeout / 4,
+		ID:                  id,
+		SyncWrites:          c.cfg.SyncPersistence,
+		WALSyncInterval:     c.cfg.WALSyncInterval,
+		MemstoreFlushBytes:  c.cfg.MemstoreFlushBytes,
+		BlockCacheBytes:     c.cfg.BlockCacheBytes,
+		BlockSize:           c.cfg.BlockSize,
+		HeartbeatInterval:   c.cfg.MasterHeartbeatTimeout / 4,
+		CompactionThreshold: c.cfg.CompactionThreshold,
+		HorizonSource:       c.tm.SafeSnapshot,
+		Reclaim:             c.reclaim,
 	}, c.fs)
 
 	unit := &serverUnit{srv: srv}
@@ -568,6 +595,10 @@ func (c *Cluster) Stop() {
 	c.rm = nil
 	c.mu.Unlock()
 
+	if c.janitorStop != nil {
+		close(c.janitorStop)
+		c.janitorWG.Wait()
+	}
 	for _, cl := range clients {
 		cl.stop(false)
 	}
@@ -612,6 +643,9 @@ type ClusterStats struct {
 	RegionsRecovered  int
 	WriteSetsReplayed int
 	LiveServers       int
+	// Space reclamation (see ReclaimStats for the full snapshot).
+	BytesReclaimed int64
+	FilesRetired   int64
 }
 
 // Stats returns a snapshot of cluster-wide counters.
@@ -624,6 +658,9 @@ func (c *Cluster) Stats() ClusterStats {
 	s.LogDurableBytes = ls.DurableBytes
 	s.LogTruncated = ls.TruncatedRecords
 	s.LiveServers = len(c.master.LiveServers())
+	rc := c.reclaim.Snapshot()
+	s.BytesReclaimed = rc.BytesReclaimed
+	s.FilesRetired = rc.FilesRetired
 	c.mu.Lock()
 	rm := c.rm
 	c.mu.Unlock()

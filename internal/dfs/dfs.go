@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"txkv/internal/metrics"
 	"txkv/internal/storage"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	// filesystem over the same logs (via Open) restores all synced state.
 	// Nil keeps the filesystem purely in-process, the seed's behavior.
 	OpenLog func(name string) (*storage.Log, error)
+	// Reclaim, when set, receives the space-reclamation counters
+	// (segments dropped, bytes reclaimed) from CompactLogs passes. Nil
+	// records nothing.
+	Reclaim *metrics.ReclaimMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +100,13 @@ type Stats struct {
 	Files     int
 	Syncs     int64
 	BytesSync int64
+	// LogCompactions counts completed CompactLogs passes this
+	// incarnation; LogBytesReclaimed totals the segment bytes they
+	// dropped. LogCheckpoints counts complete checkpoint records found at
+	// replay (at most one survives each compaction's segment drop).
+	LogCompactions    int64
+	LogBytesReclaimed int64
+	LogCheckpoints    int64
 }
 
 // FS is the filesystem: the name node plus its data nodes, all in-process.
@@ -110,7 +122,26 @@ type FS struct {
 	place   int // round-robin placement cursor
 	stats   Stats
 
-	metaLog *storage.Log // nil without persistence
+	metaLog *storage.Log            // nil without persistence
+	reclaim *metrics.ReclaimMetrics // nil-safe reclamation counters
+
+	// compactMu serializes CompactLogs passes; ckptEpoch numbers them
+	// (guarded by mu, restored from checkpoint records at replay).
+	compactMu sync.Mutex
+	ckptEpoch uint64
+	// persistMu fences checkpoint snapshots away from in-flight mutation
+	// persists. Mutators (Create, Delete, Rename, commitChunk) hold it
+	// shared from their in-memory registration until their journal wait —
+	// and a possible failure rollback — completes; CompactLogs holds it
+	// exclusively while snapshotting. Without the fence a checkpoint
+	// could durably record a registration whose own journal append later
+	// fails and is rolled back: a phantom chunk (duplicated file bytes
+	// once the writer retries) or a resurrected/lost file at the next
+	// replay. Acquired before mu when both are held.
+	persistMu sync.RWMutex
+	// testCompactHook, when set by tests before any concurrent use, is
+	// called between compaction stages to simulate a crash at that point.
+	testCompactHook func(stage string) error
 }
 
 // New creates a memory-only filesystem with cfg.DataNodes data nodes named
@@ -131,9 +162,10 @@ func New(cfg Config) *FS {
 func Open(cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
 	fs := &FS{
-		cfg:   cfg,
-		files: make(map[string]*file),
-		nodes: make(map[string]*dataNode),
+		cfg:     cfg,
+		files:   make(map[string]*file),
+		nodes:   make(map[string]*dataNode),
+		reclaim: cfg.Reclaim,
 	}
 	for i := 0; i < cfg.DataNodes; i++ {
 		id := fmt.Sprintf("dn-%d", i)
@@ -220,6 +252,8 @@ func (fs *FS) pickReplicas() ([]*dataNode, error) {
 // Create creates a new append-only file and returns its writer. It fails if
 // the path already exists.
 func (fs *FS) Create(path string) (*Writer, error) {
+	fs.persistMu.RLock()
+	defer fs.persistMu.RUnlock()
 	fs.mu.Lock()
 	if _, ok := fs.files[path]; ok {
 		fs.mu.Unlock()
@@ -246,6 +280,8 @@ func (fs *FS) Delete(path string) error {
 		id   uint64
 		data []byte
 	}
+	fs.persistMu.RLock()
+	defer fs.persistMu.RUnlock()
 	fs.mu.Lock()
 	f, ok := fs.files[path]
 	if !ok {
@@ -280,6 +316,8 @@ func (fs *FS) Delete(path string) error {
 
 // Rename atomically moves a file, as the name-node metadata operation it is.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.persistMu.RLock()
+	defer fs.persistMu.RUnlock()
 	fs.mu.Lock()
 	f, ok := fs.files[oldPath]
 	if !ok {
@@ -490,6 +528,8 @@ func (w *Writer) Sync() error {
 // log and its metadata on the name-node log; the simulated sync latency is
 // charged on top (it models the replication pipeline, not the local fsync).
 func (fs *FS) commitChunk(path string, data []byte) error {
+	fs.persistMu.RLock()
+	defer fs.persistMu.RUnlock()
 	fs.mu.Lock()
 	f, ok := fs.files[path]
 	if !ok {

@@ -31,6 +31,12 @@ const (
 	persistOpDelete = 2
 	persistOpRename = 3
 	persistOpChunk  = 4
+	// Checkpoint markers bracket a CompactLogs rewrite of the live state;
+	// the payload is the checkpoint epoch. Replay needs no special
+	// handling beyond restoring the epoch — checkpoint records are
+	// ordinary create/chunk records made idempotent by chunk-id dedup.
+	persistOpCkptBegin = 5
+	persistOpCkptEnd   = 6
 )
 
 var errBadPersistRecord = errors.New("dfs: malformed persistence record")
@@ -148,6 +154,11 @@ func waitPersist(waits []<-chan storage.AppendResult) error {
 func (fs *FS) replayPersisted(cfg Config) error {
 	var maxID uint64
 	discovered := map[string]bool{}
+	// Chunk ids are assigned once and never reused, so a chunk record is
+	// applied at most once per replay — the second copy a log-compaction
+	// checkpoint (or a checkpoint replayed on top of surviving history)
+	// produces is skipped instead of doubling the file.
+	seenChunks := map[uint64]bool{}
 
 	err := fs.metaLog.Replay(func(_ storage.RecordPos, payload []byte) error {
 		if len(payload) == 0 {
@@ -193,8 +204,20 @@ func (fs *FS) replayPersisted(cfg Config) error {
 			for _, r := range c.replicas {
 				discovered[r] = true
 			}
-			if f, ok := fs.files[path]; ok {
+			if f, ok := fs.files[path]; ok && !seenChunks[c.id] {
 				f.chunks = append(f.chunks, c)
+				seenChunks[c.id] = true
+			}
+		case persistOpCkptBegin, persistOpCkptEnd:
+			epoch, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil
+			}
+			if epoch > fs.ckptEpoch {
+				fs.ckptEpoch = epoch
+			}
+			if op == persistOpCkptEnd {
+				fs.stats.LogCheckpoints++
 			}
 		}
 		return nil

@@ -15,14 +15,18 @@ import (
 // Compact merges every store file of the region into a single new file.
 // Versions shadowed by a newer version of the same coordinate at or below
 // horizon are dropped (0 keeps all versions). Concurrent reads stay
-// consistent: the old files remain readable until the swap.
+// consistent throughout AND afterwards: the inputs are not deleted at the
+// view swap but *retired* — physically unlinked only when the last read
+// view referencing them drains (see viewRef), so a lock-free reader that
+// loaded the previous view keeps streaming intact files.
 func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	r.flushMu.Lock() // flushes and compactions are mutually exclusive
 	defer r.flushMu.Unlock()
 
-	v := r.view.Load()
+	v := r.acquireView()
 	files := v.files
 	if len(files) <= 1 {
+		r.releaseView(v)
 		return nil
 	}
 	r.mu.Lock()
@@ -37,6 +41,7 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	for _, f := range files {
 		run, err := f.ScanRange(nil, kv.KeyRange{}, kv.MaxTimestamp, r.cache)
 		if err != nil {
+			r.releaseView(v)
 			return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
 		}
 		if len(run) > 0 {
@@ -45,12 +50,14 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	}
 	all, err := mergeRuns(runs, horizon)
 	if err != nil {
+		r.releaseView(v)
 		return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
 	}
 
 	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
 	merged, err := WriteStoreFile(r.fs, path, all, blockSize)
 	if err != nil {
+		r.releaseView(v)
 		return fmt.Errorf("compact region %s: %w", r.Info.ID, err)
 	}
 
@@ -59,7 +66,7 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 		compacted[f] = true
 	}
 	r.mu.Lock()
-	r.swapView(func(old regionView) regionView {
+	_, old := r.swapView(func(old regionView) regionView {
 		// Replace exactly the compacted inputs; files flushed meanwhile stay.
 		nf := make([]*StoreFile, 0, len(old.files))
 		nf = append(nf, merged)
@@ -73,17 +80,18 @@ func (r *Region) Compact(blockSize int, horizon kv.Timestamp) error {
 	})
 	r.mu.Unlock()
 
+	// Retire the inputs: deletion is deferred to the drain of the last
+	// view holding them. With no concurrent readers the old view drains on
+	// the releases below and the files are unlinked before Compact
+	// returns; with readers in flight, the slowest reader unlinks.
 	for _, f := range files {
-		if f.refMarker != "" {
-			// Referenced parent file: another daughter may still read it.
-			// Drop only our reference marker; the shared file itself is
-			// retired when no references remain (left to an external
-			// janitor, as in HBase).
-			_ = r.fs.Delete(f.refMarker)
-			continue
+		if f.retire() {
+			r.unlinkStoreFile(f)
 		}
-		_ = r.fs.Delete(f.Path())
 	}
+	r.releaseView(old)
+	r.releaseView(v)
+	r.reclaim.AddCompactions(1)
 	return nil
 }
 

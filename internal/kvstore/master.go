@@ -459,16 +459,22 @@ func (m *Master) RecoveredDeadServers() []string {
 // itself survives master hiccups.
 func (m *Master) splitWAL(serverID string) map[string][]WALEntry {
 	out := make(map[string][]WALEntry)
-	records, err := wal.ReadAll(m.fs, fmt.Sprintf("/wal/%s.log", serverID))
-	if err != nil {
-		return out // no durable WAL: nothing to split
-	}
-	for _, rec := range records {
-		e, err := DecodeWALEntry(rec)
-		if err != nil {
-			continue // torn or foreign record: skip, TM-log replay covers it
+	// Every surviving WAL generation of the dead server, oldest first
+	// (zero-padded generation numbers keep List's sort chronological).
+	// Replay across generations is idempotent: entries carry their commit
+	// timestamps, so versioned puts land identically in any order.
+	for _, path := range m.fs.List(walPrefix(serverID)) {
+		records, err := wal.ReadAll(m.fs, path)
+		if err != nil && records == nil {
+			continue // no durable bytes in this generation
 		}
-		out[e.RegionID] = append(out[e.RegionID], e)
+		for _, rec := range records {
+			e, err := DecodeWALEntry(rec)
+			if err != nil {
+				continue // torn or foreign record: skip, TM-log replay covers it
+			}
+			out[e.RegionID] = append(out[e.RegionID], e)
+		}
 	}
 	for regionID, entries := range out {
 		path := fmt.Sprintf("/recovered/%s/%s.edits", serverID, regionID)

@@ -10,6 +10,7 @@ import (
 
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
+	"txkv/internal/metrics"
 )
 
 // RegionInfo identifies a region: a contiguous key range of one table.
@@ -39,6 +40,35 @@ type regionView struct {
 	files  []*StoreFile // oldest first
 }
 
+// viewRef is a published regionView plus its drain refcount. The count
+// starts at 1 (the region's "current view" reference); every reader that
+// touches store files holds one more for the duration of its read. When the
+// view is swapped out AND the last reader releases, the view drains: it
+// drops its per-file references, physically unlinking any store file a
+// compaction retired meanwhile. This is what lets compaction delete its
+// inputs without ever yanking a file out from under a lock-free reader.
+//
+// The refcount lives outside regionView so view mutation functions can keep
+// copying the plain struct (an embedded atomic would trip copylocks).
+type viewRef struct {
+	regionView
+	refs atomic.Int64
+}
+
+// tryRef takes a read reference unless the view has already drained
+// (refs == 0 can never be revived: a drained view may have unlinked files).
+func (v *viewRef) tryRef() bool {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
 // Region is one hosted key range: an active memstore, zero or more frozen
 // memstores awaiting flush, and the immutable store files on the DFS.
 // Regions move between servers on failure; the store files (and nothing
@@ -46,10 +76,18 @@ type regionView struct {
 type Region struct {
 	Info RegionInfo
 
-	fs    *dfs.FS
-	cache *BlockCache
+	fs      *dfs.FS
+	cache   *BlockCache
+	reclaim *metrics.ReclaimMetrics // nil-safe; set by the hosting server
 
-	view atomic.Pointer[regionView]
+	// abandoned is set when the hosting server crashes: late view drains
+	// from the dead incarnation must not unlink files — the region's next
+	// incarnation discovered them by listing and may be serving them.
+	// Leaked retire candidates are re-compacted (and re-retired, safely)
+	// by the new incarnation.
+	abandoned atomic.Bool
+
+	view atomic.Pointer[viewRef]
 
 	mu      sync.Mutex // guards view swaps and nextSeq
 	nextSeq int
@@ -57,12 +95,79 @@ type Region struct {
 	flushMu sync.Mutex // serializes flushes and compactions
 }
 
-// swapView publishes a new read view derived from the current one. Caller
-// holds r.mu.
-func (r *Region) swapView(mutate func(old regionView) regionView) *regionView {
-	nv := mutate(*r.view.Load())
-	r.view.Store(&nv)
-	return &nv
+// swapView publishes a new read view derived from the current one and
+// returns (new, old). The new view takes a reference on each of its store
+// files before publication. Caller holds r.mu and must release the old
+// view's current-view reference with r.releaseView AFTER dropping r.mu —
+// draining can unlink retired store files, which is filesystem I/O that
+// must not run under the swap lock.
+func (r *Region) swapView(mutate func(old regionView) regionView) (nv, old *viewRef) {
+	old = r.view.Load()
+	nv = &viewRef{regionView: mutate(old.regionView)}
+	nv.refs.Store(1)
+	for _, f := range nv.files {
+		f.ref()
+	}
+	r.view.Store(nv)
+	return nv, old
+}
+
+// publishView installs the region's first view (open time).
+func (r *Region) publishView(data regionView) {
+	nv := &viewRef{regionView: data}
+	nv.refs.Store(1)
+	for _, f := range nv.files {
+		f.ref()
+	}
+	r.view.Store(nv)
+}
+
+// acquireView returns the current view with a read reference held. The
+// loop retries only when it loses a race with a view that fully drained
+// between the pointer load and the reference take — at most a handful of
+// iterations even under continuous compaction.
+func (r *Region) acquireView() *viewRef {
+	for {
+		v := r.view.Load()
+		if v.tryRef() {
+			return v
+		}
+	}
+}
+
+// releaseView drops one reference; the last release drains the view,
+// unreferencing its store files and physically unlinking any that were
+// retired (deferred deletion: the files were compaction inputs whose
+// replacement view is already live).
+func (r *Region) releaseView(v *viewRef) {
+	if v.refs.Add(-1) != 0 {
+		return
+	}
+	for _, f := range v.files {
+		if f.unref() {
+			r.unlinkStoreFile(f)
+		}
+	}
+}
+
+// unlinkStoreFile physically removes a retired store file after its last
+// view drained. A file served through a split reference marker retires only
+// the marker — the shared parent file may still back the sibling daughter.
+func (r *Region) unlinkStoreFile(f *StoreFile) {
+	if r.abandoned.Load() {
+		return // dead incarnation: the file may be live again elsewhere
+	}
+	path := f.Path()
+	if f.refMarker != "" {
+		path = f.refMarker
+	}
+	size, _ := r.fs.Size(path)
+	if err := r.fs.Delete(path); err == nil {
+		r.reclaim.AddFilesRetired(1)
+		// Logical size, not physical reclaim: the journal bytes holding
+		// these blocks are reclaimed by the next DFS log compaction.
+		r.reclaim.AddRetiredBytes(size)
+	}
 }
 
 // cloneFrozenWithout returns frozen minus snap, as a fresh slice.
@@ -77,13 +182,28 @@ func cloneFrozenWithout(frozen []*MemStore, snap *MemStore) []*MemStore {
 }
 
 // OpenRegion opens a region: it discovers and opens the region's store
-// files on the DFS. The memstores start empty (their previous content died
-// with the previous server); recovered WAL edits are replayed by the caller
-// via Apply.
+// files from the DFS directory listing. The memstores start empty (their
+// previous content died with the previous server); recovered WAL edits are
+// replayed by the caller via Apply.
+//
+// Discovery-by-listing is only safe when no prior incarnation of the
+// region can still be draining readers in this process: the listing may
+// contain compaction inputs that are retired but not yet unlinked. For an
+// in-process region move use OpenRegionFiles with the source's final live
+// file set.
 func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error) {
+	return openRegionPaths(fs, cache, info, fs.List(dataDir(info.Table, info.ID)))
+}
+
+// OpenRegionFiles opens a region serving exactly the given store-file
+// paths (the move path: CloseAndFlushRegion's returned live set).
+func OpenRegionFiles(fs *dfs.FS, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
+	return openRegionPaths(fs, cache, info, append([]string(nil), paths...))
+}
+
+func openRegionPaths(fs *dfs.FS, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
 	r := &Region{Info: info, fs: fs, cache: cache}
 	dir := dataDir(info.Table, info.ID)
-	paths := fs.List(dir)
 	sort.Strings(paths)
 	var files []*StoreFile
 	for _, p := range paths {
@@ -92,6 +212,11 @@ func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error)
 			stem  string
 		)
 		switch {
+		case strings.HasSuffix(p, tmpSuffix):
+			// Orphan of a store-file write that crashed before its
+			// publishing rename: never referenced, safe to sweep.
+			_ = fs.Delete(p)
+			continue
 		case strings.HasSuffix(p, ".sf"):
 			stem = strings.TrimSuffix(p[len(dir):], ".sf")
 		case strings.HasSuffix(p, refSuffix):
@@ -125,7 +250,7 @@ func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error)
 			r.nextSeq = seq + 1
 		}
 	}
-	r.view.Store(&regionView{active: NewMemStore(), files: files})
+	r.publishView(regionView{active: NewMemStore(), files: files})
 	return r, nil
 }
 
@@ -165,7 +290,8 @@ func (r *Region) Apply(kvs []kv.KeyValue) {
 // tombstone or absence yields found=false. The memstore path is lock-free
 // and allocation-free: one atomic view load, skip-list seeks, no copies.
 func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
-	v := r.view.Load()
+	v := r.acquireView()
+	defer r.releaseView(v)
 
 	var best kv.KeyValue
 	found := false
@@ -198,7 +324,8 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 // merge order and stops as soon as limit entries have been produced —
 // nothing beyond the limit is materialized or even decoded.
 func (r *Region) ScanRange(rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	v := r.view.Load()
+	v := r.acquireView()
+	defer r.releaseView(v)
 
 	iters := make([]kvIter, 0, 1+len(v.frozen)+len(v.files))
 	iters = append(iters, v.active.Iter(rng, maxTS))
@@ -261,7 +388,7 @@ func (r *Region) Flush(blockSize int) error {
 		return nil
 	}
 	var snap *MemStore
-	r.swapView(func(old regionView) regionView {
+	_, old := r.swapView(func(old regionView) regionView {
 		snap = old.active
 		old.active = NewMemStore()
 		old.frozen = append(cloneFrozenWithout(old.frozen, nil), snap)
@@ -270,6 +397,7 @@ func (r *Region) Flush(blockSize int) error {
 	seq := r.nextSeq
 	r.nextSeq++
 	r.mu.Unlock()
+	r.releaseView(old)
 
 	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
 	sf, err := WriteStoreFile(r.fs, path, snap.All(), blockSize)
@@ -278,11 +406,12 @@ func (r *Region) Flush(blockSize int) error {
 		// flush retries it. Versioned puts make the merge safe even if
 		// newer versions were written meanwhile.
 		r.mu.Lock()
-		nv := r.swapView(func(old regionView) regionView {
+		nv, old := r.swapView(func(old regionView) regionView {
 			old.frozen = cloneFrozenWithout(old.frozen, snap)
 			return old
 		})
 		r.mu.Unlock()
+		r.releaseView(old)
 		for _, e := range snap.All() {
 			nv.active.Put(e)
 		}
@@ -290,16 +419,33 @@ func (r *Region) Flush(blockSize int) error {
 	}
 
 	r.mu.Lock()
-	r.swapView(func(old regionView) regionView {
+	_, old = r.swapView(func(old regionView) regionView {
 		old.files = append(append([]*StoreFile(nil), old.files...), sf)
 		old.frozen = cloneFrozenWithout(old.frozen, snap)
 		return old
 	})
 	r.mu.Unlock()
+	r.releaseView(old)
 	return nil
 }
 
 // Files returns the number of store files, for tests and stats.
 func (r *Region) Files() int {
 	return len(r.view.Load().files)
+}
+
+// storeFilePaths returns the current view's region-owned store-file paths
+// (files served through split reference markers are excluded — they belong
+// to an ancestor region). Only live files appear: retired compaction inputs
+// are out of the view the moment their replacement publishes, even while a
+// draining reader keeps them on the filesystem.
+func (r *Region) storeFilePaths() []string {
+	v := r.view.Load()
+	out := make([]string, 0, len(v.files))
+	for _, f := range v.files {
+		if f.refMarker == "" {
+			out = append(out, f.Path())
+		}
+	}
+	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
+	"txkv/internal/metrics"
 	"txkv/internal/wal"
 )
 
@@ -52,8 +53,17 @@ type ServerConfig struct {
 	// automatic compaction.
 	CompactionThreshold int
 	// CompactionHorizon is the version-GC horizon passed to compactions
-	// triggered by the threshold (0 keeps every version).
+	// triggered by the threshold (0 keeps every version). When
+	// HorizonSource is set it takes precedence.
 	CompactionHorizon kv.Timestamp
+	// HorizonSource, when set, supplies the version-GC horizon at each
+	// compaction — the cluster wires the transaction manager's safe
+	// snapshot here so background compactions never GC a version an
+	// in-flight transaction could still read.
+	HorizonSource func() kv.Timestamp
+	// Reclaim, when set, receives store-file retirement counters and is
+	// propagated to every region this server opens. Nil records nothing.
+	Reclaim *metrics.ReclaimMetrics
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -92,7 +102,17 @@ type RegionServer struct {
 	mu      sync.RWMutex
 	regions map[string]*regionEntry
 	wal     *wal.Writer
+	walGen  int // current WAL generation (RollWAL advances it)
 	crashed bool
+
+	rollMu sync.Mutex // serializes RollWAL passes
+	// walMu is the roll barrier: writers hold it shared across WAL append
+	// + memstore apply (and syncs hold it across the sync), so once
+	// RollWAL's exclusive acquisition returns, every edit that reached the
+	// old generation is already applied to a memstore — the flush that
+	// follows covers it before the old files are deleted. Acquired before
+	// s.mu when both are held.
+	walMu sync.RWMutex
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -122,13 +142,23 @@ func (s *RegionServer) Cache() *BlockCache { return s.cache }
 // Start.
 func (s *RegionServer) SetHooks(h ServerHooks) { s.hooks = h }
 
-// WALPath returns the DFS path of this server's write-ahead log.
-func (s *RegionServer) WALPath() string { return fmt.Sprintf("/wal/%s.log", s.cfg.ID) }
+// walPath names one WAL generation; walPrefix matches every generation of
+// a server (the trailing dot keeps "server-1" from matching "server-10").
+func walPath(id string, gen int) string { return fmt.Sprintf("/wal/%s.%08d.log", id, gen) }
+func walPrefix(id string) string        { return fmt.Sprintf("/wal/%s.", id) }
+
+// WALPath returns the DFS path of this server's current write-ahead log
+// generation. RollWAL replaces it.
+func (s *RegionServer) WALPath() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return walPath(s.cfg.ID, s.walGen)
+}
 
 // Start creates the WAL and starts the background loops. The master must
 // be attached via Master.AddServer (which calls back into start).
 func (s *RegionServer) Start(m *Master) error {
-	w, err := wal.Create(s.fs, s.WALPath())
+	w, err := wal.Create(s.fs, walPath(s.cfg.ID, 0))
 	if err != nil {
 		return fmt.Errorf("server %s: %w", s.cfg.ID, err)
 	}
@@ -194,7 +224,7 @@ func (s *RegionServer) flushLoop() {
 					_ = r.Flush(s.cfg.BlockSize)
 				}
 				if th := s.cfg.CompactionThreshold; th > 0 && r.Files() > th {
-					_ = r.Compact(s.cfg.BlockSize, s.cfg.CompactionHorizon)
+					_ = r.Compact(s.cfg.BlockSize, s.compactionHorizon())
 				}
 			}
 		}
@@ -238,6 +268,10 @@ func (s *RegionServer) HostedRegionInfos() []RegionInfo {
 // SyncWAL persists the WAL buffer to the DFS. Called by the async syncer
 // loop and by the recovery agent's heartbeat (Algorithm 3: "persist").
 func (s *RegionServer) SyncWAL() error {
+	// The shared barrier keeps the writer from being closed by a
+	// concurrent roll while the sync is in flight.
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	s.mu.RLock()
 	w, crashed := s.wal, s.crashed
 	s.mu.RUnlock()
@@ -271,6 +305,11 @@ func (s *RegionServer) findRegion(table string, row kv.Key, includeRecovering bo
 // hasPiggy marks a replayed write from the recovery client carrying the
 // failed server's T_P (paper Alg. 3 "On receive from recovery client").
 func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	// Shared roll barrier: held across the WAL append AND the memstore
+	// apply, so a WAL roll (exclusive acquisition) never observes an edit
+	// in the old generation that is not yet in a memstore.
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	s.mu.RLock()
 	if s.crashed || s.wal == nil {
 		s.mu.RUnlock()
@@ -398,6 +437,29 @@ func (s *RegionServer) OpenRegion(info RegionInfo, recoveredEdits []WALEntry, pr
 	if err != nil {
 		return err
 	}
+	return s.installRegion(r, info, recoveredEdits, preOnline)
+}
+
+// OpenRegionFiles is OpenRegion with the store-file set given explicitly
+// instead of discovered by listing — the region-move path, where the
+// source's data directory can still hold retired files awaiting a reader
+// drain that must not become part of the new incarnation.
+func (s *RegionServer) OpenRegionFiles(info RegionInfo, files []string, recoveredEdits []WALEntry, preOnline func() error) error {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return ErrServerStopped
+	}
+	r, err := OpenRegionFiles(s.fs, s.cache, info, files)
+	if err != nil {
+		return err
+	}
+	return s.installRegion(r, info, recoveredEdits, preOnline)
+}
+
+func (s *RegionServer) installRegion(r *Region, info RegionInfo, recoveredEdits []WALEntry, preOnline func() error) error {
+	r.reclaim = s.cfg.Reclaim
 	// HBase-internal recovery: replay the split WAL edits into the fresh
 	// memstore.
 	for _, e := range recoveredEdits {
@@ -445,26 +507,129 @@ func (s *RegionServer) CloseRegion(regionID string) {
 // memstore so that the store files carry the region's full state — the
 // source half of a region move. It waits for in-flight writes to drain
 // before flushing, so no acknowledged update is left behind in memory.
-func (s *RegionServer) CloseAndFlushRegion(regionID string) error {
+// It returns the region's final live store-file paths (region-owned files
+// only, not split reference markers): the directory listing is NOT a safe
+// substitute, because it can still contain compaction inputs that are
+// retired but waiting for a slow reader's view to drain before deletion.
+func (s *RegionServer) CloseAndFlushRegion(regionID string) ([]string, error) {
 	s.mu.Lock()
 	entry, ok := s.regions[regionID]
 	delete(s.regions, regionID)
 	crashed := s.crashed
 	s.mu.Unlock()
 	if crashed {
-		return ErrServerStopped
+		return nil, ErrServerStopped
 	}
 	if !ok {
-		return fmt.Errorf("%w: %s not hosted", ErrRegionNotServing, regionID)
+		return nil, fmt.Errorf("%w: %s not hosted", ErrRegionNotServing, regionID)
 	}
 	s.inflight.Wait() // writes that found the region before removal finish
-	return entry.r.Flush(s.cfg.BlockSize)
+	if err := entry.r.Flush(s.cfg.BlockSize); err != nil {
+		return nil, err
+	}
+	return entry.r.storeFilePaths(), nil
 }
 
 // FlushAll flushes every hosted region's memstore (test/benchmark helper).
 func (s *RegionServer) FlushAll() error {
 	for _, r := range s.hostedRegions() {
 		if err := r.Flush(s.cfg.BlockSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RollWAL bounds the write-ahead log: it starts a fresh WAL generation,
+// flushes every hosted region (so the old generations' edits are fully
+// covered by store files), and only then deletes the old generation files.
+// Without rolling, the live WAL grows with all-time writes and pins its
+// blocks in the DFS journals forever — the one growth vector log compaction
+// alone cannot reclaim.
+//
+// Crash safety: the old generations are deleted only after a successful
+// flush with the server still live, so at every instant either the WAL
+// entries or the store files cover each acknowledged edit; a crash
+// mid-roll at worst leaves an extra (already-covered) generation for the
+// master's log split to read.
+func (s *RegionServer) RollWAL() error {
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+
+	s.walMu.Lock()
+	s.mu.Lock()
+	if s.crashed || s.wal == nil {
+		s.mu.Unlock()
+		s.walMu.Unlock()
+		return ErrServerStopped
+	}
+	old := s.wal
+	oldPath := walPath(s.cfg.ID, s.walGen)
+	if old.Buffered() == 0 {
+		if n, err := s.fs.Size(oldPath); err == nil && n == 0 {
+			s.mu.Unlock()
+			s.walMu.Unlock()
+			return nil // nothing logged since the last roll
+		}
+	}
+	nw, err := wal.Create(s.fs, walPath(s.cfg.ID, s.walGen+1))
+	if err != nil {
+		s.mu.Unlock()
+		s.walMu.Unlock()
+		return fmt.Errorf("server %s: roll wal: %w", s.cfg.ID, err)
+	}
+	s.wal = nw
+	s.walGen++
+	cur := walPath(s.cfg.ID, s.walGen)
+	s.mu.Unlock()
+	s.walMu.Unlock()
+
+	// Persist the old generation's buffered tail before freezing it:
+	// Close alone would drop the buffer, and the recovery agent's next
+	// heartbeat (which syncs the fresh, empty generation) would advance
+	// T_P past edits that were never made durable anywhere. If the sync
+	// fails the FlushAll below still covers the edits — they are all in
+	// memstores thanks to the roll barrier — and a flush failure keeps
+	// the old generations on the DFS.
+	_ = old.Sync()
+	_ = old.Close()
+
+	if err := s.FlushAll(); err != nil {
+		return err // old generations stay; the next roll retries
+	}
+	// A crash can clear the region map mid-FlushAll, turning it into a
+	// no-op — the old WAL would then be the only copy of the memstore
+	// edits below the persisted threshold, so keep it for the log split.
+	if s.Crashed() {
+		return ErrServerStopped
+	}
+	for _, p := range s.fs.List(walPrefix(s.cfg.ID)) {
+		if p != cur {
+			_ = s.fs.Delete(p)
+		}
+	}
+	return nil
+}
+
+// compactionHorizon resolves the version-GC horizon for a compaction.
+func (s *RegionServer) compactionHorizon() kv.Timestamp {
+	if s.cfg.HorizonSource != nil {
+		return s.cfg.HorizonSource()
+	}
+	return s.cfg.CompactionHorizon
+}
+
+// CompactAll compacts every hosted region that has more than one store
+// file, using the configured version-GC horizon. It is the storage
+// janitor's entry point: together with dfs.CompactLogs it bounds steady-
+// state disk usage (retired store files free their DFS blocks, and the next
+// log compaction reclaims the block-journal bytes).
+func (s *RegionServer) CompactAll() error {
+	for _, r := range s.hostedRegions() {
+		if r.Files() <= 1 {
+			continue
+		}
+		if err := r.Compact(s.cfg.BlockSize, s.compactionHorizon()); err != nil {
 			return err
 		}
 	}
@@ -478,6 +643,12 @@ func (s *RegionServer) Crash() {
 	s.crashed = true
 	w := s.wal
 	s.wal = nil
+	// Late view drains from this incarnation must not unlink store files:
+	// the regions reassign to live servers that rediscover the files by
+	// listing, retired-but-undrained ones included.
+	for _, e := range s.regions {
+		e.r.abandoned.Store(true)
+	}
 	s.regions = make(map[string]*regionEntry)
 	s.mu.Unlock()
 	if w != nil {

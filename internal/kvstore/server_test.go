@@ -59,7 +59,7 @@ func TestServerOperationsAfterCrash(t *testing.T) {
 	if err := srv.OpenRegion(RegionInfo{ID: "x", Table: "t"}, nil, nil); !errors.Is(err, ErrServerStopped) {
 		t.Fatalf("open after crash: %v", err)
 	}
-	if err := srv.CloseAndFlushRegion("anything"); !errors.Is(err, ErrServerStopped) {
+	if _, err := srv.CloseAndFlushRegion("anything"); !errors.Is(err, ErrServerStopped) {
 		t.Fatalf("close-and-flush after crash: %v", err)
 	}
 	if !srv.Crashed() {
@@ -71,7 +71,7 @@ func TestServerOperationsAfterCrash(t *testing.T) {
 
 func TestCloseAndFlushUnknownRegion(t *testing.T) {
 	ts := newTestStore(t, 1, false)
-	if err := ts.srvs[0].CloseAndFlushRegion("nope"); !errors.Is(err, ErrRegionNotServing) {
+	if _, err := ts.srvs[0].CloseAndFlushRegion("nope"); !errors.Is(err, ErrRegionNotServing) {
 		t.Fatalf("unknown region: %v", err)
 	}
 }

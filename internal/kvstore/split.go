@@ -2,7 +2,6 @@ package kvstore
 
 import (
 	"fmt"
-	"strings"
 
 	"txkv/internal/kv"
 )
@@ -95,19 +94,20 @@ func (m *Master) SplitRegion(regionID string, splitKey kv.Key) error {
 	}
 
 	// Take the parent offline and persist its memstore: afterwards, every
-	// byte of the parent lives in its store files.
-	if err := src.srv.CloseAndFlushRegion(parent.ID); err != nil {
+	// byte of the parent lives in its store files. The returned paths are
+	// the parent's final *live* files — listing the data directory here
+	// would also pick up retired compaction inputs still awaiting their
+	// last reader's drain, and a daughter reference to one of those would
+	// dangle the moment the drain unlinks it.
+	parentFiles, err := src.srv.CloseAndFlushRegion(parent.ID)
+	if err != nil {
 		restoreParent()
 		return fmt.Errorf("split %s: %w", parent.ID, err)
 	}
 
 	// Reference the parent's files from both daughters.
-	parentFiles := m.fs.List(dataDir(table, parent.ID))
 	dummy := &Region{fs: m.fs} // writeRef only needs the fs handle
 	for i, p := range parentFiles {
-		if !strings.HasSuffix(p, ".sf") {
-			continue
-		}
 		for _, d := range []RegionInfo{left, right} {
 			if err := writeRef(dummy, table, d.ID, i, p); err != nil {
 				restoreParent()

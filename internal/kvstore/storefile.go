@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
@@ -91,16 +92,34 @@ func decodeIndex(b []byte) ([]indexEntry, error) {
 	return out, nil
 }
 
+// tmpSuffix marks an in-flight store-file write. A store file becomes
+// visible at its final name only via an atomic rename after its full
+// contents are synced, so a crash mid-write can never surface a
+// half-written file — at worst it leaves a *.tmp orphan, which OpenRegion
+// sweeps.
+const tmpSuffix = ".tmp"
+
 // WriteStoreFile writes the sorted entries as a store file at path and
 // returns an opened reader for it. Entries must already be in store order.
+// The bytes are written to a temporary sibling, synced, and only then
+// renamed to path (a journaled name-node metadata operation), so the file
+// is either fully present under its final name or not present at all.
 func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
 	if blockSize <= 0 {
 		blockSize = defaultBlockSize
 	}
-	w, err := fs.Create(path)
+	tmp := path + tmpSuffix
+	w, err := fs.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: create store file: %w", err)
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			_ = w.Close()
+			_ = fs.Delete(tmp)
+		}
+	}()
 	var (
 		index    []indexEntry
 		blockBuf []byte
@@ -154,6 +173,10 @@ func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize in
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("kvstore: publish store file: %w", err)
+	}
+	committed = true
 	return &StoreFile{fs: fs, path: path, index: index, entries: len(entries)}, nil
 }
 
@@ -170,6 +193,51 @@ type StoreFile struct {
 	// empty for files owned by the region itself. Compactions delete the
 	// marker, never the shared target.
 	refMarker string
+
+	// Lifecycle state, guarded by lifeMu. refs counts the read views
+	// holding this file; retired marks it as a compaction input whose
+	// replacement is live; unlinked latches physical deletion so the
+	// retire/last-unref race can't delete twice. This is deliberately a
+	// mutex, not atomics: it is touched only at view construction, view
+	// drain, and retirement — never on the per-read hot path, which counts
+	// references on the view instead.
+	lifeMu   sync.Mutex
+	refs     int
+	retired  bool
+	unlinked bool
+}
+
+// ref records that one more read view holds this file.
+func (s *StoreFile) ref() {
+	s.lifeMu.Lock()
+	s.refs++
+	s.lifeMu.Unlock()
+}
+
+// unref drops one view's hold and reports whether the caller must now
+// physically unlink the file (it was retired and this was the last hold).
+func (s *StoreFile) unref() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.refs--
+	if s.refs == 0 && s.retired && !s.unlinked {
+		s.unlinked = true
+		return true
+	}
+	return false
+}
+
+// retire marks the file for deferred deletion and reports whether the
+// caller must unlink it immediately (no view holds it anymore).
+func (s *StoreFile) retire() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.retired = true
+	if s.refs == 0 && !s.unlinked {
+		s.unlinked = true
+		return true
+	}
+	return false
 }
 
 // OpenStoreFile opens the store file at path, reading its footer and index.

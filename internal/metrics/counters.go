@@ -1,0 +1,98 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a concurrency-safe monotonic counter. The zero value is ready
+// to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ReclaimMetrics aggregates the resource-lifecycle counters shared by the
+// two space-reclamation paths: DFS log compaction (segments rewritten and
+// dropped) and refcounted store-file retirement (deferred deletion once the
+// last read view drains). A nil *ReclaimMetrics is valid and records
+// nothing, so subsystems can be wired without one.
+type ReclaimMetrics struct {
+	// BytesReclaimed counts bytes physically returned to the backing
+	// store: dropped log segments plus unlinked store files.
+	BytesReclaimed Counter
+	// FilesRetired counts store files (and split reference markers)
+	// physically unlinked after their last reader drained; BytesRetired
+	// totals their logical (filesystem-level) sizes. Kept separate from
+	// BytesReclaimed: a retired store file's bytes are physically
+	// reclaimed later, when log compaction drops the journal segments
+	// that held its blocks — adding both into one counter would double-
+	// count the same data.
+	FilesRetired Counter
+	BytesRetired Counter
+	// SegmentsDropped counts storage-log segments removed by compaction.
+	SegmentsDropped Counter
+	// Compactions counts completed reclamation passes (DFS log
+	// checkpoints and store-file compactions).
+	Compactions Counter
+}
+
+// AddReclaimedBytes records n bytes physically reclaimed.
+func (m *ReclaimMetrics) AddReclaimedBytes(n int64) {
+	if m != nil && n > 0 {
+		m.BytesReclaimed.Add(n)
+	}
+}
+
+// AddFilesRetired records n store files physically unlinked.
+func (m *ReclaimMetrics) AddFilesRetired(n int64) {
+	if m != nil {
+		m.FilesRetired.Add(n)
+	}
+}
+
+// AddRetiredBytes records the logical size of unlinked store files.
+func (m *ReclaimMetrics) AddRetiredBytes(n int64) {
+	if m != nil && n > 0 {
+		m.BytesRetired.Add(n)
+	}
+}
+
+// AddSegmentsDropped records n log segments removed.
+func (m *ReclaimMetrics) AddSegmentsDropped(n int64) {
+	if m != nil {
+		m.SegmentsDropped.Add(n)
+	}
+}
+
+// AddCompactions records n completed reclamation passes.
+func (m *ReclaimMetrics) AddCompactions(n int64) {
+	if m != nil {
+		m.Compactions.Add(n)
+	}
+}
+
+// ReclaimSnapshot is a point-in-time copy of ReclaimMetrics.
+type ReclaimSnapshot struct {
+	BytesReclaimed  int64
+	BytesRetired    int64
+	FilesRetired    int64
+	SegmentsDropped int64
+	Compactions     int64
+}
+
+// Snapshot returns the current counter values. A nil receiver yields zeros.
+func (m *ReclaimMetrics) Snapshot() ReclaimSnapshot {
+	if m == nil {
+		return ReclaimSnapshot{}
+	}
+	return ReclaimSnapshot{
+		BytesReclaimed:  m.BytesReclaimed.Load(),
+		BytesRetired:    m.BytesRetired.Load(),
+		FilesRetired:    m.FilesRetired.Load(),
+		SegmentsDropped: m.SegmentsDropped.Load(),
+		Compactions:     m.Compactions.Load(),
+	}
+}

@@ -61,6 +61,7 @@ type Stats struct {
 	TailDropped     int64  // bytes discarded by open-time torn-tail repair
 	DroppedSegments int64  // segments discarded past a corruption point
 	RemovedSegments int64  // segments reclaimed by DropSegmentsBefore
+	ReclaimedBytes  int64  // bytes held by segments reclaimed by DropSegmentsBefore
 }
 
 type syncWaiter struct {
@@ -513,29 +514,38 @@ func (l *Log) ActiveSegment() uint64 {
 
 // DropSegmentsBefore removes every sealed segment with id < seg, reclaiming
 // space below a caller-determined retention point (the txlog calls this with
-// the segment of its first retained record after truncation). The active
-// segment is never removed. Returns the number of segments removed.
-func (l *Log) DropSegmentsBefore(seg uint64) (int, error) {
+// the segment of its first retained record after truncation; the DFS log
+// compactor with the segment its live-state rewrite starts in). The active
+// segment is never removed. Returns the number of segments removed and the
+// bytes those segments held.
+func (l *Log) DropSegmentsBefore(seg uint64) (int, int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	removed := 0
-	kept := l.segments[:0]
-	for _, id := range l.segments {
+	var reclaimed int64
+	kept := make([]uint64, 0, len(l.segments))
+	for i, id := range l.segments {
 		if id < seg && id != l.activeID {
+			size, _ := l.cfg.Backend.Size(segmentName(id)) // best effort: 0 on error
 			if err := l.cfg.Backend.Remove(segmentName(id)); err != nil {
-				return removed, fmt.Errorf("storage: drop segment %d: %w", id, err)
+				// Keep the unprocessed suffix (including the segment that
+				// failed to remove) so the log's view stays accurate.
+				l.segments = append(kept, l.segments[i:]...)
+				return removed, reclaimed, fmt.Errorf("storage: drop segment %d: %w", id, err)
 			}
 			removed++
+			reclaimed += size
 			l.stats.RemovedSegments++
+			l.stats.ReclaimedBytes += size
 			continue
 		}
 		kept = append(kept, id)
 	}
 	l.segments = kept
-	return removed, nil
+	return removed, reclaimed, nil
 }
 
 // Stats returns a snapshot of engine counters.

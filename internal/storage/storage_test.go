@@ -295,12 +295,15 @@ func TestDropSegmentsBefore(t *testing.T) {
 	if active < 3 {
 		t.Fatalf("expected several segments, active = %d", active)
 	}
-	removed, err := l.DropSegmentsBefore(active)
+	removed, reclaimed, err := l.DropSegmentsBefore(active)
 	if err != nil {
 		t.Fatalf("drop: %v", err)
 	}
 	if removed == 0 {
 		t.Fatal("expected sealed segments to be removed")
+	}
+	if reclaimed == 0 {
+		t.Fatal("expected dropped segments to report reclaimed bytes")
 	}
 	st := l.Stats()
 	if st.Segments != 1 || st.ActiveSegment != active {

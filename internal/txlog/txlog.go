@@ -409,7 +409,7 @@ func (l *Log) Truncate(upTo kv.Timestamp) {
 		keepSeg = l.records[0].seg
 	}
 	l.mu.Unlock()
-	_, _ = l.store.DropSegmentsBefore(keepSeg)
+	_, _, _ = l.store.DropSegmentsBefore(keepSeg)
 }
 
 // Stats returns a snapshot of the log counters.

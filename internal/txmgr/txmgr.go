@@ -351,6 +351,18 @@ func (m *Manager) Frontier() kv.Timestamp {
 	return m.frontier
 }
 
+// SafeSnapshot returns the newest timestamp at or below which no active —
+// and no future — transaction can take a snapshot: the minimum of the
+// visibility frontier and every in-flight transaction's start timestamp.
+// Versions shadowed by a newer version at or below this bound are invisible
+// to every current and future reader, which makes it the safe version-GC
+// horizon for background store-file compaction.
+func (m *Manager) SafeSnapshot() kv.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pruneWatermarkLocked()
+}
+
 // LastIssued returns the highest timestamp issued so far.
 func (m *Manager) LastIssued() kv.Timestamp {
 	m.mu.Lock()
