@@ -15,10 +15,12 @@
 //	txkvbench -experiment durability  # storage engine: mem vs disk backend + timed restart
 //	txkvbench -experiment readwrite   # hot-path Get/Scan latency + parallel commit throughput
 //	txkvbench -experiment compaction  # DataDir plateau + read p99 under the storage janitor
+//	txkvbench -experiment scan        # streaming cursor scans vs materializing slice scans
 //	txkvbench -experiment all
 //
-// The readwrite experiment additionally writes its machine-readable result
-// to the path given by -json (the BENCH_PR2.json regression format).
+// The readwrite and scan experiments additionally write their
+// machine-readable results to the path given by -json (the BENCH_PR2.json /
+// BENCH_PR4.json regression formats).
 //
 // The -scale flag shrinks or grows every workload dimension together;
 // -records / -duration override individual knobs.
@@ -29,15 +31,25 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"txkv/internal/bench"
 )
 
+// jsonSuffix derives "base.name.json" from "base.json" (or appends when
+// there is no .json extension).
+func jsonSuffix(path, name string) string {
+	if strings.HasSuffix(path, ".json") {
+		return strings.TrimSuffix(path, ".json") + "." + name + ".json"
+	}
+	return path + "." + name
+}
+
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -45,7 +57,20 @@ func main() {
 		jsonPath   = flag.String("json", "", "write readwrite results as JSON to this path")
 	)
 	flag.Parse()
-	bench.ReadWriteJSONPath = *jsonPath
+	// A single selected experiment owns -json outright; a run covering
+	// both JSON-emitting experiments gets per-experiment derived names so
+	// the later one cannot clobber the earlier result.
+	switch *experiment {
+	case "readwrite":
+		bench.ReadWriteJSONPath = *jsonPath
+	case "scan":
+		bench.ScanJSONPath = *jsonPath
+	default:
+		if *jsonPath != "" {
+			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
+			bench.ScanJSONPath = jsonSuffix(*jsonPath, "scan")
+		}
+	}
 
 	opts := bench.Options{
 		Records:  *records,
@@ -66,8 +91,9 @@ func main() {
 		"durability":  bench.Durability,
 		"readwrite":   bench.ReadWrite,
 		"compaction":  bench.Compaction,
+		"scan":        bench.Scan,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -155,24 +155,25 @@ func transfer(client *txkv.Client, from, to, amount int) error {
 	return err
 }
 
-// audit sums every balance at a strict (fully flushed) snapshot.
+// audit sums every balance at a strict (fully flushed) snapshot, streaming
+// the table through a cursor scan instead of materializing it.
 func audit(client *txkv.Client) (int, error) {
 	txn := client.BeginStrict()
 	defer txn.Abort()
-	rows, err := txn.Scan("bank", txkv.KeyRange{}, 0)
-	if err != nil {
-		return 0, err
-	}
-	if len(rows) != accounts {
-		return 0, fmt.Errorf("scan returned %d rows, want %d", len(rows), accounts)
-	}
-	total := 0
-	for _, r := range rows {
+	total, count := 0, 0
+	for r, err := range txn.Scan("bank", txkv.KeyRange{}, txkv.ScanOptions{}).All() {
+		if err != nil {
+			return 0, err
+		}
 		v, err := strconv.Atoi(string(r.Value))
 		if err != nil {
 			return 0, err
 		}
 		total += v
+		count++
+	}
+	if count != accounts {
+		return 0, fmt.Errorf("scan returned %d rows, want %d", count, accounts)
 	}
 	return total, nil
 }

@@ -70,14 +70,15 @@ func main() {
 		log.Fatalf("expected conflict, got %v", err)
 	}
 
-	// 4. Scans see the newest committed versions.
+	// 4. Scans stream the newest committed versions in bounded batches.
 	scan := client.Begin()
-	rows, err := scan.Scan("inventory", txkv.KeyRange{}, 0)
-	if err != nil {
-		log.Fatalf("scan: %v", err)
-	}
-	for _, row := range rows {
+	sc := scan.Scan("inventory", txkv.KeyRange{}, txkv.ScanOptions{})
+	for sc.Next() {
+		row := sc.KV()
 		fmt.Printf("  %s/%s = %s\n", row.Row, row.Column, row.Value)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("scan: %v", err)
 	}
 	scan.Abort()
 	fmt.Println("quickstart done")

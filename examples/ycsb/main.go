@@ -22,6 +22,8 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
 		target   = flag.Int("target", 0, "target tps (0 = unthrottled)")
 		dist     = flag.String("dist", "uniform", "key distribution: uniform|zipfian|scrambled")
+		scans    = flag.Float64("scans", 0, "fraction of operations that are short streaming scans (workload E)")
+		scanLen  = flag.Int("scanlen", 50, "rows per scan operation")
 	)
 	flag.Parse()
 
@@ -39,6 +41,8 @@ func main() {
 		RecordCount:  *records,
 		OpsPerTxn:    10,
 		ReadRatio:    0.5,
+		ScanRatio:    *scans,
+		ScanLength:   *scanLen,
 		ValueSize:    100,
 		Distribution: *dist,
 	}

@@ -134,8 +134,10 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 			Start: ycsb.RowKey(uint64(start)),
 			End:   ycsb.RowKey(uint64(start + scanWindow)),
 		}
-		_, err := txn.Scan(w.Table, rng2, scanLimit)
-		return err
+		sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Limit: scanLimit})
+		for sc.Next() {
+		}
+		return sc.Err()
 	})
 	if err != nil {
 		return res, err

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"txkv/internal/cluster"
+	"txkv/internal/kv"
+	"txkv/internal/metrics"
+	"txkv/internal/ycsb"
+)
+
+// Scan benchmarks the streaming read API against the legacy materializing
+// path: closed-loop range scans over a short window (Records/100 rows,
+// min 100) and over the full table, at batch sizes 64 and 1024, measured as
+// p99 latency, bytes allocated per scan, and the process heap high-water
+// mark during the full-range phase. The "slice" row per range is the
+// deprecated ScanRange wrapper driven through an unbounded batch — the
+// pre-redesign O(result) behaviour — so one run produces the before/after
+// pair BENCH_PR4.json records.
+
+// ScanResult is the machine-readable output of one Scan run.
+type ScanResult struct {
+	Records     int     `json:"records"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Phases []ScanPhaseResult `json:"phases"`
+}
+
+// ScanPhaseResult is one (range size, batch size) phase.
+type ScanPhaseResult struct {
+	// Mode is "scanner" (streaming batches) or "slice" (the deprecated
+	// materializing wrapper, i.e. one unbounded batch per region).
+	Mode      string  `json:"mode"`
+	RangeRows int     `json:"range_rows"`
+	Batch     int     `json:"batch"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// AllocBytesPerOp is the heap allocated per scan (client process =
+	// client + servers in this in-process harness): the O(batch) vs
+	// O(result) observable.
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	// PeakHeapBytes is the max of runtime HeapInuse sampled during the
+	// phase (the max-RSS proxy).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// ScanJSONPath, when non-empty, makes Scan write its ScanResult as JSON to
+// the given file (set by cmd/txkvbench -json).
+var ScanJSONPath string
+
+// Scan runs the streaming-scan experiment and prints one row per phase.
+func Scan(o Options) error {
+	o = o.withDefaults()
+	res, err := scanRun(o)
+	if err != nil {
+		return err
+	}
+	fprintf(o.Out, "# scan: streaming cursor scans vs materializing slice scans\n")
+	fprintf(o.Out, "%-8s %10s %7s %12s %10s %10s %14s %12s\n",
+		"mode", "range", "batch", "ops/s", "p50-us", "p99-us", "alloc-B/op", "peak-heap")
+	for _, p := range res.Phases {
+		fprintf(o.Out, "%-8s %10d %7d %12.1f %10.1f %10.1f %14.0f %12d\n",
+			p.Mode, p.RangeRows, p.Batch, p.OpsPerSec, p.P50Micros, p.P99Micros,
+			p.AllocBytesPerOp, p.PeakHeapBytes)
+	}
+	if ScanJSONPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ScanJSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("scan: write json: %w", err)
+		}
+		fprintf(o.Out, "\nwrote %s\n", ScanJSONPath)
+	}
+	return nil
+}
+
+func scanRun(o Options) (ScanResult, error) {
+	res := ScanResult{Records: o.Records, DurationSec: o.Duration.Seconds()}
+	// Zero simulated latencies: the point is software cost (allocation,
+	// batching, merge), as in the readwrite experiment.
+	cfg := paperRatioConfig(2, false, time.Second)
+	cfg.RPCLatency = 0
+	cfg.LogSyncLatency = 0
+	cfg.DFSSyncLatency = 0
+	cfg.DFSReadLatency = 0
+	c, w, err := setup(o, cfg)
+	if err != nil {
+		return res, err
+	}
+	defer c.Stop()
+	if err := warmup(c, w, o); err != nil {
+		return res, err
+	}
+
+	short := o.Records / 100
+	if short < 100 {
+		short = 100
+	}
+	if short > o.Records {
+		short = o.Records
+	}
+	type phase struct {
+		mode      string
+		rangeRows int
+		batch     int
+	}
+	var phases []phase
+	for _, rows := range []int{short, o.Records} {
+		for _, b := range []int{64, 1024} {
+			phases = append(phases, phase{"scanner", rows, b})
+		}
+		phases = append(phases, phase{"slice", rows, 0})
+	}
+	for _, ph := range phases {
+		pr, err := scanPhase(c, w, o, ph.mode, ph.rangeRows, ph.batch)
+		if err != nil {
+			return res, err
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	return res, nil
+}
+
+// scanPhase runs o.Threads closed-loop scanners over windows of rangeRows
+// rows for o.Duration.
+func scanPhase(c *cluster.Cluster, w ycsb.Workload, o Options, mode string, rangeRows, batch int) (ScanPhaseResult, error) {
+	pr := ScanPhaseResult{Mode: mode, RangeRows: rangeRows, Batch: batch}
+	cl, err := c.NewClient("")
+	if err != nil {
+		return pr, err
+	}
+	defer cl.Stop()
+
+	hist := &metrics.Histogram{}
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	stop := make(chan struct{})
+	stopAt := time.Now().Add(o.Duration)
+
+	// Heap high-water sampler (max-RSS proxy).
+	var peak atomic.Uint64
+	go func() {
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					old := peak.Load()
+					if ms.HeapInuse <= old || peak.CompareAndSwap(old, ms.HeapInuse) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	done := make(chan struct{}, o.Threads)
+	for th := 0; th < o.Threads; th++ {
+		go func(th int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(o.Seed*131 + int64(th)))
+			txn := cl.BeginStrict()
+			defer txn.Abort()
+			n := 0
+			for time.Now().Before(stopAt) {
+				if n++; n%64 == 0 {
+					txn.Abort()
+					txn = cl.BeginStrict()
+				}
+				hi := w.RecordCount - rangeRows
+				start := 0
+				if hi > 0 {
+					start = rng.Intn(hi)
+				}
+				rng2 := kv.KeyRange{
+					Start: ycsb.RowKey(uint64(start)),
+					End:   ycsb.RowKey(uint64(start + rangeRows)),
+				}
+				t0 := time.Now()
+				var err error
+				if mode == "slice" {
+					// Pre-redesign behaviour on both sides: one unbounded
+					// batch per region (server materializes the clipped
+					// range), collected into one client-side slice.
+					sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Batch: -1})
+					var all []kv.KeyValue
+					for sc.Next() {
+						all = append(all, sc.KV())
+					}
+					err = sc.Err()
+					_ = all
+				} else {
+					sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Batch: batch})
+					for sc.Next() {
+					}
+					err = sc.Err()
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				hist.Record(time.Since(t0))
+				ops.Add(1)
+			}
+		}(th)
+	}
+	for th := 0; th < o.Threads; th++ {
+		<-done
+	}
+	close(stop)
+	runtime.ReadMemStats(&after)
+	if e := firstErr.Load(); e != nil {
+		return pr, e.(error)
+	}
+	n := ops.Load()
+	if n == 0 {
+		return pr, fmt.Errorf("scan phase %s/%d/%d completed no operations", mode, rangeRows, batch)
+	}
+	pr.OpsPerSec = float64(n) / o.Duration.Seconds()
+	pr.P50Micros = float64(hist.Quantile(0.50)) / 1e3
+	pr.P99Micros = float64(hist.Quantile(0.99)) / 1e3
+	pr.AllocBytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	pr.PeakHeapBytes = peak.Load()
+	return pr, nil
+}

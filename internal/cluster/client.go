@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +17,13 @@ import (
 var (
 	ErrClientClosed = errors.New("cluster: client closed")
 	ErrTxnFinished  = errors.New("cluster: transaction already finished")
+	// ErrCommitIndeterminate reports a CommitCtx whose context fired while
+	// the commit was already enqueued: the transaction is neither known
+	// committed nor aborted at return. It commits in order once the group
+	// commit completes — the cluster finishes the bookkeeping (and the
+	// asynchronous flush) in the background; only the caller's wait was
+	// cut short.
+	ErrCommitIndeterminate = errors.New("cluster: commit outcome indeterminate")
 )
 
 // Client is a transactional client: the application-facing handle combining
@@ -141,9 +147,28 @@ func writeKey(table string, row kv.Key, column string) string {
 	return table + "\x00" + string(row) + "\x00" + column
 }
 
+// opCtx combines the client's lifetime context with a caller context, so an
+// operation aborts when either the caller cancels or the client crashes.
+// The returned release func must be called when the operation finishes.
+func (cl *Client) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil || ctx == context.Background() {
+		return cl.ctx, func() {}
+	}
+	merged, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(cl.ctx, cancel)
+	return merged, func() { stop(); cancel() }
+}
+
 // Get reads (table, row, column) at the transaction's snapshot, seeing the
 // transaction's own buffered writes first.
 func (t *Txn) Get(table string, row kv.Key, column string) ([]byte, bool, error) {
+	return t.GetCtx(context.Background(), table, row, column)
+}
+
+// GetCtx is Get bounded by a caller context: cancellation or deadline
+// expiry aborts the read (including its re-locate retries) with ctx's
+// error.
+func (t *Txn) GetCtx(ctx context.Context, table string, row kv.Key, column string) ([]byte, bool, error) {
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()
@@ -159,7 +184,9 @@ func (t *Txn) Get(table string, row kv.Key, column string) ([]byte, bool, error)
 	}
 	t.mu.Unlock()
 
-	e, found, err := t.client.kv.Get(t.client.ctx, table, row, column, t.h.StartTS)
+	mctx, release := t.client.opCtx(ctx)
+	defer release()
+	e, found, err := t.client.kv.Get(mctx, table, row, column, t.h.StartTS)
 	if err != nil || !found {
 		return nil, false, err
 	}
@@ -196,49 +223,6 @@ func (t *Txn) buffer(u kv.Update) error {
 	return nil
 }
 
-// Scan reads the newest visible version per (row, column) in rng at the
-// snapshot, overlaid with the transaction's own writes, sorted by (row,
-// column).
-func (t *Txn) Scan(table string, rng kv.KeyRange, limit int) ([]kv.KeyValue, error) {
-	t.mu.Lock()
-	if t.finished {
-		t.mu.Unlock()
-		return nil, ErrTxnFinished
-	}
-	own := make([]kv.Update, len(t.writes))
-	copy(own, t.writes)
-	t.mu.Unlock()
-
-	base, err := t.client.kv.Scan(t.client.ctx, table, rng, t.h.StartTS, 0)
-	if err != nil {
-		return nil, err
-	}
-	merged := make(map[string]kv.KeyValue, len(base))
-	for _, e := range base {
-		merged[writeKey(table, e.Row, e.Column)] = e
-	}
-	for _, u := range own {
-		if u.Table != table || !rng.Contains(u.Row) {
-			continue
-		}
-		key := writeKey(table, u.Row, u.Column)
-		if u.Tombstone {
-			delete(merged, key)
-			continue
-		}
-		merged[key] = u.ToKeyValue(kv.MaxTimestamp)
-	}
-	out := make([]kv.KeyValue, 0, len(merged))
-	for _, e := range merged {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return kv.CompareCells(out[i].Cell, out[j].Cell) < 0 })
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
-}
-
 // Abort discards the transaction; the buffered write-set is dropped without
 // touching the log or the servers (paper §2.2).
 func (t *Txn) Abort() {
@@ -258,17 +242,34 @@ func (t *Txn) Abort() {
 // "updates can even be sent to the key-value store after commit"). The
 // recovery middleware guarantees the flush survives client failure.
 func (t *Txn) Commit() (kv.Timestamp, error) {
-	return t.commit(false)
+	return t.commit(context.Background(), false)
 }
 
 // CommitWait commits and then waits for the write-set to be fully flushed —
 // useful when the caller immediately reads its own commit from a different
 // client.
 func (t *Txn) CommitWait() (kv.Timestamp, error) {
-	return t.commit(true)
+	return t.commit(context.Background(), true)
 }
 
-func (t *Txn) commit(wait bool) (kv.Timestamp, error) {
+// CommitCtx is Commit with the waits deadline-bounded by ctx: the group-
+// commit durability wait and (under synchronous persistence) the flush
+// wait. Cancellation never un-commits — if ctx fires while the write-set is
+// already enqueued, CommitCtx returns the timestamp with an error wrapping
+// ErrCommitIndeterminate and the cluster completes the commit and its
+// asynchronous flush in the background; if it fires during the flush wait,
+// the transaction is durably committed and only the wait is abandoned.
+func (t *Txn) CommitCtx(ctx context.Context) (kv.Timestamp, error) {
+	return t.commit(ctx, false)
+}
+
+// CommitWaitCtx is CommitWait with both waits bounded by ctx (see
+// CommitCtx for the semantics of a cut-short wait).
+func (t *Txn) CommitWaitCtx(ctx context.Context) (kv.Timestamp, error) {
+	return t.commit(ctx, true)
+}
+
+func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()
@@ -286,10 +287,40 @@ func (t *Txn) commit(wait bool) (kv.Timestamp, error) {
 		cl.cluster.tm.Abort(t.h)
 		return 0, ErrClientClosed
 	}
+	if err := ctx.Err(); err != nil {
+		cl.cluster.tm.Abort(t.h) // not yet enqueued: a clean abort
+		return 0, err
+	}
 
-	cts, err := cl.cluster.tm.Commit(t.h, updates)
+	cts, logDone, err := cl.cluster.tm.CommitAsync(t.h, updates)
 	if err != nil {
 		return 0, err
+	}
+	if logDone != nil {
+		select {
+		case err := <-logDone:
+			if err != nil {
+				return 0, fmt.Errorf("cluster: commit log append: %w", err)
+			}
+		case <-ctx.Done():
+			// Enqueued in commit order: the transaction commits when the
+			// group commit lands whether or not anyone waits. Finish the
+			// protocol in the background so the visibility frontier and the
+			// recovery thresholds keep advancing. Registered with flushWG
+			// *before* returning, so a clean Stop waits for the pending
+			// group commit and its flush instead of unregistering with a
+			// committed write-set undelivered.
+			cl.flushWG.Add(1)
+			go func() {
+				defer cl.flushWG.Done()
+				if err := <-logDone; err == nil {
+					ws := kv.WriteSet{TxnID: t.h.ID, ClientID: cl.id, CommitTS: cts, Updates: updates}
+					_ = cl.flushWS(ws, cts)
+				}
+			}()
+			return cts, fmt.Errorf("%w: txn %d enqueued at %d: %w",
+				ErrCommitIndeterminate, t.h.ID, cts, ctx.Err())
+		}
 	}
 	if len(updates) == 0 {
 		return cts, nil // read-only: nothing to flush
@@ -297,27 +328,51 @@ func (t *Txn) commit(wait bool) (kv.Timestamp, error) {
 	// Synchronous-persistence baseline (Figure 2(a)): the end-to-end
 	// response time includes flushing and persisting the updates.
 	wait = wait || cl.cluster.cfg.SyncPersistence
-	ws := kv.WriteSet{TxnID: t.h.ID, ClientID: cl.id, CommitTS: cts, Updates: updates}
+	flushDone := cl.flushAsync(t.h.ID, cts, updates)
+	if wait {
+		select {
+		case err := <-flushDone:
+			if err != nil {
+				return cts, fmt.Errorf("cluster: committed at %d but flush failed: %w", cts, err)
+			}
+		case <-ctx.Done():
+			// Durably committed; the flush continues in the background (and
+			// recovery covers it if this client dies). Only the wait ends.
+			return cts, fmt.Errorf("cluster: committed at %d but flush wait cancelled: %w", cts, ctx.Err())
+		}
+	}
+	return cts, nil
+}
 
+// flushAsync starts the post-commit write-set flush: delivery to the region
+// servers, then the flushed-threshold and visibility notifications. The
+// returned channel delivers the flush outcome exactly once. The flush runs
+// on the client's lifetime context, never a per-call one: a committed
+// write-set must reach the servers (or be replayed by recovery), regardless
+// of the committing caller's patience.
+func (cl *Client) flushAsync(txnID uint64, cts kv.Timestamp, updates []kv.Update) <-chan error {
+	ws := kv.WriteSet{TxnID: txnID, ClientID: cl.id, CommitTS: cts, Updates: updates}
 	cl.flushWG.Add(1)
 	flushDone := make(chan error, 1)
 	go func() {
 		defer cl.flushWG.Done()
-		err := cl.kv.Flush(cl.ctx, ws, 0, false)
-		if err == nil {
-			if cl.agent != nil {
-				cl.agent.OnFlushed(cts)
-			}
-			cl.cluster.tm.NotifyFlushed(cts)
-		}
-		flushDone <- err
+		flushDone <- cl.flushWS(ws, cts)
 	}()
-	if wait {
-		if err := <-flushDone; err != nil {
-			return cts, fmt.Errorf("cluster: committed at %d but flush failed: %w", cts, err)
+	return flushDone
+}
+
+// flushWS delivers one committed write-set and, on success, advances the
+// flushed threshold and the visibility frontier. Runs on the client's
+// lifetime context; the caller is responsible for flushWG registration.
+func (cl *Client) flushWS(ws kv.WriteSet, cts kv.Timestamp) error {
+	err := cl.kv.Flush(cl.ctx, ws, 0, false)
+	if err == nil {
+		if cl.agent != nil {
+			cl.agent.OnFlushed(cts)
 		}
+		cl.cluster.tm.NotifyFlushed(cts)
 	}
-	return cts, nil
+	return err
 }
 
 // Stop shuts the client down cleanly: it waits for all outstanding flushes,

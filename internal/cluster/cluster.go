@@ -91,6 +91,13 @@ type Config struct {
 	// background once it exceeds this many store files (0 disables the
 	// trigger; ReclaimStorage and the janitor compact regardless).
 	CompactionThreshold int
+	// RollFlushMinBytes is the storage janitor's per-region dirty-bytes
+	// threshold: a WAL roll skips flushing regions whose in-memory state
+	// is smaller, carrying their edits into the fresh WAL generation
+	// instead of writing a tiny store file per mostly-idle region per
+	// pass. ReclaimStats().FlushesSkipped counts the skips. Zero flushes
+	// every region on each roll (the conservative default).
+	RollFlushMinBytes int
 	// CompactionInterval, when non-zero, runs the storage janitor on this
 	// cadence: every live server compacts its multi-file regions (with the
 	// transaction manager's safe-snapshot version-GC horizon) and the DFS
@@ -426,6 +433,7 @@ func (c *Cluster) AddServer() (string, error) {
 		BlockSize:           c.cfg.BlockSize,
 		HeartbeatInterval:   c.cfg.MasterHeartbeatTimeout / 4,
 		CompactionThreshold: c.cfg.CompactionThreshold,
+		RollFlushMinBytes:   c.cfg.RollFlushMinBytes,
 		HorizonSource:       c.tm.SafeSnapshot,
 		Reclaim:             c.reclaim,
 	}, c.fs)

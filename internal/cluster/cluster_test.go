@@ -148,7 +148,7 @@ func TestTxnScanWithOverlay(t *testing.T) {
 	_ = txn.Put("t", "r2", "f", []byte("mine"))
 	_ = txn.Delete("t", "r3", "f")
 	_ = txn.Put("t", "r9", "f", []byte("extra"))
-	got, err := txn.Scan("t", kv.KeyRange{}, 0)
+	got, err := txn.ScanRange("t", kv.KeyRange{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

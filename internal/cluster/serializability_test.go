@@ -135,7 +135,7 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 	}
 	// And no phantom keys.
 	txn := reader.Begin()
-	all, err := txn.Scan("t", kv.KeyRange{}, 0)
+	all, err := txn.ScanRange("t", kv.KeyRange{}, 0)
 	txn.Abort()
 	if err != nil {
 		t.Fatal(err)

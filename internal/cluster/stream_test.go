@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"txkv/internal/kvstore"
+
+	"txkv/internal/kv"
+)
+
+// TestScannerOwnWritesOverlay: the streaming scan merges the transaction's
+// buffered puts and tombstones into the server stream — puts shadow stored
+// versions, tombstones elide them, new rows interleave in key order.
+func TestScannerOwnWritesOverlay(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := cl.Begin()
+	for i := 0; i < 10; i++ {
+		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%02d", i)), "f", []byte("base"))
+	}
+	if _, err := seed.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+
+	txn := cl.Begin()
+	_ = txn.Put("t", "r03", "f", []byte("mine"))  // shadows base
+	_ = txn.Delete("t", "r05", "f")               // elides base
+	_ = txn.Put("t", "r99", "f", []byte("fresh")) // new row past the base
+	defer txn.Abort()
+
+	sc := txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 3})
+	got := map[string]string{}
+	order := []string{}
+	for sc.Next() {
+		e := sc.KV()
+		got[string(e.Row)] = string(e.Value)
+		order = append(order, string(e.Row))
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(got) != 10 { // 10 base - 1 deleted + 1 fresh
+		t.Fatalf("scan returned %d rows: %v", len(got), order)
+	}
+	if got["r03"] != "mine" || got["r99"] != "fresh" {
+		t.Fatalf("overlay wrong: %v", got)
+	}
+	if _, ok := got["r05"]; ok {
+		t.Fatal("tombstoned row visible")
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("rows out of order: %v", order)
+		}
+	}
+
+	// Limit counts post-overlay entries even when tombstones consume base
+	// coordinates.
+	sc = txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 2, Limit: 7})
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if sc.Err() != nil || n != 7 {
+		t.Fatalf("limited overlay scan: %d %v", n, sc.Err())
+	}
+
+	// Projection applies to own writes too.
+	sc = txn.Scan("t", kv.KeyRange{}, ScanOptions{Columns: []string{"nope"}})
+	for sc.Next() {
+		t.Fatalf("projection leaked %v", sc.KV())
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}
+
+// TestScannerIterAdapter: the Go 1.23 range-over-func form streams entries
+// and surfaces the terminal error through the second value.
+func TestScannerIterAdapter(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := cl.Begin()
+	for i := 0; i < 5; i++ {
+		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
+	}
+	if _, err := seed.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	txn := cl.Begin()
+	defer txn.Abort()
+	n := 0
+	for e, err := range txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 2}).All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Row == "" {
+			t.Fatal("empty entry")
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("iterated %d entries, want 5", n)
+	}
+	// A finished transaction's scan yields exactly one error.
+	txn2 := cl.Begin()
+	txn2.Abort()
+	var errs int
+	for _, err := range txn2.Scan("t", kv.KeyRange{}, ScanOptions{}).All() {
+		if !errors.Is(err, ErrTxnFinished) {
+			t.Fatalf("want ErrTxnFinished, got %v", err)
+		}
+		errs++
+	}
+	if errs != 1 {
+		t.Fatalf("error yielded %d times", errs)
+	}
+}
+
+// TestScanCtxCancellation: cancelling the scan context stops the stream at
+// the next pull with the ctx error, without disturbing the transaction.
+func TestScanCtxCancellation(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := cl.Begin()
+	for i := 0; i < 50; i++ {
+		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%03d", i)), "f", []byte("v"))
+	}
+	if _, err := seed.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	txn := cl.Begin()
+	defer txn.Abort()
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := txn.ScanCtx(ctx, "t", kv.KeyRange{}, ScanOptions{Batch: 4})
+	if !sc.Next() {
+		t.Fatalf("first pull failed: %v", sc.Err())
+	}
+	cancel()
+	for sc.Next() { // drains at most the already-fetched batch
+	}
+	if !errors.Is(sc.Err(), context.Canceled) {
+		t.Fatalf("cancelled scan err = %v", sc.Err())
+	}
+	// The transaction stays usable.
+	if _, ok, err := txn.Get("t", "r001", "f"); err != nil || !ok {
+		t.Fatalf("txn unusable after cancelled scan: %v %v", ok, err)
+	}
+}
+
+// TestTxnGetBatch: batched reads merge the write buffer with one batched
+// round trip across regions.
+func TestTxnGetBatch(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := cl.Begin()
+	_ = seed.Put("t", "a", "f", []byte("va"))
+	_ = seed.Put("t", "n", "f", []byte("vn"))
+	_ = seed.Put("t", "z", "f", []byte("vz"))
+	if _, err := seed.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+
+	txn := cl.Begin()
+	defer txn.Abort()
+	_ = txn.Put("t", "n", "f", []byte("mine"))
+	_ = txn.Delete("t", "z", "f")
+	got, err := txn.GetBatch("t", []kv.CellKey{
+		{Row: "a", Column: "f"},
+		{Row: "n", Column: "f"},
+		{Row: "z", Column: "f"},
+		{Row: "nope", Column: "f"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Found || string(got[0].Value) != "va" {
+		t.Fatalf("got[0] = %+v", got[0])
+	}
+	if !got[1].Found || string(got[1].Value) != "mine" {
+		t.Fatalf("buffered put not merged: %+v", got[1])
+	}
+	if got[2].Found {
+		t.Fatalf("buffered delete not merged: %+v", got[2])
+	}
+	if got[3].Found {
+		t.Fatalf("phantom cell: %+v", got[3])
+	}
+}
+
+// TestCommitCtxPreCancelled: a context dead before commit aborts cleanly —
+// nothing reaches the log and the transaction is finished.
+func TestCommitCtxPreCancelled(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("v"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := txn.CommitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled commit: %v", err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("txn not finished after aborted commit: %v", err)
+	}
+	// The write must not be visible.
+	r := cl.Begin()
+	defer r.Abort()
+	if _, ok, _ := r.Get("t", "a", "f"); ok {
+		t.Fatal("aborted commit became visible")
+	}
+}
+
+// TestCommitCtxIndeterminate: a deadline firing inside the group-commit
+// wait returns ErrCommitIndeterminate — and the commit still lands: the
+// cluster finishes the flush in the background and the value becomes
+// readable.
+func TestCommitCtxIndeterminate(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.LogSyncLatency = 300 * time.Millisecond // make the durability wait slow
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("v"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	cts, err := txn.CommitCtx(ctx)
+	if !errors.Is(err, ErrCommitIndeterminate) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want indeterminate deadline error, got %v", err)
+	}
+	if cts == 0 {
+		t.Fatal("indeterminate commit lost its timestamp")
+	}
+	// The enqueued commit completes and flushes in the background.
+	if err := c.WaitFlushed(cts, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := cl.Begin()
+	defer r.Abort()
+	if v, ok, err := r.Get("t", "a", "f"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("background-completed commit unreadable: %q %v %v", v, ok, err)
+	}
+}
+
+// TestCommitCtxIndeterminateThenStop: a clean Stop immediately after an
+// indeterminate CommitCtx must wait for the detached group-commit wait and
+// its flush — the committed write-set may not be stranded (the client
+// unregisters only after its flush state is final, paper Alg. 1).
+func TestCommitCtxIndeterminateThenStop(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.LogSyncLatency = 200 * time.Millisecond
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := cl.Begin()
+	_ = txn.Put("t", "a", "f", []byte("v"))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	cts, err := txn.CommitCtx(ctx)
+	if !errors.Is(err, ErrCommitIndeterminate) {
+		t.Fatalf("want indeterminate, got %v", err)
+	}
+	cl.Stop() // must block until the detached commit+flush completes
+	if err := c.WaitFlushed(cts, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := c.NewClient("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cl2.Begin()
+	defer r.Abort()
+	if v, ok, err := r.Get("t", "a", "f"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("write-set stranded after clean Stop: %q %v %v", v, ok, err)
+	}
+}
+
+// TestScannerContinuationUnderChurn is the continuation property test: a
+// paging scan with a tiny batch size racing region splits, moves,
+// compactions, WAL rolls, and concurrent row updates returns exactly the
+// same snapshot as a one-shot materializing scan of the same transaction.
+// Run under -race by the CI lifecycle job.
+func TestScannerContinuationUnderChurn(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.CompactionThreshold = 2
+	// The churn saturates the scheduler; relaxed heartbeats keep the
+	// recovery middleware from declaring the (healthy, just busy) client
+	// dead mid-scan — failure handling is not what this test probes.
+	cfg.HeartbeatInterval = 200 * time.Millisecond
+	cfg.SessionTTL = 60 * time.Second
+	cfg.MasterHeartbeatTimeout = 30 * time.Second
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 120
+	seed := cl.Begin()
+	for i := 0; i < rows; i++ {
+		_ = seed.Put("t", rowKey(i), "f", []byte("v0"))
+	}
+	if _, err := seed.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: keeps updating existing rows (the row set is fixed, so every
+	// snapshot sees the same coordinates with snapshot-dependent values).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		v := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			txn := cl.BeginLatest()
+			for j := 0; j < 5; j++ {
+				_ = txn.Put("t", rowKey(rng.Intn(rows)), "f", []byte(fmt.Sprintf("v%d", v)))
+			}
+			_, _ = txn.Commit()
+			v++
+		}
+	}()
+
+	// Churn: splits, moves, compactions, WAL rolls.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		splitN := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch rng.Intn(4) {
+			case 0:
+				if regions, err := c.master.TableRegions("t"); err == nil && len(regions) < 8 {
+					ri := regions[rng.Intn(len(regions))]
+					mid := rowKey(rng.Intn(rows))
+					if ri.Range.Contains(mid) && mid != ri.Range.Start {
+						if err := c.master.SplitRegion(ri.ID, mid); err == nil {
+							splitN++
+						}
+					}
+				}
+			case 1:
+				_, _ = c.Rebalance()
+			case 2:
+				for _, id := range c.ServerIDs() {
+					if srv, ok := c.Server(id); ok && !srv.Crashed() {
+						_ = srv.CompactAll()
+					}
+				}
+			case 3:
+				for _, id := range c.ServerIDs() {
+					if srv, ok := c.Server(id); ok && !srv.Crashed() {
+						_ = srv.RollWAL()
+					}
+				}
+			}
+			// Tens of layout changes per second is already far beyond any
+			// real cluster; back-to-back moves would keep every region in
+			// the transient "recovering" state so long that reader retry
+			// budgets (and heartbeat deadlines) expire — that starvation
+			// regime is not the property under test.
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 500 * time.Millisecond
+	}
+	// A scan can exhaust its retry budget when sustained churn keeps its
+	// target region in the transient moving/recovering state — that is an
+	// availability outcome, not the exactness property under test, so
+	// such iterations are skipped (never silently: both scans of an
+	// iteration must agree on succeeding or the run fails).
+	transient := func(err error) bool {
+		return errors.Is(err, kvstore.ErrRegionNotServing) ||
+			errors.Is(err, kvstore.ErrServerStopped)
+	}
+	deadline := time.Now().Add(duration)
+	iters, skips := 0, 0
+	for time.Now().Before(deadline) && iters < 500 {
+		iters++
+		txn := cl.BeginStrict()
+		// Reference: one unbounded batch per region, same snapshot.
+		want, err := txn.ScanRange("t", kv.KeyRange{}, 0)
+		if err != nil {
+			txn.Abort()
+			if transient(err) {
+				skips++
+				continue
+			}
+			t.Fatalf("iter %d reference scan: %v", iters, err)
+		}
+		// Paged: batch 3, re-resolving continuation every batch.
+		sc := txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 3})
+		var got []kv.KeyValue
+		for sc.Next() {
+			got = append(got, sc.KV())
+		}
+		if sc.Err() != nil {
+			txn.Abort()
+			if transient(sc.Err()) {
+				skips++
+				continue
+			}
+			t.Fatalf("iter %d paged scan: %v", iters, sc.Err())
+		}
+		txn.Abort()
+		if len(got) != rows || len(want) != rows {
+			t.Fatalf("iter %d: paged %d rows, reference %d rows, want %d", iters, len(got), len(want), rows)
+		}
+		for i := range got {
+			if got[i].Cell != want[i].Cell || string(got[i].Value) != string(want[i].Value) {
+				t.Fatalf("iter %d entry %d: paged %v, reference %v", iters, i, got[i], want[i])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if done := iters - skips; done < 3 {
+		t.Fatalf("only %d successful comparison iterations (%d transient skips)", done, skips)
+	}
+}
+
+func rowKey(i int) kv.Key { return kv.Key(fmt.Sprintf("r%04d", i)) }

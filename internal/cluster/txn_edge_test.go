@@ -29,7 +29,7 @@ func TestTxnUseAfterFinish(t *testing.T) {
 	if err := txn.Put("t", "a", "f", nil); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("put after commit: %v", err)
 	}
-	if _, err := txn.Scan("t", kv.KeyRange{}, 0); !errors.Is(err, ErrTxnFinished) {
+	if _, err := txn.ScanRange("t", kv.KeyRange{}, 0); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("scan after commit: %v", err)
 	}
 	txn.Abort() // no-op, must not panic

@@ -40,6 +40,22 @@ type Cell struct {
 	TS     Timestamp
 }
 
+// CellKey addresses one cell without a version: the unit of batched reads
+// and the resume position of a cursor scan (a scan continues strictly after
+// its CellKey in (row asc, column asc) order).
+type CellKey struct {
+	Row    Key
+	Column string
+}
+
+// CompareCellKeys orders cell keys by (row asc, column asc).
+func CompareCellKeys(a, b CellKey) int {
+	if c := a.Row.Compare(b.Row); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Column, b.Column)
+}
+
 // CompareCells orders cells by (row asc, column asc, timestamp desc). The
 // descending timestamp order means the newest version of a coordinate is
 // encountered first during scans, matching memstore/storefile iteration.

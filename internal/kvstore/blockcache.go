@@ -98,6 +98,28 @@ func (c *BlockCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// InvalidateFile eagerly drops every cached block of a store file, given
+// its path and block count — called when a retired file is physically
+// unlinked. Store-file paths are never reused, so without this the dead
+// entries would merely linger until LRU eviction (wasted capacity, not a
+// correctness issue); with it the bytes are available to live blocks
+// immediately. Nil-safe.
+func (c *BlockCache) InvalidateFile(path string, blocks int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < blocks; i++ {
+		key := blockCacheKey(path, i)
+		if el, ok := c.items[key]; ok {
+			c.order.Remove(el)
+			delete(c.items, key)
+			c.used -= len(el.Value.(*cacheEntry).data)
+		}
+	}
+}
+
 // Clear empties the cache (used when a server drops a region).
 func (c *BlockCache) Clear() {
 	c.mu.Lock()

@@ -165,71 +165,112 @@ func (c *Client) Get(ctx context.Context, table string, row kv.Key, column strin
 }
 
 // Scan reads the newest visible version per coordinate in rng at or below
-// maxTS across all regions of the table.
+// maxTS across all regions of the table, materializing the whole result.
+// It is a convenience wrapper over NewScanner (which callers with large
+// ranges should use directly).
 func (c *Client) Scan(ctx context.Context, table string, rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	var regions []RegionInfo
-	err := c.net.Call(ctx, c.cfg.ID, MasterNode, func() error {
-		var e error
-		regions, e = c.master.TableRegions(table)
-		return e
-	})
-	if err != nil {
-		return nil, err
-	}
+	sc := c.NewScanner(ctx, table, rng, maxTS, ScanOptions{Limit: limit})
 	var out []kv.KeyValue
-	for _, info := range regions {
-		if !info.Range.Overlaps(rng) {
-			continue
-		}
-		part, err := c.scanRegion(ctx, table, info, rng, maxTS, limit)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, part...)
-		if limit > 0 && len(out) >= limit {
-			out = out[:limit]
-			break
-		}
+	for sc.Next() {
+		out = append(out, sc.KV())
 	}
-	return out, nil
+	return out, sc.Err()
 }
 
-func (c *Client) scanRegion(ctx context.Context, table string, info RegionInfo, rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	// Clip the scan range to the region.
-	clipped := rng
-	if info.Range.Start > clipped.Start {
-		clipped.Start = info.Range.Start
+// GetBatch reads the newest visible version of every requested cell at or
+// below maxTS. Keys are grouped by hosting server and the portions fetched
+// in parallel — one round trip per involved server when locations are
+// cached. Results parallel keys: found[i] reports whether kvs[i] holds a
+// value. Portions hitting moved or recovering regions are re-located and
+// retried like point reads.
+func (c *Client) GetBatch(ctx context.Context, table string, keys []kv.CellKey, maxTS kv.Timestamp) ([]kv.KeyValue, []bool, error) {
+	kvs := make([]kv.KeyValue, len(keys))
+	found := make([]bool, len(keys))
+	remaining := make([]int, len(keys))
+	for i := range keys {
+		remaining[i] = i
 	}
-	if info.Range.End != "" && (clipped.End == "" || info.Range.End < clipped.End) {
-		clipped.End = info.Range.End
-	}
-	probe := clipped.Start
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.ReadRetries; attempt++ {
-		loc, err := c.locate(ctx, table, probe)
-		if err == nil {
-			var part []kv.KeyValue
-			err = c.net.Call(ctx, c.cfg.ID, loc.srv.ID(), func() error {
-				var e error
-				part, e = loc.srv.Scan(table, clipped, maxTS, limit)
-				return e
-			})
-			if err == nil {
-				return part, nil
+	for attempt := 0; attempt < c.cfg.ReadRetries && len(remaining) > 0; attempt++ {
+		// Group the outstanding keys by hosting server.
+		type portion struct {
+			srv  *RegionServer
+			idx  []int
+			keys []kv.CellKey
+		}
+		bySrv := make(map[string]*portion)
+		var failed []int
+		for _, i := range remaining {
+			loc, err := c.locate(ctx, table, keys[i].Row)
+			if err != nil {
+				if !retryable(err) {
+					return nil, nil, err
+				}
+				lastErr = err
+				failed = append(failed, i)
+				continue
 			}
-			c.invalidate(table, loc.info.ID)
+			p := bySrv[loc.srv.ID()]
+			if p == nil {
+				p = &portion{srv: loc.srv}
+				bySrv[loc.srv.ID()] = p
+			}
+			p.idx = append(p.idx, i)
+			p.keys = append(p.keys, keys[i])
 		}
-		if !retryable(err) {
-			return nil, err
+
+		var (
+			mu       sync.Mutex
+			fatalErr error
+			wg       sync.WaitGroup
+		)
+		for _, p := range bySrv {
+			wg.Add(1)
+			go func(p *portion) {
+				defer wg.Done()
+				var (
+					pkvs   []kv.KeyValue
+					pfound []bool
+				)
+				err := c.net.Call(ctx, c.cfg.ID, p.srv.ID(), func() error {
+					var e error
+					pkvs, pfound, e = p.srv.GetBatch(ctx, table, p.keys, maxTS)
+					return e
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if !retryable(err) && fatalErr == nil {
+						fatalErr = err
+					}
+					lastErr = err
+					c.invalidateTable(table)
+					failed = append(failed, p.idx...)
+					return
+				}
+				for j, i := range p.idx {
+					kvs[i], found[i] = pkvs[j], pfound[j]
+				}
+			}(p)
 		}
-		lastErr = err
+		wg.Wait()
+		if fatalErr != nil {
+			return nil, nil, fatalErr
+		}
+		remaining = failed
+		if len(remaining) == 0 {
+			return kvs, found, nil
+		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		case <-time.After(backoff(c.cfg.RetryBackoff, attempt)):
 		}
 	}
-	return nil, fmt.Errorf("kvstore: scan %s retries exhausted: %w", info.ID, lastErr)
+	if len(remaining) > 0 {
+		return nil, nil, fmt.Errorf("kvstore: getbatch %s retries exhausted: %w", table, lastErr)
+	}
+	return kvs, found, nil
 }
 
 // Flush delivers a committed write-set to every participant server. It

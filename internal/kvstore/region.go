@@ -168,6 +168,14 @@ func (r *Region) unlinkStoreFile(f *StoreFile) {
 		// these blocks are reclaimed by the next DFS log compaction.
 		r.reclaim.AddRetiredBytes(size)
 	}
+	// Drop the dead file's blocks from the cache eagerly rather than
+	// letting them ride the LRU to eviction. Only when the data file
+	// itself is going away: retiring a split reference marker leaves the
+	// shared parent file (whose path keys the cached blocks) possibly
+	// still serving the sibling daughter.
+	if f.refMarker == "" {
+		r.cache.InvalidateFile(f.Path(), len(f.index))
+	}
 }
 
 // cloneFrozenWithout returns frozen minus snap, as a fresh slice.
@@ -322,57 +330,37 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 // at or below maxTS, sorted in store order, tombstones elided. The sources
 // stream through a k-way heap merge that deduplicates by coordinate in
 // merge order and stops as soon as limit entries have been produced —
-// nothing beyond the limit is materialized or even decoded.
+// nothing beyond the limit is materialized or even decoded. It is one
+// unbounded page of the cursor-scan machinery (see scanPage).
 func (r *Region) ScanRange(rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	v := r.acquireView()
-	defer r.releaseView(v)
-
-	iters := make([]kvIter, 0, 1+len(v.frozen)+len(v.files))
-	iters = append(iters, v.active.Iter(rng, maxTS))
-	for _, m := range v.frozen {
-		iters = append(iters, m.Iter(rng, maxTS))
-	}
-	for _, f := range v.files {
-		fi, err := f.Iter(rng, maxTS, r.cache)
-		if err != nil {
-			return nil, err
-		}
-		iters = append(iters, fi)
-	}
-	mg := newMerger(iters)
-
-	var (
-		out     []kv.KeyValue
-		lastRow kv.Key
-		lastCol string
-		have    bool
-	)
-	for {
-		e, ok, err := mg.next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		if have && e.Row == lastRow && e.Column == lastCol {
-			continue // older version (or exact duplicate) of an emitted coordinate
-		}
-		lastRow, lastCol, have = e.Row, e.Column, true
-		if e.Tombstone {
-			continue // coordinate is deleted at this snapshot
-		}
-		out = append(out, e)
-		if limit > 0 && len(out) >= limit {
-			break
-		}
-	}
-	return out, nil
+	out, _, err := r.scanPage(nil, rng, maxTS, kv.CellKey{}, false, nil, limit)
+	return out, err
 }
 
 // MemSize returns the approximate bytes held in the active memstore.
 func (r *Region) MemSize() int {
 	return r.view.Load().active.ApproxSize()
+}
+
+// dirtyForRoll reports whether the region's entire in-memory state is small
+// enough (< min bytes) for a WAL roll to skip flushing it, and if so
+// returns that state for re-journaling into the fresh generation. A region
+// with frozen memstores (a flush in flight or awaiting retry) never skips:
+// the roll's flush is what guarantees those edits reach store files before
+// the old WAL generations are deleted. min <= 0 disables skipping.
+//
+// Entries applied concurrently with the snapshot are already journaled in
+// the new WAL generation by the writer itself; re-journaling them in the
+// carry entry only duplicates an idempotent versioned put.
+func (r *Region) dirtyForRoll(min int) ([]kv.KeyValue, bool) {
+	if min <= 0 {
+		return nil, false
+	}
+	v := r.view.Load()
+	if len(v.frozen) > 0 || v.active.ApproxSize() >= min {
+		return nil, false
+	}
+	return v.active.All(), true
 }
 
 // Flush persists the active memstore as a new store file on the DFS. It is

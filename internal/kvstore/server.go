@@ -61,6 +61,12 @@ type ServerConfig struct {
 	// snapshot here so background compactions never GC a version an
 	// in-flight transaction could still read.
 	HorizonSource func() kv.Timestamp
+	// RollFlushMinBytes is the per-region dirty-bytes threshold of a WAL
+	// roll: a region whose entire in-memory state is smaller skips the
+	// flush (no tiny store file); its edits are re-journaled into the
+	// fresh WAL generation and synced, so the old generations remain
+	// deletable. Zero flushes every region on each roll.
+	RollFlushMinBytes int
 	// Reclaim, when set, receives store-file retirement counters and is
 	// propagated to every region this server opens. Nil records nothing.
 	Reclaim *metrics.ReclaimMetrics
@@ -594,8 +600,34 @@ func (s *RegionServer) RollWAL() error {
 	_ = old.Sync()
 	_ = old.Close()
 
-	if err := s.FlushAll(); err != nil {
-		return err // old generations stay; the next roll retries
+	// Flush regions with enough dirt to be worth a store file; carry the
+	// mostly-idle ones' few edits into the fresh generation instead (a
+	// skewed workload would otherwise pay a tiny store file per idle
+	// region per roll, compacted away immediately — pure churn).
+	carried := false
+	for _, r := range s.hostedRegions() {
+		dirty, small := r.dirtyForRoll(s.cfg.RollFlushMinBytes)
+		if !small {
+			if err := r.Flush(s.cfg.BlockSize); err != nil {
+				return err // old generations stay; the next roll retries
+			}
+			continue
+		}
+		if len(dirty) == 0 {
+			continue
+		}
+		if err := s.appendWALEntry(WALEntry{RegionID: r.Info.ID, KVs: dirty}); err != nil {
+			return err
+		}
+		carried = true
+		s.cfg.Reclaim.AddFlushesSkipped(1)
+	}
+	// Carried edits must be durable in the new generation before the old
+	// ones — until now their only durable copy — can go.
+	if carried {
+		if err := s.SyncWAL(); err != nil {
+			return err
+		}
 	}
 	// A crash can clear the region map mid-FlushAll, turning it into a
 	// no-op — the old WAL would then be the only copy of the memstore
@@ -609,6 +641,21 @@ func (s *RegionServer) RollWAL() error {
 		}
 	}
 	return nil
+}
+
+// appendWALEntry appends one entry to the current WAL generation under the
+// shared roll barrier (the carry-forward path of RollWAL; concurrent with
+// writers, never with a roll's generation swap).
+func (s *RegionServer) appendWALEntry(e WALEntry) error {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	s.mu.RLock()
+	w, crashed := s.wal, s.crashed
+	s.mu.RUnlock()
+	if crashed || w == nil {
+		return ErrServerStopped
+	}
+	return w.Append(EncodeWALEntry(e))
 }
 
 // compactionHorizon resolves the version-GC horizon for a compaction.

@@ -287,9 +287,14 @@ func OpenStoreFileRef(fs *dfs.FS, refPath string) (*StoreFile, error) {
 	return sf, nil
 }
 
+// blockCacheKey names one store-file block in the server's block cache.
+func blockCacheKey(path string, i int) string {
+	return fmt.Sprintf("%s#%d", path, i)
+}
+
 // block returns the decoded entries of block i, consulting the cache.
 func (s *StoreFile) block(i int, cache *BlockCache) ([]kv.KeyValue, error) {
-	key := fmt.Sprintf("%s#%d", s.path, i)
+	key := blockCacheKey(s.path, i)
 	var raw []byte
 	if cache != nil {
 		if b, ok := cache.Get(key); ok {

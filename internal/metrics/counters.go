@@ -37,6 +37,10 @@ type ReclaimMetrics struct {
 	// Compactions counts completed reclamation passes (DFS log
 	// checkpoints and store-file compactions).
 	Compactions Counter
+	// FlushesSkipped counts regions a WAL roll declined to flush because
+	// their dirty bytes were below the roll threshold (the edits were
+	// carried forward into the fresh generation instead).
+	FlushesSkipped Counter
 }
 
 // AddReclaimedBytes records n bytes physically reclaimed.
@@ -74,6 +78,14 @@ func (m *ReclaimMetrics) AddCompactions(n int64) {
 	}
 }
 
+// AddFlushesSkipped records n regions whose roll-time flush was skipped
+// under the dirty-bytes threshold.
+func (m *ReclaimMetrics) AddFlushesSkipped(n int64) {
+	if m != nil {
+		m.FlushesSkipped.Add(n)
+	}
+}
+
 // ReclaimSnapshot is a point-in-time copy of ReclaimMetrics.
 type ReclaimSnapshot struct {
 	BytesReclaimed  int64
@@ -81,6 +93,7 @@ type ReclaimSnapshot struct {
 	FilesRetired    int64
 	SegmentsDropped int64
 	Compactions     int64
+	FlushesSkipped  int64
 }
 
 // Snapshot returns the current counter values. A nil receiver yields zeros.
@@ -94,5 +107,6 @@ func (m *ReclaimMetrics) Snapshot() ReclaimSnapshot {
 		FilesRetired:    m.FilesRetired.Load(),
 		SegmentsDropped: m.SegmentsDropped.Load(),
 		Compactions:     m.Compactions.Load(),
+		FlushesSkipped:  m.FlushesSkipped.Load(),
 	}
 }

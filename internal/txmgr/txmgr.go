@@ -213,17 +213,36 @@ func (m *Manager) Abort(h TxnHandle) {
 //
 // A read-only transaction (empty updates) commits without logging.
 func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error) {
+	cts, done, err := m.CommitAsync(h, updates)
+	if err != nil {
+		return 0, err
+	}
+	if done != nil {
+		if err := <-done; err != nil {
+			return 0, fmt.Errorf("txmgr: commit log append: %w", err)
+		}
+	}
+	return cts, nil
+}
+
+// CommitAsync validates and enqueues the transaction like Commit but
+// returns without waiting for log durability: the returned channel delivers
+// the group commit's outcome exactly once (nil for a read-only transaction,
+// which needs no logging). Callers that stop waiting early must arrange for
+// the channel to be drained — once enqueued the write-set commits in order
+// regardless of who is watching.
+func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <-chan error, error) {
 	m.mu.Lock()
 	startTS, ok := m.active[h.ID]
 	if !ok {
 		m.mu.Unlock()
-		return 0, fmt.Errorf("%w: txn %d", ErrTxnNotActive, h.ID)
+		return 0, nil, fmt.Errorf("%w: txn %d", ErrTxnNotActive, h.ID)
 	}
 	if len(updates) == 0 {
 		delete(m.active, h.ID)
 		ts := m.lastIssued
 		m.mu.Unlock()
-		return ts, nil
+		return ts, nil, nil
 	}
 	m.mu.Unlock()
 
@@ -249,7 +268,7 @@ func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error)
 			delete(m.active, h.ID)
 			m.aborts++
 			m.mu.Unlock()
-			return 0, fmt.Errorf("%w: %s modified at %d after snapshot %d",
+			return 0, nil, fmt.Errorf("%w: %s modified at %d after snapshot %d",
 				ErrConflict, coord, last, startTS)
 		}
 	}
@@ -285,10 +304,7 @@ func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error)
 	if doPrune {
 		m.prune(pruneLow)
 	}
-	if err := <-done; err != nil {
-		return 0, fmt.Errorf("txmgr: commit log append: %w", err)
-	}
-	return cts, nil
+	return cts, done, nil
 }
 
 // pruneWatermarkLocked returns the timestamp at or below which a lastCommit

@@ -27,6 +27,15 @@ type Workload struct {
 	OpsPerTxn int
 	// ReadRatio in [0,1] is the fraction of operations that are reads.
 	ReadRatio float64
+	// ScanRatio in [0,1] is the fraction of operations that are short
+	// range scans of ScanLength rows (YCSB workload E's shape), streamed
+	// through the cursor-scan API. Scans are drawn before reads: an
+	// operation is a scan with probability ScanRatio, else a read with
+	// probability ReadRatio, else an update. Default 0 (the paper's
+	// workload has no scans).
+	ScanRatio float64
+	// ScanLength is the row count of one scan operation (default 50).
+	ScanLength int
 	// ValueSize is the payload size of updates in bytes.
 	ValueSize int
 	// Distribution selects the key generator: "uniform", "zipfian",
@@ -50,6 +59,9 @@ func (w Workload) withDefaults() Workload {
 	}
 	if w.ValueSize <= 0 {
 		w.ValueSize = 100
+	}
+	if w.ScanLength <= 0 {
+		w.ScanLength = 50
 	}
 	if w.Distribution == "" {
 		w.Distribution = "uniform"
@@ -294,17 +306,29 @@ func Run(c *cluster.Cluster, w Workload, rc RunnerConfig) (Result, error) {
 }
 
 // runTxn executes one paper-style update transaction: OpsPerTxn random row
-// operations, ReadRatio of them reads, the rest updates.
+// operations — ScanRatio of them short streaming scans, ReadRatio reads,
+// the rest updates.
 func runTxn(cl *cluster.Client, w Workload, gen Generator, rng *rand.Rand, val []byte) error {
 	txn := cl.Begin()
 	for op := 0; op < w.OpsPerTxn; op++ {
 		row := RowKey(gen.Next(rng))
-		if rng.Float64() < w.ReadRatio {
+		switch roll := rng.Float64(); {
+		case roll < w.ScanRatio:
+			// Workload-E-style short scan, streamed in bounded batches
+			// through the cursor API (never materialized).
+			sc := txn.Scan(w.Table, kv.KeyRange{Start: row}, cluster.ScanOptions{Limit: w.ScanLength})
+			for sc.Next() {
+			}
+			if err := sc.Err(); err != nil {
+				txn.Abort()
+				return err
+			}
+		case roll < w.ScanRatio+w.ReadRatio:
 			if _, _, err := txn.Get(w.Table, row, "field0"); err != nil {
 				txn.Abort()
 				return err
 			}
-		} else {
+		default:
 			if err := txn.Put(w.Table, row, "field0", val); err != nil {
 				txn.Abort()
 				return err

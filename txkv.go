@@ -26,6 +26,19 @@
 //	v, ok, _ := txn.Get("accounts", "bob", "balance")
 //	_, err = txn.Commit() // durable in the TM log; flush is asynchronous
 //
+// Range reads stream: Txn.Scan returns a Scanner that pulls bounded batches
+// from the region servers through a server-side continuation token, so a
+// scan over millions of rows holds O(batch) memory on every side and
+// survives region splits and moves mid-flight. GetBatch reads N cells in
+// one round trip per server, and the Ctx variants (GetCtx, ScanCtx,
+// CommitCtx) make slow operations cancellable and deadline-bounded:
+//
+//	sc := txn.Scan("accounts", txkv.KeyRange{}, txkv.ScanOptions{Batch: 512})
+//	for sc.Next() {
+//		use(sc.KV())
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
 // Failure injection (CrashServer, Client.Crash, CrashRecoveryManager) lets
 // applications and benchmarks exercise the recovery paths the paper
 // evaluates. With Config.Persistence set to PersistDisk and a DataDir, the
@@ -65,6 +78,14 @@ type (
 	// Txn is a transaction: snapshot reads, buffered deferred updates,
 	// commit through the transaction manager.
 	Txn = cluster.Txn
+	// Scanner streams a range scan in bounded batches: Txn.Scan returns
+	// one (see also Scanner.All for the range-over-func form).
+	Scanner = cluster.Scanner
+	// ScanOptions tunes a streaming scan: total limit, per-batch size,
+	// and column projection, all pushed down to the region servers.
+	ScanOptions = cluster.ScanOptions
+	// BatchValue is one cell's result from Txn.GetBatch.
+	BatchValue = cluster.BatchValue
 
 	// Key is a row key; rows order lexicographically.
 	Key = kv.Key
@@ -76,6 +97,9 @@ type (
 	Timestamp = kv.Timestamp
 	// KeyValue is one versioned cell, as returned by scans.
 	KeyValue = kv.KeyValue
+	// CellKey addresses one cell (row, column) without a version — the
+	// unit of Txn.GetBatch requests.
+	CellKey = kv.CellKey
 
 	// PersistenceMode selects where durable state lives (PersistNone or
 	// PersistDisk).
@@ -107,6 +131,10 @@ var (
 	// ErrDataDirLocked reports Open on a DataDir already held by a live
 	// cluster (possibly in another process).
 	ErrDataDirLocked = cluster.ErrDataDirLocked
+	// ErrCommitIndeterminate reports a CommitCtx cut short after its
+	// write-set was enqueued: the transaction commits in order once the
+	// group commit lands; only the caller's wait was cancelled.
+	ErrCommitIndeterminate = cluster.ErrCommitIndeterminate
 )
 
 // Open assembles and starts a cluster. Stop it with Cluster.Stop. With

@@ -82,7 +82,7 @@ func TestPublicAPIScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := client.Begin()
-	got, err := r.Scan("t", txkv.KeyRange{Start: "a", End: "c"}, 0)
+	got, err := r.ScanRange("t", txkv.KeyRange{Start: "a", End: "c"}, 0)
 	if err != nil || len(got) != 2 {
 		t.Fatalf("scan: %v %v", got, err)
 	}
