@@ -6,6 +6,7 @@
 package txkv_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -55,20 +56,22 @@ func runTxnLoop(b *testing.B, c *cluster.Cluster, w ycsb.Workload) {
 	}
 	defer cl.Stop()
 	val := make([]byte, w.ValueSize)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		txn := cl.Begin()
-		for op := 0; op < w.OpsPerTxn; op++ {
-			row := ycsb.RowKey(uint64((i*w.OpsPerTxn + op) % w.RecordCount))
-			if op%2 == 0 {
-				if _, _, err := txn.Get(w.Table, row, "field0"); err != nil {
-					b.Fatal(err)
+		if _, err := cl.Update(ctx, func(txn *cluster.Txn) error {
+			for op := 0; op < w.OpsPerTxn; op++ {
+				row := ycsb.RowKey(uint64((i*w.OpsPerTxn + op) % w.RecordCount))
+				if op%2 == 0 {
+					if _, _, err := txn.Get(ctx, w.Table, row, "field0"); err != nil {
+						return err
+					}
+				} else if err := txn.Put(ctx, w.Table, row, "field0", val); err != nil {
+					return err
 				}
-			} else if err := txn.Put(w.Table, row, "field0", val); err != nil {
-				b.Fatal(err)
 			}
-		}
-		if _, err := txn.Commit(); err != nil {
+			return nil
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,11 +135,13 @@ func BenchmarkFig3Recovery(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		ctx := context.Background()
 		var last kv.Timestamp
 		for j := 0; j < 50; j++ {
-			txn := cl.Begin()
-			_ = txn.Put("t", kv.Key(fmt.Sprintf("r%03d", j)), "f", []byte("v"))
-			cts, err := txn.Commit()
+			row := kv.Key(fmt.Sprintf("r%03d", j))
+			cts, err := cl.Update(ctx, func(txn *cluster.Txn) error {
+				return txn.Put(ctx, "t", row, "f", []byte("v"))
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -152,9 +157,12 @@ func BenchmarkFig3Recovery(b *testing.B) {
 		for j := 0; j < 50; j++ {
 			row := kv.Key(fmt.Sprintf("r%03d", j))
 			for {
-				txn := cl.BeginStrict()
-				_, ok, err := txn.Get("t", row, "f")
-				txn.Abort()
+				var ok bool
+				err := cl.View(ctx, func(txn *cluster.Txn) error {
+					var err error
+					_, ok, err = txn.Get(ctx, "t", row, "f")
+					return err
+				})
 				if err == nil && ok {
 					break
 				}
@@ -187,11 +195,13 @@ func BenchmarkReplayBound(b *testing.B) {
 			b.Fatal(err)
 		}
 		cl, _ := c.NewClient("bench")
+		ctx := context.Background()
 		var last kv.Timestamp
 		for j := 0; j < 100; j++ {
-			txn := cl.Begin()
-			_ = txn.Put("t", kv.Key(fmt.Sprintf("r%03d", j)), "f", []byte("v"))
-			if cts, err := txn.Commit(); err == nil {
+			row := kv.Key(fmt.Sprintf("r%03d", j))
+			if cts, err := cl.Update(ctx, func(txn *cluster.Txn) error {
+				return txn.Put(ctx, "t", row, "f", []byte("v"))
+			}); err == nil {
 				last = cts
 			}
 		}
@@ -243,9 +253,10 @@ func BenchmarkClientRecovery(b *testing.B) {
 		}
 		victim, _ := c.NewClient("victim")
 		c.Network().SetPartition("victim", 3)
-		txn := victim.Begin()
-		_ = txn.Put("t", "orphan", "f", []byte("v"))
-		if _, err := txn.Commit(); err != nil {
+		ctx := context.Background()
+		if _, err := victim.Update(ctx, func(txn *cluster.Txn) error {
+			return txn.Put(ctx, "t", "orphan", "f", []byte("v"))
+		}); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()

@@ -1,0 +1,260 @@
+// Command depvet enforces the repository's deprecation policy: no
+// first-party package, example, or command may call a symbol whose doc
+// comment carries a "Deprecated:" marker. The deprecated wrappers exist for
+// external callers mid-migration; internal code must stay on the canonical
+// context-first API, otherwise the wrappers can never be retired.
+//
+// depvet type-checks the whole module (stdlib-only implementation: a custom
+// module-aware importer over go/types), collects every object declared with
+// a Deprecated: doc, and reports every reference to one from a non-test
+// file. Test files are exempt: the wrappers' behaviour must itself stay
+// under test. Exit status 1 means violations were found.
+//
+// Usage (from the module root):
+//
+//	go run ./cmd/depvet
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const modulePath = "txkv"
+
+// pkgInfo is one type-checked module package.
+type pkgInfo struct {
+	path  string
+	files []*ast.File
+	info  *types.Info
+}
+
+// modImporter resolves module-internal import paths from the source tree
+// and everything else (the stdlib) through the source importer.
+type modImporter struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*types.Package
+	done []*pkgInfo
+}
+
+func (im *modImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		dir := filepath.Join(im.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")))
+		return im.check(path, dir)
+	}
+	return im.std.Import(path)
+}
+
+// check parses and type-checks one module package (non-test files only).
+func (im *modImporter) check(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines, _GOOS suffixes) for
+		// the current platform, like the compiler would.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{Uses: make(map[*ast.Ident]types.Object)}
+	cfg := types.Config{Importer: im}
+	pkg, err := cfg.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[path] = pkg
+	im.done = append(im.done, &pkgInfo{path: path, files: files, info: info})
+	return pkg, nil
+}
+
+// modulePackages finds every directory in the tree holding non-test Go
+// files and maps it to its import path.
+func modulePackages(root string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if p != root && (strings.HasPrefix(base, ".") || base == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		ip := modulePath
+		if rel != "." {
+			ip = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// Dedup (one entry per file was appended).
+	out := paths[:0]
+	for i, p := range paths {
+		if i == 0 || paths[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// deprecated reports whether a doc comment carries the standard marker.
+func deprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(line, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDeprecated returns the declaration positions (of the name idents)
+// of every Deprecated: symbol in the package's files.
+func collectDeprecated(files []*ast.File, marks map[token.Pos]string) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if deprecated(d.Doc) {
+					marks[d.Name.Pos()] = d.Name.Name
+				}
+			case *ast.GenDecl:
+				whole := deprecated(d.Doc)
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if whole || deprecated(s.Doc) {
+							marks[s.Name.Pos()] = s.Name.Name
+						}
+					case *ast.ValueSpec:
+						if whole || deprecated(s.Doc) {
+							for _, n := range s.Names {
+								marks[n.Pos()] = n.Name
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func main() {
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depvet:", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	im := &modImporter{
+		fset: fset,
+		root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	paths, err := modulePackages(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depvet:", err)
+		os.Exit(2)
+	}
+	for _, p := range paths {
+		if _, err := im.Import(p); err != nil {
+			fmt.Fprintf(os.Stderr, "depvet: %s: %v\n", p, err)
+			os.Exit(2)
+		}
+	}
+
+	// Pass 1: every Deprecated: declaration in the module.
+	marks := make(map[token.Pos]string)
+	for _, pi := range im.done {
+		collectDeprecated(pi.files, marks)
+	}
+
+	// Pass 2: every use of a marked object outside its declaring file.
+	type violation struct {
+		pos  token.Position
+		name string
+		pkg  string
+	}
+	var violations []violation
+	for _, pi := range im.done {
+		for ident, obj := range pi.info.Uses {
+			name, ok := marks[obj.Pos()]
+			if !ok {
+				continue
+			}
+			use := fset.Position(ident.Pos())
+			if use.Filename == fset.Position(obj.Pos()).Filename {
+				continue // the wrapper's own declaration site
+			}
+			violations = append(violations, violation{pos: use, name: name, pkg: pi.path})
+		}
+	}
+	if len(violations) == 0 {
+		fmt.Printf("depvet: %d packages clean (%d deprecated symbols guarded)\n", len(im.done), len(marks))
+		return
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		if violations[i].pos.Filename != violations[j].pos.Filename {
+			return violations[i].pos.Filename < violations[j].pos.Filename
+		}
+		return violations[i].pos.Line < violations[j].pos.Line
+	})
+	for _, v := range violations {
+		rel, err := filepath.Rel(root, v.pos.Filename)
+		if err != nil {
+			rel = v.pos.Filename
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d: call of deprecated symbol %s (package %s must use the context-first API)\n",
+			rel, v.pos.Line, v.name, v.pkg)
+	}
+	fmt.Fprintf(os.Stderr, "depvet: %d violations\n", len(violations))
+	os.Exit(1)
+}

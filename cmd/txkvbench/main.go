@@ -16,11 +16,12 @@
 //	txkvbench -experiment readwrite   # hot-path Get/Scan latency + parallel commit throughput
 //	txkvbench -experiment compaction  # DataDir plateau + read p99 under the storage janitor
 //	txkvbench -experiment scan        # streaming cursor scans vs materializing slice scans
+//	txkvbench -experiment txn_retry   # managed Update retry vs caller retry loops under contention
 //	txkvbench -experiment all
 //
-// The readwrite and scan experiments additionally write their
+// The readwrite, scan, and txn_retry experiments additionally write their
 // machine-readable results to the path given by -json (the BENCH_PR2.json /
-// BENCH_PR4.json regression formats).
+// BENCH_PR4.json / BENCH_PR5.json regression formats).
 //
 // The -scale flag shrinks or grows every workload dimension together;
 // -records / -duration override individual knobs.
@@ -49,7 +50,7 @@ func jsonSuffix(path, name string) string {
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -65,10 +66,13 @@ func main() {
 		bench.ReadWriteJSONPath = *jsonPath
 	case "scan":
 		bench.ScanJSONPath = *jsonPath
+	case "txn_retry":
+		bench.TxnRetryJSONPath = *jsonPath
 	default:
 		if *jsonPath != "" {
 			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
 			bench.ScanJSONPath = jsonSuffix(*jsonPath, "scan")
+			bench.TxnRetryJSONPath = jsonSuffix(*jsonPath, "txn_retry")
 		}
 	}
 
@@ -92,8 +96,9 @@ func main() {
 		"readwrite":   bench.ReadWrite,
 		"compaction":  bench.Compaction,
 		"scan":        bench.Scan,
+		"txn_retry":   bench.TxnRetry,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

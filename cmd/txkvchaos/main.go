@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,7 +28,6 @@ import (
 	"time"
 
 	"txkv"
-	"txkv/internal/txmgr"
 )
 
 func main() {
@@ -97,6 +97,7 @@ func main() {
 		go func(ci int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed*31 + int64(ci)))
+			ctx := context.Background()
 			var cl *txkv.Client
 			var err error
 			newClient := func() {
@@ -126,17 +127,24 @@ func main() {
 					newClient()
 					continue
 				}
-				txn := cl.Begin()
 				var batch []ack
-				for j := 0; j < 3; j++ {
-					row := string(keyOf(rng.Intn(*keys)))
-					val := fmt.Sprintf("c%d.%d", ci, i)
-					_ = txn.Put("chaos", txkv.Key(row), "f", []byte(val))
-					batch = append(batch, ack{row: row, val: val})
-				}
+				// No automatic conflict retry: the campaign counts SI
+				// conflicts explicitly.
+				_, err := cl.UpdateWith(ctx, txkv.TxnOptions{MaxRetries: txkv.NoRetry}, func(txn *txkv.Txn) error {
+					batch = batch[:0]
+					for j := 0; j < 3; j++ {
+						row := string(keyOf(rng.Intn(*keys)))
+						val := fmt.Sprintf("c%d.%d", ci, i)
+						if err := txn.Put(ctx, "chaos", txkv.Key(row), "f", []byte(val)); err != nil {
+							return err
+						}
+						batch = append(batch, ack{row: row, val: val})
+					}
+					return nil
+				})
 				i++
-				if _, err := txn.Commit(); err != nil {
-					if errors.Is(err, txmgr.ErrConflict) {
+				if err != nil {
+					if errors.Is(err, txkv.ErrConflict) {
 						mu.Lock()
 						conflicts++
 						mu.Unlock()
@@ -230,9 +238,17 @@ func main() {
 	auditDeadline := time.Now().Add(60 * time.Second)
 	for row, vals := range rows {
 		for {
-			txn := auditor.BeginStrict()
-			v, ok, err := txn.Get("chaos", txkv.Key(row), "f")
-			txn.Abort()
+			// A frontier view: non-blocking (a fresh snapshot would wait
+			// out in-flight recoveries instead of letting the loop poll).
+			var (
+				v  []byte
+				ok bool
+			)
+			txn, err := auditor.BeginTxn(txkv.TxnOptions{ReadOnly: true, Mode: txkv.SnapshotFrontier})
+			if err == nil {
+				v, ok, err = txn.Get(context.Background(), "chaos", txkv.Key(row), "f")
+				txn.Abort()
+			}
 			if err == nil && ok && contains(vals, string(v)) {
 				break
 			}

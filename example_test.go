@@ -1,14 +1,17 @@
 package txkv_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"txkv"
 )
 
-// Example demonstrates the basic transactional workflow: open a cluster,
-// create a table, run a read-modify-write transaction, and read it back.
+// Example demonstrates the managed transactional workflow: open a cluster,
+// create a table, run a read-modify-write Update closure (the middleware
+// owns begin/commit/conflict-retry), and read it back through a read-only
+// View.
 func Example() {
 	cluster, err := txkv.Open(txkv.Config{
 		Servers:           2,
@@ -28,16 +31,18 @@ func Example() {
 	}
 	defer client.Stop()
 
-	txn := client.Begin()
-	_ = txn.Put("accounts", "alice", "balance", []byte("100"))
-	if _, err := txn.CommitWait(); err != nil {
+	ctx := context.Background()
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "accounts", "alice", "balance", []byte("100"))
+	}); err != nil {
 		panic(err)
 	}
 
-	read := client.Begin()
-	v, ok, _ := read.Get("accounts", "alice", "balance")
-	read.Abort()
-	fmt.Println(ok, string(v))
+	_ = client.View(ctx, func(txn *txkv.Txn) error {
+		v, ok, _ := txn.Get(ctx, "accounts", "alice", "balance")
+		fmt.Println(ok, string(v))
+		return nil
+	})
 	// Output: true 100
 }
 
@@ -61,9 +66,10 @@ func Example_failureRecovery() {
 	client, _ := cluster.NewClient("app")
 	defer client.Stop()
 
-	txn := client.Begin()
-	_ = txn.Put("orders", "o-1", "status", []byte("PAID"))
-	if _, err := txn.CommitWait(); err != nil {
+	ctx := context.Background()
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "orders", "o-1", "status", []byte("PAID"))
+	}); err != nil {
 		panic(err)
 	}
 
@@ -73,9 +79,15 @@ func Example_failureRecovery() {
 	// The committed order survives (retry until fail-over completes).
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		r := client.Begin()
-		v, ok, err := r.Get("orders", "o-1", "status")
-		r.Abort()
+		var (
+			v  []byte
+			ok bool
+		)
+		err := client.View(ctx, func(txn *txkv.Txn) error {
+			var err error
+			v, ok, err = txn.Get(ctx, "orders", "o-1", "status")
+			return err
+		})
 		if err == nil && ok {
 			fmt.Println(string(v))
 			break
@@ -87,4 +99,42 @@ func Example_failureRecovery() {
 		time.Sleep(20 * time.Millisecond)
 	}
 	// Output: PAID
+}
+
+// Example_timeTravel pins a read-only snapshot at an old commit timestamp:
+// the transaction manager registers the pin, so the version-GC horizon
+// cannot overrun it even while compaction runs.
+func Example_timeTravel() {
+	cluster, err := txkv.Open(txkv.Config{Servers: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+	_ = cluster.CreateTable("t", nil)
+	client, _ := cluster.NewClient("app")
+	defer client.Stop()
+
+	ctx := context.Background()
+	old, _ := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "t", "k", "f", []byte("v1"))
+	})
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "t", "k", "f", []byte("v2"))
+	}); err != nil {
+		panic(err)
+	}
+
+	_ = client.ViewAt(ctx, old, func(txn *txkv.Txn) error {
+		v, _, _ := txn.Get(ctx, "t", "k", "f")
+		fmt.Println("then:", string(v))
+		return nil
+	})
+	_ = client.View(ctx, func(txn *txkv.Txn) error {
+		v, _, _ := txn.Get(ctx, "t", "k", "f")
+		fmt.Println("now:", string(v))
+		return nil
+	})
+	// Output:
+	// then: v1
+	// now: v2
 }

@@ -3,10 +3,14 @@
 // invariant afterwards: the total balance is unchanged and no committed
 // transfer was lost — the paper's durability guarantee, exercised through
 // an application-level invariant.
+//
+// Transfers run through the managed Update closure: the middleware owns
+// snapshot selection and conflict retry, so the application holds only the
+// transfer logic — no hand-rolled ErrConflict loop.
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,6 +33,7 @@ func accountKey(i int) txkv.Key { return txkv.Key(fmt.Sprintf("acct%04d", i)) }
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	cluster, err := txkv.Open(txkv.Config{
 		Servers:                3,
@@ -47,19 +52,19 @@ func main() {
 		log.Fatalf("create table: %v", err)
 	}
 
-	// Load initial balances.
+	// Load initial balances: one PutBatch, one managed transaction.
 	loader, err := cluster.NewClient("bank-loader")
 	if err != nil {
 		log.Fatalf("new client: %v", err)
 	}
-	txn := loader.Begin()
-	for i := 0; i < accounts; i++ {
-		if err := txn.Put("bank", accountKey(i), "balance", []byte(strconv.Itoa(initialBalance))); err != nil {
-			log.Fatalf("put: %v", err)
-		}
+	puts := make([]txkv.PutOp, accounts)
+	for i := range puts {
+		puts[i] = txkv.PutOp{Row: accountKey(i), Column: "balance", Value: []byte(strconv.Itoa(initialBalance))}
 	}
-	if _, err := txn.CommitWait(); err != nil {
-		log.Fatalf("load commit: %v", err)
+	if _, err := loader.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.PutBatch(ctx, "bank", puts)
+	}); err != nil {
+		log.Fatalf("load: %v", err)
 	}
 	loader.Stop()
 	fmt.Printf("loaded %d accounts x %d = total %d\n", accounts, initialBalance, accounts*initialBalance)
@@ -67,7 +72,7 @@ func main() {
 	// Concurrent transfer workers.
 	var (
 		committed atomic.Int64
-		conflicts atomic.Int64
+		retries   atomic.Int64
 		wg        sync.WaitGroup
 	)
 	for w := 0; w < transferors; w++ {
@@ -87,16 +92,14 @@ func main() {
 					continue
 				}
 				amount := rng.Intn(50) + 1
-				if err := transfer(client, from, to, amount); err != nil {
-					if errors.Is(err, txkv.ErrConflict) {
-						conflicts.Add(1)
-						continue
-					}
+				if err := transfer(ctx, client, from, to, amount); err != nil {
 					log.Printf("transfer error: %v", err)
 					continue
 				}
 				committed.Add(1)
 			}
+			_, r := client.UpdateStats()
+			retries.Add(r)
 		}(w)
 	}
 
@@ -108,9 +111,10 @@ func main() {
 		log.Fatalf("crash: %v", err)
 	}
 	wg.Wait()
-	fmt.Printf("transfers: %d committed, %d conflicts\n", committed.Load(), conflicts.Load())
+	fmt.Printf("transfers: %d committed (%d conflict retries absorbed by Update)\n",
+		committed.Load(), retries.Load())
 
-	// Verify the invariant on a strict snapshot (fully flushed state).
+	// Verify the invariant on a read-only view (fully flushed state).
 	auditor, err := cluster.NewClient("auditor")
 	if err != nil {
 		log.Fatalf("auditor: %v", err)
@@ -118,7 +122,7 @@ func main() {
 	defer auditor.Stop()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		total, err := audit(auditor)
+		total, err := audit(ctx, auditor)
 		if err == nil && total == accounts*initialBalance {
 			fmt.Printf("audit OK: total balance %d unchanged after crash + recovery\n", total)
 			return
@@ -130,47 +134,54 @@ func main() {
 	}
 }
 
-// transfer moves amount from one account to another in one transaction.
-func transfer(client *txkv.Client, from, to, amount int) error {
-	txn := client.Begin()
-	fb, ok, err := txn.Get("bank", accountKey(from), "balance")
-	if err != nil || !ok {
-		txn.Abort()
-		return fmt.Errorf("read from: ok=%v err=%w", ok, err)
-	}
-	tb, ok, err := txn.Get("bank", accountKey(to), "balance")
-	if err != nil || !ok {
-		txn.Abort()
-		return fmt.Errorf("read to: ok=%v err=%w", ok, err)
-	}
-	fv, _ := strconv.Atoi(string(fb))
-	tv, _ := strconv.Atoi(string(tb))
-	if fv < amount {
-		txn.Abort()
-		return nil // insufficient funds: no-op
-	}
-	_ = txn.Put("bank", accountKey(from), "balance", []byte(strconv.Itoa(fv-amount)))
-	_ = txn.Put("bank", accountKey(to), "balance", []byte(strconv.Itoa(tv+amount)))
-	_, err = txn.Commit()
+// transfer moves amount from one account to another in one managed
+// transaction: Update re-runs the closure on snapshot-isolation conflicts
+// with capped backoff, so contended accounts converge without caller-side
+// retry code.
+func transfer(ctx context.Context, client *txkv.Client, from, to, amount int) error {
+	_, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		fb, ok, err := txn.Get(ctx, "bank", accountKey(from), "balance")
+		if err != nil || !ok {
+			return fmt.Errorf("read from: ok=%v err=%w", ok, err)
+		}
+		tb, ok, err := txn.Get(ctx, "bank", accountKey(to), "balance")
+		if err != nil || !ok {
+			return fmt.Errorf("read to: ok=%v err=%w", ok, err)
+		}
+		fv, _ := strconv.Atoi(string(fb))
+		tv, _ := strconv.Atoi(string(tb))
+		if fv < amount {
+			return nil // insufficient funds: commit a no-op
+		}
+		if err := txn.Put(ctx, "bank", accountKey(from), "balance", []byte(strconv.Itoa(fv-amount))); err != nil {
+			return err
+		}
+		return txn.Put(ctx, "bank", accountKey(to), "balance", []byte(strconv.Itoa(tv+amount)))
+	})
 	return err
 }
 
-// audit sums every balance at a strict (fully flushed) snapshot, streaming
-// the table through a cursor scan instead of materializing it.
-func audit(client *txkv.Client) (int, error) {
-	txn := client.BeginStrict()
-	defer txn.Abort()
+// audit sums every balance inside a read-only View (a consistent fresh
+// snapshot that skips commit validation entirely), streaming the table
+// through a cursor scan instead of materializing it.
+func audit(ctx context.Context, client *txkv.Client) (int, error) {
 	total, count := 0, 0
-	for r, err := range txn.Scan("bank", txkv.KeyRange{}, txkv.ScanOptions{}).All() {
-		if err != nil {
-			return 0, err
+	err := client.View(ctx, func(txn *txkv.Txn) error {
+		for r, err := range txn.Scan(ctx, "bank", txkv.KeyRange{}, txkv.ScanOptions{}).All() {
+			if err != nil {
+				return err
+			}
+			v, err := strconv.Atoi(string(r.Value))
+			if err != nil {
+				return err
+			}
+			total += v
+			count++
 		}
-		v, err := strconv.Atoi(string(r.Value))
-		if err != nil {
-			return 0, err
-		}
-		total += v
-		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	if count != accounts {
 		return 0, fmt.Errorf("scan returned %d rows, want %d", count, accounts)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -35,6 +36,7 @@ func main() {
 	}
 	defer client.Stop()
 
+	ctx := context.Background()
 	var committed, failed atomic.Int64
 	stop := make(chan struct{})
 	writerDone := make(chan struct{})
@@ -47,10 +49,11 @@ func main() {
 				return
 			default:
 			}
-			txn := client.Begin()
 			row := txkv.Key(fmt.Sprintf("%c-sensor-%04d", 'a'+(i%26), i))
-			_ = txn.Put("metrics", row, "reading", []byte(fmt.Sprintf("%d", i)))
-			if _, err := txn.Commit(); err != nil {
+			val := []byte(fmt.Sprintf("%d", i))
+			if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+				return txn.Put(ctx, "metrics", row, "reading", val)
+			}); err != nil {
 				failed.Add(1)
 			} else {
 				committed.Add(1)
@@ -80,10 +83,15 @@ func main() {
 	fmt.Printf("total: %d committed, %d failed during scale-out\n", committed.Load(), failed.Load())
 
 	// Audit: every committed value readable; count rows by streaming the
-	// table through a cursor scan (bounded batches, not one big slice).
-	audit := client.Begin() // waits for all prior commits to be readable
-	sc := audit.Scan("metrics", txkv.KeyRange{}, txkv.ScanOptions{Batch: 128})
+	// table through a cursor scan (bounded batches, not one big slice)
+	// inside a fresh read-only transaction, which waits for all prior
+	// commits to be readable.
 	rows := 0
+	audit, err := client.BeginTxn(txkv.TxnOptions{ReadOnly: true, Mode: txkv.SnapshotFresh})
+	if err != nil {
+		log.Fatalf("begin audit: %v", err)
+	}
+	sc := audit.Scan(ctx, "metrics", txkv.KeyRange{}, txkv.ScanOptions{Batch: 128})
 	for sc.Next() {
 		rows++
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,11 +37,16 @@ func main() {
 
 	// Partition the victim's data path so its post-commit flush cannot
 	// reach the servers, then commit: the transaction is durable in the
-	// TM log but invisible in the store.
+	// TM log but invisible in the store. An explicit BeginTxn (not the
+	// managed Update) because the fault drill owns the txn lifetime.
+	ctx := context.Background()
 	cluster.Network().SetPartition("victim", 1)
-	txn := victim.Begin()
-	_ = txn.Put("orders", "order-1001", "status", []byte("PAID"))
-	cts, err := txn.Commit()
+	txn, err := victim.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
+		log.Fatalf("begin: %v", err)
+	}
+	_ = txn.Put(ctx, "orders", "order-1001", "status", []byte("PAID"))
+	cts, err := txn.Commit(ctx)
 	if err != nil {
 		log.Fatalf("commit: %v", err)
 	}
@@ -76,11 +82,16 @@ func main() {
 }
 
 func visible(c *txkv.Client) bool {
-	// BeginStrict: a non-blocking consistent snapshot. (Begin would wait
-	// for the victim's stuck flush — the paper's clients likewise fall
-	// back to older snapshots during disturbances, §3.2.)
-	txn := c.BeginStrict()
+	// A frontier view: non-blocking, consistent, possibly stale. (A fresh
+	// snapshot — View's default — would wait for the victim's stuck
+	// flush; the paper's clients likewise fall back to older snapshots
+	// during disturbances, §3.2.)
+	ctx := context.Background()
+	txn, err := c.BeginTxn(txkv.TxnOptions{ReadOnly: true, Mode: txkv.SnapshotFrontier})
+	if err != nil {
+		return false
+	}
 	defer txn.Abort()
-	v, ok, err := txn.Get("orders", "order-1001", "status")
+	v, ok, err := txn.Get(ctx, "orders", "order-1001", "status")
 	return err == nil && ok && string(v) == "PAID"
 }

@@ -1,9 +1,10 @@
-// Command quickstart starts a two-server cluster, runs a few transactions
-// through the public API, demonstrates snapshot reads and conflict
-// handling, and shuts down cleanly.
+// Command quickstart starts a two-server cluster and walks the v2 client
+// API: managed Update/View closures, batched mutations, range deletes,
+// snapshot semantics, conflict handling, and time-travel reads.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -13,6 +14,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	cluster, err := txkv.Open(txkv.Config{Servers: 2})
 	if err != nil {
@@ -29,57 +31,112 @@ func main() {
 	}
 	defer client.Stop()
 
-	// 1. A simple read-modify-write transaction.
-	txn := client.Begin()
-	if err := txn.Put("inventory", "apples", "count", []byte("10")); err != nil {
-		log.Fatalf("put: %v", err)
-	}
-	if err := txn.Put("inventory", "zucchini", "count", []byte("3")); err != nil {
-		log.Fatalf("put: %v", err)
-	}
-	cts, err := txn.CommitWait()
+	// 1. A managed read-write transaction: Update owns begin/commit/retry.
+	cts, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.PutBatch(ctx, "inventory", []txkv.PutOp{
+			{Row: "apples", Column: "count", Value: []byte("10")},
+			{Row: "pears", Column: "count", Value: []byte("7")},
+			{Row: "zucchini", Column: "count", Value: []byte("3")},
+		})
+	})
 	if err != nil {
-		log.Fatalf("commit: %v", err)
+		log.Fatalf("load: %v", err)
 	}
 	fmt.Printf("committed initial stock at ts=%d\n", cts)
 
-	// 2. Snapshot reads: a transaction sees a stable snapshot.
-	reader := client.Begin()
-	writer := client.Begin()
-	_ = writer.Put("inventory", "apples", "count", []byte("42"))
-	if _, err := writer.CommitWait(); err != nil {
-		log.Fatalf("commit: %v", err)
+	// 2. Snapshot reads: an explicit transaction sees a stable snapshot
+	// even while another transaction commits around it.
+	reader, err := client.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
+		log.Fatalf("begin: %v", err)
 	}
-	v, _, err := reader.Get("inventory", "apples", "count")
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "inventory", "apples", "count", []byte("42"))
+	}); err != nil {
+		log.Fatalf("update: %v", err)
+	}
+	v, _, err := reader.Get(ctx, "inventory", "apples", "count")
 	if err != nil {
 		log.Fatalf("get: %v", err)
 	}
 	fmt.Printf("snapshot reader still sees apples=%s (writer committed 42 meanwhile)\n", v)
 	reader.Abort()
 
-	// 3. Write-write conflicts abort the later committer.
-	a, b := client.Begin(), client.Begin()
-	_ = a.Put("inventory", "apples", "count", []byte("1"))
-	_ = b.Put("inventory", "apples", "count", []byte("2"))
-	if _, err := a.Commit(); err != nil {
+	// 3. Write-write conflicts abort the later committer; with the retry
+	// budget disabled the conflict surfaces as a structured error.
+	a, err := client.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
+		log.Fatalf("begin: %v", err)
+	}
+	b, err := client.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
+		log.Fatalf("begin: %v", err)
+	}
+	_ = a.Put(ctx, "inventory", "apples", "count", []byte("1"))
+	_ = b.Put(ctx, "inventory", "apples", "count", []byte("2"))
+	if _, err := a.Commit(ctx); err != nil {
 		log.Fatalf("commit a: %v", err)
 	}
-	if _, err := b.Commit(); errors.Is(err, txkv.ErrConflict) {
-		fmt.Println("second writer aborted with a snapshot-isolation conflict, as expected")
+	if _, err := b.Commit(ctx); errors.Is(err, txkv.ErrConflict) {
+		var txErr *txkv.Error
+		_ = errors.As(err, &txErr)
+		fmt.Printf("second writer aborted with a snapshot-isolation conflict (op=%s), as expected\n", txErr.Op)
 	} else {
 		log.Fatalf("expected conflict, got %v", err)
 	}
 
-	// 4. Scans stream the newest committed versions in bounded batches.
-	scan := client.Begin()
-	sc := scan.Scan("inventory", txkv.KeyRange{}, txkv.ScanOptions{})
-	for sc.Next() {
-		row := sc.KV()
-		fmt.Printf("  %s/%s = %s\n", row.Row, row.Column, row.Value)
+	// 4. Read-only views stream scans at a consistent snapshot without
+	// ever touching commit validation or the commit log.
+	if err := client.View(ctx, func(txn *txkv.Txn) error {
+		sc := txn.Scan(ctx, "inventory", txkv.KeyRange{}, txkv.ScanOptions{})
+		for sc.Next() {
+			row := sc.KV()
+			fmt.Printf("  %s/%s = %s\n", row.Row, row.Column, row.Value)
+		}
+		return sc.Err()
+	}); err != nil {
+		log.Fatalf("view: %v", err)
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("scan: %v", err)
+
+	// 5. Time travel: a snapshot pinned before the conflict demo still
+	// reads the original stock.
+	if err := client.ViewAt(ctx, cts, func(txn *txkv.Txn) error {
+		v, _, err := txn.Get(ctx, "inventory", "apples", "count")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("time travel to ts=%d: apples=%s\n", cts, v)
+		return nil
+	}); err != nil {
+		log.Fatalf("view at %d: %v", cts, err)
 	}
-	scan.Abort()
+
+	// 6. Range delete: one call sweeps the live cells server-side and
+	// buffers the tombstones. (The count is carried out of the closure:
+	// Update may re-run it on a conflict, so closures must not leak side
+	// effects other than their transaction writes.)
+	deleted := 0
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		var err error
+		deleted, err = txn.DeleteRange(ctx, "inventory", txkv.KeyRange{Start: "a", End: "z"})
+		return err
+	}); err != nil {
+		log.Fatalf("delete range: %v", err)
+	}
+	fmt.Printf("range delete tombstoned %d cells\n", deleted)
+	if err := client.View(ctx, func(txn *txkv.Txn) error {
+		sc := txn.Scan(ctx, "inventory", txkv.KeyRange{Start: "a", End: "z"}, txkv.ScanOptions{})
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("rows left in [a,z): %d\n", n)
+		return nil
+	}); err != nil {
+		log.Fatalf("view: %v", err)
+	}
 	fmt.Println("quickstart done")
 }

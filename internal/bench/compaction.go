@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -97,13 +98,11 @@ func Compaction(o Options) error {
 					return
 				default:
 				}
-				txn := cl.Begin()
 				row := ycsb.RowKey(uint64(rng.Intn(w.RecordCount)))
-				if err := txn.Put(w.Table, row, "field0", []byte(fmt.Sprintf("v%d-%d", t, i))); err != nil {
-					fail(err)
-					return
-				}
-				if _, err := txn.Commit(); err == nil {
+				val := []byte(fmt.Sprintf("v%d-%d", t, i))
+				if _, err := cl.Update(context.Background(), func(txn *cluster.Txn) error {
+					return txn.Put(context.Background(), w.Table, row, "field0", val)
+				}); err == nil {
 					writes.Add(1)
 				}
 			}
@@ -121,7 +120,11 @@ func Compaction(o Options) error {
 		go func(t int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed*211 + int64(t)))
-			txn := cl.BeginStrict()
+			txn, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+			if err != nil {
+				fail(err)
+				return
+			}
 			defer txn.Abort()
 			for i := 0; ; i++ {
 				select {
@@ -131,11 +134,14 @@ func Compaction(o Options) error {
 				}
 				if i%256 == 0 {
 					txn.Abort()
-					txn = cl.BeginStrict()
+					if txn, err = cl.BeginTxn(cluster.TxnOptions{ReadOnly: true}); err != nil {
+						fail(err)
+						return
+					}
 				}
 				row := ycsb.RowKey(uint64(rng.Intn(w.RecordCount)))
 				t0 := time.Now()
-				if _, _, err := txn.Get(w.Table, row, "field0"); err != nil {
+				if _, _, err := txn.Get(context.Background(), w.Table, row, "field0"); err != nil {
 					fail(fmt.Errorf("reader observed error during compaction: %w", err))
 					return
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -87,8 +88,11 @@ func Durability(o Options) error {
 	defer cl.Stop()
 	missing := 0
 	for i := 0; i < w.RecordCount; i += 97 { // sampled audit
-		txn := cl.Begin()
-		_, ok, err := txn.Get(w.Table, ycsb.RowKey(uint64(i)), "field0")
+		txn, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true, Mode: cluster.SnapshotFresh})
+		if err != nil {
+			return err
+		}
+		_, ok, err := txn.Get(context.Background(), w.Table, ycsb.RowKey(uint64(i)), "field0")
 		txn.Abort()
 		if err != nil || !ok {
 			missing++

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"txkv/internal/cluster"
 	"txkv/internal/ycsb"
 )
 
@@ -240,20 +242,27 @@ func ClientFailure(o Options) error {
 	}
 	// Commit a burst, then partition the victim so the tail can't flush,
 	// commit a few more, and crash.
+	ctx := context.Background()
 	committed := 0
 	for i := 0; i < 50; i++ {
-		txn := victim.Begin()
-		_ = txn.Put(w.Table, ycsb.RowKey(uint64(i)), "field0", []byte(fmt.Sprintf("pre-%d", i)))
-		if _, err := txn.CommitWait(); err == nil {
+		txn, err := victim.BeginTxn(cluster.TxnOptions{})
+		if err != nil {
+			return err
+		}
+		_ = txn.Put(ctx, w.Table, ycsb.RowKey(uint64(i)), "field0", []byte(fmt.Sprintf("pre-%d", i)))
+		if _, err := txn.CommitWait(ctx); err == nil {
 			committed++
 		}
 	}
 	c.Network().SetPartition("victim", 7)
 	unflushed := 0
 	for i := 50; i < 60; i++ {
-		txn := victim.BeginStrict()
-		_ = txn.Put(w.Table, ycsb.RowKey(uint64(i)), "field0", []byte(fmt.Sprintf("orphan-%d", i)))
-		if _, err := txn.Commit(); err == nil {
+		txn, err := victim.BeginTxn(cluster.TxnOptions{Mode: cluster.SnapshotFrontier})
+		if err != nil {
+			return err
+		}
+		_ = txn.Put(ctx, w.Table, ycsb.RowKey(uint64(i)), "field0", []byte(fmt.Sprintf("orphan-%d", i)))
+		if _, err := txn.Commit(ctx); err == nil {
 			unflushed++
 		}
 	}
@@ -277,10 +286,16 @@ func ClientFailure(o Options) error {
 	}
 	recovered := 0
 	for i := 50; i < 60; i++ {
-		txn := reader.BeginStrict()
-		v, ok, err := txn.Get(w.Table, ycsb.RowKey(uint64(i)), "field0")
-		txn.Abort()
-		if err == nil && ok && string(v) == fmt.Sprintf("orphan-%d", i) {
+		var (
+			v  []byte
+			ok bool
+		)
+		verr := reader.View(ctx, func(txn *cluster.Txn) error {
+			var err error
+			v, ok, err = txn.Get(ctx, w.Table, ycsb.RowKey(uint64(i)), "field0")
+			return err
+		})
+		if verr == nil && ok && string(v) == fmt.Sprintf("orphan-%d", i) {
 			recovered++
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -118,7 +119,7 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 	// the snapshot stays fresh without dominating the measurement.
 	getHist, getOps, err := readPhase(c, w, o, func(txn *cluster.Txn, rng *rand.Rand) error {
 		row := ycsb.RowKey(uint64(rng.Intn(w.RecordCount)))
-		_, _, err := txn.Get(w.Table, row, "field0")
+		_, _, err := txn.Get(context.Background(), w.Table, row, "field0")
 		return err
 	})
 	if err != nil {
@@ -134,7 +135,7 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 			Start: ycsb.RowKey(uint64(start)),
 			End:   ycsb.RowKey(uint64(start + scanWindow)),
 		}
-		sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Limit: scanLimit})
+		sc := txn.Scan(context.Background(), w.Table, rng2, cluster.ScanOptions{Limit: scanLimit})
 		for sc.Next() {
 		}
 		return sc.Err()
@@ -194,13 +195,20 @@ func readPhase(c *cluster.Cluster, w ycsb.Workload, o Options, op func(*cluster.
 		go func(th int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed*31 + int64(th)))
-			txn := cl.BeginStrict()
+			txn, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
 			defer txn.Abort()
 			n := 0
 			for time.Now().Before(stopAt) {
 				if n++; n%256 == 0 {
 					txn.Abort()
-					txn = cl.BeginStrict()
+					if txn, err = cl.BeginTxn(cluster.TxnOptions{ReadOnly: true}); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
 				}
 				start := time.Now()
 				if err := op(txn, rng); err != nil {

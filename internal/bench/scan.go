@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -177,13 +178,20 @@ func scanPhase(c *cluster.Cluster, w ycsb.Workload, o Options, mode string, rang
 		go func(th int) {
 			defer func() { done <- struct{}{} }()
 			rng := rand.New(rand.NewSource(o.Seed*131 + int64(th)))
-			txn := cl.BeginStrict()
+			txn, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
 			defer txn.Abort()
 			n := 0
 			for time.Now().Before(stopAt) {
 				if n++; n%64 == 0 {
 					txn.Abort()
-					txn = cl.BeginStrict()
+					if txn, err = cl.BeginTxn(cluster.TxnOptions{ReadOnly: true}); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
 				}
 				hi := w.RecordCount - rangeRows
 				start := 0
@@ -200,7 +208,7 @@ func scanPhase(c *cluster.Cluster, w ycsb.Workload, o Options, mode string, rang
 					// Pre-redesign behaviour on both sides: one unbounded
 					// batch per region (server materializes the clipped
 					// range), collected into one client-side slice.
-					sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Batch: -1})
+					sc := txn.Scan(context.Background(), w.Table, rng2, cluster.ScanOptions{Batch: -1})
 					var all []kv.KeyValue
 					for sc.Next() {
 						all = append(all, sc.KV())
@@ -208,7 +216,7 @@ func scanPhase(c *cluster.Cluster, w ycsb.Workload, o Options, mode string, rang
 					err = sc.Err()
 					_ = all
 				} else {
-					sc := txn.Scan(w.Table, rng2, cluster.ScanOptions{Batch: batch})
+					sc := txn.Scan(context.Background(), w.Table, rng2, cluster.ScanOptions{Batch: batch})
 					for sc.Next() {
 					}
 					err = sc.Err()

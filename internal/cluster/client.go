@@ -10,6 +10,7 @@ import (
 	"txkv/internal/core"
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
+	"txkv/internal/metrics"
 	"txkv/internal/txmgr"
 )
 
@@ -40,6 +41,9 @@ type Client struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	flushWG sync.WaitGroup
+
+	updateCommits metrics.Counter // transactions committed via Update
+	updateRetries metrics.Counter // conflict retries Update performed
 
 	mu     sync.Mutex
 	closed bool
@@ -105,10 +109,14 @@ func (cl *Client) TF() kv.Timestamp {
 
 // Txn is one transaction: reads at the snapshot, buffered deferred updates
 // (held at the client, paper §2.2), commit via the TM then asynchronous
-// flush.
+// flush. Read-only transactions (View, BeginAt, TxnOptions.ReadOnly) carry
+// no write buffer and commit by releasing their snapshot pin — no
+// validation, no commit-log append.
 type Txn struct {
-	client *Client
-	h      txmgr.TxnHandle
+	client   *Client
+	h        txmgr.TxnHandle
+	readOnly bool
+	beginErr error // legacy Begin wrappers: deferred begin failure
 
 	mu       sync.Mutex
 	writes   []kv.Update
@@ -116,32 +124,59 @@ type Txn struct {
 	finished bool
 }
 
+// usableLocked reports why the transaction cannot serve an operation (a
+// deferred begin failure or completion), or nil. Caller holds t.mu.
+func (t *Txn) usableLocked() error {
+	if t.beginErr != nil {
+		return t.beginErr
+	}
+	if t.finished {
+		return ErrTxnFinished
+	}
+	return nil
+}
+
+// legacyBegin adapts BeginTxn to the v1 contract (never fails; begin-time
+// errors surface on the first operation).
+func (cl *Client) legacyBegin(opts TxnOptions) *Txn {
+	t, err := cl.BeginTxn(opts)
+	if err != nil {
+		return &Txn{client: cl, beginErr: err}
+	}
+	return t
+}
+
 // Begin starts a transaction at the freshest snapshot, waiting (normally
 // sub-millisecond) until that snapshot is fully readable at the servers:
 // reads, including read-modify-write cycles, are consistent under snapshot
-// isolation with a minimal conflict window. During an ongoing recovery
-// Begin can block; use BeginStrict for non-blocking consistent reads of a
-// slightly older snapshot.
-func (cl *Client) Begin() *Txn {
-	return &Txn{client: cl, h: cl.cluster.tm.Begin(cl.id), writeIdx: make(map[string]int)}
-}
+// isolation with a minimal conflict window.
+//
+// Deprecated: use the managed closures Update/View, or BeginTxn for an
+// explicit transaction (it reports begin-time failures instead of deferring
+// them to the first operation).
+func (cl *Client) Begin() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotFresh}) }
 
 // BeginStrict starts a transaction at the visibility frontier without
 // waiting: consistent, never blocks, possibly slightly stale.
-func (cl *Client) BeginStrict() *Txn {
-	return &Txn{client: cl, h: cl.cluster.tm.BeginSnapshot(cl.id), writeIdx: make(map[string]int)}
-}
+//
+// Deprecated: use View for managed read-only closures, or
+// BeginTxn(TxnOptions{Mode: SnapshotFrontier}).
+func (cl *Client) BeginStrict() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotFrontier}) }
 
 // BeginLatest starts a transaction at the newest issued timestamp,
 // regardless of flush progress: freshest possible snapshot, but reads may
 // miss committed-but-unflushed writes (see DESIGN.md). Safe for blind
 // writes.
-func (cl *Client) BeginLatest() *Txn {
-	return &Txn{client: cl, h: cl.cluster.tm.BeginLatest(cl.id), writeIdx: make(map[string]int)}
-}
+//
+// Deprecated: use BeginTxn(TxnOptions{Mode: SnapshotLatest}).
+func (cl *Client) BeginLatest() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotLatest}) }
 
 // StartTS returns the transaction's snapshot timestamp.
 func (t *Txn) StartTS() kv.Timestamp { return t.h.StartTS }
+
+// ReadOnly reports whether the transaction is read-only (View, BeginAt, or
+// TxnOptions.ReadOnly).
+func (t *Txn) ReadOnly() bool { return t.readOnly }
 
 func writeKey(table string, row kv.Key, column string) string {
 	return table + "\x00" + string(row) + "\x00" + column
@@ -160,19 +195,14 @@ func (cl *Client) opCtx(ctx context.Context) (context.Context, context.CancelFun
 }
 
 // Get reads (table, row, column) at the transaction's snapshot, seeing the
-// transaction's own buffered writes first.
-func (t *Txn) Get(table string, row kv.Key, column string) ([]byte, bool, error) {
-	return t.GetCtx(context.Background(), table, row, column)
-}
-
-// GetCtx is Get bounded by a caller context: cancellation or deadline
-// expiry aborts the read (including its re-locate retries) with ctx's
-// error.
-func (t *Txn) GetCtx(ctx context.Context, table string, row kv.Key, column string) ([]byte, bool, error) {
+// transaction's own buffered writes first. ctx bounds the read (including
+// its re-locate retries): cancellation or deadline expiry aborts it with
+// ctx's error.
+func (t *Txn) Get(ctx context.Context, table string, row kv.Key, column string) ([]byte, bool, error) {
 	t.mu.Lock()
-	if t.finished {
+	if err := t.usableLocked(); err != nil {
 		t.mu.Unlock()
-		return nil, false, ErrTxnFinished
+		return nil, false, opErr("get", table, row, err)
 	}
 	if i, ok := t.writeIdx[writeKey(table, row, column)]; ok {
 		u := t.writes[i]
@@ -188,51 +218,75 @@ func (t *Txn) GetCtx(ctx context.Context, table string, row kv.Key, column strin
 	defer release()
 	e, found, err := t.client.kv.Get(mctx, table, row, column, t.h.StartTS)
 	if err != nil || !found {
-		return nil, false, err
+		return nil, false, opErr("get", table, row, err)
 	}
 	return e.Value, true, nil
 }
 
+// GetCtx reads (table, row, column) bounded by a caller context.
+//
+// Deprecated: Get is context-first; GetCtx is a thin wrapper over it.
+func (t *Txn) GetCtx(ctx context.Context, table string, row kv.Key, column string) ([]byte, bool, error) {
+	return t.Get(ctx, table, row, column)
+}
+
 // Put buffers an update (deferred-update model: nothing reaches the servers
-// before commit).
-func (t *Txn) Put(table string, row kv.Key, column string, value []byte) error {
-	return t.buffer(kv.Update{
+// before commit). ctx is accepted for API uniformity; buffering is local.
+func (t *Txn) Put(ctx context.Context, table string, row kv.Key, column string, value []byte) error {
+	_ = ctx
+	return t.bufferOp("put", kv.Update{
 		Table: table, Row: row, Column: column,
 		Value: append([]byte(nil), value...),
 	})
 }
 
-// Delete buffers a tombstone.
-func (t *Txn) Delete(table string, row kv.Key, column string) error {
-	return t.buffer(kv.Update{Table: table, Row: row, Column: column, Tombstone: true})
+// Delete buffers a tombstone. ctx is accepted for API uniformity; buffering
+// is local.
+func (t *Txn) Delete(ctx context.Context, table string, row kv.Key, column string) error {
+	_ = ctx
+	return t.bufferOp("delete", kv.Update{Table: table, Row: row, Column: column, Tombstone: true})
 }
 
-func (t *Txn) buffer(u kv.Update) error {
+func (t *Txn) bufferOp(op string, u kv.Update) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.finished {
-		return ErrTxnFinished
+	if err := t.usableLocked(); err != nil {
+		return opErr(op, u.Table, u.Row, err)
 	}
-	key := writeKey(u.Table, u.Row, u.Column)
-	if i, ok := t.writeIdx[key]; ok {
-		t.writes[i] = u // overwrite within the txn
-		return nil
+	if t.readOnly {
+		return opErr(op, u.Table, u.Row, ErrReadOnlyTxn)
 	}
-	t.writeIdx[key] = len(t.writes)
-	t.writes = append(t.writes, u)
+	t.bufferLocked(u)
 	return nil
 }
 
+// bufferLocked adds one update to the write buffer (overwriting a previous
+// write of the same cell). Caller holds t.mu on a usable read-write txn.
+func (t *Txn) bufferLocked(u kv.Update) {
+	key := writeKey(u.Table, u.Row, u.Column)
+	if i, ok := t.writeIdx[key]; ok {
+		t.writes[i] = u // overwrite within the txn
+		return
+	}
+	t.writeIdx[key] = len(t.writes)
+	t.writes = append(t.writes, u)
+}
+
 // Abort discards the transaction; the buffered write-set is dropped without
-// touching the log or the servers (paper §2.2).
+// touching the log or the servers (paper §2.2). On a read-only transaction
+// Abort simply releases the snapshot pin.
 func (t *Txn) Abort() {
 	t.mu.Lock()
-	if t.finished {
+	if t.beginErr != nil || t.finished {
 		t.mu.Unlock()
 		return
 	}
 	t.finished = true
 	t.mu.Unlock()
+	if t.readOnly {
+		t.client.cluster.tm.Release(t.h)
+		return
+	}
 	t.client.cluster.tm.Abort(t.h)
 }
 
@@ -241,43 +295,62 @@ func (t *Txn) Abort() {
 // flush to the key-value store proceeds asynchronously (the paper's
 // "updates can even be sent to the key-value store after commit"). The
 // recovery middleware guarantees the flush survives client failure.
-func (t *Txn) Commit() (kv.Timestamp, error) {
-	return t.commit(context.Background(), false)
+//
+// ctx bounds the waits: the group-commit durability wait and (under
+// synchronous persistence) the flush wait. Cancellation never un-commits —
+// if ctx fires while the write-set is already enqueued, Commit returns the
+// timestamp with an error wrapping ErrCommitIndeterminate and the cluster
+// completes the commit and its asynchronous flush in the background; if it
+// fires during the flush wait, the transaction is durably committed and
+// only the wait is abandoned.
+//
+// Committing a read-only transaction releases its snapshot pin and returns
+// the snapshot timestamp: no validation, no commit-log append.
+func (t *Txn) Commit(ctx context.Context) (kv.Timestamp, error) {
+	return t.commit(ctx, false)
 }
 
 // CommitWait commits and then waits for the write-set to be fully flushed —
 // useful when the caller immediately reads its own commit from a different
-// client.
-func (t *Txn) CommitWait() (kv.Timestamp, error) {
-	return t.commit(context.Background(), true)
-}
-
-// CommitCtx is Commit with the waits deadline-bounded by ctx: the group-
-// commit durability wait and (under synchronous persistence) the flush
-// wait. Cancellation never un-commits — if ctx fires while the write-set is
-// already enqueued, CommitCtx returns the timestamp with an error wrapping
-// ErrCommitIndeterminate and the cluster completes the commit and its
-// asynchronous flush in the background; if it fires during the flush wait,
-// the transaction is durably committed and only the wait is abandoned.
-func (t *Txn) CommitCtx(ctx context.Context) (kv.Timestamp, error) {
-	return t.commit(ctx, false)
-}
-
-// CommitWaitCtx is CommitWait with both waits bounded by ctx (see
-// CommitCtx for the semantics of a cut-short wait).
-func (t *Txn) CommitWaitCtx(ctx context.Context) (kv.Timestamp, error) {
+// client. ctx bounds both waits (see Commit).
+func (t *Txn) CommitWait(ctx context.Context) (kv.Timestamp, error) {
 	return t.commit(ctx, true)
 }
 
+// CommitCtx commits with the waits bounded by ctx.
+//
+// Deprecated: Commit is context-first; CommitCtx is a thin wrapper over it.
+func (t *Txn) CommitCtx(ctx context.Context) (kv.Timestamp, error) {
+	return t.Commit(ctx)
+}
+
+// CommitWaitCtx is CommitWait bounded by ctx.
+//
+// Deprecated: CommitWait is context-first; CommitWaitCtx is a thin wrapper
+// over it.
+func (t *Txn) CommitWaitCtx(ctx context.Context) (kv.Timestamp, error) {
+	return t.CommitWait(ctx)
+}
+
 func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t.mu.Lock()
-	if t.finished {
+	if err := t.usableLocked(); err != nil {
 		t.mu.Unlock()
-		return 0, ErrTxnFinished
+		return 0, opErr("commit", "", "", err)
 	}
 	t.finished = true
 	updates := t.writes
 	t.mu.Unlock()
+
+	if t.readOnly {
+		// Read-only commit: release the snapshot pin; validation, the
+		// commit log, and the flush path are skipped entirely.
+		t.client.cluster.tm.Release(t.h)
+		return t.h.StartTS, nil
+	}
 
 	cl := t.client
 	cl.mu.Lock()
@@ -285,22 +358,22 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 	cl.mu.Unlock()
 	if closed {
 		cl.cluster.tm.Abort(t.h)
-		return 0, ErrClientClosed
+		return 0, opErr("commit", "", "", ErrClientClosed)
 	}
 	if err := ctx.Err(); err != nil {
 		cl.cluster.tm.Abort(t.h) // not yet enqueued: a clean abort
-		return 0, err
+		return 0, opErr("commit", "", "", err)
 	}
 
 	cts, logDone, err := cl.cluster.tm.CommitAsync(t.h, updates)
 	if err != nil {
-		return 0, err
+		return 0, opErr("commit", "", "", err)
 	}
 	if logDone != nil {
 		select {
 		case err := <-logDone:
 			if err != nil {
-				return 0, fmt.Errorf("cluster: commit log append: %w", err)
+				return 0, opErr("commit", "", "", fmt.Errorf("commit log append: %w", err))
 			}
 		case <-ctx.Done():
 			// Enqueued in commit order: the transaction commits when the
@@ -318,8 +391,8 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 					_ = cl.flushWS(ws, cts)
 				}
 			}()
-			return cts, fmt.Errorf("%w: txn %d enqueued at %d: %w",
-				ErrCommitIndeterminate, t.h.ID, cts, ctx.Err())
+			return cts, opErr("commit", "", "", fmt.Errorf("%w: txn %d enqueued at %d: %w",
+				ErrCommitIndeterminate, t.h.ID, cts, ctx.Err()))
 		}
 	}
 	if len(updates) == 0 {
@@ -333,12 +406,12 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 		select {
 		case err := <-flushDone:
 			if err != nil {
-				return cts, fmt.Errorf("cluster: committed at %d but flush failed: %w", cts, err)
+				return cts, opErr("commit", "", "", fmt.Errorf("committed at %d but flush failed: %w", cts, err))
 			}
 		case <-ctx.Done():
 			// Durably committed; the flush continues in the background (and
 			// recovery covers it if this client dies). Only the wait ends.
-			return cts, fmt.Errorf("cluster: committed at %d but flush wait cancelled: %w", cts, ctx.Err())
+			return cts, opErr("commit", "", "", fmt.Errorf("committed at %d but flush wait cancelled: %w", cts, ctx.Err()))
 		}
 	}
 	return cts, nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,38 @@ import (
 	"txkv/internal/kv"
 	"txkv/internal/txmgr"
 )
+
+// bgctx is the default context for test transaction operations.
+var bgctx = context.Background()
+
+// begin/beginStrict/beginLatest adapt BeginTxn to the test style: fail the
+// test on a begin-time error, return the transaction.
+func begin(t testing.TB, cl *Client) *Txn {
+	t.Helper()
+	txn, err := cl.BeginTxn(TxnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+func beginStrict(t testing.TB, cl *Client) *Txn {
+	t.Helper()
+	txn, err := cl.BeginTxn(TxnOptions{Mode: SnapshotFrontier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+func beginLatest(t testing.TB, cl *Client) *Txn {
+	t.Helper()
+	txn, err := cl.BeginTxn(TxnOptions{Mode: SnapshotLatest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
 
 // fastConfig returns a config with tight intervals for quick tests.
 func fastConfig(servers int) Config {
@@ -45,18 +78,18 @@ func TestTxnCommitAndRead(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	txn := cl.Begin()
-	if err := txn.Put("t", "alpha", "f", []byte("1")); err != nil {
+	txn := begin(t, cl)
+	if err := txn.Put(bgctx, "t", "alpha", "f", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := txn.Put("t", "zulu", "f", []byte("2")); err != nil {
+	if err := txn.Put(bgctx, "t", "zulu", "f", []byte("2")); err != nil {
 		t.Fatal(err)
 	}
 	// Read-your-own-writes before commit.
-	if v, ok, _ := txn.Get("t", "alpha", "f"); !ok || string(v) != "1" {
+	if v, ok, _ := txn.Get(bgctx, "t", "alpha", "f"); !ok || string(v) != "1" {
 		t.Fatalf("own write read: %q %v", v, ok)
 	}
-	cts, err := txn.CommitWait()
+	cts, err := txn.CommitWait(bgctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +98,8 @@ func TestTxnCommitAndRead(t *testing.T) {
 	}
 
 	// A later transaction sees it.
-	txn2 := cl.Begin()
-	if v, ok, err := txn2.Get("t", "alpha", "f"); err != nil || !ok || string(v) != "1" {
+	txn2 := begin(t, cl)
+	if v, ok, err := txn2.Get(bgctx, "t", "alpha", "f"); err != nil || !ok || string(v) != "1" {
 		t.Fatalf("read committed: %q %v %v", v, ok, err)
 	}
 	txn2.Abort()
@@ -79,25 +112,25 @@ func TestTxnSnapshotIsolationEndToEnd(t *testing.T) {
 	}
 	cl, _ := c.NewClient("c1")
 
-	setup := cl.Begin()
-	_ = setup.Put("t", "x", "f", []byte("old"))
-	if _, err := setup.CommitWait(); err != nil {
+	setup := begin(t, cl)
+	_ = setup.Put(bgctx, "t", "x", "f", []byte("old"))
+	if _, err := setup.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 
 	// Old snapshot taken before a new write lands.
-	old := cl.Begin()
-	writer := cl.Begin()
-	_ = writer.Put("t", "x", "f", []byte("new"))
-	if _, err := writer.CommitWait(); err != nil {
+	old := begin(t, cl)
+	writer := begin(t, cl)
+	_ = writer.Put(bgctx, "t", "x", "f", []byte("new"))
+	if _, err := writer.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, err := old.Get("t", "x", "f"); err != nil || !ok || string(v) != "old" {
+	if v, ok, err := old.Get(bgctx, "t", "x", "f"); err != nil || !ok || string(v) != "old" {
 		t.Fatalf("snapshot read: %q %v %v", v, ok, err)
 	}
 	// Write-write conflict: old txn writing x must abort.
-	_ = old.Put("t", "x", "f", []byte("conflict"))
-	if _, err := old.Commit(); !errors.Is(err, txmgr.ErrConflict) {
+	_ = old.Put(bgctx, "t", "x", "f", []byte("conflict"))
+	if _, err := old.Commit(bgctx); !errors.Is(err, txmgr.ErrConflict) {
 		t.Fatalf("expected conflict, got %v", err)
 	}
 }
@@ -108,24 +141,24 @@ func TestTxnDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	w := cl.Begin()
-	_ = w.Put("t", "r", "f", []byte("v"))
-	if _, err := w.CommitWait(); err != nil {
+	w := begin(t, cl)
+	_ = w.Put(bgctx, "t", "r", "f", []byte("v"))
+	if _, err := w.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	d := cl.Begin()
-	if err := d.Delete("t", "r", "f"); err != nil {
+	d := begin(t, cl)
+	if err := d.Delete(bgctx, "t", "r", "f"); err != nil {
 		t.Fatal(err)
 	}
 	// Own delete visible inside the txn.
-	if _, ok, _ := d.Get("t", "r", "f"); ok {
+	if _, ok, _ := d.Get(bgctx, "t", "r", "f"); ok {
 		t.Fatal("own delete not visible")
 	}
-	if _, err := d.CommitWait(); err != nil {
+	if _, err := d.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	after := cl.Begin()
-	if _, ok, _ := after.Get("t", "r", "f"); ok {
+	after := begin(t, cl)
+	if _, ok, _ := after.Get(bgctx, "t", "r", "f"); ok {
 		t.Fatal("deleted row visible after commit")
 	}
 	after.Abort()
@@ -137,17 +170,17 @@ func TestTxnScanWithOverlay(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	seed := cl.Begin()
+	seed := begin(t, cl)
 	for i := 0; i < 5; i++ {
-		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("base"))
+		_ = seed.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("base"))
 	}
-	if _, err := seed.CommitWait(); err != nil {
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "r2", "f", []byte("mine"))
-	_ = txn.Delete("t", "r3", "f")
-	_ = txn.Put("t", "r9", "f", []byte("extra"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "r2", "f", []byte("mine"))
+	_ = txn.Delete(bgctx, "t", "r3", "f")
+	_ = txn.Put(bgctx, "t", "r9", "f", []byte("extra"))
 	got, err := txn.ScanRange("t", kv.KeyRange{}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -173,14 +206,14 @@ func TestTxnAbortDiscardsWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	_ = txn.Put("t", "r", "f", []byte("v"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "r", "f", []byte("v"))
 	txn.Abort()
-	if _, err := txn.Commit(); !errors.Is(err, ErrTxnFinished) {
+	if _, err := txn.Commit(bgctx); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("commit after abort: %v", err)
 	}
-	check := cl.Begin()
-	if _, ok, _ := check.Get("t", "r", "f"); ok {
+	check := begin(t, cl)
+	if _, ok, _ := check.Get(bgctx, "t", "r", "f"); ok {
 		t.Fatal("aborted write visible")
 	}
 	check.Abort()
@@ -205,9 +238,9 @@ func TestServerCrashNoCommittedWriteLost(t *testing.T) {
 	const n = 30
 	var lastTS kv.Timestamp
 	for i := 0; i < n; i++ {
-		txn := cl.Begin()
-		_ = txn.Put("t", kv.Key(fmt.Sprintf("key%03d", i)), "f", []byte(strconv.Itoa(i)))
-		cts, err := txn.Commit() // async flush
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("key%03d", i)), "f", []byte(strconv.Itoa(i)))
+		cts, err := txn.Commit(bgctx) // async flush
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,8 +262,8 @@ func TestServerCrashNoCommittedWriteLost(t *testing.T) {
 	for i := 0; i < n; i++ {
 		row := kv.Key(fmt.Sprintf("key%03d", i))
 		for {
-			txn := reader.Begin()
-			v, ok, err := txn.Get("t", row, "f")
+			txn := begin(t, reader)
+			v, ok, err := txn.Get(bgctx, "t", row, "f")
 			txn.Abort()
 			if err == nil && ok && string(v) == strconv.Itoa(i) {
 				break
@@ -258,10 +291,10 @@ func TestClientCrashCommittedTxnRecovered(t *testing.T) {
 	// Partition the client so its flush cannot reach any server, commit
 	// (the TM and coord are modelled in-process and reachable), then
 	// crash.
-	txn := cl.Begin()
-	_ = txn.Put("t", "orphan", "f", []byte("must-survive"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "orphan", "f", []byte("must-survive"))
 	c.Network().SetPartition("victim", 9)
-	cts, err := txn.Commit()
+	cts, err := txn.Commit(bgctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,8 +310,8 @@ func TestClientCrashCommittedTxnRecovered(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	reader, _ := c.NewClient("reader")
-	txn2 := reader.Begin()
-	v, ok, err := txn2.Get("t", "orphan", "f")
+	txn2 := begin(t, reader)
+	v, ok, err := txn2.Get(bgctx, "t", "orphan", "f")
 	txn2.Abort()
 	if err != nil || !ok || string(v) != "must-survive" {
 		t.Fatalf("committed txn %d lost with client: %q ok=%v err=%v", cts, v, ok, err)
@@ -294,9 +327,9 @@ func TestRMCrashDoesNotBlockTransactions(t *testing.T) {
 	c.CrashRecoveryManager()
 	// Processing continues while the RM is down (paper §3.3).
 	for i := 0; i < 5; i++ {
-		txn := cl.Begin()
-		_ = txn.Put("t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
-		if _, err := txn.CommitWait(); err != nil {
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
+		if _, err := txn.CommitWait(bgctx); err != nil {
 			t.Fatalf("commit with RM down: %v", err)
 		}
 	}
@@ -314,8 +347,8 @@ func TestRMCrashDoesNotBlockTransactions(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		row := kv.Key(fmt.Sprintf("r%d", i))
 		for {
-			txn := reader.Begin()
-			_, ok, err := txn.Get("t", row, "f")
+			txn := begin(t, reader)
+			_, ok, err := txn.Get(bgctx, "t", row, "f")
 			txn.Abort()
 			if err == nil && ok {
 				break
@@ -339,9 +372,9 @@ func TestDisableRecoveryMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "r", "f", []byte("v"))
-	if _, err := txn.CommitWait(); err != nil {
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "r", "f", []byte("v"))
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 	if cl.TF() != 0 {
@@ -360,9 +393,9 @@ func TestThresholdsReachSteadyState(t *testing.T) {
 	cl, _ := c.NewClient("c1")
 	var last kv.Timestamp
 	for i := 0; i < 10; i++ {
-		txn := cl.Begin()
-		_ = txn.Put("t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
-		cts, err := txn.CommitWait()
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
+		cts, err := txn.CommitWait(bgctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -427,15 +460,15 @@ func TestChaosRandomCrashesNoLostCommits(t *testing.T) {
 			defer cl.Stop()
 			rng := rand.New(rand.NewSource(int64(ci)))
 			for i := 0; i < txnsPerCli; i++ {
-				txn := cl.Begin()
+				txn := begin(t, cl)
 				var rows []committed
 				for r := 0; r < rowsPerTxn; r++ {
 					row := fmt.Sprintf("k%03d", rng.Intn(keySpaceSize))
 					val := fmt.Sprintf("c%d-t%d", ci, i)
-					_ = txn.Put("t", kv.Key(row), "f", []byte(val))
+					_ = txn.Put(bgctx, "t", kv.Key(row), "f", []byte(val))
 					rows = append(rows, committed{row: row, val: val})
 				}
-				if _, err := txn.Commit(); err != nil {
+				if _, err := txn.Commit(bgctx); err != nil {
 					continue // SI conflict: fine, not acknowledged
 				}
 				mu.Lock()
@@ -463,8 +496,8 @@ func TestChaosRandomCrashesNoLostCommits(t *testing.T) {
 	deadline := time.Now().Add(20 * time.Second)
 	for row, vals := range byRow {
 		for {
-			txn := reader.BeginStrict()
-			v, ok, err := txn.Get("t", kv.Key(row), "f")
+			txn := beginStrict(t, reader)
+			v, ok, err := txn.Get(bgctx, "t", kv.Key(row), "f")
 			txn.Abort()
 			if err == nil && ok {
 				match := false
@@ -492,9 +525,9 @@ func TestClientStopWaitsForFlushes(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	_ = txn.Put("t", "r", "f", []byte("v"))
-	cts, err := txn.Commit() // async flush in flight
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "r", "f", []byte("v"))
+	cts, err := txn.Commit(bgctx) // async flush in flight
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,10 +535,14 @@ func TestClientStopWaitsForFlushes(t *testing.T) {
 	if c.TM().Frontier() < cts {
 		t.Fatalf("Stop returned with unflushed commit %d (frontier %d)", cts, c.TM().Frontier())
 	}
-	// Further use fails cleanly.
+	// Further use fails cleanly — at begin time now.
+	if _, err := cl.BeginTxn(TxnOptions{}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("begin on closed client: %v", err)
+	}
+	// The deprecated wrapper defers the failure to the first operation.
 	txn2 := cl.Begin()
-	if _, err := txn2.Commit(); err == nil {
-		t.Fatal("commit on closed client succeeded")
+	if _, err := txn2.Commit(bgctx); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("legacy begin on closed client: commit err = %v", err)
 	}
 }
 
@@ -539,9 +576,9 @@ func TestClusterStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
-	if _, err := txn.CommitWait(); err != nil {
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Stats()

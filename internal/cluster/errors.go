@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"errors"
+
+	"txkv/internal/kv"
+	"txkv/internal/txmgr"
+)
+
+// Sentinel errors of the v2 transaction API.
+var (
+	// ErrReadOnlyTxn reports a mutation attempted through a read-only
+	// transaction (View, BeginAt, or TxnOptions.ReadOnly).
+	ErrReadOnlyTxn = errors.New("cluster: read-only transaction")
+	// ErrSnapshotTooOld reports a BeginAt timestamp below the version-GC
+	// horizon: compaction may already have dropped versions a read at that
+	// snapshot would need.
+	ErrSnapshotTooOld = txmgr.ErrSnapshotTooOld
+	// ErrFutureSnapshot reports a BeginAt timestamp newer than the newest
+	// issued commit timestamp.
+	ErrFutureSnapshot = txmgr.ErrFutureSnapshot
+)
+
+// Error is the structured error of the public transaction API: every
+// operation that fails wraps its cause with the operation name and, when one
+// cell or table is implicated, the coordinate. The cause chain stays intact,
+// so callers match semantics with errors.Is against the sentinels
+// (ErrConflict, ErrTxnFinished, ErrReadOnlyTxn, ...) and extract context
+// with errors.As — never by string-matching messages:
+//
+//	_, err := client.Update(ctx, transfer)
+//	if errors.Is(err, txkv.ErrConflict) { ... } // retry budget exhausted
+//	var txErr *txkv.Error
+//	if errors.As(err, &txErr) {
+//		log.Printf("op=%s table=%s key=%s", txErr.Op, txErr.Table, txErr.Key)
+//	}
+type Error struct {
+	// Op names the failed operation: "begin", "get", "put", "delete",
+	// "scan", "getbatch", "putbatch", "deleterange", "commit", "update".
+	Op string
+	// Table is the table implicated, when the operation targets one.
+	Table string
+	// Key is the row implicated, when the operation targets one (for range
+	// operations, the range start).
+	Key kv.Key
+	// Err is the cause; sentinel errors are reachable through it.
+	Err error
+}
+
+// Error formats "txkv: op table/key: cause".
+func (e *Error) Error() string {
+	s := "txkv: " + e.Op
+	if e.Table != "" {
+		s += " " + e.Table
+		if e.Key != "" {
+			s += "/" + string(e.Key)
+		}
+	}
+	return s + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// opErr wraps err with operation context (nil stays nil). An err that is
+// already a *Error is returned as is: the innermost operation's context
+// wins, so nested helpers don't stack redundant frames.
+func opErr(op, table string, key kv.Key, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	return &Error{Op: op, Table: table, Key: key, Err: err}
+}

@@ -26,9 +26,9 @@ func TestClientDiesWhileRMDownIsReconciled(t *testing.T) {
 	// Partition, commit (durable in the log, cannot flush), crash — all
 	// while the RM is down. The session expires unobserved.
 	c.Network().SetPartition("victim", 4)
-	txn := victim.Begin()
-	_ = txn.Put("t", "orphan", "f", []byte("survive-rm-gap"))
-	if _, err := txn.Commit(); err != nil {
+	txn := begin(t, victim)
+	_ = txn.Put(bgctx, "t", "orphan", "f", []byte("survive-rm-gap"))
+	if _, err := txn.Commit(bgctx); err != nil {
 		t.Fatal(err)
 	}
 	victim.Crash()
@@ -39,8 +39,8 @@ func TestClientDiesWhileRMDownIsReconciled(t *testing.T) {
 	reader, _ := c.NewClient("reader")
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		txn := reader.BeginStrict()
-		v, ok, err := txn.Get("t", "orphan", "f")
+		txn := beginStrict(t, reader)
+		v, ok, err := txn.Get(bgctx, "t", "orphan", "f")
 		txn.Abort()
 		if err == nil && ok && string(v) == "survive-rm-gap" {
 			return
@@ -63,9 +63,9 @@ func TestThresholdsUnblockAfterServerRecovery(t *testing.T) {
 	cl, _ := c.NewClient("c1")
 	commit := func(i int) kv.Timestamp {
 		t.Helper()
-		txn := cl.Begin()
-		_ = txn.Put("t", kv.Key(fmt.Sprintf("key%03d", i)), "f", []byte("v"))
-		cts, err := txn.CommitWait()
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("key%03d", i)), "f", []byte("v"))
+		cts, err := txn.CommitWait(bgctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,17 +114,17 @@ func TestStopWithBlockedFlushActsAsCrash(t *testing.T) {
 	}
 	victim, _ := c.NewClient("victim")
 	c.Network().SetPartition("victim", 2)
-	txn := victim.Begin()
-	_ = txn.Put("t", "k", "f", []byte("v"))
-	if _, err := txn.Commit(); err != nil {
+	txn := begin(t, victim)
+	_ = txn.Put(bgctx, "t", "k", "f", []byte("v"))
+	if _, err := txn.Commit(bgctx); err != nil {
 		t.Fatal(err)
 	}
 	victim.Crash()
 	reader, _ := c.NewClient("reader")
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		txn := reader.BeginStrict()
-		_, ok, err := txn.Get("t", "k", "f")
+		txn := beginStrict(t, reader)
+		_, ok, err := txn.Get(bgctx, "t", "k", "f")
 		txn.Abort()
 		if err == nil && ok {
 			return

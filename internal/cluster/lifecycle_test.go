@@ -173,12 +173,12 @@ func TestJanitorBoundsDataDirUnderContinuousWrites(t *testing.T) {
 
 	write := func(rounds int) {
 		for i := 0; i < rounds; i++ {
-			txn := cl.Begin()
+			txn := begin(t, cl)
 			row := fmt.Sprintf("row-%03d", i%50)
-			if err := txn.Put("t", kv.Key(row), "f", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			if err := txn.Put(bgctx, "t", kv.Key(row), "f", []byte(fmt.Sprintf("v%d", i))); err != nil {
 				t.Fatalf("put: %v", err)
 			}
-			if _, err := txn.Commit(); err != nil {
+			if _, err := txn.Commit(bgctx); err != nil {
 				t.Fatalf("commit: %v", err)
 			}
 		}
@@ -238,8 +238,8 @@ func TestJanitorBoundsDataDirUnderContinuousWrites(t *testing.T) {
 	}
 
 	// Acknowledged data remains correct after all that churn.
-	txn := cl.BeginStrict()
-	v, ok, err := txn.Get("t", kv.Key("row-000"), "f")
+	txn := beginStrict(t, cl)
+	v, ok, err := txn.Get(bgctx, "t", kv.Key("row-000"), "f")
 	txn.Abort()
 	if err != nil || !ok {
 		t.Fatalf("post-soak read: ok=%v err=%v", ok, err)

@@ -29,11 +29,11 @@ func commitValues(t *testing.T, c *Cluster, clientID, table string, n, gen int) 
 	for i := 0; i < n; i++ {
 		row := fmt.Sprintf("row-%03d", i)
 		val := fmt.Sprintf("g%d-v%d", gen, i)
-		txn := cl.Begin()
-		if err := txn.Put(table, kv.Key(row), "f", []byte(val)); err != nil {
+		txn := begin(t, cl)
+		if err := txn.Put(bgctx, table, kv.Key(row), "f", []byte(val)); err != nil {
 			t.Fatalf("put %s: %v", row, err)
 		}
-		if _, err := txn.Commit(); err != nil {
+		if _, err := txn.Commit(bgctx); err != nil {
 			t.Fatalf("commit %s: %v", row, err)
 		}
 		want[row] = val
@@ -54,8 +54,8 @@ func auditValues(t *testing.T, c *Cluster, clientID, table string, want map[stri
 	}
 	sort.Strings(rows)
 	for _, row := range rows {
-		txn := cl.Begin()
-		v, ok, err := txn.Get(table, kv.Key(row), "f")
+		txn := begin(t, cl)
+		v, ok, err := txn.Get(bgctx, table, kv.Key(row), "f")
 		txn.Abort()
 		if err != nil {
 			t.Fatalf("get %s: %v", row, err)
@@ -296,11 +296,11 @@ func TestReopenThenCrashesRecover(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		row := fmt.Sprintf("row-%03d", i)
 		val := fmt.Sprintf("g2-v%d", i)
-		txn := cl.Begin()
-		if err := txn.Put("t", kv.Key(row), "f", []byte(val)); err != nil {
+		txn := begin(t, cl)
+		if err := txn.Put(bgctx, "t", kv.Key(row), "f", []byte(val)); err != nil {
 			t.Fatalf("put: %v", err)
 		}
-		cts, err := txn.Commit()
+		cts, err := txn.Commit(bgctx)
 		if err != nil {
 			t.Fatalf("commit: %v", err)
 		}
@@ -383,11 +383,11 @@ func TestReopenSeedsOracleMonotonically(t *testing.T) {
 		t.Fatalf("client: %v", err)
 	}
 	defer cl.Stop()
-	txn := cl.Begin()
-	if err := txn.Put("t", "fresh", "f", []byte("x")); err != nil {
+	txn := begin(t, cl)
+	if err := txn.Put(bgctx, "t", "fresh", "f", []byte("x")); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	cts, err := txn.Commit()
+	cts, err := txn.Commit(bgctx)
 	if err != nil {
 		t.Fatalf("commit: %v", err)
 	}
@@ -397,8 +397,8 @@ func TestReopenSeedsOracleMonotonically(t *testing.T) {
 	// Give background flushes a beat, then confirm visibility.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		txn := cl.Begin()
-		v, ok, err := txn.Get("t", "fresh", "f")
+		txn := begin(t, cl)
+		v, ok, err := txn.Get(bgctx, "t", "fresh", "f")
 		txn.Abort()
 		if err == nil && ok && string(v) == "x" {
 			break

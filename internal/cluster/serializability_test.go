@@ -56,14 +56,14 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 			defer cl.Stop()
 			rng := rand.New(rand.NewSource(int64(ci) * 17))
 			for i := 0; i < txnsEach; i++ {
-				txn := cl.Begin()
+				txn := begin(t, cl)
 				writes := make(map[string]string, maxPerTxn)
 				n := rng.Intn(maxPerTxn) + 1
 				ok := true
 				for j := 0; j < n; j++ {
 					key := fmt.Sprintf(valueOfKey, rng.Intn(keySpace))
 					// Read-modify-write: value = old + suffix.
-					old, _, err := txn.Get("t", kv.Key(key), "f")
+					old, _, err := txn.Get(bgctx, "t", kv.Key(key), "f")
 					if err != nil {
 						ok = false
 						break
@@ -72,7 +72,7 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 					if len(next) > 120 {
 						next = next[len(next)-120:]
 					}
-					if err := txn.Put("t", kv.Key(key), "f", []byte(next)); err != nil {
+					if err := txn.Put(bgctx, "t", kv.Key(key), "f", []byte(next)); err != nil {
 						ok = false
 						break
 					}
@@ -82,7 +82,7 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 					txn.Abort()
 					continue
 				}
-				cts, err := txn.Commit()
+				cts, err := txn.Commit(bgctx)
 				if err != nil {
 					if !errors.Is(err, txmgr.ErrConflict) {
 						t.Errorf("commit: %v", err)
@@ -121,8 +121,8 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 	deadline := time.Now().Add(15 * time.Second)
 	for k, want := range model {
 		for {
-			txn := reader.Begin()
-			got, ok, err := txn.Get("t", kv.Key(k), "f")
+			txn := begin(t, reader)
+			got, ok, err := txn.Get(bgctx, "t", kv.Key(k), "f")
 			txn.Abort()
 			if err == nil && ok && string(got) == want {
 				break
@@ -134,7 +134,7 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 		}
 	}
 	// And no phantom keys.
-	txn := reader.Begin()
+	txn := begin(t, reader)
 	all, err := txn.ScanRange("t", kv.KeyRange{}, 0)
 	txn.Abort()
 	if err != nil {
@@ -155,25 +155,25 @@ func TestBeginLatestMayMissUnflushedCommit(t *testing.T) {
 	cl, _ := c.NewClient("c1")
 	// Block flushing via a partition, then commit.
 	c.Network().SetPartition("c1", 5)
-	txn := cl.Begin()
-	_ = txn.Put("t", "x", "f", []byte("v"))
-	cts, err := txn.Commit()
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "x", "f", []byte("v"))
+	cts, err := txn.Commit(bgctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A BeginLatest reader (different, un-partitioned client) holds a
 	// snapshot covering cts but cannot see the unflushed write.
 	reader, _ := c.NewClient("r1")
-	lt := reader.BeginLatest()
+	lt := beginLatest(t, reader)
 	if lt.StartTS() < cts {
 		t.Fatalf("BeginLatest snapshot %d < commit %d", lt.StartTS(), cts)
 	}
-	if _, ok, err := lt.Get("t", "x", "f"); err != nil || ok {
+	if _, ok, err := lt.Get(bgctx, "t", "x", "f"); err != nil || ok {
 		t.Fatalf("BeginLatest read: ok=%v err=%v (expected miss of unflushed commit)", ok, err)
 	}
 	lt.Abort()
 	// A BeginStrict reader snapshots below the unflushed commit.
-	st := reader.BeginStrict()
+	st := beginStrict(t, reader)
 	if st.StartTS() >= cts {
 		t.Fatalf("BeginStrict snapshot %d >= unflushed commit %d", st.StartTS(), cts)
 	}
@@ -183,8 +183,8 @@ func TestBeginLatestMayMissUnflushedCommit(t *testing.T) {
 	if err := c.WaitFlushed(cts, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	fresh := reader.Begin()
-	if v, ok, err := fresh.Get("t", "x", "f"); err != nil || !ok || string(v) != "v" {
+	fresh := begin(t, reader)
+	if v, ok, err := fresh.Get(bgctx, "t", "x", "f"); err != nil || !ok || string(v) != "v" {
 		t.Fatalf("post-heal read: %q %v %v", v, ok, err)
 	}
 	fresh.Abort()
@@ -200,9 +200,9 @@ func TestClusterRebalanceAfterAddServer(t *testing.T) {
 	}
 	cl, _ := c.NewClient("c1")
 	for i := 0; i < 40; i++ {
-		txn := cl.Begin()
-		_ = txn.Put("t", kv.Key(fmt.Sprintf("%c%02d", 'a'+(i%26), i)), "f", []byte("v"))
-		if _, err := txn.CommitWait(); err != nil {
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("%c%02d", 'a'+(i%26), i)), "f", []byte("v"))
+		if _, err := txn.CommitWait(bgctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -219,16 +219,16 @@ func TestClusterRebalanceAfterAddServer(t *testing.T) {
 	// All data still there; writes still work.
 	for i := 0; i < 40; i++ {
 		row := kv.Key(fmt.Sprintf("%c%02d", 'a'+(i%26), i))
-		txn := cl.Begin()
-		_, ok, err := txn.Get("t", row, "f")
+		txn := begin(t, cl)
+		_, ok, err := txn.Get(bgctx, "t", row, "f")
 		txn.Abort()
 		if err != nil || !ok {
 			t.Fatalf("row %s lost in rebalance: %v %v", row, ok, err)
 		}
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "zz", "f", []byte("post"))
-	if _, err := txn.CommitWait(); err != nil {
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "zz", "f", []byte("post"))
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 }

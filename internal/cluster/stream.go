@@ -34,7 +34,7 @@ type BatchValue struct {
 // transaction's own buffered writes (puts shadow, tombstones elide), in
 // (row asc, column asc) order.
 //
-//	sc := txn.Scan("t", rng, txkv.ScanOptions{})
+//	sc := txn.Scan(ctx, "t", rng, txkv.ScanOptions{})
 //	for sc.Next() {
 //		use(sc.KV())
 //	}
@@ -44,10 +44,12 @@ type BatchValue struct {
 // further fetches and is optional after a fully consumed or failed scan.
 type Scanner struct {
 	base   *kvstore.Scanner
+	table  string             // error context
 	cancel context.CancelFunc // releases the merged-context resources
 
-	own    []kv.Update // txn writes in range, (row, col)-sorted
-	ownPos int
+	own      []kv.Update // txn writes in range, (row, col)-sorted
+	ownPos   int
+	keysOnly bool // strip own-write values like the server strips stored ones
 
 	baseCur  kv.KeyValue
 	baseHave bool
@@ -60,26 +62,22 @@ type Scanner struct {
 	err     error
 }
 
-// errScanner returns a Scanner that fails immediately with err.
-func errScanner(err error) *Scanner {
-	return &Scanner{err: err, done: true}
+// errScanner returns a Scanner that fails immediately with err (wrapped
+// with scan context).
+func errScanner(table string, err error) *Scanner {
+	return &Scanner{err: opErr("scan", table, "", err), done: true}
 }
 
 // Scan starts a streaming scan of rng at the transaction's snapshot. See
-// Scanner. Errors (including use of a finished transaction) surface through
-// Scanner.Err at the first pull.
-func (t *Txn) Scan(table string, rng kv.KeyRange, opts ScanOptions) *Scanner {
-	return t.ScanCtx(context.Background(), table, rng, opts)
-}
-
-// ScanCtx is Scan with a caller context: cancelling it aborts in-flight
-// batch requests (including the region server's merge loop) and stops the
-// scan at the next pull with ctx's error.
-func (t *Txn) ScanCtx(ctx context.Context, table string, rng kv.KeyRange, opts ScanOptions) *Scanner {
+// Scanner. ctx bounds the whole scan: cancelling it aborts in-flight batch
+// requests (including the region server's merge loop) and stops the scan at
+// the next pull with ctx's error. Errors (including use of a finished
+// transaction) surface through Scanner.Err at the first pull.
+func (t *Txn) Scan(ctx context.Context, table string, rng kv.KeyRange, opts ScanOptions) *Scanner {
 	t.mu.Lock()
-	if t.finished {
+	if err := t.usableLocked(); err != nil {
 		t.mu.Unlock()
-		return errScanner(ErrTxnFinished)
+		return errScanner(table, err)
 	}
 	// Snapshot the transaction's own writes that fall inside the scan.
 	var project map[string]struct{}
@@ -122,11 +120,20 @@ func (t *Txn) ScanCtx(ctx context.Context, table string, rng kv.KeyRange, opts S
 	}
 	mctx, release := t.client.opCtx(ctx)
 	return &Scanner{
-		base:   t.client.kv.NewScanner(mctx, table, rng, t.h.StartTS, baseOpts),
-		cancel: release,
-		own:    own,
-		limit:  opts.Limit,
+		base:     t.client.kv.NewScanner(mctx, table, rng, t.h.StartTS, baseOpts),
+		table:    table,
+		cancel:   release,
+		own:      own,
+		keysOnly: opts.KeysOnly,
+		limit:    opts.Limit,
 	}
+}
+
+// ScanCtx starts a streaming scan bounded by a caller context.
+//
+// Deprecated: Scan is context-first; ScanCtx is a thin wrapper over it.
+func (t *Txn) ScanCtx(ctx context.Context, table string, rng kv.KeyRange, opts ScanOptions) *Scanner {
+	return t.Scan(ctx, table, rng, opts)
 }
 
 // Next advances to the next entry; false means exhausted, failed, or
@@ -142,7 +149,7 @@ func (s *Scanner) Next() bool {
 			} else {
 				s.baseDone = true
 				if err := s.base.Err(); err != nil {
-					s.err = err
+					s.err = opErr("scan", s.table, "", err)
 					s.Close()
 					return false
 				}
@@ -163,7 +170,11 @@ func (s *Scanner) Next() bool {
 			if u.Tombstone {
 				continue // coordinate deleted by this transaction
 			}
-			return s.emit(u.ToKeyValue(kv.MaxTimestamp))
+			e := u.ToKeyValue(kv.MaxTimestamp)
+			if s.keysOnly {
+				e.Value = nil // match the server's value-stripped entries
+			}
+			return s.emit(e)
 		default:
 			e := s.baseCur
 			s.baseHave = false
@@ -240,7 +251,7 @@ func (s *Scanner) All() iter.Seq2[kv.KeyValue, error] {
 // on the client. Use Scan, which streams bounded batches; ScanRange remains
 // as a thin wrapper for callers that genuinely want a small slice.
 func (t *Txn) ScanRange(table string, rng kv.KeyRange, limit int) ([]kv.KeyValue, error) {
-	sc := t.Scan(table, rng, ScanOptions{Limit: limit})
+	sc := t.Scan(context.Background(), table, rng, ScanOptions{Limit: limit})
 	defer sc.Close()
 	var out []kv.KeyValue
 	for sc.Next() {
@@ -251,17 +262,12 @@ func (t *Txn) ScanRange(table string, rng kv.KeyRange, limit int) ([]kv.KeyValue
 
 // GetBatch reads N cells in one round trip per involved region server,
 // merged with the transaction's write buffer (buffered puts and tombstones
-// win). Results parallel keys.
-func (t *Txn) GetBatch(table string, keys []kv.CellKey) ([]BatchValue, error) {
-	return t.GetBatchCtx(context.Background(), table, keys)
-}
-
-// GetBatchCtx is GetBatch bounded by a caller context.
-func (t *Txn) GetBatchCtx(ctx context.Context, table string, keys []kv.CellKey) ([]BatchValue, error) {
+// win). Results parallel keys. ctx bounds the batched reads.
+func (t *Txn) GetBatch(ctx context.Context, table string, keys []kv.CellKey) ([]BatchValue, error) {
 	t.mu.Lock()
-	if t.finished {
+	if err := t.usableLocked(); err != nil {
 		t.mu.Unlock()
-		return nil, ErrTxnFinished
+		return nil, opErr("getbatch", table, "", err)
 	}
 	out := make([]BatchValue, len(keys))
 	var (
@@ -286,7 +292,7 @@ func (t *Txn) GetBatchCtx(ctx context.Context, table string, keys []kv.CellKey) 
 		defer release()
 		kvs, found, err := t.client.kv.GetBatch(mctx, table, missKeys, t.h.StartTS)
 		if err != nil {
-			return nil, err
+			return nil, opErr("getbatch", table, "", err)
 		}
 		for j, i := range missIdx {
 			if found[j] {
@@ -295,4 +301,12 @@ func (t *Txn) GetBatchCtx(ctx context.Context, table string, keys []kv.CellKey) 
 		}
 	}
 	return out, nil
+}
+
+// GetBatchCtx is GetBatch bounded by a caller context.
+//
+// Deprecated: GetBatch is context-first; GetBatchCtx is a thin wrapper over
+// it.
+func (t *Txn) GetBatchCtx(ctx context.Context, table string, keys []kv.CellKey) ([]BatchValue, error) {
+	return t.GetBatch(ctx, table, keys)
 }

@@ -26,21 +26,21 @@ func TestScannerOwnWritesOverlay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed := cl.Begin()
+	seed := begin(t, cl)
 	for i := 0; i < 10; i++ {
-		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%02d", i)), "f", []byte("base"))
+		_ = seed.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%02d", i)), "f", []byte("base"))
 	}
-	if _, err := seed.CommitWait(); err != nil {
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 
-	txn := cl.Begin()
-	_ = txn.Put("t", "r03", "f", []byte("mine"))  // shadows base
-	_ = txn.Delete("t", "r05", "f")               // elides base
-	_ = txn.Put("t", "r99", "f", []byte("fresh")) // new row past the base
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "r03", "f", []byte("mine"))  // shadows base
+	_ = txn.Delete(bgctx, "t", "r05", "f")               // elides base
+	_ = txn.Put(bgctx, "t", "r99", "f", []byte("fresh")) // new row past the base
 	defer txn.Abort()
 
-	sc := txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 3})
+	sc := txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Batch: 3})
 	got := map[string]string{}
 	order := []string{}
 	for sc.Next() {
@@ -68,7 +68,7 @@ func TestScannerOwnWritesOverlay(t *testing.T) {
 
 	// Limit counts post-overlay entries even when tombstones consume base
 	// coordinates.
-	sc = txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 2, Limit: 7})
+	sc = txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Batch: 2, Limit: 7})
 	n := 0
 	for sc.Next() {
 		n++
@@ -78,7 +78,7 @@ func TestScannerOwnWritesOverlay(t *testing.T) {
 	}
 
 	// Projection applies to own writes too.
-	sc = txn.Scan("t", kv.KeyRange{}, ScanOptions{Columns: []string{"nope"}})
+	sc = txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Columns: []string{"nope"}})
 	for sc.Next() {
 		t.Fatalf("projection leaked %v", sc.KV())
 	}
@@ -98,17 +98,17 @@ func TestScannerIterAdapter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed := cl.Begin()
+	seed := begin(t, cl)
 	for i := 0; i < 5; i++ {
-		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
+		_ = seed.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%d", i)), "f", []byte("v"))
 	}
-	if _, err := seed.CommitWait(); err != nil {
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
+	txn := begin(t, cl)
 	defer txn.Abort()
 	n := 0
-	for e, err := range txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 2}).All() {
+	for e, err := range txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Batch: 2}).All() {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,10 +121,10 @@ func TestScannerIterAdapter(t *testing.T) {
 		t.Fatalf("iterated %d entries, want 5", n)
 	}
 	// A finished transaction's scan yields exactly one error.
-	txn2 := cl.Begin()
+	txn2 := begin(t, cl)
 	txn2.Abort()
 	var errs int
-	for _, err := range txn2.Scan("t", kv.KeyRange{}, ScanOptions{}).All() {
+	for _, err := range txn2.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{}).All() {
 		if !errors.Is(err, ErrTxnFinished) {
 			t.Fatalf("want ErrTxnFinished, got %v", err)
 		}
@@ -146,17 +146,17 @@ func TestScanCtxCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed := cl.Begin()
+	seed := begin(t, cl)
 	for i := 0; i < 50; i++ {
-		_ = seed.Put("t", kv.Key(fmt.Sprintf("r%03d", i)), "f", []byte("v"))
+		_ = seed.Put(bgctx, "t", kv.Key(fmt.Sprintf("r%03d", i)), "f", []byte("v"))
 	}
-	if _, err := seed.CommitWait(); err != nil {
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
+	txn := begin(t, cl)
 	defer txn.Abort()
 	ctx, cancel := context.WithCancel(context.Background())
-	sc := txn.ScanCtx(ctx, "t", kv.KeyRange{}, ScanOptions{Batch: 4})
+	sc := txn.Scan(ctx, "t", kv.KeyRange{}, ScanOptions{Batch: 4})
 	if !sc.Next() {
 		t.Fatalf("first pull failed: %v", sc.Err())
 	}
@@ -167,7 +167,7 @@ func TestScanCtxCancellation(t *testing.T) {
 		t.Fatalf("cancelled scan err = %v", sc.Err())
 	}
 	// The transaction stays usable.
-	if _, ok, err := txn.Get("t", "r001", "f"); err != nil || !ok {
+	if _, ok, err := txn.Get(bgctx, "t", "r001", "f"); err != nil || !ok {
 		t.Fatalf("txn unusable after cancelled scan: %v %v", ok, err)
 	}
 }
@@ -183,19 +183,19 @@ func TestTxnGetBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed := cl.Begin()
-	_ = seed.Put("t", "a", "f", []byte("va"))
-	_ = seed.Put("t", "n", "f", []byte("vn"))
-	_ = seed.Put("t", "z", "f", []byte("vz"))
-	if _, err := seed.CommitWait(); err != nil {
+	seed := begin(t, cl)
+	_ = seed.Put(bgctx, "t", "a", "f", []byte("va"))
+	_ = seed.Put(bgctx, "t", "n", "f", []byte("vn"))
+	_ = seed.Put(bgctx, "t", "z", "f", []byte("vz"))
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 
-	txn := cl.Begin()
+	txn := begin(t, cl)
 	defer txn.Abort()
-	_ = txn.Put("t", "n", "f", []byte("mine"))
-	_ = txn.Delete("t", "z", "f")
-	got, err := txn.GetBatch("t", []kv.CellKey{
+	_ = txn.Put(bgctx, "t", "n", "f", []byte("mine"))
+	_ = txn.Delete(bgctx, "t", "z", "f")
+	got, err := txn.GetBatch(bgctx, "t", []kv.CellKey{
 		{Row: "a", Column: "f"},
 		{Row: "n", Column: "f"},
 		{Row: "z", Column: "f"},
@@ -229,20 +229,20 @@ func TestCommitCtxPreCancelled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := txn.CommitCtx(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := txn.Commit(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled commit: %v", err)
 	}
-	if _, err := txn.Commit(); !errors.Is(err, ErrTxnFinished) {
+	if _, err := txn.Commit(bgctx); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("txn not finished after aborted commit: %v", err)
 	}
 	// The write must not be visible.
-	r := cl.Begin()
+	r := begin(t, cl)
 	defer r.Abort()
-	if _, ok, _ := r.Get("t", "a", "f"); ok {
+	if _, ok, _ := r.Get(bgctx, "t", "a", "f"); ok {
 		t.Fatal("aborted commit became visible")
 	}
 }
@@ -262,11 +262,11 @@ func TestCommitCtxIndeterminate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	cts, err := txn.CommitCtx(ctx)
+	cts, err := txn.Commit(ctx)
 	if !errors.Is(err, ErrCommitIndeterminate) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want indeterminate deadline error, got %v", err)
 	}
@@ -277,9 +277,9 @@ func TestCommitCtxIndeterminate(t *testing.T) {
 	if err := c.WaitFlushed(cts, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	r := cl.Begin()
+	r := begin(t, cl)
 	defer r.Abort()
-	if v, ok, err := r.Get("t", "a", "f"); err != nil || !ok || string(v) != "v" {
+	if v, ok, err := r.Get(bgctx, "t", "a", "f"); err != nil || !ok || string(v) != "v" {
 		t.Fatalf("background-completed commit unreadable: %q %v %v", v, ok, err)
 	}
 }
@@ -299,11 +299,11 @@ func TestCommitCtxIndeterminateThenStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	cts, err := txn.CommitCtx(ctx)
+	cts, err := txn.Commit(ctx)
 	if !errors.Is(err, ErrCommitIndeterminate) {
 		t.Fatalf("want indeterminate, got %v", err)
 	}
@@ -315,9 +315,9 @@ func TestCommitCtxIndeterminateThenStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := cl2.Begin()
+	r := begin(t, cl2)
 	defer r.Abort()
-	if v, ok, err := r.Get("t", "a", "f"); err != nil || !ok || string(v) != "v" {
+	if v, ok, err := r.Get(bgctx, "t", "a", "f"); err != nil || !ok || string(v) != "v" {
 		t.Fatalf("write-set stranded after clean Stop: %q %v %v", v, ok, err)
 	}
 }
@@ -345,11 +345,11 @@ func TestScannerContinuationUnderChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rows = 120
-	seed := cl.Begin()
+	seed := begin(t, cl)
 	for i := 0; i < rows; i++ {
-		_ = seed.Put("t", rowKey(i), "f", []byte("v0"))
+		_ = seed.Put(bgctx, "t", rowKey(i), "f", []byte("v0"))
 	}
-	if _, err := seed.CommitWait(); err != nil {
+	if _, err := seed.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -369,11 +369,11 @@ func TestScannerContinuationUnderChurn(t *testing.T) {
 				return
 			default:
 			}
-			txn := cl.BeginLatest()
+			txn := beginLatest(t, cl)
 			for j := 0; j < 5; j++ {
-				_ = txn.Put("t", rowKey(rng.Intn(rows)), "f", []byte(fmt.Sprintf("v%d", v)))
+				_ = txn.Put(bgctx, "t", rowKey(rng.Intn(rows)), "f", []byte(fmt.Sprintf("v%d", v)))
 			}
-			_, _ = txn.Commit()
+			_, _ = txn.Commit(bgctx)
 			v++
 		}
 	}()
@@ -442,9 +442,9 @@ func TestScannerContinuationUnderChurn(t *testing.T) {
 	iters, skips := 0, 0
 	for time.Now().Before(deadline) && iters < 500 {
 		iters++
-		txn := cl.BeginStrict()
+		txn := beginStrict(t, cl)
 		// Reference: one unbounded batch per region, same snapshot.
-		want, err := txn.ScanRange("t", kv.KeyRange{}, 0)
+		want, err := collectScan(txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Batch: -1}))
 		if err != nil {
 			txn.Abort()
 			if transient(err) {
@@ -454,7 +454,7 @@ func TestScannerContinuationUnderChurn(t *testing.T) {
 			t.Fatalf("iter %d reference scan: %v", iters, err)
 		}
 		// Paged: batch 3, re-resolving continuation every batch.
-		sc := txn.Scan("t", kv.KeyRange{}, ScanOptions{Batch: 3})
+		sc := txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{Batch: 3})
 		var got []kv.KeyValue
 		for sc.Next() {
 			got = append(got, sc.KV())
@@ -485,3 +485,13 @@ func TestScannerContinuationUnderChurn(t *testing.T) {
 }
 
 func rowKey(i int) kv.Key { return kv.Key(fmt.Sprintf("r%04d", i)) }
+
+// collectScan drains a scanner into one slice (test reference scans).
+func collectScan(sc *Scanner) ([]kv.KeyValue, error) {
+	defer sc.Close()
+	var out []kv.KeyValue
+	for sc.Next() {
+		out = append(out, sc.KV())
+	}
+	return out, sc.Err()
+}

@@ -15,18 +15,18 @@ func TestTxnUseAfterFinish(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
-	if _, err := txn.CommitWait(); err != nil {
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := txn.Commit(); !errors.Is(err, ErrTxnFinished) {
+	if _, err := txn.Commit(bgctx); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("double commit: %v", err)
 	}
-	if _, _, err := txn.Get("t", "a", "f"); !errors.Is(err, ErrTxnFinished) {
+	if _, _, err := txn.Get(bgctx, "t", "a", "f"); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("get after commit: %v", err)
 	}
-	if err := txn.Put("t", "a", "f", nil); !errors.Is(err, ErrTxnFinished) {
+	if err := txn.Put(bgctx, "t", "a", "f", nil); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("put after commit: %v", err)
 	}
 	if _, err := txn.ScanRange("t", kv.KeyRange{}, 0); !errors.Is(err, ErrTxnFinished) {
@@ -41,18 +41,18 @@ func TestTxnOverwriteWithinTxn(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("first"))
-	_ = txn.Put("t", "a", "f", []byte("second"))
-	if v, _, _ := txn.Get("t", "a", "f"); string(v) != "second" {
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("first"))
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("second"))
+	if v, _, _ := txn.Get(bgctx, "t", "a", "f"); string(v) != "second" {
 		t.Fatalf("own overwrite read %q", v)
 	}
-	if _, err := txn.CommitWait(); err != nil {
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	check := cl.Begin()
+	check := begin(t, cl)
 	defer check.Abort()
-	if v, _, _ := check.Get("t", "a", "f"); string(v) != "second" {
+	if v, _, _ := check.Get(bgctx, "t", "a", "f"); string(v) != "second" {
 		t.Fatalf("committed %q", v)
 	}
 	// Only ONE update per coordinate was committed (in-txn overwrite).
@@ -75,11 +75,11 @@ func TestReadOnlyTxnCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
-	if _, _, err := txn.Get("t", "missing", "f"); err != nil {
+	txn := begin(t, cl)
+	if _, _, err := txn.Get(bgctx, "t", "missing", "f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := txn.CommitWait(); err != nil {
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatalf("read-only commit: %v", err)
 	}
 	if s := c.Log().Stats(); s.TotalAppends != 0 {
@@ -93,16 +93,16 @@ func TestTxnPutCopiesValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
+	txn := begin(t, cl)
 	buf := []byte("original")
-	_ = txn.Put("t", "a", "f", buf)
+	_ = txn.Put(bgctx, "t", "a", "f", buf)
 	buf[0] = 'X' // caller mutates after Put
-	if _, err := txn.CommitWait(); err != nil {
+	if _, err := txn.CommitWait(bgctx); err != nil {
 		t.Fatal(err)
 	}
-	check := cl.Begin()
+	check := begin(t, cl)
 	defer check.Abort()
-	if v, _, _ := check.Get("t", "a", "f"); string(v) != "original" {
+	if v, _, _ := check.Get(bgctx, "t", "a", "f"); string(v) != "original" {
 		t.Fatalf("value aliased caller buffer: %q", v)
 	}
 }
@@ -116,12 +116,12 @@ func TestMultiParticipantCommitSurvivesOneParticipantCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, _ := c.NewClient("c1")
-	txn := cl.Begin()
+	txn := begin(t, cl)
 	rows := []string{"alpha", "kilo", "tango"} // one per region
 	for _, r := range rows {
-		_ = txn.Put("t", kv.Key(r), "f", []byte("multi-"+r))
+		_ = txn.Put(bgctx, "t", kv.Key(r), "f", []byte("multi-"+r))
 	}
-	cts, err := txn.CommitWait()
+	cts, err := txn.CommitWait(bgctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +136,8 @@ func TestMultiParticipantCommitSurvivesOneParticipantCrash(t *testing.T) {
 	deadline := time.Now().Add(15 * time.Second)
 	for _, r := range rows {
 		for {
-			rtxn := reader.BeginStrict()
-			v, ok, err := rtxn.Get("t", kv.Key(r), "f")
+			rtxn := beginStrict(t, reader)
+			v, ok, err := rtxn.Get(bgctx, "t", kv.Key(r), "f")
 			rtxn.Abort()
 			if err == nil && ok && string(v) == "multi-"+r {
 				break
@@ -168,9 +168,9 @@ func TestConcurrentClientsManyTables(t *testing.T) {
 			defer cl.Stop()
 			table := fmt.Sprintf("tbl%d", i)
 			for j := 0; j < 20; j++ {
-				txn := cl.Begin()
-				_ = txn.Put(table, kv.Key(fmt.Sprintf("r%02d", j)), "f", []byte("v"))
-				if _, err := txn.Commit(); err != nil {
+				txn := begin(t, cl)
+				_ = txn.Put(bgctx, table, kv.Key(fmt.Sprintf("r%02d", j)), "f", []byte("v"))
+				if _, err := txn.Commit(bgctx); err != nil {
 					done <- err
 					return
 				}
@@ -193,9 +193,9 @@ func TestWaitFlushedTimeout(t *testing.T) {
 	cl, _ := c.NewClient("c1")
 	// Block the flush; WaitFlushed must time out rather than hang.
 	c.Network().SetPartition("c1", 3)
-	txn := cl.Begin()
-	_ = txn.Put("t", "a", "f", []byte("v"))
-	cts, err := txn.Commit()
+	txn := begin(t, cl)
+	_ = txn.Put(bgctx, "t", "a", "f", []byte("v"))
+	cts, err := txn.Commit(bgctx)
 	if err != nil {
 		t.Fatal(err)
 	}

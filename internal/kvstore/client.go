@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/metrics"
 	"txkv/internal/netsim"
 )
 
@@ -40,19 +42,70 @@ type location struct {
 	srv  *RegionServer
 }
 
-// Client is the HBase-like embedded client: it caches region locations,
-// routes gets/scans/write-set flushes to region servers through the
-// simulated network, and retries after re-locating when regions move. The
-// transactional layer (txkv) drives it; the paper's client-side tracking
-// (Algorithm 1) observes it from internal/core via the transactional
-// client's post-flush notifications.
+// tableLayout is a client-side snapshot of one table's region map: the
+// located regions sorted by start key. Lookups binary-search the ranges, so
+// a scan crossing region boundaries resolves every transition locally; only
+// a genuine gap (region moved, recovering, or never fetched) falls through
+// to the master.
+type tableLayout struct {
+	locs []location // sorted by info.Range.Start
+}
+
+// find returns the cached location containing row.
+func (l *tableLayout) find(row kv.Key) (location, bool) {
+	i := sort.Search(len(l.locs), func(i int) bool {
+		end := l.locs[i].info.Range.End
+		return end == "" || row < end
+	})
+	if i < len(l.locs) && l.locs[i].info.Range.Contains(row) {
+		return l.locs[i], true
+	}
+	return location{}, false
+}
+
+// drop removes one region from the layout, keeping the rest of the map —
+// the range-aware half of invalidation: a single moved region does not cost
+// the whole table's cached layout.
+func (l *tableLayout) drop(regionID string) {
+	for i, loc := range l.locs {
+		if loc.info.ID == regionID {
+			l.locs = append(l.locs[:i], l.locs[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClientStats counts a routing client's location work: how often a region
+// lookup was answered from the cached layout versus by asking the master.
+// Scan-heavy workloads over a cached layout keep MasterLookups near one per
+// table regardless of how many region transitions the scans cross.
+type ClientStats struct {
+	// MasterLookups is the number of layout fetches sent to the master.
+	MasterLookups int64
+	// LayoutHits is the number of locate calls answered from the cache.
+	LayoutHits int64
+	// LayoutMisses is the number of locate calls that had to refresh.
+	LayoutMisses int64
+}
+
+// Client is the HBase-like embedded client: it caches each table's region
+// layout (a range map refreshed whole on a miss, invalidated per region on
+// ErrRegionNotServing-style failures), routes gets/scans/write-set flushes
+// to region servers through the simulated network, and retries after
+// re-locating when regions move. The transactional layer (txkv) drives it;
+// the paper's client-side tracking (Algorithm 1) observes it from
+// internal/core via the transactional client's post-flush notifications.
 type Client struct {
 	cfg    ClientConfig
 	net    *netsim.Network
 	master *Master
 
 	mu    sync.Mutex
-	cache map[string][]location // table -> located regions
+	cache map[string]*tableLayout // table -> cached region map
+
+	masterLookups metrics.Counter
+	layoutHits    metrics.Counter
+	layoutMisses  metrics.Counter
 }
 
 // NewClient creates a routing client.
@@ -61,56 +114,77 @@ func NewClient(cfg ClientConfig, net *netsim.Network, master *Master) *Client {
 		cfg:    cfg.withDefaults(),
 		net:    net,
 		master: master,
-		cache:  make(map[string][]location),
+		cache:  make(map[string]*tableLayout),
 	}
 }
 
 // ID returns the client's node name.
 func (c *Client) ID() string { return c.cfg.ID }
 
-// locate resolves (table, row), consulting the local cache first.
+// Stats returns the client's location counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		MasterLookups: c.masterLookups.Load(),
+		LayoutHits:    c.layoutHits.Load(),
+		LayoutMisses:  c.layoutMisses.Load(),
+	}
+}
+
+// locate resolves (table, row) against the cached layout; a miss refreshes
+// the whole table's region map from the master in one call.
 func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location, error) {
 	c.mu.Lock()
-	for _, loc := range c.cache[table] {
-		if loc.info.Range.Contains(row) {
+	if lay := c.cache[table]; lay != nil {
+		if loc, ok := lay.find(row); ok {
 			c.mu.Unlock()
+			c.layoutHits.Add(1)
 			return loc, nil
 		}
 	}
 	c.mu.Unlock()
+	c.layoutMisses.Add(1)
 
-	var loc location
+	// One master round trip fetches the table's whole serving layout — a
+	// scan's next thousand region transitions are then local.
+	var located []RegionLocation
 	err := c.net.Call(ctx, c.cfg.ID, MasterNode, func() error {
-		info, srv, err := c.master.Locate(table, row)
-		if err != nil {
-			return err
-		}
-		loc = location{info: info, srv: srv}
-		return nil
+		var err error
+		located, err = c.master.LocateAll(table)
+		return err
 	})
+	c.masterLookups.Add(1)
 	if err != nil {
 		return location{}, err
 	}
+	lay := &tableLayout{locs: make([]location, 0, len(located))}
+	for _, rl := range located {
+		lay.locs = append(lay.locs, location{info: rl.Info, srv: rl.Srv})
+	}
+	// Resolve the row BEFORE publishing: once lay is in the cache a
+	// concurrent invalidate may mutate its slice.
+	loc, found := lay.find(row)
 	c.mu.Lock()
-	c.cache[table] = append(c.cache[table], loc)
+	c.cache[table] = lay
 	c.mu.Unlock()
-	return loc, nil
+	if found {
+		return loc, nil
+	}
+	// The row's region is currently offline (recovering, unassigned, or on
+	// a dead server): not-serving, so the caller backs off and retries.
+	return location{}, fmt.Errorf("%w: %s/%s offline in layout", ErrRegionNotServing, table, row)
 }
 
-// invalidate drops the cached location of one region.
+// invalidate drops the cached location of one region; the rest of the
+// table's layout stays.
 func (c *Client) invalidate(table, regionID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	locs := c.cache[table]
-	for i, loc := range locs {
-		if loc.info.ID == regionID {
-			c.cache[table] = append(locs[:i], locs[i+1:]...)
-			return
-		}
+	if lay := c.cache[table]; lay != nil {
+		lay.drop(regionID)
 	}
 }
 
-// invalidateTable drops every cached location of a table.
+// invalidateTable drops a table's whole cached layout.
 func (c *Client) invalidateTable(table string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -271,6 +345,22 @@ func (c *Client) GetBatch(ctx context.Context, table string, keys []kv.CellKey, 
 		return nil, nil, fmt.Errorf("kvstore: getbatch %s retries exhausted: %w", table, lastErr)
 	}
 	return kvs, found, nil
+}
+
+// RangeCoords sweeps the live cell coordinates in rng at or below maxTS:
+// the server half of a transactional range delete. Each region server
+// produces its portion with a keys-only unbounded-batch scan — value bytes
+// never leave the server's merge and the sweep costs one round trip per
+// region — and the coordinates come back in (row asc, column asc) order.
+func (c *Client) RangeCoords(ctx context.Context, table string, rng kv.KeyRange, maxTS kv.Timestamp) ([]kv.CellKey, error) {
+	sc := c.NewScanner(ctx, table, rng, maxTS, ScanOptions{Batch: -1, KeysOnly: true})
+	defer sc.Close()
+	var out []kv.CellKey
+	for sc.Next() {
+		e := sc.KV()
+		out = append(out, kv.CellKey{Row: e.Row, Column: e.Column})
+	}
+	return out, sc.Err()
 }
 
 // Flush delivers a committed write-set to every participant server. It

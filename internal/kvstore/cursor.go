@@ -35,6 +35,9 @@ type ScanRequest struct {
 	// Filtering happens inside the k-way merge, before entries count
 	// toward Batch, so unwanted columns are never shipped.
 	Columns []string
+	// KeysOnly drops value bytes inside the merge: the response carries
+	// coordinates only.
+	KeysOnly bool
 	// Batch bounds the number of entries in the response (0 = unbounded,
 	// the legacy whole-region behaviour).
 	Batch int
@@ -85,7 +88,7 @@ func (s *RegionServer) ScanBatch(ctx context.Context, req ScanRequest) (ScanResp
 	if r.Info.Range.End != "" && (clipped.End == "" || r.Info.Range.End < clipped.End) {
 		clipped.End = r.Info.Range.End
 	}
-	kvs, more, err := r.scanPage(ctx, clipped, req.MaxTS, req.Resume, req.HasResume, req.Columns, req.Batch)
+	kvs, more, err := r.scanPage(ctx, clipped, req.MaxTS, req.Resume, req.HasResume, req.Columns, req.KeysOnly, req.Batch)
 	if err != nil {
 		return ScanResponse{}, err
 	}
@@ -131,13 +134,13 @@ const cancelCheckStride = 256
 // scanPage produces one batch of the region's cursor scan: the newest
 // visible version per projected (row, column) in rng at or below maxTS, in
 // store order, tombstones elided, starting strictly after resume (when
-// hasResume), at most max entries (0 = unbounded). It pins the region's
-// read view for exactly the duration of the call, so concurrent compaction
-// can retire store files between batches; snapshot stability across batches
-// comes from MVCC (the version-GC horizon never passes a live snapshot).
-// more=true means the merge was cut by max and the region may hold further
-// entries.
-func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timestamp, resume kv.CellKey, hasResume bool, cols []string, max int) (_ []kv.KeyValue, more bool, _ error) {
+// hasResume), at most max entries (0 = unbounded); keysOnly elides value
+// bytes. It pins the region's read view for exactly the duration of the
+// call, so concurrent compaction can retire store files between batches;
+// snapshot stability across batches comes from MVCC (the version-GC horizon
+// never passes a live snapshot). more=true means the merge was cut by max
+// and the region may hold further entries.
+func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timestamp, resume kv.CellKey, hasResume bool, cols []string, keysOnly bool, max int) (_ []kv.KeyValue, more bool, _ error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -214,6 +217,9 @@ func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timesta
 		last, have = coord, true
 		if e.Tombstone {
 			continue // coordinate is deleted at this snapshot
+		}
+		if keysOnly {
+			e.Value = nil
 		}
 		out = append(out, e)
 		if max > 0 && len(out) >= max {

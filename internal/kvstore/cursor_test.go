@@ -24,7 +24,7 @@ func pageAll(t *testing.T, r *Region, rng kv.KeyRange, maxTS kv.Timestamp, cols 
 		if i > 10_000 {
 			t.Fatal("paging does not terminate")
 		}
-		page, more, err := r.scanPage(nil, rng, maxTS, resume, has, cols, batch)
+		page, more, err := r.scanPage(nil, rng, maxTS, resume, has, cols, false, batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func TestScanPageCancelReleasesView(t *testing.T) {
 	r, fs := buildRegionWithFiles(t, 4, 200) // > cancelCheckStride entries
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := r.scanPage(ctx, kv.KeyRange{}, kv.MaxTimestamp, kv.CellKey{}, false, nil, 0)
+	_, _, err := r.scanPage(ctx, kv.KeyRange{}, kv.MaxTimestamp, kv.CellKey{}, false, nil, false, 0)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled scan page: %v", err)
 	}
@@ -141,7 +141,7 @@ func TestScanPageAllocsOBatch(t *testing.T) {
 	const batch = 64
 	page := func(r *Region) func() {
 		return func() {
-			kvs, _, err := r.scanPage(nil, kv.KeyRange{}, kv.MaxTimestamp, kv.CellKey{}, false, nil, batch)
+			kvs, _, err := r.scanPage(nil, kv.KeyRange{}, kv.MaxTimestamp, kv.CellKey{}, false, nil, false, batch)
 			if err != nil || len(kvs) != batch {
 				t.Fatalf("page: %d entries, %v", len(kvs), err)
 			}

@@ -314,6 +314,44 @@ func (m *Master) TableRegions(table string) ([]RegionInfo, error) {
 	return append([]RegionInfo(nil), regions...), nil
 }
 
+// RegionLocation pairs a region's metadata with the server currently
+// hosting it — one entry of a table's layout snapshot.
+type RegionLocation struct {
+	Info RegionInfo
+	Srv  *RegionServer
+}
+
+// LocateAll resolves a table's full region layout in one call: every region
+// currently assigned to a live server, sorted by start key. Regions that are
+// offline (recovering, unassigned, or on a dead server) are simply omitted —
+// a client caching the layout will miss on their ranges and refresh. One
+// LocateAll costs the master the same lock acquisition as one Locate, so a
+// layout-caching client turns O(regions) master lookups per table into one.
+func (m *Master) LocateAll(table string) ([]RegionLocation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	regions, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	out := make([]RegionLocation, 0, len(regions))
+	for _, info := range regions {
+		if m.recovering[info.ID] {
+			continue
+		}
+		sid, ok := m.assign[info.ID]
+		if !ok {
+			continue
+		}
+		rec := m.servers[sid]
+		if rec == nil || !rec.alive {
+			continue
+		}
+		out = append(out, RegionLocation{Info: info, Srv: rec.srv})
+	}
+	return out, nil
+}
+
 // Locate resolves (table, row) to its region and the server currently
 // hosting it. While a region is offline for recovery it returns
 // ErrRegionNotServing; clients back off and retry.

@@ -333,7 +333,7 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 // nothing beyond the limit is materialized or even decoded. It is one
 // unbounded page of the cursor-scan machinery (see scanPage).
 func (r *Region) ScanRange(rng kv.KeyRange, maxTS kv.Timestamp, limit int) ([]kv.KeyValue, error) {
-	out, _, err := r.scanPage(nil, rng, maxTS, kv.CellKey{}, false, nil, limit)
+	out, _, err := r.scanPage(nil, rng, maxTS, kv.CellKey{}, false, nil, false, limit)
 	return out, err
 }
 

@@ -25,6 +25,11 @@ type ScanOptions struct {
 	// Columns projects the scan onto the given columns (nil = all). The
 	// filter runs inside the server's merge, before batching.
 	Columns []string
+	// KeysOnly elides values server-side: the scan delivers coordinates
+	// (row, column, version) with nil Value bytes. The value bytes never
+	// leave the region server's merge, so a coordinate sweep over a
+	// large-value table ships only keys — the DeleteRange push-down.
+	KeysOnly bool
 }
 
 // batchSize resolves the effective per-request batch bound (0 = unbounded).
@@ -158,6 +163,7 @@ func (s *Scanner) fill() {
 		Resume:    s.resume,
 		HasResume: s.hasResume,
 		Columns:   s.opts.Columns,
+		KeysOnly:  s.opts.KeysOnly,
 		Batch:     batch,
 	}
 

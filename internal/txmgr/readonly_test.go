@@ -1,0 +1,136 @@
+package txmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+)
+
+// commitAt drives the oracle to issue commits up to a given count.
+func commitN(t *testing.T, m *Manager, n int) kv.Timestamp {
+	t.Helper()
+	var last kv.Timestamp
+	for i := 0; i < n; i++ {
+		h := m.BeginLatest("w")
+		cts, err := m.Commit(h, []kv.Update{{Table: "t", Row: kv.Key("r"), Column: "c"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.NotifyFlushed(cts)
+		last = cts
+	}
+	return last
+}
+
+func TestBeginReadOnlyAtPinsSafeSnapshot(t *testing.T) {
+	m, _ := newTM(t)
+	last := commitN(t, m, 5)
+
+	h, err := m.BeginReadOnlyAt("ro", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.StartTS != 2 {
+		t.Fatalf("pinned start ts = %d", h.StartTS)
+	}
+	// The pin holds the GC horizon at the pinned snapshot.
+	if got := m.SafeSnapshot(); got != 2 {
+		t.Fatalf("SafeSnapshot with pin = %d, want 2", got)
+	}
+	// Release drops the pin without abort accounting.
+	_, abortsBefore := m.Stats()
+	m.Release(h)
+	if _, aborts := m.Stats(); aborts != abortsBefore {
+		t.Fatalf("Release counted as abort: %d -> %d", abortsBefore, aborts)
+	}
+	if got := m.SafeSnapshot(); got != last {
+		t.Fatalf("SafeSnapshot after release = %d, want %d", got, last)
+	}
+	// Double release is a no-op.
+	m.Release(h)
+}
+
+func TestBeginReadOnlyAtBounds(t *testing.T) {
+	m, _ := newTM(t)
+	commitN(t, m, 5)
+
+	if _, err := m.BeginReadOnlyAt("ro", 99); !errors.Is(err, ErrFutureSnapshot) {
+		t.Fatalf("future pin: %v", err)
+	}
+	// Until a horizon is handed out, any past timestamp is pinnable.
+	h, err := m.BeginReadOnlyAt("ro", 1)
+	if err != nil {
+		t.Fatalf("pin below never-handed-out horizon: %v", err)
+	}
+	m.Release(h)
+
+	// Once SafeSnapshot has been consumed (a compaction may have GC'd
+	// below it), older pins are refused.
+	if got := m.SafeSnapshot(); got != 5 {
+		t.Fatalf("SafeSnapshot = %d", got)
+	}
+	if _, err := m.BeginReadOnlyAt("ro", 3); !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("pin below handed-out horizon: %v", err)
+	}
+	if h, err := m.BeginReadOnlyAt("ro", 5); err != nil {
+		t.Fatalf("pin at horizon: %v", err)
+	} else {
+		m.Release(h)
+	}
+}
+
+// TestBeginReadOnlyAtWaitsForFlush: a pin above the flush frontier blocks
+// until the snapshot is fully readable — a time-travel reader can never
+// observe a half-flushed write-set.
+func TestBeginReadOnlyAtWaitsForFlush(t *testing.T) {
+	m, _ := newTM(t)
+	h := m.BeginLatest("w")
+	cts, err := m.Commit(h, []kv.Update{{Table: "t", Row: "r", Column: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cts is committed but NOT flushed: frontier < cts.
+	got := make(chan kv.Timestamp, 1)
+	go func() {
+		ro, err := m.BeginReadOnlyAt("ro", cts)
+		if err != nil {
+			got <- 0
+			return
+		}
+		defer m.Release(ro)
+		got <- ro.StartTS
+	}()
+	select {
+	case ts := <-got:
+		t.Fatalf("pin at unflushed %d admitted immediately (start %d)", cts, ts)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.NotifyFlushed(cts)
+	select {
+	case ts := <-got:
+		if ts != cts {
+			t.Fatalf("pin start = %d, want %d", ts, cts)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pin never admitted after flush")
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	m, _ := newTM(t)
+	h1 := m.BeginLatest("a")
+	h2 := m.BeginLatest("b")
+	upd := []kv.Update{{Table: "t", Row: "x", Column: "c"}}
+	if _, err := m.Commit(h1, upd); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Commit(h2, upd)
+	if !IsRetryable(err) {
+		t.Fatalf("conflict not classified retryable: %v", err)
+	}
+	if IsRetryable(ErrTxnNotActive) || IsRetryable(ErrSnapshotTooOld) || IsRetryable(nil) {
+		t.Fatal("non-conflict classified retryable")
+	}
+}

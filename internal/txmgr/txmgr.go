@@ -28,7 +28,22 @@ import (
 var (
 	ErrConflict     = errors.New("txmgr: write-write conflict, transaction aborted")
 	ErrTxnNotActive = errors.New("txmgr: transaction not active")
+	// ErrSnapshotTooOld reports a pinned-snapshot begin below the version-GC
+	// horizon: a background compaction may already have dropped versions a
+	// read at that timestamp would need.
+	ErrSnapshotTooOld = errors.New("txmgr: snapshot below the version-GC horizon")
+	// ErrFutureSnapshot reports a pinned-snapshot begin above the newest
+	// issued commit timestamp.
+	ErrFutureSnapshot = errors.New("txmgr: snapshot not yet issued")
 )
+
+// IsRetryable reports whether a failed commit can be retried on a fresh
+// snapshot with the same logic: true exactly for snapshot-isolation
+// conflicts (first-committer-wins aborts). Validation errors, closed
+// handles, and infrastructure failures are not retryable — rerunning the
+// transaction cannot change their outcome. The managed retry loop
+// (cluster.Client.Update) is built on this classification.
+func IsRetryable(err error) bool { return errors.Is(err, ErrConflict) }
 
 // CommitObserver is notified of every commit, synchronously under the
 // commit sequencing lock: observers see strictly increasing commit
@@ -83,6 +98,12 @@ type Manager struct {
 	unflushed map[kv.Timestamp]struct{}
 	frontier  kv.Timestamp
 
+	// gcHorizon is the highest version-GC horizon ever handed out through
+	// SafeSnapshot: versions shadowed at or below it may already have been
+	// dropped by a compaction, so pinned-snapshot begins (BeginReadOnlyAt)
+	// must stay at or above it. Everything newer is retained by contract.
+	gcHorizon kv.Timestamp
+
 	aborts  uint64
 	commitN uint64
 }
@@ -127,6 +148,10 @@ func New(log *txlog.Log) *Manager {
 	if log != nil {
 		m.lastIssued = log.LastTS()
 		m.frontier = m.lastIssued
+		// A previous incarnation may have compacted with any horizon up to
+		// its frontier; after a reopen, pinned snapshots start at the
+		// recovered frontier (conservative but safe).
+		m.gcHorizon = m.lastIssued
 	}
 	m.flushCond = sync.NewCond(&m.mu)
 	return m
@@ -185,6 +210,47 @@ func (m *Manager) BeginLatest(clientID string) TxnHandle {
 	h := TxnHandle{ID: m.nextTxnID, ClientID: clientID, StartTS: m.lastIssued}
 	m.active[h.ID] = h.StartTS
 	return h
+}
+
+// BeginReadOnlyAt starts a read-only transaction pinned at snapshot ts —
+// the time-travel begin. The handle is registered like any active
+// transaction, so SafeSnapshot (the version-GC horizon handed to store
+// compactions) cannot advance past ts while the transaction lives: a
+// long-lived reader survives continuous compaction and reclamation. The
+// pin must be released with Release (or Abort).
+//
+// ts must lie between the highest handed-out GC horizon (older versions may
+// already be GC'd: ErrSnapshotTooOld) and the newest issued commit
+// timestamp (ErrFutureSnapshot). Like Begin, BeginReadOnlyAt WAITS until
+// every commit at or below ts is flushed (frontier >= ts), so the pinned
+// snapshot is consistent — never a half-flushed write-set.
+func (m *Manager) BeginReadOnlyAt(clientID string, ts kv.Timestamp) (TxnHandle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts > m.lastIssued {
+		return TxnHandle{}, fmt.Errorf("%w: %d > last issued %d", ErrFutureSnapshot, ts, m.lastIssued)
+	}
+	for m.frontier < ts {
+		m.flushCond.Wait()
+	}
+	// Re-validated after the wait: a compaction may have taken the horizon
+	// past ts while the mutex was released.
+	if ts < m.gcHorizon {
+		return TxnHandle{}, fmt.Errorf("%w: %d < horizon %d", ErrSnapshotTooOld, ts, m.gcHorizon)
+	}
+	m.nextTxnID++
+	h := TxnHandle{ID: m.nextTxnID, ClientID: clientID, StartTS: ts}
+	m.active[h.ID] = h.StartTS
+	return h, nil
+}
+
+// Release ends a read-only transaction: the snapshot pin is dropped without
+// validation, logging, or abort accounting. Safe (and a no-op) on a handle
+// that was already released, aborted, or committed.
+func (m *Manager) Release(h TxnHandle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, h.ID)
 }
 
 // Abort discards an active transaction.
@@ -369,14 +435,22 @@ func (m *Manager) Frontier() kv.Timestamp {
 
 // SafeSnapshot returns the newest timestamp at or below which no active —
 // and no future — transaction can take a snapshot: the minimum of the
-// visibility frontier and every in-flight transaction's start timestamp.
-// Versions shadowed by a newer version at or below this bound are invisible
-// to every current and future reader, which makes it the safe version-GC
-// horizon for background store-file compaction.
+// visibility frontier and every in-flight transaction's start timestamp
+// (read-only pins included, so a long-lived View or BeginReadOnlyAt holds
+// the horizon down). Versions shadowed by a newer version at or below this
+// bound are invisible to every current and future reader, which makes it
+// the safe version-GC horizon for background store-file compaction. The
+// returned horizon is remembered: BeginReadOnlyAt refuses snapshots below
+// the highest horizon ever handed out, since a compaction may have acted on
+// it.
 func (m *Manager) SafeSnapshot() kv.Timestamp {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.pruneWatermarkLocked()
+	w := m.pruneWatermarkLocked()
+	if w > m.gcHorizon {
+		m.gcHorizon = w
+	}
+	return w
 }
 
 // LastIssued returns the highest timestamp issued so far.

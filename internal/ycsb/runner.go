@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -144,16 +145,14 @@ func Load(c *cluster.Cluster, w Workload, regions, batchSize, loaders int) error
 				if end > w.RecordCount {
 					end = w.RecordCount
 				}
-				txn := cl.Begin()
-				for i := start; i < end; i++ {
-					if err := txn.Put(w.Table, RowKey(uint64(i)), "field0", val); err != nil {
-						mu.Lock()
-						errs = append(errs, err)
-						mu.Unlock()
-						return
+				cts, err := cl.Update(context.Background(), func(txn *cluster.Txn) error {
+					for i := start; i < end; i++ {
+						if err := txn.Put(context.Background(), w.Table, RowKey(uint64(i)), "field0", val); err != nil {
+							return err
+						}
 					}
-				}
-				cts, err := txn.Commit()
+					return nil
+				})
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, err)
@@ -305,36 +304,38 @@ func Run(c *cluster.Cluster, w Workload, rc RunnerConfig) (Result, error) {
 	return res, nil
 }
 
-// runTxn executes one paper-style update transaction: OpsPerTxn random row
-// operations — ScanRatio of them short streaming scans, ReadRatio reads,
-// the rest updates.
+// runTxn executes one paper-style update transaction through the managed
+// closure API: OpsPerTxn random row operations — ScanRatio of them short
+// streaming scans, ReadRatio reads, the rest updates. Automatic conflict
+// retry is disabled (MaxRetries: NoRetry) so the runner's abort accounting
+// keeps the paper's semantics: an SI conflict counts as an aborted
+// transaction, exactly as YCSB-over-the-paper's-TM would observe it.
 func runTxn(cl *cluster.Client, w Workload, gen Generator, rng *rand.Rand, val []byte) error {
-	txn := cl.Begin()
-	for op := 0; op < w.OpsPerTxn; op++ {
-		row := RowKey(gen.Next(rng))
-		switch roll := rng.Float64(); {
-		case roll < w.ScanRatio:
-			// Workload-E-style short scan, streamed in bounded batches
-			// through the cursor API (never materialized).
-			sc := txn.Scan(w.Table, kv.KeyRange{Start: row}, cluster.ScanOptions{Limit: w.ScanLength})
-			for sc.Next() {
-			}
-			if err := sc.Err(); err != nil {
-				txn.Abort()
-				return err
-			}
-		case roll < w.ScanRatio+w.ReadRatio:
-			if _, _, err := txn.Get(w.Table, row, "field0"); err != nil {
-				txn.Abort()
-				return err
-			}
-		default:
-			if err := txn.Put(w.Table, row, "field0", val); err != nil {
-				txn.Abort()
-				return err
+	ctx := context.Background()
+	_, err := cl.UpdateWith(ctx, cluster.TxnOptions{MaxRetries: cluster.NoRetry}, func(txn *cluster.Txn) error {
+		for op := 0; op < w.OpsPerTxn; op++ {
+			row := RowKey(gen.Next(rng))
+			switch roll := rng.Float64(); {
+			case roll < w.ScanRatio:
+				// Workload-E-style short scan, streamed in bounded batches
+				// through the cursor API (never materialized).
+				sc := txn.Scan(ctx, w.Table, kv.KeyRange{Start: row}, cluster.ScanOptions{Limit: w.ScanLength})
+				for sc.Next() {
+				}
+				if err := sc.Err(); err != nil {
+					return err
+				}
+			case roll < w.ScanRatio+w.ReadRatio:
+				if _, _, err := txn.Get(ctx, w.Table, row, "field0"); err != nil {
+					return err
+				}
+			default:
+				if err := txn.Put(ctx, w.Table, row, "field0", val); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	_, err := txn.Commit()
+		return nil
+	})
 	return err
 }

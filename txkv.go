@@ -12,7 +12,16 @@
 // servers, which persist to the filesystem asynchronously as well. The
 // recovery middleware tracks flush/persist progress with lightweight
 // threshold timestamps piggybacked on heartbeats, so that after a client or
-// server failure exactly the at-risk write-sets are replayed from the log:
+// server failure exactly the at-risk write-sets are replayed from the log.
+//
+// # Transactions
+//
+// The client API is context-first and closure-managed: the middleware owns
+// snapshot selection, conflict retry, cancellation, and snapshot pinning,
+// so application code holds only its own logic. Update runs a read-write
+// transaction and retries snapshot-isolation conflicts with capped
+// exponential backoff; View runs a read-only transaction on a consistent
+// snapshot that skips commit validation and the commit log entirely:
 //
 //	cluster, err := txkv.Open(txkv.Config{Servers: 2})
 //	if err != nil { ... }
@@ -21,23 +30,48 @@
 //	_ = cluster.CreateTable("accounts", []txkv.Key{"m"})
 //	client, _ := cluster.NewClient("app-1")
 //
-//	txn := client.Begin()
-//	_ = txn.Put("accounts", "alice", "balance", []byte("100"))
-//	v, ok, _ := txn.Get("accounts", "bob", "balance")
-//	_, err = txn.Commit() // durable in the TM log; flush is asynchronous
+//	cts, err := client.Update(ctx, func(txn *txkv.Txn) error {
+//		v, _, err := txn.Get(ctx, "accounts", "alice", "balance")
+//		if err != nil {
+//			return err
+//		}
+//		return txn.Put(ctx, "accounts", "alice", "balance", debit(v))
+//	}) // durable in the TM log at return; flush is asynchronous
+//
+//	err = client.View(ctx, func(txn *txkv.Txn) error {
+//		_, ok, err := txn.Get(ctx, "accounts", "bob", "balance")
+//		return err
+//	})
+//
+// Explicit transactions remain available through BeginTxn (with TxnOptions
+// for read-only mode, snapshot selection, and retry budgets) and BeginAt
+// for time-travel reads pinned at an old snapshot — the pin registers with
+// the transaction manager, so the version-GC horizon cannot overrun a
+// long-lived reader.
+//
+// # Reads at scale
 //
 // Range reads stream: Txn.Scan returns a Scanner that pulls bounded batches
 // from the region servers through a server-side continuation token, so a
 // scan over millions of rows holds O(batch) memory on every side and
 // survives region splits and moves mid-flight. GetBatch reads N cells in
-// one round trip per server, and the Ctx variants (GetCtx, ScanCtx,
-// CommitCtx) make slow operations cancellable and deadline-bounded:
+// one round trip per involved server; PutBatch buffers N writes in one
+// call; DeleteRange sweeps a range's live coordinates server-side
+// (keys-only, one round trip per region) and buffers the tombstones:
 //
-//	sc := txn.Scan("accounts", txkv.KeyRange{}, txkv.ScanOptions{Batch: 512})
+//	sc := txn.Scan(ctx, "accounts", txkv.KeyRange{}, txkv.ScanOptions{Batch: 512})
 //	for sc.Next() {
 //		use(sc.KV())
 //	}
 //	if err := sc.Err(); err != nil { ... }
+//
+// Every operation takes a context first: cancellation and deadlines reach
+// all the way into the region servers' merge loops. Failed operations
+// return a structured *Error carrying Op/Table/Key; match causes with
+// errors.Is (ErrConflict, ErrTxnFinished, ...) and extract context with
+// errors.As — never by string-matching messages.
+//
+// # Failure injection and persistence
 //
 // Failure injection (CrashServer, Client.Crash, CrashRecoveryManager) lets
 // applications and benchmarks exercise the recovery paths the paper
@@ -73,24 +107,38 @@ type (
 	// manager, coordination service, and recovery middleware.
 	Cluster = cluster.Cluster
 	// Client is a transactional client; it can run many concurrent
-	// transactions.
+	// transactions (managed via Update/View closures, or explicit via
+	// BeginTxn).
 	Client = cluster.Client
 	// Txn is a transaction: snapshot reads, buffered deferred updates,
-	// commit through the transaction manager.
+	// commit through the transaction manager. Every operation takes a
+	// context first.
 	Txn = cluster.Txn
+	// TxnOptions parameterizes a transaction: read-only mode, snapshot
+	// selection (Mode / SnapshotTS), and Update's retry budget.
+	TxnOptions = cluster.TxnOptions
+	// SnapshotMode selects the snapshot a transaction reads at
+	// (SnapshotFresh, SnapshotFrontier, SnapshotLatest).
+	SnapshotMode = cluster.SnapshotMode
+	// Error is the structured operation error: Op/Table/Key context
+	// wrapping a sentinel cause (errors.Is/errors.As-compatible).
+	Error = cluster.Error
 	// Scanner streams a range scan in bounded batches: Txn.Scan returns
 	// one (see also Scanner.All for the range-over-func form).
 	Scanner = cluster.Scanner
 	// ScanOptions tunes a streaming scan: total limit, per-batch size,
-	// and column projection, all pushed down to the region servers.
+	// column projection, and keys-only mode, all pushed down to the
+	// region servers.
 	ScanOptions = cluster.ScanOptions
 	// BatchValue is one cell's result from Txn.GetBatch.
 	BatchValue = cluster.BatchValue
+	// PutOp is one cell mutation in a Txn.PutBatch.
+	PutOp = cluster.PutOp
 
 	// Key is a row key; rows order lexicographically.
 	Key = kv.Key
-	// KeyRange is a half-open row-key interval used by scans and
-	// pre-split tables.
+	// KeyRange is a half-open row-key interval used by scans, range
+	// deletes, and pre-split tables.
 	KeyRange = kv.KeyRange
 	// Timestamp is a commit/snapshot timestamp from the transaction
 	// manager's oracle.
@@ -116,22 +164,58 @@ const (
 	PersistDisk = cluster.PersistDisk
 )
 
-// Errors surfaced through the public API.
+// Snapshot modes for TxnOptions.Mode.
+const (
+	// SnapshotAuto picks the default: the freshest fully-readable
+	// snapshot (SnapshotFresh), for updates and read-only transactions
+	// alike.
+	SnapshotAuto = cluster.SnapshotAuto
+	// SnapshotFresh waits until the newest issued snapshot is fully
+	// readable.
+	SnapshotFresh = cluster.SnapshotFresh
+	// SnapshotFrontier reads the visibility frontier without waiting.
+	SnapshotFrontier = cluster.SnapshotFrontier
+	// SnapshotLatest reads the newest issued timestamp regardless of
+	// flush progress.
+	SnapshotLatest = cluster.SnapshotLatest
+)
+
+// Update retry tuning for TxnOptions.MaxRetries.
+const (
+	// DefaultUpdateRetries is the conflict-retry budget when MaxRetries
+	// is zero.
+	DefaultUpdateRetries = cluster.DefaultUpdateRetries
+	// NoRetry disables Update's automatic conflict retries.
+	NoRetry = cluster.NoRetry
+)
+
+// Errors surfaced through the public API. Operations return them wrapped in
+// a structured *Error; match with errors.Is.
 var (
 	// ErrConflict reports a snapshot-isolation write-write conflict; the
-	// transaction was aborted and can be retried.
+	// transaction was aborted and can be retried (Client.Update does so
+	// automatically).
 	ErrConflict = txmgr.ErrConflict
 	// ErrClientClosed reports use of a stopped or crashed client.
 	ErrClientClosed = cluster.ErrClientClosed
 	// ErrTxnFinished reports use of a committed or aborted transaction.
 	ErrTxnFinished = cluster.ErrTxnFinished
+	// ErrReadOnlyTxn reports a mutation attempted through a read-only
+	// transaction (View, BeginAt, TxnOptions.ReadOnly).
+	ErrReadOnlyTxn = cluster.ErrReadOnlyTxn
+	// ErrSnapshotTooOld reports a BeginAt/ViewAt timestamp below the
+	// version-GC horizon.
+	ErrSnapshotTooOld = cluster.ErrSnapshotTooOld
+	// ErrFutureSnapshot reports a BeginAt/ViewAt timestamp above the
+	// newest issued commit timestamp.
+	ErrFutureSnapshot = cluster.ErrFutureSnapshot
 	// ErrTableExists reports CreateTable on an existing table — including
 	// one restored by reopening a persistent data directory.
 	ErrTableExists = kvstore.ErrTableExists
 	// ErrDataDirLocked reports Open on a DataDir already held by a live
 	// cluster (possibly in another process).
 	ErrDataDirLocked = cluster.ErrDataDirLocked
-	// ErrCommitIndeterminate reports a CommitCtx cut short after its
+	// ErrCommitIndeterminate reports a Commit cut short after its
 	// write-set was enqueued: the transaction commits in order once the
 	// group commit lands; only the caller's wait was cancelled.
 	ErrCommitIndeterminate = cluster.ErrCommitIndeterminate

@@ -1,6 +1,7 @@
 package txkv_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ func quickCluster(t *testing.T) *txkv.Cluster {
 
 func TestPublicAPIRoundTrip(t *testing.T) {
 	c := quickCluster(t)
+	ctx := context.Background()
 	if err := c.CreateTable("accounts", []txkv.Key{"m"}); err != nil {
 		t.Fatal(err)
 	}
@@ -33,71 +35,95 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	txn := client.Begin()
-	if err := txn.Put("accounts", "alice", "balance", []byte("100")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := txn.CommitWait(); err != nil {
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "accounts", "alice", "balance", []byte("100"))
+	}); err != nil {
 		t.Fatal(err)
 	}
 
-	check := client.Begin()
-	v, ok, err := check.Get("accounts", "alice", "balance")
-	if err != nil || !ok || string(v) != "100" {
-		t.Fatalf("read back: %q %v %v", v, ok, err)
+	if err := client.View(ctx, func(txn *txkv.Txn) error {
+		v, ok, err := txn.Get(ctx, "accounts", "alice", "balance")
+		if err != nil || !ok || string(v) != "100" {
+			t.Fatalf("read back: %q %v %v", v, ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
-	check.Abort()
 }
 
 func TestPublicAPIConflictError(t *testing.T) {
 	c := quickCluster(t)
+	ctx := context.Background()
 	if err := c.CreateTable("t", nil); err != nil {
 		t.Fatal(err)
 	}
 	client, _ := c.NewClient("app")
-	a := client.Begin()
-	b := client.Begin()
-	_ = a.Put("t", "x", "f", []byte("1"))
-	_ = b.Put("t", "x", "f", []byte("2"))
-	if _, err := a.Commit(); err != nil {
+	a, err := client.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	_, err := b.Commit()
+	b, err := client.BeginTxn(txkv.TxnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Put(ctx, "t", "x", "f", []byte("1"))
+	_ = b.Put(ctx, "t", "x", "f", []byte("2"))
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Commit(ctx)
 	if !errors.Is(err, txkv.ErrConflict) {
 		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	// The structured error carries the operation context.
+	var txErr *txkv.Error
+	if !errors.As(err, &txErr) || txErr.Op != "commit" {
+		t.Fatalf("want *txkv.Error with Op=commit, got %#v", err)
 	}
 }
 
 func TestPublicAPIScan(t *testing.T) {
 	c := quickCluster(t)
+	ctx := context.Background()
 	if err := c.CreateTable("t", nil); err != nil {
 		t.Fatal(err)
 	}
 	client, _ := c.NewClient("app")
-	w := client.Begin()
-	for _, r := range []string{"a", "b", "c"} {
-		_ = w.Put("t", txkv.Key(r), "f", []byte(r))
-	}
-	if _, err := w.CommitWait(); err != nil {
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.PutBatch(ctx, "t", []txkv.PutOp{
+			{Row: "a", Column: "f", Value: []byte("a")},
+			{Row: "b", Column: "f", Value: []byte("b")},
+			{Row: "c", Column: "f", Value: []byte("c")},
+		})
+	}); err != nil {
 		t.Fatal(err)
 	}
-	r := client.Begin()
-	got, err := r.ScanRange("t", txkv.KeyRange{Start: "a", End: "c"}, 0)
-	if err != nil || len(got) != 2 {
-		t.Fatalf("scan: %v %v", got, err)
+	if err := client.View(ctx, func(txn *txkv.Txn) error {
+		n := 0
+		sc := txn.Scan(ctx, "t", txkv.KeyRange{Start: "a", End: "c"}, txkv.ScanOptions{})
+		for sc.Next() {
+			n++
+		}
+		if err := sc.Err(); err != nil || n != 2 {
+			t.Fatalf("scan: n=%d err=%v", n, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
-	r.Abort()
 }
 
 func TestPublicAPIFailureInjection(t *testing.T) {
 	c := quickCluster(t)
+	ctx := context.Background()
 	if err := c.CreateTable("t", nil); err != nil {
 		t.Fatal(err)
 	}
 	client, _ := c.NewClient("app")
-	txn := client.Begin()
-	_ = txn.Put("t", "k", "f", []byte("v"))
-	if _, err := txn.CommitWait(); err != nil {
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "t", "k", "f", []byte("v"))
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.CrashServer(c.ServerIDs()[0]); err != nil {
@@ -106,9 +132,15 @@ func TestPublicAPIFailureInjection(t *testing.T) {
 	// The committed value survives fail-over.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		r := client.Begin()
-		v, ok, err := r.Get("t", "k", "f")
-		r.Abort()
+		var (
+			v  []byte
+			ok bool
+		)
+		err := client.View(ctx, func(txn *txkv.Txn) error {
+			var err error
+			v, ok, err = txn.Get(ctx, "t", "k", "f")
+			return err
+		})
 		if err == nil && ok && string(v) == "v" {
 			return
 		}
@@ -116,5 +148,24 @@ func TestPublicAPIFailureInjection(t *testing.T) {
 			t.Fatalf("value lost: %q %v %v", v, ok, err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestPublicAPIReadOnlyRejectsWrites(t *testing.T) {
+	c := quickCluster(t)
+	ctx := context.Background()
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := c.NewClient("app")
+	err := client.View(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "t", "k", "f", []byte("v"))
+	})
+	if !errors.Is(err, txkv.ErrReadOnlyTxn) {
+		t.Fatalf("want ErrReadOnlyTxn, got %v", err)
+	}
+	var txErr *txkv.Error
+	if !errors.As(err, &txErr) || txErr.Op != "put" || txErr.Table != "t" || txErr.Key != "k" {
+		t.Fatalf("want structured put error, got %#v", err)
 	}
 }
