@@ -1,0 +1,227 @@
+// Command obsvet is the CI observability smoke check: it boots a small
+// traced cluster, serves the debug endpoints, drives a burst of
+// transactions, then scrapes /metrics, /debug/slow, and /debug/regions and
+// validates the payloads — the Prometheus text exposition line by line, the
+// JSON endpoints structurally. Exit status is non-zero on any malformed
+// output or missing metric family, so a refactor that silently breaks the
+// scrape surface fails the PR. Standard library only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"txkv"
+	"txkv/internal/obs"
+)
+
+// promSample matches one exposition sample line: a metric name, optional
+// labels, and a value.
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// vetProm validates the whole Prometheus text page and returns the set of
+// sample metric names seen.
+func vetProm(page string) (map[string]bool, []string) {
+	var bad []string
+	names := map[string]bool{}
+	typed := map[string]bool{}
+	for i, line := range strings.Split(page, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				bad = append(bad, fmt.Sprintf("line %d: malformed TYPE: %q", i+1, line))
+				continue
+			}
+			switch f[3] {
+			case "counter", "gauge", "summary":
+			default:
+				bad = append(bad, fmt.Sprintf("line %d: unknown type %q", i+1, f[3]))
+			}
+			typed[f[2]] = true
+		case strings.HasPrefix(line, "#"):
+			// HELP or comment: fine.
+		default:
+			m := promSample.FindStringSubmatch(line)
+			if m == nil {
+				bad = append(bad, fmt.Sprintf("line %d: malformed sample: %q", i+1, line))
+				continue
+			}
+			if !strings.HasPrefix(m[1], "txkv_") {
+				bad = append(bad, fmt.Sprintf("line %d: sample outside txkv_ namespace: %q", i+1, m[1]))
+			}
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				bad = append(bad, fmt.Sprintf("line %d: unparseable value %q", i+1, m[3]))
+			}
+			names[m[1]] = true
+		}
+	}
+	if len(typed) == 0 {
+		bad = append(bad, "no # TYPE lines at all")
+	}
+	return names, bad
+}
+
+func get(base, path string) ([]byte, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func main() {
+	log.SetFlags(0)
+	c, err := txkv.Open(txkv.Config{
+		Servers:         2,
+		Tracing:         true,
+		SlowOpThreshold: -1, // retain every traced op
+	})
+	if err != nil {
+		log.Fatalf("open cluster: %v", err)
+	}
+	defer c.Stop()
+	if err := c.CreateTable("t", []txkv.Key{"m"}); err != nil {
+		log.Fatalf("create table: %v", err)
+	}
+	d, err := c.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("serve debug: %v", err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	// Drive enough load that every instrumented path fires.
+	cl, err := c.NewClient("obsvet")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		row := txkv.Key(fmt.Sprintf("row-%02d", i))
+		if _, err := cl.Update(ctx, func(txn *txkv.Txn) error {
+			return txn.Put(ctx, "t", row, "f", []byte(strings.Repeat("v", 32)))
+		}); err != nil {
+			log.Fatalf("update: %v", err)
+		}
+	}
+	if err := cl.View(ctx, func(txn *txkv.Txn) error {
+		for i := 0; i < 20; i++ {
+			row := txkv.Key(fmt.Sprintf("row-%02d", i))
+			if _, ok, err := txn.Get(ctx, "t", row, "f"); err != nil || !ok {
+				return fmt.Errorf("get %s: found=%v err=%v", row, ok, err)
+			}
+		}
+		sc := txn.Scan(ctx, "t", txkv.KeyRange{}, txkv.ScanOptions{})
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if sc.Err() != nil || n != 20 {
+			return fmt.Errorf("scan: %d rows, err %v", n, sc.Err())
+		}
+		return nil
+	}); err != nil {
+		log.Fatalf("view: %v", err)
+	}
+	// Let the asynchronous flush/visibility tail settle before scraping.
+	time.Sleep(100 * time.Millisecond)
+
+	var failures []string
+
+	// /metrics: structurally valid exposition with the key families.
+	page, err := get(base, "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, bad := vetProm(string(page))
+	failures = append(failures, bad...)
+	for _, want := range []string{
+		"txkv_txmgr_commits",
+		"txkv_client_gets",
+		"txkv_server_applied_writesets",
+		"txkv_commit_total_seconds_count",
+		"txkv_commit_fsync_seconds_count",
+		"txkv_get_total_seconds_count",
+		"txkv_scan_total_seconds_count",
+		"txkv_cluster_live_servers",
+	} {
+		if !names[want] {
+			failures = append(failures, "missing metric "+want)
+		}
+	}
+
+	// /debug/slow: retained span trees for commit, get, and scan.
+	var slow struct {
+		Count int            `json:"count"`
+		Ops   []obs.SpanDump `json:"ops"`
+	}
+	body, err := get(base, "/debug/slow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &slow); err != nil {
+		failures = append(failures, fmt.Sprintf("/debug/slow not JSON: %v", err))
+	} else if slow.Count == 0 {
+		failures = append(failures, "/debug/slow retained nothing with a negative threshold")
+	} else {
+		seen := map[string]bool{}
+		for _, op := range slow.Ops {
+			seen[op.Op] = true
+		}
+		for _, want := range []string{"commit", "get", "scan"} {
+			if !seen[want] {
+				failures = append(failures, "/debug/slow has no "+want+" span")
+			}
+		}
+	}
+
+	// /debug/regions: heat for the load just driven.
+	var regions struct {
+		Regions []struct {
+			Server string `json:"server"`
+			Gets   int64  `json:"gets"`
+			Writes int64  `json:"writes"`
+		} `json:"regions"`
+	}
+	body, err = get(base, "/debug/regions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &regions); err != nil {
+		failures = append(failures, fmt.Sprintf("/debug/regions not JSON: %v", err))
+	} else {
+		var gets, writes int64
+		for _, r := range regions.Regions {
+			gets += r.Gets
+			writes += r.Writes
+		}
+		if len(regions.Regions) == 0 || gets == 0 || writes == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"/debug/regions heat empty: %d regions, gets=%d writes=%d",
+				len(regions.Regions), gets, writes))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL: %s", f)
+		}
+		log.Fatalf("obsvet: %d failures", len(failures))
+	}
+	fmt.Printf("obsvet OK: %d metric samples, %d slow ops, %d regions\n",
+		len(names), slow.Count, len(regions.Regions))
+}

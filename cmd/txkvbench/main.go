@@ -56,6 +56,7 @@ func main() {
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		jsonPath   = flag.String("json", "", "write readwrite results as JSON to this path")
+		obsFlag    = flag.Bool("obs", false, "trace the run and embed the metric registry snapshot in the JSON result (readwrite, scan)")
 	)
 	flag.Parse()
 	// A single selected experiment owns -json outright; a run covering
@@ -82,6 +83,7 @@ func main() {
 		Threads:  *threads,
 		Seed:     *seed,
 		Out:      os.Stdout,
+		Obs:      *obsFlag,
 	}
 
 	experiments := map[string]func(bench.Options) error{

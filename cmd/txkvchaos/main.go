@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,7 +29,19 @@ import (
 	"time"
 
 	"txkv"
+	"txkv/internal/obs"
 )
+
+// dumpSlow prints the slow-op ring as JSON — the post-mortem trail when the
+// campaign fails.
+func dumpSlow(c *txkv.Cluster) {
+	ops := c.Tracer().SlowOps()
+	data, err := json.MarshalIndent(ops, "", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Printf("slow-op ring (%d entries):\n%s\n", len(ops), data)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,6 +71,9 @@ func main() {
 		// interrupted commits.
 		CompactionInterval:  *compact,
 		CompactionThreshold: 4,
+		// Trace the campaign: the slow-op ring is dumped on failure, and
+		// the registry snapshot is invariant-checked after every fault.
+		Tracing: true,
 	}
 	if *dataDir != "" {
 		cfg.Persistence = txkv.PersistDisk
@@ -161,9 +177,29 @@ func main() {
 		}(ci)
 	}
 
+	// Observability invariant check, run after every injected fault: no
+	// exported counter may go backwards (instance churn must not reset the
+	// cluster totals), no gauge may go negative, and the visibility
+	// frontier may never pass the newest issued timestamp.
+	var prevSnap obs.Snapshot
+	checkObs := func(when string) {
+		cur := cluster.Obs().Snapshot()
+		bad := obs.CheckInvariants(prevSnap, cur)
+		if f, li := cur.Gauges["txmgr.frontier"], cur.Gauges["txmgr.last_issued"]; f > li {
+			bad = append(bad, fmt.Sprintf("frontier %d ahead of last issued %d", f, li))
+		}
+		prevSnap = cur
+		if len(bad) > 0 {
+			dumpSlow(cluster)
+			log.Fatalf("observability invariants violated %s:\n  %v", when, bad)
+		}
+	}
+	checkObs("at campaign start")
+
 	// Fault injector.
 	rng := rand.New(rand.NewSource(*seed))
 	crashes, rmBounces := 0, 0
+	faults := 0
 	deadline := time.Now().Add(*duration)
 	for time.Now().Before(deadline) {
 		time.Sleep(*duration / 6)
@@ -196,12 +232,15 @@ func main() {
 			cluster.RestartRecoveryManager()
 			rmBounces++
 		}
+		faults++
+		checkObs(fmt.Sprintf("after fault %d", faults))
 	}
 	close(stop)
 	wg.Wait()
+	checkObs("after campaign")
 
-	fmt.Printf("campaign done: %d committed, %d conflicts, %d server crashes, %d RM bounces\n",
-		committed, conflicts, crashes, rmBounces)
+	fmt.Printf("campaign done: %d committed, %d conflicts, %d server crashes, %d RM bounces (%d obs checks passed)\n",
+		committed, conflicts, crashes, rmBounces, faults+2)
 	if rc := cluster.ReclaimStats(); rc.Compactions > 0 {
 		size, _ := cluster.DataDirBytes()
 		fmt.Printf("reclamation: %d passes, %d store files retired (%d logical bytes), %d segments dropped (%d physical bytes reclaimed); datadir now %d bytes\n",
@@ -262,6 +301,7 @@ func main() {
 		}
 	}
 	if lost > 0 {
+		dumpSlow(cluster)
 		fmt.Printf("AUDIT FAILED: %d rows lost acknowledged commits\n", lost)
 		os.Exit(1)
 	}

@@ -29,6 +29,11 @@ type Options struct {
 	Seed int64
 	// Out receives the printed rows.
 	Out io.Writer
+	// Obs enables commit-pipeline tracing during the run and embeds the
+	// cluster's metric registry snapshot (plus derived stage-accounting and
+	// tracing-overhead figures) in the JSON result. Supported by the
+	// readwrite and scan experiments.
+	Obs bool
 }
 
 func (o Options) withDefaults() Options {

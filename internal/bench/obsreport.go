@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"txkv/internal/cluster"
+	"txkv/internal/obs"
+)
+
+// ObsReport embeds the cluster's observability state in an experiment's
+// machine-readable result (the txkvbench -obs flag): the full registry
+// snapshot plus the derived figures the regression checks read — the commit
+// pipeline's stage-accounting consistency (the sum of per-stage p50s should
+// approximate the end-to-end commit p50) and the throughput cost of turning
+// tracing on.
+type ObsReport struct {
+	// CommitTotalP50Us is the traced end-to-end commit latency (begin to
+	// commit acknowledgement).
+	CommitTotalP50Us float64 `json:"commit_total_p50_us"`
+	// CommitStageSumP50Us sums the p50s of the commit pipeline stages
+	// (begin, buffer, validate, ts-assign, log-enqueue, fsync): stage
+	// accounting is consistent when this lands near CommitTotalP50Us.
+	CommitStageSumP50Us float64 `json:"commit_stage_sum_p50_us"`
+	// GetOpsPerSecTracingOff/On bracket the tracing overhead on the read
+	// hot path; OverheadPct is their relative difference.
+	GetOpsPerSecTracingOff float64 `json:"get_ops_per_sec_tracing_off,omitempty"`
+	GetOpsPerSecTracingOn  float64 `json:"get_ops_per_sec_tracing_on,omitempty"`
+	TracingOverheadPct     float64 `json:"tracing_overhead_pct,omitempty"`
+	// CacheHitRate is block-cache hits/(hits+misses) over the whole run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Snapshot is the full registry state at the end of the run.
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// commitStages are the contiguous client-observed commit pipeline stages
+// whose durations partition commit.total.
+var commitStages = []string{
+	"commit.begin", "commit.buffer", "commit.validate",
+	"commit.ts_assign", "commit.log_enqueue", "commit.fsync",
+}
+
+// buildObsReport snapshots c's registry and derives the report figures.
+func buildObsReport(c *cluster.Cluster) *ObsReport {
+	s := c.Obs().Snapshot()
+	r := &ObsReport{Snapshot: s}
+	r.CommitTotalP50Us = s.Histograms["commit.total"].P50Us
+	for _, st := range commitStages {
+		r.CommitStageSumP50Us += s.Histograms[st].P50Us
+	}
+	hits, misses := s.Counters["blockcache.hits"], s.Counters["blockcache.misses"]
+	if total := hits + misses; total > 0 {
+		r.CacheHitRate = float64(hits) / float64(total)
+	}
+	return r
+}

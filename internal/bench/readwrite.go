@@ -57,6 +57,10 @@ type ReadWriteResult struct {
 
 	CommitsPerSec float64 `json:"commits_per_sec"`
 	CommitAborts  int64   `json:"commit_aborts"`
+
+	// Obs is the registry snapshot and derived tracing figures (the -obs
+	// flag); nil when observability embedding is off.
+	Obs *ObsReport `json:"obs,omitempty"`
 }
 
 // ReadWriteJSONPath, when non-empty, makes ReadWrite additionally write its
@@ -76,6 +80,11 @@ func ReadWrite(o Options) error {
 	fprintf(o.Out, "%-8s %14.0f %12.1f %12.1f\n", "get", res.GetOpsPerSec, res.GetP50Micros, res.GetP99Micros)
 	fprintf(o.Out, "%-8s %14.0f %12.1f %12.1f\n", "scan", res.ScanOpsPerSec, res.ScanP50Micros, res.ScanP99Micros)
 	fprintf(o.Out, "%-8s %14.0f   (%d clients, %d aborts)\n", "commit", res.CommitsPerSec, res.CommitClients, res.CommitAborts)
+	if res.Obs != nil {
+		fprintf(o.Out, "obs: commit p50 %.1f us (stage-sum %.1f us), tracing overhead %.1f%%, cache hit rate %.3f\n",
+			res.Obs.CommitTotalP50Us, res.Obs.CommitStageSumP50Us,
+			res.Obs.TracingOverheadPct, res.Obs.CacheHitRate)
+	}
 
 	if ReadWriteJSONPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -129,6 +138,28 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 	res.GetP50Micros = float64(getHist.Quantile(0.50)) / 1e3
 	res.GetP99Micros = float64(getHist.Quantile(0.99)) / 1e3
 
+	// With -obs, re-run the get phase with tracing enabled: the off/on
+	// throughput pair quantifies the tracing overhead, and the remaining
+	// phases run traced so the commit pipeline histograms fill.
+	if o.Obs {
+		res.Obs = &ObsReport{GetOpsPerSecTracingOff: res.GetOpsPerSec}
+		c.Tracer().SetEnabled(true)
+		_, tracedOps, err := readPhase(c, w, o, func(txn *cluster.Txn, rng *rand.Rand) error {
+			row := ycsb.RowKey(uint64(rng.Intn(w.RecordCount)))
+			_, _, err := txn.Get(context.Background(), w.Table, row, "field0")
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Obs.GetOpsPerSecTracingOn = float64(tracedOps) / o.Duration.Seconds()
+		if res.Obs.GetOpsPerSecTracingOff > 0 {
+			res.Obs.TracingOverheadPct = 100 *
+				(res.Obs.GetOpsPerSecTracingOff - res.Obs.GetOpsPerSecTracingOn) /
+				res.Obs.GetOpsPerSecTracingOff
+		}
+	}
+
 	scanHist, scanOps, err := readPhase(c, w, o, func(txn *cluster.Txn, rng *rand.Rand) error {
 		start := rng.Intn(w.RecordCount)
 		rng2 := kv.KeyRange{
@@ -169,6 +200,13 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 	}
 	res.CommitsPerSec = runRes.Throughput()
 	res.CommitAborts = runRes.Aborted
+	if o.Obs {
+		rep := buildObsReport(c)
+		rep.GetOpsPerSecTracingOff = res.Obs.GetOpsPerSecTracingOff
+		rep.GetOpsPerSecTracingOn = res.Obs.GetOpsPerSecTracingOn
+		rep.TracingOverheadPct = res.Obs.TracingOverheadPct
+		res.Obs = rep
+	}
 	return res, nil
 }
 

@@ -31,6 +31,10 @@ type ScanResult struct {
 	DurationSec float64 `json:"duration_sec"`
 
 	Phases []ScanPhaseResult `json:"phases"`
+
+	// Obs is the registry snapshot and derived tracing figures (the -obs
+	// flag); nil when observability embedding is off.
+	Obs *ObsReport `json:"obs,omitempty"`
 }
 
 // ScanPhaseResult is one (range size, batch size) phase.
@@ -121,12 +125,18 @@ func scanRun(o Options) (ScanResult, error) {
 		}
 		phases = append(phases, phase{"slice", rows, 0})
 	}
+	if o.Obs {
+		c.Tracer().SetEnabled(true)
+	}
 	for _, ph := range phases {
 		pr, err := scanPhase(c, w, o, ph.mode, ph.rangeRows, ph.batch)
 		if err != nil {
 			return res, err
 		}
 		res.Phases = append(res.Phases, pr)
+	}
+	if o.Obs {
+		res.Obs = buildObsReport(c)
 	}
 	return res, nil
 }

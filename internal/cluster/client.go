@@ -11,6 +11,7 @@ import (
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
 	"txkv/internal/metrics"
+	"txkv/internal/obs"
 	"txkv/internal/txmgr"
 )
 
@@ -71,7 +72,7 @@ func (c *Cluster) NewClient(id string) (*Client, error) {
 	cl := &Client{
 		id:      id,
 		cluster: c,
-		kv:      kvstore.NewClient(kvstore.ClientConfig{ID: id}, c.net, c.master),
+		kv:      kvstore.NewClient(kvstore.ClientConfig{ID: id, Obs: c.clientObs}, c.net, c.master),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
@@ -116,11 +117,13 @@ type Txn struct {
 	client   *Client
 	h        txmgr.TxnHandle
 	readOnly bool
-	beginErr error // legacy Begin wrappers: deferred begin failure
+	beginErr error     // legacy Begin wrappers: deferred begin failure
+	sp       *obs.Span // commit-pipeline trace; nil when tracing is off or read-only
 
 	mu       sync.Mutex
 	writes   []kv.Update
 	writeIdx map[string]int // coordinate+column -> index in writes
+	bufNs    time.Duration  // accumulated write-buffering time (traced txns)
 	finished bool
 }
 
@@ -216,6 +219,11 @@ func (t *Txn) Get(ctx context.Context, table string, row kv.Key, column string) 
 
 	mctx, release := t.client.opCtx(ctx)
 	defer release()
+	if tr := t.client.cluster.tracer; tr.Enabled() {
+		var sp *obs.Span
+		mctx, sp = tr.StartSpan(mctx, "get")
+		defer sp.Finish()
+	}
 	e, found, err := t.client.kv.Get(mctx, table, row, column, t.h.StartTS)
 	if err != nil || !found {
 		return nil, false, opErr("get", table, row, err)
@@ -248,6 +256,10 @@ func (t *Txn) Delete(ctx context.Context, table string, row kv.Key, column strin
 }
 
 func (t *Txn) bufferOp(op string, u kv.Update) error {
+	var start time.Time
+	if t.sp != nil {
+		start = time.Now()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.usableLocked(); err != nil {
@@ -257,6 +269,9 @@ func (t *Txn) bufferOp(op string, u kv.Update) error {
 		return opErr(op, u.Table, u.Row, ErrReadOnlyTxn)
 	}
 	t.bufferLocked(u)
+	if t.sp != nil {
+		t.bufNs += time.Since(start)
+	}
 	return nil
 }
 
@@ -343,7 +358,9 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 	}
 	t.finished = true
 	updates := t.writes
+	bufNs := t.bufNs
 	t.mu.Unlock()
+	sp := t.sp
 
 	if t.readOnly {
 		// Read-only commit: release the snapshot pin; validation, the
@@ -365,9 +382,19 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 		return 0, opErr("commit", "", "", err)
 	}
 
-	cts, logDone, err := cl.cluster.tm.CommitAsync(t.h, updates)
+	if sp != nil && bufNs > 0 {
+		sp.StageDur("commit.buffer", bufNs)
+	}
+	cts, logDone, err := cl.cluster.tm.CommitAsyncSpan(t.h, updates, sp)
 	if err != nil {
 		return 0, opErr("commit", "", "", err)
+	}
+	// The transaction is committed from here on; every return path records
+	// the end-to-end commit latency (idempotent, safe on the nil span).
+	defer sp.Finish()
+	var fsyncStart time.Time
+	if sp != nil {
+		fsyncStart = time.Now()
 	}
 	if logDone != nil {
 		select {
@@ -375,6 +402,7 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 			if err != nil {
 				return 0, opErr("commit", "", "", fmt.Errorf("commit log append: %w", err))
 			}
+			sp.Stage("commit.fsync", fsyncStart)
 		case <-ctx.Done():
 			// Enqueued in commit order: the transaction commits when the
 			// group commit lands whether or not anyone waits. Finish the
@@ -387,8 +415,9 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 			go func() {
 				defer cl.flushWG.Done()
 				if err := <-logDone; err == nil {
+					sp.Stage("commit.fsync", fsyncStart)
 					ws := kv.WriteSet{TxnID: t.h.ID, ClientID: cl.id, CommitTS: cts, Updates: updates}
-					_ = cl.flushWS(ws, cts)
+					_ = cl.flushWS(ws, cts, sp)
 				}
 			}()
 			return cts, opErr("commit", "", "", fmt.Errorf("%w: txn %d enqueued at %d: %w",
@@ -401,7 +430,7 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 	// Synchronous-persistence baseline (Figure 2(a)): the end-to-end
 	// response time includes flushing and persisting the updates.
 	wait = wait || cl.cluster.cfg.SyncPersistence
-	flushDone := cl.flushAsync(t.h.ID, cts, updates)
+	flushDone := cl.flushAsync(t.h.ID, cts, updates, sp)
 	if wait {
 		select {
 		case err := <-flushDone:
@@ -423,13 +452,13 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 // on the client's lifetime context, never a per-call one: a committed
 // write-set must reach the servers (or be replayed by recovery), regardless
 // of the committing caller's patience.
-func (cl *Client) flushAsync(txnID uint64, cts kv.Timestamp, updates []kv.Update) <-chan error {
+func (cl *Client) flushAsync(txnID uint64, cts kv.Timestamp, updates []kv.Update, sp *obs.Span) <-chan error {
 	ws := kv.WriteSet{TxnID: txnID, ClientID: cl.id, CommitTS: cts, Updates: updates}
 	cl.flushWG.Add(1)
 	flushDone := make(chan error, 1)
 	go func() {
 		defer cl.flushWG.Done()
-		flushDone <- cl.flushWS(ws, cts)
+		flushDone <- cl.flushWS(ws, cts, sp)
 	}()
 	return flushDone
 }
@@ -437,9 +466,17 @@ func (cl *Client) flushAsync(txnID uint64, cts kv.Timestamp, updates []kv.Update
 // flushWS delivers one committed write-set and, on success, advances the
 // flushed threshold and the visibility frontier. Runs on the client's
 // lifetime context; the caller is responsible for flushWG registration.
-func (cl *Client) flushWS(ws kv.WriteSet, cts kv.Timestamp) error {
+func (cl *Client) flushWS(ws kv.WriteSet, cts kv.Timestamp, sp *obs.Span) error {
+	var start time.Time
+	if sp != nil {
+		start = time.Now()
+	}
 	err := cl.kv.Flush(cl.ctx, ws, 0, false)
 	if err == nil {
+		// Recorded after Finish for the common asynchronous case: the stage
+		// lands on the (possibly already retained) span tree, so a slow-op
+		// dump shows the flush tail of an already acknowledged commit.
+		sp.Stage("commit.flush", start)
 		if cl.agent != nil {
 			cl.agent.OnFlushed(cts)
 		}

@@ -10,6 +10,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"txkv/internal/kvstore"
 	"txkv/internal/metrics"
 	"txkv/internal/netsim"
+	"txkv/internal/obs"
 	"txkv/internal/storage"
 	"txkv/internal/txlog"
 	"txkv/internal/txmgr"
@@ -120,6 +122,19 @@ type Config struct {
 	// StorageSegmentBytes caps one storage-log segment before rotation
 	// (0 = the storage engine's default, 4 MiB).
 	StorageSegmentBytes int64
+
+	// Tracing enables per-operation span tracing at Open: commit-pipeline
+	// and read-path stages feed per-stage histograms, and operations
+	// slower than SlowOpThreshold retain their full span tree in the
+	// slow-op ring (/debug/slow). Off by default — the metric registry
+	// and per-region heat counters are always on (pure atomic adds), only
+	// span creation is gated. Toggle later with Tracer().SetEnabled.
+	Tracing bool
+	// SlowOpThreshold is the slow-op retention bar (0 = 25ms default;
+	// negative retains every traced op — useful in tests).
+	SlowOpThreshold time.Duration
+	// SlowLogSize is the slow-op ring capacity (0 = 128).
+	SlowLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +189,15 @@ type Cluster struct {
 	janitorStop chan struct{}           // non-nil while the janitor runs
 	janitorWG   sync.WaitGroup
 
+	obs       *obs.Registry
+	tracer    *obs.Tracer
+	serverObs *kvstore.ServerObs // shared instruments handed to every region server
+	clientObs *kvstore.ClientObs // shared instruments handed to every routing client
+	// Cluster-wide managed-retry counters: shared across client handles so
+	// the exported totals stay monotonic when chaos churns clients.
+	updateCommitsTotal *metrics.Counter
+	updateRetriesTotal *metrics.Counter
+
 	mu        sync.Mutex
 	rm        *core.Manager
 	rmEpoch   int
@@ -183,6 +207,11 @@ type Cluster struct {
 	clientSeq int
 	serverSeq int
 	stopped   bool
+	// Block-cache counters of server incarnations replaced by AddServer
+	// reusing an ID: folded in so the exported cache totals stay
+	// monotonic across crash/re-add cycles.
+	cacheHitsRetired   int64
+	cacheMissesRetired int64
 }
 
 // rmProxy is a stable indirection to the current recovery manager: the
@@ -237,6 +266,12 @@ func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 
 	reclaim := &metrics.ReclaimMetrics{}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.TracerConfig{
+		Enabled:       cfg.Tracing,
+		SlowThreshold: cfg.SlowOpThreshold,
+		SlowLogSize:   cfg.SlowLogSize,
+	})
 	var (
 		txBackend  storage.Backend
 		dfsOpenLog func(name string) (*storage.Log, error)
@@ -284,9 +319,11 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	log, err := txlog.Open(txlog.Config{
-		SyncLatency:  cfg.LogSyncLatency,
-		Backend:      txBackend,
-		SegmentBytes: cfg.StorageSegmentBytes,
+		SyncLatency:   cfg.LogSyncLatency,
+		Backend:       txBackend,
+		SegmentBytes:  cfg.StorageSegmentBytes,
+		SyncHist:      reg.Histogram("txlog.sync"),
+		SyncBatchSize: reg.Histogram("txlog.sync_batch"),
 	})
 	if err != nil {
 		if layoutLog != nil {
@@ -309,11 +346,33 @@ func New(cfg Config) (*Cluster, error) {
 		layoutLog: layoutLog,
 		dirLock:   dirLock,
 		reclaim:   reclaim,
+		obs:       reg,
+		tracer:    tracer,
 		servers:   make(map[string]*serverUnit),
 		clients:   make(map[string]*Client),
 		gate:      &rmProxy{},
 	}
+	c.serverObs = &kvstore.ServerObs{
+		AppliedWriteSets: reg.Counter("server.applied_writesets"),
+		AppliedCells:     reg.Counter("server.applied_cells"),
+		ApplyLatency:     reg.Histogram("commit.apply"),
+		ScanPages:        reg.Counter("server.scan_pages"),
+		ScanPageLatency:  reg.Histogram("scan.page"),
+	}
+	c.clientObs = &kvstore.ClientObs{
+		MasterLookups:     reg.Counter("client.master_lookups"),
+		LayoutHits:        reg.Counter("client.layout_hits"),
+		LayoutMisses:      reg.Counter("client.layout_misses"),
+		Gets:              reg.Counter("client.gets"),
+		GetRetries:        reg.Counter("client.get_retries"),
+		FlushRetries:      reg.Counter("client.flush_retries"),
+		ScanBatches:       reg.Counter("client.scan_batches"),
+		ScanContinuations: reg.Counter("client.scan_continuations"),
+	}
+	c.updateCommitsTotal = reg.Counter("txn.update_commits")
+	c.updateRetriesTotal = reg.Counter("txn.update_retries")
 	c.tm = txmgr.New(c.log) // oracle seeded past every recovered commit
+	c.registerPullMetrics()
 	c.master = kvstore.NewMaster(kvstore.MasterConfig{
 		HeartbeatTimeout: cfg.MasterHeartbeatTimeout,
 	}, c.fs)
@@ -376,6 +435,129 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// registerPullMetrics exposes the subsystems that already keep cumulative
+// counters (transaction manager, recovery log, reclamation, caches) through
+// the registry as pull-style metrics, so the existing Stats() structs and
+// /metrics read the same numbers without double bookkeeping.
+func (c *Cluster) registerPullMetrics() {
+	reg := c.obs
+	reg.CounterFunc("txmgr.commits", func() int64 {
+		commits, _ := c.tm.Stats()
+		return int64(commits)
+	})
+	reg.CounterFunc("txmgr.aborts", func() int64 {
+		_, aborts := c.tm.Stats()
+		return int64(aborts)
+	})
+	reg.GaugeFunc("txmgr.frontier", func() int64 { return int64(c.tm.Frontier()) })
+	reg.GaugeFunc("txmgr.last_issued", func() int64 { return int64(c.tm.LastIssued()) })
+	reg.GaugeFunc("txmgr.safe_snapshot", func() int64 { return int64(c.tm.SafeSnapshot()) })
+
+	reg.CounterFunc("txlog.appends", func() int64 { return c.log.Stats().TotalAppends })
+	reg.CounterFunc("txlog.appended_bytes", func() int64 { return c.log.Stats().TotalBytes })
+	reg.CounterFunc("txlog.syncs", func() int64 { return c.log.Stats().Syncs })
+	reg.CounterFunc("txlog.truncated_records", func() int64 { return c.log.Stats().TruncatedRecords })
+	reg.GaugeFunc("txlog.durable_records", func() int64 { return int64(c.log.Stats().DurableRecords) })
+	reg.GaugeFunc("txlog.durable_bytes", func() int64 { return c.log.Stats().DurableBytes })
+	reg.GaugeFunc("txlog.segments", func() int64 { return int64(c.log.Stats().Segments) })
+
+	reg.CounterFunc("reclaim.bytes_reclaimed", func() int64 { return c.reclaim.Snapshot().BytesReclaimed })
+	reg.CounterFunc("reclaim.bytes_retired", func() int64 { return c.reclaim.Snapshot().BytesRetired })
+	reg.CounterFunc("reclaim.files_retired", func() int64 { return c.reclaim.Snapshot().FilesRetired })
+	reg.CounterFunc("reclaim.segments_dropped", func() int64 { return c.reclaim.Snapshot().SegmentsDropped })
+	reg.CounterFunc("reclaim.compactions", func() int64 { return c.reclaim.Snapshot().Compactions })
+	reg.CounterFunc("reclaim.flushes_skipped", func() int64 { return c.reclaim.Snapshot().FlushesSkipped })
+
+	reg.GaugeFunc("cluster.live_servers", func() int64 { return int64(len(c.master.LiveServers())) })
+	reg.GaugeFunc("cluster.clients", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.clients))
+	})
+	reg.CounterFunc("blockcache.hits", func() int64 { h, _ := c.cacheTotals(); return h })
+	reg.CounterFunc("blockcache.misses", func() int64 { _, m := c.cacheTotals(); return m })
+	reg.GaugeFunc("blockcache.used_bytes", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var used int64
+		for _, u := range c.servers {
+			if !u.srv.Crashed() {
+				used += int64(u.srv.Cache().Used())
+			}
+		}
+		return used
+	})
+}
+
+// cacheTotals sums block-cache hit/miss counters across every server
+// incarnation ever added (live, crashed, and replaced), keeping the
+// exported totals monotonic.
+func (c *Cluster) cacheTotals() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits, misses = c.cacheHitsRetired, c.cacheMissesRetired
+	for _, u := range c.servers {
+		h, m := u.srv.Cache().Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// Obs returns the cluster's metric registry.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
+// Tracer returns the cluster's operation tracer (enable/disable tracing at
+// runtime, read the slow-op ring).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// RegionHeat describes one hosted region's load for /debug/regions and the
+// future placement loop.
+type RegionHeat struct {
+	Server string `json:"server"`
+	Table  string `json:"table"`
+	Region string `json:"region"`
+	Start  string `json:"start"`
+	End    string `json:"end"`
+	kvstore.RegionHeat
+}
+
+// RegionHeats snapshots per-region heat across all live servers.
+func (c *Cluster) RegionHeats() []RegionHeat {
+	c.mu.Lock()
+	units := make(map[string]*serverUnit, len(c.servers))
+	for id, u := range c.servers {
+		units[id] = u
+	}
+	c.mu.Unlock()
+	var out []RegionHeat
+	for id, u := range units {
+		if u.srv.Crashed() {
+			continue
+		}
+		for _, rh := range u.srv.RegionHeats() {
+			out = append(out, RegionHeat{
+				Server:     id,
+				Table:      rh.Info.Table,
+				Region:     rh.Info.ID,
+				Start:      string(rh.Info.Range.Start),
+				End:        string(rh.Info.Range.End),
+				RegionHeat: rh.Heat,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}
+
 // Reopen opens a cluster over an existing data directory, restoring every
 // committed transaction of the previous incarnation. It is New with the
 // persistence configuration made explicit and validated.
@@ -389,7 +571,8 @@ func Reopen(cfg Config) (*Cluster, error) {
 func (c *Cluster) newRecoveryManager() *core.Manager {
 	c.rmEpoch++
 	rc := kvstore.NewClient(kvstore.ClientConfig{
-		ID: fmt.Sprintf("recovery-client-%d", c.rmEpoch),
+		ID:  fmt.Sprintf("recovery-client-%d", c.rmEpoch),
+		Obs: c.clientObs,
 	}, c.net, c.master)
 	rm := core.NewManager(core.ManagerConfig{
 		PollInterval:      c.cfg.RMPollInterval,
@@ -436,6 +619,7 @@ func (c *Cluster) AddServer() (string, error) {
 		RollFlushMinBytes:   c.cfg.RollFlushMinBytes,
 		HorizonSource:       c.tm.SafeSnapshot,
 		Reclaim:             c.reclaim,
+		Obs:                 c.serverObs,
 	}, c.fs)
 
 	unit := &serverUnit{srv: srv}
@@ -455,6 +639,13 @@ func (c *Cluster) AddServer() (string, error) {
 		return "", err
 	}
 	c.mu.Lock()
+	if old, ok := c.servers[id]; ok {
+		// Replacing a crashed incarnation: fold its frozen cache counters
+		// into the retired totals so the exported sums never go backwards.
+		h, m := old.srv.Cache().Stats()
+		c.cacheHitsRetired += h
+		c.cacheMissesRetired += m
+	}
 	c.servers[id] = unit
 	c.serverIDs = append(c.serverIDs, id)
 	c.mu.Unlock()
@@ -634,7 +825,12 @@ func (c *Cluster) Stop() {
 // Rebalance spreads regions evenly across live servers (used after
 // AddServer to exploit the elastic scalability the paper motivates).
 // Returns the number of region moves performed.
-func (c *Cluster) Rebalance() (int, error) { return c.master.Rebalance() }
+func (c *Cluster) Rebalance() (int, error) {
+	n, err := c.master.Rebalance()
+	c.obs.Counter("master.rebalances").Add(1)
+	c.obs.Counter("master.region_moves").Add(int64(n))
+	return n, err
+}
 
 // ClusterStats aggregates health/throughput counters across subsystems for
 // tooling and operators.

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer serves the cluster's live observability surface over HTTP:
+//
+//	/metrics        Prometheus text exposition of the metric registry
+//	/debug/slow     the slow-op ring as JSON span trees (newest first)
+//	/debug/regions  per-region heat with ops/sec rates since the last scrape
+//	/debug/vars     stdlib expvar (memstats, cmdline)
+//	/debug/pprof/*  stdlib pprof profiles
+//
+// The server reads shared state through the same snapshots the Go API
+// exposes (Obs, Tracer, RegionHeats); it takes no locks of its own on the
+// hot path and is safe to leave running under load.
+type DebugServer struct {
+	c   *Cluster
+	ln  net.Listener
+	srv *http.Server
+
+	mu         sync.Mutex
+	lastScrape time.Time
+	lastHeat   map[string]RegionHeat // server+region -> previous scrape
+}
+
+// ServeDebug starts the debug HTTP server on addr ("127.0.0.1:0" picks a
+// free port; see DebugServer.Addr). The server runs until Close.
+func (c *Cluster) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{c: c, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/debug/slow", d.handleSlow)
+	mux.HandleFunc("/debug/regions", d.handleRegions)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the debug server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = d.c.obs.WriteProm(w)
+}
+
+func (d *DebugServer) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	ops := d.c.tracer.SlowOps()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Count int         `json:"count"`
+		Ops   interface{} `json:"ops"`
+	}{Count: len(ops), Ops: ops})
+}
+
+// RegionHeatRate is one /debug/regions row: cumulative heat counters plus
+// ops/sec rates over the interval since the previous scrape (zero on the
+// first scrape and for regions that just appeared).
+type RegionHeatRate struct {
+	RegionHeat
+	GetsPerSec   float64 `json:"gets_per_sec"`
+	ScansPerSec  float64 `json:"scans_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	ReadBPS      float64 `json:"read_bytes_per_sec"`
+	WriteBPS     float64 `json:"write_bytes_per_sec"`
+}
+
+func (d *DebugServer) handleRegions(w http.ResponseWriter, _ *http.Request) {
+	heats := d.c.RegionHeats()
+	now := time.Now()
+
+	d.mu.Lock()
+	elapsed := now.Sub(d.lastScrape).Seconds()
+	prev := d.lastHeat
+	cur := make(map[string]RegionHeat, len(heats))
+	for _, h := range heats {
+		cur[h.Server+"/"+h.Region] = h
+	}
+	d.lastScrape, d.lastHeat = now, cur
+	d.mu.Unlock()
+
+	rows := make([]RegionHeatRate, 0, len(heats))
+	for _, h := range heats {
+		row := RegionHeatRate{RegionHeat: h}
+		if p, ok := prev[h.Server+"/"+h.Region]; ok && elapsed > 0 {
+			rate := func(cur, prev int64) float64 {
+				if cur <= prev { // region moved or counter unchanged
+					return 0
+				}
+				return float64(cur-prev) / elapsed
+			}
+			row.GetsPerSec = rate(h.Gets, p.Gets)
+			row.ScansPerSec = rate(h.Scans, p.Scans)
+			row.WritesPerSec = rate(h.Writes, p.Writes)
+			row.ReadBPS = rate(h.BytesRead, p.BytesRead)
+			row.WriteBPS = rate(h.BytesWritten, p.BytesWritten)
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Scrape  time.Time        `json:"scrape"`
+		Regions []RegionHeatRate `json:"regions"`
+	}{Scrape: now, Regions: rows})
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"txkv/internal/kv"
+	"txkv/internal/obs"
+)
+
+// httpGet fetches a debug endpoint and returns the body.
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return body
+}
+
+// TestServeDebugEndToEnd drives a traced cluster through writes, reads, and
+// a scan, then scrapes every debug endpoint and validates the payloads.
+func TestServeDebugEndToEnd(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.Tracing = true
+	cfg.SlowOpThreshold = -1 // retain every traced op
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	cl, err := c.NewClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		txn := begin(t, cl)
+		_ = txn.Put(bgctx, "t", kv.Key(fmt.Sprintf("row-%02d", i)), "f", []byte("v"))
+		if _, err := txn.CommitWait(bgctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reader := begin(t, cl)
+	for i := 0; i < 8; i++ {
+		if _, ok, err := reader.Get(bgctx, "t", kv.Key(fmt.Sprintf("row-%02d", i)), "f"); err != nil || !ok {
+			t.Fatalf("read row-%02d: %v %v", i, ok, err)
+		}
+	}
+	sc := reader.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{})
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if err := sc.Err(); err != nil || n != 8 {
+		t.Fatalf("scan: %d entries, err %v", n, err)
+	}
+	reader.Abort()
+
+	// First /debug/regions scrape primes the rate baseline.
+	httpGet(t, base+"/debug/regions")
+
+	// /metrics: Prometheus text with the commit pipeline histograms and the
+	// pull-through counters present.
+	prom := string(httpGet(t, base+"/metrics"))
+	for _, want := range []string{
+		"txkv_commit_total_seconds_count",
+		"txkv_commit_fsync_seconds",
+		"txkv_commit_apply_seconds",
+		"txkv_get_total_seconds",
+		"txkv_scan_total_seconds",
+		"txkv_client_gets",
+		"txkv_txmgr_commits",
+		"txkv_server_applied_writesets",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name[ {labels}] value".
+	for _, line := range strings.Split(prom, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) < 2 || !strings.HasPrefix(fields[0], "txkv_") {
+			t.Errorf("malformed metrics line %q", line)
+		}
+	}
+
+	// /debug/slow: with a negative threshold every op is retained; the
+	// commit spans must carry pipeline stages.
+	var slow struct {
+		Count int            `json:"count"`
+		Ops   []obs.SpanDump `json:"ops"`
+	}
+	if err := json.Unmarshal(httpGet(t, base+"/debug/slow"), &slow); err != nil {
+		t.Fatalf("/debug/slow: %v", err)
+	}
+	if slow.Count == 0 {
+		t.Fatal("/debug/slow: no retained ops")
+	}
+	stages := map[string]bool{}
+	ops := map[string]bool{}
+	for _, op := range slow.Ops {
+		ops[op.Op] = true
+		for _, st := range op.Stages {
+			stages[st.Name] = true
+		}
+	}
+	for _, want := range []string{"commit", "get", "scan"} {
+		if !ops[want] {
+			t.Errorf("/debug/slow: no %q span retained (have %v)", want, ops)
+		}
+	}
+	for _, want := range []string{"commit.validate", "commit.ts_assign", "commit.log_enqueue", "commit.fsync"} {
+		if !stages[want] {
+			t.Errorf("/debug/slow: commit spans missing stage %q (have %v)", want, stages)
+		}
+	}
+
+	// /debug/regions: the heat counters must reflect the load just driven.
+	var regions struct {
+		Regions []RegionHeatRate `json:"regions"`
+	}
+	if err := json.Unmarshal(httpGet(t, base+"/debug/regions"), &regions); err != nil {
+		t.Fatalf("/debug/regions: %v", err)
+	}
+	if len(regions.Regions) == 0 {
+		t.Fatal("/debug/regions: no regions")
+	}
+	var gets, writes, scans int64
+	for _, r := range regions.Regions {
+		gets += r.Gets
+		writes += r.Writes
+		scans += r.Scans
+	}
+	if gets == 0 || writes == 0 || scans == 0 {
+		t.Fatalf("/debug/regions: empty heat (gets=%d writes=%d scans=%d)", gets, writes, scans)
+	}
+
+	// Stdlib surfaces mount too.
+	if !strings.Contains(string(httpGet(t, base+"/debug/vars")), "memstats") {
+		t.Error("/debug/vars: no memstats")
+	}
+}

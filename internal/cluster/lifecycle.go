@@ -84,7 +84,13 @@ func (c *Cluster) janitorLoop() {
 			// Best effort: a server crashing mid-pass surfaces as an
 			// error here and the next tick retries; readers are never
 			// affected (retirement is drain-deferred).
-			_, _ = c.ReclaimStorage()
+			passStart := time.Now()
+			_, err := c.ReclaimStorage()
+			c.obs.Counter("janitor.passes").Add(1)
+			if err != nil {
+				c.obs.Counter("janitor.pass_errors").Add(1)
+			}
+			c.obs.Histogram("janitor.pass").Record(time.Since(passStart))
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
+	"txkv/internal/obs"
 )
 
 // Streaming read API: cursor scans and batched point reads. A Txn.Scan no
@@ -46,6 +47,7 @@ type Scanner struct {
 	base   *kvstore.Scanner
 	table  string             // error context
 	cancel context.CancelFunc // releases the merged-context resources
+	sp     *obs.Span          // scan trace; finished on Close/exhaustion
 
 	own      []kv.Update // txn writes in range, (row, col)-sorted
 	ownPos   int
@@ -119,10 +121,14 @@ func (t *Txn) Scan(ctx context.Context, table string, rng kv.KeyRange, opts Scan
 		baseOpts.Limit = opts.Limit + tombstones
 	}
 	mctx, release := t.client.opCtx(ctx)
+	// The span rides the scan context, so each batch fetch records a
+	// scan.fill stage onto it; the span finishes when the scan closes.
+	mctx, sp := t.client.cluster.tracer.StartSpan(mctx, "scan")
 	return &Scanner{
 		base:     t.client.kv.NewScanner(mctx, table, rng, t.h.StartTS, baseOpts),
 		table:    table,
 		cancel:   release,
+		sp:       sp,
 		own:      own,
 		keysOnly: opts.KeysOnly,
 		limit:    opts.Limit,
@@ -219,6 +225,7 @@ func (s *Scanner) Close() {
 	if s.cancel != nil {
 		s.cancel()
 	}
+	s.sp.Finish()
 }
 
 // All adapts the scanner to a Go 1.23 range-over-func sequence. Entries

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/obs"
 	"txkv/internal/txmgr"
 )
 
@@ -133,6 +134,16 @@ func (cl *Client) BeginTxn(opts TxnOptions) (*Txn, error) {
 	}
 	tm := cl.cluster.tm
 	readOnly := opts.ReadOnly || opts.SnapshotTS != 0
+	// Read-write transactions carry a commit-pipeline span from begin: the
+	// begin wait (snapshot readability) is the pipeline's first stage.
+	var sp *obs.Span
+	if !readOnly {
+		sp = cl.cluster.tracer.NewSpan("commit")
+	}
+	var beginStart time.Time
+	if sp != nil {
+		beginStart = time.Now()
+	}
 	var h txmgr.TxnHandle
 	if opts.SnapshotTS != 0 {
 		var err error
@@ -149,7 +160,8 @@ func (cl *Client) BeginTxn(opts TxnOptions) (*Txn, error) {
 			h = tm.Begin(cl.id)
 		}
 	}
-	t := &Txn{client: cl, h: h, readOnly: readOnly}
+	sp.Stage("commit.begin", beginStart)
+	t := &Txn{client: cl, h: h, readOnly: readOnly, sp: sp}
 	if !readOnly {
 		t.writeIdx = make(map[string]int)
 	}
@@ -213,6 +225,7 @@ func (cl *Client) UpdateWith(ctx context.Context, opts TxnOptions, fn func(*Txn)
 		switch {
 		case err == nil:
 			cl.updateCommits.Add(1)
+			cl.cluster.updateCommitsTotal.Add(1)
 			return cts, nil
 		case errors.Is(err, ErrCommitIndeterminate):
 			// The write-set is enqueued and will commit; retrying would
@@ -226,6 +239,7 @@ func (cl *Client) UpdateWith(ctx context.Context, opts TxnOptions, fn func(*Txn)
 			return 0, lastErr
 		}
 		cl.updateRetries.Add(1)
+		cl.cluster.updateRetriesTotal.Add(1)
 		select {
 		case <-ctx.Done():
 			return 0, opErr("update", "", "", ctx.Err())
@@ -307,6 +321,10 @@ type PutOp struct {
 // by server). ctx is accepted for API uniformity; buffering is local.
 func (t *Txn) PutBatch(ctx context.Context, table string, puts []PutOp) error {
 	_ = ctx
+	var start time.Time
+	if t.sp != nil {
+		start = time.Now()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.usableLocked(); err != nil {
@@ -320,6 +338,9 @@ func (t *Txn) PutBatch(ctx context.Context, table string, puts []PutOp) error {
 			Table: table, Row: p.Row, Column: p.Column,
 			Value: append([]byte(nil), p.Value...),
 		})
+	}
+	if t.sp != nil {
+		t.bufNs += time.Since(start)
 	}
 	return nil
 }

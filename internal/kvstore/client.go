@@ -11,6 +11,7 @@ import (
 	"txkv/internal/kv"
 	"txkv/internal/metrics"
 	"txkv/internal/netsim"
+	"txkv/internal/obs"
 )
 
 // ClientConfig configures the routing client.
@@ -22,6 +23,28 @@ type ClientConfig struct {
 	// RetryBackoff is the initial backoff between retries; it doubles up
 	// to 32x.
 	RetryBackoff time.Duration
+	// Obs, when set, receives cluster-level routing instruments shared by
+	// every client of one cluster (per-client Stats stay separate). Nil
+	// records nothing.
+	Obs *ClientObs
+}
+
+// ClientObs bundles the cluster-level instruments the routing clients feed.
+// Individual clients come and go (crash injection retires them mid-
+// campaign), so cluster totals live here rather than being summed over live
+// instances — that keeps every exported counter monotonic. All fields must
+// be non-nil when the struct is; the cluster builds it from its registry.
+type ClientObs struct {
+	MasterLookups *metrics.Counter
+	LayoutHits    *metrics.Counter
+	LayoutMisses  *metrics.Counter
+	Gets          *metrics.Counter
+	GetRetries    *metrics.Counter
+	FlushRetries  *metrics.Counter
+	ScanBatches   *metrics.Counter
+	// ScanContinuations counts scan batches that resumed with a
+	// continuation token (i.e. every batch after a scan's first).
+	ScanContinuations *metrics.Counter
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -138,11 +161,17 @@ func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location
 		if loc, ok := lay.find(row); ok {
 			c.mu.Unlock()
 			c.layoutHits.Add(1)
+			if o := c.cfg.Obs; o != nil {
+				o.LayoutHits.Add(1)
+			}
 			return loc, nil
 		}
 	}
 	c.mu.Unlock()
 	c.layoutMisses.Add(1)
+	if o := c.cfg.Obs; o != nil {
+		o.LayoutMisses.Add(1)
+	}
 
 	// One master round trip fetches the table's whole serving layout — a
 	// scan's next thousand region transitions are then local.
@@ -153,6 +182,9 @@ func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location
 		return err
 	})
 	c.masterLookups.Add(1)
+	if o := c.cfg.Obs; o != nil {
+		o.MasterLookups.Add(1)
+	}
 	if err != nil {
 		return location{}, err
 	}
@@ -209,10 +241,23 @@ func backoff(base time.Duration, attempt int) time.Duration {
 
 // Get reads the newest version of (table, row, column) at or below maxTS.
 func (c *Client) Get(ctx context.Context, table string, row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
+	if o := c.cfg.Obs; o != nil {
+		o.Gets.Add(1)
+	}
+	sp := obs.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.ReadRetries; attempt++ {
+		var stageStart time.Time
+		if sp != nil {
+			stageStart = time.Now()
+		}
 		loc, err := c.locate(ctx, table, row)
 		if err == nil {
+			if sp != nil {
+				now := time.Now()
+				sp.StageEnd("get.layout", stageStart, now)
+				stageStart = now
+			}
 			var got kv.KeyValue
 			var found bool
 			err = c.net.Call(ctx, c.cfg.ID, loc.srv.ID(), func() error {
@@ -221,6 +266,7 @@ func (c *Client) Get(ctx context.Context, table string, row kv.Key, column strin
 				return e
 			})
 			if err == nil {
+				sp.Stage("get.server", stageStart)
 				return got, found, nil
 			}
 			c.invalidate(table, loc.info.ID)
@@ -229,6 +275,9 @@ func (c *Client) Get(ctx context.Context, table string, row kv.Key, column strin
 			return kv.KeyValue{}, false, err
 		}
 		lastErr = err
+		if o := c.cfg.Obs; o != nil {
+			o.GetRetries.Add(1)
+		}
 		select {
 		case <-ctx.Done():
 			return kv.KeyValue{}, false, ctx.Err()
@@ -433,6 +482,9 @@ func (c *Client) Flush(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, 
 			return nil
 		}
 		remaining = failed
+		if o := c.cfg.Obs; o != nil {
+			o.FlushRetries.Add(1)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"txkv/internal/kv"
 )
@@ -88,9 +89,17 @@ func (s *RegionServer) ScanBatch(ctx context.Context, req ScanRequest) (ScanResp
 	if r.Info.Range.End != "" && (clipped.End == "" || r.Info.Range.End < clipped.End) {
 		clipped.End = r.Info.Range.End
 	}
+	var pageStart time.Time
+	if s.cfg.Obs != nil {
+		pageStart = time.Now()
+	}
 	kvs, more, err := r.scanPage(ctx, clipped, req.MaxTS, req.Resume, req.HasResume, req.Columns, req.KeysOnly, req.Batch)
 	if err != nil {
 		return ScanResponse{}, err
+	}
+	if o := s.cfg.Obs; o != nil {
+		o.ScanPages.Add(1)
+		o.ScanPageLatency.Record(time.Since(pageStart))
 	}
 	return ScanResponse{KVs: kvs, More: more, RegionEnd: r.Info.Range.End}, nil
 }
@@ -140,10 +149,19 @@ const cancelCheckStride = 256
 // snapshot stability across batches comes from MVCC (the version-GC horizon
 // never passes a live snapshot). more=true means the merge was cut by max
 // and the region may hold further entries.
-func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timestamp, resume kv.CellKey, hasResume bool, cols []string, keysOnly bool, max int) (_ []kv.KeyValue, more bool, _ error) {
+func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timestamp, resume kv.CellKey, hasResume bool, cols []string, keysOnly bool, max int) (page []kv.KeyValue, more bool, _ error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer func() {
+		r.heat.scans.Add(1)
+		r.heat.cellsRead.Add(int64(len(page)))
+		var bytes int64
+		for _, e := range page {
+			bytes += int64(len(e.Value))
+		}
+		r.heat.bytesRead.Add(bytes)
+	}()
 	// Seek the iterators directly to the resume row: everything before it
 	// was delivered by earlier batches.
 	if hasResume && resume.Row > rng.Start {

@@ -1,0 +1,77 @@
+package kvstore
+
+import "sync/atomic"
+
+// regionHeat is the per-region load accounting behind /debug/regions: pure
+// atomic adds on the read and write paths (allocation-free, so the
+// zero-alloc Get guarantee holds), snapshotted on demand. It deliberately
+// tracks the signals a placement loop needs — point-vs-scan mix, bytes
+// moved, and where point reads were served from.
+type regionHeat struct {
+	gets     atomic.Int64 // point reads served
+	memHits  atomic.Int64 // ... whose winning version came from a memstore
+	fileHits atomic.Int64 // ... whose winning version came from a store file
+	misses   atomic.Int64 // ... that found nothing visible (or a tombstone)
+
+	scans     atomic.Int64 // scan pages served
+	cellsRead atomic.Int64 // cells returned by gets and scan pages
+	bytesRead atomic.Int64 // value bytes returned
+
+	writes       atomic.Int64 // write batches applied
+	cellsWritten atomic.Int64 // cells applied
+	bytesWritten atomic.Int64 // value bytes applied
+}
+
+// RegionHeat is a point-in-time copy of one region's heat counters.
+type RegionHeat struct {
+	Gets     int64 `json:"gets"`
+	MemHits  int64 `json:"mem_hits"`
+	FileHits int64 `json:"file_hits"`
+	Misses   int64 `json:"misses"`
+
+	Scans     int64 `json:"scans"`
+	CellsRead int64 `json:"cells_read"`
+	BytesRead int64 `json:"bytes_read"`
+
+	Writes       int64 `json:"writes"`
+	CellsWritten int64 `json:"cells_written"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// Heat snapshots the region's load counters.
+func (r *Region) Heat() RegionHeat {
+	h := &r.heat
+	return RegionHeat{
+		Gets:         h.gets.Load(),
+		MemHits:      h.memHits.Load(),
+		FileHits:     h.fileHits.Load(),
+		Misses:       h.misses.Load(),
+		Scans:        h.scans.Load(),
+		CellsRead:    h.cellsRead.Load(),
+		BytesRead:    h.bytesRead.Load(),
+		Writes:       h.writes.Load(),
+		CellsWritten: h.cellsWritten.Load(),
+		BytesWritten: h.bytesWritten.Load(),
+	}
+}
+
+// RegionHeatInfo pairs a region identity with its heat snapshot — the unit
+// the server-level and cluster-level aggregations ship upward.
+type RegionHeatInfo struct {
+	Info RegionInfo
+	Heat RegionHeat
+}
+
+// RegionHeats snapshots the heat of every hosted (online) region.
+func (s *RegionServer) RegionHeats() []RegionHeatInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RegionHeatInfo, 0, len(s.regions))
+	for _, e := range s.regions {
+		if !e.online || e.r == nil {
+			continue
+		}
+		out = append(out, RegionHeatInfo{Info: e.r.Info, Heat: e.r.Heat()})
+	}
+	return out
+}

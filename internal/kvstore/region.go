@@ -89,6 +89,10 @@ type Region struct {
 
 	view atomic.Pointer[viewRef]
 
+	// heat is the always-on per-region load accounting (atomic adds only)
+	// behind /debug/regions and the cluster read/write counters.
+	heat regionHeat
+
 	mu      sync.Mutex // guards view swaps and nextSeq
 	nextSeq int
 
@@ -280,6 +284,13 @@ func parseStoreFileSeq(stem string) (int, error) {
 // snapshotted it without these cells, and re-application (idempotent
 // versioned puts) guarantees they reach a store that will still be flushed.
 func (r *Region) Apply(kvs []kv.KeyValue) {
+	r.heat.writes.Add(1)
+	r.heat.cellsWritten.Add(int64(len(kvs)))
+	var bytes int64
+	for _, e := range kvs {
+		bytes += int64(len(e.Value))
+	}
+	r.heat.bytesWritten.Add(bytes)
 	for {
 		v := r.view.Load()
 		for _, e := range kvs {
@@ -303,6 +314,7 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 
 	var best kv.KeyValue
 	found := false
+	fromFile := false
 	if e, ok := v.active.Get(row, column, maxTS); ok {
 		best, found = e, true
 	}
@@ -317,12 +329,21 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 			return kv.KeyValue{}, false, err
 		}
 		if ok && (!found || e.TS > best.TS) {
-			best, found = e, true
+			best, found, fromFile = e, true, true
 		}
 	}
+	r.heat.gets.Add(1)
 	if !found || best.Tombstone {
+		r.heat.misses.Add(1)
 		return kv.KeyValue{}, false, nil
 	}
+	if fromFile {
+		r.heat.fileHits.Add(1)
+	} else {
+		r.heat.memHits.Add(1)
+	}
+	r.heat.cellsRead.Add(1)
+	r.heat.bytesRead.Add(int64(len(best.Value)))
 	return best, true, nil
 }
 

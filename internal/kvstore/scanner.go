@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/obs"
 )
 
 // defaultScanBatch is the per-request batch size when ScanOptions.Batch is
@@ -167,6 +168,17 @@ func (s *Scanner) fill() {
 		Batch:     batch,
 	}
 
+	if o := s.c.cfg.Obs; o != nil {
+		o.ScanBatches.Add(1)
+		if s.hasResume {
+			o.ScanContinuations.Add(1)
+		}
+	}
+	sp := obs.FromContext(s.ctx)
+	var fillStart time.Time
+	if sp != nil {
+		fillStart = time.Now()
+	}
 	var lastErr error
 	for attempt := 0; attempt < s.c.cfg.ReadRetries; attempt++ {
 		loc, err := s.c.locate(s.ctx, s.table, start)
@@ -178,6 +190,7 @@ func (s *Scanner) fill() {
 				return e
 			})
 			if err == nil {
+				sp.Stage("scan.fill", fillStart)
 				s.buf, s.pos = resp.KVs, 0
 				if !resp.More {
 					// Region (clipped to the range) is exhausted: advance to

@@ -70,6 +70,22 @@ type ServerConfig struct {
 	// Reclaim, when set, receives store-file retirement counters and is
 	// propagated to every region this server opens. Nil records nothing.
 	Reclaim *metrics.ReclaimMetrics
+	// Obs, when set, receives the server-side observability instruments
+	// (shared across all region servers of a cluster). Nil records
+	// nothing.
+	Obs *ServerObs
+}
+
+// ServerObs bundles the cluster-level instruments the region servers feed:
+// write-set application counters and latency, and cursor-scan page
+// counters and latency. All fields must be non-nil when the struct is; the
+// cluster builds it from its registry.
+type ServerObs struct {
+	AppliedWriteSets *metrics.Counter
+	AppliedCells     *metrics.Counter
+	ApplyLatency     *metrics.Histogram
+	ScanPages        *metrics.Counter
+	ScanPageLatency  *metrics.Histogram
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -311,6 +327,10 @@ func (s *RegionServer) findRegion(table string, row kv.Key, includeRecovering bo
 // hasPiggy marks a replayed write from the recovery client carrying the
 // failed server's T_P (paper Alg. 3 "On receive from recovery client").
 func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	var applyStart time.Time
+	if s.cfg.Obs != nil {
+		applyStart = time.Now()
+	}
 	// Shared roll barrier: held across the WAL append AND the memstore
 	// apply, so a WAL roll (exclusive acquisition) never observes an edit
 	// in the old generation that is not yet in a memstore.
@@ -358,6 +378,11 @@ func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPigg
 		if err := w.Sync(); err != nil {
 			return err
 		}
+	}
+	if o := s.cfg.Obs; o != nil {
+		o.AppliedWriteSets.Add(1)
+		o.AppliedCells.Add(int64(len(ws.Updates)))
+		o.ApplyLatency.Record(time.Since(applyStart))
 	}
 	return nil
 }

@@ -14,6 +14,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a concurrency-safe instantaneous value (a level, not a rate).
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // ReclaimMetrics aggregates the resource-lifecycle counters shared by the
 // two space-reclamation paths: DFS log compaction (segments rewritten and
 // dropped) and refcounted store-file retirement (deferred deletion once the

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,14 +22,39 @@ const (
 
 // Histogram is a concurrency-safe latency histogram. The zero value is
 // ready to use.
+//
+// Recording is lock-free: each observation is a handful of independent
+// atomic adds plus CAS loops for the extremes, so the histogram can sit on
+// hot paths (per-stage commit tracing, read-path heat) without a shared
+// mutex serializing every writer. Readers (Count, Quantile, ...) load the
+// same atomics; under concurrent writes they see a slightly torn but
+// monotonically growing view, and an exact one once writers quiesce —
+// the same contract the old mutex version gave between lock acquisitions.
 type Histogram struct {
-	mu      sync.Mutex
-	counts  [64 * subBucketCount]int64
-	count   int64
-	sum     int64
-	min     int64
-	max     int64
-	hasData bool
+	counts [64 * subBucketCount]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	// minEnc/maxEnc hold encodeExtreme(v); 0 means "no data yet", which
+	// keeps the zero value ready to use without an init fence.
+	minEnc atomic.Int64
+	maxEnc atomic.Int64
+}
+
+// encodeExtreme maps an observation to a non-zero representative so that 0
+// can mean "unset": non-negative v becomes v+1, negative v is its own
+// (already non-zero) encoding. decodeExtreme inverts it.
+func encodeExtreme(v int64) int64 {
+	if v >= 0 {
+		return v + 1
+	}
+	return v
+}
+
+func decodeExtreme(e int64) int64 {
+	if e > 0 {
+		return e - 1
+	}
+	return e
 }
 
 func bucketIndex(v int64) int {
@@ -55,83 +81,97 @@ func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
 
 // RecordValue adds one raw observation (nanoseconds by convention).
 func (h *Histogram) RecordValue(v int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.counts[bucketIndex(v)]++
-	h.count++
-	h.sum += v
-	if !h.hasData || v < h.min {
-		h.min = v
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.minEnc.Load()
+		if cur != 0 && decodeExtreme(cur) <= v {
+			break
+		}
+		if h.minEnc.CompareAndSwap(cur, encodeExtreme(v)) {
+			break
+		}
 	}
-	if !h.hasData || v > h.max {
-		h.max = v
+	for {
+		cur := h.maxEnc.Load()
+		if cur != 0 && decodeExtreme(cur) >= v {
+			break
+		}
+		if h.maxEnc.CompareAndSwap(cur, encodeExtreme(v)) {
+			break
+		}
 	}
-	h.hasData = true
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations (nanoseconds by convention).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Mean returns the mean observation as a duration.
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / h.count)
+	return time.Duration(h.sum.Load() / n)
 }
 
 // Min and Max return observed extremes.
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return time.Duration(h.min)
+	return time.Duration(decodeOrZero(h.minEnc.Load()))
 }
 
 // Max returns the maximum observation.
 func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return time.Duration(h.max)
+	return time.Duration(decodeOrZero(h.maxEnc.Load()))
+}
+
+func decodeOrZero(e int64) int64 {
+	if e == 0 {
+		return 0
+	}
+	return decodeExtreme(e)
 }
 
 // Quantile returns the approximate q-quantile (0 < q <= 1).
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	max := decodeOrZero(h.maxEnc.Load())
+	target := int64(math.Ceil(q * float64(count)))
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
 	for i := range h.counts {
-		cum += h.counts[i]
+		cum += h.counts[i].Load()
 		if cum >= target {
 			ub := bucketUpperBound(i)
-			if ub > h.max {
-				ub = h.max
+			if ub > max {
+				ub = max
 			}
 			return time.Duration(ub)
 		}
 	}
-	return time.Duration(h.max)
+	return time.Duration(max)
 }
 
-// Reset clears the histogram.
+// Reset clears the histogram. Reset racing concurrent writers clears
+// field-by-field (writers may land observations across the boundary); call
+// it only between measurement phases, as before.
 func (h *Histogram) Reset() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.counts = [64 * subBucketCount]int64{}
-	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
-	h.hasData = false
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.minEnc.Store(0)
+	h.maxEnc.Store(0)
 }
 
 // Summary renders a single-line summary.

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter not shared by name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge not shared by name")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram not shared by name")
+	}
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h").Record(3 * time.Millisecond)
+	r.CounterFunc("pulled", func() int64 { return 42 })
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Counters["pulled"] != 42 {
+		t.Errorf("counters: %+v", s.Counters)
+	}
+	if s.Gauges["g"] != -7 {
+		t.Errorf("gauges: %+v", s.Gauges)
+	}
+	if h := s.Histograms["h"]; h.Count != 1 || h.MaxUs < 2000 {
+		t.Errorf("histogram: %+v", h)
+	}
+}
+
+func TestNilRegistryIsUsable(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Record(time.Millisecond)
+	r.CounterFunc("x", func() int64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create, recording, and snapshots
+// from many goroutines; run under -race this is the registry's data-race
+// guard.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := names[(g+i)%len(names)]
+				r.Counter(n).Add(1)
+				r.Gauge(n).Add(1)
+				r.Histogram(n).Record(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					var b strings.Builder
+					_ = r.WriteProm(&b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, v := range s.Counters {
+		total += v
+	}
+	if total != 8*500 {
+		t.Errorf("lost counter increments: %d", total)
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	prev := Snapshot{Counters: map[string]int64{"c": 5}}
+	cur := Snapshot{
+		Counters: map[string]int64{"c": 4, "new": 1},
+		Gauges:   map[string]int64{"ok": 0, "bad": -2},
+	}
+	bad := CheckInvariants(prev, cur)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "c") || !strings.Contains(bad[1], "bad") {
+		t.Errorf("violations: %v", bad)
+	}
+	if v := CheckInvariants(Snapshot{}, Snapshot{Counters: map[string]int64{"c": 1}}); len(v) != 0 {
+		t.Errorf("zero prev must pass: %v", v)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txmgr.commits").Add(3)
+	r.Gauge("cluster.live_servers").Set(2)
+	r.Histogram("commit.fsync").Record(2 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE txkv_txmgr_commits counter",
+		"txkv_txmgr_commits 3",
+		"# TYPE txkv_cluster_live_servers gauge",
+		"txkv_cluster_live_servers 2",
+		"# TYPE txkv_commit_fsync_seconds summary",
+		`txkv_commit_fsync_seconds{quantile="0.5"}`,
+		"txkv_commit_fsync_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("exposition must end with a newline")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, TracerConfig{Enabled: true, SlowThreshold: -1, SlowLogSize: 4})
+
+	ctx, root := tr.StartSpan(context.Background(), "commit")
+	if root == nil {
+		t.Fatal("enabled tracer returned nil span")
+	}
+	start := time.Now()
+	root.Stage("commit.validate", start)
+	root.StageDur("commit.buffer", 5*time.Millisecond)
+
+	_, child := tr.StartSpan(ctx, "get")
+	if child == nil || child.parent != root {
+		t.Fatal("child span not attached to parent")
+	}
+	child.Finish()
+	root.Finish()
+	root.Finish() // idempotent
+
+	ops := tr.SlowOps()
+	if len(ops) != 1 { // child is not a root: only the commit span retained
+		t.Fatalf("slow ops: %d", len(ops))
+	}
+	d := ops[0]
+	if d.Op != "commit" || d.Open || len(d.Stages) != 2 || len(d.Children) != 1 {
+		t.Fatalf("dump: %+v", d)
+	}
+	if d.Stages[1].OffsetUs != -1 {
+		t.Errorf("StageDur offset must dump as -1: %+v", d.Stages[1])
+	}
+	if d.Children[0].Op != "get" {
+		t.Errorf("child dump: %+v", d.Children[0])
+	}
+	s := reg.Snapshot()
+	for _, h := range []string{"commit.total", "get.total", "commit.validate", "commit.buffer"} {
+		if s.Histograms[h].Count != 1 {
+			t.Errorf("histogram %s not fed: %+v", h, s.Histograms[h])
+		}
+	}
+}
+
+func TestSpanRingWraparound(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerConfig{Enabled: true, SlowThreshold: -1, SlowLogSize: 3})
+	for i := 0; i < 5; i++ {
+		sp := tr.NewSpan("op")
+		sp.Finish()
+	}
+	ops := tr.SlowOps()
+	if len(ops) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(ops))
+	}
+}
+
+func TestSlowThresholdFilters(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerConfig{Enabled: true, SlowThreshold: time.Hour})
+	sp := tr.NewSpan("fast")
+	sp.Finish()
+	if got := tr.SlowOps(); len(got) != 0 {
+		t.Fatalf("fast op retained: %v", got)
+	}
+}
+
+func TestOpenSpanDumps(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerConfig{Enabled: true, SlowThreshold: -1})
+	root := tr.NewSpan("commit")
+	flush := root.StartChild("flush") // still running at dump time
+	root.Finish()
+	ops := tr.SlowOps()
+	if len(ops) != 1 || len(ops[0].Children) != 1 || !ops[0].Children[0].Open {
+		t.Fatalf("open child not dumped: %+v", ops)
+	}
+	flush.Finish()
+	if ops = tr.SlowOps(); ops[0].Children[0].Open {
+		t.Fatalf("finished child still open: %+v", ops)
+	}
+}
+
+func TestDisabledTracerNilSafety(t *testing.T) {
+	var nilTr *Tracer
+	tr := NewTracer(NewRegistry(), TracerConfig{})
+	for _, tc := range []*Tracer{nilTr, tr} {
+		ctx, sp := tc.StartSpan(context.Background(), "op")
+		if sp != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+		if FromContext(ctx) != nil {
+			t.Fatal("disabled tracer attached a span")
+		}
+		// The whole nil-span surface must be no-op safe.
+		sp.Stage("s", time.Now())
+		sp.StageEnd("s", time.Now(), time.Now())
+		sp.StageDur("s", time.Second)
+		sp.StartChild("c").Finish()
+		sp.Finish()
+		if sp.Op() != "" {
+			t.Fatal("nil span op")
+		}
+		if tc.NewSpan("op") != nil {
+			t.Fatal("disabled NewSpan")
+		}
+		if len(tc.SlowOps()) != 0 {
+			t.Fatal("disabled SlowOps")
+		}
+	}
+}
+
+func TestSetEnabledToggles(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerConfig{})
+	if tr.Enabled() {
+		t.Fatal("tracer should start disabled")
+	}
+	tr.SetEnabled(true)
+	if sp := tr.NewSpan("op"); sp == nil {
+		t.Fatal("enabled tracer returned nil")
+	}
+	tr.SetEnabled(false)
+	if sp := tr.NewSpan("op"); sp != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+}
+
+// TestStartSpanDisabledZeroAlloc is the tracing-off fast-path guard: a
+// disabled tracer's StartSpan must not allocate or read the clock.
+func TestStartSpanDisabledZeroAlloc(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerConfig{})
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		ctx2, sp := tr.StartSpan(ctx, "get")
+		if sp != nil || ctx2 != ctx {
+			t.Fatal("disabled StartSpan misbehaved")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled StartSpan allocates: %v allocs/op", n)
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	tr := NewTracer(NewRegistry(), TracerConfig{})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "get")
+		sp.Finish()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	tr := NewTracer(NewRegistry(), TracerConfig{Enabled: true, SlowThreshold: time.Hour})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "get")
+		sp.Finish()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Record(123 * time.Microsecond)
+		}
+	})
+}

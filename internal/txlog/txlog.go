@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/metrics"
 	"txkv/internal/storage"
 )
 
@@ -50,6 +51,13 @@ type Config struct {
 	Backend storage.Backend
 	// SegmentBytes caps a storage segment before rotation (0 = default).
 	SegmentBytes int64
+	// SyncHist, when set, receives the wall-clock duration of each
+	// group-commit sync (storage append + fsync). Nil records nothing.
+	SyncHist *metrics.Histogram
+	// SyncBatchSize, when set, receives the record count of each
+	// group-commit batch — how well commits coalesce under load. Nil
+	// records nothing.
+	SyncBatchSize *metrics.Histogram
 }
 
 // Stats reports log counters used by the truncation experiment.
@@ -255,6 +263,10 @@ func (l *Log) syncLoop() {
 	for batch := range l.encoded {
 		// One storage group-commit (single fsync + the configured sync
 		// latency) covers the whole batch.
+		var syncStart time.Time
+		if l.cfg.SyncHist != nil {
+			syncStart = time.Now()
+		}
 		l.ioMu.Lock()
 		positions, err := l.store.AppendBatch(batch.payloads)
 
@@ -275,6 +287,12 @@ func (l *Log) syncLoop() {
 		}
 		l.mu.Unlock()
 		l.ioMu.Unlock()
+		if l.cfg.SyncHist != nil {
+			l.cfg.SyncHist.Record(time.Since(syncStart))
+		}
+		if l.cfg.SyncBatchSize != nil {
+			l.cfg.SyncBatchSize.RecordValue(int64(len(batch.recs)))
+		}
 		for _, p := range batch.recs {
 			p.done <- err
 		}

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sync"
+	"time"
 
 	"txkv/internal/kv"
+	"txkv/internal/obs"
 	"txkv/internal/txlog"
 )
 
@@ -298,6 +300,17 @@ func (m *Manager) Commit(h TxnHandle, updates []kv.Update) (kv.Timestamp, error)
 // the channel to be drained — once enqueued the write-set commits in order
 // regardless of who is watching.
 func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <-chan error, error) {
+	return m.commitAsync(h, updates, nil)
+}
+
+// CommitAsyncSpan is CommitAsync with commit-pipeline stage tracing: the
+// validate-shard, timestamp-assignment, and log-enqueue phases are recorded
+// onto sp (nil-safe — a nil span selects the untraced fast path).
+func (m *Manager) CommitAsyncSpan(h TxnHandle, updates []kv.Update, sp *obs.Span) (kv.Timestamp, <-chan error, error) {
+	return m.commitAsync(h, updates, sp)
+}
+
+func (m *Manager) commitAsync(h TxnHandle, updates []kv.Update, sp *obs.Span) (kv.Timestamp, <-chan error, error) {
 	m.mu.Lock()
 	startTS, ok := m.active[h.ID]
 	if !ok {
@@ -312,6 +325,10 @@ func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <
 	}
 	m.mu.Unlock()
 
+	var stageStart time.Time
+	if sp != nil {
+		stageStart = time.Now()
+	}
 	var (
 		coordBuf  [8]string
 		stripeBuf [8]int
@@ -339,6 +356,12 @@ func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <
 		}
 	}
 
+	if sp != nil {
+		now := time.Now()
+		sp.StageEnd("commit.validate", stageStart, now)
+		stageStart = now
+	}
+
 	// Sequencing critical section: timestamp assignment, commit-ordered log
 	// enqueue, and ordered observer notification — nothing else.
 	m.mu.Lock()
@@ -348,6 +371,11 @@ func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <
 	m.unflushed[cts] = struct{}{}
 	m.commitN++
 	ws := kv.WriteSet{TxnID: h.ID, ClientID: h.ClientID, CommitTS: cts, Updates: updates}
+	if sp != nil {
+		now := time.Now()
+		sp.StageEnd("commit.ts_assign", stageStart, now)
+		stageStart = now
+	}
 	done := m.log.Enqueue(ws) // enqueued under mu: log order == commit order
 	for _, o := range m.observers {
 		o.OnCommitAssigned(h.ClientID, cts)
@@ -366,6 +394,7 @@ func (m *Manager) CommitAsync(h TxnHandle, updates []kv.Update) (kv.Timestamp, <
 		m.shards[stripes[i]].lastCommit[coord] = cts
 	}
 	unlockShards()
+	sp.Stage("commit.log_enqueue", stageStart)
 
 	if doPrune {
 		m.prune(pruneLow)
