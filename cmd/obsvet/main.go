@@ -71,6 +71,21 @@ func vetProm(page string) (map[string]bool, []string) {
 	return names, bad
 }
 
+// promValue returns the (label-less) sample value of one metric on the
+// page, or -1 when absent.
+func promValue(page, name string) float64 {
+	for _, line := range strings.Split(page, "\n") {
+		m := promSample.FindStringSubmatch(line)
+		if m == nil || m[1] != name || m[2] != "" {
+			continue
+		}
+		if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+			return v
+		}
+	}
+	return -1
+}
+
 func get(base, path string) ([]byte, error) {
 	resp, err := http.Get(base + path)
 	if err != nil {
@@ -137,6 +152,28 @@ func main() {
 	}); err != nil {
 		log.Fatalf("view: %v", err)
 	}
+	// Force the written rows into store files (WAL roll flushes every
+	// region), then read them back — plus keys that were never written — so
+	// the store-file bloom filters are probed on both the pass and the
+	// definitive-negative path.
+	if _, err := c.ReclaimStorage(); err != nil {
+		log.Fatalf("reclaim storage: %v", err)
+	}
+	if err := cl.View(ctx, func(txn *txkv.Txn) error {
+		for i := 0; i < 20; i++ {
+			row := txkv.Key(fmt.Sprintf("row-%02d", i))
+			if _, ok, err := txn.Get(ctx, "t", row, "f"); err != nil || !ok {
+				return fmt.Errorf("post-flush get %s: found=%v err=%v", row, ok, err)
+			}
+			missing := txkv.Key(fmt.Sprintf("zz-missing-%02d", i))
+			if _, ok, err := txn.Get(ctx, "t", missing, "f"); err != nil || ok {
+				return fmt.Errorf("get %s: found=%v err=%v", missing, ok, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatalf("post-flush view: %v", err)
+	}
 	// Let the asynchronous flush/visibility tail settle before scraping.
 	time.Sleep(100 * time.Millisecond)
 
@@ -158,10 +195,31 @@ func main() {
 		"txkv_get_total_seconds_count",
 		"txkv_scan_total_seconds_count",
 		"txkv_cluster_live_servers",
+		"txkv_bloom_probes_total",
+		"txkv_bloom_negatives_total",
+		"txkv_bloom_false_positives_total",
+		"txkv_block_compressed_bytes_total",
+		"txkv_block_uncompressed_bytes_total",
+		"txkv_blockcache_hit_rate_pct",
 	} {
 		if !names[want] {
 			failures = append(failures, "missing metric "+want)
 		}
+	}
+
+	// The bloom counters must show real activity, not just exist: the
+	// post-flush reads probed filters, and the never-written keys must have
+	// produced definitive negatives (skipped file reads).
+	if v := promValue(string(page), "txkv_bloom_probes_total"); v <= 0 {
+		failures = append(failures, fmt.Sprintf("bloom probes not firing: %v", v))
+	}
+	if v := promValue(string(page), "txkv_bloom_negatives_total"); v <= 0 {
+		failures = append(failures, fmt.Sprintf("bloom negatives not firing: %v", v))
+	}
+	cmp := promValue(string(page), "txkv_block_compressed_bytes_total")
+	unc := promValue(string(page), "txkv_block_uncompressed_bytes_total")
+	if cmp <= 0 || unc < cmp {
+		failures = append(failures, fmt.Sprintf("block byte counters implausible: compressed=%v uncompressed=%v", cmp, unc))
 	}
 
 	// /debug/slow: retained span trees for commit, get, and scan.

@@ -17,11 +17,14 @@
 //	txkvbench -experiment compaction  # DataDir plateau + read p99 under the storage janitor
 //	txkvbench -experiment scan        # streaming cursor scans vs materializing slice scans
 //	txkvbench -experiment txn_retry   # managed Update retry vs caller retry loops under contention
+//	txkvbench -experiment coldread    # store-file v1 vs v2: cold gets, cold scans, disk footprint
 //	txkvbench -experiment all
 //
-// The readwrite, scan, and txn_retry experiments additionally write their
-// machine-readable results to the path given by -json (the BENCH_PR2.json /
-// BENCH_PR4.json / BENCH_PR5.json regression formats).
+// The readwrite, scan, txn_retry, and coldread experiments additionally
+// write their machine-readable results to the path given by -json (the
+// BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json
+// regression formats). The -cold flag makes the readwrite and compaction
+// read phases drop the block caches as they run.
 //
 // The -scale flag shrinks or grows every workload dimension together;
 // -records / -duration override individual knobs.
@@ -50,13 +53,14 @@ func jsonSuffix(path, name string) string {
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		jsonPath   = flag.String("json", "", "write readwrite results as JSON to this path")
 		obsFlag    = flag.Bool("obs", false, "trace the run and embed the metric registry snapshot in the JSON result (readwrite, scan)")
+		coldFlag   = flag.Bool("cold", false, "drop block caches during read phases (readwrite, compaction)")
 	)
 	flag.Parse()
 	// A single selected experiment owns -json outright; a run covering
@@ -69,11 +73,14 @@ func main() {
 		bench.ScanJSONPath = *jsonPath
 	case "txn_retry":
 		bench.TxnRetryJSONPath = *jsonPath
+	case "coldread":
+		bench.ColdReadJSONPath = *jsonPath
 	default:
 		if *jsonPath != "" {
 			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
 			bench.ScanJSONPath = jsonSuffix(*jsonPath, "scan")
 			bench.TxnRetryJSONPath = jsonSuffix(*jsonPath, "txn_retry")
+			bench.ColdReadJSONPath = jsonSuffix(*jsonPath, "coldread")
 		}
 	}
 
@@ -84,6 +91,7 @@ func main() {
 		Seed:     *seed,
 		Out:      os.Stdout,
 		Obs:      *obsFlag,
+		Cold:     *coldFlag,
 	}
 
 	experiments := map[string]func(bench.Options) error{
@@ -99,8 +107,9 @@ func main() {
 		"compaction":  bench.Compaction,
 		"scan":        bench.Scan,
 		"txn_retry":   bench.TxnRetry,
+		"coldread":    bench.ColdRead,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

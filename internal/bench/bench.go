@@ -34,6 +34,11 @@ type Options struct {
 	// tracing-overhead figures) in the JSON result. Supported by the
 	// readwrite and scan experiments.
 	Obs bool
+	// Cold drops the block caches throughout the measured read phases, so
+	// reads exercise the store-file fetch-and-decode path instead of the
+	// cache. Supported by the readwrite and compaction experiments (the
+	// coldread experiment is always cold).
+	Cold bool
 }
 
 func (o Options) withDefaults() Options {

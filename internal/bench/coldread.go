@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txkv/internal/cluster"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/metrics"
+	"txkv/internal/ycsb"
+)
+
+// ColdRead is the store-file format v2 evaluation: the same staged LSM
+// layout is read cold — block caches dropped — under both file formats, and
+// the arms are compared on exactly the axes the format change targets.
+//
+// Stage: load the table, major-compact it into one base file per region,
+// then apply updateWaves rounds of random overwrites touching waveFraction
+// of the rows, rolling the WAL after each so every region ends with
+// 1 + updateWaves overlapping store files (compaction is disabled for the
+// run — the point is the multi-file read path, not the merge policy).
+//
+// Measure, per format arm, with the paper-ratio DFS block-fetch latency as
+// the unit of cold I/O:
+//
+//   - cold point gets of present rows: v1 pays one block fetch in every
+//     overlapping file; v2's bloom filters skip the files that cannot hold
+//     the row.
+//   - cold point gets of missing rows (keys interleaved inside the loaded
+//     key space, so v1's block index cannot reject them cheaply): v2 skips
+//     every file — the bloom skip rate on this phase is the filter's
+//     advertised win and is reported from the shared FileStats counters.
+//   - cold full-table scans: every block of every file is fetched either
+//     way (a scan cannot skip), so with a fixed per-fetch cost the arms
+//     should tie — reported to show compression's CPU cost stays in the
+//     noise next to the I/O it saves.
+//   - DataDirBytes: the disk footprint after the identical write history —
+//     block compression is the only difference between the arms.
+type ColdReadResult struct {
+	Records      int     `json:"records"`
+	Threads      int     `json:"threads"`
+	UpdateWaves  int     `json:"update_waves"`
+	WaveFraction float64 `json:"wave_fraction"`
+	ValueBytes   int     `json:"value_bytes"`
+
+	V1 ColdReadArm `json:"v1"`
+	V2 ColdReadArm `json:"v2"`
+}
+
+// ColdReadArm is one format arm's measurements.
+type ColdReadArm struct {
+	StoreFileVersion int    `json:"store_file_version"`
+	Codec            string `json:"codec"`
+
+	DataDirBytes int64 `json:"datadir_bytes"`
+
+	// Quantiles come from the power-of-two-bucketed histogram (coarse at
+	// the tail: adjacent buckets differ 2x); the means are exact.
+	ColdGetPresentMeanUs float64 `json:"cold_get_present_mean_us"`
+	ColdGetPresentP50Us  float64 `json:"cold_get_present_p50_us"`
+	ColdGetPresentP99Us  float64 `json:"cold_get_present_p99_us"`
+	ColdGetMissingMeanUs float64 `json:"cold_get_missing_mean_us"`
+	ColdGetMissingP50Us  float64 `json:"cold_get_missing_p50_us"`
+	ColdGetMissingP99Us  float64 `json:"cold_get_missing_p99_us"`
+	ColdScanP50Ms        float64 `json:"cold_scan_p50_ms"`
+	ColdScanP99Ms        float64 `json:"cold_scan_p99_ms"`
+
+	// MissingBloomSkipRate is bloom negatives / bloom probes over the
+	// missing-key phase only: the fraction of per-file lookups the filters
+	// turned into no-I/O rejections. Zero in the v1 arm (no filters).
+	MissingBloomSkipRate float64 `json:"missing_bloom_skip_rate"`
+	BloomProbes          int64   `json:"bloom_probes"`
+	BloomNegatives       int64   `json:"bloom_negatives"`
+	BloomFalsePositives  int64   `json:"bloom_false_positives"`
+
+	// Write-side codec accounting (cumulative over the arm's whole write
+	// history): the compression ratio the chosen codec achieved on blocks.
+	BlockUncompressedBytes int64   `json:"block_uncompressed_bytes"`
+	BlockCompressedBytes   int64   `json:"block_compressed_bytes"`
+	CompressionRatio       float64 `json:"compression_ratio"`
+}
+
+// ColdReadJSONPath, when non-empty, makes ColdRead additionally write its
+// ColdReadResult as JSON to the given file (set by cmd/txkvbench -json).
+var ColdReadJSONPath string
+
+// Cold-read stage shape: waves of overwrites on top of the compacted base.
+// The fraction is small enough that a row being present in every wave file
+// is a sub-1% event — the v2 p99 is then strictly fewer block fetches than
+// v1's files-times-one, not a tie on the unlucky tail.
+const (
+	coldUpdateWaves  = 3
+	coldWaveFraction = 0.10
+	coldValueBytes   = 256
+	coldGetOps       = 1500 // per get phase, spread over the threads
+	coldScanIters    = 10
+	coldDropEvery    = 64 // ops between cache drops during get phases
+)
+
+// ColdRead runs both format arms and prints the comparison.
+func ColdRead(o Options) error {
+	o = o.withDefaults()
+	res := ColdReadResult{
+		Records:      o.Records,
+		Threads:      o.Threads,
+		UpdateWaves:  coldUpdateWaves,
+		WaveFraction: coldWaveFraction,
+		ValueBytes:   coldValueBytes,
+	}
+
+	v1, err := coldReadArm(o, kvstore.StoreFileV1, "")
+	if err != nil {
+		return fmt.Errorf("coldread v1 arm: %w", err)
+	}
+	res.V1 = v1
+	v2, err := coldReadArm(o, kvstore.StoreFileV2, "snappy")
+	if err != nil {
+		return fmt.Errorf("coldread v2 arm: %w", err)
+	}
+	res.V2 = v2
+
+	fprintf(o.Out, "# coldread: store-file v1 vs v2 on a cold %d-file LSM layout\n", 1+coldUpdateWaves)
+	fprintf(o.Out, "%-22s %14s %14s\n", "metric", "v1", "v2+snappy")
+	row := func(name string, a, b float64, unit string) {
+		fprintf(o.Out, "%-22s %12.1f%s %12.1f%s\n", name, a, unit, b, unit)
+	}
+	row("get-present-mean", v1.ColdGetPresentMeanUs, v2.ColdGetPresentMeanUs, "us")
+	row("get-present-p50", v1.ColdGetPresentP50Us, v2.ColdGetPresentP50Us, "us")
+	row("get-present-p99", v1.ColdGetPresentP99Us, v2.ColdGetPresentP99Us, "us")
+	row("get-missing-mean", v1.ColdGetMissingMeanUs, v2.ColdGetMissingMeanUs, "us")
+	row("get-missing-p50", v1.ColdGetMissingP50Us, v2.ColdGetMissingP50Us, "us")
+	row("get-missing-p99", v1.ColdGetMissingP99Us, v2.ColdGetMissingP99Us, "us")
+	row("scan-p50", v1.ColdScanP50Ms, v2.ColdScanP50Ms, "ms")
+	row("scan-p99", v1.ColdScanP99Ms, v2.ColdScanP99Ms, "ms")
+	fprintf(o.Out, "%-22s %13dKB %13dKB\n", "datadir", v1.DataDirBytes/1024, v2.DataDirBytes/1024)
+	fprintf(o.Out, "v2 bloom: skip rate %.3f on missing keys (%d probes, %d negatives, %d false positives)\n",
+		v2.MissingBloomSkipRate, v2.BloomProbes, v2.BloomNegatives, v2.BloomFalsePositives)
+	fprintf(o.Out, "v2 codec: %.2fx (%d KB raw -> %d KB compressed)\n",
+		v2.CompressionRatio, v2.BlockUncompressedBytes/1024, v2.BlockCompressedBytes/1024)
+
+	if ColdReadJSONPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ColdReadJSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("coldread: write json: %w", err)
+		}
+		fprintf(o.Out, "\nwrote %s\n", ColdReadJSONPath)
+	}
+	return nil
+}
+
+// coldValue builds the i-th row's payload: structured, repetitive content a
+// real record would have (random bytes would make any codec a no-op and the
+// comparison meaningless).
+func coldValue(i int) []byte {
+	s := fmt.Sprintf(`{"id":%08d,"status":"active","region":"us-east","note":"%s"}`,
+		i, strings.Repeat("txkv cold read payload ", 8))
+	b := []byte(s)
+	if len(b) > coldValueBytes {
+		b = b[:coldValueBytes]
+	}
+	return b
+}
+
+// coldMissingKey interleaves a never-written key inside the loaded key
+// space: it sorts between two present rows, so a block index alone cannot
+// reject it — only a bloom filter (or a block fetch) can.
+func coldMissingKey(i int) kv.Key {
+	return ycsb.RowKey(uint64(i)) + "q"
+}
+
+// coldReadArm stages and measures one format arm.
+func coldReadArm(o Options, version int, codec string) (ColdReadArm, error) {
+	arm := ColdReadArm{StoreFileVersion: version, Codec: codec}
+	if codec == "" {
+		arm.Codec = "none"
+	}
+
+	dir, err := os.MkdirTemp("", "txkv-coldread-*")
+	if err != nil {
+		return arm, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Zero everything but the DFS block-fetch cost: the measured quantity
+	// is cold-read I/O, counted in paper-ratio block fetches.
+	cfg := paperRatioConfig(2, false, time.Second)
+	cfg.RPCLatency = 0
+	cfg.LogSyncLatency = 0
+	cfg.DFSSyncLatency = 0
+	cfg.Persistence = cluster.PersistDisk
+	cfg.DataDir = dir
+	cfg.StoreFileVersion = version
+	cfg.Compression = codec
+	// The staged file layout must survive the run: no janitor, no
+	// threshold compactions.
+	cfg.CompactionInterval = 0
+	cfg.CompactionThreshold = 0
+
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return arm, err
+	}
+	defer c.Stop()
+	if err := c.CreateTable("usertable", ycsb.SplitKeys(o.Records, cfg.Servers)); err != nil {
+		return arm, err
+	}
+	cl, err := c.NewClient("coldread")
+	if err != nil {
+		return arm, err
+	}
+	defer cl.Stop()
+
+	// Stage 1: bulk load, then one reclamation pass — every region ends as
+	// a single compacted base file in the arm's format.
+	const batch = 500
+	for start := 0; start < o.Records; start += batch {
+		end := start + batch
+		if end > o.Records {
+			end = o.Records
+		}
+		if _, err := cl.Update(context.Background(), func(txn *cluster.Txn) error {
+			for i := start; i < end; i++ {
+				if err := txn.Put(context.Background(), "usertable", ycsb.RowKey(uint64(i)), "field0", coldValue(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return arm, err
+		}
+	}
+	if _, err := c.ReclaimStorage(); err != nil {
+		return arm, err
+	}
+
+	// Stage 2: overwrite waves, each flushed into its own store file.
+	rng := rand.New(rand.NewSource(o.Seed * 77))
+	waveRows := int(float64(o.Records) * coldWaveFraction)
+	for wave := 0; wave < coldUpdateWaves; wave++ {
+		for done := 0; done < waveRows; done += batch {
+			n := batch
+			if done+n > waveRows {
+				n = waveRows - done
+			}
+			if _, err := cl.Update(context.Background(), func(txn *cluster.Txn) error {
+				for j := 0; j < n; j++ {
+					i := rng.Intn(o.Records)
+					if err := txn.Put(context.Background(), "usertable", ycsb.RowKey(uint64(i)), "field0", coldValue(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return arm, err
+			}
+		}
+		if err := c.RollWALs(); err != nil {
+			return arm, err
+		}
+	}
+
+	// Measurements. Each get phase drops the block caches every
+	// coldDropEvery ops so the reads stay cold; the phases are separated by
+	// FileStats snapshots so the missing-key skip rate covers exactly the
+	// missing-key reads.
+	presentHist, err := coldGetPhase(c, cl, o, func(r *rand.Rand) kv.Key {
+		return ycsb.RowKey(uint64(r.Intn(o.Records)))
+	}, true)
+	if err != nil {
+		return arm, err
+	}
+	before := c.FileStats()
+	missingHist, err := coldGetPhase(c, cl, o, func(r *rand.Rand) kv.Key {
+		return coldMissingKey(r.Intn(o.Records))
+	}, false)
+	if err != nil {
+		return arm, err
+	}
+	after := c.FileStats()
+	if probes := after.BloomProbes - before.BloomProbes; probes > 0 {
+		arm.MissingBloomSkipRate = float64(after.BloomNegatives-before.BloomNegatives) / float64(probes)
+	}
+
+	scanHist := &metrics.Histogram{}
+	for it := 0; it < coldScanIters; it++ {
+		c.DropBlockCaches()
+		t0 := time.Now()
+		n := 0
+		if err := cl.View(context.Background(), func(txn *cluster.Txn) error {
+			sc := txn.Scan(context.Background(), "usertable", kv.KeyRange{}, cluster.ScanOptions{})
+			for sc.Next() {
+				n++
+			}
+			return sc.Err()
+		}); err != nil {
+			return arm, err
+		}
+		if n != o.Records {
+			return arm, fmt.Errorf("cold scan returned %d rows, want %d", n, o.Records)
+		}
+		scanHist.Record(time.Since(t0))
+	}
+
+	arm.ColdGetPresentMeanUs = float64(presentHist.Mean()) / 1e3
+	arm.ColdGetPresentP50Us = float64(presentHist.Quantile(0.50)) / 1e3
+	arm.ColdGetPresentP99Us = float64(presentHist.Quantile(0.99)) / 1e3
+	arm.ColdGetMissingMeanUs = float64(missingHist.Mean()) / 1e3
+	arm.ColdGetMissingP50Us = float64(missingHist.Quantile(0.50)) / 1e3
+	arm.ColdGetMissingP99Us = float64(missingHist.Quantile(0.99)) / 1e3
+	arm.ColdScanP50Ms = float64(scanHist.Quantile(0.50)) / 1e6
+	arm.ColdScanP99Ms = float64(scanHist.Quantile(0.99)) / 1e6
+
+	fs := c.FileStats()
+	arm.BloomProbes = fs.BloomProbes
+	arm.BloomNegatives = fs.BloomNegatives
+	arm.BloomFalsePositives = fs.BloomFalsePositives
+	arm.BlockUncompressedBytes = fs.BlockUncompressedBytes
+	arm.BlockCompressedBytes = fs.BlockCompressedBytes
+	if fs.BlockCompressedBytes > 0 {
+		arm.CompressionRatio = float64(fs.BlockUncompressedBytes) / float64(fs.BlockCompressedBytes)
+	}
+	if arm.DataDirBytes, err = c.DataDirBytes(); err != nil {
+		return arm, err
+	}
+	return arm, nil
+}
+
+// coldGetPhase runs coldGetOps point gets over keyFn-chosen keys across
+// min(o.Threads, 8) threads, dropping the block caches every coldDropEvery
+// ops globally so the measured reads fetch their blocks from the DFS.
+// wantFound asserts the expected lookup outcome — a staging bug (key scheme
+// colliding with loaded rows, or rows missing) would otherwise silently
+// invert the phase's meaning.
+func coldGetPhase(c *cluster.Cluster, cl *cluster.Client, o Options, keyFn func(*rand.Rand) kv.Key, wantFound bool) (*metrics.Histogram, error) {
+	threads := o.Threads
+	if threads > 8 {
+		threads = 8
+	}
+	hist := &metrics.Histogram{}
+	var (
+		opCount  atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	c.DropBlockCaches()
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed*131 + int64(th)))
+			txn, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			defer txn.Abort()
+			for opCount.Add(1) <= coldGetOps {
+				if opCount.Load()%coldDropEvery == 0 {
+					c.DropBlockCaches()
+				}
+				row := keyFn(rng)
+				t0 := time.Now()
+				_, found, err := txn.Get(context.Background(), "usertable", row, "field0")
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if found != wantFound {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("cold get %q: found=%v, staged layout expected %v", row, found, wantFound)
+					})
+					return
+				}
+				hist.Record(time.Since(t0))
+			}
+		}(th)
+	}
+	wg.Wait()
+	return hist, firstErr
+}

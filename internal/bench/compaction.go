@@ -167,6 +167,11 @@ func Compaction(o Options) error {
 		deadline := time.Now().Add(o.Duration)
 		for time.Now().Before(deadline) {
 			<-tick.C
+			if o.Cold {
+				// Cold mode: the read p99 column tracks the store-file
+				// fetch path through the janitor churn, not cache hits.
+				c.DropBlockCaches()
+			}
 			size, err := c.DataDirBytes()
 			if err != nil {
 				fail(err)

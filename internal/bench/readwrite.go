@@ -26,8 +26,8 @@ import (
 // Three phases run against one loaded cluster:
 //
 //  1. get: Threads closed-loop readers issue single-row snapshot Gets.
-//  2. scan: Threads closed-loop readers issue ScanRange over a random
-//     64-row window with Limit 16 (limit pushdown is the point).
+//  2. scan: Threads closed-loop readers scan a random 64-row window
+//     with Limit 16 (limit pushdown is the point).
 //  3. commit: at least 8 client processes run write-only transactions;
 //     committed transactions per second exercises validation striping.
 
@@ -120,6 +120,14 @@ func readWriteRun(o Options) (ReadWriteResult, error) {
 	defer c.Stop()
 	if err := warmup(c, w, o); err != nil {
 		return res, err
+	}
+	if o.Cold {
+		// Cold mode measures the store-file miss path: force the loaded
+		// rows out of the memstores into store files first, or the gets
+		// would be served from memory and the cache drops would be no-ops.
+		if _, err := c.ReclaimStorage(); err != nil {
+			return res, err
+		}
 	}
 
 	// Phase 1+2: closed-loop read-only clients. One transaction per
@@ -219,6 +227,10 @@ func readPhase(c *cluster.Cluster, w ycsb.Workload, o Options, op func(*cluster.
 		errOnce  sync.Once
 		firstErr error
 	)
+	// Cold mode: periodically empty the block caches (globally, across the
+	// threads) so the phase measures fetch-and-decode, not LRU hits.
+	const coldDropEvery = 256
+	var coldOps atomic.Int64
 
 	cl, err := c.NewClient("")
 	if err != nil {
@@ -247,6 +259,9 @@ func readPhase(c *cluster.Cluster, w ycsb.Workload, o Options, op func(*cluster.
 						errOnce.Do(func() { firstErr = err })
 						return
 					}
+				}
+				if o.Cold && coldOps.Add(1)%coldDropEvery == 0 {
+					c.DropBlockCaches()
 				}
 				start := time.Now()
 				if err := op(txn, rng); err != nil {

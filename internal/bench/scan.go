@@ -20,10 +20,10 @@ import (
 // path: closed-loop range scans over a short window (Records/100 rows,
 // min 100) and over the full table, at batch sizes 64 and 1024, measured as
 // p99 latency, bytes allocated per scan, and the process heap high-water
-// mark during the full-range phase. The "slice" row per range is the
-// deprecated ScanRange wrapper driven through an unbounded batch — the
-// pre-redesign O(result) behaviour — so one run produces the before/after
-// pair BENCH_PR4.json records.
+// mark during the full-range phase. The "slice" row per range drives the
+// scanner through one unbounded batch and collects every row client-side —
+// the pre-redesign O(result) behaviour — so one run produces the
+// before/after pair BENCH_PR4.json records.
 
 // ScanResult is the machine-readable output of one Scan run.
 type ScanResult struct {
@@ -39,8 +39,8 @@ type ScanResult struct {
 
 // ScanPhaseResult is one (range size, batch size) phase.
 type ScanPhaseResult struct {
-	// Mode is "scanner" (streaming batches) or "slice" (the deprecated
-	// materializing wrapper, i.e. one unbounded batch per region).
+	// Mode is "scanner" (streaming batches) or "slice" (materializing:
+	// one unbounded batch per region, collected into a slice).
 	Mode      string  `json:"mode"`
 	RangeRows int     `json:"range_rows"`
 	Batch     int     `json:"batch"`

@@ -1,0 +1,163 @@
+// Package bloom implements the dependency-free bloom filter behind
+// store-file format v2: a fixed-size bit array over row keys, built once at
+// file-write time and probed on every point read to skip files that cannot
+// contain the key.
+//
+// The filter uses Kirsch–Mitzenmacher double hashing: two 64-bit hashes
+// h1, h2 derived from one FNV-1a pass generate the k probe positions
+// g_i = h1 + i*h2 (mod m). The hash is hand-rolled rather than taken from
+// hash/fnv because the stdlib's hash.Hash interface forces a heap
+// allocation per probe — MayContain sits on the region read path, which
+// must stay allocation-free.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrBadFilter reports a malformed serialized filter.
+var ErrBadFilter = errors.New("bloom: malformed filter")
+
+// serialized layout: version(1) k(1) m(8 BE) words(8 BE each).
+const (
+	formatV1   = 0x01
+	headerSize = 1 + 1 + 8
+)
+
+// Filter is a bloom filter over string keys. The zero value is unusable;
+// construct with New or Unmarshal. A nil *Filter rejects nothing
+// (MayContain returns true), so readers of files without a filter section
+// need no special casing.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits; always len(bits)*64 after construction
+	k    uint8  // probes per key
+}
+
+// New sizes a filter for n keys at bitsPerKey bits each (10 bits/key gives
+// ~1% false positives). The probe count is the optimal k = bitsPerKey·ln2,
+// clamped to [1, 30].
+func New(n int, bitsPerKey int) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	words := (uint64(n)*uint64(bitsPerKey) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	k := int(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{
+		bits: make([]uint64, words),
+		m:    words * 64,
+		k:    uint8(k),
+	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash over a string, inlined so probing and
+// adding allocate nothing.
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// probes derives the double-hashing pair from one hash pass. h2 is forced
+// odd so that with the power-of-two-free modulus m the probe sequence does
+// not degenerate when h2 shares factors with m.
+func probes(key string) (h1, h2 uint64) {
+	h1 = fnv1a(key)
+	h2 = h1>>33 | h1<<31 // independent mix of the same entropy
+	h2 |= 1
+	return h1, h2
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key string) {
+	h1, h2 := probes(key)
+	for i := uint8(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MayContain reports whether the key might have been added. False is
+// definitive; true has the configured false-positive probability. A nil
+// filter reports true (no information). Allocation-free.
+func (f *Filter) MayContain(key string) bool {
+	if f == nil {
+		return true
+	}
+	h1, h2 := probes(key)
+	for i := uint8(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the filter's size in bits (tests and sizing stats).
+func (f *Filter) Bits() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.m
+}
+
+// Marshal appends the serialized filter to dst and returns the result.
+func (f *Filter) Marshal(dst []byte) []byte {
+	dst = append(dst, formatV1, f.k)
+	dst = binary.BigEndian.AppendUint64(dst, f.m)
+	for _, w := range f.bits {
+		dst = binary.BigEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// Unmarshal decodes a filter serialized by Marshal. Every structural
+// invariant is checked so a corrupted or truncated section is rejected
+// rather than yielding a filter that silently mis-probes.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < headerSize {
+		return nil, ErrBadFilter
+	}
+	if b[0] != formatV1 {
+		return nil, ErrBadFilter
+	}
+	k := b[1]
+	if k < 1 || k > 30 {
+		return nil, ErrBadFilter
+	}
+	m := binary.BigEndian.Uint64(b[2:10])
+	if m == 0 || m%64 != 0 {
+		return nil, ErrBadFilter
+	}
+	words := m / 64
+	if uint64(len(b)-headerSize) != words*8 {
+		return nil, ErrBadFilter
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k}
+	for i := range f.bits {
+		f.bits[i] = binary.BigEndian.Uint64(b[headerSize+i*8:])
+	}
+	return f, nil
+}

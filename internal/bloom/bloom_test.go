@@ -1,0 +1,149 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	const n = 10000
+	f := New(n, 10)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("key-%06d", i))
+	}
+	for i := 0; i < n; i++ {
+		if !f.MayContain(fmt.Sprintf("key-%06d", i)) {
+			t.Fatalf("false negative on key-%06d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := New(n, 10)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("key-%06d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent-%06d", i)) {
+			fp++
+		}
+	}
+	// 10 bits/key gives ~1% theoretical FP; allow a generous 3%.
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %.4f too high (%d/%d)", rate, fp, probes)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(500, 10)
+	for i := 0; i < 500; i++ {
+		f.Add(fmt.Sprintf("row%04d", i))
+	}
+	got, err := Unmarshal(f.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.m != f.m || got.k != f.k || len(got.bits) != len(f.bits) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.m, got.k, f.m, f.k)
+	}
+	for i := 0; i < 500; i++ {
+		if !got.MayContain(fmt.Sprintf("row%04d", i)) {
+			t.Fatalf("false negative after round trip on row%04d", i)
+		}
+	}
+}
+
+func TestNilFilter(t *testing.T) {
+	var f *Filter
+	if !f.MayContain("anything") {
+		t.Fatal("nil filter must report maybe")
+	}
+	if f.Bits() != 0 {
+		t.Fatal("nil filter has no bits")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	f := New(100, 10)
+	f.Add("a")
+	good := f.Marshal(nil)
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"truncated":       good[:len(good)-3],
+		"extended":        append(append([]byte(nil), good...), 0xff),
+		"bad version":     append([]byte{0x7f}, good[1:]...),
+		"zero k":          append([]byte{good[0], 0}, good[2:]...),
+		"oversized k":     append([]byte{good[0], 99}, good[2:]...),
+		"header only":     good[:headerSize],
+		"short of header": good[:headerSize-1],
+	}
+	// m not a multiple of 64.
+	badM := append([]byte(nil), good...)
+	badM[9] ^= 0x01
+	cases["bad m"] = badM
+
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestProbeZeroAlloc(t *testing.T) {
+	f := New(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-%04d", i))
+	}
+	key := "key-0500"
+	absent := "nope-0500"
+	if n := testing.AllocsPerRun(200, func() {
+		_ = f.MayContain(key)
+		_ = f.MayContain(absent)
+	}); n != 0 {
+		t.Fatalf("MayContain allocates %v times per probe pair", n)
+	}
+}
+
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), 10)
+	f.Add([]byte(""), 1)
+	f.Add([]byte("a\x00b"), 64)
+	f.Fuzz(func(t *testing.T, key []byte, n int) {
+		if n < 1 || n > 1<<16 {
+			n = 100
+		}
+		fl := New(n, 10)
+		fl.Add(string(key))
+		got, err := Unmarshal(fl.Marshal(nil))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !got.MayContain(string(key)) {
+			t.Fatalf("false negative after round trip: %q", key)
+		}
+	})
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	seed := New(10, 10)
+	seed.Add("x")
+	f.Add(seed.Marshal(nil))
+	f.Add([]byte{formatV1, 7, 0, 0, 0, 0, 0, 0, 0, 64})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fl, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		// Any accepted filter must be safely probeable.
+		_ = fl.MayContain("probe")
+		// ... and must round-trip to the same bytes.
+		out := fl.Marshal(nil)
+		if string(out) != string(b) {
+			t.Fatalf("accepted filter does not round-trip: %d vs %d bytes", len(out), len(b))
+		}
+	})
+}

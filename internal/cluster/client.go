@@ -19,7 +19,7 @@ import (
 var (
 	ErrClientClosed = errors.New("cluster: client closed")
 	ErrTxnFinished  = errors.New("cluster: transaction already finished")
-	// ErrCommitIndeterminate reports a CommitCtx whose context fired while
+	// ErrCommitIndeterminate reports a Commit whose context fired while
 	// the commit was already enqueued: the transaction is neither known
 	// committed nor aborted at return. It commits in order once the group
 	// commit completes — the cluster finishes the bookkeeping (and the
@@ -117,7 +117,6 @@ type Txn struct {
 	client   *Client
 	h        txmgr.TxnHandle
 	readOnly bool
-	beginErr error     // legacy Begin wrappers: deferred begin failure
 	sp       *obs.Span // commit-pipeline trace; nil when tracing is off or read-only
 
 	mu       sync.Mutex
@@ -127,52 +126,14 @@ type Txn struct {
 	finished bool
 }
 
-// usableLocked reports why the transaction cannot serve an operation (a
-// deferred begin failure or completion), or nil. Caller holds t.mu.
+// usableLocked reports why the transaction cannot serve an operation
+// (completion), or nil. Caller holds t.mu.
 func (t *Txn) usableLocked() error {
-	if t.beginErr != nil {
-		return t.beginErr
-	}
 	if t.finished {
 		return ErrTxnFinished
 	}
 	return nil
 }
-
-// legacyBegin adapts BeginTxn to the v1 contract (never fails; begin-time
-// errors surface on the first operation).
-func (cl *Client) legacyBegin(opts TxnOptions) *Txn {
-	t, err := cl.BeginTxn(opts)
-	if err != nil {
-		return &Txn{client: cl, beginErr: err}
-	}
-	return t
-}
-
-// Begin starts a transaction at the freshest snapshot, waiting (normally
-// sub-millisecond) until that snapshot is fully readable at the servers:
-// reads, including read-modify-write cycles, are consistent under snapshot
-// isolation with a minimal conflict window.
-//
-// Deprecated: use the managed closures Update/View, or BeginTxn for an
-// explicit transaction (it reports begin-time failures instead of deferring
-// them to the first operation).
-func (cl *Client) Begin() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotFresh}) }
-
-// BeginStrict starts a transaction at the visibility frontier without
-// waiting: consistent, never blocks, possibly slightly stale.
-//
-// Deprecated: use View for managed read-only closures, or
-// BeginTxn(TxnOptions{Mode: SnapshotFrontier}).
-func (cl *Client) BeginStrict() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotFrontier}) }
-
-// BeginLatest starts a transaction at the newest issued timestamp,
-// regardless of flush progress: freshest possible snapshot, but reads may
-// miss committed-but-unflushed writes (see DESIGN.md). Safe for blind
-// writes.
-//
-// Deprecated: use BeginTxn(TxnOptions{Mode: SnapshotLatest}).
-func (cl *Client) BeginLatest() *Txn { return cl.legacyBegin(TxnOptions{Mode: SnapshotLatest}) }
 
 // StartTS returns the transaction's snapshot timestamp.
 func (t *Txn) StartTS() kv.Timestamp { return t.h.StartTS }
@@ -231,13 +192,6 @@ func (t *Txn) Get(ctx context.Context, table string, row kv.Key, column string) 
 	return e.Value, true, nil
 }
 
-// GetCtx reads (table, row, column) bounded by a caller context.
-//
-// Deprecated: Get is context-first; GetCtx is a thin wrapper over it.
-func (t *Txn) GetCtx(ctx context.Context, table string, row kv.Key, column string) ([]byte, bool, error) {
-	return t.Get(ctx, table, row, column)
-}
-
 // Put buffers an update (deferred-update model: nothing reaches the servers
 // before commit). ctx is accepted for API uniformity; buffering is local.
 func (t *Txn) Put(ctx context.Context, table string, row kv.Key, column string, value []byte) error {
@@ -292,7 +246,7 @@ func (t *Txn) bufferLocked(u kv.Update) {
 // Abort simply releases the snapshot pin.
 func (t *Txn) Abort() {
 	t.mu.Lock()
-	if t.beginErr != nil || t.finished {
+	if t.finished {
 		t.mu.Unlock()
 		return
 	}
@@ -330,21 +284,6 @@ func (t *Txn) Commit(ctx context.Context) (kv.Timestamp, error) {
 // client. ctx bounds both waits (see Commit).
 func (t *Txn) CommitWait(ctx context.Context) (kv.Timestamp, error) {
 	return t.commit(ctx, true)
-}
-
-// CommitCtx commits with the waits bounded by ctx.
-//
-// Deprecated: Commit is context-first; CommitCtx is a thin wrapper over it.
-func (t *Txn) CommitCtx(ctx context.Context) (kv.Timestamp, error) {
-	return t.Commit(ctx)
-}
-
-// CommitWaitCtx is CommitWait bounded by ctx.
-//
-// Deprecated: CommitWait is context-first; CommitWaitCtx is a thin wrapper
-// over it.
-func (t *Txn) CommitWaitCtx(ctx context.Context) (kv.Timestamp, error) {
-	return t.CommitWait(ctx)
 }
 
 func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {

@@ -82,6 +82,14 @@ type Config struct {
 	MemstoreFlushBytes int
 	BlockCacheBytes    int
 	BlockSize          int
+	// StoreFileVersion selects the store-file format flushes and
+	// compactions write: 0 or kvstore.StoreFileV2 (the default) writes v2
+	// files with row-key bloom filters and per-block compression;
+	// kvstore.StoreFileV1 writes the legacy format (benchmark baselines,
+	// migration tests). Both formats are always readable.
+	StoreFileVersion int
+	// Compression names the v2 block codec: "snappy" (default) or "none".
+	Compression string
 	// WALSyncInterval is the region server's own async WAL sync cadence
 	// (in addition to the per-heartbeat persist).
 	WALSyncInterval time.Duration
@@ -186,6 +194,7 @@ type Cluster struct {
 	dirLock   *storage.DirLock // nil without persistence
 
 	reclaim     *metrics.ReclaimMetrics // shared by the DFS and every region server
+	fileStats   *kvstore.FileStats      // shared by every region server (bloom/compression counters)
 	janitorStop chan struct{}           // non-nil while the janitor runs
 	janitorWG   sync.WaitGroup
 
@@ -346,6 +355,7 @@ func New(cfg Config) (*Cluster, error) {
 		layoutLog: layoutLog,
 		dirLock:   dirLock,
 		reclaim:   reclaim,
+		fileStats: &kvstore.FileStats{},
 		obs:       reg,
 		tracer:    tracer,
 		servers:   make(map[string]*serverUnit),
@@ -487,6 +497,23 @@ func (c *Cluster) registerPullMetrics() {
 		}
 		return used
 	})
+	reg.GaugeFunc("blockcache.hit_rate_pct", func() int64 {
+		h, m := c.cacheTotals()
+		if h+m == 0 {
+			return 0
+		}
+		return h * 100 / (h + m)
+	})
+
+	// Store-file format v2 effectiveness: bloom outcomes on the read path,
+	// block bytes before/after compression on the write path. The FileStats
+	// struct is shared by every server incarnation (like reclaim), so these
+	// stay monotonic across crashes and region moves.
+	reg.CounterFunc("bloom.probes_total", func() int64 { return c.fileStats.BloomProbes.Load() })
+	reg.CounterFunc("bloom.negatives_total", func() int64 { return c.fileStats.BloomNegatives.Load() })
+	reg.CounterFunc("bloom.false_positives_total", func() int64 { return c.fileStats.BloomFalsePositives.Load() })
+	reg.CounterFunc("block.compressed_bytes_total", func() int64 { return c.fileStats.BlockCompressedBytes.Load() })
+	reg.CounterFunc("block.uncompressed_bytes_total", func() int64 { return c.fileStats.BlockUncompressedBytes.Load() })
 }
 
 // cacheTotals sums block-cache hit/miss counters across every server
@@ -502,6 +529,30 @@ func (c *Cluster) cacheTotals() (hits, misses int64) {
 		misses += m
 	}
 	return hits, misses
+}
+
+// FileStats snapshots the cluster-wide store-file effectiveness counters
+// (bloom outcomes, block compression bytes).
+func (c *Cluster) FileStats() kvstore.FileStatsSnapshot {
+	return c.fileStats.Snapshot()
+}
+
+// DropBlockCaches empties every live server's block cache — the cold-cache
+// reset the benchmark harness uses to measure cold-read latency (the state a
+// region server is in right after fail-over, Figure 3's slow return to
+// pre-failure performance).
+func (c *Cluster) DropBlockCaches() {
+	c.mu.Lock()
+	units := make([]*serverUnit, 0, len(c.servers))
+	for _, u := range c.servers {
+		units = append(units, u)
+	}
+	c.mu.Unlock()
+	for _, u := range units {
+		if !u.srv.Crashed() {
+			u.srv.Cache().Clear()
+		}
+	}
 }
 
 // Obs returns the cluster's metric registry.
@@ -617,8 +668,11 @@ func (c *Cluster) AddServer() (string, error) {
 		HeartbeatInterval:   c.cfg.MasterHeartbeatTimeout / 4,
 		CompactionThreshold: c.cfg.CompactionThreshold,
 		RollFlushMinBytes:   c.cfg.RollFlushMinBytes,
+		StoreFileVersion:    c.cfg.StoreFileVersion,
+		Compression:         c.cfg.Compression,
 		HorizonSource:       c.tm.SafeSnapshot,
 		Reclaim:             c.reclaim,
+		FileStats:           c.fileStats,
 		Obs:                 c.serverObs,
 	}, c.fs)
 

@@ -181,7 +181,7 @@ func TestTxnScanWithOverlay(t *testing.T) {
 	_ = txn.Put(bgctx, "t", "r2", "f", []byte("mine"))
 	_ = txn.Delete(bgctx, "t", "r3", "f")
 	_ = txn.Put(bgctx, "t", "r9", "f", []byte("extra"))
-	got, err := txn.ScanRange("t", kv.KeyRange{}, 0)
+	got, err := collectScan(txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -535,14 +535,9 @@ func TestClientStopWaitsForFlushes(t *testing.T) {
 	if c.TM().Frontier() < cts {
 		t.Fatalf("Stop returned with unflushed commit %d (frontier %d)", cts, c.TM().Frontier())
 	}
-	// Further use fails cleanly — at begin time now.
+	// Further use fails cleanly — at begin time.
 	if _, err := cl.BeginTxn(TxnOptions{}); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("begin on closed client: %v", err)
-	}
-	// The deprecated wrapper defers the failure to the first operation.
-	txn2 := cl.Begin()
-	if _, err := txn2.Commit(bgctx); !errors.Is(err, ErrClientClosed) {
-		t.Fatalf("legacy begin on closed client: commit err = %v", err)
 	}
 }
 

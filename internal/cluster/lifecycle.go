@@ -70,6 +70,28 @@ func (c *Cluster) ReclaimStorage() (ReclaimReport, error) {
 	return rep, err
 }
 
+// RollWALs rolls every live server's WAL, flushing all hosted regions to
+// store files without compacting them. Benches use it to stage regions
+// with a known multi-file layout before cold-read measurement; unlike
+// ReclaimStorage it never merges files, so the staged layout persists.
+func (c *Cluster) RollWALs() error {
+	c.mu.Lock()
+	units := make([]*serverUnit, 0, len(c.servers))
+	for _, u := range c.servers {
+		units = append(units, u)
+	}
+	c.mu.Unlock()
+	for _, u := range units {
+		if u.srv.Crashed() {
+			continue
+		}
+		if err := u.srv.RollWAL(); err != nil && !errors.Is(err, kvstore.ErrServerStopped) {
+			return err
+		}
+	}
+	return nil
+}
+
 // janitorLoop is the background reclamation worker started when
 // Config.CompactionInterval is non-zero.
 func (c *Cluster) janitorLoop() {

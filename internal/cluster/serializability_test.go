@@ -135,7 +135,7 @@ func TestSnapshotIsolationSerializesByCommitTS(t *testing.T) {
 	}
 	// And no phantom keys.
 	txn := begin(t, reader)
-	all, err := txn.ScanRange("t", kv.KeyRange{}, 0)
+	all, err := collectScan(txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{}))
 	txn.Abort()
 	if err != nil {
 		t.Fatal(err)

@@ -135,13 +135,6 @@ func (t *Txn) Scan(ctx context.Context, table string, rng kv.KeyRange, opts Scan
 	}
 }
 
-// ScanCtx starts a streaming scan bounded by a caller context.
-//
-// Deprecated: Scan is context-first; ScanCtx is a thin wrapper over it.
-func (t *Txn) ScanCtx(ctx context.Context, table string, rng kv.KeyRange, opts ScanOptions) *Scanner {
-	return t.Scan(ctx, table, rng, opts)
-}
-
 // Next advances to the next entry; false means exhausted, failed, or
 // cancelled (Err distinguishes).
 func (s *Scanner) Next() bool {
@@ -250,23 +243,6 @@ func (s *Scanner) All() iter.Seq2[kv.KeyValue, error] {
 	}
 }
 
-// ScanRange reads the newest visible version per (row, column) in rng at
-// the transaction's snapshot into one slice, overlaid with the
-// transaction's own writes, sorted by (row, column).
-//
-// Deprecated: ScanRange materializes the whole result — O(result) memory
-// on the client. Use Scan, which streams bounded batches; ScanRange remains
-// as a thin wrapper for callers that genuinely want a small slice.
-func (t *Txn) ScanRange(table string, rng kv.KeyRange, limit int) ([]kv.KeyValue, error) {
-	sc := t.Scan(context.Background(), table, rng, ScanOptions{Limit: limit})
-	defer sc.Close()
-	var out []kv.KeyValue
-	for sc.Next() {
-		out = append(out, sc.KV())
-	}
-	return out, sc.Err()
-}
-
 // GetBatch reads N cells in one round trip per involved region server,
 // merged with the transaction's write buffer (buffered puts and tombstones
 // win). Results parallel keys. ctx bounds the batched reads.
@@ -308,12 +284,4 @@ func (t *Txn) GetBatch(ctx context.Context, table string, keys []kv.CellKey) ([]
 		}
 	}
 	return out, nil
-}
-
-// GetBatchCtx is GetBatch bounded by a caller context.
-//
-// Deprecated: GetBatch is context-first; GetBatchCtx is a thin wrapper over
-// it.
-func (t *Txn) GetBatchCtx(ctx context.Context, table string, keys []kv.CellKey) ([]BatchValue, error) {
-	return t.GetBatch(ctx, table, keys)
 }

@@ -135,9 +135,9 @@ func TestScannerIterAdapter(t *testing.T) {
 	}
 }
 
-// TestScanCtxCancellation: cancelling the scan context stops the stream at
+// TestScanCancellation: cancelling the scan context stops the stream at
 // the next pull with the ctx error, without disturbing the transaction.
-func TestScanCtxCancellation(t *testing.T) {
+func TestScanCancellation(t *testing.T) {
 	c := newCluster(t, fastConfig(1))
 	if err := c.CreateTable("t", nil); err != nil {
 		t.Fatal(err)
@@ -218,9 +218,9 @@ func TestTxnGetBatch(t *testing.T) {
 	}
 }
 
-// TestCommitCtxPreCancelled: a context dead before commit aborts cleanly —
+// TestCommitPreCancelled: a context dead before commit aborts cleanly —
 // nothing reaches the log and the transaction is finished.
-func TestCommitCtxPreCancelled(t *testing.T) {
+func TestCommitPreCancelled(t *testing.T) {
 	c := newCluster(t, fastConfig(1))
 	if err := c.CreateTable("t", nil); err != nil {
 		t.Fatal(err)
@@ -247,11 +247,11 @@ func TestCommitCtxPreCancelled(t *testing.T) {
 	}
 }
 
-// TestCommitCtxIndeterminate: a deadline firing inside the group-commit
+// TestCommitIndeterminate: a deadline firing inside the group-commit
 // wait returns ErrCommitIndeterminate — and the commit still lands: the
 // cluster finishes the flush in the background and the value becomes
 // readable.
-func TestCommitCtxIndeterminate(t *testing.T) {
+func TestCommitIndeterminate(t *testing.T) {
 	cfg := fastConfig(1)
 	cfg.LogSyncLatency = 300 * time.Millisecond // make the durability wait slow
 	c := newCluster(t, cfg)
@@ -284,11 +284,11 @@ func TestCommitCtxIndeterminate(t *testing.T) {
 	}
 }
 
-// TestCommitCtxIndeterminateThenStop: a clean Stop immediately after an
-// indeterminate CommitCtx must wait for the detached group-commit wait and
+// TestCommitIndeterminateThenStop: a clean Stop immediately after an
+// indeterminate Commit must wait for the detached group-commit wait and
 // its flush — the committed write-set may not be stranded (the client
 // unregisters only after its flush state is final, paper Alg. 1).
-func TestCommitCtxIndeterminateThenStop(t *testing.T) {
+func TestCommitIndeterminateThenStop(t *testing.T) {
 	cfg := fastConfig(1)
 	cfg.LogSyncLatency = 200 * time.Millisecond
 	c := newCluster(t, cfg)

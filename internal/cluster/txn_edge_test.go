@@ -29,8 +29,9 @@ func TestTxnUseAfterFinish(t *testing.T) {
 	if err := txn.Put(bgctx, "t", "a", "f", nil); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("put after commit: %v", err)
 	}
-	if _, err := txn.ScanRange("t", kv.KeyRange{}, 0); !errors.Is(err, ErrTxnFinished) {
-		t.Fatalf("scan after commit: %v", err)
+	sc := txn.Scan(bgctx, "t", kv.KeyRange{}, ScanOptions{})
+	if sc.Next() || !errors.Is(sc.Err(), ErrTxnFinished) {
+		t.Fatalf("scan after commit: %v", sc.Err())
 	}
 	txn.Abort() // no-op, must not panic
 }

@@ -581,49 +581,3 @@ func TestUpdateClosurePanicReleasesTxn(t *testing.T) {
 		t.Fatalf("horizon %d stuck below %d: panicked closure leaked its txn", h, cts)
 	}
 }
-
-// TestDeprecatedWrappersStillWork: the legacy v1 surface (Begin family,
-// *Ctx variants, ScanRange) remains functional as thin wrappers.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
-	c := newCluster(t, fastConfig(1))
-	if err := c.CreateTable("t", nil); err != nil {
-		t.Fatal(err)
-	}
-	cl, err := c.NewClient("c1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	txn := cl.Begin()
-	if err := txn.Put(bgctx, "t", "k", "f", []byte("v")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := txn.CommitWaitCtx(bgctx); err != nil {
-		t.Fatal(err)
-	}
-	r := cl.BeginStrict()
-	if v, ok, err := r.GetCtx(bgctx, "t", "k", "f"); err != nil || !ok || string(v) != "v" {
-		t.Fatalf("GetCtx: %q %v %v", v, ok, err)
-	}
-	if got, err := r.ScanRange("t", kv.KeyRange{}, 0); err != nil || len(got) != 1 {
-		t.Fatalf("ScanRange: %v %v", got, err)
-	}
-	sc := r.ScanCtx(bgctx, "t", kv.KeyRange{}, ScanOptions{})
-	n := 0
-	for sc.Next() {
-		n++
-	}
-	if sc.Err() != nil || n != 1 {
-		t.Fatalf("ScanCtx: n=%d err=%v", n, sc.Err())
-	}
-	if _, err := r.GetBatchCtx(bgctx, "t", []kv.CellKey{{Row: "k", Column: "f"}}); err != nil {
-		t.Fatal(err)
-	}
-	r.Abort()
-	w := cl.BeginLatest()
-	if err := w.Put(bgctx, "t", "k2", "f", []byte("v2")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := w.CommitCtx(bgctx); err != nil {
-		t.Fatal(err)
-	}
-}

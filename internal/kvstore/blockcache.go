@@ -22,6 +22,14 @@ type BlockCache struct {
 type cacheEntry struct {
 	key  string
 	data []byte
+	// charge is the byte cost recorded against used when this entry was
+	// admitted (the decompressed length for v2 blocks). Eviction, overwrite,
+	// and invalidation reclaim exactly this amount — never a re-derived
+	// len(data), which could drift from the admitted charge if a caller
+	// reslices the shared backing array — so used is always the exact sum of
+	// live charges and a retired file's invalidation returns precisely what
+	// its blocks cost.
+	charge int
 }
 
 // NewBlockCache returns a cache holding at most capacity bytes. A zero or
@@ -58,11 +66,12 @@ func (c *BlockCache) Put(key string, data []byte) {
 	}
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		c.used += len(data) - len(ent.data)
+		c.used += len(data) - ent.charge
 		ent.data = data
+		ent.charge = len(data)
 		c.order.MoveToFront(el)
 	} else {
-		c.items[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+		c.items[key] = c.order.PushFront(&cacheEntry{key: key, data: data, charge: len(data)})
 		c.used += len(data)
 	}
 	for c.used > c.capacity {
@@ -73,7 +82,7 @@ func (c *BlockCache) Put(key string, data []byte) {
 		ent := back.Value.(*cacheEntry)
 		c.order.Remove(back)
 		delete(c.items, ent.key)
-		c.used -= len(ent.data)
+		c.used -= ent.charge
 	}
 }
 
@@ -115,7 +124,7 @@ func (c *BlockCache) InvalidateFile(path string, blocks int) {
 		if el, ok := c.items[key]; ok {
 			c.order.Remove(el)
 			delete(c.items, key)
-			c.used -= len(el.Value.(*cacheEntry).data)
+			c.used -= el.Value.(*cacheEntry).charge
 		}
 	}
 }

@@ -135,6 +135,19 @@ func (s *RegionServer) GetBatch(ctx context.Context, table string, keys []kv.Cel
 	return kvs, found, nil
 }
 
+// singleRowRange reports whether rng covers exactly one row — End is
+// Start plus a single zero byte, the canonical "this row only" range — and
+// returns that row.
+func singleRowRange(rng kv.KeyRange) (kv.Key, bool) {
+	if len(rng.End) != len(rng.Start)+1 || rng.End[len(rng.Start)] != 0 {
+		return "", false
+	}
+	if rng.End[:len(rng.Start)] != rng.Start {
+		return "", false
+	}
+	return rng.Start, true
+}
+
 // cancelCheckStride is how many merge steps a scan page takes between
 // context checks: frequent enough that a cancelled scan stops within
 // microseconds, rare enough to stay off the per-entry hot path.
@@ -178,12 +191,25 @@ func (r *Region) scanPage(ctx context.Context, rng kv.KeyRange, maxTS kv.Timesta
 	v := r.acquireView()
 	defer r.releaseView(v)
 
+	// Row-key blooms can prune a scan only when the range pins a single
+	// row; broader ranges carry no per-row information the filter can use.
+	bloomRow, singleRow := singleRowRange(rng)
+
 	iters := make([]kvIter, 0, 1+len(v.frozen)+len(v.files))
 	iters = append(iters, v.active.Iter(rng, maxTS))
 	for _, m := range v.frozen {
 		iters = append(iters, m.Iter(rng, maxTS))
 	}
 	for _, f := range v.files {
+		if singleRow && f.hasBloom() {
+			r.heat.bloomProbes.Add(1)
+			r.stats.bloomProbe()
+			if !f.MayContainRow(bloomRow) {
+				r.heat.bloomNegatives.Add(1)
+				r.stats.bloomNegative()
+				continue
+			}
+		}
 		fi, err := f.Iter(rng, maxTS, r.cache)
 		if err != nil {
 			return nil, false, err

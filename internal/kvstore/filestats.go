@@ -1,0 +1,70 @@
+package kvstore
+
+import "sync/atomic"
+
+// FileStats accumulates cluster-wide store-file effectiveness counters:
+// bloom-filter outcomes on the read path and block byte counts on the write
+// path. One FileStats is shared by every server in a cluster (like the
+// reclaim metrics), so the exported counters stay monotonic across server
+// crashes, restarts, and region moves. A nil *FileStats is valid and counts
+// nothing.
+type FileStats struct {
+	// BloomProbes counts point-read probes against files carrying a bloom
+	// filter. BloomNegatives counts probes the filter rejected (the file
+	// read was skipped entirely). BloomFalsePositives counts probes the
+	// filter passed where the subsequent file read found no cell for the
+	// row — the residual cost the filter's sizing controls.
+	BloomProbes         atomic.Int64
+	BloomNegatives      atomic.Int64
+	BloomFalsePositives atomic.Int64
+
+	// BlockUncompressedBytes and BlockCompressedBytes count data-block
+	// payload bytes before and after per-block encoding at write time
+	// (raw-fallback frames count their raw length), so their ratio is the
+	// achieved on-disk compression ratio.
+	BlockUncompressedBytes atomic.Int64
+	BlockCompressedBytes   atomic.Int64
+}
+
+func (s *FileStats) bloomProbe() {
+	if s != nil {
+		s.BloomProbes.Add(1)
+	}
+}
+
+func (s *FileStats) bloomNegative() {
+	if s != nil {
+		s.BloomNegatives.Add(1)
+	}
+}
+
+func (s *FileStats) bloomFalsePositive() {
+	if s != nil {
+		s.BloomFalsePositives.Add(1)
+	}
+}
+
+// FileStatsSnapshot is a point-in-time copy of FileStats, JSON-ready for
+// debug endpoints.
+type FileStatsSnapshot struct {
+	BloomProbes            int64 `json:"bloom_probes"`
+	BloomNegatives         int64 `json:"bloom_negatives"`
+	BloomFalsePositives    int64 `json:"bloom_false_positives"`
+	BlockUncompressedBytes int64 `json:"block_uncompressed_bytes"`
+	BlockCompressedBytes   int64 `json:"block_compressed_bytes"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each load is
+// atomic; the set is not).
+func (s *FileStats) Snapshot() FileStatsSnapshot {
+	if s == nil {
+		return FileStatsSnapshot{}
+	}
+	return FileStatsSnapshot{
+		BloomProbes:            s.BloomProbes.Load(),
+		BloomNegatives:         s.BloomNegatives.Load(),
+		BloomFalsePositives:    s.BloomFalsePositives.Load(),
+		BlockUncompressedBytes: s.BlockUncompressedBytes.Load(),
+		BlockCompressedBytes:   s.BlockCompressedBytes.Load(),
+	}
+}

@@ -1,0 +1,236 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"txkv/internal/compress"
+	"txkv/internal/dfs"
+	"txkv/internal/kv"
+)
+
+// compressibleEntries returns sorted rows whose values snappy genuinely
+// shrinks: the writer's raw-frame fallback would otherwise kick in and the
+// corruption cases below would be exercising the wrong decoder.
+func compressibleEntries(n int) []kv.KeyValue {
+	entries := make([]kv.KeyValue, 0, n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, mkKV(
+			fmt.Sprintf("row%05d", i), "c", kv.Timestamp(i+1),
+			fmt.Sprintf("val%d-%s", i, strings.Repeat("abcdef", 8))))
+	}
+	return entries
+}
+
+// corruptCopy reads src, hands a private copy to mutate, and writes the
+// result to dst. DFS files are append-only, so corruption is modeled as a
+// mutated sibling rather than an in-place edit.
+func corruptCopy(t *testing.T, fs *dfs.FS, src, dst string, mutate func([]byte) []byte) {
+	t.Helper()
+	orig, err := fs.ReadAll(src)
+	if err != nil {
+		t.Fatalf("read %s: %v", src, err)
+	}
+	b := mutate(append([]byte(nil), orig...))
+	w, err := fs.Create(dst)
+	if err != nil {
+		t.Fatalf("create %s: %v", dst, err)
+	}
+	if err := w.Append(b); err != nil {
+		t.Fatalf("append %s: %v", dst, err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", dst, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close %s: %v", dst, err)
+	}
+}
+
+// TestStoreFileV2CorruptionRejected flips bytes in every structural section
+// of a v2 file — frame header, compressed payload, bloom section, footer —
+// and expects ErrBadStoreFile from open or from the first read that touches
+// the damage, never a silent wrong answer or a panic.
+func TestStoreFileV2CorruptionRejected(t *testing.T) {
+	fs := dfs.New(dfs.Config{})
+	entries := compressibleEntries(500)
+	if _, err := WriteStoreFileWith(fs, "/data/v2", entries, StoreFileOptions{
+		BlockSize: 256, Version: StoreFileV2, Codec: compress.Snappy{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := fs.ReadAll("/data/v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first frame must actually be snappy-compressed, or the payload
+	// case below would corrupt a raw frame instead.
+	if orig[0] != compress.IDSnappy {
+		t.Fatalf("first frame codec = %d, want snappy (values not compressible?)", orig[0])
+	}
+	footer := orig[len(orig)-footerSizeV2:]
+	bloomOff := int64(binary.BigEndian.Uint64(footer[12:20]))
+	if bloomLen := binary.BigEndian.Uint32(footer[20:24]); bloomLen == 0 {
+		t.Fatal("v2 file written without a bloom section")
+	}
+
+	cases := []struct {
+		name string
+		// openFails: the damage must be caught at OpenStoreFile; otherwise
+		// the open succeeds and the first Get through the block must fail.
+		openFails bool
+		mutate    func(b []byte) []byte
+	}{
+		{"unknown frame codec id", false, func(b []byte) []byte {
+			b[0] = 0x7F
+			return b
+		}},
+		{"corrupt snappy payload", false, func(b []byte) []byte {
+			for i := 1; i < 7; i++ {
+				b[i] = 0xFF
+			}
+			return b
+		}},
+		{"corrupt bloom header", true, func(b []byte) []byte {
+			b[bloomOff] = 0x7F // bloom format-version byte
+			return b
+		}},
+		{"corrupt footer version byte", true, func(b []byte) []byte {
+			b[len(b)-(footerSizeV2-25)] = 0x09
+			return b
+		}},
+		{"corrupt footer magic", true, func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}},
+		{"body truncated under footer", true, func(b []byte) []byte {
+			// Keep a valid footer whose index/bloom offsets now point past
+			// the end of the file: the extent validation must reject it.
+			return b[len(b)-64:]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := "/data/corrupt-" + strings.ReplaceAll(tc.name, " ", "-")
+			corruptCopy(t, fs, "/data/v2", path, tc.mutate)
+			sf, err := OpenStoreFile(fs, path)
+			if tc.openFails {
+				if !errors.Is(err, ErrBadStoreFile) {
+					t.Fatalf("open: got %v, want ErrBadStoreFile", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("open should succeed (footer intact): %v", err)
+			}
+			_, _, err = sf.Get(entries[0].Row, "c", kv.MaxTimestamp, nil)
+			if !errors.Is(err, ErrBadStoreFile) {
+				t.Fatalf("get through corrupt block: got %v, want ErrBadStoreFile", err)
+			}
+		})
+	}
+
+	// The pristine original still reads back — the mutated siblings never
+	// touched it.
+	sf, err := OpenStoreFile(fs, "/data/v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := sf.Get(entries[42].Row, "c", kv.MaxTimestamp, nil)
+	if err != nil || !found || string(got.Value) != string(entries[42].Value) {
+		t.Fatalf("original after corruption tests: %v %v %v", got, found, err)
+	}
+}
+
+// TestCompactTieredUpgradesMixedFormats drives a region holding both v1 and
+// v2 store files through tiered compaction: the legacy files are in the
+// must-rewrite set even when no size tier qualifies, repeated rounds
+// converge (CompactTiered eventually reports no work), and afterwards every
+// live file is v2 with the data intact.
+func TestCompactTieredUpgradesMixedFormats(t *testing.T) {
+	fs := dfs.New(dfs.Config{})
+	info := RegionInfo{ID: "t-r000", Table: "t", Range: kv.KeyRange{}}
+	r, err := OpenRegion(fs, NewBlockCache(1<<20), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 50
+	flushGen := func(gen int) {
+		batch := make([]kv.KeyValue, 0, rows)
+		for i := 0; i < rows; i++ {
+			batch = append(batch, mkKV(
+				fmt.Sprintf("row%05d", i), "c", kv.Timestamp(gen*1000+i+1),
+				fmt.Sprintf("g%d-%d", gen, i)))
+		}
+		r.Apply(batch)
+		if err := r.Flush(256); err != nil {
+			t.Fatalf("flush gen %d: %v", gen, err)
+		}
+	}
+	countVersions := func() (nv1, nv2 int) {
+		v := r.acquireView()
+		defer r.releaseView(v)
+		for _, f := range v.files {
+			if f.Version() == StoreFileV1 {
+				nv1++
+			} else {
+				nv2++
+			}
+		}
+		return
+	}
+
+	// Two flushes from the region's v1 era, then one after the configured
+	// format moves to v2 — the mixed layout a rolling upgrade leaves behind.
+	r.sfOpts = StoreFileOptions{Version: StoreFileV1}
+	flushGen(1)
+	flushGen(2)
+	r.sfOpts = StoreFileOptions{}
+	flushGen(3)
+	if nv1, nv2 := countVersions(); nv1 != 2 || nv2 != 1 {
+		t.Fatalf("mixed layout: %d v1 + %d v2 files, want 2 + 1", nv1, nv2)
+	}
+
+	changed, err := r.CompactTiered(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("first tiered round must rewrite the legacy v1 files")
+	}
+	if nv1, _ := countVersions(); nv1 != 0 {
+		t.Fatalf("%d v1 files survive a tiered round; must-rewrite should claim all", nv1)
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds > 5 {
+			t.Fatal("tiered compaction does not converge")
+		}
+		changed, err := r.CompactTiered(256, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Every row reads back at its newest generation through the upgraded
+	// files; all three generations survive under horizon 0.
+	for i := 0; i < rows; i++ {
+		row := kv.Key(fmt.Sprintf("row%05d", i))
+		got, found, err := r.Get(row, "c", kv.MaxTimestamp)
+		if err != nil || !found {
+			t.Fatalf("get %s after upgrade: %v %v", row, found, err)
+		}
+		if want := fmt.Sprintf("g3-%d", i); string(got.Value) != want {
+			t.Fatalf("row %s = %q, want %q", row, got.Value, want)
+		}
+		got, found, err = r.Get(row, "c", kv.Timestamp(1000+i+1))
+		if err != nil || !found || string(got.Value) != fmt.Sprintf("g1-%d", i) {
+			t.Fatalf("row %s old version after upgrade: %q %v %v", row, got.Value, found, err)
+		}
+	}
+}

@@ -20,6 +20,10 @@ type regionHeat struct {
 	writes       atomic.Int64 // write batches applied
 	cellsWritten atomic.Int64 // cells applied
 	bytesWritten atomic.Int64 // value bytes applied
+
+	bloomProbes         atomic.Int64 // store-file bloom probes on reads
+	bloomNegatives      atomic.Int64 // ... that skipped the file outright
+	bloomFalsePositives atomic.Int64 // ... that passed but found no row
 }
 
 // RegionHeat is a point-in-time copy of one region's heat counters.
@@ -36,22 +40,29 @@ type RegionHeat struct {
 	Writes       int64 `json:"writes"`
 	CellsWritten int64 `json:"cells_written"`
 	BytesWritten int64 `json:"bytes_written"`
+
+	BloomProbes         int64 `json:"bloom_probes"`
+	BloomNegatives      int64 `json:"bloom_negatives"`
+	BloomFalsePositives int64 `json:"bloom_false_positives"`
 }
 
 // Heat snapshots the region's load counters.
 func (r *Region) Heat() RegionHeat {
 	h := &r.heat
 	return RegionHeat{
-		Gets:         h.gets.Load(),
-		MemHits:      h.memHits.Load(),
-		FileHits:     h.fileHits.Load(),
-		Misses:       h.misses.Load(),
-		Scans:        h.scans.Load(),
-		CellsRead:    h.cellsRead.Load(),
-		BytesRead:    h.bytesRead.Load(),
-		Writes:       h.writes.Load(),
-		CellsWritten: h.cellsWritten.Load(),
-		BytesWritten: h.bytesWritten.Load(),
+		Gets:                h.gets.Load(),
+		MemHits:             h.memHits.Load(),
+		FileHits:            h.fileHits.Load(),
+		Misses:              h.misses.Load(),
+		Scans:               h.scans.Load(),
+		CellsRead:           h.cellsRead.Load(),
+		BytesRead:           h.bytesRead.Load(),
+		Writes:              h.writes.Load(),
+		CellsWritten:        h.cellsWritten.Load(),
+		BytesWritten:        h.bytesWritten.Load(),
+		BloomProbes:         h.bloomProbes.Load(),
+		BloomNegatives:      h.bloomNegatives.Load(),
+		BloomFalsePositives: h.bloomFalsePositives.Load(),
 	}
 }
 

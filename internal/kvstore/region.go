@@ -79,6 +79,13 @@ type Region struct {
 	fs      *dfs.FS
 	cache   *BlockCache
 	reclaim *metrics.ReclaimMetrics // nil-safe; set by the hosting server
+	stats   *FileStats              // nil-safe; shared cluster-wide, set by the hosting server
+
+	// sfOpts are the store-file write options (format version, codec, bloom
+	// sizing) for flushes and compactions; set by the hosting server. The
+	// zero value writes v2 with defaults. BlockSize and Stats are filled in
+	// per write by writeOpts.
+	sfOpts StoreFileOptions
 
 	// abandoned is set when the hosting server crashes: late view drains
 	// from the dead incarnation must not unlink files — the region's next
@@ -324,9 +331,27 @@ func (r *Region) Get(row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue
 		}
 	}
 	for _, f := range v.files {
+		if f.hasBloom() {
+			r.heat.bloomProbes.Add(1)
+			r.stats.bloomProbe()
+			if !f.MayContainRow(row) {
+				// Definitive: the file holds no cell of this row, so the
+				// block fetch (and possible decompression) is skipped.
+				r.heat.bloomNegatives.Add(1)
+				r.stats.bloomNegative()
+				continue
+			}
+		}
 		e, ok, err := f.Get(row, column, maxTS, r.cache)
 		if err != nil {
 			return kv.KeyValue{}, false, err
+		}
+		if !ok && f.hasBloom() {
+			// The filter passed but the file had nothing for the coordinate —
+			// counts (row, column) misses too, a slight overestimate of the
+			// pure row-key false-positive rate.
+			r.heat.bloomFalsePositives.Add(1)
+			r.stats.bloomFalsePositive()
 		}
 		if ok && (!found || e.TS > best.TS) {
 			best, found, fromFile = e, true, true
@@ -409,7 +434,7 @@ func (r *Region) Flush(blockSize int) error {
 	r.releaseView(old)
 
 	path := fmt.Sprintf("%s%08d.sf", dataDir(r.Info.Table, r.Info.ID), seq)
-	sf, err := WriteStoreFile(r.fs, path, snap.All(), blockSize)
+	sf, err := WriteStoreFileWith(r.fs, path, snap.All(), r.writeOpts(blockSize))
 	if err != nil {
 		// Merge the snapshot back into the active memstore so a later
 		// flush retries it. Versioned puts make the merge safe even if
@@ -436,6 +461,25 @@ func (r *Region) Flush(blockSize int) error {
 	r.mu.Unlock()
 	r.releaseView(old)
 	return nil
+}
+
+// writeOpts returns the region's store-file write options with the
+// per-call block size and the shared stats sink filled in.
+func (r *Region) writeOpts(blockSize int) StoreFileOptions {
+	opts := r.sfOpts
+	opts.BlockSize = blockSize
+	opts.Stats = r.stats
+	return opts
+}
+
+// targetStoreFileVersion is the format version the region's writes produce
+// — the bar below which tiered compaction treats an existing file as
+// must-rewrite.
+func (r *Region) targetStoreFileVersion() int {
+	if r.sfOpts.Version == StoreFileV1 {
+		return StoreFileV1
+	}
+	return StoreFileV2
 }
 
 // Files returns the number of store files, for tests and stats.

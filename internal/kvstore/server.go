@@ -2,9 +2,11 @@ package kvstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"txkv/internal/compress"
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
 	"txkv/internal/metrics"
@@ -67,9 +69,20 @@ type ServerConfig struct {
 	// fresh WAL generation and synced, so the old generations remain
 	// deletable. Zero flushes every region on each roll.
 	RollFlushMinBytes int
+	// StoreFileVersion selects the store-file format flushes and
+	// compactions write: 0 or StoreFileV2 for v2 (bloom + compression),
+	// StoreFileV1 for the legacy format (version-migration tests, bench
+	// baselines). Readers always accept both.
+	StoreFileVersion int
+	// Compression names the v2 block codec ("snappy", "none"; "" = snappy).
+	Compression string
 	// Reclaim, when set, receives store-file retirement counters and is
 	// propagated to every region this server opens. Nil records nothing.
 	Reclaim *metrics.ReclaimMetrics
+	// FileStats, when set, receives bloom and block-compression counters
+	// and is propagated to every region this server opens (shared
+	// cluster-wide, like Reclaim). Nil records nothing.
+	FileStats *FileStats
 	// Obs, when set, receives the server-side observability instruments
 	// (shared across all region servers of a cluster). Nil records
 	// nothing.
@@ -246,7 +259,7 @@ func (s *RegionServer) flushLoop() {
 					_ = r.Flush(s.cfg.BlockSize)
 				}
 				if th := s.cfg.CompactionThreshold; th > 0 && r.Files() > th {
-					_ = r.Compact(s.cfg.BlockSize, s.compactionHorizon())
+					_, _ = r.CompactTiered(s.cfg.BlockSize, s.compactionHorizon())
 				}
 			}
 		}
@@ -491,6 +504,8 @@ func (s *RegionServer) OpenRegionFiles(info RegionInfo, files []string, recovere
 
 func (s *RegionServer) installRegion(r *Region, info RegionInfo, recoveredEdits []WALEntry, preOnline func() error) error {
 	r.reclaim = s.cfg.Reclaim
+	r.stats = s.cfg.FileStats
+	r.sfOpts = s.storeFileOpts()
 	// HBase-internal recovery: replay the split WAL edits into the fresh
 	// memstore.
 	for _, e := range recoveredEdits {
@@ -683,6 +698,17 @@ func (s *RegionServer) appendWALEntry(e WALEntry) error {
 	return w.Append(EncodeWALEntry(e))
 }
 
+// storeFileOpts resolves the configured store-file write options. An
+// unknown codec name falls back to the default rather than failing region
+// opens: the format knob is an operator tuning, not a correctness input.
+func (s *RegionServer) storeFileOpts() StoreFileOptions {
+	opts := StoreFileOptions{Version: s.cfg.StoreFileVersion}
+	if c, err := compress.ForName(s.cfg.Compression); err == nil {
+		opts.Codec = c
+	}
+	return opts
+}
+
 // compactionHorizon resolves the version-GC horizon for a compaction.
 func (s *RegionServer) compactionHorizon() kv.Timestamp {
 	if s.cfg.HorizonSource != nil {
@@ -691,21 +717,32 @@ func (s *RegionServer) compactionHorizon() kv.Timestamp {
 	return s.cfg.CompactionHorizon
 }
 
-// CompactAll compacts every hosted region that has more than one store
-// file, using the configured version-GC horizon. It is the storage
-// janitor's entry point: together with dfs.CompactLogs it bounds steady-
-// state disk usage (retired store files free their DFS blocks, and the next
-// log compaction reclaims the block-journal bytes).
+// CompactAll runs one size-tiered compaction round over every hosted
+// region, hottest first, using the configured version-GC horizon. It is the
+// storage janitor's entry point: together with dfs.CompactLogs it bounds
+// steady-state disk usage (retired store files free their DFS blocks, and
+// the next log compaction reclaims the block-journal bytes). Heat ordering
+// means the regions whose reads benefit most from a smaller file fan-out
+// (and from v1 files gaining bloom filters) are rewritten before cold ones.
 func (s *RegionServer) CompactAll() error {
-	for _, r := range s.hostedRegions() {
-		if r.Files() <= 1 {
-			continue
-		}
-		if err := r.Compact(s.cfg.BlockSize, s.compactionHorizon()); err != nil {
+	regions := s.hostedRegions()
+	sort.SliceStable(regions, func(i, j int) bool {
+		return regionHotness(regions[i]) > regionHotness(regions[j])
+	})
+	for _, r := range regions {
+		if _, err := r.CompactTiered(s.cfg.BlockSize, s.compactionHorizon()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// regionHotness scores a region for compaction priority: reads served from
+// files and outright misses are exactly the operations a compaction (fewer
+// files, bloom filters) speeds up; scans weigh in for fan-out reduction.
+func regionHotness(r *Region) int64 {
+	h := r.Heat()
+	return h.FileHits + h.Misses + h.Scans
 }
 
 // Crash simulates a crash failure: background loops stop, the WAL buffer

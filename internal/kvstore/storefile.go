@@ -7,25 +7,53 @@ import (
 	"sort"
 	"sync"
 
+	"txkv/internal/bloom"
+	"txkv/internal/compress"
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
 )
 
 // Store files are the immutable, sorted on-DFS files produced by memstore
-// flushes (HBase's HFiles). Layout:
+// flushes (HBase's HFiles). Format v2 layout:
 //
-//	[data block]* [index] [footer]
+//	[framed block]* [index] [bloom] [footer]
 //
-// Each data block holds consecutive encoded KeyValues up to ~blockSize
-// bytes. The index records, per block: the first cell, the byte offset, and
-// the length. The fixed-size footer at the end of the file records the index
-// offset/length and a magic number. Point reads binary-search the index and
-// fetch exactly one block, through the server's block cache.
+// Each data block holds consecutive encoded KeyValues up to ~blockSize bytes
+// before framing. A v2 frame is [codecID byte][payload]: the writer encodes
+// the block with the file's codec but falls back to storing it raw (codec ID
+// 0) when compression does not shrink it, so every block is self-describing.
+// The bloom section is a serialized row-key filter probed by point reads to
+// skip files that cannot contain a row. The fixed-size footer records the
+// index and bloom extents, the file codec, a version byte, and a magic
+// number. Point reads binary-search the in-memory index and fetch exactly
+// one block through the server's block cache, which holds *decompressed*
+// bytes so a cache hit never pays decompression.
+//
+// Format v1 ([data block]* [index] [footer], no framing, no bloom, 20-byte
+// footer with its own magic) remains fully readable: the opener dispatches
+// on the trailing magic, so a DataDir written before v2 reopens unchanged
+// and is rewritten to v2 as compactions rewrite its files.
 
 const (
 	defaultBlockSize = 4096
-	storeFileMagic   = 0x7874734653544f52 // "xtsFSTOR"
-	footerSize       = 8 + 4 + 8          // indexOff + indexLen + magic
+
+	storeFileMagic   = 0x7874734653544f52 // "xtsFSTOR", format v1
+	storeFileMagicV2 = 0x7874734653543256 // "xtsFST2V", format v2
+
+	// footerSize is the v1 footer: indexOff(8) indexLen(4) magic(8).
+	footerSize = 8 + 4 + 8
+	// footerSizeV2 adds the bloom extent, codec, and version:
+	// indexOff(8) indexLen(4) bloomOff(8) bloomLen(4) codec(1) version(1)
+	// magic(8).
+	footerSizeV2 = 8 + 4 + 8 + 4 + 1 + 1 + 8
+
+	// Store-file format versions, as written in the v2 footer.
+	StoreFileV1 = 1
+	StoreFileV2 = 2
+
+	// defaultBloomBitsPerKey sizes the row-key bloom filter: 10 bits/key
+	// gives ~1% false positives at ~1.25 bytes/row of overhead.
+	defaultBloomBitsPerKey = 10
 )
 
 // ErrBadStoreFile reports a malformed store file.
@@ -99,15 +127,57 @@ func decodeIndex(b []byte) ([]indexEntry, error) {
 // sweeps.
 const tmpSuffix = ".tmp"
 
-// WriteStoreFile writes the sorted entries as a store file at path and
-// returns an opened reader for it. Entries must already be in store order.
-// The bytes are written to a temporary sibling, synced, and only then
-// renamed to path (a journaled name-node metadata operation), so the file
-// is either fully present under its final name or not present at all.
-func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
-	if blockSize <= 0 {
-		blockSize = defaultBlockSize
+// StoreFileOptions control how WriteStoreFileWith lays a file down.
+// The zero value writes format v2 with the default (snappy) codec and the
+// default bloom sizing.
+type StoreFileOptions struct {
+	// BlockSize is the target uncompressed block size; 0 means the default.
+	BlockSize int
+	// Version selects the on-disk format: 0 or StoreFileV2 writes v2,
+	// StoreFileV1 writes the legacy format (for version-migration tests and
+	// the coldread baseline).
+	Version int
+	// Codec compresses v2 blocks; nil means the default (snappy). Ignored
+	// for v1.
+	Codec compress.Codec
+	// BloomBitsPerKey sizes the v2 row-key bloom filter; 0 means the
+	// default (10), negative disables the filter. Ignored for v1.
+	BloomBitsPerKey int
+	// Stats, when non-nil, accumulates compressed/uncompressed block byte
+	// counts as the file is written.
+	Stats *FileStats
+}
+
+func (o StoreFileOptions) withDefaults() StoreFileOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = defaultBlockSize
 	}
+	if o.Version == 0 {
+		o.Version = StoreFileV2
+	}
+	if o.Codec == nil {
+		o.Codec = compress.Snappy{}
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = defaultBloomBitsPerKey
+	}
+	return o
+}
+
+// WriteStoreFile writes the sorted entries as a format-v2 store file at path
+// with default options and returns an opened reader for it. Entries must
+// already be in store order.
+func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
+	return WriteStoreFileWith(fs, path, entries, StoreFileOptions{BlockSize: blockSize})
+}
+
+// WriteStoreFileWith writes the sorted entries as a store file at path and
+// returns an opened reader for it. The bytes are written to a temporary
+// sibling, synced, and only then renamed to path (a journaled name-node
+// metadata operation), so the file is either fully present under its final
+// name or not present at all.
+func WriteStoreFileWith(fs *dfs.FS, path string, entries []kv.KeyValue, opts StoreFileOptions) (*StoreFile, error) {
+	opts = opts.withDefaults()
 	tmp := path + tmpSuffix
 	w, err := fs.Create(tmp)
 	if err != nil {
@@ -120,30 +190,66 @@ func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize in
 			_ = fs.Delete(tmp)
 		}
 	}()
+
+	v2 := opts.Version != StoreFileV1
+	var filter *bloom.Filter
+	if v2 && opts.BloomBitsPerKey > 0 && len(entries) > 0 {
+		// Entries are sorted, so distinct rows are a single pass.
+		rows := 1
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Row != entries[i-1].Row {
+				rows++
+			}
+		}
+		filter = bloom.New(rows, opts.BloomBitsPerKey)
+	}
+
 	var (
 		index    []indexEntry
 		blockBuf []byte
+		frameBuf []byte
 		fileOff  int64
 	)
 	flushBlock := func(first kv.Cell) error {
 		if len(blockBuf) == 0 {
 			return nil
 		}
-		index = append(index, indexEntry{first: first, offset: fileOff, length: len(blockBuf)})
-		if err := w.Append(blockBuf); err != nil {
+		out := blockBuf
+		if v2 {
+			// Frame: [codecID][payload], falling back to a raw frame when
+			// the codec does not shrink the block.
+			frameBuf = append(frameBuf[:0], opts.Codec.ID())
+			frameBuf = opts.Codec.Encode(frameBuf, blockBuf)
+			if opts.Codec.ID() == compress.IDNone || len(frameBuf)-1 >= len(blockBuf) {
+				frameBuf = append(frameBuf[:0], compress.IDNone)
+				frameBuf = append(frameBuf, blockBuf...)
+			}
+			out = frameBuf
+			if opts.Stats != nil {
+				opts.Stats.BlockUncompressedBytes.Add(int64(len(blockBuf)))
+				opts.Stats.BlockCompressedBytes.Add(int64(len(out) - 1))
+			}
+		}
+		index = append(index, indexEntry{first: first, offset: fileOff, length: len(out)})
+		if err := w.Append(out); err != nil {
 			return err
 		}
-		fileOff += int64(len(blockBuf))
+		fileOff += int64(len(out))
 		blockBuf = blockBuf[:0]
 		return nil
 	}
 	var blockFirst kv.Cell
-	for _, e := range entries {
+	var prevRow kv.Key
+	for i, e := range entries {
 		if len(blockBuf) == 0 {
 			blockFirst = e.Cell
 		}
+		if filter != nil && (i == 0 || e.Row != prevRow) {
+			filter.Add(string(e.Row))
+		}
+		prevRow = e.Row
 		blockBuf = kv.AppendKeyValue(blockBuf, e)
-		if len(blockBuf) >= blockSize {
+		if len(blockBuf) >= opts.BlockSize {
 			if err := flushBlock(blockFirst); err != nil {
 				return nil, err
 			}
@@ -160,12 +266,38 @@ func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize in
 	if err := w.Append(idx); err != nil {
 		return nil, err
 	}
-	var footer [footerSize]byte
-	binary.BigEndian.PutUint64(footer[0:8], uint64(fileOff))
-	binary.BigEndian.PutUint32(footer[8:12], uint32(len(idx)))
-	binary.BigEndian.PutUint64(footer[12:20], storeFileMagic)
-	if err := w.Append(footer[:]); err != nil {
-		return nil, err
+	size := fileOff + int64(len(idx))
+
+	if !v2 {
+		var footer [footerSize]byte
+		binary.BigEndian.PutUint64(footer[0:8], uint64(fileOff))
+		binary.BigEndian.PutUint32(footer[8:12], uint32(len(idx)))
+		binary.BigEndian.PutUint64(footer[12:20], storeFileMagic)
+		if err := w.Append(footer[:]); err != nil {
+			return nil, err
+		}
+		size += footerSize
+	} else {
+		bloomOff := fileOff + int64(len(idx))
+		var bloomBytes []byte
+		if filter != nil {
+			bloomBytes = filter.Marshal(nil)
+			if err := w.Append(bloomBytes); err != nil {
+				return nil, err
+			}
+		}
+		var footer [footerSizeV2]byte
+		binary.BigEndian.PutUint64(footer[0:8], uint64(fileOff))
+		binary.BigEndian.PutUint32(footer[8:12], uint32(len(idx)))
+		binary.BigEndian.PutUint64(footer[12:20], uint64(bloomOff))
+		binary.BigEndian.PutUint32(footer[20:24], uint32(len(bloomBytes)))
+		footer[24] = opts.Codec.ID()
+		footer[25] = StoreFileV2
+		binary.BigEndian.PutUint64(footer[26:34], storeFileMagicV2)
+		if err := w.Append(footer[:]); err != nil {
+			return nil, err
+		}
+		size += int64(len(bloomBytes)) + footerSizeV2
 	}
 	if err := w.Sync(); err != nil {
 		return nil, fmt.Errorf("kvstore: sync store file: %w", err)
@@ -177,17 +309,37 @@ func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize in
 		return nil, fmt.Errorf("kvstore: publish store file: %w", err)
 	}
 	committed = true
-	return &StoreFile{fs: fs, path: path, index: index, entries: len(entries)}, nil
+	version := StoreFileV2
+	codecID := opts.Codec.ID()
+	if !v2 {
+		version = StoreFileV1
+		codecID = compress.IDNone
+		filter = nil
+	}
+	return &StoreFile{
+		fs:      fs,
+		path:    path,
+		index:   index,
+		entries: len(entries),
+		version: version,
+		codecID: codecID,
+		bloom:   filter,
+		size:    size,
+	}, nil
 }
 
-// StoreFile reads an immutable sorted file. The index is held in memory
-// (HBase keeps HFile indexes resident); data blocks are fetched through a
-// BlockCache.
+// StoreFile reads an immutable sorted file. The index (and, for v2, the
+// bloom filter) is held in memory (HBase keeps HFile indexes resident); data
+// blocks are fetched through a BlockCache.
 type StoreFile struct {
 	fs      *dfs.FS
 	path    string
 	index   []indexEntry
 	entries int
+	version int           // StoreFileV1 or StoreFileV2
+	codecID byte          // file default codec (v2); frames may override to raw
+	bloom   *bloom.Filter // nil for v1 files or bloom-disabled writes
+	size    int64         // on-disk byte size, for tier selection
 	// refMarker is the path of the reference file this store file was
 	// opened through (region splits share parent files via references);
 	// empty for files owned by the region itself. Compactions delete the
@@ -240,7 +392,8 @@ func (s *StoreFile) retire() bool {
 	return false
 }
 
-// OpenStoreFile opens the store file at path, reading its footer and index.
+// OpenStoreFile opens the store file at path, dispatching on the trailing
+// magic so both format versions read back.
 func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
 	size, err := fs.Size(path)
 	if err != nil {
@@ -249,15 +402,92 @@ func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
 	if size < footerSize {
 		return nil, fmt.Errorf("%w: %s too small", ErrBadStoreFile, path)
 	}
+	tail, err := fs.ReadRange(path, size-8, 8)
+	if err != nil {
+		return nil, err
+	}
+	if len(tail) != 8 {
+		return nil, fmt.Errorf("%w: %s bad footer", ErrBadStoreFile, path)
+	}
+	switch binary.BigEndian.Uint64(tail) {
+	case storeFileMagic:
+		return openStoreFileV1(fs, path, size)
+	case storeFileMagicV2:
+		return openStoreFileV2(fs, path, size)
+	}
+	return nil, fmt.Errorf("%w: %s bad footer", ErrBadStoreFile, path)
+}
+
+func openStoreFileV1(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
 	footer, err := fs.ReadRange(path, size-footerSize, footerSize)
 	if err != nil {
 		return nil, err
 	}
-	if len(footer) != footerSize || binary.BigEndian.Uint64(footer[12:20]) != storeFileMagic {
+	if len(footer) != footerSize {
 		return nil, fmt.Errorf("%w: %s bad footer", ErrBadStoreFile, path)
 	}
 	idxOff := int64(binary.BigEndian.Uint64(footer[0:8]))
 	idxLen := int(binary.BigEndian.Uint32(footer[8:12]))
+	index, err := readIndexSection(fs, path, size, idxOff, idxLen)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreFile{fs: fs, path: path, index: index, version: StoreFileV1, size: size}, nil
+}
+
+func openStoreFileV2(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
+	if size < footerSizeV2 {
+		return nil, fmt.Errorf("%w: %s too small for v2 footer", ErrBadStoreFile, path)
+	}
+	footer, err := fs.ReadRange(path, size-footerSizeV2, footerSizeV2)
+	if err != nil {
+		return nil, err
+	}
+	if len(footer) != footerSizeV2 || footer[25] != StoreFileV2 {
+		return nil, fmt.Errorf("%w: %s bad v2 footer", ErrBadStoreFile, path)
+	}
+	codecID := footer[24]
+	if _, err := compress.ForID(codecID); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadStoreFile, path, err)
+	}
+	idxOff := int64(binary.BigEndian.Uint64(footer[0:8]))
+	idxLen := int(binary.BigEndian.Uint32(footer[8:12]))
+	index, err := readIndexSection(fs, path, size, idxOff, idxLen)
+	if err != nil {
+		return nil, err
+	}
+	bloomOff := int64(binary.BigEndian.Uint64(footer[12:20]))
+	bloomLen := int(binary.BigEndian.Uint32(footer[20:24]))
+	var filter *bloom.Filter
+	if bloomLen > 0 {
+		if bloomOff < 0 || bloomOff+int64(bloomLen) > size {
+			return nil, fmt.Errorf("%w: %s bloom extent out of bounds", ErrBadStoreFile, path)
+		}
+		bb, err := fs.ReadRange(path, bloomOff, bloomLen)
+		if err != nil {
+			return nil, err
+		}
+		filter, err = bloom.Unmarshal(bb)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrBadStoreFile, path, err)
+		}
+	}
+	return &StoreFile{
+		fs:      fs,
+		path:    path,
+		index:   index,
+		version: StoreFileV2,
+		codecID: codecID,
+		bloom:   filter,
+		size:    size,
+	}, nil
+}
+
+// readIndexSection validates the index extent and decodes it.
+func readIndexSection(fs *dfs.FS, path string, size, idxOff int64, idxLen int) ([]indexEntry, error) {
+	if idxOff < 0 || idxLen < 0 || idxOff+int64(idxLen) > size {
+		return nil, fmt.Errorf("%w: %s index extent out of bounds", ErrBadStoreFile, path)
+	}
 	idxBytes, err := fs.ReadRange(path, idxOff, idxLen)
 	if err != nil {
 		return nil, err
@@ -266,11 +496,29 @@ func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &StoreFile{fs: fs, path: path, index: index}, nil
+	return index, nil
 }
 
 // Path returns the DFS path of the file.
 func (s *StoreFile) Path() string { return s.path }
+
+// Version returns the on-disk format version (StoreFileV1 or StoreFileV2).
+func (s *StoreFile) Version() int { return s.version }
+
+// DiskSize returns the file's on-disk byte size, used by size-tiered
+// compaction selection.
+func (s *StoreFile) DiskSize() int64 { return s.size }
+
+// MayContainRow probes the file's bloom filter. False is definitive: the
+// file holds no cell of row. Files without a filter (v1, bloom disabled)
+// report true. Allocation-free.
+func (s *StoreFile) MayContainRow(row kv.Key) bool {
+	return s.bloom.MayContain(string(row))
+}
+
+// hasBloom reports whether the file carries a bloom filter, i.e. whether a
+// MayContainRow answer is informative.
+func (s *StoreFile) hasBloom() bool { return s.bloom != nil }
 
 // OpenStoreFileRef opens a store file through a reference marker: the
 // marker file's contents are the referenced store-file path.
@@ -292,7 +540,9 @@ func blockCacheKey(path string, i int) string {
 	return fmt.Sprintf("%s#%d", path, i)
 }
 
-// block returns the decoded entries of block i, consulting the cache.
+// block returns the decoded entries of block i, consulting the cache. The
+// cache holds decompressed bytes: a hit never pays decompression, and the
+// cache charge is the decompressed length.
 func (s *StoreFile) block(i int, cache *BlockCache) ([]kv.KeyValue, error) {
 	key := blockCacheKey(s.path, i)
 	var raw []byte
@@ -306,7 +556,21 @@ func (s *StoreFile) block(i int, cache *BlockCache) ([]kv.KeyValue, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw = b
+		if s.version >= StoreFileV2 {
+			if len(b) == 0 {
+				return nil, fmt.Errorf("%w: %s block %d empty frame", ErrBadStoreFile, s.path, i)
+			}
+			codec, err := compress.ForID(b[0])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s block %d: %v", ErrBadStoreFile, s.path, i, err)
+			}
+			raw, err = codec.Decode(nil, b[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s block %d: %v", ErrBadStoreFile, s.path, i, err)
+			}
+		} else {
+			raw = b
+		}
 		if cache != nil {
 			cache.Put(key, raw)
 		}
