@@ -18,6 +18,7 @@
 //	txkvbench -experiment scan        # streaming cursor scans vs materializing slice scans
 //	txkvbench -experiment txn_retry   # managed Update retry vs caller retry loops under contention
 //	txkvbench -experiment coldread    # store-file v1 vs v2: cold gets, cold scans, disk footprint
+//	txkvbench -experiment rpc         # wire-protocol overhead: loopback vs multi-process tcp
 //	txkvbench -experiment all
 //
 // The readwrite, scan, txn_retry, and coldread experiments additionally
@@ -53,7 +54,7 @@ func jsonSuffix(path, name string) string {
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|rpc|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -75,12 +76,15 @@ func main() {
 		bench.TxnRetryJSONPath = *jsonPath
 	case "coldread":
 		bench.ColdReadJSONPath = *jsonPath
+	case "rpc":
+		bench.RPCJSONPath = *jsonPath
 	default:
 		if *jsonPath != "" {
 			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
 			bench.ScanJSONPath = jsonSuffix(*jsonPath, "scan")
 			bench.TxnRetryJSONPath = jsonSuffix(*jsonPath, "txn_retry")
 			bench.ColdReadJSONPath = jsonSuffix(*jsonPath, "coldread")
+			bench.RPCJSONPath = jsonSuffix(*jsonPath, "rpc")
 		}
 	}
 
@@ -108,8 +112,9 @@ func main() {
 		"scan":        bench.Scan,
 		"txn_retry":   bench.TxnRetry,
 		"coldread":    bench.ColdRead,
+		"rpc":         bench.RPC,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread", "rpc"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -10,10 +10,17 @@
 // directory before the audit — so the audit additionally proves real
 // crash-restart recovery, not just in-process fail-over.
 //
+// With -remote the campaign runs in multi-process shape instead: a
+// master-only cluster serves the wire protocol, region-server nodes join
+// over TCP behind per-node fault proxies, and the faults become network
+// faults — partitions, blackholes, slow links, and process kills against
+// real sockets (see remote.go).
+//
 // Usage:
 //
 //	txkvchaos -duration 20s -servers 3 -clients 4 -seed 7
 //	txkvchaos -duration 20s -datadir /tmp/txkv-chaos
+//	txkvchaos -duration 20s -remote
 package main
 
 import (
@@ -53,8 +60,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "fault-schedule seed")
 		dataDir  = flag.String("datadir", "", "journal durable state here and audit across a full stop+reopen")
 		compact  = flag.Duration("compact", time.Second, "storage-janitor cadence (WAL rolls, store-file + DFS log compaction) racing the faults; 0 disables")
+		remote   = flag.Bool("remote", false, "multi-process campaign: region servers join over the wire protocol behind fault proxies (partition/blackhole/slow-link/kill)")
 	)
 	flag.Parse()
+	if *remote {
+		runRemote(*duration, *servers, *clients, *keys, *seed)
+		return
+	}
 	if *servers < 2 {
 		log.Fatal("need at least 2 servers to survive crashes")
 	}

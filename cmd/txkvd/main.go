@@ -1,0 +1,121 @@
+// Command txkvd runs one txkv process of a multi-process deployment,
+// speaking the wire protocol documented in PROTOCOL.md.
+//
+// Two roles exist. The master role runs the control plane — the HBase-like
+// master, the shared DFS, the transaction manager with its recovery log,
+// and the recovery middleware — and serves the master, DFS, and transaction
+// services on -listen. The region role runs one region server that
+// registers with -master, stores its WAL and store files through the
+// master's DFS service, and serves the region service (reads, scans,
+// write-set apply, region lifecycle) on its own -listen.
+//
+// A minimal three-process cluster on one machine:
+//
+//	txkvd -role master -listen 127.0.0.1:7420 &
+//	txkvd -role region -id rs1 -master 127.0.0.1:7420 &
+//	txkvd -role region -id rs2 -master 127.0.0.1:7420 &
+//
+// Clients connect with txkv.Connect("127.0.0.1:7420"). The master also
+// accepts -servers to run in-process region servers alongside remote ones
+// (mixed layouts route transparently); by default it runs none and waits
+// for region processes to register.
+//
+// -debug starts the observability HTTP server (/metrics, /debug/slow,
+// /debug/regions, /debug/pprof) on the master role.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"txkv"
+	"txkv/internal/rpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		role      = flag.String("role", "", "process role: master or region")
+		listen    = flag.String("listen", "127.0.0.1:0", "wire-protocol listen address")
+		masterFlg = flag.String("master", "", "master address to join (region role)")
+		advertise = flag.String("advertise", "", "address other processes should dial for this region server (default: the bound listen address)")
+		id        = flag.String("id", "", "region-server id (region role; default region-<pid>)")
+		servers   = flag.Int("servers", 0, "in-process region servers on the master (0 = none, remote-only)")
+		debug     = flag.String("debug", "", "debug/metrics HTTP listen address (master role; empty = off)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "master":
+		runMaster(*listen, *debug, *servers)
+	case "region":
+		runRegion(*listen, *masterFlg, *advertise, *id)
+	default:
+		log.Fatalf("txkvd: -role must be master or region (got %q)", *role)
+	}
+}
+
+// waitSignal blocks until SIGINT or SIGTERM.
+func waitSignal() os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return <-ch
+}
+
+func runMaster(listen, debug string, servers int) {
+	cfg := txkv.Config{Servers: servers}
+	if servers <= 0 {
+		cfg.Servers = -1 // master-only: region servers join over RPC
+	}
+	cluster, err := txkv.Open(cfg)
+	if err != nil {
+		log.Fatalf("txkvd: open cluster: %v", err)
+	}
+	defer cluster.Stop()
+
+	addr, err := cluster.ServeRPC(listen)
+	if err != nil {
+		log.Fatalf("txkvd: serve %s: %v", listen, err)
+	}
+	log.Printf("txkvd: master serving on %s (%d local region servers)", addr, servers)
+
+	if debug != "" {
+		d, err := cluster.ServeDebug(debug)
+		if err != nil {
+			log.Fatalf("txkvd: debug server on %s: %v", debug, err)
+		}
+		defer d.Close()
+		log.Printf("txkvd: debug endpoints on http://%s/metrics", d.Addr())
+	}
+
+	sig := waitSignal()
+	log.Printf("txkvd: %v — shutting down", sig)
+}
+
+func runRegion(listen, master, advertise, id string) {
+	if master == "" {
+		log.Fatal("txkvd: region role requires -master")
+	}
+	if id == "" {
+		id = fmt.Sprintf("region-%d", os.Getpid())
+	}
+	node, err := rpc.StartRegionNode(rpc.RegionNodeConfig{
+		ID:         id,
+		MasterAddr: master,
+		Listen:     listen,
+		Advertise:  advertise,
+	})
+	if err != nil {
+		log.Fatalf("txkvd: start region server: %v", err)
+	}
+	defer node.Stop()
+	log.Printf("txkvd: region server %s serving on %s (master %s)",
+		node.Server().ID(), node.Addr(), master)
+
+	sig := waitSignal()
+	log.Printf("txkvd: %v — shutting down", sig)
+}

@@ -101,6 +101,47 @@ func Example_failureRecovery() {
 	// Output: PAID
 }
 
+// Example_remoteCluster connects to a cluster served in another process
+// over the wire protocol (PROTOCOL.md) and uses the identical Client API:
+// reads and scans go straight to the owning region servers, transactions
+// run through the serving process's gateway, so its recovery middleware
+// protects the post-commit flush exactly as for local clients. The serving
+// side is either a Cluster that called ServeRPC, or the txkvd binary:
+//
+//	txkvd -role master -listen 127.0.0.1:7420 &
+//	txkvd -role region -id rs1 -master 127.0.0.1:7420 &
+//	txkvd -role region -id rs2 -master 127.0.0.1:7420 &
+//
+// (No Output comment: the example needs that live deployment to run.)
+func Example_remoteCluster() {
+	remote, err := txkv.Connect("127.0.0.1:7420")
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+
+	if err := remote.CreateTable("accounts", nil); err != nil {
+		panic(err)
+	}
+	client, err := remote.NewClient("app-2")
+	if err != nil {
+		panic(err)
+	}
+	defer client.Stop()
+
+	ctx := context.Background()
+	if _, err := client.Update(ctx, func(txn *txkv.Txn) error {
+		return txn.Put(ctx, "accounts", "bob", "balance", []byte("250"))
+	}); err != nil {
+		panic(err)
+	}
+	_ = client.View(ctx, func(txn *txkv.Txn) error {
+		v, ok, _ := txn.Get(ctx, "accounts", "bob", "balance")
+		fmt.Println(ok, string(v))
+		return nil
+	})
+}
+
 // Example_timeTravel pins a read-only snapshot at an old commit timestamp:
 // the transaction manager registers the pin, so the version-GC horizon
 // cannot overrun it even while compaction runs.

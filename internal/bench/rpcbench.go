@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"txkv/internal/cluster"
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/metrics"
+	"txkv/internal/rpc"
+)
+
+// RPC quantifies the wire protocol's per-operation cost: the same
+// operations (point gets, 3-put commits, 100-row scans) run closed-loop
+// against two physically different deployments of the same cluster — the
+// in-process loopback transport, and a multi-process shape where region
+// servers join over TCP and the client connects through txkv.Connect. All
+// simulated latencies are zero, so the tcp-minus-loopback delta is the
+// protocol's real software cost: framing, codecs, syscalls, scheduling.
+// BENCH_PR8.json records a reference run; EXPERIMENTS.md discusses it.
+
+// RPCResult is the machine-readable output of one RPC run.
+type RPCResult struct {
+	Records     int     `json:"records"`
+	DurationSec float64 `json:"duration_sec"`
+	Threads     int     `json:"threads"`
+
+	Phases []RPCPhaseResult `json:"phases"`
+}
+
+// RPCPhaseResult is one (transport, operation) phase.
+type RPCPhaseResult struct {
+	// Transport is "loopback" (in-process) or "tcp" (multi-process over
+	// real sockets via the wire protocol).
+	Transport string  `json:"transport"`
+	Op        string  `json:"op"` // "get" | "commit3" | "scan100"
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// RPCJSONPath, when non-empty, makes RPC write its RPCResult as JSON to
+// the given file (set by cmd/txkvbench -json).
+var RPCJSONPath string
+
+const rpcBenchTable = "rpcbench"
+
+func rpcRowKey(i int) kv.Key { return kv.Key(fmt.Sprintf("user%08d", i)) }
+
+// RPC runs the wire-protocol overhead experiment and prints one row per
+// (transport, op) phase.
+func RPC(o Options) error {
+	o = o.withDefaults()
+	res := RPCResult{Records: o.Records, DurationSec: o.Duration.Seconds(), Threads: o.Threads}
+
+	// Reads and scans are measured before commits: the commit phase leaves
+	// behind as many row versions as it manages to write, and the two
+	// transports commit at different rates — scanning afterwards would
+	// compare differently-sized version histories, not transports.
+	ops := []string{"get", "scan100", "commit3"}
+
+	// Loopback: the ordinary in-process cluster.
+	{
+		c, err := cluster.New(cluster.Config{Servers: 2})
+		if err != nil {
+			return err
+		}
+		cl, err := rpcBenchLoad(c, o.Records)
+		if err != nil {
+			c.Stop()
+			return err
+		}
+		for _, op := range ops {
+			pr, err := rpcPhase(cl, o, "loopback", op)
+			if err != nil {
+				c.Stop()
+				return err
+			}
+			res.Phases = append(res.Phases, pr)
+		}
+		cl.Stop()
+		c.Stop()
+	}
+
+	// TCP: master-only cluster serving the wire protocol, two region-server
+	// nodes joined over TCP, client connected remotely. Reads and scans
+	// cross client->region sockets; commits cross client->gateway->log and
+	// flush back over master->region sockets.
+	{
+		c, err := cluster.New(cluster.Config{Servers: -1})
+		if err != nil {
+			return err
+		}
+		defer c.Stop()
+		addr, err := c.ServeRPC("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		var nodes []*rpc.RegionNode
+		defer func() {
+			for _, n := range nodes {
+				n.Stop()
+			}
+		}()
+		for i := 0; i < 2; i++ {
+			node, err := rpc.StartRegionNode(rpc.RegionNodeConfig{
+				ID:         fmt.Sprintf("bench-rs%d", i+1),
+				MasterAddr: addr,
+				Server:     kvstore.ServerConfig{HeartbeatInterval: 500 * time.Millisecond},
+			})
+			if err != nil {
+				return err
+			}
+			nodes = append(nodes, node)
+		}
+		remote, err := cluster.ConnectRemote(addr)
+		if err != nil {
+			return err
+		}
+		defer remote.Close()
+		cl, err := rpcBenchLoadRemote(c, remote, o.Records)
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			pr, err := rpcPhase(cl, o, "tcp", op)
+			if err != nil {
+				cl.Stop()
+				return err
+			}
+			res.Phases = append(res.Phases, pr)
+		}
+		cl.Stop()
+	}
+
+	fprintf(o.Out, "# rpc: wire-protocol overhead, loopback vs multi-process tcp (zero simulated latency)\n")
+	fprintf(o.Out, "%-10s %-9s %12s %10s %10s\n", "transport", "op", "ops/s", "p50-us", "p99-us")
+	for _, p := range res.Phases {
+		fprintf(o.Out, "%-10s %-9s %12.1f %10.1f %10.1f\n",
+			p.Transport, p.Op, p.OpsPerSec, p.P50Micros, p.P99Micros)
+	}
+	if RPCJSONPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(RPCJSONPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("rpc: write json: %w", err)
+		}
+		fprintf(o.Out, "\nwrote %s\n", RPCJSONPath)
+	}
+	return nil
+}
+
+// rpcBenchLoad creates and loads the bench table through a local client.
+func rpcBenchLoad(c *cluster.Cluster, records int) (*cluster.Client, error) {
+	if err := c.CreateTable(rpcBenchTable, []kv.Key{rpcRowKey(records / 2)}); err != nil {
+		return nil, err
+	}
+	cl, err := c.NewClient("rpcbench-loader")
+	if err != nil {
+		return nil, err
+	}
+	if err := rpcBenchFill(cl, records); err != nil {
+		cl.Stop()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// rpcBenchLoadRemote creates the table via the cluster (admin side) and
+// loads it through a remote client, so even the load crosses the wire.
+func rpcBenchLoadRemote(c *cluster.Cluster, remote *cluster.Remote, records int) (*cluster.Client, error) {
+	if err := c.CreateTable(rpcBenchTable, []kv.Key{rpcRowKey(records / 2)}); err != nil {
+		return nil, err
+	}
+	cl, err := remote.NewClient("rpcbench-remote")
+	if err != nil {
+		return nil, err
+	}
+	if err := rpcBenchFill(cl, records); err != nil {
+		cl.Stop()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// rpcBenchFill writes records rows in 500-row transactions.
+func rpcBenchFill(cl *cluster.Client, records int) error {
+	ctx := context.Background()
+	val := make([]byte, 100)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for lo := 0; lo < records; lo += 500 {
+		hi := lo + 500
+		if hi > records {
+			hi = records
+		}
+		if _, err := cl.Update(ctx, func(txn *cluster.Txn) error {
+			for i := lo; i < hi; i++ {
+				if err := txn.Put(ctx, rpcBenchTable, rpcRowKey(i), "f", val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("load rows [%d,%d): %w", lo, hi, err)
+		}
+	}
+	return nil
+}
+
+// rpcPhase runs one closed-loop (transport, op) measurement.
+func rpcPhase(cl *cluster.Client, o Options, transport, op string) (RPCPhaseResult, error) {
+	pr := RPCPhaseResult{Transport: transport, Op: op}
+	hist := &metrics.Histogram{}
+	var nops atomic.Int64
+	var firstErr atomic.Value
+	stopAt := time.Now().Add(o.Duration)
+	ctx := context.Background()
+	val := []byte("rpcbench-update-value-100-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+
+	done := make(chan struct{}, o.Threads)
+	for th := 0; th < o.Threads; th++ {
+		go func(th int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(o.Seed*977 + int64(th)))
+			var ro *cluster.Txn
+			if op != "commit3" {
+				t, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ro = t
+				defer func() { ro.Abort() }()
+			}
+			n := 0
+			for time.Now().Before(stopAt) {
+				// Re-pin the read snapshot periodically so the version-GC
+				// horizon is never held back for a whole phase.
+				if ro != nil {
+					if n++; n%256 == 0 {
+						ro.Abort()
+						t, err := cl.BeginTxn(cluster.TxnOptions{ReadOnly: true})
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+						ro = t
+					}
+				}
+				t0 := time.Now()
+				var err error
+				switch op {
+				case "get":
+					_, _, err = ro.Get(ctx, rpcBenchTable, rpcRowKey(rng.Intn(o.Records)), "f")
+				case "commit3":
+					_, err = cl.Update(ctx, func(txn *cluster.Txn) error {
+						for j := 0; j < 3; j++ {
+							if err := txn.Put(ctx, rpcBenchTable, rpcRowKey(rng.Intn(o.Records)), "f", val); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				case "scan100":
+					start := rng.Intn(maxInt(o.Records-100, 1))
+					sc := ro.Scan(ctx, rpcBenchTable, kv.KeyRange{
+						Start: rpcRowKey(start),
+						End:   rpcRowKey(start + 100),
+					}, cluster.ScanOptions{Batch: 64})
+					for sc.Next() {
+					}
+					err = sc.Err()
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				hist.Record(time.Since(t0))
+				nops.Add(1)
+			}
+		}(th)
+	}
+	for th := 0; th < o.Threads; th++ {
+		<-done
+	}
+	if e := firstErr.Load(); e != nil {
+		return pr, e.(error)
+	}
+	n := nops.Load()
+	if n == 0 {
+		return pr, fmt.Errorf("rpc phase %s/%s completed no operations", transport, op)
+	}
+	pr.OpsPerSec = float64(n) / o.Duration.Seconds()
+	pr.P50Micros = float64(hist.Quantile(0.50)) / 1e3
+	pr.P99Micros = float64(hist.Quantile(0.99)) / 1e3
+	return pr, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

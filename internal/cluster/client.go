@@ -35,9 +35,10 @@ var (
 // concurrently, like the paper's client processes with multiple threads.
 type Client struct {
 	id      string
-	cluster *Cluster
+	cluster *Cluster // nil in remote mode
+	remote  *Remote  // nil in local mode
 	kv      *kvstore.Client
-	agent   *core.ClientAgent // nil when recovery is disabled
+	agent   *core.ClientAgent // nil when recovery is disabled or remote
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -92,8 +93,19 @@ func (c *Cluster) NewClient(id string) (*Client, error) {
 	}
 	c.mu.Lock()
 	c.clients[id] = cl
+	dial := c.remoteDial
 	c.mu.Unlock()
+	installDial(cl.kv, dial) // reach region-server processes when serving RPC
 	return cl, nil
+}
+
+// tracer returns the owning cluster's tracer; nil — permanently disabled —
+// for remote-mode clients.
+func (cl *Client) tracer() *obs.Tracer {
+	if cl.cluster == nil {
+		return nil
+	}
+	return cl.cluster.tracer
 }
 
 // ID returns the client's identity.
@@ -180,7 +192,7 @@ func (t *Txn) Get(ctx context.Context, table string, row kv.Key, column string) 
 
 	mctx, release := t.client.opCtx(ctx)
 	defer release()
-	if tr := t.client.cluster.tracer; tr.Enabled() {
+	if tr := t.client.tracer(); tr.Enabled() {
 		var sp *obs.Span
 		mctx, sp = tr.StartSpan(mctx, "get")
 		defer sp.Finish()
@@ -252,6 +264,10 @@ func (t *Txn) Abort() {
 	}
 	t.finished = true
 	t.mu.Unlock()
+	if t.client.remote != nil {
+		t.client.abortRemoteTxn(t)
+		return
+	}
 	if t.readOnly {
 		t.client.cluster.tm.Release(t.h)
 		return
@@ -300,6 +316,13 @@ func (t *Txn) commit(ctx context.Context, wait bool) (kv.Timestamp, error) {
 	bufNs := t.bufNs
 	t.mu.Unlock()
 	sp := t.sp
+
+	if t.client.remote != nil {
+		// Remote mode: the gateway validates, commits, and owns the
+		// recovery-protected flush (read-only included: the gateway
+		// releases the snapshot pin).
+		return t.client.commitRemoteTxn(ctx, t, updates, wait)
+	}
 
 	if t.readOnly {
 		// Read-only commit: release the snapshot pin; validation, the
@@ -454,9 +477,7 @@ func (cl *Client) stop(unlist bool) {
 		if cl.agent != nil {
 			cl.agent.Crash()
 		}
-		cl.cluster.mu.Lock()
-		delete(cl.cluster.clients, cl.id)
-		cl.cluster.mu.Unlock()
+		cl.unlist()
 		return
 	}
 	if cl.agent != nil {
@@ -464,10 +485,19 @@ func (cl *Client) stop(unlist bool) {
 	}
 	cl.cancel()
 	if unlist {
-		cl.cluster.mu.Lock()
-		delete(cl.cluster.clients, cl.id)
-		cl.cluster.mu.Unlock()
+		cl.unlist()
 	}
+}
+
+// unlist removes the client from its cluster's registry (no-op in remote
+// mode, where the serving process tracks only its own gateway clients).
+func (cl *Client) unlist() {
+	if cl.cluster == nil {
+		return
+	}
+	cl.cluster.mu.Lock()
+	delete(cl.cluster.clients, cl.id)
+	cl.cluster.mu.Unlock()
 }
 
 // Crash simulates the client process dying: in-flight flushes are
@@ -485,7 +515,5 @@ func (cl *Client) Crash() {
 	if cl.agent != nil {
 		cl.agent.Crash()
 	}
-	cl.cluster.mu.Lock()
-	delete(cl.cluster.clients, cl.id)
-	cl.cluster.mu.Unlock()
+	cl.unlist()
 }

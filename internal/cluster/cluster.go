@@ -10,6 +10,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"txkv/internal/metrics"
 	"txkv/internal/netsim"
 	"txkv/internal/obs"
+	"txkv/internal/rpc"
 	"txkv/internal/storage"
 	"txkv/internal/txlog"
 	"txkv/internal/txmgr"
@@ -41,7 +43,10 @@ var (
 // laptop-scale configuration; latencies default to a mild simulation of the
 // paper's testbed ratios (LAN RPC ≪ DFS sync).
 type Config struct {
-	// Servers is the number of region servers (the paper uses 2).
+	// Servers is the number of in-process region servers (the paper uses
+	// 2; zero defaults to 2). Negative means none: a master-only process
+	// that serves the wire protocol (ServeRPC) and waits for region-server
+	// processes to register over it.
 	Servers int
 	// Replication is the DFS replication factor (the paper uses 2).
 	Replication int
@@ -146,11 +151,18 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Servers <= 0 {
+	switch {
+	case c.Servers == 0:
 		c.Servers = 2
+	case c.Servers < 0:
+		c.Servers = 0 // master-only: region servers join over RPC
 	}
 	if c.Replication <= 0 {
 		c.Replication = 2
+	}
+	// The DFS runs Servers+1 data nodes; replication cannot exceed them.
+	if n := c.Servers + 1; c.Replication > n {
+		c.Replication = n
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = time.Second
@@ -207,15 +219,20 @@ type Cluster struct {
 	updateCommitsTotal *metrics.Counter
 	updateRetriesTotal *metrics.Counter
 
-	mu        sync.Mutex
-	rm        *core.Manager
-	rmEpoch   int
-	servers   map[string]*serverUnit
-	serverIDs []string
-	clients   map[string]*Client
-	clientSeq int
-	serverSeq int
-	stopped   bool
+	mu         sync.Mutex
+	rpcSrv     *rpc.Server            // non-nil while serving the wire protocol
+	rpcPool    *rpc.Pool              // outbound connections to region-server processes
+	rpcLn      net.Listener           // the wire-protocol listener
+	remoteDial kvstore.EndpointDialer // dialer retrofitted onto routing clients while serving
+	rmKV       *kvstore.Client        // current recovery manager's routing client
+	rm         *core.Manager
+	rmEpoch    int
+	servers    map[string]*serverUnit
+	serverIDs  []string
+	clients    map[string]*Client
+	clientSeq  int
+	serverSeq  int
+	stopped    bool
 	// Block-cache counters of server incarnations replaced by AddServer
 	// reusing an ID: folded in so the exported cache totals stay
 	// monotonic across crash/re-add cycles.
@@ -244,7 +261,7 @@ func (p *rmProxy) set(rm *core.Manager) {
 }
 
 // RecoverRegion implements kvstore.RecoveryGate.
-func (p *rmProxy) RecoverRegion(r kvstore.RegionInfo, failed string, host *kvstore.RegionServer) error {
+func (p *rmProxy) RecoverRegion(r kvstore.RegionInfo, failed string, host kvstore.RegionHost) error {
 	rm := p.get()
 	if rm == nil {
 		return ErrRMDown // master retries until the RM is back
@@ -625,6 +642,10 @@ func (c *Cluster) newRecoveryManager() *core.Manager {
 		ID:  fmt.Sprintf("recovery-client-%d", c.rmEpoch),
 		Obs: c.clientObs,
 	}, c.net, c.master)
+	// Field access without c.mu: New calls this before the cluster is
+	// shared, RestartRecoveryManager calls it with c.mu held.
+	c.rmKV = rc
+	installDial(rc, c.remoteDial) // replay must reach remote region servers too
 	rm := core.NewManager(core.ManagerConfig{
 		PollInterval:      c.cfg.RMPollInterval,
 		DisableTruncation: c.cfg.DisableTruncation,
@@ -848,6 +869,10 @@ func (c *Cluster) Stop() {
 	c.rm = nil
 	c.mu.Unlock()
 
+	// Stop serving the wire protocol first: closing the connections runs
+	// the gateway session cleanups (aborting remote transactions) while
+	// the rest of the cluster is still up to process them.
+	c.stopRPC()
 	if c.janitorStop != nil {
 		close(c.janitorStop)
 		c.janitorWG.Wait()

@@ -180,9 +180,17 @@ func (c *Cluster) restoreState(layouts map[string][]kvstore.RegionInfo, order []
 	for _, ws := range c.log.Retained() {
 		perServer := make(map[*kvstore.RegionServer][]kv.Update)
 		for _, u := range ws.Updates {
-			_, srv, err := c.master.Locate(u.Table, u.Row)
+			_, host, err := c.master.Locate(u.Table, u.Row)
 			if err != nil {
 				return fmt.Errorf("cluster: replay commit %d: %w", ws.CommitTS, err)
+			}
+			// Reopen restores onto servers built in this process, so the
+			// host is always the concrete server (ReplayWriteSet bypasses
+			// the WAL — a deliberate local-only operation: the replayed
+			// write-sets are already durable in the retained commit log).
+			srv, ok := host.(*kvstore.RegionServer)
+			if !ok {
+				return fmt.Errorf("cluster: replay commit %d: region %s/%s hosted remotely", ws.CommitTS, u.Table, u.Row)
 			}
 			perServer[srv] = append(perServer[srv], u)
 		}

@@ -123,7 +123,7 @@ func (t *Txn) Scan(ctx context.Context, table string, rng kv.KeyRange, opts Scan
 	mctx, release := t.client.opCtx(ctx)
 	// The span rides the scan context, so each batch fetch records a
 	// scan.fill stage onto it; the span finishes when the scan closes.
-	mctx, sp := t.client.cluster.tracer.StartSpan(mctx, "scan")
+	mctx, sp := t.client.tracer().StartSpan(mctx, "scan")
 	return &Scanner{
 		base:     t.client.kv.NewScanner(mctx, table, rng, t.h.StartTS, baseOpts),
 		table:    table,

@@ -132,6 +132,9 @@ func (cl *Client) BeginTxn(opts TxnOptions) (*Txn, error) {
 	if closed {
 		return nil, opErr("begin", "", "", ErrClientClosed)
 	}
+	if cl.remote != nil {
+		return cl.beginRemoteTxn(opts)
+	}
 	tm := cl.cluster.tm
 	readOnly := opts.ReadOnly || opts.SnapshotTS != 0
 	// Read-write transactions carry a commit-pipeline span from begin: the
@@ -225,7 +228,9 @@ func (cl *Client) UpdateWith(ctx context.Context, opts TxnOptions, fn func(*Txn)
 		switch {
 		case err == nil:
 			cl.updateCommits.Add(1)
-			cl.cluster.updateCommitsTotal.Add(1)
+			if cl.cluster != nil {
+				cl.cluster.updateCommitsTotal.Add(1)
+			}
 			return cts, nil
 		case errors.Is(err, ErrCommitIndeterminate):
 			// The write-set is enqueued and will commit; retrying would
@@ -239,7 +244,9 @@ func (cl *Client) UpdateWith(ctx context.Context, opts TxnOptions, fn func(*Txn)
 			return 0, lastErr
 		}
 		cl.updateRetries.Add(1)
-		cl.cluster.updateRetriesTotal.Add(1)
+		if cl.cluster != nil {
+			cl.cluster.updateRetriesTotal.Add(1)
+		}
 		select {
 		case <-ctx.Done():
 			return 0, opErr("update", "", "", ctx.Err())

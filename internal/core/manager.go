@@ -531,7 +531,7 @@ func (m *Manager) OnServerFailure(serverID string, regions []kvstore.RegionInfo)
 // T_P(s) of the failed server (once per failure), select the updates
 // falling within the region, and replay them — with T_P(s) piggybacked — to
 // the region's new host. The region goes online when this returns.
-func (m *Manager) RecoverRegion(r kvstore.RegionInfo, failedID string, host *kvstore.RegionServer) error {
+func (m *Manager) RecoverRegion(r kvstore.RegionInfo, failedID string, host kvstore.RegionHost) error {
 	start := time.Now()
 	m.mu.Lock()
 	f, ok := m.failed[failedID]
@@ -614,7 +614,7 @@ func (m *Manager) RecoverRegion(r kvstore.RegionInfo, failedID string, host *kvs
 // replayToHost sends one replayed write-set slice directly to the
 // recovering region's host, through the simulated network, with the failed
 // server's threshold piggybacked.
-func (m *Manager) replayToHost(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, host *kvstore.RegionServer) error {
+func (m *Manager) replayToHost(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, host kvstore.RegionHost) error {
 	var lastErr error
 	for attempt := 0; attempt < 50; attempt++ {
 		lastErr = m.net.Call(ctx, recoveryClientNode, host.ID(), func() error {

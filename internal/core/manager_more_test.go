@@ -103,10 +103,11 @@ func TestRecoverRegionWithoutFailureHook(t *testing.T) {
 
 	// Directly call the gate as the master would, with a failed server the
 	// RM never heard about.
-	_, host, err := h.master.Locate("t", "row")
+	_, hostH, err := h.master.Locate("t", "row")
 	if err != nil {
 		t.Fatal(err)
 	}
+	host := hostH.(*kvstore.RegionServer)
 	var other *kvstore.RegionServer
 	for _, s := range h.srvs {
 		if s.ID() != host.ID() {

@@ -263,10 +263,11 @@ func TestServerFailureRecovery(t *testing.T) {
 	}
 
 	// Everything is flushed but nothing persisted (agents never beat).
-	_, host, err := h.master.Locate("t", "row01")
+	_, hostH, err := h.master.Locate("t", "row01")
 	if err != nil {
 		t.Fatal(err)
 	}
+	host := hostH.(*kvstore.RegionServer)
 	host.Crash()
 	h.net.SetDown(host.ID(), true)
 
@@ -313,10 +314,11 @@ func TestServerFailurePartialPersist(t *testing.T) {
 		h.commit(t, c, ws)
 		h.flush(t, c, ws)
 	}
-	_, host, err := h.master.Locate("t", "old01")
+	_, hostH, err := h.master.Locate("t", "old01")
 	if err != nil {
 		t.Fatal(err)
 	}
+	host := hostH.(*kvstore.RegionServer)
 	// Stop the host's agent first so no further persist can happen, then
 	// crash.
 	for i, s := range h.srvs {
@@ -435,10 +437,11 @@ func TestCascadingFailureInheritance(t *testing.T) {
 		h.commit(t, c, ws)
 		h.flush(t, c, ws)
 	}
-	_, hostA, err := h.master.Locate("t", "row01")
+	_, hostAH, err := h.master.Locate("t", "row01")
 	if err != nil {
 		t.Fatal(err)
 	}
+	hostA := hostAH.(*kvstore.RegionServer)
 	hostA.Crash()
 	h.net.SetDown(hostA.ID(), true)
 	waitFor(t, 5*time.Second, "first recovery", func() bool {
@@ -447,10 +450,11 @@ func TestCascadingFailureInheritance(t *testing.T) {
 
 	// The region now lives on some server B with replayed-but-unpersisted
 	// data and an inherited threshold. Kill B too.
-	_, hostB, err := h.master.Locate("t", "row01")
+	_, hostBH, err := h.master.Locate("t", "row01")
 	if err != nil {
 		t.Fatal(err)
 	}
+	hostB := hostBH.(*kvstore.RegionServer)
 	if hostB.ID() == hostA.ID() {
 		t.Fatal("region did not move")
 	}
@@ -512,10 +516,11 @@ func TestRecoveryManagerFailover(t *testing.T) {
 	}
 
 	// A server failure after fail-over still recovers.
-	_, host, err := h.master.Locate("t", "a01")
+	_, hostH, err := h.master.Locate("t", "a01")
 	if err != nil {
 		t.Fatal(err)
 	}
+	host := hostH.(*kvstore.RegionServer)
 	for i, s := range h.srvs {
 		if s.ID() == host.ID() {
 			h.agents[i].Crash()

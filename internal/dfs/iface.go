@@ -1,0 +1,39 @@
+package dfs
+
+// FileSystem is the filesystem surface the storage layers (WAL, store
+// files, region metadata) are written against. *FS implements it directly;
+// the RPC layer implements it with a client whose operations execute in the
+// master process, which is how region-server processes on other machines
+// share one DFS namespace (the HBase-over-HDFS deployment shape): a WAL
+// written by one process is readable by the master for splitting, and store
+// files flushed by one server are openable by whichever server the region
+// is reassigned to.
+type FileSystem interface {
+	// CreateFile opens a new append-only file. Files are write-once: the
+	// path must not already exist.
+	CreateFile(path string) (FileWriter, error)
+	Delete(path string) error
+	Rename(oldPath, newPath string) error
+	Exists(path string) bool
+	List(prefix string) []string
+	Size(path string) (int64, error)
+	ReadAll(path string) ([]byte, error)
+	ReadRange(path string, off int64, n int) ([]byte, error)
+}
+
+// FileWriter is the append-only writer handle of a FileSystem, with the
+// HDFS hflush/hsync durability split: Append buffers in the writer's
+// process and is lost on crash, Sync replicates the buffer and returns once
+// durable.
+type FileWriter interface {
+	Append(b []byte) error
+	Buffered() int
+	Sync() error
+	Close() error
+	Abandon()
+}
+
+// CreateFile adapts Create to the FileSystem interface (Go interfaces have
+// no covariant returns, so the concrete *Writer return of Create cannot
+// satisfy it directly).
+func (fs *FS) CreateFile(path string) (FileWriter, error) { return fs.Create(path) }

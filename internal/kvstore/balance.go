@@ -59,14 +59,14 @@ func (m *Master) MoveRegion(regionID, targetServerID string) error {
 	// target must open exactly these: the directory listing can still
 	// contain retired compaction inputs whose deferred deletion fires
 	// when the source's last reader drains.
-	files, err := src.srv.CloseAndFlushRegion(regionID)
+	files, err := src.host.CloseAndFlushRegion(regionID)
 	if err != nil {
 		reassign(srcID) // leave it where it was
 		return fmt.Errorf("move %s: %w", regionID, err)
 	}
-	if err := target.srv.OpenRegionFiles(info, files, nil, nil); err != nil {
+	if err := target.host.OpenRegionFiles(info, files, nil, nil); err != nil {
 		// Try to restore it on the source.
-		if rerr := src.srv.OpenRegionFiles(info, files, nil, nil); rerr == nil {
+		if rerr := src.host.OpenRegionFiles(info, files, nil, nil); rerr == nil {
 			reassign(srcID)
 		}
 		return fmt.Errorf("move %s: open on %s: %w", regionID, targetServerID, err)

@@ -62,7 +62,7 @@ const MasterNode = "master"
 
 type location struct {
 	info RegionInfo
-	srv  *RegionServer
+	ep   RegionEndpoint
 }
 
 // tableLayout is a client-side snapshot of one table's region map: the
@@ -111,17 +111,19 @@ type ClientStats struct {
 	LayoutMisses int64
 }
 
-// Client is the HBase-like embedded client: it caches each table's region
+// Client is the HBase-like routing client: it caches each table's region
 // layout (a range map refreshed whole on a miss, invalidated per region on
 // ErrRegionNotServing-style failures), routes gets/scans/write-set flushes
-// to region servers through the simulated network, and retries after
-// re-locating when regions move. The transactional layer (txkv) drives it;
-// the paper's client-side tracking (Algorithm 1) observes it from
-// internal/core via the transactional client's post-flush notifications.
+// to region servers through its Transport, and retries after re-locating
+// when regions move. The transactional layer (txkv) drives it; the paper's
+// client-side tracking (Algorithm 1) observes it from internal/core via the
+// transactional client's post-flush notifications. Whether the calls cross
+// a simulated network (loopback transport) or real sockets (internal/rpc's
+// TCP transport) is invisible here — the retry and invalidation discipline
+// is identical.
 type Client struct {
-	cfg    ClientConfig
-	net    *netsim.Network
-	master *Master
+	cfg ClientConfig
+	tr  Transport
 
 	mu    sync.Mutex
 	cache map[string]*tableLayout // table -> cached region map
@@ -131,15 +133,24 @@ type Client struct {
 	layoutMisses  metrics.Counter
 }
 
-// NewClient creates a routing client.
+// NewClient creates a routing client over the in-process loopback
+// transport — the embedded-cluster path every test and single-process
+// deployment uses.
 func NewClient(cfg ClientConfig, net *netsim.Network, master *Master) *Client {
+	return NewClientTransport(cfg, NewLoopbackTransport(net, master, cfg.ID))
+}
+
+// NewClientTransport creates a routing client over an explicit transport.
+func NewClientTransport(cfg ClientConfig, tr Transport) *Client {
 	return &Client{
-		cfg:    cfg.withDefaults(),
-		net:    net,
-		master: master,
-		cache:  make(map[string]*tableLayout),
+		cfg:   cfg.withDefaults(),
+		tr:    tr,
+		cache: make(map[string]*tableLayout),
 	}
 }
+
+// Transport returns the client's transport (admin ops, lifecycle).
+func (c *Client) Transport() Transport { return c.tr }
 
 // ID returns the client's node name.
 func (c *Client) ID() string { return c.cfg.ID }
@@ -175,12 +186,7 @@ func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location
 
 	// One master round trip fetches the table's whole serving layout — a
 	// scan's next thousand region transitions are then local.
-	var located []RegionLocation
-	err := c.net.Call(ctx, c.cfg.ID, MasterNode, func() error {
-		var err error
-		located, err = c.master.LocateAll(table)
-		return err
-	})
+	located, err := c.tr.LocateAll(ctx, table)
 	c.masterLookups.Add(1)
 	if o := c.cfg.Obs; o != nil {
 		o.MasterLookups.Add(1)
@@ -190,7 +196,7 @@ func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location
 	}
 	lay := &tableLayout{locs: make([]location, 0, len(located))}
 	for _, rl := range located {
-		lay.locs = append(lay.locs, location{info: rl.Info, srv: rl.Srv})
+		lay.locs = append(lay.locs, location{info: rl.Info, ep: rl.Ep})
 	}
 	// Resolve the row BEFORE publishing: once lay is in the cache a
 	// concurrent invalidate may mutate its slice.
@@ -224,9 +230,14 @@ func (c *Client) invalidateTable(table string) {
 }
 
 // retryable reports whether an error warrants re-locating and retrying.
+// ErrTransport is in the set deliberately: a connection-level failure means
+// the cached endpoint may be dead, and the re-locate that precedes the
+// retry asks the master for the region's current (possibly reassigned)
+// address instead of hammering the dead one.
 func retryable(err error) bool {
 	return errors.Is(err, ErrRegionNotServing) ||
 		errors.Is(err, ErrServerStopped) ||
+		errors.Is(err, ErrTransport) ||
 		errors.Is(err, netsim.ErrNodeDown) ||
 		errors.Is(err, netsim.ErrUnreachable)
 }
@@ -260,11 +271,7 @@ func (c *Client) Get(ctx context.Context, table string, row kv.Key, column strin
 			}
 			var got kv.KeyValue
 			var found bool
-			err = c.net.Call(ctx, c.cfg.ID, loc.srv.ID(), func() error {
-				var e error
-				got, found, e = loc.srv.Get(table, row, column, maxTS)
-				return e
-			})
+			got, found, err = loc.ep.Get(ctx, table, row, column, maxTS)
 			if err == nil {
 				sp.Stage("get.server", stageStart)
 				return got, found, nil
@@ -317,7 +324,7 @@ func (c *Client) GetBatch(ctx context.Context, table string, keys []kv.CellKey, 
 	for attempt := 0; attempt < c.cfg.ReadRetries && len(remaining) > 0; attempt++ {
 		// Group the outstanding keys by hosting server.
 		type portion struct {
-			srv  *RegionServer
+			ep   RegionEndpoint
 			idx  []int
 			keys []kv.CellKey
 		}
@@ -333,10 +340,10 @@ func (c *Client) GetBatch(ctx context.Context, table string, keys []kv.CellKey, 
 				failed = append(failed, i)
 				continue
 			}
-			p := bySrv[loc.srv.ID()]
+			p := bySrv[loc.ep.Addr()]
 			if p == nil {
-				p = &portion{srv: loc.srv}
-				bySrv[loc.srv.ID()] = p
+				p = &portion{ep: loc.ep}
+				bySrv[loc.ep.Addr()] = p
 			}
 			p.idx = append(p.idx, i)
 			p.keys = append(p.keys, keys[i])
@@ -351,15 +358,7 @@ func (c *Client) GetBatch(ctx context.Context, table string, keys []kv.CellKey, 
 			wg.Add(1)
 			go func(p *portion) {
 				defer wg.Done()
-				var (
-					pkvs   []kv.KeyValue
-					pfound []bool
-				)
-				err := c.net.Call(ctx, c.cfg.ID, p.srv.ID(), func() error {
-					var e error
-					pkvs, pfound, e = p.srv.GetBatch(ctx, table, p.keys, maxTS)
-					return e
-				})
+				pkvs, pfound, err := p.ep.GetBatch(ctx, table, p.keys, maxTS)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -426,7 +425,7 @@ func (c *Client) Flush(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, 
 	for attempt := 0; ; attempt++ {
 		// Group remaining updates by hosting server.
 		type portion struct {
-			srv     *RegionServer
+			ep      RegionEndpoint
 			updates []kv.Update
 		}
 		bySrv := make(map[string]*portion)
@@ -440,10 +439,10 @@ func (c *Client) Flush(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, 
 				unlocated = append(unlocated, u)
 				continue
 			}
-			p := bySrv[loc.srv.ID()]
+			p := bySrv[loc.ep.Addr()]
 			if p == nil {
-				p = &portion{srv: loc.srv}
-				bySrv[loc.srv.ID()] = p
+				p = &portion{ep: loc.ep}
+				bySrv[loc.ep.Addr()] = p
 			}
 			p.updates = append(p.updates, u)
 		}
@@ -464,9 +463,7 @@ func (c *Client) Flush(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, 
 					CommitTS: ws.CommitTS,
 					Updates:  p.updates,
 				}
-				err := c.net.Call(ctx, c.cfg.ID, p.srv.ID(), func() error {
-					return p.srv.ApplyWriteSet(sub, piggy, hasPiggy)
-				})
+				err := p.ep.Apply(ctx, sub, piggy, hasPiggy)
 				if err != nil {
 					for _, u := range p.updates {
 						c.invalidateTable(u.Table)

@@ -15,4 +15,12 @@ var (
 	// ErrBadStoreFileName reports a file in a region's data directory whose
 	// name is not a strict decimal sequence plus the expected suffix.
 	ErrBadStoreFileName = errors.New("kvstore: malformed store-file name")
+	// ErrTransport reports a connection-level failure between the client
+	// and a region server or the master: a dead socket, a refused dial, a
+	// connection torn down mid-call. It says nothing about whether the
+	// remote side executed the operation. Clients treat it as retryable
+	// AFTER invalidating the cached layout — a dead server's regions must
+	// be re-resolved through the master, never retried against the dead
+	// address.
+	ErrTransport = errors.New("kvstore: transport failure")
 )

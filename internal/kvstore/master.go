@@ -47,7 +47,7 @@ type RecoveryGate interface {
 	// online, on host) every write-set committed after the failed
 	// server's T_P whose updates fall within r, then returns; the region
 	// goes online afterwards.
-	RecoverRegion(r RegionInfo, failedServer string, host *RegionServer) error
+	RecoverRegion(r RegionInfo, failedServer string, host RegionHost) error
 }
 
 // MasterConfig configures failure detection.
@@ -69,7 +69,8 @@ func (c MasterConfig) withDefaults() MasterConfig {
 }
 
 type serverRec struct {
-	srv    *RegionServer
+	host   RegionHost
+	addr   string // client-dialable address ("" = in-process only)
 	lastHB time.Time
 	alive  bool
 }
@@ -80,7 +81,7 @@ type serverRec struct {
 // master, with the two recovery-manager hooks the paper adds.
 type Master struct {
 	cfg MasterConfig
-	fs  *dfs.FS
+	fs  dfs.FileSystem
 
 	mu         sync.Mutex
 	servers    map[string]*serverRec
@@ -102,7 +103,7 @@ type Master struct {
 }
 
 // NewMaster creates a master over the given DFS.
-func NewMaster(cfg MasterConfig, fs *dfs.FS) *Master {
+func NewMaster(cfg MasterConfig, fs dfs.FileSystem) *Master {
 	return &Master{
 		cfg:        cfg.withDefaults(),
 		fs:         fs,
@@ -169,15 +170,26 @@ func (m *Master) Stop() {
 	m.wg.Wait()
 }
 
-// AddServer registers and starts a region server.
+// AddServer registers and starts an in-process region server.
 func (m *Master) AddServer(s *RegionServer) error {
 	if err := s.Start(m); err != nil {
 		return err
 	}
+	return m.AddServerHost(s, "")
+}
+
+// AddServerHost registers an already-running region server by its host
+// handle — the registration path for region-server processes, whose host is
+// internal/rpc's proxy and whose addr is the address clients dial for
+// reads. The server is expected to already be started and heartbeating.
+func (m *Master) AddServerHost(host RegionHost, addr string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.servers[s.ID()] = &serverRec{srv: s, lastHB: time.Now(), alive: true}
-	m.order = append(m.order, s.ID())
+	if _, ok := m.servers[host.ID()]; ok {
+		return fmt.Errorf("kvstore: server %s already registered", host.ID())
+	}
+	m.servers[host.ID()] = &serverRec{host: host, addr: addr, lastHB: time.Now(), alive: true}
+	m.order = append(m.order, host.ID())
 	return nil
 }
 
@@ -254,13 +266,13 @@ func (m *Master) CreateTable(name string, splits []kv.Key) error {
 			m.mu.Unlock()
 			return err
 		}
-		m.assign[info.ID] = rec.srv.ID()
+		m.assign[info.ID] = rec.host.ID()
 		placements = append(placements, placement{rec: rec, info: info})
 	}
 	m.mu.Unlock()
 
 	for _, p := range placements {
-		if err := p.rec.srv.OpenRegion(p.info, nil, nil); err != nil {
+		if err := p.rec.host.OpenRegion(p.info, nil, nil); err != nil {
 			return fmt.Errorf("open region %s: %w", p.info.ID, err)
 		}
 	}
@@ -290,13 +302,13 @@ func (m *Master) RestoreTable(name string, regions []RegionInfo, edits map[strin
 			m.mu.Unlock()
 			return err
 		}
-		m.assign[info.ID] = rec.srv.ID()
+		m.assign[info.ID] = rec.host.ID()
 		placements = append(placements, placement{rec: rec, info: info})
 	}
 	m.mu.Unlock()
 
 	for _, p := range placements {
-		if err := p.rec.srv.OpenRegion(p.info, edits[p.info.ID], nil); err != nil {
+		if err := p.rec.host.OpenRegion(p.info, edits[p.info.ID], nil); err != nil {
 			return fmt.Errorf("restore region %s: %w", p.info.ID, err)
 		}
 	}
@@ -315,10 +327,14 @@ func (m *Master) TableRegions(table string) ([]RegionInfo, error) {
 }
 
 // RegionLocation pairs a region's metadata with the server currently
-// hosting it — one entry of a table's layout snapshot.
+// hosting it — one entry of a table's layout snapshot. Host is the
+// in-process handle (a *RegionServer for local servers, an RPC proxy for
+// remote ones); Addr, when non-empty, is the address remote clients dial to
+// reach the hosting server directly.
 type RegionLocation struct {
 	Info RegionInfo
-	Srv  *RegionServer
+	Host RegionHost
+	Addr string
 }
 
 // LocateAll resolves a table's full region layout in one call: every region
@@ -347,7 +363,7 @@ func (m *Master) LocateAll(table string) ([]RegionLocation, error) {
 		if rec == nil || !rec.alive {
 			continue
 		}
-		out = append(out, RegionLocation{Info: info, Srv: rec.srv})
+		out = append(out, RegionLocation{Info: info, Host: rec.host, Addr: rec.addr})
 	}
 	return out, nil
 }
@@ -355,7 +371,7 @@ func (m *Master) LocateAll(table string) ([]RegionLocation, error) {
 // Locate resolves (table, row) to its region and the server currently
 // hosting it. While a region is offline for recovery it returns
 // ErrRegionNotServing; clients back off and retry.
-func (m *Master) Locate(table string, row kv.Key) (RegionInfo, *RegionServer, error) {
+func (m *Master) Locate(table string, row kv.Key) (RegionInfo, RegionHost, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	regions, ok := m.tables[table]
@@ -377,7 +393,7 @@ func (m *Master) Locate(table string, row kv.Key) (RegionInfo, *RegionServer, er
 		if rec == nil || !rec.alive {
 			return RegionInfo{}, nil, fmt.Errorf("%w: %s host %s down", ErrRegionNotServing, info.ID, sid)
 		}
-		return info, rec.srv, nil
+		return info, rec.host, nil
 	}
 	return RegionInfo{}, nil, fmt.Errorf("%w: no region for %s/%s", ErrNoSuchTable, table, row)
 }
@@ -546,16 +562,16 @@ func (m *Master) reassignRegion(info RegionInfo, failedServer string, edits []WA
 		}
 		var preOnline func() error
 		if gate != nil {
-			host := rec.srv
+			host := rec.host
 			preOnline = func() error { return gate.RecoverRegion(info, failedServer, host) }
 		}
-		if err := rec.srv.OpenRegion(info, edits, preOnline); err != nil {
+		if err := rec.host.OpenRegion(info, edits, preOnline); err != nil {
 			// Chosen server may itself have died; try another.
 			time.Sleep(m.cfg.CheckInterval)
 			continue
 		}
 		m.mu.Lock()
-		m.assign[info.ID] = rec.srv.ID()
+		m.assign[info.ID] = rec.host.ID()
 		delete(m.recovering, info.ID)
 		m.mu.Unlock()
 		return

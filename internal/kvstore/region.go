@@ -76,7 +76,7 @@ func (v *viewRef) tryRef() bool {
 type Region struct {
 	Info RegionInfo
 
-	fs      *dfs.FS
+	fs      dfs.FileSystem
 	cache   *BlockCache
 	reclaim *metrics.ReclaimMetrics // nil-safe; set by the hosting server
 	stats   *FileStats              // nil-safe; shared cluster-wide, set by the hosting server
@@ -210,17 +210,17 @@ func cloneFrozenWithout(frozen []*MemStore, snap *MemStore) []*MemStore {
 // contain compaction inputs that are retired but not yet unlinked. For an
 // in-process region move use OpenRegionFiles with the source's final live
 // file set.
-func OpenRegion(fs *dfs.FS, cache *BlockCache, info RegionInfo) (*Region, error) {
+func OpenRegion(fs dfs.FileSystem, cache *BlockCache, info RegionInfo) (*Region, error) {
 	return openRegionPaths(fs, cache, info, fs.List(dataDir(info.Table, info.ID)))
 }
 
 // OpenRegionFiles opens a region serving exactly the given store-file
 // paths (the move path: CloseAndFlushRegion's returned live set).
-func OpenRegionFiles(fs *dfs.FS, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
+func OpenRegionFiles(fs dfs.FileSystem, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
 	return openRegionPaths(fs, cache, info, append([]string(nil), paths...))
 }
 
-func openRegionPaths(fs *dfs.FS, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
+func openRegionPaths(fs dfs.FileSystem, cache *BlockCache, info RegionInfo, paths []string) (*Region, error) {
 	r := &Region{Info: info, fs: fs, cache: cache}
 	dir := dataDir(info.Table, info.ID)
 	sort.Strings(paths)

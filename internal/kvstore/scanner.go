@@ -184,11 +184,7 @@ func (s *Scanner) fill() {
 		loc, err := s.c.locate(s.ctx, s.table, start)
 		if err == nil {
 			var resp ScanResponse
-			err = s.c.net.Call(s.ctx, s.c.cfg.ID, loc.srv.ID(), func() error {
-				var e error
-				resp, e = loc.srv.ScanBatch(s.ctx, req)
-				return e
-			})
+			resp, err = loc.ep.ScanBatch(s.ctx, req)
 			if err == nil {
 				sp.Stage("scan.fill", fillStart)
 				s.buf, s.pos = resp.KVs, 0

@@ -128,11 +128,11 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // buffer, apply it to the memstore, notify the tracker hook, and return —
 // persistence to the DFS happens asynchronously.
 type RegionServer struct {
-	cfg    ServerConfig
-	fs     *dfs.FS
-	master *Master
-	hooks  ServerHooks
-	cache  *BlockCache
+	cfg   ServerConfig
+	fs    dfs.FileSystem
+	hb    HeartbeatSink
+	hooks ServerHooks
+	cache *BlockCache
 
 	mu      sync.RWMutex
 	regions map[string]*regionEntry
@@ -156,7 +156,7 @@ type RegionServer struct {
 }
 
 // NewRegionServer creates a (not yet started) region server.
-func NewRegionServer(cfg ServerConfig, fs *dfs.FS) *RegionServer {
+func NewRegionServer(cfg ServerConfig, fs dfs.FileSystem) *RegionServer {
 	cfg = cfg.withDefaults()
 	return &RegionServer{
 		cfg:     cfg,
@@ -190,16 +190,18 @@ func (s *RegionServer) WALPath() string {
 	return walPath(s.cfg.ID, s.walGen)
 }
 
-// Start creates the WAL and starts the background loops. The master must
-// be attached via Master.AddServer (which calls back into start).
-func (s *RegionServer) Start(m *Master) error {
+// Start creates the WAL and starts the background loops, heartbeating into
+// hb. For in-process servers hb is the master itself (Master.AddServer
+// calls back into Start); for region-server processes it is internal/rpc's
+// master client, whose heartbeats cross the wire.
+func (s *RegionServer) Start(hb HeartbeatSink) error {
 	w, err := wal.Create(s.fs, walPath(s.cfg.ID, 0))
 	if err != nil {
 		return fmt.Errorf("server %s: %w", s.cfg.ID, err)
 	}
 	s.mu.Lock()
 	s.wal = w
-	s.master = m
+	s.hb = hb
 	s.mu.Unlock()
 
 	s.wg.Add(2)
@@ -222,10 +224,10 @@ func (s *RegionServer) heartbeatLoop() {
 			return
 		case <-t.C:
 			s.mu.RLock()
-			m, crashed := s.master, s.crashed
+			hb, crashed := s.hb, s.crashed
 			s.mu.RUnlock()
-			if m != nil && !crashed {
-				m.Heartbeat(s.cfg.ID)
+			if hb != nil && !crashed {
+				hb.Heartbeat(s.cfg.ID)
 			}
 		}
 	}
@@ -539,6 +541,65 @@ func (s *RegionServer) installRegion(r *Region, info RegionInfo, recoveredEdits 
 	}
 	entry.online = true
 	s.mu.Unlock()
+	return nil
+}
+
+// OpenRegionRecovering is the first half of a staged region open: the
+// region is installed in the recovering (not online) state and stays there
+// until MarkRegionOnline. It exists for the wire protocol, where the
+// master-side recovery gate cannot run inside this process: internal/rpc's
+// host proxy opens the region recovering, the recovery manager replays
+// committed write-sets into it via ApplyWriteSet, and a final MarkRegionOnline
+// (or CloseRegion, on gate failure) resolves the stage. files, when hasFiles,
+// pins the store-file set explicitly (the region-move path); otherwise the
+// set is discovered by listing the region's data directory.
+func (s *RegionServer) OpenRegionRecovering(info RegionInfo, files []string, hasFiles bool, recoveredEdits []WALEntry) error {
+	s.mu.RLock()
+	crashed := s.crashed
+	s.mu.RUnlock()
+	if crashed {
+		return ErrServerStopped
+	}
+	var (
+		r   *Region
+		err error
+	)
+	if hasFiles {
+		r, err = OpenRegionFiles(s.fs, s.cache, info, files)
+	} else {
+		r, err = OpenRegion(s.fs, s.cache, info)
+	}
+	if err != nil {
+		return err
+	}
+	r.reclaim = s.cfg.Reclaim
+	r.stats = s.cfg.FileStats
+	r.sfOpts = s.storeFileOpts()
+	for _, e := range recoveredEdits {
+		r.Apply(e.KVs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrServerStopped
+	}
+	s.regions[info.ID] = &regionEntry{r: r, online: false}
+	return nil
+}
+
+// MarkRegionOnline completes a staged open: the recovering region starts
+// serving.
+func (s *RegionServer) MarkRegionOnline(regionID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrServerStopped
+	}
+	entry, ok := s.regions[regionID]
+	if !ok {
+		return fmt.Errorf("%w: %s not hosted", ErrRegionNotServing, regionID)
+	}
+	entry.online = true
 	return nil
 }
 

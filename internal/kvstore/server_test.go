@@ -16,14 +16,8 @@ func TestServerRejectsMisroutedWriteSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Find a server and a row it does NOT host.
-	_, hostA, err := ts.master.Locate("t", "a")
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, hostZ, err := ts.master.Locate("t", "z")
-	if err != nil {
-		t.Fatal(err)
-	}
+	hostA := hostFor(t, ts, "t", "a")
+	hostZ := hostFor(t, ts, "t", "z")
 	if hostA == hostZ {
 		t.Skip("both regions on one server; routing can't misfire")
 	}

@@ -24,7 +24,7 @@ const refSuffix = ".ref"
 // writeRef creates one reference file in the daughter's data directory.
 func writeRef(r *Region, table, daughterID string, seq int, targetPath string) error {
 	path := fmt.Sprintf("%s%08d%s", dataDir(table, daughterID), seq, refSuffix)
-	w, err := r.fs.Create(path)
+	w, err := r.fs.CreateFile(path)
 	if err != nil {
 		return err
 	}
@@ -99,7 +99,7 @@ func (m *Master) SplitRegion(regionID string, splitKey kv.Key) error {
 	// would also pick up retired compaction inputs still awaiting their
 	// last reader's drain, and a daughter reference to one of those would
 	// dangle the moment the drain unlinks it.
-	parentFiles, err := src.srv.CloseAndFlushRegion(parent.ID)
+	parentFiles, err := src.host.CloseAndFlushRegion(parent.ID)
 	if err != nil {
 		restoreParent()
 		return fmt.Errorf("split %s: %w", parent.ID, err)
@@ -118,7 +118,7 @@ func (m *Master) SplitRegion(regionID string, splitKey kv.Key) error {
 
 	// Open the daughters on the same host, then publish the new metadata.
 	for _, d := range []RegionInfo{left, right} {
-		if err := src.srv.OpenRegion(d, nil, nil); err != nil {
+		if err := src.host.OpenRegion(d, nil, nil); err != nil {
 			restoreParent()
 			return fmt.Errorf("split %s: open %s: %w", parent.ID, d.ID, err)
 		}

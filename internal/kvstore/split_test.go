@@ -107,10 +107,7 @@ func TestSplitThenCompactLocalizesDaughters(t *testing.T) {
 	// Compact each daughter: data is rewritten locally and the reference
 	// files are dropped.
 	for _, row := range []string{"row000", "row020"} {
-		_, host, err := ts.master.Locate("t", kv.Key(row))
-		if err != nil {
-			t.Fatal(err)
-		}
+		host := hostFor(t, ts, "t", string(row))
 		for _, r := range host.hostedRegions() {
 			if err := r.Compact(0, 0); err != nil {
 				t.Fatalf("compact %s: %v", r.Info.ID, err)
@@ -151,10 +148,7 @@ func TestSplitDaughterSurvivesCrash(t *testing.T) {
 	if err := ts.master.SplitRegion(parent.ID, "row010"); err != nil {
 		t.Fatal(err)
 	}
-	_, host, err := ts.master.Locate("t", "row000")
-	if err != nil {
-		t.Fatal(err)
-	}
+	host := hostFor(t, ts, "t", "row000")
 	_ = host.SyncWAL()
 	host.Crash()
 	ts.net.SetDown(host.ID(), true)

@@ -216,10 +216,7 @@ func TestStoreServerCrashDurableDataSurvives(t *testing.T) {
 	ctx := context.Background()
 
 	// Find the server hosting the single region.
-	_, host, err := ts.master.Locate("t", "a")
-	if err != nil {
-		t.Fatal(err)
-	}
+	host := hostFor(t, ts, "t", "a")
 
 	if err := c.Flush(ctx, writeSet("c1", 10, "t", "a"), 0, false); err != nil {
 		t.Fatal(err)
@@ -260,11 +257,11 @@ func TestStoreServerCrashDurableDataSurvives(t *testing.T) {
 
 func hostFor(t *testing.T, ts *testStore, table string, row string) *RegionServer {
 	t.Helper()
-	_, srv, err := ts.master.Locate(table, kv.Key(row))
+	_, host, err := ts.master.Locate(table, kv.Key(row))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return srv
+	return host.(*RegionServer)
 }
 
 // waitLocated waits until (table, "a") is served by a server other than
@@ -275,7 +272,7 @@ func waitLocated(t *testing.T, ts *testStore, table, row, exclude string) *Regio
 	for time.Now().Before(deadline) {
 		_, srv, err := ts.master.Locate(table, kv.Key(row))
 		if err == nil && srv.ID() != exclude {
-			return srv
+			return srv.(*RegionServer)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -289,7 +286,7 @@ func TestStoreRecoveryGateBlocksRegion(t *testing.T) {
 	ts := newTestStore(t, 2, false)
 	gateRelease := make(chan struct{})
 	var gateCalls atomic.Int32
-	ts.master.SetRecoveryGate(gateFunc(func(r RegionInfo, failed string, host *RegionServer) error {
+	ts.master.SetRecoveryGate(gateFunc(func(r RegionInfo, failed string, host RegionHost) error {
 		gateCalls.Add(1)
 		<-gateRelease
 		return nil
@@ -335,9 +332,9 @@ func TestStoreRecoveryGateBlocksRegion(t *testing.T) {
 	}
 }
 
-type gateFunc func(RegionInfo, string, *RegionServer) error
+type gateFunc func(RegionInfo, string, RegionHost) error
 
-func (f gateFunc) RecoverRegion(r RegionInfo, failed string, host *RegionServer) error {
+func (f gateFunc) RecoverRegion(r RegionInfo, failed string, host RegionHost) error {
 	return f(r, failed, host)
 }
 

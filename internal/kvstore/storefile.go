@@ -167,7 +167,7 @@ func (o StoreFileOptions) withDefaults() StoreFileOptions {
 // WriteStoreFile writes the sorted entries as a format-v2 store file at path
 // with default options and returns an opened reader for it. Entries must
 // already be in store order.
-func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
+func WriteStoreFile(fs dfs.FileSystem, path string, entries []kv.KeyValue, blockSize int) (*StoreFile, error) {
 	return WriteStoreFileWith(fs, path, entries, StoreFileOptions{BlockSize: blockSize})
 }
 
@@ -176,10 +176,10 @@ func WriteStoreFile(fs *dfs.FS, path string, entries []kv.KeyValue, blockSize in
 // sibling, synced, and only then renamed to path (a journaled name-node
 // metadata operation), so the file is either fully present under its final
 // name or not present at all.
-func WriteStoreFileWith(fs *dfs.FS, path string, entries []kv.KeyValue, opts StoreFileOptions) (*StoreFile, error) {
+func WriteStoreFileWith(fs dfs.FileSystem, path string, entries []kv.KeyValue, opts StoreFileOptions) (*StoreFile, error) {
 	opts = opts.withDefaults()
 	tmp := path + tmpSuffix
-	w, err := fs.Create(tmp)
+	w, err := fs.CreateFile(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: create store file: %w", err)
 	}
@@ -332,7 +332,7 @@ func WriteStoreFileWith(fs *dfs.FS, path string, entries []kv.KeyValue, opts Sto
 // bloom filter) is held in memory (HBase keeps HFile indexes resident); data
 // blocks are fetched through a BlockCache.
 type StoreFile struct {
-	fs      *dfs.FS
+	fs      dfs.FileSystem
 	path    string
 	index   []indexEntry
 	entries int
@@ -394,7 +394,7 @@ func (s *StoreFile) retire() bool {
 
 // OpenStoreFile opens the store file at path, dispatching on the trailing
 // magic so both format versions read back.
-func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
+func OpenStoreFile(fs dfs.FileSystem, path string) (*StoreFile, error) {
 	size, err := fs.Size(path)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open store file: %w", err)
@@ -418,7 +418,7 @@ func OpenStoreFile(fs *dfs.FS, path string) (*StoreFile, error) {
 	return nil, fmt.Errorf("%w: %s bad footer", ErrBadStoreFile, path)
 }
 
-func openStoreFileV1(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
+func openStoreFileV1(fs dfs.FileSystem, path string, size int64) (*StoreFile, error) {
 	footer, err := fs.ReadRange(path, size-footerSize, footerSize)
 	if err != nil {
 		return nil, err
@@ -435,7 +435,7 @@ func openStoreFileV1(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
 	return &StoreFile{fs: fs, path: path, index: index, version: StoreFileV1, size: size}, nil
 }
 
-func openStoreFileV2(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
+func openStoreFileV2(fs dfs.FileSystem, path string, size int64) (*StoreFile, error) {
 	if size < footerSizeV2 {
 		return nil, fmt.Errorf("%w: %s too small for v2 footer", ErrBadStoreFile, path)
 	}
@@ -484,7 +484,7 @@ func openStoreFileV2(fs *dfs.FS, path string, size int64) (*StoreFile, error) {
 }
 
 // readIndexSection validates the index extent and decodes it.
-func readIndexSection(fs *dfs.FS, path string, size, idxOff int64, idxLen int) ([]indexEntry, error) {
+func readIndexSection(fs dfs.FileSystem, path string, size, idxOff int64, idxLen int) ([]indexEntry, error) {
 	if idxOff < 0 || idxLen < 0 || idxOff+int64(idxLen) > size {
 		return nil, fmt.Errorf("%w: %s index extent out of bounds", ErrBadStoreFile, path)
 	}
@@ -522,7 +522,7 @@ func (s *StoreFile) hasBloom() bool { return s.bloom != nil }
 
 // OpenStoreFileRef opens a store file through a reference marker: the
 // marker file's contents are the referenced store-file path.
-func OpenStoreFileRef(fs *dfs.FS, refPath string) (*StoreFile, error) {
+func OpenStoreFileRef(fs dfs.FileSystem, refPath string) (*StoreFile, error) {
 	target, err := fs.ReadAll(refPath)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: read reference %s: %w", refPath, err)

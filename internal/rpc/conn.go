@@ -1,0 +1,196 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is one client connection: many calls can be in flight concurrently
+// (pipelining); a background read loop demultiplexes responses by request
+// ID. Any connection-level failure poisons the Conn — every pending and
+// future call fails with an error wrapping kvstore.ErrTransport — and the
+// Pool dials a fresh one on the next call.
+
+// dialTimeout bounds the TCP connect plus preamble exchange.
+const dialTimeout = 5 * time.Second
+
+// Conn is a multiplexing client connection to one rpc server.
+type Conn struct {
+	addr string
+	c    net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Frame
+	closed  bool
+	err     error // first connection-level failure
+}
+
+// Dial connects to an rpc server and exchanges the version preamble.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, transportErr(addr, "dial", err)
+	}
+	_ = nc.SetDeadline(time.Now().Add(dialTimeout))
+	if err := WritePreamble(nc); err != nil {
+		nc.Close()
+		return nil, transportErr(addr, "preamble", err)
+	}
+	if _, err := ReadPreamble(nc); err != nil {
+		nc.Close()
+		return nil, transportErr(addr, "preamble", err)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	conn := &Conn{
+		addr:    addr,
+		c:       nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		pending: make(map[uint64]chan Frame),
+	}
+	go conn.readLoop()
+	return conn, nil
+}
+
+// Addr returns the dialed address.
+func (c *Conn) Addr() string { return c.addr }
+
+// readLoop demultiplexes response frames to their callers until the
+// connection dies, then fails every pending call.
+func (c *Conn) readLoop() {
+	for {
+		f, err := ReadFrame(c.br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered; never blocks
+		}
+		// Unknown ID: the caller gave up (context cancelled). Drop it.
+	}
+}
+
+// fail poisons the connection: the socket closes, every pending call gets
+// the transport error, and future calls fail fast.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = transportErr(c.addr, "conn", cause)
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.c.Close()
+	for _, ch := range pending {
+		ch <- Frame{Kind: KindError, Body: nil} // sentinel; Call checks c.err
+	}
+}
+
+// Close tears the connection down; pending calls fail with a transport
+// error.
+func (c *Conn) Close() error {
+	c.fail(fmt.Errorf("closed"))
+	return nil
+}
+
+// Broken reports whether the connection has been poisoned.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Call performs one request/response exchange. The context's deadline
+// travels in the request body; cancellation abandons the wait (the response
+// frame, if it ever arrives, is dropped by the read loop). Connection-level
+// failures wrap kvstore.ErrTransport; handler errors decode to RemoteError.
+func (c *Conn) Call(ctx context.Context, method byte, body []byte) ([]byte, error) {
+	var deadline uint64
+	if t, ok := ctx.Deadline(); ok {
+		deadline = uint64(t.UnixNano())
+	}
+
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	// Request body: deadline prefix + method payload.
+	buf := make([]byte, 0, 4+frameHeaderBytes+8+len(body))
+	wire := binary.BigEndian.AppendUint64(make([]byte, 0, 8+len(body)), deadline)
+	wire = append(wire, body...)
+	buf, err := AppendFrame(buf, Frame{Ver: Version, Kind: KindRequest, Method: method, ID: id, Body: wire})
+	if err != nil {
+		c.forget(id)
+		return nil, err
+	}
+
+	c.wmu.Lock()
+	_, werr := c.c.Write(buf)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.forget(id)
+		c.fail(werr)
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case f := <-ch:
+		c.mu.Lock()
+		cerr := c.err
+		c.mu.Unlock()
+		if cerr != nil && f.Body == nil && f.Kind == KindError {
+			return nil, cerr // poisoned-connection sentinel
+		}
+		switch f.Kind {
+		case KindResponse:
+			return f.Body, nil
+		case KindError:
+			return nil, DecodeError(f.Body)
+		default:
+			err := fmt.Errorf("response kind %d", f.Kind)
+			c.fail(err)
+			return nil, transportErr(c.addr, methodName(method), err)
+		}
+	case <-ctx.Done():
+		c.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending request (cancellation, write failure).
+func (c *Conn) forget(id uint64) {
+	c.mu.Lock()
+	if c.pending != nil {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,37 @@
+// Package rpc is txkv's wire protocol: a hand-rolled, stdlib-only,
+// length-prefixed binary protocol over TCP that carries the transport seam
+// cut in internal/kvstore (see PROTOCOL.md for the byte-level reference).
+//
+// The package provides both halves of every surface:
+//
+//   - framing: versioned frame header, request IDs for pipelining, deadline
+//     propagation, structured error codes mapping back to the sentinel
+//     errors of kvstore/txmgr/dfs (frame.go, errors.go, wire.go);
+//   - client plumbing: a multiplexing Conn (many in-flight calls over one
+//     socket, demultiplexed by request ID) and a Pool that dials on demand
+//     and reconnects after failures (conn.go, pool.go);
+//   - a Server dispatching method handlers with per-connection sessions and
+//     per-RPC metrics (server.go);
+//   - the region-server surface: service registration over a
+//     *kvstore.RegionServer, a client Endpoint implementing
+//     kvstore.RegionEndpoint, and a HostProxy implementing
+//     kvstore.RegionHost for the master's assignment/recovery driving
+//     (region.go, host.go);
+//   - the master surface: LocateAll/admin/registration/heartbeat service
+//     and client, plus TCPTransport implementing kvstore.Transport
+//     (master.go, transport.go);
+//   - the DFS surface: RemoteFS implements dfs.FileSystem by executing
+//     every operation in the master's process, giving region-server
+//     processes the shared-namespace semantics HBase gets from HDFS
+//     (dfs.go);
+//   - the transaction gateway surface: Begin/Commit/Abort against a
+//     TxnBackend served by the master process (txn.go);
+//   - RegionNode: the complete wiring of one region-server process
+//     (remote DFS, TCP service, registration, heartbeats), shared by
+//     cmd/txkvd and the multi-process tests (node.go).
+//
+// Connection-level failures wrap kvstore.ErrTransport, which the routing
+// client classifies as retryable-after-relocate: a dead server's cached
+// regions are re-resolved through the master rather than retried against
+// the dead address.
+package rpc

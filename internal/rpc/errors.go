@@ -1,0 +1,168 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"txkv/internal/dfs"
+	"txkv/internal/kvstore"
+	"txkv/internal/txmgr"
+)
+
+// Structured error mapping. A handler error crosses the wire as a numeric
+// code plus the error string; the client side rebuilds a RemoteError whose
+// Unwrap returns the matching local sentinel, so errors.Is works across
+// process boundaries exactly as it does in-process: the routing client's
+// retry classification (ErrRegionNotServing, ErrServerStopped), the
+// transaction retry loop (txmgr.ErrConflict via txmgr.IsRetryable), and the
+// DFS callers (dfs.ErrNotFound, dfs.ErrExists) all keep working unchanged.
+//
+// Codes are part of the wire protocol — see PROTOCOL.md. New codes may be
+// appended; existing values must never be reused.
+
+// ErrorCode identifies an error class on the wire.
+type ErrorCode uint64
+
+// Wire error codes.
+const (
+	// Generic.
+	CodeInternal         ErrorCode = 1 // unclassified server-side error
+	CodeBadRequest       ErrorCode = 2 // undecodable request body
+	CodeUnknownMethod    ErrorCode = 3 // method byte not registered
+	CodeCanceled         ErrorCode = 4 // request context canceled
+	CodeDeadlineExceeded ErrorCode = 5 // propagated deadline expired
+
+	// kvstore.
+	CodeRegionNotServing ErrorCode = 10
+	CodeServerStopped    ErrorCode = 11
+	CodeNoSuchTable      ErrorCode = 12
+	CodeTableExists      ErrorCode = 13
+	CodeNoLiveServers    ErrorCode = 14
+
+	// txmgr / transaction gateway.
+	CodeConflict            ErrorCode = 20
+	CodeTxnNotActive        ErrorCode = 21
+	CodeSnapshotTooOld      ErrorCode = 22
+	CodeFutureSnapshot      ErrorCode = 23
+	CodeCommitIndeterminate ErrorCode = 24
+
+	// dfs.
+	CodeDFSNotFound    ErrorCode = 30
+	CodeDFSExists      ErrorCode = 31
+	CodeDFSNoDataNodes ErrorCode = 32
+	CodeDFSDataLoss    ErrorCode = 33
+	CodeDFSClosed      ErrorCode = 34
+)
+
+// ErrCommitIndeterminate is the rpc-level commit-outcome-unknown sentinel.
+// The transaction gateway maps the cluster's indeterminate-commit error to
+// this before it crosses the wire; the remote client additionally
+// synthesizes it when the connection dies between sending a commit and
+// reading its response — the canonical indeterminate window of any RPC
+// commit protocol.
+var ErrCommitIndeterminate = errors.New("rpc: commit outcome indeterminate")
+
+// codeSentinels maps each code to the local sentinel RemoteError unwraps
+// to. Codes without a sentinel (internal, framing) unwrap to nil.
+var codeSentinels = map[ErrorCode]error{
+	CodeCanceled:         context.Canceled,
+	CodeDeadlineExceeded: context.DeadlineExceeded,
+
+	CodeRegionNotServing: kvstore.ErrRegionNotServing,
+	CodeServerStopped:    kvstore.ErrServerStopped,
+	CodeNoSuchTable:      kvstore.ErrNoSuchTable,
+	CodeTableExists:      kvstore.ErrTableExists,
+	CodeNoLiveServers:    kvstore.ErrNoLiveServers,
+
+	CodeConflict:            txmgr.ErrConflict,
+	CodeTxnNotActive:        txmgr.ErrTxnNotActive,
+	CodeSnapshotTooOld:      txmgr.ErrSnapshotTooOld,
+	CodeFutureSnapshot:      txmgr.ErrFutureSnapshot,
+	CodeCommitIndeterminate: ErrCommitIndeterminate,
+
+	CodeDFSNotFound:    dfs.ErrNotFound,
+	CodeDFSExists:      dfs.ErrExists,
+	CodeDFSNoDataNodes: dfs.ErrNoDataNodes,
+	CodeDFSDataLoss:    dfs.ErrDataLoss,
+	CodeDFSClosed:      dfs.ErrClosed,
+}
+
+// sentinelCodes is the reverse mapping used when encoding a handler error.
+// Order matters only for documentation; classification walks errors.Is.
+var sentinelCodes = []struct {
+	err  error
+	code ErrorCode
+}{
+	{kvstore.ErrRegionNotServing, CodeRegionNotServing},
+	{kvstore.ErrServerStopped, CodeServerStopped},
+	{kvstore.ErrNoSuchTable, CodeNoSuchTable},
+	{kvstore.ErrTableExists, CodeTableExists},
+	{kvstore.ErrNoLiveServers, CodeNoLiveServers},
+	{txmgr.ErrConflict, CodeConflict},
+	{txmgr.ErrTxnNotActive, CodeTxnNotActive},
+	{txmgr.ErrSnapshotTooOld, CodeSnapshotTooOld},
+	{txmgr.ErrFutureSnapshot, CodeFutureSnapshot},
+	{ErrCommitIndeterminate, CodeCommitIndeterminate},
+	{dfs.ErrNotFound, CodeDFSNotFound},
+	{dfs.ErrExists, CodeDFSExists},
+	{dfs.ErrNoDataNodes, CodeDFSNoDataNodes},
+	{dfs.ErrDataLoss, CodeDFSDataLoss},
+	{dfs.ErrClosed, CodeDFSClosed},
+	{context.Canceled, CodeCanceled},
+	{context.DeadlineExceeded, CodeDeadlineExceeded},
+}
+
+// CodeFor classifies a handler error into its wire code. A RemoteError
+// keeps its original code, so an error relayed through a proxy hop (say a
+// region server's error crossing back through the master) is preserved
+// rather than re-classified.
+func CodeFor(err error) ErrorCode {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	for _, sc := range sentinelCodes {
+		if errors.Is(err, sc.err) {
+			return sc.code
+		}
+	}
+	return CodeInternal
+}
+
+// RemoteError is an error received over the wire: the peer's error string
+// plus its code. Unwrap returns the local sentinel for the code, so
+// errors.Is(err, kvstore.ErrRegionNotServing) etc. hold across the wire.
+type RemoteError struct {
+	Code ErrorCode
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error (code %d): %s", e.Code, e.Msg)
+}
+
+func (e *RemoteError) Unwrap() error { return codeSentinels[e.Code] }
+
+// DecodeError rebuilds a handler error from an error-frame body.
+func DecodeError(body []byte) error {
+	d := newDec(body)
+	code := d.uvarint()
+	msg := d.str()
+	if d.err != nil {
+		return fmt.Errorf("%w: undecodable error body", ErrBadFrame)
+	}
+	return &RemoteError{Code: ErrorCode(code), Msg: msg}
+}
+
+// EncodeError serializes a handler error into an error-frame body.
+func EncodeError(err error) []byte {
+	b := appendUvarint(nil, uint64(CodeFor(err)))
+	return appendString(b, err.Error())
+}
+
+// transportErr wraps a connection-level failure so the routing client
+// re-resolves the layout instead of retrying the dead address.
+func transportErr(addr string, op string, err error) error {
+	return fmt.Errorf("%w: %s to %s: %v", kvstore.ErrTransport, op, addr, err)
+}

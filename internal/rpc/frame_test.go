@@ -1,0 +1,106 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Ver: Version, Kind: KindRequest, Method: RGet, ID: 1, Body: []byte("hello")},
+		{Ver: Version, Kind: KindResponse, Method: MLocateAll, ID: 1<<63 + 7, Body: nil},
+		{Ver: Version, Kind: KindError, Method: TCommit, ID: 0, Body: bytes.Repeat([]byte{0xAB}, 10_000)},
+	}
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		buf, err = AppendFrame(buf, f)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if got.Ver != want.Ver || got.Kind != want.Kind || got.Method != want.Method || got.ID != want.ID {
+			t.Fatalf("frame %d: header mismatch: got %+v want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("frame %d: body mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want EOF", err)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	big := make([]byte, MaxFrameBytes+1)
+	if _, err := AppendFrame(nil, Frame{Ver: Version, Kind: KindRequest, Body: big}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("append oversized: got %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile length prefix must be rejected before allocation.
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(MaxFrameBytes+1))
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read oversized: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	// Declared length below the fixed header.
+	small := binary.BigEndian.AppendUint32(nil, 3)
+	small = append(small, 1, 2, 3)
+	if _, err := ReadFrame(bytes.NewReader(small)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("undersized declare: got %v, want ErrBadFrame", err)
+	}
+
+	// Truncated body: header promises more than the stream has.
+	good, err := AppendFrame(nil, Frame{Ver: Version, Kind: KindRequest, Method: RGet, ID: 9, Body: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:len(good)-3])); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated body: got %v, want ErrBadFrame", err)
+	}
+
+	// Wrong version.
+	bad := append([]byte(nil), good...)
+	bad[4] = Version + 1
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: got %v, want ErrBadVersion", err)
+	}
+
+	// Unknown kind.
+	bad = append([]byte(nil), good...)
+	bad[5] = 99
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad kind: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := ReadPreamble(&buf)
+	if err != nil {
+		t.Fatalf("ReadPreamble: %v", err)
+	}
+	if ver != Version {
+		t.Fatalf("version: got %d want %d", ver, Version)
+	}
+
+	if _, err := ReadPreamble(bytes.NewReader([]byte{'X', 'K', Version, 0})); !errors.Is(err, ErrBadPreamble) {
+		t.Fatalf("bad magic: got %v, want ErrBadPreamble", err)
+	}
+	if _, err := ReadPreamble(bytes.NewReader([]byte{'T', 'K', Version + 1, 0})); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("future version: got %v, want ErrBadVersion", err)
+	}
+}

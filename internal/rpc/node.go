@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"txkv/internal/kvstore"
+	"txkv/internal/obs"
+)
+
+// registerCtx bounds the one-shot registration RPC.
+func registerCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// RegionNode is the complete wiring of one region-server process: a
+// *kvstore.RegionServer whose DFS is the master's (over RemoteFS), served
+// on a TCP listener, heartbeating to and registered with a remote master.
+// cmd/txkvd's region role and the multi-process tests share it.
+
+// RegionNodeConfig configures one region-server process.
+type RegionNodeConfig struct {
+	// ID is the server's cluster-wide identity. Required.
+	ID string
+	// MasterAddr is the master process's rpc address. Required.
+	MasterAddr string
+	// Listen is the TCP listen address ("127.0.0.1:0" for tests).
+	Listen string
+	// Advertise is the address published to the master — what the master
+	// and the clients dial. Defaults to the bound listen address; set it
+	// when the node sits behind a proxy or NAT (the chaos harness's fault
+	// proxies use this).
+	Advertise string
+	// Server configures the region server itself (ID is overridden).
+	Server kvstore.ServerConfig
+	// Registry, when non-nil, receives the node's rpc metrics.
+	Registry *obs.Registry
+}
+
+// RegionNode is a running region-server process' moving parts.
+type RegionNode struct {
+	srv  *kvstore.RegionServer
+	rpc  *Server
+	pool *Pool
+	mc   *MasterClient
+	ln   net.Listener
+	addr string // advertised address
+}
+
+// StartRegionNode brings a region-server process online: listen, serve the
+// region surface, start the server (WAL creation goes through the remote
+// DFS), and register with the master. On return the master can assign
+// regions to it.
+func StartRegionNode(cfg RegionNodeConfig) (*RegionNode, error) {
+	if cfg.ID == "" || cfg.MasterAddr == "" {
+		return nil, fmt.Errorf("rpc: region node needs ID and MasterAddr")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	pool := NewPool(cfg.Registry)
+	mc := NewMasterClient(pool, cfg.MasterAddr)
+	scfg := cfg.Server
+	scfg.ID = cfg.ID
+	srv := kvstore.NewRegionServer(scfg, NewRemoteFS(pool, cfg.MasterAddr))
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	addr := cfg.Advertise
+	if addr == "" {
+		addr = ln.Addr().String()
+	}
+
+	rpcSrv := NewServer(cfg.Registry)
+	RegisterRegionService(rpcSrv, srv)
+	go func() { _ = rpcSrv.Serve(ln) }()
+
+	// Start before registering: the WAL must exist (and heartbeats flow)
+	// before the master can assign regions here.
+	if err := srv.Start(mc); err != nil {
+		rpcSrv.Close()
+		pool.Close()
+		return nil, err
+	}
+	ctx, cancel := registerCtx()
+	defer cancel()
+	if err := mc.Register(ctx, cfg.ID, addr); err != nil {
+		srv.Stop()
+		rpcSrv.Close()
+		pool.Close()
+		return nil, fmt.Errorf("rpc: register %s with master: %w", cfg.ID, err)
+	}
+	return &RegionNode{srv: srv, rpc: rpcSrv, pool: pool, mc: mc, ln: ln, addr: addr}, nil
+}
+
+// Server exposes the node's region server (tests, debug endpoints).
+func (n *RegionNode) Server() *kvstore.RegionServer { return n.srv }
+
+// Addr returns the node's advertised address.
+func (n *RegionNode) Addr() string { return n.addr }
+
+// ListenAddr returns the node's bound listen address. It differs from Addr
+// when the node advertises a proxy or NAT address in front of itself.
+func (n *RegionNode) ListenAddr() string { return n.ln.Addr().String() }
+
+// Stop shuts the node down cleanly: the region server stops (final WAL
+// sync through the remote DFS), then the rpc server and connections close.
+func (n *RegionNode) Stop() {
+	n.srv.Stop()
+	n.rpc.Close()
+	n.pool.Close()
+}
+
+// Kill simulates the process dying: the server crashes (no final sync) and
+// every socket closes immediately. In-flight client calls observe
+// transport errors; the master's failure detector notices the silence and
+// recovers the node's regions elsewhere.
+func (n *RegionNode) Kill() {
+	n.srv.Crash()
+	n.rpc.Close()
+	n.pool.Close()
+}

@@ -1,0 +1,218 @@
+package rpc
+
+import (
+	"context"
+
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+)
+
+// The region-server surface: RegisterRegionService exposes one
+// *kvstore.RegionServer on an rpc Server; Endpoint is the client half
+// (kvstore.RegionEndpoint) the routing client reads and flushes through;
+// HostProxy is the master's half (kvstore.RegionHost) driving assignment,
+// splits, moves, and recovery on a region-server process.
+
+// RegisterRegionService wires a region server's methods onto s.
+func RegisterRegionService(s *Server, rs *kvstore.RegionServer) {
+	s.Handle(RGet, func(ctx context.Context, _ *Session, body []byte) ([]byte, error) {
+		table, row, column, maxTS, err := decGetReq(body)
+		if err != nil {
+			return nil, err
+		}
+		e, found, err := rs.Get(table, row, column, maxTS)
+		if err != nil {
+			return nil, err
+		}
+		return encGetResp(e, found), nil
+	})
+	s.Handle(RGetBatch, func(ctx context.Context, _ *Session, body []byte) ([]byte, error) {
+		table, keys, maxTS, err := decGetBatchReq(body)
+		if err != nil {
+			return nil, err
+		}
+		kvs, found, err := rs.GetBatch(ctx, table, keys, maxTS)
+		if err != nil {
+			return nil, err
+		}
+		return encGetBatchResp(kvs, found), nil
+	})
+	s.Handle(RScanBatch, func(ctx context.Context, _ *Session, body []byte) ([]byte, error) {
+		req, err := decScanReq(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rs.ScanBatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return encScanResp(resp), nil
+	})
+	s.Handle(RApply, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		ws, piggy, hasPiggy, err := decApplyReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.ApplyWriteSet(ws, piggy, hasPiggy)
+	})
+	s.Handle(ROpenRegion, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		info, files, hasFiles, edits, recovering, err := decOpenRegionReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if recovering {
+			return nil, rs.OpenRegionRecovering(info, files, hasFiles, edits)
+		}
+		open := func() error {
+			if hasFiles {
+				return rs.OpenRegionFiles(info, files, edits, nil)
+			}
+			return rs.OpenRegion(info, edits, nil)
+		}
+		return nil, open()
+	})
+	s.Handle(RMarkOnline, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		id, err := decStringMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.MarkRegionOnline(id)
+	})
+	s.Handle(RCloseRegion, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		id, err := decStringMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		rs.CloseRegion(id)
+		return nil, nil
+	})
+	s.Handle(RCloseFlush, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		id, err := decStringMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		files, err := rs.CloseAndFlushRegion(id)
+		if err != nil {
+			return nil, err
+		}
+		return encStringsMsg(files), nil
+	})
+	s.Handle(RSyncWAL, func(_ context.Context, _ *Session, _ []byte) ([]byte, error) {
+		return nil, rs.SyncWAL()
+	})
+}
+
+// Endpoint reaches one region-server process over TCP: the remote
+// implementation of kvstore.RegionEndpoint. Connection-level failures wrap
+// kvstore.ErrTransport (via Conn), which is what makes the routing client
+// invalidate its layout cache and re-resolve through the master instead of
+// retrying the dead address.
+type Endpoint struct {
+	pool *Pool
+	addr string
+}
+
+// NewEndpoint returns the endpoint for a region server at addr, sharing
+// the pool's connections.
+func NewEndpoint(pool *Pool, addr string) *Endpoint {
+	return &Endpoint{pool: pool, addr: addr}
+}
+
+// Addr returns the endpoint's routing key: the server's "host:port".
+func (e *Endpoint) Addr() string { return e.addr }
+
+func (e *Endpoint) Get(ctx context.Context, table string, row kv.Key, column string, maxTS kv.Timestamp) (kv.KeyValue, bool, error) {
+	resp, err := e.pool.Call(ctx, e.addr, RGet, encGetReq(table, row, column, maxTS))
+	if err != nil {
+		return kv.KeyValue{}, false, err
+	}
+	return decGetResp(resp)
+}
+
+func (e *Endpoint) GetBatch(ctx context.Context, table string, keys []kv.CellKey, maxTS kv.Timestamp) ([]kv.KeyValue, []bool, error) {
+	resp, err := e.pool.Call(ctx, e.addr, RGetBatch, encGetBatchReq(table, keys, maxTS))
+	if err != nil {
+		return nil, nil, err
+	}
+	return decGetBatchResp(resp)
+}
+
+func (e *Endpoint) ScanBatch(ctx context.Context, req kvstore.ScanRequest) (kvstore.ScanResponse, error) {
+	resp, err := e.pool.Call(ctx, e.addr, RScanBatch, encScanReq(req))
+	if err != nil {
+		return kvstore.ScanResponse{}, err
+	}
+	return decScanResp(resp)
+}
+
+func (e *Endpoint) Apply(ctx context.Context, ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	_, err := e.pool.Call(ctx, e.addr, RApply, encApplyReq(ws, piggy, hasPiggy))
+	return err
+}
+
+// HostProxy is the master's handle to a region-server process: the remote
+// implementation of kvstore.RegionHost. The in-process API's preOnline
+// closure (run after the region opens, before it goes online — the paper's
+// recovery gate) cannot cross the wire, so the proxy decomposes it into
+// explicit steps: open-recovering (region hosted but not serving), run the
+// gate locally in the master (its replay lands through ApplyWriteSet calls
+// back to the same process), then mark-online — or close the region again
+// if the gate fails.
+type HostProxy struct {
+	pool *Pool
+	id   string
+	addr string
+}
+
+// NewHostProxy returns the master-side proxy for region server id at addr.
+func NewHostProxy(pool *Pool, id, addr string) *HostProxy {
+	return &HostProxy{pool: pool, id: id, addr: addr}
+}
+
+// ID returns the remote server's ID.
+func (h *HostProxy) ID() string { return h.id }
+
+// Addr returns the remote server's advertised address.
+func (h *HostProxy) Addr() string { return h.addr }
+
+func (h *HostProxy) OpenRegion(info kvstore.RegionInfo, recoveredEdits []kvstore.WALEntry, preOnline func() error) error {
+	return h.open(info, nil, false, recoveredEdits, preOnline)
+}
+
+func (h *HostProxy) OpenRegionFiles(info kvstore.RegionInfo, files []string, recoveredEdits []kvstore.WALEntry, preOnline func() error) error {
+	return h.open(info, files, true, recoveredEdits, preOnline)
+}
+
+func (h *HostProxy) open(info kvstore.RegionInfo, files []string, hasFiles bool, edits []kvstore.WALEntry, preOnline func() error) error {
+	ctx := context.Background()
+	if preOnline == nil {
+		_, err := h.pool.Call(ctx, h.addr, ROpenRegion, encOpenRegionReq(info, files, hasFiles, edits, false))
+		return err
+	}
+	if _, err := h.pool.Call(ctx, h.addr, ROpenRegion, encOpenRegionReq(info, files, hasFiles, edits, true)); err != nil {
+		return err
+	}
+	if err := preOnline(); err != nil {
+		h.CloseRegion(info.ID) // gate failed: do not leave a half-open region
+		return err
+	}
+	_, err := h.pool.Call(ctx, h.addr, RMarkOnline, encStringMsg(info.ID))
+	return err
+}
+
+func (h *HostProxy) CloseRegion(regionID string) {
+	_, _ = h.pool.Call(context.Background(), h.addr, RCloseRegion, encStringMsg(regionID))
+}
+
+func (h *HostProxy) CloseAndFlushRegion(regionID string) ([]string, error) {
+	resp, err := h.pool.Call(context.Background(), h.addr, RCloseFlush, encStringMsg(regionID))
+	if err != nil {
+		return nil, err
+	}
+	return decStringsMsg(resp)
+}
+
+func (h *HostProxy) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
+	_, err := h.pool.Call(context.Background(), h.addr, RApply, encApplyReq(ws, piggy, hasPiggy))
+	return err
+}

@@ -1,0 +1,281 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txkv/internal/obs"
+)
+
+// Server accepts connections and dispatches request frames to registered
+// method handlers. Each connection gets a Session (per-connection state the
+// services hang stateful resources on — DFS writer handles, open gateway
+// transactions) and each request runs in its own goroutine, so one slow
+// handler never blocks the connection's other pipelined requests. Responses
+// are written under a per-connection mutex, in completion order.
+
+// Handler serves one method: decode the body, do the work, encode the
+// response body. A returned error crosses the wire as an error frame with
+// the code CodeFor picks.
+type Handler func(ctx context.Context, sess *Session, body []byte) ([]byte, error)
+
+// Session is one connection's server-side state. Services store their
+// per-connection resources under private keys and register cleanups that
+// run when the connection closes — an abandoned connection must not leak
+// DFS writers or open transactions.
+type Session struct {
+	id uint64
+
+	mu       sync.Mutex
+	vals     map[string]any
+	closers  []func()
+	closed   bool
+	remoteIP string
+}
+
+// ID returns the session's server-unique identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Value returns the session state stored under key, or nil.
+func (s *Session) Value(key string) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[key]
+}
+
+// SetValue stores per-session state under key.
+func (s *Session) SetValue(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vals == nil {
+		s.vals = make(map[string]any)
+	}
+	s.vals[key] = v
+}
+
+// OnClose registers a cleanup to run when the connection closes. Running
+// immediately if the session is already closed.
+func (s *Session) OnClose(fn func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		fn()
+		return
+	}
+	s.closers = append(s.closers, fn)
+	s.mu.Unlock()
+}
+
+// close runs the session's cleanups (in registration order).
+func (s *Session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	closers := s.closers
+	s.closers = nil
+	s.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
+}
+
+// Server is an rpc listener: register handlers, then Serve a listener.
+type Server struct {
+	reg      *obs.Registry // optional; nil disables metrics
+	handlers [256]Handler
+
+	sessSeq atomic.Uint64
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server. reg, when non-nil, receives per-RPC metrics
+// (rpc.server.requests, rpc.server.errors, rpc.server.latency,
+// rpc.server.conns).
+func NewServer(reg *obs.Registry) *Server {
+	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers the handler for one method code. Registration must
+// finish before Serve; handlers are not synchronized.
+func (s *Server) Handle(method byte, h Handler) { s.handlers[method] = h }
+
+// Serve accepts connections on ln until the server closes. It returns the
+// accept error that ended the loop (nil after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("rpc: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops accepting, closes every connection (running session
+// cleanups), and waits for in-flight handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn runs one connection: preamble exchange, then the request loop.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	sess := &Session{id: s.sessSeq.Add(1), remoteIP: nc.RemoteAddr().String()}
+	if s.reg != nil {
+		s.reg.Gauge("rpc.server.conns").Add(1)
+	}
+	defer func() {
+		sess.close()
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		if s.reg != nil {
+			s.reg.Gauge("rpc.server.conns").Add(-1)
+		}
+	}()
+
+	_ = nc.SetDeadline(time.Now().Add(dialTimeout))
+	if _, err := ReadPreamble(nc); err != nil {
+		_ = WritePreamble(nc) // tell the peer what we speak, then hang up
+		return
+	}
+	if err := WritePreamble(nc); err != nil {
+		return
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	br := bufio.NewReaderSize(nc, 64<<10)
+	var wmu sync.Mutex
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return // connection-level failure or malformed frame: hang up
+		}
+		if f.Kind != KindRequest {
+			return
+		}
+		s.wg.Add(1)
+		go func(f Frame) {
+			defer s.wg.Done()
+			s.dispatch(nc, &wmu, sess, f)
+		}(f)
+	}
+}
+
+// dispatch runs one request's handler and writes its response frame.
+func (s *Server) dispatch(nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) {
+	var start time.Time
+	if s.reg != nil {
+		s.reg.Counter("rpc.server.requests").Add(1)
+		s.reg.Counter("rpc.server.req." + methodName(f.Method)).Add(1)
+		start = time.Now()
+	}
+
+	resp, err := s.handle(sess, f)
+
+	if s.reg != nil {
+		s.reg.Histogram("rpc.server.latency").Record(time.Since(start))
+		if err != nil {
+			s.reg.Counter("rpc.server.errors").Add(1)
+		}
+	}
+
+	out := Frame{Ver: Version, ID: f.ID, Method: f.Method}
+	if err != nil {
+		out.Kind = KindError
+		out.Body = EncodeError(err)
+	} else {
+		out.Kind = KindResponse
+		out.Body = resp
+	}
+	buf, aerr := AppendFrame(make([]byte, 0, 4+frameHeaderBytes+len(out.Body)), out)
+	if aerr != nil {
+		// Response exceeds the frame limit: degrade to an error frame.
+		out.Kind, out.Body = KindError, EncodeError(aerr)
+		buf, _ = AppendFrame(buf[:0], out)
+	}
+	wmu.Lock()
+	_, werr := nc.Write(buf)
+	wmu.Unlock()
+	if werr != nil {
+		nc.Close() // poisons the read loop; session cleanup follows
+	}
+}
+
+// handle decodes the deadline prefix and runs the method handler.
+func (s *Server) handle(sess *Session, f Frame) ([]byte, error) {
+	if len(f.Body) < 8 {
+		return nil, fmt.Errorf("rpc: %s: missing deadline prefix", methodName(f.Method))
+	}
+	deadline := binary.BigEndian.Uint64(f.Body[:8])
+	body := f.Body[8:]
+
+	h := s.handlers[f.Method]
+	if h == nil {
+		return nil, &RemoteError{Code: CodeUnknownMethod, Msg: fmt.Sprintf("unknown method %s", methodName(f.Method))}
+	}
+
+	ctx := context.Background()
+	if deadline != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, int64(deadline)))
+		defer cancel()
+	}
+	return h(ctx, sess, body)
+}

@@ -1,0 +1,133 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+)
+
+// The transaction gateway surface. Region-server reads and scans go
+// directly from the client to the region servers, but begin/commit/abort
+// run against the master process, which hosts the transaction manager, the
+// commit log, and the recovery middleware. The gateway executes each remote
+// client's transactions through a server-side cluster client, so the
+// paper's client-side machinery (deferred-update flush, T_F heartbeats,
+// recovery on failure) runs where the coordination service lives; the
+// remote process ships only begin/commit/abort and its buffered write-set.
+//
+// The backend is an interface over kv-level types only: internal/cluster
+// implements it (TxnGateway) without this package importing cluster.
+
+// TxnBackend is the server-side transaction executor the gateway service
+// dispatches to. Handles are backend-assigned and scoped to the session;
+// EndSession must abort every transaction the session still has open.
+type TxnBackend interface {
+	Begin(sessionID uint64, clientID string, readOnly bool, snapTS kv.Timestamp, mode int) (handle uint64, startTS kv.Timestamp, err error)
+	Commit(ctx context.Context, sessionID, handle uint64, updates []kv.Update, wait bool) (kv.Timestamp, error)
+	Abort(sessionID, handle uint64) error
+	EndSession(sessionID uint64)
+}
+
+// txnSessionKey marks a session as registered with the backend.
+const txnSessionKey = "txn.session"
+
+// RegisterTxnService wires a transaction backend onto s.
+func RegisterTxnService(s *Server, b TxnBackend) {
+	ensureSession := func(sess *Session) {
+		if sess.Value(txnSessionKey) != nil {
+			return
+		}
+		sess.SetValue(txnSessionKey, true)
+		sess.OnClose(func() { b.EndSession(sess.ID()) })
+	}
+	s.Handle(TBegin, func(_ context.Context, sess *Session, body []byte) ([]byte, error) {
+		clientID, readOnly, snapTS, mode, err := decBeginReq(body)
+		if err != nil {
+			return nil, err
+		}
+		ensureSession(sess)
+		handle, startTS, err := b.Begin(sess.ID(), clientID, readOnly, snapTS, int(mode))
+		if err != nil {
+			return nil, err
+		}
+		return encBeginResp(handle, startTS), nil
+	})
+	s.Handle(TCommit, func(ctx context.Context, sess *Session, body []byte) ([]byte, error) {
+		handle, updates, wait, err := decCommitReq(body)
+		if err != nil {
+			return nil, err
+		}
+		ensureSession(sess)
+		cts, err := b.Commit(ctx, sess.ID(), handle, updates, wait)
+		// The outcome rides in the OK body: a commit can return both a
+		// timestamp and an error (indeterminate, committed-but-flush-
+		// failed), which a bare error frame cannot carry.
+		if err != nil {
+			return encCommitResp(cts, CodeFor(err), err.Error()), nil
+		}
+		return encCommitResp(cts, 0, ""), nil
+	})
+	s.Handle(TAbort, func(_ context.Context, sess *Session, body []byte) ([]byte, error) {
+		handle, err := decHandleMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		ensureSession(sess)
+		return nil, b.Abort(sess.ID(), handle)
+	})
+}
+
+// TxnClient runs transactions against a remote gateway. internal/cluster's
+// remote client mode drives it for begin/commit/abort while reads and
+// scans go directly to the region servers.
+type TxnClient struct {
+	pool *Pool
+	addr string
+}
+
+// NewTxnClient returns a transaction client against the gateway at addr.
+// Sharing the pool with the TCPTransport keeps all gateway traffic on one
+// connection, which is what scopes the server-side session.
+func NewTxnClient(pool *Pool, addr string) *TxnClient {
+	return &TxnClient{pool: pool, addr: addr}
+}
+
+// BeginRemote starts a transaction in the gateway.
+func (t *TxnClient) BeginRemote(ctx context.Context, clientID string, readOnly bool, snapTS kv.Timestamp, mode int) (uint64, kv.Timestamp, error) {
+	resp, err := t.pool.Call(ctx, t.addr, TBegin, encBeginReq(clientID, readOnly, snapTS, uint64(mode)))
+	if err != nil {
+		return 0, 0, err
+	}
+	return decBeginResp(resp)
+}
+
+// CommitRemote ships the buffered write-set and commits. A transport
+// failure after the request may have left the commit in flight — the
+// gateway commits transactions independently of the requesting connection —
+// so it surfaces as ErrCommitIndeterminate, never as a clean abort.
+func (t *TxnClient) CommitRemote(ctx context.Context, handle uint64, updates []kv.Update, wait bool) (kv.Timestamp, error) {
+	resp, err := t.pool.Call(ctx, t.addr, TCommit, encCommitReq(handle, updates, wait))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrTransport) {
+			return 0, fmt.Errorf("%w: connection lost with commit in flight: %v", ErrCommitIndeterminate, err)
+		}
+		return 0, err
+	}
+	cts, code, msg, err := decCommitResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	if code != 0 {
+		return cts, &RemoteError{Code: code, Msg: msg}
+	}
+	return cts, nil
+}
+
+// AbortRemote discards a transaction.
+func (t *TxnClient) AbortRemote(ctx context.Context, handle uint64) error {
+	_, err := t.pool.Call(ctx, t.addr, TAbort, encHandleMsg(handle))
+	return err
+}

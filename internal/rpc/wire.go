@@ -1,0 +1,706 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+)
+
+// Method codes and per-method message codecs. Every message body is a flat
+// uvarint/length-prefixed encoding in the same style as internal/kv's
+// codecs (which this file reuses for KeyValue and WriteSet payloads).
+// PROTOCOL.md documents each body field by field; rpc/protocol_test.go
+// round-trips every codec here against that document's message list.
+
+// Method codes. Grouped by service surface; values are wire protocol and
+// must never be reused.
+const (
+	// Master surface (served by the master process).
+	MLocateAll    byte = 0x01
+	MCreateTable  byte = 0x02
+	MSplitRegion  byte = 0x03
+	MTableRegions byte = 0x04
+	MRegister     byte = 0x05
+	MHeartbeat    byte = 0x06
+
+	// Transaction gateway surface (served by the master process).
+	TBegin  byte = 0x20
+	TCommit byte = 0x21
+	TAbort  byte = 0x22
+
+	// Region-server surface (served by each region-server process).
+	RGet         byte = 0x40
+	RGetBatch    byte = 0x41
+	RScanBatch   byte = 0x42
+	RApply       byte = 0x43
+	ROpenRegion  byte = 0x44
+	RMarkOnline  byte = 0x45
+	RCloseRegion byte = 0x46
+	RCloseFlush  byte = 0x47
+	RSyncWAL     byte = 0x48
+
+	// DFS surface (served by the master process).
+	FCreate    byte = 0x60
+	FAppend    byte = 0x61
+	FSync      byte = 0x62
+	FClose     byte = 0x63
+	FAbandon   byte = 0x64
+	FDelete    byte = 0x65
+	FRename    byte = 0x66
+	FExists    byte = 0x67
+	FList      byte = 0x68
+	FSize      byte = 0x69
+	FReadAll   byte = 0x6A
+	FReadRange byte = 0x6B
+)
+
+// errTruncated reports a message body shorter than its own structure.
+var errTruncated = errors.New("rpc: truncated message")
+
+// --- primitive append helpers ---
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// --- primitive decoder ---
+
+// dec is a cursor over a message body. The first malformed read latches
+// err; later reads return zero values, so codecs read a whole message and
+// check err once. Count prefixes are sanity-bounded against the remaining
+// bytes before any allocation (each element takes at least one byte), so a
+// hostile length prefix cannot force an oversized allocation.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func newDec(b []byte) *dec { return &dec{b: b} }
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = errTruncated
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads a uvarint element count and bounds it by the bytes left.
+func (d *dec) count() int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count()
+	if d.err != nil {
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return false
+	}
+	v := d.b[0] == 1
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) keyValue() kv.KeyValue {
+	if d.err != nil {
+		return kv.KeyValue{}
+	}
+	e, rest, err := kv.DecodeKeyValue(d.b)
+	if err != nil {
+		d.err = err
+		return kv.KeyValue{}
+	}
+	d.b = rest
+	return e
+}
+
+// --- shared composite codecs ---
+
+func appendRegionInfo(b []byte, info kvstore.RegionInfo) []byte {
+	b = appendString(b, info.ID)
+	b = appendString(b, info.Table)
+	b = appendString(b, string(info.Range.Start))
+	return appendString(b, string(info.Range.End))
+}
+
+func (d *dec) regionInfo() kvstore.RegionInfo {
+	return kvstore.RegionInfo{
+		ID:    d.str(),
+		Table: d.str(),
+		Range: kv.KeyRange{Start: kv.Key(d.str()), End: kv.Key(d.str())},
+	}
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func (d *dec) strings() []string {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ss = append(ss, d.str())
+	}
+	return ss
+}
+
+// --- master surface ---
+
+// encStringMsg / decStringMsg: the shared single-string body (MLocateAll,
+// MTableRegions, MHeartbeat table/serverID; FDelete/FExists/... paths).
+func encStringMsg(s string) []byte { return appendString(nil, s) }
+
+func decStringMsg(b []byte) (string, error) {
+	d := newDec(b)
+	s := d.str()
+	return s, d.err
+}
+
+// WireLocation is one entry of a LocateAll response: region metadata plus
+// the advertised address of the server hosting it (empty = the region is
+// hosted by a server without an advertised address; remote clients skip it
+// and retry, exactly as they would an offline region).
+type WireLocation struct {
+	Info kvstore.RegionInfo
+	Addr string
+}
+
+func encLocateAllResp(locs []WireLocation) []byte {
+	b := appendUvarint(nil, uint64(len(locs)))
+	for _, l := range locs {
+		b = appendRegionInfo(b, l.Info)
+		b = appendString(b, l.Addr)
+	}
+	return b
+}
+
+func decLocateAllResp(b []byte) ([]WireLocation, error) {
+	d := newDec(b)
+	n := d.count()
+	locs := make([]WireLocation, 0, n)
+	for i := 0; i < n; i++ {
+		locs = append(locs, WireLocation{Info: d.regionInfo(), Addr: d.str()})
+	}
+	return locs, d.err
+}
+
+func encCreateTableReq(name string, splits []kv.Key) []byte {
+	b := appendString(nil, name)
+	b = appendUvarint(b, uint64(len(splits)))
+	for _, s := range splits {
+		b = appendString(b, string(s))
+	}
+	return b
+}
+
+func decCreateTableReq(b []byte) (string, []kv.Key, error) {
+	d := newDec(b)
+	name := d.str()
+	n := d.count()
+	splits := make([]kv.Key, 0, n)
+	for i := 0; i < n; i++ {
+		splits = append(splits, kv.Key(d.str()))
+	}
+	return name, splits, d.err
+}
+
+func encSplitRegionReq(regionID string, splitKey kv.Key) []byte {
+	b := appendString(nil, regionID)
+	return appendString(b, string(splitKey))
+}
+
+func decSplitRegionReq(b []byte) (string, kv.Key, error) {
+	d := newDec(b)
+	id := d.str()
+	key := kv.Key(d.str())
+	return id, key, d.err
+}
+
+func encRegionInfosResp(infos []kvstore.RegionInfo) []byte {
+	b := appendUvarint(nil, uint64(len(infos)))
+	for _, info := range infos {
+		b = appendRegionInfo(b, info)
+	}
+	return b
+}
+
+func decRegionInfosResp(b []byte) ([]kvstore.RegionInfo, error) {
+	d := newDec(b)
+	n := d.count()
+	infos := make([]kvstore.RegionInfo, 0, n)
+	for i := 0; i < n; i++ {
+		infos = append(infos, d.regionInfo())
+	}
+	return infos, d.err
+}
+
+func encRegisterReq(serverID, addr string) []byte {
+	b := appendString(nil, serverID)
+	return appendString(b, addr)
+}
+
+func decRegisterReq(b []byte) (string, string, error) {
+	d := newDec(b)
+	id := d.str()
+	addr := d.str()
+	return id, addr, d.err
+}
+
+// --- region-server surface ---
+
+func encGetReq(table string, row kv.Key, column string, maxTS kv.Timestamp) []byte {
+	b := appendString(nil, table)
+	b = appendString(b, string(row))
+	b = appendString(b, column)
+	return appendUvarint(b, uint64(maxTS))
+}
+
+func decGetReq(b []byte) (table string, row kv.Key, column string, maxTS kv.Timestamp, err error) {
+	d := newDec(b)
+	table = d.str()
+	row = kv.Key(d.str())
+	column = d.str()
+	maxTS = kv.Timestamp(d.uvarint())
+	return table, row, column, maxTS, d.err
+}
+
+func encGetResp(e kv.KeyValue, found bool) []byte {
+	b := appendBool(nil, found)
+	if found {
+		b = kv.AppendKeyValue(b, e)
+	}
+	return b
+}
+
+func decGetResp(b []byte) (kv.KeyValue, bool, error) {
+	d := newDec(b)
+	found := d.bool()
+	var e kv.KeyValue
+	if found {
+		e = d.keyValue()
+	}
+	return e, found, d.err
+}
+
+func encGetBatchReq(table string, keys []kv.CellKey, maxTS kv.Timestamp) []byte {
+	b := appendString(nil, table)
+	b = appendUvarint(b, uint64(maxTS))
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, string(k.Row))
+		b = appendString(b, k.Column)
+	}
+	return b
+}
+
+func decGetBatchReq(b []byte) (string, []kv.CellKey, kv.Timestamp, error) {
+	d := newDec(b)
+	table := d.str()
+	maxTS := kv.Timestamp(d.uvarint())
+	n := d.count()
+	keys := make([]kv.CellKey, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, kv.CellKey{Row: kv.Key(d.str()), Column: d.str()})
+	}
+	return table, keys, maxTS, d.err
+}
+
+func encGetBatchResp(kvs []kv.KeyValue, found []bool) []byte {
+	b := appendUvarint(nil, uint64(len(kvs)))
+	for i := range kvs {
+		ok := i < len(found) && found[i]
+		b = appendBool(b, ok)
+		if ok {
+			b = kv.AppendKeyValue(b, kvs[i])
+		}
+	}
+	return b
+}
+
+func decGetBatchResp(b []byte) ([]kv.KeyValue, []bool, error) {
+	d := newDec(b)
+	n := d.count()
+	kvs := make([]kv.KeyValue, n)
+	found := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if found[i] = d.bool(); found[i] {
+			kvs[i] = d.keyValue()
+		}
+	}
+	return kvs, found, d.err
+}
+
+func encScanReq(req kvstore.ScanRequest) []byte {
+	b := appendString(nil, req.Table)
+	b = appendString(b, string(req.Range.Start))
+	b = appendString(b, string(req.Range.End))
+	b = appendUvarint(b, uint64(req.MaxTS))
+	b = appendBool(b, req.HasResume)
+	b = appendString(b, string(req.Resume.Row))
+	b = appendString(b, req.Resume.Column)
+	b = appendStrings(b, req.Columns)
+	b = appendBool(b, req.KeysOnly)
+	return appendUvarint(b, uint64(req.Batch))
+}
+
+func decScanReq(b []byte) (kvstore.ScanRequest, error) {
+	d := newDec(b)
+	req := kvstore.ScanRequest{
+		Table: d.str(),
+		Range: kv.KeyRange{Start: kv.Key(d.str()), End: kv.Key(d.str())},
+		MaxTS: kv.Timestamp(d.uvarint()),
+	}
+	req.HasResume = d.bool()
+	req.Resume = kv.CellKey{Row: kv.Key(d.str()), Column: d.str()}
+	req.Columns = d.strings()
+	req.KeysOnly = d.bool()
+	req.Batch = int(d.uvarint())
+	return req, d.err
+}
+
+func encScanResp(resp kvstore.ScanResponse) []byte {
+	b := appendUvarint(nil, uint64(len(resp.KVs)))
+	for _, e := range resp.KVs {
+		b = kv.AppendKeyValue(b, e)
+	}
+	b = appendBool(b, resp.More)
+	return appendString(b, string(resp.RegionEnd))
+}
+
+func decScanResp(b []byte) (kvstore.ScanResponse, error) {
+	d := newDec(b)
+	n := d.count()
+	resp := kvstore.ScanResponse{KVs: make([]kv.KeyValue, 0, n)}
+	for i := 0; i < n; i++ {
+		resp.KVs = append(resp.KVs, d.keyValue())
+	}
+	resp.More = d.bool()
+	resp.RegionEnd = kv.Key(d.str())
+	return resp, d.err
+}
+
+func encApplyReq(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) []byte {
+	b := appendUvarint(nil, uint64(piggy))
+	b = appendBool(b, hasPiggy)
+	return appendBytes(b, kv.EncodeWriteSet(ws))
+}
+
+func decApplyReq(b []byte) (kv.WriteSet, kv.Timestamp, bool, error) {
+	d := newDec(b)
+	piggy := kv.Timestamp(d.uvarint())
+	hasPiggy := d.bool()
+	wsb := d.bytes()
+	if d.err != nil {
+		return kv.WriteSet{}, 0, false, d.err
+	}
+	ws, err := kv.DecodeWriteSet(wsb)
+	return ws, piggy, hasPiggy, err
+}
+
+func encOpenRegionReq(info kvstore.RegionInfo, files []string, hasFiles bool, edits []kvstore.WALEntry, recovering bool) []byte {
+	b := appendRegionInfo(nil, info)
+	b = appendBool(b, hasFiles)
+	b = appendStrings(b, files)
+	b = appendUvarint(b, uint64(len(edits)))
+	for _, e := range edits {
+		b = appendBytes(b, kvstore.EncodeWALEntry(e))
+	}
+	return appendBool(b, recovering)
+}
+
+func decOpenRegionReq(b []byte) (info kvstore.RegionInfo, files []string, hasFiles bool, edits []kvstore.WALEntry, recovering bool, err error) {
+	d := newDec(b)
+	info = d.regionInfo()
+	hasFiles = d.bool()
+	files = d.strings()
+	n := d.count()
+	edits = make([]kvstore.WALEntry, 0, n)
+	for i := 0; i < n; i++ {
+		eb := d.bytes()
+		if d.err != nil {
+			break
+		}
+		e, derr := kvstore.DecodeWALEntry(eb)
+		if derr != nil {
+			d.err = derr
+			break
+		}
+		edits = append(edits, e)
+	}
+	recovering = d.bool()
+	return info, files, hasFiles, edits, recovering, d.err
+}
+
+// --- transaction gateway surface ---
+
+func encBeginReq(clientID string, readOnly bool, snapTS kv.Timestamp, mode uint64) []byte {
+	b := appendString(nil, clientID)
+	b = appendBool(b, readOnly)
+	b = appendUvarint(b, uint64(snapTS))
+	return appendUvarint(b, mode)
+}
+
+func decBeginReq(b []byte) (clientID string, readOnly bool, snapTS kv.Timestamp, mode uint64, err error) {
+	d := newDec(b)
+	clientID = d.str()
+	readOnly = d.bool()
+	snapTS = kv.Timestamp(d.uvarint())
+	mode = d.uvarint()
+	return clientID, readOnly, snapTS, mode, d.err
+}
+
+func encBeginResp(handle uint64, startTS kv.Timestamp) []byte {
+	b := appendUvarint(nil, handle)
+	return appendUvarint(b, uint64(startTS))
+}
+
+func decBeginResp(b []byte) (uint64, kv.Timestamp, error) {
+	d := newDec(b)
+	handle := d.uvarint()
+	startTS := kv.Timestamp(d.uvarint())
+	return handle, startTS, d.err
+}
+
+func encCommitReq(handle uint64, updates []kv.Update, wait bool) []byte {
+	b := appendUvarint(nil, handle)
+	b = appendBool(b, wait)
+	return appendBytes(b, kv.EncodeWriteSet(kv.WriteSet{Updates: updates}))
+}
+
+func decCommitReq(b []byte) (handle uint64, updates []kv.Update, wait bool, err error) {
+	d := newDec(b)
+	handle = d.uvarint()
+	wait = d.bool()
+	wsb := d.bytes()
+	if d.err != nil {
+		return 0, nil, false, d.err
+	}
+	ws, err := kv.DecodeWriteSet(wsb)
+	return handle, ws.Updates, wait, err
+}
+
+// encCommitResp carries the commit outcome inside a KindResponse frame:
+// commits can partially succeed (indeterminate, committed-but-flush-failed),
+// so the timestamp and the error classification travel together rather
+// than as a bare error frame.
+func encCommitResp(cts kv.Timestamp, code ErrorCode, msg string) []byte {
+	b := appendUvarint(nil, uint64(cts))
+	b = appendUvarint(b, uint64(code))
+	return appendString(b, msg)
+}
+
+func decCommitResp(b []byte) (kv.Timestamp, ErrorCode, string, error) {
+	d := newDec(b)
+	cts := kv.Timestamp(d.uvarint())
+	code := ErrorCode(d.uvarint())
+	msg := d.str()
+	return cts, code, msg, d.err
+}
+
+// encHandleMsg / decHandleMsg: the shared single-uvarint body (TAbort,
+// FSync/FClose/FAbandon writer IDs, FCreate/FSize responses).
+func encHandleMsg(v uint64) []byte { return appendUvarint(nil, v) }
+
+func decHandleMsg(b []byte) (uint64, error) {
+	d := newDec(b)
+	v := d.uvarint()
+	return v, d.err
+}
+
+// --- DFS surface ---
+
+func encFAppendReq(id uint64, p []byte) []byte {
+	b := appendUvarint(nil, id)
+	return appendBytes(b, p)
+}
+
+func decFAppendReq(b []byte) (uint64, []byte, error) {
+	d := newDec(b)
+	id := d.uvarint()
+	p := d.bytes()
+	return id, p, d.err
+}
+
+func encFRenameReq(oldPath, newPath string) []byte {
+	b := appendString(nil, oldPath)
+	return appendString(b, newPath)
+}
+
+func decFRenameReq(b []byte) (string, string, error) {
+	d := newDec(b)
+	o := d.str()
+	n := d.str()
+	return o, n, d.err
+}
+
+func encFReadRangeReq(path string, off int64, n int) []byte {
+	b := appendString(nil, path)
+	b = appendUvarint(b, uint64(off))
+	return appendUvarint(b, uint64(n))
+}
+
+func decFReadRangeReq(b []byte) (string, int64, int, error) {
+	d := newDec(b)
+	path := d.str()
+	off := int64(d.uvarint())
+	n := int(d.uvarint())
+	return path, off, n, d.err
+}
+
+func encBytesMsg(p []byte) []byte { return appendBytes(nil, p) }
+
+func decBytesMsg(b []byte) ([]byte, error) {
+	d := newDec(b)
+	p := d.bytes()
+	return p, d.err
+}
+
+func encBoolMsg(v bool) []byte { return appendBool(nil, v) }
+
+func decBoolMsg(b []byte) (bool, error) {
+	d := newDec(b)
+	v := d.bool()
+	return v, d.err
+}
+
+func encStringsMsg(ss []string) []byte { return appendStrings(nil, ss) }
+
+func decStringsMsg(b []byte) ([]string, error) {
+	d := newDec(b)
+	ss := d.strings()
+	return ss, d.err
+}
+
+// methodName names a method code for metrics and error text.
+func methodName(m byte) string {
+	switch m {
+	case MLocateAll:
+		return "m.locate_all"
+	case MCreateTable:
+		return "m.create_table"
+	case MSplitRegion:
+		return "m.split_region"
+	case MTableRegions:
+		return "m.table_regions"
+	case MRegister:
+		return "m.register"
+	case MHeartbeat:
+		return "m.heartbeat"
+	case TBegin:
+		return "t.begin"
+	case TCommit:
+		return "t.commit"
+	case TAbort:
+		return "t.abort"
+	case RGet:
+		return "r.get"
+	case RGetBatch:
+		return "r.get_batch"
+	case RScanBatch:
+		return "r.scan_batch"
+	case RApply:
+		return "r.apply"
+	case ROpenRegion:
+		return "r.open_region"
+	case RMarkOnline:
+		return "r.mark_online"
+	case RCloseRegion:
+		return "r.close_region"
+	case RCloseFlush:
+		return "r.close_flush"
+	case RSyncWAL:
+		return "r.sync_wal"
+	case FCreate:
+		return "f.create"
+	case FAppend:
+		return "f.append"
+	case FSync:
+		return "f.sync"
+	case FClose:
+		return "f.close"
+	case FAbandon:
+		return "f.abandon"
+	case FDelete:
+		return "f.delete"
+	case FRename:
+		return "f.rename"
+	case FExists:
+		return "f.exists"
+	case FList:
+		return "f.list"
+	case FSize:
+		return "f.size"
+	case FReadAll:
+		return "f.read_all"
+	case FReadRange:
+		return "f.read_range"
+	default:
+		return fmt.Sprintf("0x%02x", m)
+	}
+}

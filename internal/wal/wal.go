@@ -68,12 +68,12 @@ func DecodeAll(data []byte) ([][]byte, error) {
 // the writing process) and become durable only on Sync, mirroring HBase's
 // deferred-log-flush mode. Writer is safe for concurrent use.
 type Writer struct {
-	w *dfs.Writer
+	w dfs.FileWriter
 }
 
 // Create creates the log file at path on fs.
-func Create(fs *dfs.FS, path string) (*Writer, error) {
-	w, err := fs.Create(path)
+func Create(fs dfs.FileSystem, path string) (*Writer, error) {
+	w, err := fs.CreateFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create %s: %w", path, err)
 	}
@@ -95,7 +95,7 @@ func (w *Writer) Buffered() int { return w.w.Buffered() }
 func (w *Writer) Close() error { return w.w.Close() }
 
 // ReadAll reads and decodes every durable record of the log at path.
-func ReadAll(fs *dfs.FS, path string) ([][]byte, error) {
+func ReadAll(fs dfs.FileSystem, path string) ([][]byte, error) {
 	data, err := fs.ReadAll(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read %s: %w", path, err)

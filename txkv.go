@@ -152,6 +152,11 @@ type (
 	// PersistenceMode selects where durable state lives (PersistNone or
 	// PersistDisk).
 	PersistenceMode = cluster.PersistenceMode
+
+	// Remote is a handle to a cluster served in another process over the
+	// wire protocol (see Connect). Its NewClient returns the same *Client
+	// type the in-process Cluster does.
+	Remote = cluster.Remote
 )
 
 // Persistence modes for Config.Persistence.
@@ -229,3 +234,17 @@ func Open(cfg Config) (*Cluster, error) { return cluster.New(cfg) }
 // Reopen opens a cluster over an existing data directory. It is Open with
 // the persistence configuration validated: Persistence must be PersistDisk.
 func Reopen(cfg Config) (*Cluster, error) { return cluster.Reopen(cfg) }
+
+// Connect dials a cluster served in another process (Cluster.ServeRPC, or
+// the txkvd binary) over the wire protocol documented in PROTOCOL.md.
+// Clients created from the returned handle read and scan straight from the
+// owning region servers; transactions run through the serving process,
+// whose recovery middleware protects their post-commit flushes exactly as
+// for local clients:
+//
+//	remote, err := txkv.Connect("10.0.0.5:7420")
+//	if err != nil { ... }
+//	defer remote.Close()
+//	client, _ := remote.NewClient("app-2")
+//	cts, err := client.Update(ctx, transfer)
+func Connect(masterAddr string) (*Remote, error) { return cluster.ConnectRemote(masterAddr) }
