@@ -1,10 +1,11 @@
 // Command obsvet is the CI observability smoke check: it boots a small
 // traced cluster, serves the debug endpoints, drives a burst of
-// transactions, then scrapes /metrics, /debug/slow, and /debug/regions and
-// validates the payloads — the Prometheus text exposition line by line, the
-// JSON endpoints structurally. Exit status is non-zero on any malformed
-// output or missing metric family, so a refactor that silently breaks the
-// scrape surface fails the PR. Standard library only.
+// transactions (followed live by a change stream), then scrapes /metrics,
+// /debug/slow, /debug/regions, and /debug/watchers and validates the
+// payloads — the Prometheus text exposition line by line, the JSON
+// endpoints structurally. Exit status is non-zero on any malformed output
+// or missing metric family, so a refactor that silently breaks the scrape
+// surface fails the PR. Standard library only.
 package main
 
 import (
@@ -125,6 +126,13 @@ func main() {
 		log.Fatalf("client: %v", err)
 	}
 	ctx := context.Background()
+	// A change stream follows the writes live, so the watch instruments and
+	// /debug/watchers report real traffic; it stays open through the scrape.
+	ws, err := cl.Watch(ctx, "t", txkv.KeyRange{}, 0)
+	if err != nil {
+		log.Fatalf("watch: %v", err)
+	}
+	defer ws.Close()
 	for i := 0; i < 20; i++ {
 		row := txkv.Key(fmt.Sprintf("row-%02d", i))
 		if _, err := cl.Update(ctx, func(txn *txkv.Txn) error {
@@ -133,6 +141,15 @@ func main() {
 			log.Fatalf("update: %v", err)
 		}
 	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	for watched := 0; watched < 20; {
+		b, err := ws.NextBatch(wctx)
+		if err != nil {
+			log.Fatalf("watch drain: %v", err)
+		}
+		watched += len(b.Events)
+	}
+	wcancel()
 	if err := cl.View(ctx, func(txn *txkv.Txn) error {
 		for i := 0; i < 20; i++ {
 			row := txkv.Key(fmt.Sprintf("row-%02d", i))
@@ -201,6 +218,10 @@ func main() {
 		"txkv_block_compressed_bytes_total",
 		"txkv_block_uncompressed_bytes_total",
 		"txkv_blockcache_hit_rate_pct",
+		"txkv_watch_watchers",
+		"txkv_watch_opened",
+		"txkv_watch_events_delivered",
+		"txkv_watch_overflows",
 	} {
 		if !names[want] {
 			failures = append(failures, "missing metric "+want)
@@ -220,6 +241,15 @@ func main() {
 	unc := promValue(string(page), "txkv_block_uncompressed_bytes_total")
 	if cmp <= 0 || unc < cmp {
 		failures = append(failures, fmt.Sprintf("block byte counters implausible: compressed=%v uncompressed=%v", cmp, unc))
+	}
+
+	// The watch instruments must show the stream that followed the load: it
+	// is still open at scrape time and drained every commit's events.
+	if v := promValue(string(page), "txkv_watch_watchers"); v < 1 {
+		failures = append(failures, fmt.Sprintf("watch watchers gauge shows no open stream: %v", v))
+	}
+	if v := promValue(string(page), "txkv_watch_events_delivered"); v < 20 {
+		failures = append(failures, fmt.Sprintf("watch events_delivered below the 20 drained: %v", v))
 	}
 
 	// /debug/slow: retained span trees for commit, get, and scan.
@@ -274,12 +304,42 @@ func main() {
 		}
 	}
 
+	// /debug/watchers: the open stream with its position and delivery state.
+	var watchers struct {
+		Count    int `json:"count"`
+		Watchers []struct {
+			Owner  string `json:"owner"`
+			Table  string `json:"table"`
+			Pos    uint64 `json:"pos"`
+			Live   bool   `json:"live"`
+			Events int64  `json:"events"`
+		} `json:"watchers"`
+	}
+	body, err = get(base, "/debug/watchers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &watchers); err != nil {
+		failures = append(failures, fmt.Sprintf("/debug/watchers not JSON: %v", err))
+	} else {
+		found := false
+		for _, w := range watchers.Watchers {
+			if w.Table == "t" && w.Events >= 20 && w.Pos > 0 {
+				found = true
+			}
+		}
+		if watchers.Count == 0 || !found {
+			failures = append(failures, fmt.Sprintf(
+				"/debug/watchers missing the drained stream: %s", body))
+		}
+	}
+
 	if len(failures) > 0 {
 		for _, f := range failures {
 			log.Printf("FAIL: %s", f)
 		}
 		log.Fatalf("obsvet: %d failures", len(failures))
 	}
-	fmt.Printf("obsvet OK: %d metric samples, %d slow ops, %d regions\n",
-		len(names), slow.Count, len(regions.Regions))
+	fmt.Printf("obsvet OK: %d metric samples, %d slow ops, %d regions, %d watchers\n",
+		len(names), slow.Count, len(regions.Regions), watchers.Count)
 }

@@ -19,12 +19,13 @@
 //	txkvbench -experiment txn_retry   # managed Update retry vs caller retry loops under contention
 //	txkvbench -experiment coldread    # store-file v1 vs v2: cold gets, cold scans, disk footprint
 //	txkvbench -experiment rpc         # wire-protocol overhead: loopback vs multi-process tcp
+//	txkvbench -experiment watch       # change streams: commit-path isolation, delivery latency, catch-up replay
 //	txkvbench -experiment all
 //
-// The readwrite, scan, txn_retry, and coldread experiments additionally
-// write their machine-readable results to the path given by -json (the
-// BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json
-// regression formats). The -cold flag makes the readwrite and compaction
+// The readwrite, scan, txn_retry, coldread, rpc, and watch experiments
+// additionally write their machine-readable results to the path given by
+// -json (the BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json /
+// BENCH_PR7.json / BENCH_PR8.json / BENCH_PR9.json regression formats). The -cold flag makes the readwrite and compaction
 // read phases drop the block caches as they run.
 //
 // The -scale flag shrinks or grows every workload dimension together;
@@ -54,7 +55,7 @@ func jsonSuffix(path, name string) string {
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|rpc|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|rpc|watch|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -78,6 +79,8 @@ func main() {
 		bench.ColdReadJSONPath = *jsonPath
 	case "rpc":
 		bench.RPCJSONPath = *jsonPath
+	case "watch":
+		bench.WatchJSONPath = *jsonPath
 	default:
 		if *jsonPath != "" {
 			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
@@ -85,6 +88,7 @@ func main() {
 			bench.TxnRetryJSONPath = jsonSuffix(*jsonPath, "txn_retry")
 			bench.ColdReadJSONPath = jsonSuffix(*jsonPath, "coldread")
 			bench.RPCJSONPath = jsonSuffix(*jsonPath, "rpc")
+			bench.WatchJSONPath = jsonSuffix(*jsonPath, "watch")
 		}
 	}
 
@@ -113,8 +117,9 @@ func main() {
 		"txn_retry":   bench.TxnRetry,
 		"coldread":    bench.ColdRead,
 		"rpc":         bench.RPC,
+		"watch":       bench.Watch,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread", "rpc"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread", "rpc", "watch"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

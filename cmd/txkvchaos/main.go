@@ -107,6 +107,19 @@ func main() {
 		fmt.Printf("reusing restored table from %s\n", *dataDir)
 	}
 
+	// The watch audit rides the campaign: a background watcher follows the
+	// chaos table's change stream, periodically handing off to a
+	// token-resumed successor, and is reconciled against the acks at the
+	// end (see watch.go). It starts at the log's current position so a
+	// reused -datadir (whose replayable history was truncated on restore)
+	// opens inside the retention horizon.
+	const sentinelRow = "watch-sentinel"
+	wcl, err := cluster.NewClient("watch-audit")
+	if err != nil {
+		log.Fatalf("watch client: %v", err)
+	}
+	watcher := startWatchAuditor(wcl, cluster.Log().LastTS(), sentinelRow)
+
 	type ack struct {
 		row, val string
 	}
@@ -251,6 +264,22 @@ func main() {
 	wg.Wait()
 	checkObs("after campaign")
 
+	// End the watcher's feed at a known point: one sentinel commit after
+	// the writers are done, then reconcile delivered events against acks.
+	if _, err := wcl.Update(context.Background(), func(txn *txkv.Txn) error {
+		return txn.Put(context.Background(), "chaos", txkv.Key(sentinelRow), "f", []byte("done"))
+	}); err != nil {
+		log.Fatalf("sentinel commit: %v", err)
+	}
+	if err := watcher.wait(30 * time.Second); err != nil {
+		dumpSlow(cluster)
+		log.Fatalf("watch audit: %v", err)
+	}
+	watcher.report()
+	mu.Lock()
+	watchBad := watcher.audit(acks)
+	mu.Unlock()
+
 	fmt.Printf("campaign done: %d committed, %d conflicts, %d server crashes, %d RM bounces (%d obs checks passed)\n",
 		committed, conflicts, crashes, rmBounces, faults+2)
 	if rc := cluster.ReclaimStats(); rc.Compactions > 0 {
@@ -270,6 +299,35 @@ func main() {
 		if err != nil {
 			log.Fatalf("reopen cluster: %v", err)
 		}
+
+		// The watcher's final token must survive the restart: resume it
+		// against the reopened cluster and receive a post-restart commit.
+		rcl, err := cluster.NewClient("watch-restart")
+		if err != nil {
+			log.Fatalf("watch-restart client: %v", err)
+		}
+		rws, err := rcl.WatchResume(context.Background(), watcher.finalToken())
+		if err != nil {
+			log.Fatalf("watch resume across restart: %v", err)
+		}
+		if _, err := rcl.Update(context.Background(), func(txn *txkv.Txn) error {
+			return txn.Put(context.Background(), "chaos", "watch-restart-marker", "f", []byte("post-reopen"))
+		}); err != nil {
+			log.Fatalf("post-restart marker commit: %v", err)
+		}
+		rctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		for {
+			ev, err := rws.Next(rctx)
+			if err != nil {
+				log.Fatalf("watch across restart: %v", err)
+			}
+			if string(ev.Key) == "watch-restart-marker" {
+				break
+			}
+		}
+		cancel()
+		rws.Close()
+		fmt.Printf("watch resume token survived the restart\n")
 	}
 
 	// Audit: every acknowledged row must hold one of its acknowledged
@@ -312,12 +370,18 @@ func main() {
 			time.Sleep(20 * time.Millisecond)
 		}
 	}
-	if lost > 0 {
+	if lost > 0 || watchBad > 0 {
 		dumpSlow(cluster)
-		fmt.Printf("AUDIT FAILED: %d rows lost acknowledged commits\n", lost)
+		if lost > 0 {
+			fmt.Printf("AUDIT FAILED: %d rows lost acknowledged commits\n", lost)
+		}
+		if watchBad > 0 {
+			fmt.Printf("WATCH AUDIT FAILED: %d exactly-once violations\n", watchBad)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("AUDIT OK: all %d acknowledged rows intact after %d crashes\n", len(rows), crashes)
+	fmt.Printf("WATCH AUDIT OK: every acknowledged write delivered exactly once\n")
 }
 
 func keyOf(i int) txkv.Key { return txkv.Key(fmt.Sprintf("key%06d", i)) }

@@ -279,6 +279,22 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 		log.Fatalf("create table: %v", err)
 	}
 
+	// The watch audit over the wire: a watcher on its own connection
+	// follows the chaos table's change stream through the streaming rpc
+	// while links fault around it, handing off to token-resumed successor
+	// streams throughout (see watch.go).
+	const sentinelRow = "watch-sentinel"
+	wremote, err := txkv.Connect(masterAddr)
+	if err != nil {
+		log.Fatalf("watch connect: %v", err)
+	}
+	defer wremote.Close()
+	wcl, err := wremote.NewClient("watch-audit")
+	if err != nil {
+		log.Fatalf("watch client: %v", err)
+	}
+	watcher := startWatchAuditor(wcl, 0, sentinelRow)
+
 	type ack struct {
 		row, val string
 	}
@@ -492,6 +508,21 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 	nodeMu.Unlock()
 	checkObs("after campaign")
 
+	// End the watcher's feed at a known point and reconcile against acks.
+	if _, err := wcl.Update(context.Background(), func(txn *txkv.Txn) error {
+		return txn.Put(context.Background(), "chaos", txkv.Key(sentinelRow), "f", []byte("done"))
+	}); err != nil {
+		log.Fatalf("sentinel commit: %v", err)
+	}
+	if err := watcher.wait(30 * time.Second); err != nil {
+		dumpSlow(cluster)
+		log.Fatalf("watch audit: %v", err)
+	}
+	watcher.report()
+	mu.Lock()
+	watchBad := watcher.audit(acks)
+	mu.Unlock()
+
 	fmt.Printf("campaign done: %d committed, %d conflicts, %d indeterminate, %d partitions, %d blackholes, %d slow-links, %d process kills, %d RM bounces, %d client reconnects\n",
 		committed, conflicts, indeterm, partitions, blackholes, slowLinks, kills, rmBounces, reconns)
 
@@ -539,11 +570,17 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 			time.Sleep(20 * time.Millisecond)
 		}
 	}
-	if lost > 0 {
+	if lost > 0 || watchBad > 0 {
 		dumpSlow(cluster)
-		fmt.Printf("AUDIT FAILED: %d rows lost acknowledged commits\n", lost)
+		if lost > 0 {
+			fmt.Printf("AUDIT FAILED: %d rows lost acknowledged commits\n", lost)
+		}
+		if watchBad > 0 {
+			fmt.Printf("WATCH AUDIT FAILED: %d exactly-once violations\n", watchBad)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("AUDIT OK: all %d acknowledged rows intact across the wire after %d kills and %d link faults\n",
 		len(rows), kills, partitions+blackholes+slowLinks)
+	fmt.Printf("WATCH AUDIT OK: every acknowledged write delivered exactly once over the wire\n")
 }

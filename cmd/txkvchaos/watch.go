@@ -1,0 +1,213 @@
+package main
+
+// The watch audit: alongside the no-acknowledged-commit-lost audit, a
+// change-stream watcher follows the campaign's commits off the commit log
+// and proves the delivery guarantee end to end: every acknowledged commit
+// is delivered to a resuming watcher exactly once, in commit order. The
+// watcher never sits on a single stream for long — it repeatedly hands off
+// to a successor resumed from its own token (opening the successor before
+// closing the predecessor, so the log-retention pin never lapses), which is
+// exactly the client-restart pattern the resume tokens exist for. If a
+// stream dies mid-campaign (a dropped wire connection in -remote shape) the
+// watcher resumes from the last fully-delivered commit instead of failing.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv"
+)
+
+// watchResumeEvery is how many commit batches a stream serves before the
+// auditor hands off to a token-resumed successor.
+const watchResumeEvery = 32
+
+type watchAuditor struct {
+	cl       *txkv.Client
+	sentinel string // row whose arrival ends the feed
+	done     chan struct{}
+
+	mu        sync.Mutex
+	delivered map[string]int // row\x00value -> delivery count
+	events    int
+	commits   int
+	resumes   int
+	outOfOrd  int // commit-timestamp order violations
+	token     string
+	failure   error
+}
+
+// startWatchAuditor opens a change stream over the whole "chaos" table from
+// the given position and consumes it in the background until a commit to
+// sentinelRow arrives. Callers commit the sentinel after the writers stop,
+// then wait() and audit().
+func startWatchAuditor(cl *txkv.Client, from txkv.Timestamp, sentinelRow string) *watchAuditor {
+	a := &watchAuditor{
+		cl:        cl,
+		sentinel:  sentinelRow,
+		done:      make(chan struct{}),
+		delivered: make(map[string]int),
+	}
+	go a.run(from)
+	return a
+}
+
+func (a *watchAuditor) run(from txkv.Timestamp) {
+	defer close(a.done)
+	ctx := context.Background()
+	ws, err := a.cl.Watch(ctx, "chaos", txkv.KeyRange{}, from)
+	if err != nil {
+		a.fail(fmt.Errorf("open watch: %w", err))
+		return
+	}
+	defer func() { ws.Close() }()
+
+	lastToken := ws.Token()
+	var lastCTS txkv.Timestamp
+	sinceResume := 0
+	for {
+		batch, err := ws.NextBatch(ctx)
+		if err != nil {
+			// The stream died mid-campaign. Resume from the last fully
+			// delivered commit; exactly-once across the gap is the point.
+			ws.Close()
+			next, rerr := a.resumeRetry(ctx, lastToken)
+			if rerr != nil {
+				a.fail(fmt.Errorf("watch died (%v) and resume failed: %w", err, rerr))
+				return
+			}
+			ws = next
+			a.mu.Lock()
+			a.resumes++
+			a.mu.Unlock()
+			continue
+		}
+		if len(batch.Events) == 0 {
+			lastToken = ws.Token() // progress-only: position still advances
+			continue
+		}
+		hitSentinel := false
+		a.mu.Lock()
+		a.commits++
+		if batch.CommitTS <= lastCTS {
+			a.outOfOrd++
+		}
+		for _, ev := range batch.Events {
+			a.events++
+			a.delivered[string(ev.Key)+"\x00"+string(ev.Value)]++
+			if string(ev.Key) == a.sentinel {
+				hitSentinel = true
+			}
+		}
+		a.mu.Unlock()
+		lastCTS = batch.CommitTS
+		lastToken = ws.Token()
+		if hitSentinel {
+			a.mu.Lock()
+			a.token = lastToken
+			a.mu.Unlock()
+			return
+		}
+		if sinceResume++; sinceResume >= watchResumeEvery {
+			sinceResume = 0
+			// Routine handoff: open the successor from the token before
+			// closing the predecessor so the retention pin never lapses.
+			if next, err := a.cl.WatchResume(ctx, lastToken); err == nil {
+				ws.Close()
+				ws = next
+				a.mu.Lock()
+				a.resumes++
+				a.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (a *watchAuditor) resumeRetry(ctx context.Context, token string) (*txkv.WatchStream, error) {
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		var ws *txkv.WatchStream
+		if ws, err = a.cl.WatchResume(ctx, token); err == nil {
+			return ws, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, err
+}
+
+func (a *watchAuditor) fail(err error) {
+	a.mu.Lock()
+	a.failure = err
+	a.mu.Unlock()
+}
+
+// wait blocks until the watcher has seen the sentinel commit (or failed),
+// returning the watcher's error state.
+func (a *watchAuditor) wait(timeout time.Duration) error {
+	select {
+	case <-a.done:
+	case <-time.After(timeout):
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return fmt.Errorf("watcher did not reach the sentinel within %v (%d events, %d commits so far)",
+			timeout, a.events, a.commits)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failure
+}
+
+// finalToken returns the resume token taken after the sentinel commit —
+// valid only once wait() has returned nil.
+func (a *watchAuditor) finalToken() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.token
+}
+
+// audit reconciles the delivered events against the acknowledged writes:
+// every acked (row, value) pair must have been delivered exactly once, no
+// pair of any provenance may have been delivered twice, and commit
+// timestamps must have arrived strictly ascending. Returns the number of
+// violations, printing each.
+func (a *watchAuditor) audit(acks map[string][]string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	bad := 0
+	for row, vals := range acks {
+		// Dedupe within a row: a transaction that drew the same row twice
+		// acks the value twice but commits (and delivers) one cell write.
+		uniq := make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			uniq[v] = struct{}{}
+		}
+		for v := range uniq {
+			if n := a.delivered[row+"\x00"+v]; n != 1 {
+				fmt.Printf("WATCH: acked write %s=%q delivered %d times, want exactly 1\n", row, v, n)
+				bad++
+			}
+		}
+	}
+	for key, n := range a.delivered {
+		if n > 1 {
+			fmt.Printf("WATCH: event %q delivered %d times\n", key, n)
+			bad++
+		}
+	}
+	if a.outOfOrd > 0 {
+		fmt.Printf("WATCH: %d commit batches arrived out of timestamp order\n", a.outOfOrd)
+		bad += a.outOfOrd
+	}
+	return bad
+}
+
+// report prints the watcher's campaign totals.
+func (a *watchAuditor) report() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fmt.Printf("watch audit: %d events in %d commits across %d stream resumes\n",
+		a.events, a.commits, a.resumes)
+}

@@ -27,6 +27,7 @@ import (
 	"txkv/internal/storage"
 	"txkv/internal/txlog"
 	"txkv/internal/txmgr"
+	"txkv/internal/watch"
 )
 
 // Cluster errors.
@@ -101,6 +102,16 @@ type Config struct {
 
 	// QueueAlertThreshold arms the flush/persist queue monitors.
 	QueueAlertThreshold int
+
+	// WatchBuffer is the per-watch-stream live queue depth, in commit
+	// batches; a consumer that lets it fill falls back to reading the log
+	// instead of blocking commits (0 = the watch package default, 256).
+	WatchBuffer int
+	// WatchLagHorizon caps how many commits a watch consumer may trail the
+	// commit frontier before its stream is cancelled with ErrWatchLagging
+	// and its log-retention pin released. 0 means unlimited: a paused
+	// watcher pins log truncation indefinitely.
+	WatchLagHorizon kv.Timestamp
 
 	// CompactionThreshold makes region servers compact a region in the
 	// background once it exceeds this many store files (0 disables the
@@ -199,6 +210,7 @@ type Cluster struct {
 	net       *netsim.Network
 	svc       *coord.Service
 	log       *txlog.Log
+	hub       *watch.Hub
 	tm        *txmgr.Manager
 	master    *kvstore.Master
 	gate      *rmProxy
@@ -398,6 +410,14 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.updateCommitsTotal = reg.Counter("txn.update_commits")
 	c.updateRetriesTotal = reg.Counter("txn.update_retries")
+	// The watch hub rides the log's durable-ordered commit sink: installed
+	// before any client can commit, seeded with the reopened log's frontier
+	// so restored history is served by catch-up reads.
+	c.hub = watch.NewHub(log, watch.Config{
+		Buffer:     cfg.WatchBuffer,
+		LagHorizon: cfg.WatchLagHorizon,
+	})
+	log.SetCommitSink(c.hub.Publish)
 	c.tm = txmgr.New(c.log) // oracle seeded past every recovered commit
 	c.registerPullMetrics()
 	c.master = kvstore.NewMaster(kvstore.MasterConfig{
@@ -521,6 +541,19 @@ func (c *Cluster) registerPullMetrics() {
 		}
 		return h * 100 / (h + m)
 	})
+
+	// Change streams: hub-wide watcher gauges and delivery counters, pulled
+	// from the same snapshot /debug/watchers serves.
+	reg.GaugeFunc("watch.watchers", func() int64 { return int64(c.hub.Stats().Watchers) })
+	reg.GaugeFunc("watch.live", func() int64 { return int64(c.hub.Stats().Live) })
+	reg.GaugeFunc("watch.catching_up", func() int64 { return int64(c.hub.Stats().CatchingUp) })
+	reg.GaugeFunc("watch.queued_batches", func() int64 { return int64(c.hub.Stats().QueuedBatches) })
+	reg.CounterFunc("watch.events_delivered", func() int64 { return c.hub.Stats().EventsDelivered })
+	reg.CounterFunc("watch.batches_delivered", func() int64 { return c.hub.Stats().BatchesDelivered })
+	reg.CounterFunc("watch.overflows", func() int64 { return c.hub.Stats().Overflows })
+	reg.CounterFunc("watch.lag_cancels", func() int64 { return c.hub.Stats().LagCancels })
+	reg.CounterFunc("watch.horizon_failures", func() int64 { return c.hub.Stats().HorizonFailures })
+	reg.CounterFunc("watch.opened", func() int64 { return c.hub.Stats().Opened })
 
 	// Store-file format v2 effectiveness: bloom outcomes on the read path,
 	// block bytes before/after compression on the write path. The FileStats
@@ -818,6 +851,9 @@ func (c *Cluster) RecoveryManager() *core.Manager {
 // TM returns the transaction manager.
 func (c *Cluster) TM() *txmgr.Manager { return c.tm }
 
+// WatchHub returns the change-stream hub (stats, watcher introspection).
+func (c *Cluster) WatchHub() *watch.Hub { return c.hub }
+
 // Log returns the TM recovery log.
 func (c *Cluster) Log() *txlog.Log { return c.log }
 
@@ -892,6 +928,9 @@ func (c *Cluster) Stop() {
 	if rm != nil {
 		rm.Stop()
 	}
+	// Cancel every watch stream (they fail with ErrWatchClosed and release
+	// their retention pins) before the log they read from goes away.
+	c.hub.Close()
 	c.log.Close()
 	c.svc.Stop()
 	if c.layoutLog != nil {

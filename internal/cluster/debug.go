@@ -12,11 +12,12 @@ import (
 
 // DebugServer serves the cluster's live observability surface over HTTP:
 //
-//	/metrics        Prometheus text exposition of the metric registry
-//	/debug/slow     the slow-op ring as JSON span trees (newest first)
-//	/debug/regions  per-region heat with ops/sec rates since the last scrape
-//	/debug/vars     stdlib expvar (memstats, cmdline)
-//	/debug/pprof/*  stdlib pprof profiles
+//	/metrics         Prometheus text exposition of the metric registry
+//	/debug/slow      the slow-op ring as JSON span trees (newest first)
+//	/debug/regions   per-region heat with ops/sec rates since the last scrape
+//	/debug/watchers  open change streams: position, lag, queue depth, mode
+//	/debug/vars      stdlib expvar (memstats, cmdline)
+//	/debug/pprof/*   stdlib pprof profiles
 //
 // The server reads shared state through the same snapshots the Go API
 // exposes (Obs, Tracer, RegionHeats); it takes no locks of its own on the
@@ -43,6 +44,7 @@ func (c *Cluster) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/debug/slow", d.handleSlow)
 	mux.HandleFunc("/debug/regions", d.handleRegions)
+	mux.HandleFunc("/debug/watchers", d.handleWatchers)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -74,6 +76,19 @@ func (d *DebugServer) handleSlow(w http.ResponseWriter, _ *http.Request) {
 		Count int         `json:"count"`
 		Ops   interface{} `json:"ops"`
 	}{Count: len(ops), Ops: ops})
+}
+
+func (d *DebugServer) handleWatchers(w http.ResponseWriter, _ *http.Request) {
+	hub := d.c.hub
+	watchers := hub.Watchers()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Count    int         `json:"count"`
+		Stats    interface{} `json:"stats"`
+		Watchers interface{} `json:"watchers"`
+	}{Count: len(watchers), Stats: hub.Stats(), Watchers: watchers})
 }
 
 // RegionHeatRate is one /debug/regions row: cumulative heat counters plus

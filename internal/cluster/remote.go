@@ -31,6 +31,7 @@ import (
 	"txkv/internal/kvstore"
 	"txkv/internal/rpc"
 	"txkv/internal/txmgr"
+	"txkv/internal/watch"
 )
 
 // ErrAlreadyServing reports a second ServeRPC on one cluster.
@@ -65,6 +66,9 @@ func (c *Cluster) ServeRPC(listen string) (string, error) {
 	rpc.RegisterMasterService(srv, c.master, pool)
 	rpc.RegisterDFSService(srv, c.fs)
 	rpc.RegisterTxnService(srv, &txnGateway{c: c, sessions: make(map[uint64]*gwSession)})
+	rpc.RegisterWatchService(srv, func(table string, rng kv.KeyRange, from kv.Timestamp, owner string) (*watch.Stream, error) {
+		return c.hub.Watch(watch.Filter{Table: table, Range: rng}, from, owner)
+	})
 	dial := kvstore.EndpointDialer(func(addr string) (kvstore.RegionEndpoint, error) {
 		return rpc.NewEndpoint(pool, addr), nil
 	})
@@ -295,12 +299,25 @@ type RemoteTxnService interface {
 // counterpart of *Cluster for processes that hold no cluster state. It
 // owns one connection pool; every Client it creates shares it.
 type Remote struct {
-	tr  *rpc.TCPTransport
-	txn RemoteTxnService
+	tr     *rpc.TCPTransport
+	txn    RemoteTxnService
+	watchc *rpc.WatchClient
 
 	mu     sync.Mutex
 	seq    int
 	closed bool
+}
+
+// openWatch opens a change stream through the serving process's watch
+// service (Client.Watch in remote mode).
+func (r *Remote) openWatch(table string, rng kv.KeyRange, from kv.Timestamp, owner string) (watchFeed, error) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, ErrStopped
+	}
+	return r.watchc.Watch(table, rng, from, owner)
 }
 
 // connectProbeTimeout bounds ConnectRemote's reachability check.
@@ -318,7 +335,11 @@ func ConnectRemote(masterAddr string) (*Remote, error) {
 		_ = tr.Close()
 		return nil, fmt.Errorf("cluster: connect %s: %w", masterAddr, err)
 	}
-	return &Remote{tr: tr, txn: rpc.NewTxnClient(tr.Pool(), masterAddr)}, nil
+	return &Remote{
+		tr:     tr,
+		txn:    rpc.NewTxnClient(tr.Pool(), masterAddr),
+		watchc: rpc.NewWatchClient(tr.Pool(), masterAddr),
+	}, nil
 }
 
 // NewClient creates a transactional client bound to the remote cluster. An

@@ -1,0 +1,257 @@
+package cluster
+
+// Change streams at the client surface. Client.Watch opens a resumable,
+// ordered feed of committed writes to one table/key-range, backed by the
+// cluster's watch hub (internal/watch) in local mode and by the streaming
+// wire protocol (WWatch, PROTOCOL.md) in remote mode — the API is identical
+// in both. WatchStream.Token() captures an opaque resume position; a later
+// Client.WatchResume (on any client, any process) continues the feed with no
+// gap and no duplicate, as long as the log still retains the position.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"txkv/internal/kv"
+	"txkv/internal/watch"
+)
+
+// Watch errors, re-exported from the watch package so callers match them at
+// this layer (and through txkv). Both hold across the wire: remote errors
+// unwrap to the same sentinels.
+var (
+	// ErrWatchLagging reports a watch consumer that trailed the commit
+	// frontier past Config.WatchLagHorizon and was cancelled to release its
+	// log-retention pin. Resume from the last token if it is still retained.
+	ErrWatchLagging = watch.ErrLagging
+	// ErrWatchHorizonPassed reports a watch start or resume position the log
+	// has already truncated past: the intervening events are gone, so
+	// resuming would silently skip them. Re-seed from a snapshot (View scan)
+	// and watch from its timestamp instead.
+	ErrWatchHorizonPassed = watch.ErrHorizonPassed
+	// ErrWatchClosed reports a watch against a stopping cluster or a closed
+	// stream.
+	ErrWatchClosed = watch.ErrClosed
+
+	// ErrBadWatchToken reports a WatchResume token that is not one of ours.
+	ErrBadWatchToken = errors.New("cluster: malformed watch resume token")
+)
+
+// ChangeEvent is one committed cell mutation delivered by a WatchStream.
+type ChangeEvent = watch.ChangeEvent
+
+// ChangeBatch is one commit's matching events plus the stream's resume
+// position after it (an empty Events slice is a progress marker).
+type ChangeBatch = watch.ChangeBatch
+
+// watchFeed is the mode-specific stream under a WatchStream: a local
+// *watch.Stream or a remote *rpc.RemoteWatch — same contract either way.
+type watchFeed interface {
+	NextBatch(ctx context.Context) (watch.ChangeBatch, error)
+	Close()
+}
+
+// WatchStream is an open change stream. Pull with Next (one event at a time)
+// or NextBatch (one commit at a time) from a single goroutine; Close releases
+// the server-side stream and its log-retention pin.
+//
+// Ordering: events arrive in commit-timestamp order, exactly the writes
+// committed in the watched range, with no gaps or duplicates — including
+// across the historical-to-live handoff and across overflow fallbacks when
+// the consumer is slow.
+type WatchStream struct {
+	table string
+	rng   kv.KeyRange
+	feed  watchFeed
+
+	buf      []watch.ChangeEvent // undelivered events of the current batch
+	batchPos kv.Timestamp        // position once buf fully drains
+
+	mu     sync.Mutex
+	pos    kv.Timestamp // every commit <= pos delivered or out of range
+	closed bool
+}
+
+// Watch opens a stream of committed changes to table rows in rng (a zero
+// range means the whole table) with commit timestamps strictly after from.
+// Use from == 0 for "everything the log retains", or a snapshot timestamp to
+// receive exactly the commits after that snapshot (the cache-invalidation
+// pattern: scan a View, then watch from its StartTS).
+//
+// The stream replays retained history first, then follows the live commit
+// feed; the handoff is seamless. A consumer that stops pulling never blocks
+// commits — the stream falls back to reading the log, and past
+// Config.WatchLagHorizon it is cancelled with ErrWatchLagging.
+func (cl *Client) Watch(ctx context.Context, table string, rng kv.KeyRange, from kv.Timestamp) (*WatchStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, opErr("watch", table, rng.Start, err)
+	}
+	cl.mu.Lock()
+	closed := cl.closed
+	cl.mu.Unlock()
+	if closed {
+		return nil, opErr("watch", table, rng.Start, ErrClientClosed)
+	}
+
+	var (
+		feed watchFeed
+		err  error
+	)
+	if cl.remote != nil {
+		feed, err = cl.remote.openWatch(table, rng, from, cl.id)
+	} else {
+		feed, err = cl.cluster.hub.Watch(watch.Filter{Table: table, Range: rng}, from, cl.id)
+	}
+	if err != nil {
+		return nil, opErr("watch", table, rng.Start, err)
+	}
+	return &WatchStream{table: table, rng: rng, feed: feed, pos: from, batchPos: from}, nil
+}
+
+// WatchResume reopens a change stream from a token captured with
+// WatchStream.Token — in this process or another, against the same cluster.
+// The resumed stream delivers exactly the committed writes after the token's
+// position, or fails with ErrWatchHorizonPassed if the log has truncated past
+// it.
+func (cl *Client) WatchResume(ctx context.Context, token string) (*WatchStream, error) {
+	table, rng, pos, err := decodeWatchToken(token)
+	if err != nil {
+		return nil, opErr("watch", "", "", err)
+	}
+	return cl.Watch(ctx, table, rng, pos)
+}
+
+// Table returns the watched table.
+func (w *WatchStream) Table() string { return w.table }
+
+// Range returns the watched key range.
+func (w *WatchStream) Range() kv.KeyRange { return w.rng }
+
+// Next returns the next change event, blocking until one is committed in the
+// watched range, ctx is done, or the stream terminates. Progress-only batches
+// are consumed internally (they still advance Pos and Token).
+func (w *WatchStream) Next(ctx context.Context) (watch.ChangeEvent, error) {
+	for {
+		if len(w.buf) > 0 {
+			e := w.buf[0]
+			w.buf = w.buf[1:]
+			if len(w.buf) == 0 {
+				w.setPos(w.batchPos)
+			}
+			return e, nil
+		}
+		b, err := w.feed.NextBatch(ctx)
+		if err != nil {
+			return watch.ChangeEvent{}, w.wrapErr(err)
+		}
+		if len(b.Events) == 0 {
+			w.setPos(b.Pos)
+			continue
+		}
+		w.buf, w.batchPos = b.Events, b.Pos
+	}
+}
+
+// NextBatch returns the next commit's events (or a progress-only marker with
+// an advanced Pos). Mixing Next and NextBatch on one stream is allowed; a
+// batch is never split across the two.
+func (w *WatchStream) NextBatch(ctx context.Context) (watch.ChangeBatch, error) {
+	if len(w.buf) > 0 {
+		// A partially Next()-consumed batch: hand out its remainder so no
+		// event is lost or duplicated when the caller switches granularity.
+		b := watch.ChangeBatch{Events: w.buf, CommitTS: w.buf[0].CommitTS, Pos: w.batchPos}
+		w.buf = nil
+		w.setPos(w.batchPos)
+		return b, nil
+	}
+	b, err := w.feed.NextBatch(ctx)
+	if err != nil {
+		return watch.ChangeBatch{}, w.wrapErr(err)
+	}
+	w.setPos(b.Pos)
+	return b, nil
+}
+
+func (w *WatchStream) setPos(p kv.Timestamp) {
+	w.mu.Lock()
+	if p > w.pos {
+		w.pos = p
+	}
+	w.mu.Unlock()
+}
+
+func (w *WatchStream) wrapErr(err error) error {
+	return opErr("watch", w.table, w.rng.Start, err)
+}
+
+// Pos returns the stream's resume position: every commit at or below it has
+// been delivered (through Next/NextBatch) or did not match the filter.
+func (w *WatchStream) Pos() kv.Timestamp {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pos
+}
+
+// Token returns an opaque resume token for the stream's current position,
+// accepted by Client.WatchResume. Tokens are stable strings, safe to persist
+// and to hand to another process.
+func (w *WatchStream) Token() string {
+	return encodeWatchToken(w.table, w.rng, w.Pos())
+}
+
+// Close ends the stream and releases the server-side subscription and its
+// log-retention pin. Idempotent; a blocked Next returns ErrWatchClosed.
+func (w *WatchStream) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.feed.Close()
+}
+
+// Watch resume tokens: url-safe base64 over a small versioned binary record.
+// Opaque to callers; the format may evolve behind the version byte.
+const watchTokenVersion = 1
+
+func encodeWatchToken(table string, rng kv.KeyRange, pos kv.Timestamp) string {
+	b := []byte{watchTokenVersion}
+	b = binary.AppendUvarint(b, uint64(pos))
+	for _, s := range []string{table, string(rng.Start), string(rng.End)} {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeWatchToken(token string) (table string, rng kv.KeyRange, pos kv.Timestamp, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil || len(raw) == 0 || raw[0] != watchTokenVersion {
+		return "", kv.KeyRange{}, 0, fmt.Errorf("%w: %q", ErrBadWatchToken, token)
+	}
+	raw = raw[1:]
+	p, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return "", kv.KeyRange{}, 0, fmt.Errorf("%w: %q", ErrBadWatchToken, token)
+	}
+	raw = raw[n:]
+	var parts [3]string
+	for i := range parts {
+		l, n := binary.Uvarint(raw)
+		if n <= 0 || uint64(len(raw)-n) < l {
+			return "", kv.KeyRange{}, 0, fmt.Errorf("%w: %q", ErrBadWatchToken, token)
+		}
+		parts[i] = string(raw[n : n+int(l)])
+		raw = raw[n+int(l):]
+	}
+	if len(raw) != 0 {
+		return "", kv.KeyRange{}, 0, fmt.Errorf("%w: %q", ErrBadWatchToken, token)
+	}
+	return parts[0], kv.KeyRange{Start: kv.Key(parts[1]), End: kv.Key(parts[2])}, kv.Timestamp(p), nil
+}

@@ -1,0 +1,711 @@
+package cluster
+
+// Cluster-level tests of the change-stream surface: Client.Watch end to end
+// over a real cluster, retention pinning, lag cancellation, resume tokens
+// (same process, across Reopen, and over the wire), and the exactly-once
+// ordering property under concurrent commits, splits, and WAL rolls.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/watch"
+)
+
+// watchKey formats the property test's row keys ("k00".."k59").
+func watchKey(i int) kv.Key { return kv.Key(fmt.Sprintf("k%02d", i)) }
+
+// commitOne runs one single-cell Update and returns its commit timestamp.
+func commitOne(t *testing.T, cl *Client, table string, row kv.Key, col, val string) kv.Timestamp {
+	t.Helper()
+	cts, err := cl.Update(bgctx, func(txn *Txn) error {
+		return txn.Put(bgctx, table, row, col, []byte(val))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cts
+}
+
+func TestWatchDeliversCommittedWrites(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("watcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// History before the watch opens, live traffic after: the stream must
+	// deliver both sides of the seam in commit order.
+	var history []kv.Timestamp
+	for i := 0; i < 5; i++ {
+		history = append(history, commitOne(t, cl, "t", watchKey(i), "f", fmt.Sprintf("h%d", i)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := cl.Watch(ctx, "t", kv.KeyRange{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	var live []kv.Timestamp
+	for i := 5; i < 10; i++ {
+		live = append(live, commitOne(t, cl, "t", watchKey(i), "f", fmt.Sprintf("l%d", i)))
+	}
+	// One delete at the end: tombstones must arrive as Delete events.
+	delCts, err := cl.Update(bgctx, func(txn *Txn) error {
+		return txn.Delete(bgctx, "t", watchKey(0), "f")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := append(append(append([]kv.Timestamp{}, history...), live...), delCts)
+	var got []watch.ChangeEvent
+	for len(got) < len(want) {
+		ev, err := ws.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next after %d events: %v", len(got), err)
+		}
+		got = append(got, ev)
+	}
+	for i, ev := range got {
+		if ev.CommitTS != want[i] {
+			t.Fatalf("event %d at ts %d, want %d (gap or duplicate)", i, ev.CommitTS, want[i])
+		}
+		if ev.Table != "t" || ev.Column != "f" {
+			t.Fatalf("event %d coordinates: %+v", i, ev)
+		}
+	}
+	if last := got[len(got)-1]; !last.Delete || last.Key != watchKey(0) {
+		t.Fatalf("tombstone event: %+v", last)
+	}
+	if ws.Pos() < delCts {
+		t.Fatalf("stream pos %d behind last delivered commit %d", ws.Pos(), delCts)
+	}
+}
+
+// A paused watcher's retention pin must hold log truncation at its position,
+// and a resume below the truncation watermark must fail loudly instead of
+// silently skipping events.
+func TestWatchRetentionPinAndHorizon(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.DisableRecovery = true // manual truncation only: no RM racing it
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("watcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last kv.Timestamp
+	for i := 0; i < 20; i++ {
+		last = commitOne(t, cl, "t", watchKey(i), "f", "v")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := cl.Watch(ctx, "t", kv.KeyRange{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paused watcher (never pulled a batch): truncation must clamp to its
+	// position, keeping the whole range readable.
+	c.Log().Truncate(last)
+	if tb := c.Log().TruncatedBelow(); tb != 0 {
+		t.Fatalf("truncation passed a pinned watcher: watermark %d", tb)
+	}
+
+	// The watcher loses nothing: all 20 events arrive in order.
+	var n int
+	var prev kv.Timestamp
+	for n < 20 {
+		ev, err := ws.Next(ctx)
+		if err != nil {
+			t.Fatalf("paused watcher resumed reading: %v after %d events", err, n)
+		}
+		if ev.CommitTS <= prev {
+			t.Fatalf("out of order: %d after %d", ev.CommitTS, prev)
+		}
+		prev = ev.CommitTS
+		n++
+	}
+	ws.Close()
+
+	// Pin released: truncation proceeds, and a stale resume now fails.
+	c.Log().Truncate(last)
+	if tb := c.Log().TruncatedBelow(); tb != last {
+		t.Fatalf("truncation still clamped after close: watermark %d, want %d", tb, last)
+	}
+	_, err = cl.Watch(ctx, "t", kv.KeyRange{}, last/2)
+	if !errors.Is(err, ErrWatchHorizonPassed) {
+		t.Fatalf("stale resume: %v, want ErrWatchHorizonPassed", err)
+	}
+	// Resuming exactly at the watermark is fine: nothing below it is needed.
+	ws2, err := cl.Watch(ctx, "t", kv.KeyRange{}, last)
+	if err != nil {
+		t.Fatalf("resume at watermark: %v", err)
+	}
+	ws2.Close()
+}
+
+// A consumer that stops pulling while commits flow past WatchLagHorizon is
+// cancelled with ErrWatchLagging — and the commit path never waited on it.
+func TestWatchLagHorizonCancelsSlowConsumer(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.WatchBuffer = 2
+	cfg.WatchLagHorizon = 8
+	c := newCluster(t, cfg)
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laggard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := cl.Watch(ctx, "t", kv.KeyRange{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	// Pull one event so the stream is registered and live before the flood.
+	commitOne(t, cl, "t", watchKey(0), "f", "v")
+	if _, err := ws.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit far past the horizon without pulling. Commits must keep
+	// succeeding promptly (the watcher never blocks them).
+	for i := 1; i <= 64; i++ {
+		commitOne(t, cl, "t", watchKey(i%50), "f", "v")
+	}
+	for {
+		_, err := ws.Next(ctx)
+		if err == nil {
+			continue // events buffered before the cancel drain first
+		}
+		if !errors.Is(err, ErrWatchLagging) {
+			t.Fatalf("Next: %v, want ErrWatchLagging", err)
+		}
+		break
+	}
+	if got := c.WatchHub().Stats().LagCancels; got != 1 {
+		t.Fatalf("LagCancels = %d, want 1", got)
+	}
+}
+
+// Resume tokens round-trip within a process: close a stream mid-feed, resume
+// from its token, and the two halves concatenate with no gap or duplicate.
+func TestWatchResumeTokenRoundTrip(t *testing.T) {
+	c := newCluster(t, fastConfig(1))
+	if err := c.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("resumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := kv.KeyRange{Start: "k10", End: "k40"}
+	var want []kv.Timestamp
+	for i := 0; i < 50; i++ {
+		cts := commitOne(t, cl, "t", watchKey(i), "f", fmt.Sprintf("v%d", i))
+		if rng.Contains(watchKey(i)) {
+			want = append(want, cts)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := cl.Watch(ctx, "t", rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []kv.Timestamp
+	for len(got) < 10 {
+		ev, err := ws.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev.CommitTS)
+	}
+	token := ws.Token()
+	ws.Close()
+
+	ws2, err := cl.WatchResume(ctx, token)
+	if err != nil {
+		t.Fatalf("WatchResume: %v", err)
+	}
+	defer ws2.Close()
+	if ws2.Table() != "t" || ws2.Range() != rng {
+		t.Fatalf("token dropped the filter: table %q range %+v", ws2.Table(), ws2.Range())
+	}
+	for len(got) < len(want) {
+		ev, err := ws2.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev.CommitTS)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at ts %d, want %d (seam gap or duplicate)", i, got[i], want[i])
+		}
+	}
+
+	if _, err := cl.WatchResume(ctx, "not-a-token!"); !errors.Is(err, ErrBadWatchToken) {
+		t.Fatalf("garbage token: %v, want ErrBadWatchToken", err)
+	}
+}
+
+// Resume tokens survive a full cluster restart: a caught-up watcher's token
+// reopens cleanly against the reopened cluster; a token from before the
+// reopen checkpoint fails with ErrWatchHorizonPassed instead of silently
+// skipping the truncated range.
+func TestWatchResumeAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(diskConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t", nil); err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("w")
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var last kv.Timestamp
+	for i := 0; i < 10; i++ {
+		last = commitOne(t, cl, "t", watchKey(i), "f", fmt.Sprintf("v%d", i))
+	}
+	// A caught-up watcher: consume everything, keep the token.
+	ws, err := cl.Watch(ctx, "t", kv.KeyRange{}, 0)
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	for n := 0; n < 10; n++ {
+		if _, err := ws.Next(ctx); err != nil {
+			c.Stop()
+			t.Fatal(err)
+		}
+	}
+	caughtUp := ws.Token()
+	ws.Close()
+	// A behind watcher: its position predates the reopen checkpoint.
+	behind := encodeWatchToken("t", kv.KeyRange{}, last/2)
+	c.Stop()
+
+	c2, err := Reopen(diskConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Stop()
+	cl2, err := c2.NewClient("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen checkpoints the log (everything replayed is flushed), so the
+	// behind token's range is gone — and the API says so.
+	if _, err := cl2.WatchResume(ctx, behind); !errors.Is(err, ErrWatchHorizonPassed) {
+		t.Fatalf("behind token after reopen: %v, want ErrWatchHorizonPassed", err)
+	}
+	// The caught-up token resumes cleanly and sees exactly the new commits.
+	ws2, err := cl2.WatchResume(ctx, caughtUp)
+	if err != nil {
+		t.Fatalf("caught-up token after reopen: %v", err)
+	}
+	defer ws2.Close()
+	next := commitOne(t, cl2, "t", "k99", "f", "after-reopen")
+	ev, err := ws2.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.CommitTS != next || ev.Key != kv.Key("k99") {
+		t.Fatalf("resumed event %+v, want k99 @ %d", ev, next)
+	}
+}
+
+// The remote client surface is identical: a watcher over txkv.Connect's wire
+// path sees the same ordered, exactly-once feed, and tokens resume across
+// connections.
+func TestWatchRemoteParity(t *testing.T) {
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable("t", []kv.Key{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.ServeRPC("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := ConnectRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	rcl, err := remote.NewClient("remote-watcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcl, err := c.NewClient("local-writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []kv.Timestamp
+	for i := 0; i < 5; i++ {
+		want = append(want, commitOne(t, lcl, "t", watchKey(i), "f", fmt.Sprintf("v%d", i)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := rcl.Watch(ctx, "t", kv.KeyRange{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 10; i++ {
+		want = append(want, commitOne(t, lcl, "t", watchKey(i), "f", fmt.Sprintf("v%d", i)))
+	}
+
+	var got []kv.Timestamp
+	for len(got) < 7 {
+		ev, err := ws.Next(ctx)
+		if err != nil {
+			t.Fatalf("remote Next: %v", err)
+		}
+		got = append(got, ev.CommitTS)
+	}
+	token := ws.Token()
+	ws.Close()
+
+	// Resume over a fresh stream (same wire, new server-side subscription).
+	ws2, err := rcl.WatchResume(ctx, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2.Close()
+	for len(got) < len(want) {
+		ev, err := ws2.Next(ctx)
+		if err != nil {
+			t.Fatalf("remote resumed Next: %v", err)
+		}
+		got = append(got, ev.CommitTS)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("remote event %d at ts %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// The server counts remote watchers like local ones.
+	if opened := c.WatchHub().Stats().Opened; opened < 2 {
+		t.Fatalf("hub opened %d streams, want >= 2", opened)
+	}
+}
+
+// recordedCommit is one committed write-set as the property test's writers
+// saw it: the ground truth the watchers are reconciled against.
+type recordedCommit struct {
+	cts kv.Timestamp
+	ups []kv.Update
+}
+
+// TestWatchConcurrentExactlyOnce is the ordering property test: N watchers
+// over random key ranges, opened before and during a storm of concurrent
+// writers, region splits, compactions, and WAL rolls, must each observe
+// exactly the committed writes inside their range, in commit-timestamp
+// order, with no gaps and no duplicates — and the final state derived from
+// their event streams must match a View scan of the cluster.
+func TestWatchConcurrentExactlyOnce(t *testing.T) {
+	const (
+		writers   = 3
+		txnsEach  = 40
+		keySpace  = 60
+		sentinel  = "k20" // inside every watched range below
+		tableName = "t"
+	)
+	ranges := []kv.KeyRange{
+		{},                              // whole table
+		{Start: "k15"},                  // open end
+		{Start: "k15", End: "k45"},      // interior
+		{Start: kv.Key(""), End: "k30"}, // open start
+	}
+
+	c := newCluster(t, fastConfig(2))
+	if err := c.CreateTable(tableName, []kv.Key{"k30"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		recMu    sync.Mutex
+		recorded []recordedCommit
+	)
+	record := func(cts kv.Timestamp, ups []kv.Update) {
+		recMu.Lock()
+		recorded = append(recorded, recordedCommit{cts: cts, ups: ups})
+		recMu.Unlock()
+	}
+
+	// Watchers: half open on the empty log, half while the storm runs.
+	type watcherState struct {
+		rng    kv.KeyRange
+		events []watch.ChangeEvent
+		err    error
+	}
+	states := make([]*watcherState, len(ranges))
+	var watcherWG sync.WaitGroup
+	startWatcher := func(i int) {
+		cl, err := c.NewClient(fmt.Sprintf("watcher-%d", i))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ws, err := cl.Watch(ctx, tableName, ranges[i], 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st := &watcherState{rng: ranges[i]}
+		states[i] = st
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			defer ws.Close()
+			for {
+				ev, err := ws.Next(ctx)
+				if err != nil {
+					st.err = err
+					return
+				}
+				st.events = append(st.events, ev)
+				if ev.Column == "sentinel" {
+					return
+				}
+			}
+		}()
+	}
+	startWatcher(0)
+	startWatcher(1)
+
+	// Churn: splits, compactions, WAL rolls racing the commit stream.
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stopChurn:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			switch rng.Intn(3) {
+			case 0:
+				if regions, err := c.master.TableRegions(tableName); err == nil && len(regions) < 8 {
+					ri := regions[rng.Intn(len(regions))]
+					mid := watchKey(rng.Intn(keySpace))
+					if ri.Range.Contains(mid) && mid != ri.Range.Start {
+						_ = c.master.SplitRegion(ri.ID, mid)
+					}
+				}
+			case 1:
+				_ = c.RollWALs()
+			case 2:
+				for _, id := range c.ServerIDs() {
+					if srv, ok := c.Server(id); ok && !srv.Crashed() {
+						_ = srv.CompactAll()
+					}
+				}
+			}
+		}
+	}()
+
+	// Writers: random multi-key transactions, some deletes, all recorded.
+	var writerWG sync.WaitGroup
+	midStarted := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			cl, err := c.NewClient(fmt.Sprintf("writer-%d", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for j := 0; j < txnsEach; j++ {
+				if w == 0 && j == txnsEach/2 {
+					close(midStarted)
+				}
+				// Distinct keys per txn (dedup inside a txn would make the
+				// recorded update order diverge from the committed one).
+				n := 1 + rng.Intn(3)
+				keys := map[kv.Key]bool{}
+				var ups []kv.Update
+				for len(ups) < n {
+					k := watchKey(rng.Intn(keySpace))
+					if keys[k] {
+						continue
+					}
+					keys[k] = true
+					u := kv.Update{Table: tableName, Row: k, Column: "f"}
+					if rng.Intn(8) == 0 {
+						u.Tombstone = true
+					} else {
+						u.Value = []byte(fmt.Sprintf("w%d-j%d-%s", w, j, k))
+					}
+					ups = append(ups, u)
+				}
+				cts, err := cl.Update(ctx, func(txn *Txn) error {
+					for _, u := range ups {
+						if u.Tombstone {
+							if err := txn.Delete(ctx, u.Table, u.Row, u.Column); err != nil {
+								return err
+							}
+						} else if err := txn.Put(ctx, u.Table, u.Row, u.Column, u.Value); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("writer %d txn %d: %v", w, j, err)
+					return
+				}
+				record(cts, ups)
+				// Pace the storm so the churn goroutine's splits and WAL
+				// rolls genuinely interleave with the commit stream.
+				time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Late watchers join mid-storm, from position 0: they replay history
+	// while commits race, crossing the catch-up/live seam under load.
+	<-midStarted
+	startWatcher(2)
+	startWatcher(3)
+
+	writerWG.Wait()
+	close(stopChurn)
+	churnWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Sentinel commit: inside every range, so each watcher knows when the
+	// feed is complete.
+	scl, err := c.NewClient("sentinel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentCts, err := scl.Update(ctx, func(txn *Txn) error {
+		return txn.Put(ctx, tableName, sentinel, "sentinel", []byte("done"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(sentCts, []kv.Update{{Table: tableName, Row: sentinel, Column: "sentinel", Value: []byte("done")}})
+	watcherWG.Wait()
+
+	// Ground truth: the recorded commits in timestamp order.
+	recMu.Lock()
+	byTS := append([]recordedCommit(nil), recorded...)
+	recMu.Unlock()
+	for i := 1; i < len(byTS); i++ {
+		for j := i; j > 0 && byTS[j].cts < byTS[j-1].cts; j-- {
+			byTS[j], byTS[j-1] = byTS[j-1], byTS[j]
+		}
+	}
+
+	for i, st := range states {
+		if st == nil {
+			t.Fatalf("watcher %d never started", i)
+		}
+		if st.err != nil {
+			t.Fatalf("watcher %d terminated: %v", i, st.err)
+		}
+		// Expected: every recorded update in this watcher's range, in
+		// commit order, updates in write-set order within a commit.
+		var want []watch.ChangeEvent
+		for _, rc := range byTS {
+			for _, u := range rc.ups {
+				if st.rng.Contains(u.Row) {
+					want = append(want, watch.ChangeEvent{
+						Table: u.Table, Key: u.Row, Column: u.Column,
+						Value: u.Value, Delete: u.Tombstone, CommitTS: rc.cts,
+					})
+				}
+			}
+		}
+		if len(st.events) != len(want) {
+			t.Fatalf("watcher %d (range %+v): %d events, want %d", i, st.rng, len(st.events), len(want))
+		}
+		for j, ev := range st.events {
+			w := want[j]
+			if ev.CommitTS != w.CommitTS || ev.Key != w.Key || ev.Column != w.Column ||
+				ev.Delete != w.Delete || string(ev.Value) != string(w.Value) {
+				t.Fatalf("watcher %d event %d:\n got %+v\nwant %+v", i, j, ev, w)
+			}
+		}
+
+		// Reconcile against the store: replaying the event stream yields the
+		// same final state a View scan sees inside the range.
+		final := map[kv.CellKey]string{}
+		for _, ev := range st.events {
+			ck := kv.CellKey{Row: ev.Key, Column: ev.Column}
+			if ev.Delete {
+				delete(final, ck)
+			} else {
+				final[ck] = string(ev.Value)
+			}
+		}
+		if err := c.WaitFlushed(sentCts, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		scanned := map[kv.CellKey]string{}
+		verr := scl.View(ctx, func(txn *Txn) error {
+			sc := txn.Scan(ctx, tableName, st.rng, ScanOptions{})
+			for sc.Next() {
+				e := sc.KV()
+				scanned[kv.CellKey{Row: e.Row, Column: e.Column}] = string(e.Value)
+			}
+			return sc.Err()
+		})
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		if len(scanned) != len(final) {
+			t.Fatalf("watcher %d: stream-derived state has %d cells, scan sees %d", i, len(final), len(scanned))
+		}
+		for ck, v := range final {
+			if scanned[ck] != v {
+				t.Fatalf("watcher %d cell %v: stream says %q, scan says %q", i, ck, v, scanned[ck])
+			}
+		}
+	}
+}

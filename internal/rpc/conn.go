@@ -30,8 +30,11 @@ type Conn struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan Frame
+	streams map[uint64]chan Frame // open streaming exchanges, by request ID
 	closed  bool
 	err     error // first connection-level failure
+
+	deadc chan struct{} // closed when the connection is poisoned
 }
 
 // Dial connects to an rpc server and exchanges the version preamble.
@@ -55,6 +58,8 @@ func Dial(addr string) (*Conn, error) {
 		c:       nc,
 		br:      bufio.NewReaderSize(nc, 64<<10),
 		pending: make(map[uint64]chan Frame),
+		streams: make(map[uint64]chan Frame),
+		deadc:   make(chan struct{}),
 	}
 	go conn.readLoop()
 	return conn, nil
@@ -73,14 +78,31 @@ func (c *Conn) readLoop() {
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[f.ID]
-		if ok {
+		if ch, ok := c.pending[f.ID]; ok {
 			delete(c.pending, f.ID)
+			c.mu.Unlock()
+			ch <- f // buffered; never blocks
+			continue
+		}
+		if ch, ok := c.streams[f.ID]; ok {
+			if f.Kind != KindStream {
+				// Terminal frame (KindResponse / KindError): the stream is
+				// over; nothing further routes to it.
+				delete(c.streams, f.ID)
+			}
+			c.mu.Unlock()
+			select {
+			case ch <- f:
+			default:
+				// The buffer is sized for the credit window plus the
+				// terminal frame; overflow means the server ignored flow
+				// control. Never block the read loop — poison instead.
+				c.fail(fmt.Errorf("stream %d overran its credit window", f.ID))
+				return
+			}
+			continue
 		}
 		c.mu.Unlock()
-		if ok {
-			ch <- f // buffered; never blocks
-		}
 		// Unknown ID: the caller gave up (context cancelled). Drop it.
 	}
 }
@@ -97,6 +119,8 @@ func (c *Conn) fail(cause error) {
 	c.err = transportErr(c.addr, "conn", cause)
 	pending := c.pending
 	c.pending = nil
+	c.streams = nil
+	close(c.deadc) // wakes blocked stream Recvs
 	c.mu.Unlock()
 	c.c.Close()
 	for _, ch := range pending {
@@ -194,3 +218,116 @@ func (c *Conn) forget(id uint64) {
 	}
 	c.mu.Unlock()
 }
+
+// ClientStream is the receive side of one streaming exchange: KindStream
+// frames arrive in order until a terminal KindResponse (clean end) or
+// KindError. Recv from a single goroutine.
+type ClientStream struct {
+	c      *Conn
+	id     uint64
+	frames chan Frame
+}
+
+// Stream opens a streaming exchange: one request whose response is a
+// sequence of KindStream frames. buffer sizes the receive queue and must be
+// at least the credit window the caller grants the server (plus the terminal
+// frame, which Stream accounts for itself) — the read loop never blocks on a
+// stream, it poisons the connection instead. Streams carry no deadline:
+// cancellation is a method-layer concern (WCancel) or a connection close.
+func (c *Conn) Stream(method byte, body []byte) (*ClientStream, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	// Window credits + terminal frame + slack for progress frames granted
+	// in the same window.
+	ch := make(chan Frame, streamRecvBuffer)
+	c.streams[id] = ch
+	c.mu.Unlock()
+
+	wire := binary.BigEndian.AppendUint64(make([]byte, 0, 8+len(body)), 0)
+	wire = append(wire, body...)
+	buf, err := AppendFrame(nil, Frame{Ver: Version, Kind: KindRequest, Method: method, ID: id, Body: wire})
+	if err != nil {
+		c.dropStream(id)
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, werr := c.c.Write(buf)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.dropStream(id)
+		c.fail(werr)
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &ClientStream{c: c, id: id, frames: ch}, nil
+}
+
+// streamRecvBuffer bounds one stream's receive queue. It must cover the
+// largest credit window a client grants (DefaultWatchWindow) plus the
+// terminal frame.
+const streamRecvBuffer = 4 + 2*defaultWatchWindow
+
+// dropStream abandons a stream registration.
+func (c *Conn) dropStream(id uint64) {
+	c.mu.Lock()
+	if c.streams != nil {
+		delete(c.streams, id)
+	}
+	c.mu.Unlock()
+}
+
+// ID returns the stream's request ID — the handle credit and cancel
+// messages reference.
+func (s *ClientStream) ID() uint64 { return s.id }
+
+// Recv returns the next stream element. done reports a clean end of stream
+// (the terminal KindResponse); a terminal KindError decodes to the remote
+// error; a poisoned connection surfaces the transport error.
+func (s *ClientStream) Recv(ctx context.Context) (body []byte, done bool, err error) {
+	for {
+		// Drain delivered frames before checking for death, so elements
+		// that arrived ahead of a failure are not lost.
+		select {
+		case f := <-s.frames:
+			return s.frame(f)
+		default:
+		}
+		select {
+		case f := <-s.frames:
+			return s.frame(f)
+		case <-s.c.deadc:
+			s.c.mu.Lock()
+			err := s.c.err
+			s.c.mu.Unlock()
+			return nil, false, err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+func (s *ClientStream) frame(f Frame) ([]byte, bool, error) {
+	switch f.Kind {
+	case KindStream:
+		return f.Body, false, nil
+	case KindResponse:
+		return f.Body, true, nil
+	case KindError:
+		return nil, false, DecodeError(f.Body)
+	default:
+		return nil, false, fmt.Errorf("%w: stream frame kind %d", ErrBadFrame, f.Kind)
+	}
+}
+
+// Close abandons the stream client-side: later frames for its ID are
+// dropped by the read loop. It does not tell the server — callers cancel at
+// the method layer (WCancel) first when they can.
+func (s *ClientStream) Close() { s.c.dropStream(s.id) }

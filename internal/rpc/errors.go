@@ -8,6 +8,7 @@ import (
 	"txkv/internal/dfs"
 	"txkv/internal/kvstore"
 	"txkv/internal/txmgr"
+	"txkv/internal/watch"
 )
 
 // Structured error mapping. A handler error crosses the wire as a numeric
@@ -53,6 +54,11 @@ const (
 	CodeDFSNoDataNodes ErrorCode = 32
 	CodeDFSDataLoss    ErrorCode = 33
 	CodeDFSClosed      ErrorCode = 34
+
+	// watch.
+	CodeWatchLagging       ErrorCode = 40
+	CodeWatchHorizonPassed ErrorCode = 41
+	CodeWatchClosed        ErrorCode = 42
 )
 
 // ErrCommitIndeterminate is the rpc-level commit-outcome-unknown sentinel.
@@ -86,6 +92,10 @@ var codeSentinels = map[ErrorCode]error{
 	CodeDFSNoDataNodes: dfs.ErrNoDataNodes,
 	CodeDFSDataLoss:    dfs.ErrDataLoss,
 	CodeDFSClosed:      dfs.ErrClosed,
+
+	CodeWatchLagging:       watch.ErrLagging,
+	CodeWatchHorizonPassed: watch.ErrHorizonPassed,
+	CodeWatchClosed:        watch.ErrClosed,
 }
 
 // sentinelCodes is the reverse mapping used when encoding a handler error.
@@ -109,6 +119,9 @@ var sentinelCodes = []struct {
 	{dfs.ErrNoDataNodes, CodeDFSNoDataNodes},
 	{dfs.ErrDataLoss, CodeDFSDataLoss},
 	{dfs.ErrClosed, CodeDFSClosed},
+	{watch.ErrLagging, CodeWatchLagging},
+	{watch.ErrHorizonPassed, CodeWatchHorizonPassed},
+	{watch.ErrClosed, CodeWatchClosed},
 	{context.Canceled, CodeCanceled},
 	{context.DeadlineExceeded, CodeDeadlineExceeded},
 }

@@ -18,6 +18,14 @@ import (
 // with a u64be deadline (unix nanoseconds, 0 = none) so context deadlines
 // propagate to the server. Error-response bodies are `code:uvarint msg:str`.
 //
+// Streaming methods (the watch surface) answer one request with any number
+// of KindStream frames — each echoing the request's method and id, each one
+// element of the stream — terminated by exactly one KindResponse (clean end)
+// or KindError frame for the same id. Stream frames interleave freely with
+// the connection's other traffic; flow control is credit-based at the method
+// layer (WCredit), so a slow stream consumer never stalls the shared
+// connection.
+//
 // A connection starts with a 4-byte preamble from the client, "TK" ver 0x00,
 // answered by the server with its own preamble — the version negotiation
 // (both sides currently speak only Version; a mismatch closes the
@@ -31,6 +39,7 @@ const (
 	KindRequest  byte = 1 // request: body leads with a u64be deadline
 	KindResponse byte = 2 // successful response: body is the method's result
 	KindError    byte = 3 // error response: body is code:uvarint msg:str
+	KindStream   byte = 4 // one pushed element of a streaming response
 )
 
 // MaxFrameBytes bounds one frame's payload (ver through body). Frames
@@ -102,7 +111,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if f.Ver != Version {
 		return Frame{}, fmt.Errorf("%w: frame version %d, speak %d", ErrBadVersion, f.Ver, Version)
 	}
-	if f.Kind != KindRequest && f.Kind != KindResponse && f.Kind != KindError {
+	if f.Kind != KindRequest && f.Kind != KindResponse && f.Kind != KindError && f.Kind != KindStream {
 		return Frame{}, fmt.Errorf("%w: kind %d", ErrBadFrame, f.Kind)
 	}
 	if body := int(n) - frameHeaderBytes; body > 0 {

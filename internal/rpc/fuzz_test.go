@@ -83,6 +83,9 @@ func FuzzMessageDecoders(f *testing.F) {
 		_, _ = decBytesMsg(data)
 		_, _ = decBoolMsg(data)
 		_, _ = decStringsMsg(data)
+		_, _, _, _, _, _ = decWatchReq(data)
+		_, _ = decWatchBatch(data, "t")
+		_, _, _ = decWatchCreditReq(data)
 		_ = DecodeError(data)
 	})
 }

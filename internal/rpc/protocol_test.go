@@ -15,6 +15,7 @@ import (
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
 	"txkv/internal/txmgr"
+	"txkv/internal/watch"
 )
 
 // testedMethods records which method codes the round-trip cases cover;
@@ -236,12 +237,54 @@ func TestProtocolRoundTrips(t *testing.T) {
 		}
 	})
 
+	t.Run("Watch", func(t *testing.T) {
+		covers(WWatch, WCancel)
+		table, rng, from, window, owner, err := decWatchReq(encWatchReq("t", kv.KeyRange{Start: "a", End: "m"}, 42, 64, "app-1"))
+		if err != nil || table != "t" || rng.Start != "a" || rng.End != "m" || from != 42 || window != 64 || owner != "app-1" {
+			t.Fatalf("req: got %q %v %d %d %q, %v", table, rng, from, window, owner, err)
+		}
+		// WCancel carries the shared handle body (covered above too).
+		id, err := decHandleMsg(encHandleMsg(7))
+		if err != nil || id != 7 {
+			t.Fatalf("cancel: got %d, %v", id, err)
+		}
+	})
+
+	t.Run("Watch batch stream frames", func(t *testing.T) {
+		in := watch.ChangeBatch{
+			CommitTS: 99,
+			Pos:      99,
+			Events: []watch.ChangeEvent{
+				{Table: "t", Key: "r1", Column: "c", Value: []byte("v"), CommitTS: 99},
+				{Table: "t", Key: "r2", Column: "c", Delete: true, CommitTS: 99},
+			},
+		}
+		got, err := decWatchBatch(encWatchBatch(in), "t")
+		if err != nil || !reflect.DeepEqual(got, in) {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+		// Progress-only batches: no events, position only.
+		prog, err := decWatchBatch(encWatchBatch(watch.ChangeBatch{Pos: 120}), "t")
+		if err != nil || len(prog.Events) != 0 || prog.Pos != 120 || prog.CommitTS != 0 {
+			t.Fatalf("progress: got %+v, %v", prog, err)
+		}
+	})
+
+	t.Run("WCredit", func(t *testing.T) {
+		covers(WCredit)
+		id, n, err := decWatchCreditReq(encWatchCreditReq(5, 32))
+		if err != nil || id != 5 || n != 32 {
+			t.Fatalf("got %d %d, %v", id, n, err)
+		}
+	})
+
 	t.Run("every method covered", func(t *testing.T) {
 		all := []byte{
 			MLocateAll, MCreateTable, MSplitRegion, MTableRegions, MRegister, MHeartbeat,
 			TBegin, TCommit, TAbort,
 			RGet, RGetBatch, RScanBatch, RApply, ROpenRegion, RMarkOnline, RCloseRegion, RCloseFlush, RSyncWAL,
 			FCreate, FAppend, FSync, FClose, FAbandon, FDelete, FRename, FExists, FList, FSize, FReadAll, FReadRange,
+			WWatch, WCredit, WCancel,
 		}
 		for _, m := range all {
 			if !testedMethods[m] {
@@ -261,6 +304,9 @@ func TestProtocolRoundTrips(t *testing.T) {
 			{txmgr.ErrConflict, txmgr.ErrConflict},
 			{dfs.ErrNotFound, dfs.ErrNotFound},
 			{ErrCommitIndeterminate, ErrCommitIndeterminate},
+			{watch.ErrLagging, watch.ErrLagging},
+			{watch.ErrHorizonPassed, watch.ErrHorizonPassed},
+			{watch.ErrClosed, watch.ErrClosed},
 		} {
 			got := DecodeError(EncodeError(tc.in))
 			if !errors.Is(got, tc.want) {

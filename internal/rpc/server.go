@@ -25,6 +25,44 @@ import (
 // the code CodeFor picks.
 type Handler func(ctx context.Context, sess *Session, body []byte) ([]byte, error)
 
+// StreamHandler serves one streaming method: decode the request, push any
+// number of elements through st.Send, and return. A nil return ends the
+// stream with a clean terminal response; an error crosses as the terminal
+// error frame. The handler's context is cancelled when the connection
+// closes, so long-lived streams never outlive their consumer.
+type StreamHandler func(ctx context.Context, sess *Session, body []byte, st *ServerStream) error
+
+// ServerStream is the send side of one streaming exchange. Send is safe for
+// the single handler goroutine; frames interleave with the connection's
+// other responses under the shared write mutex.
+type ServerStream struct {
+	nc     net.Conn
+	wmu    *sync.Mutex
+	method byte
+	id     uint64
+}
+
+// ID returns the stream's request ID — the handle the client's credit and
+// cancel messages carry.
+func (st *ServerStream) ID() uint64 { return st.id }
+
+// Send pushes one stream element. A write failure closes the connection and
+// is returned so the handler stops.
+func (st *ServerStream) Send(body []byte) error {
+	buf, err := AppendFrame(make([]byte, 0, 4+frameHeaderBytes+len(body)),
+		Frame{Ver: Version, Kind: KindStream, Method: st.method, ID: st.id, Body: body})
+	if err != nil {
+		return err
+	}
+	st.wmu.Lock()
+	_, werr := st.nc.Write(buf)
+	st.wmu.Unlock()
+	if werr != nil {
+		st.nc.Close()
+	}
+	return werr
+}
+
 // Session is one connection's server-side state. Services store their
 // per-connection resources under private keys and register cleanups that
 // run when the connection closes — an abandoned connection must not leak
@@ -90,8 +128,9 @@ func (s *Session) close() {
 
 // Server is an rpc listener: register handlers, then Serve a listener.
 type Server struct {
-	reg      *obs.Registry // optional; nil disables metrics
-	handlers [256]Handler
+	reg            *obs.Registry // optional; nil disables metrics
+	handlers       [256]Handler
+	streamHandlers [256]StreamHandler
 
 	sessSeq atomic.Uint64
 
@@ -112,6 +151,10 @@ func NewServer(reg *obs.Registry) *Server {
 // Handle registers the handler for one method code. Registration must
 // finish before Serve; handlers are not synchronized.
 func (s *Server) Handle(method byte, h Handler) { s.handlers[method] = h }
+
+// HandleStream registers the streaming handler for one method code. A
+// method is either unary or streaming, never both.
+func (s *Server) HandleStream(method byte, h StreamHandler) { s.streamHandlers[method] = h }
 
 // Serve accepts connections on ln until the server closes. It returns the
 // accept error that ended the loop (nil after Close).
@@ -202,6 +245,10 @@ func (s *Server) serveConn(nc net.Conn) {
 
 	br := bufio.NewReaderSize(nc, 64<<10)
 	var wmu sync.Mutex
+	// Connection-scoped context: cancelling it on teardown stops the
+	// connection's long-lived stream handlers.
+	connCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	for {
 		f, err := ReadFrame(br)
 		if err != nil {
@@ -213,13 +260,55 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.wg.Add(1)
 		go func(f Frame) {
 			defer s.wg.Done()
-			s.dispatch(nc, &wmu, sess, f)
+			if s.streamHandlers[f.Method] != nil {
+				s.dispatchStream(connCtx, nc, &wmu, sess, f)
+				return
+			}
+			s.dispatch(connCtx, nc, &wmu, sess, f)
 		}(f)
 	}
 }
 
+// dispatchStream runs one streaming request's handler, then writes its
+// terminal frame.
+func (s *Server) dispatchStream(connCtx context.Context, nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) {
+	if s.reg != nil {
+		s.reg.Counter("rpc.server.requests").Add(1)
+		s.reg.Counter("rpc.server.req." + methodName(f.Method)).Add(1)
+		s.reg.Gauge("rpc.server.streams").Add(1)
+		defer s.reg.Gauge("rpc.server.streams").Add(-1)
+	}
+
+	var err error
+	if len(f.Body) < 8 {
+		err = fmt.Errorf("rpc: %s: missing deadline prefix", methodName(f.Method))
+	} else {
+		// Streaming requests ignore the (always-zero) deadline prefix:
+		// their lifetime is the connection's, bounded by method-layer
+		// cancellation.
+		st := &ServerStream{nc: nc, wmu: wmu, method: f.Method, id: f.ID}
+		err = s.streamHandlers[f.Method](connCtx, sess, f.Body[8:], st)
+	}
+	if err != nil && s.reg != nil {
+		s.reg.Counter("rpc.server.errors").Add(1)
+	}
+
+	out := Frame{Ver: Version, ID: f.ID, Method: f.Method, Kind: KindResponse}
+	if err != nil {
+		out.Kind = KindError
+		out.Body = EncodeError(err)
+	}
+	buf, _ := AppendFrame(make([]byte, 0, 4+frameHeaderBytes+len(out.Body)), out)
+	wmu.Lock()
+	_, werr := nc.Write(buf)
+	wmu.Unlock()
+	if werr != nil {
+		nc.Close()
+	}
+}
+
 // dispatch runs one request's handler and writes its response frame.
-func (s *Server) dispatch(nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) {
+func (s *Server) dispatch(connCtx context.Context, nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) {
 	var start time.Time
 	if s.reg != nil {
 		s.reg.Counter("rpc.server.requests").Add(1)
@@ -227,7 +316,7 @@ func (s *Server) dispatch(nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) 
 		start = time.Now()
 	}
 
-	resp, err := s.handle(sess, f)
+	resp, err := s.handle(connCtx, sess, f)
 
 	if s.reg != nil {
 		s.reg.Histogram("rpc.server.latency").Record(time.Since(start))
@@ -259,7 +348,7 @@ func (s *Server) dispatch(nc net.Conn, wmu *sync.Mutex, sess *Session, f Frame) 
 }
 
 // handle decodes the deadline prefix and runs the method handler.
-func (s *Server) handle(sess *Session, f Frame) ([]byte, error) {
+func (s *Server) handle(connCtx context.Context, sess *Session, f Frame) ([]byte, error) {
 	if len(f.Body) < 8 {
 		return nil, fmt.Errorf("rpc: %s: missing deadline prefix", methodName(f.Method))
 	}
@@ -271,7 +360,7 @@ func (s *Server) handle(sess *Session, f Frame) ([]byte, error) {
 		return nil, &RemoteError{Code: CodeUnknownMethod, Msg: fmt.Sprintf("unknown method %s", methodName(f.Method))}
 	}
 
-	ctx := context.Background()
+	ctx := connCtx
 	if deadline != 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, int64(deadline)))

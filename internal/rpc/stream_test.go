@@ -1,0 +1,238 @@
+package rpc
+
+// End-to-end tests of the streaming surface: a real txlog + watch hub served
+// over a real socket through RegisterWatchService, consumed with WatchClient.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/txlog"
+	"txkv/internal/watch"
+)
+
+// startWatchServer serves a watch hub over TCP and returns its address plus
+// the log feeding it.
+func startWatchServer(t *testing.T, hubCfg watch.Config) (string, *txlog.Log, *watch.Hub) {
+	t.Helper()
+	l := txlog.New(txlog.Config{})
+	h := watch.NewHub(l, hubCfg)
+	l.SetCommitSink(h.Publish)
+	t.Cleanup(func() { h.Close(); l.Close() })
+
+	s := NewServer(nil)
+	RegisterWatchService(s, func(table string, rng kv.KeyRange, from kv.Timestamp, owner string) (*watch.Stream, error) {
+		return h.Watch(watch.Filter{Table: table, Range: rng}, from, owner)
+	})
+	return startTestServer(t, s), l, h
+}
+
+func appendWS(t *testing.T, l *txlog.Log, ts kv.Timestamp, table string, row kv.Key) {
+	t.Helper()
+	err := l.Append(kv.WriteSet{
+		TxnID: uint64(ts), ClientID: "c", CommitTS: ts,
+		Updates: []kv.Update{{Table: table, Row: row, Column: "v", Value: []byte("x")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteWatchStreamsOrderedEvents(t *testing.T) {
+	addr, l, _ := startWatchServer(t, watch.Config{})
+
+	// History, then live, crossing the credit-replenish threshold: more
+	// batches than the default window so WCredit must flow.
+	const total = 3 * defaultWatchWindow
+	for i := 1; i <= total/2; i++ {
+		appendWS(t, l, kv.Timestamp(i), "t", "a")
+	}
+
+	pool := NewPool(nil)
+	t.Cleanup(pool.Close)
+	wc := NewWatchClient(pool, addr)
+	rw, err := wc.Watch("t", kv.KeyRange{}, 0, "remote-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+
+	go func() {
+		for i := total/2 + 1; i <= total; i++ {
+			appendWS(t, l, kv.Timestamp(i), "t", "z")
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var next kv.Timestamp = 1
+	for next <= total {
+		b, err := rw.NextBatch(ctx)
+		if err != nil {
+			t.Fatalf("NextBatch at ts %d: %v", next, err)
+		}
+		for _, e := range b.Events {
+			if e.CommitTS != next {
+				t.Fatalf("event ts %d, want %d: gap or duplicate over the wire", e.CommitTS, next)
+			}
+			if e.Table != "t" || e.Column != "v" || string(e.Value) != "x" {
+				t.Fatalf("event payload: %+v", e)
+			}
+			next++
+		}
+	}
+}
+
+func TestRemoteWatchFilterAndResume(t *testing.T) {
+	addr, l, _ := startWatchServer(t, watch.Config{})
+	for i := 1; i <= 10; i++ {
+		row := kv.Key("in")
+		if i%2 == 0 {
+			row = "zz-out"
+		}
+		appendWS(t, l, kv.Timestamp(i), "t", row)
+	}
+
+	pool := NewPool(nil)
+	t.Cleanup(pool.Close)
+	wc := NewWatchClient(pool, addr)
+	rw, err := wc.Watch("t", kv.KeyRange{Start: "a", End: "m"}, 0, "filtered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Odd commits match; consume the first two (ts 1, 3), then resume.
+	var got []kv.Timestamp
+	var pos kv.Timestamp
+	for len(got) < 2 {
+		b, err := rw.NextBatch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range b.Events {
+			got = append(got, e.CommitTS)
+		}
+		pos = b.Pos
+	}
+	rw.Close()
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("filtered events: %v", got)
+	}
+
+	rw2, err := wc.Watch("t", kv.KeyRange{Start: "a", End: "m"}, pos, "resumed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw2.Close()
+	got = got[:0]
+	for len(got) < 3 { // ts 5, 7, 9 remain
+		b, err := rw2.NextBatch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range b.Events {
+			got = append(got, e.CommitTS)
+		}
+	}
+	if got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("resumed events: %v", got)
+	}
+}
+
+func TestRemoteWatchHorizonErrorCrossesWire(t *testing.T) {
+	addr, l, _ := startWatchServer(t, watch.Config{})
+	for i := 1; i <= 10; i++ {
+		appendWS(t, l, kv.Timestamp(i), "t", "a")
+	}
+	l.Truncate(8)
+
+	pool := NewPool(nil)
+	t.Cleanup(pool.Close)
+	wc := NewWatchClient(pool, addr)
+	rw, err := wc.Watch("t", kv.KeyRange{}, 2, "stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = rw.NextBatch(ctx)
+	if !errors.Is(err, watch.ErrHorizonPassed) {
+		t.Fatalf("stale remote resume: %v, want watch.ErrHorizonPassed", err)
+	}
+}
+
+func TestRemoteWatchCancelReleasesServerStream(t *testing.T) {
+	addr, l, h := startWatchServer(t, watch.Config{})
+	appendWS(t, l, 1, "t", "a")
+
+	pool := NewPool(nil)
+	t.Cleanup(pool.Close)
+	wc := NewWatchClient(pool, addr)
+	rw, err := wc.Watch("t", kv.KeyRange{}, 0, "cancelled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := rw.NextBatch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rw.Close()
+
+	// The server-side stream closes (releasing its pin) shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Stats().Watchers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server stream still open after cancel: %+v", h.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A lag-horizon cancellation reaches the remote consumer as ErrLagging.
+func TestRemoteWatchLaggingCrossesWire(t *testing.T) {
+	addr, l, _ := startWatchServer(t, watch.Config{Buffer: 2, LagHorizon: 8})
+
+	pool := NewPool(nil)
+	t.Cleanup(pool.Close)
+	wc := NewWatchClient(pool, addr)
+	rw, err := wc.Watch("t", kv.KeyRange{}, 0, "laggard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+
+	// Consume one batch first: Watch returns once the request frame is
+	// written, so this is what guarantees the server-side subscription
+	// exists before the flood below.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	appendWS(t, l, 1, "t", "a")
+	if _, err := rw.NextBatch(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit far past the horizon without the remote consumer pulling: the
+	// server pushes until the credit window (defaultWatchWindow) is
+	// exhausted, stalls with the stream position frozen, and the hub then
+	// cancels the stream past the horizon.
+	for i := 2; i <= 3*defaultWatchWindow; i++ {
+		appendWS(t, l, kv.Timestamp(i), "t", "a")
+	}
+	for {
+		_, err := rw.NextBatch(ctx)
+		if err == nil {
+			continue // batches pushed before the cancel
+		}
+		if !errors.Is(err, watch.ErrLagging) {
+			t.Fatalf("NextBatch: %v, want watch.ErrLagging", err)
+		}
+		return
+	}
+}

@@ -1,0 +1,221 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/watch"
+)
+
+// The watch surface: the protocol's first streaming methods. WWatch opens a
+// change stream — the server answers with KindStream frames, one encoded
+// ChangeBatch each, until the stream fails or is cancelled. Flow control is
+// credit-based: the request carries an initial window (batches the server
+// may push ahead of consumption) and WCredit replenishes it as the consumer
+// drains, so a slow remote watcher exerts backpressure on its own stream
+// without stalling the shared connection — and the server-side hub's
+// overflow fallback and lag horizon still apply behind it. WCancel ends a
+// stream cleanly from the client side.
+
+// WatchOpener opens server-side watch streams: the cluster hub's Watch,
+// without this package importing cluster.
+type WatchOpener func(table string, rng kv.KeyRange, from kv.Timestamp, owner string) (*watch.Stream, error)
+
+// serverWatch is one live stream's server-side flow-control state, shared
+// between the WWatch handler goroutine and the WCredit/WCancel handlers.
+type serverWatch struct {
+	credits chan int
+	cancel  context.CancelFunc
+}
+
+func watchSessKey(streamID uint64) string { return fmt.Sprintf("watch.%d", streamID) }
+
+// RegisterWatchService wires the watch surface onto s.
+func RegisterWatchService(s *Server, open WatchOpener) {
+	s.HandleStream(WWatch, func(connCtx context.Context, sess *Session, body []byte, st *ServerStream) error {
+		table, rng, from, window, owner, err := decWatchReq(body)
+		if err != nil {
+			return err
+		}
+		if window <= 0 {
+			window = defaultWatchWindow
+		}
+		stream, err := open(table, rng, from, owner)
+		if err != nil {
+			return err
+		}
+		defer stream.Close()
+
+		ctx, cancel := context.WithCancel(connCtx)
+		defer cancel()
+		w := &serverWatch{credits: make(chan int, 64), cancel: cancel}
+		key := watchSessKey(st.ID())
+		sess.SetValue(key, w)
+		defer sess.SetValue(key, nil)
+
+		avail := window
+		for {
+			// Exhausted credits: wait for the consumer to drain and
+			// replenish. The hub keeps buffering (and, past its own
+			// limits, falls back to catch-up or cancels) — the commit
+			// path never feels this wait.
+			for avail <= 0 {
+				select {
+				case n := <-w.credits:
+					avail += n
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			b, err := stream.NextBatch(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err() // cancelled (WCancel / connection close)
+				}
+				return err // ErrLagging / ErrHorizonPassed / ErrClosed cross as the terminal error
+			}
+			if err := st.Send(encWatchBatch(b)); err != nil {
+				return err
+			}
+			avail--
+			// Fold in any credits that arrived while streaming.
+			for {
+				select {
+				case n := <-w.credits:
+					avail += n
+					continue
+				default:
+				}
+				break
+			}
+		}
+	})
+
+	s.Handle(WCredit, func(_ context.Context, sess *Session, body []byte) ([]byte, error) {
+		id, n, err := decWatchCreditReq(body)
+		if err != nil {
+			return nil, err
+		}
+		w, _ := sess.Value(watchSessKey(id)).(*serverWatch)
+		if w == nil {
+			// The stream already terminated (lag cancel, horizon, close)
+			// while this grant was in flight — a benign race, not an error.
+			return nil, nil
+		}
+		select {
+		case w.credits <- n:
+		default:
+			// Credit queue full: the client is granting faster than the
+			// handler folds them in. Drop — credits are cumulative only in
+			// effect, and the next grant after a send will land.
+		}
+		return nil, nil
+	})
+
+	s.Handle(WCancel, func(_ context.Context, sess *Session, body []byte) ([]byte, error) {
+		id, err := decHandleMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		if w, _ := sess.Value(watchSessKey(id)).(*serverWatch); w != nil {
+			w.cancel()
+		}
+		return nil, nil // cancelling an already-finished stream is a no-op
+	})
+}
+
+// WatchClient opens remote change streams against a serving master.
+type WatchClient struct {
+	pool *Pool
+	addr string
+}
+
+// NewWatchClient returns a watch client for the master at addr, sharing the
+// transport's pool (streams ride the same multiplexed connection as the
+// unary traffic).
+func NewWatchClient(pool *Pool, addr string) *WatchClient {
+	return &WatchClient{pool: pool, addr: addr}
+}
+
+// RemoteWatch is a change stream received over the wire. NextBatch mirrors
+// watch.Stream's; the cluster layer wraps both behind one client surface.
+type RemoteWatch struct {
+	conn   *Conn
+	cs     *ClientStream
+	table  string
+	window int
+
+	mu       sync.Mutex
+	consumed int // batches received since the last credit grant
+	closed   bool
+}
+
+// Watch opens a stream of changes to table rows in rng with CommitTS >
+// from. owner labels the stream in the server's /debug/watchers.
+func (w *WatchClient) Watch(table string, rng kv.KeyRange, from kv.Timestamp, owner string) (*RemoteWatch, error) {
+	c, err := w.pool.conn(w.addr)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := c.Stream(WWatch, encWatchReq(table, rng, from, defaultWatchWindow, owner))
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteWatch{conn: c, cs: cs, table: table, window: defaultWatchWindow}, nil
+}
+
+// NextBatch returns the next batch from the stream, granting the server
+// fresh credits as the window half-drains. Terminal remote errors unwrap to
+// the watch sentinels (watch.ErrLagging, watch.ErrHorizonPassed, ...);
+// transport failures wrap kvstore.ErrTransport.
+func (r *RemoteWatch) NextBatch(ctx context.Context) (watch.ChangeBatch, error) {
+	body, done, err := r.cs.Recv(ctx)
+	if err != nil {
+		return watch.ChangeBatch{}, err
+	}
+	if done {
+		// Clean terminal without an error: the server ended the stream
+		// (cancellation crossing paths with us). Surface as closed.
+		return watch.ChangeBatch{}, watch.ErrClosed
+	}
+	b, err := decWatchBatch(body, r.table)
+	if err != nil {
+		return watch.ChangeBatch{}, err
+	}
+
+	r.mu.Lock()
+	r.consumed++
+	grant := 0
+	if r.consumed >= r.window/2 {
+		grant, r.consumed = r.consumed, 0
+	}
+	r.mu.Unlock()
+	if grant > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, cerr := r.conn.Call(ctx, WCredit, encWatchCreditReq(r.cs.ID(), grant))
+		cancel()
+		if cerr != nil {
+			return watch.ChangeBatch{}, cerr
+		}
+	}
+	return b, nil
+}
+
+// Close cancels the stream server-side (best effort) and releases the
+// client-side registration.
+func (r *RemoteWatch) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_, _ = r.conn.Call(ctx, WCancel, encHandleMsg(r.cs.ID()))
+	cancel()
+	r.cs.Close()
+}

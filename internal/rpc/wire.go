@@ -7,6 +7,7 @@ import (
 
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
+	"txkv/internal/watch"
 )
 
 // Method codes and per-method message codecs. Every message body is a flat
@@ -41,6 +42,12 @@ const (
 	RCloseRegion byte = 0x46
 	RCloseFlush  byte = 0x47
 	RSyncWAL     byte = 0x48
+
+	// Watch surface (served by the master process; the protocol's first
+	// streaming methods — WWatch answers with KindStream frames).
+	WWatch  byte = 0x80
+	WCredit byte = 0x81
+	WCancel byte = 0x82
 
 	// DFS surface (served by the master process).
 	FCreate    byte = 0x60
@@ -637,6 +644,80 @@ func decStringsMsg(b []byte) ([]string, error) {
 	return ss, d.err
 }
 
+// --- watch surface ---
+
+// defaultWatchWindow is the credit window a remote watcher grants the
+// server: how many batches may be pushed ahead of consumption. The client
+// replenishes at half-window, so steady-state streaming never stalls.
+const defaultWatchWindow = 64
+
+func encWatchReq(table string, rng kv.KeyRange, from kv.Timestamp, window int, owner string) []byte {
+	b := appendString(nil, table)
+	b = appendString(b, string(rng.Start))
+	b = appendString(b, string(rng.End))
+	b = appendUvarint(b, uint64(from))
+	b = appendUvarint(b, uint64(window))
+	return appendString(b, owner)
+}
+
+func decWatchReq(b []byte) (table string, rng kv.KeyRange, from kv.Timestamp, window int, owner string, err error) {
+	d := newDec(b)
+	table = d.str()
+	rng = kv.KeyRange{Start: kv.Key(d.str()), End: kv.Key(d.str())}
+	from = kv.Timestamp(d.uvarint())
+	window = int(d.uvarint())
+	owner = d.str()
+	return table, rng, from, window, owner, d.err
+}
+
+// encWatchBatch encodes one stream element: the batch position, its commit
+// timestamp (0 for progress-only batches), and the events. The table is not
+// repeated per event — it is fixed by the watch request.
+func encWatchBatch(wb watch.ChangeBatch) []byte {
+	b := appendUvarint(nil, uint64(wb.Pos))
+	b = appendUvarint(b, uint64(wb.CommitTS))
+	b = appendUvarint(b, uint64(len(wb.Events)))
+	for _, e := range wb.Events {
+		b = appendString(b, string(e.Key))
+		b = appendString(b, e.Column)
+		b = appendBytes(b, e.Value)
+		b = appendBool(b, e.Delete)
+	}
+	return b
+}
+
+func decWatchBatch(body []byte, table string) (watch.ChangeBatch, error) {
+	d := newDec(body)
+	wb := watch.ChangeBatch{
+		Pos:      kv.Timestamp(d.uvarint()),
+		CommitTS: kv.Timestamp(d.uvarint()),
+	}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		wb.Events = append(wb.Events, watch.ChangeEvent{
+			Table:    table,
+			Key:      kv.Key(d.str()),
+			Column:   d.str(),
+			Value:    d.bytes(),
+			Delete:   d.bool(),
+			CommitTS: wb.CommitTS,
+		})
+	}
+	return wb, d.err
+}
+
+func encWatchCreditReq(streamID uint64, n int) []byte {
+	b := appendUvarint(nil, streamID)
+	return appendUvarint(b, uint64(n))
+}
+
+func decWatchCreditReq(b []byte) (uint64, int, error) {
+	d := newDec(b)
+	id := d.uvarint()
+	n := int(d.uvarint())
+	return id, n, d.err
+}
+
 // methodName names a method code for metrics and error text.
 func methodName(m byte) string {
 	switch m {
@@ -700,6 +781,12 @@ func methodName(m byte) string {
 		return "f.read_all"
 	case FReadRange:
 		return "f.read_range"
+	case WWatch:
+		return "w.watch"
+	case WCredit:
+		return "w.credit"
+	case WCancel:
+		return "w.cancel"
 	default:
 		return fmt.Sprintf("0x%02x", m)
 	}

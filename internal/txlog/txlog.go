@@ -79,6 +79,78 @@ type pendingRec struct {
 	done chan error
 }
 
+// CommitSink receives every commit record exactly once, in commit-timestamp
+// order, after the record is durable on stable storage and before the
+// committing caller's done channel fires. The log calls it from its single
+// sync goroutine, so implementations see a strictly serial, ordered feed —
+// the hook the watch/CDC subsystem tails. Implementations must not block:
+// anything slow belongs behind a bounded queue (a blocking sink would extend
+// the group-commit critical path for every committer).
+type CommitSink func(ws kv.WriteSet)
+
+// Pin holds a retention position: Truncate will not drop records with
+// CommitTS > the pin's position, so a historical reader (a catching-up
+// watcher) can keep replaying from its position without the janitor
+// reclaiming the range underneath it. Advance the pin as the reader
+// progresses and Release it when done — an abandoned pin holds the log's
+// disk space forever.
+type Pin struct {
+	l   *Log
+	pos kv.Timestamp
+}
+
+// Pin registers a retention pin at pos: records with CommitTS > pos stay
+// retrievable until the pin advances past them or is released.
+func (l *Log) Pin(pos kv.Timestamp) *Pin {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := &Pin{l: l, pos: pos}
+	if l.pins == nil {
+		l.pins = make(map[*Pin]struct{})
+	}
+	l.pins[p] = struct{}{}
+	return p
+}
+
+// Advance moves the pin forward (a smaller pos is a no-op: pins never move
+// backwards, mirroring Truncate).
+func (p *Pin) Advance(pos kv.Timestamp) {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	if pos > p.pos {
+		p.pos = pos
+	}
+}
+
+// Pos returns the pin's current position.
+func (p *Pin) Pos() kv.Timestamp {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	return p.pos
+}
+
+// Release drops the pin. Idempotent.
+func (p *Pin) Release() {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	delete(p.l.pins, p)
+}
+
+// minPinLocked returns the lowest pinned position (or max if none). Caller
+// holds l.mu.
+func (l *Log) minPinLocked() (kv.Timestamp, bool) {
+	var (
+		low kv.Timestamp
+		any bool
+	)
+	for p := range l.pins {
+		if !any || p.pos < low {
+			low, any = p.pos, true
+		}
+	}
+	return low, any
+}
+
 // logRec is one durable, indexed commit record and the storage segment
 // holding its bytes (used to reclaim whole segments on truncation).
 type logRec struct {
@@ -101,6 +173,8 @@ type Log struct {
 	lastTS    kv.Timestamp // highest CommitTS ever observed (incl. truncated)
 	closed    bool
 	stats     Stats
+	pins      map[*Pin]struct{} // active retention pins (watchers)
+	sink      CommitSink        // durable-ordered commit hook (nil = none)
 
 	// ioMu spans each batch's storage append plus its index insertion, and
 	// Truncate's marker append plus segment reclamation. Without it a
@@ -210,6 +284,16 @@ func New(cfg Config) *Log {
 	return l
 }
 
+// SetCommitSink installs the durable-ordered commit hook (see CommitSink).
+// Install before the first commit is enqueued: the sink is read by the sync
+// loop without further synchronization beyond the log mutex, and records
+// that became durable before installation are not replayed into it.
+func (l *Log) SetCommitSink(sink CommitSink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = sink
+}
+
 // Enqueue adds a write-set to the current group and returns a channel that
 // yields the durability result exactly once. Callers must enqueue in
 // commit-timestamp order.
@@ -271,6 +355,7 @@ func (l *Log) syncLoop() {
 		positions, err := l.store.AppendBatch(batch.payloads)
 
 		l.mu.Lock()
+		sink := l.sink
 		if err == nil {
 			for i, p := range batch.recs {
 				l.records = append(l.records, logRec{ws: p.ws, seg: positions[i].Segment})
@@ -293,6 +378,16 @@ func (l *Log) syncLoop() {
 		if l.cfg.SyncBatchSize != nil {
 			l.cfg.SyncBatchSize.RecordValue(int64(len(batch.recs)))
 		}
+		// Publish durable commits to the sink before releasing the waiters:
+		// once a committer's Commit returns, its change event is already in
+		// every live watcher's queue, so a watcher subscribed before the
+		// commit can never miss it. Still strictly commit-ordered — this is
+		// the log's single sync goroutine.
+		if err == nil && sink != nil {
+			for _, p := range batch.recs {
+				sink(p.ws)
+			}
+		}
 		for _, p := range batch.recs {
 			p.done <- err
 		}
@@ -314,6 +409,30 @@ func (l *Log) After(after kv.Timestamp) ([]kv.WriteSet, error) {
 	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].ws.CommitTS > after })
 	out := make([]kv.WriteSet, 0, len(l.records)-i)
 	for ; i < len(l.records); i++ {
+		out = append(out, l.records[i].ws.Clone())
+	}
+	return out, nil
+}
+
+// ReadAfter returns up to max durable records with CommitTS > after, in
+// ascending commit order — the bounded, positioned form of After used by
+// catching-up watchers: each call binary-searches the index by timestamp, so
+// the reader holds no log-side state between pulls (the same stateless-
+// continuation idiom as the scanner). max <= 0 means no bound. It fails with
+// ErrTruncated if the range right after `after` has been truncated away.
+func (l *Log) ReadAfter(after kv.Timestamp, max int) ([]kv.WriteSet, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < l.truncated {
+		return nil, fmt.Errorf("%w: need > %d, truncated at %d", ErrTruncated, after, l.truncated)
+	}
+	i := sort.Search(len(l.records), func(i int) bool { return l.records[i].ws.CommitTS > after })
+	n := len(l.records) - i
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]kv.WriteSet, 0, n)
+	for ; len(out) < n; i++ {
 		out = append(out, l.records[i].ws.Clone())
 	}
 	return out, nil
@@ -386,8 +505,14 @@ func decodeTruncMarker(payload []byte) (kv.Timestamp, error) {
 // no-op. The watermark is journaled to stable storage (so a reopened log
 // does not resurrect truncated records) and storage segments wholly below
 // the retained point are physically reclaimed.
+// Active retention pins clamp the drop: records above the lowest pinned
+// position stay retrievable for the historical readers holding the pins,
+// exactly as SafeSnapshot pins clamp the version-GC horizon.
 func (l *Log) Truncate(upTo kv.Timestamp) {
 	l.mu.Lock()
+	if min, ok := l.minPinLocked(); ok && upTo > min {
+		upTo = min
+	}
 	if l.closed || upTo <= l.truncated {
 		l.mu.Unlock()
 		return

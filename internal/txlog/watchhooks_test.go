@@ -1,0 +1,168 @@
+package txlog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"txkv/internal/kv"
+)
+
+// The commit sink must observe every record exactly once, in commit order,
+// before the committer's done channel fires.
+func TestCommitSinkOrderedBeforeDone(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+
+	var (
+		mu   sync.Mutex
+		seen []kv.Timestamp
+	)
+	l.SetCommitSink(func(ws kv.WriteSet) {
+		mu.Lock()
+		seen = append(seen, ws.CommitTS)
+		mu.Unlock()
+	})
+
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if err := l.Append(ws("c", kv.Timestamp(i))); err != nil {
+			t.Fatal(err)
+		}
+		// Append returned: the sink must already have seen this commit.
+		mu.Lock()
+		if len(seen) == 0 || seen[len(seen)-1] != kv.Timestamp(i) {
+			mu.Unlock()
+			t.Fatalf("commit %d durable but sink saw %v", i, seen)
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Fatalf("sink saw %d records, want %d", len(seen), n)
+	}
+	for i, ts := range seen {
+		if ts != kv.Timestamp(i+1) {
+			t.Fatalf("sink order broken at %d: %v", i, seen)
+		}
+	}
+}
+
+func TestReadAfterPaginates(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		if err := l.Append(ws("c", kv.Timestamp(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var pos kv.Timestamp
+	var got []kv.Timestamp
+	for {
+		page, err := l.ReadAfter(pos, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		if len(page) > 3 {
+			t.Fatalf("page of %d exceeds max 3", len(page))
+		}
+		for _, ws := range page {
+			got = append(got, ws.CommitTS)
+		}
+		pos = page[len(page)-1].CommitTS
+	}
+	if len(got) != 10 {
+		t.Fatalf("paginated %d records, want 10: %v", len(got), got)
+	}
+	for i, ts := range got {
+		if ts != kv.Timestamp(i+1) {
+			t.Fatalf("pagination order broken: %v", got)
+		}
+	}
+
+	// Unbounded form matches After.
+	all, err := l.ReadAfter(0, 0)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ReadAfter(0, 0): %d %v", len(all), err)
+	}
+}
+
+func TestReadAfterTruncated(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 6; i++ {
+		_ = l.Append(ws("c", kv.Timestamp(i)))
+	}
+	l.Truncate(4)
+	if _, err := l.ReadAfter(2, 10); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadAfter below watermark: %v, want ErrTruncated", err)
+	}
+	page, err := l.ReadAfter(4, 10)
+	if err != nil || len(page) != 2 || page[0].CommitTS != 5 {
+		t.Fatalf("ReadAfter(4) = %v, %v", page, err)
+	}
+}
+
+// A pin clamps truncation at its position; advancing and releasing it lets
+// later truncations through.
+func TestPinClampsTruncation(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		_ = l.Append(ws("c", kv.Timestamp(i)))
+	}
+
+	pin := l.Pin(3)
+	l.Truncate(8)
+	if got := l.TruncatedBelow(); got != 3 {
+		t.Fatalf("truncated to %d with pin at 3", got)
+	}
+	// Records above the pin survived.
+	page, err := l.ReadAfter(3, 0)
+	if err != nil || len(page) != 7 {
+		t.Fatalf("pinned range: %d records, err %v", len(page), err)
+	}
+
+	// Pins never move backwards.
+	pin.Advance(6)
+	pin.Advance(2)
+	if pin.Pos() != 6 {
+		t.Fatalf("pin at %d after Advance(6), Advance(2)", pin.Pos())
+	}
+	l.Truncate(8)
+	if got := l.TruncatedBelow(); got != 6 {
+		t.Fatalf("truncated to %d with pin at 6", got)
+	}
+
+	pin.Release()
+	pin.Release() // idempotent
+	l.Truncate(8)
+	if got := l.TruncatedBelow(); got != 8 {
+		t.Fatalf("truncated to %d after release", got)
+	}
+}
+
+func TestLowestPinWins(t *testing.T) {
+	l := New(Config{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		_ = l.Append(ws("c", kv.Timestamp(i)))
+	}
+	a := l.Pin(5)
+	b := l.Pin(2)
+	l.Truncate(9)
+	if got := l.TruncatedBelow(); got != 2 {
+		t.Fatalf("truncated to %d with pins at 5 and 2", got)
+	}
+	b.Release()
+	l.Truncate(9)
+	if got := l.TruncatedBelow(); got != 5 {
+		t.Fatalf("truncated to %d with pin at 5", got)
+	}
+	a.Release()
+}

@@ -1,0 +1,198 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/txlog"
+)
+
+// Stream is one subscription: an ordered feed of ChangeBatches. Pull with
+// NextBatch from a single goroutine; Close releases the retention pin.
+type Stream struct {
+	hub    *Hub
+	id     uint64
+	owner  string
+	filter Filter
+
+	// Consumer-side catch-up state (only the NextBatch goroutine touches
+	// backlog; pos/live/counters are shared with Publish under hub.mu).
+	backlog []ChangeBatch
+	pin     *txlog.Pin
+	started time.Time
+
+	// Guarded by hub.mu.
+	pos           kv.Timestamp // every commit <= pos delivered or filtered out
+	live          bool         // attached to the live fan-out
+	err           error        // terminal error (ErrLagging/ErrClosed/...)
+	sinceProgress int          // non-matching commits since last progress batch
+	events        int64
+	batches       int64
+	overflows     int64
+	closed        bool
+
+	queue chan ChangeBatch // live batches, bounded (hub cfg.Buffer)
+	failc chan struct{}    // closed when err is set
+}
+
+// failLocked sets the stream's terminal error and wakes a blocked NextBatch.
+// Caller holds hub.mu. The retention pin is released immediately — a failed
+// stream must not hold the log.
+func (s *Stream) failLocked(err error) {
+	if s.err != nil {
+		return
+	}
+	s.err = err
+	s.live = false
+	close(s.failc)
+	s.pin.Release()
+	delete(s.hub.subs, s)
+}
+
+// Pos returns the stream's resume position: the Pos of the last delivered
+// batch (or the start position before any delivery). Watching again from
+// this value continues the feed with no gap or duplicate.
+func (s *Stream) Pos() kv.Timestamp {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.pos
+}
+
+// Err returns the stream's terminal error, if any.
+func (s *Stream) Err() error {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.err
+}
+
+// Close cancels the stream and releases its retention pin. Idempotent. A
+// blocked NextBatch returns ErrClosed.
+func (s *Stream) Close() {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.failLocked(ErrClosed)
+}
+
+// deliver accounts one batch about to be handed to the consumer: position,
+// pin, counters. Caller holds hub.mu.
+func (s *Stream) deliverLocked(b ChangeBatch) ChangeBatch {
+	if b.Pos > s.pos {
+		s.pos = b.Pos
+	}
+	s.events += int64(len(b.Events))
+	s.batches++
+	s.hub.stats.EventsDelivered += int64(len(b.Events))
+	s.hub.stats.BatchesDelivered++
+	s.pin.Advance(s.pos)
+	return b
+}
+
+// NextBatch blocks until the next batch of changes (or progress marker) is
+// available, the context is done, or the stream terminates. Batches arrive
+// strictly ordered by commit timestamp, one commit per batch, with no gaps
+// or duplicates — including across the historical-to-live seam and across
+// live-to-historical overflow fallbacks.
+func (s *Stream) NextBatch(ctx context.Context) (ChangeBatch, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return ChangeBatch{}, err
+		}
+
+		s.hub.mu.Lock()
+		// Drain queued live batches first: they always precede anything a
+		// catch-up read from pos would return (the queue only fills while
+		// live, and demotion leaves the undelivered tail right after pos).
+		select {
+		case b := <-s.queue:
+			b = s.deliverLocked(b)
+			s.hub.mu.Unlock()
+			return b, nil
+		default:
+		}
+		// Then the backlog from the last historical page.
+		if len(s.backlog) > 0 {
+			b := s.backlog[0]
+			s.backlog = s.backlog[1:]
+			b = s.deliverLocked(b)
+			s.hub.mu.Unlock()
+			return b, nil
+		}
+		if s.err != nil {
+			err := s.err
+			s.hub.mu.Unlock()
+			return ChangeBatch{}, err
+		}
+		if s.live {
+			s.hub.mu.Unlock()
+			// Attached and idle: block for the next live batch. Demotion
+			// can only happen on a full queue, so a blocked receive here
+			// is always woken by the batch that would precede it.
+			select {
+			case b := <-s.queue:
+				s.hub.mu.Lock()
+				b = s.deliverLocked(b)
+				s.hub.mu.Unlock()
+				return b, nil
+			case <-s.failc:
+				return ChangeBatch{}, s.Err()
+			case <-ctx.Done():
+				return ChangeBatch{}, ctx.Err()
+			}
+		}
+		// Historical mode. The attach barrier: if we have reached the
+		// hub's fan-out frontier, flip to live under the same mutex
+		// Publish holds — every commit <= lastDurable was already visible
+		// to our reads, every commit > lastDurable will be enqueued.
+		hi := s.hub.lastDurable
+		if s.pos >= hi {
+			s.live = true
+			s.sinceProgress = 0
+			s.hub.mu.Unlock()
+			continue
+		}
+		s.hub.mu.Unlock()
+
+		// Read one page of history, bounded above by the frontier
+		// snapshot: reading past `hi` would race the attach barrier
+		// (records are indexed before Publish advances lastDurable).
+		page, err := s.hub.log.ReadAfter(s.pos, s.hub.cfg.Page)
+		if err != nil {
+			s.hub.mu.Lock()
+			if errors.Is(err, txlog.ErrTruncated) {
+				s.hub.stats.HorizonFailures++
+				err = fmt.Errorf("%w: position %d truncated while catching up", ErrHorizonPassed, s.pos)
+			}
+			s.failLocked(err)
+			s.hub.mu.Unlock()
+			return ChangeBatch{}, err
+		}
+		examined := s.pos
+		for _, ws := range page {
+			if ws.CommitTS > hi {
+				break
+			}
+			examined = ws.CommitTS
+			if evs := filterWS(ws, s.filter); len(evs) > 0 {
+				s.backlog = append(s.backlog, ChangeBatch{
+					Events:   evs,
+					CommitTS: ws.CommitTS,
+					Pos:      ws.CommitTS,
+				})
+			}
+		}
+		if len(s.backlog) == 0 && examined > s.pos {
+			// A whole page of non-matching commits: fold the position
+			// forward as a progress batch so resume tokens and the pin
+			// keep up even through out-of-range history.
+			s.backlog = append(s.backlog, ChangeBatch{Pos: examined})
+		}
+		// Loop: delivers the backlog, or attaches if the page was empty.
+	}
+}

@@ -1,0 +1,113 @@
+// Package watch implements change-data-capture streams over the transaction
+// log: ordered, resumable, backpressured feeds of committed writes.
+//
+// The commit log already totally orders every committed write-set (the
+// transaction manager enqueues under its sequencing mutex, so log order is
+// commit order). This package exposes that order to consumers: a Hub attaches
+// to the log's durable-ordered commit sink and fans each commit out to
+// subscribed Streams, each filtered server-side by table and key range.
+//
+// A Stream works in two modes with a seamless seam between them:
+//
+//   - Historical catch-up: the stream replays the durable log from its
+//     position via bounded, positioned reads (txlog.ReadAfter) — the same
+//     stateless-continuation idiom the scanner uses. A retention pin keeps
+//     the janitor from truncating the unread range underneath it.
+//   - Live tail: once the stream's position reaches the hub's last durable
+//     commit, it attaches to the fan-out under the hub mutex. The attach
+//     barrier (position == lastDurable, checked and flipped atomically with
+//     respect to Publish) guarantees no commit is ever missed or delivered
+//     twice across the seam.
+//
+// Backpressure never reaches the commit path: Publish enqueues to a bounded
+// per-stream queue with a non-blocking send. On overflow the stream silently
+// falls back to historical catch-up (it was durable first — nothing is
+// lost); past the configurable lag horizon it is instead cancelled with
+// ErrLagging. Positions are plain commit timestamps, so a consumer can
+// resume a stream — in this process or another — from its last delivered
+// Pos.
+package watch
+
+import (
+	"errors"
+
+	"txkv/internal/kv"
+)
+
+// Subscription errors. Streams return them from NextBatch; the cluster layer
+// re-exports them as ErrWatchLagging / ErrWatchHorizonPassed.
+var (
+	// ErrLagging reports a consumer that fell further behind the commit
+	// frontier than the hub's lag horizon allows; the stream was cancelled
+	// to release its retention pin. Resume from the last delivered position
+	// (if it is still retained) with a fresh Watch.
+	ErrLagging = errors.New("watch: consumer lagging past horizon")
+	// ErrHorizonPassed reports a start or resume position below the log's
+	// truncation watermark: the events between the position and the
+	// watermark are gone, so resuming would silently skip them. Start a new
+	// stream from a full snapshot instead.
+	ErrHorizonPassed = errors.New("watch: position truncated from log")
+	// ErrClosed reports a watch against a closed hub (cluster stopping) or
+	// a closed stream.
+	ErrClosed = errors.New("watch: closed")
+)
+
+// ChangeEvent is one committed cell mutation: a put (Delete false) or a
+// delete (Delete true). Events within a commit keep the write-set's update
+// order; across commits they are strictly commit-timestamp ordered. Value is
+// shared with the log's retained copy — consumers must not modify it.
+type ChangeEvent struct {
+	Table    string
+	Key      kv.Key
+	Column   string
+	Value    []byte
+	Delete   bool
+	CommitTS kv.Timestamp
+}
+
+// ChangeBatch is the events of one commit that matched the stream's filter,
+// plus the stream's resume position after the batch. A batch with no events
+// is a progress marker: nothing in range changed, but Pos advanced (keeping
+// resume tokens fresh and retention pins moving for idle ranges).
+type ChangeBatch struct {
+	// Events are the matching mutations of one commit, in write-set order.
+	Events []ChangeEvent
+	// CommitTS is the commit's timestamp (zero in progress-only batches).
+	CommitTS kv.Timestamp
+	// Pos is the resume position: every commit <= Pos has been delivered
+	// or did not match the filter. Resuming a Watch from Pos continues
+	// exactly after this batch.
+	Pos kv.Timestamp
+}
+
+// Filter selects the commits a stream sees: updates to Table with row keys
+// inside Range (a zero Range means the whole table).
+type Filter struct {
+	Table string
+	Range kv.KeyRange
+}
+
+// matches reports whether one update falls inside the filter.
+func (f Filter) matches(u kv.Update) bool {
+	return u.Table == f.Table && f.Range.Contains(u.Row)
+}
+
+// filterWS projects a write-set through the filter. It returns nil when no
+// update matches.
+func filterWS(ws kv.WriteSet, f Filter) []ChangeEvent {
+	var evs []ChangeEvent
+	for _, u := range ws.Updates {
+		if !f.matches(u) {
+			continue
+		}
+		evs = append(evs, ChangeEvent{
+			Table:    u.Table,
+			Key:      u.Row,
+			Column:   u.Column,
+			Value:    u.Value,
+			Delete:   u.Tombstone,
+			CommitTS: ws.CommitTS,
+		})
+	}
+	return evs
+}

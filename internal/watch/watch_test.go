@@ -1,0 +1,354 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"txkv/internal/kv"
+	"txkv/internal/txlog"
+)
+
+// newHub builds a log+hub pair with the sink installed, as the cluster does.
+func newHub(t *testing.T, cfg Config) (*txlog.Log, *Hub) {
+	t.Helper()
+	l := txlog.New(txlog.Config{})
+	h := NewHub(l, cfg)
+	l.SetCommitSink(h.Publish)
+	t.Cleanup(func() { h.Close(); l.Close() })
+	return l, h
+}
+
+func commit(t *testing.T, l *txlog.Log, ts kv.Timestamp, table string, row kv.Key, val string) {
+	t.Helper()
+	err := l.Append(kv.WriteSet{
+		TxnID:    uint64(ts),
+		ClientID: "c",
+		CommitTS: ts,
+		Updates:  []kv.Update{{Table: table, Row: row, Column: "v", Value: []byte(val)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collect pulls batches until n events arrived or the context dies.
+func collect(t *testing.T, s *Stream, n int) []ChangeEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var evs []ChangeEvent
+	for len(evs) < n {
+		b, err := s.NextBatch(ctx)
+		if err != nil {
+			t.Fatalf("NextBatch after %d/%d events: %v", len(evs), n, err)
+		}
+		evs = append(evs, b.Events...)
+	}
+	return evs
+}
+
+func TestHistoricalThenLiveSeam(t *testing.T) {
+	l, h := newHub(t, Config{})
+
+	// History before the watch exists.
+	for i := 1; i <= 5; i++ {
+		commit(t, l, kv.Timestamp(i), "t", kv.Key(string(rune('a'+i-1))), "old")
+	}
+	s, err := h.Watch(Filter{Table: "t"}, 0, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Live commits racing the catch-up.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 6; i <= 20; i++ {
+			commit(t, l, kv.Timestamp(i), "t", "z", "new")
+		}
+	}()
+
+	evs := collect(t, s, 20)
+	<-done
+	for i, e := range evs {
+		if e.CommitTS != kv.Timestamp(i+1) {
+			t.Fatalf("event %d at ts %d: gap or duplicate across the seam: %+v", i, e.CommitTS, evs)
+		}
+	}
+	if s.Pos() != 20 {
+		t.Fatalf("pos %d after 20 commits", s.Pos())
+	}
+}
+
+func TestFilterTableAndRange(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, err := h.Watch(Filter{Table: "t", Range: kv.KeyRange{Start: "b", End: "d"}}, 0, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	commit(t, l, 1, "t", "a", "out-below")
+	commit(t, l, 2, "t", "b", "in")
+	commit(t, l, 3, "other", "b", "wrong-table")
+	commit(t, l, 4, "t", "c", "in")
+	commit(t, l, 5, "t", "d", "out-at-end")
+
+	evs := collect(t, s, 2)
+	if evs[0].Key != "b" || evs[1].Key != "c" {
+		t.Fatalf("filtered events: %+v", evs)
+	}
+	if string(evs[0].Value) != "in" || evs[0].Delete {
+		t.Fatalf("event payload: %+v", evs[0])
+	}
+}
+
+func TestDeleteEvents(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, _ := h.Watch(Filter{Table: "t"}, 0, "test")
+	defer s.Close()
+	err := l.Append(kv.WriteSet{
+		TxnID: 1, ClientID: "c", CommitTS: 1,
+		Updates: []kv.Update{{Table: "t", Row: "r", Column: "v", Tombstone: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(t, s, 1)
+	if !evs[0].Delete {
+		t.Fatalf("tombstone not surfaced as delete: %+v", evs[0])
+	}
+}
+
+// A slow consumer overflows its queue, falls back to catch-up, and still
+// sees every event exactly once — and committers never block on it.
+func TestOverflowFallsBackToCatchUp(t *testing.T) {
+	l, h := newHub(t, Config{Buffer: 4})
+	s, err := h.Watch(Filter{Table: "t"}, 0, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Reach live mode first: a short-deadline poll attaches the stream at
+	// the frontier before timing out.
+	commit(t, l, 1, "t", "a", "x")
+	_ = collect(t, s, 1)
+	for h.Stats().Live != 1 {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, _ = s.NextBatch(ctx)
+		cancel()
+	}
+
+	// Now stuff 50 commits through a queue of 4 without consuming.
+	for i := 2; i <= 51; i++ {
+		commit(t, l, kv.Timestamp(i), "t", "a", "x")
+	}
+	if h.Stats().Overflows == 0 {
+		t.Fatal("queue of 4 absorbed 50 commits without overflow")
+	}
+
+	evs := collect(t, s, 50)
+	for i, e := range evs {
+		if e.CommitTS != kv.Timestamp(i+2) {
+			t.Fatalf("event %d at ts %d: lost or duplicated through overflow", i, e.CommitTS)
+		}
+	}
+	// And the next pull re-attaches it to the live tail.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Stats().Live != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never re-attached to live tail")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, _ = s.NextBatch(ctx)
+		cancel()
+	}
+}
+
+func TestLagHorizonCancels(t *testing.T) {
+	l, h := newHub(t, Config{Buffer: 2, LagHorizon: 10})
+	s, err := h.Watch(Filter{Table: "t"}, 0, "laggard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Never consume: the consumer's position stays at 0 while commits run
+	// past the horizon of 10.
+	for i := 1; i <= 20; i++ {
+		commit(t, l, kv.Timestamp(i), "t", "a", "x")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		_, err := s.NextBatch(ctx)
+		if err == nil {
+			continue // drains what was queued before the cancel
+		}
+		if !errors.Is(err, ErrLagging) {
+			t.Fatalf("NextBatch: %v, want ErrLagging", err)
+		}
+		break
+	}
+	if h.Stats().LagCancels != 1 {
+		t.Fatalf("LagCancels = %d", h.Stats().LagCancels)
+	}
+	// The cancelled stream released its pin: truncation proceeds.
+	l.Truncate(20)
+	if got := l.TruncatedBelow(); got != 20 {
+		t.Fatalf("truncated to %d: cancelled watcher still pinning", got)
+	}
+}
+
+// A paused watcher pins the log: truncation cannot take unread events, and
+// after the watcher drains, truncation proceeds. The regression test for the
+// janitor satellite.
+func TestPausedWatcherPinsRetention(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, err := h.Watch(Filter{Table: "t"}, 0, "paused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 1; i <= 10; i++ {
+		commit(t, l, kv.Timestamp(i), "t", "a", "x")
+	}
+	// Watcher paused at 0: truncation must clamp to its position.
+	l.Truncate(10)
+	if got := l.TruncatedBelow(); got != 0 {
+		t.Fatalf("truncated to %d under a paused watcher at 0", got)
+	}
+
+	evs := collect(t, s, 10)
+	if len(evs) != 10 || evs[0].CommitTS != 1 {
+		t.Fatalf("paused watcher lost events to compaction: %+v", evs)
+	}
+
+	// Drained: the pin advanced, truncation proceeds.
+	l.Truncate(10)
+	if got := l.TruncatedBelow(); got != 10 {
+		t.Fatalf("truncated to %d after watcher drained", got)
+	}
+}
+
+func TestHorizonPassedOnStaleResume(t *testing.T) {
+	l, h := newHub(t, Config{})
+	for i := 1; i <= 10; i++ {
+		commit(t, l, kv.Timestamp(i), "t", "a", "x")
+	}
+	l.Truncate(8)
+	_, err := h.Watch(Filter{Table: "t"}, 5, "stale")
+	if !errors.Is(err, ErrHorizonPassed) {
+		t.Fatalf("Watch below watermark: %v, want ErrHorizonPassed", err)
+	}
+	// At the watermark is fine: events > 8 are all retained.
+	s, err := h.Watch(Filter{Table: "t"}, 8, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	evs := collect(t, s, 2)
+	if evs[0].CommitTS != 9 || evs[1].CommitTS != 10 {
+		t.Fatalf("resume at watermark: %+v", evs)
+	}
+}
+
+// An idle-range live watcher still sees its position advance via progress
+// batches, so its resume token stays fresh and its pin does not stall
+// truncation forever.
+func TestProgressBatchesAdvanceIdleWatcher(t *testing.T) {
+	l, h := newHub(t, Config{ProgressEvery: 8})
+	s, err := h.Watch(Filter{Table: "idle"}, 0, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Go live (nothing to catch up).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// All traffic is on another table.
+	for i := 1; i <= 40; i++ {
+		commit(t, l, kv.Timestamp(i), "busy", "a", "x")
+	}
+	b, err := s.NextBatch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 0 || b.Pos == 0 {
+		t.Fatalf("expected progress-only batch, got %+v", b)
+	}
+	if s.Pos() == 0 {
+		t.Fatal("idle watcher position never advanced")
+	}
+}
+
+func TestResumeFromPos(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, _ := h.Watch(Filter{Table: "t"}, 0, "a")
+	for i := 1; i <= 10; i++ {
+		commit(t, l, kv.Timestamp(i), "t", "a", "x")
+	}
+	_ = collect(t, s, 4)
+	pos := s.Pos()
+	s.Close()
+
+	// Resume exactly after the last delivered batch.
+	s2, err := h.Watch(Filter{Table: "t"}, pos, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	evs := collect(t, s2, 10-int(pos))
+	if evs[0].CommitTS != pos+1 || evs[len(evs)-1].CommitTS != 10 {
+		t.Fatalf("resume from %d delivered %+v", pos, evs)
+	}
+}
+
+func TestClosedHubAndStream(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, _ := h.Watch(Filter{Table: "t"}, 0, "x")
+	commit(t, l, 1, "t", "a", "x")
+
+	// Close while a NextBatch is blocked live.
+	_ = collect(t, s, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.NextBatch(context.Background())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("NextBatch on closed hub: %v", err)
+	}
+	if _, err := h.Watch(Filter{Table: "t"}, 0, "y"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Watch on closed hub: %v", err)
+	}
+}
+
+func TestWatchersSnapshot(t *testing.T) {
+	l, h := newHub(t, Config{})
+	s, _ := h.Watch(Filter{Table: "t", Range: kv.KeyRange{Start: "a", End: "m"}}, 0, "client-1")
+	defer s.Close()
+	commit(t, l, 1, "t", "b", "x")
+	_ = collect(t, s, 1)
+
+	ws := h.Watchers()
+	if len(ws) != 1 {
+		t.Fatalf("Watchers() = %+v", ws)
+	}
+	w := ws[0]
+	if w.Owner != "client-1" || w.Table != "t" || w.Start != "a" || w.End != "m" || w.Pos != 1 || w.Events != 1 {
+		t.Fatalf("watcher info: %+v", w)
+	}
+	st := h.Stats()
+	if st.Watchers != 1 || st.EventsDelivered != 1 || st.Opened != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

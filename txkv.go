@@ -71,6 +71,30 @@
 // errors.Is (ErrConflict, ErrTxnFinished, ...) and extract context with
 // errors.As — never by string-matching messages.
 //
+// # Change streams
+//
+// Client.Watch opens a resumable, ordered feed of committed writes to one
+// table and key range — change data capture off the commit log. The stream
+// replays retained history first, then follows live commits; the handoff
+// loses and duplicates nothing. Stream positions are opaque tokens, so a
+// consumer can checkpoint and resume later, even from another process. A
+// slow consumer never slows commits: its stream falls back to reading the
+// log and, past Config.WatchLagHorizon, is cancelled with ErrWatchLagging:
+//
+//	ws, err := client.Watch(ctx, "accounts", txkv.KeyRange{}, 0)
+//	if err != nil { ... }
+//	defer ws.Close()
+//	for {
+//		ev, err := ws.Next(ctx)
+//		if err != nil { ... }
+//		invalidate(ev.Key, ev.Column) // ev.CommitTS orders all events
+//		checkpoint(ws.Token())        // resume later with WatchResume
+//	}
+//
+// A stream resumed from a token the log has already truncated past fails
+// with ErrWatchHorizonPassed: re-seed from a View scan and watch from the
+// snapshot's StartTS instead.
+//
 // # Failure injection and persistence
 //
 // Failure injection (CrashServer, Client.Crash, CrashRecoveryManager) lets
@@ -134,6 +158,15 @@ type (
 	BatchValue = cluster.BatchValue
 	// PutOp is one cell mutation in a Txn.PutBatch.
 	PutOp = cluster.PutOp
+	// WatchStream is an open change stream (Client.Watch): an ordered,
+	// resumable feed of committed writes in one table/key-range.
+	WatchStream = cluster.WatchStream
+	// ChangeEvent is one committed cell mutation delivered by a
+	// WatchStream.
+	ChangeEvent = cluster.ChangeEvent
+	// ChangeBatch is one commit's events plus the stream's resume position
+	// after it (WatchStream.NextBatch).
+	ChangeBatch = cluster.ChangeBatch
 
 	// Key is a row key; rows order lexicographically.
 	Key = kv.Key
@@ -224,6 +257,19 @@ var (
 	// write-set was enqueued: the transaction commits in order once the
 	// group commit lands; only the caller's wait was cancelled.
 	ErrCommitIndeterminate = cluster.ErrCommitIndeterminate
+	// ErrWatchLagging reports a watch consumer cancelled for trailing the
+	// commit frontier past Config.WatchLagHorizon.
+	ErrWatchLagging = cluster.ErrWatchLagging
+	// ErrWatchHorizonPassed reports a watch start/resume position the log
+	// has truncated past; the intervening events are unrecoverable from the
+	// stream, so re-seed from a snapshot.
+	ErrWatchHorizonPassed = cluster.ErrWatchHorizonPassed
+	// ErrWatchClosed reports a watch against a stopping cluster or a
+	// closed stream.
+	ErrWatchClosed = cluster.ErrWatchClosed
+	// ErrBadWatchToken reports a WatchResume token this cluster did not
+	// issue.
+	ErrBadWatchToken = cluster.ErrBadWatchToken
 )
 
 // Open assembles and starts a cluster. Stop it with Cluster.Stop. With
