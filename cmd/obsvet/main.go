@@ -102,9 +102,11 @@ func get(base, path string) ([]byte, error) {
 func main() {
 	log.SetFlags(0)
 	c, err := txkv.Open(txkv.Config{
-		Servers:         2,
-		Tracing:         true,
-		SlowOpThreshold: -1, // retain every traced op
+		Servers:           3,
+		Tracing:           true,
+		SlowOpThreshold:   -1, // retain every traced op
+		ReplicationFactor: 3,  // replicated regions: the replica_* families must fire
+		FollowerReads:     true,
 	})
 	if err != nil {
 		log.Fatalf("open cluster: %v", err)
@@ -191,6 +193,25 @@ func main() {
 	}); err != nil {
 		log.Fatalf("post-flush view: %v", err)
 	}
+	// With follower reads on, snapshot scans route to follower copies once
+	// their replicated frontier covers the read timestamp; retry until one
+	// actually lands there so the replica read counters show real traffic.
+	followerDeadline := time.Now().Add(10 * time.Second)
+	for c.Obs().Snapshot().Counters["replica.follower_reads"] == 0 {
+		if err := cl.View(ctx, func(txn *txkv.Txn) error {
+			sc := txn.Scan(ctx, "t", txkv.KeyRange{}, txkv.ScanOptions{})
+			for sc.Next() {
+			}
+			return sc.Err()
+		}); err != nil {
+			log.Fatalf("follower-read scan: %v", err)
+		}
+		if time.Now().After(followerDeadline) {
+			log.Fatal("no scan was served by a follower within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	// Let the asynchronous flush/visibility tail settle before scraping.
 	time.Sleep(100 * time.Millisecond)
 
@@ -222,6 +243,16 @@ func main() {
 		"txkv_watch_opened",
 		"txkv_watch_events_delivered",
 		"txkv_watch_overflows",
+		"txkv_replica_shipped_batches",
+		"txkv_replica_shipped_entries",
+		"txkv_replica_shipped_bytes",
+		"txkv_replica_heartbeats",
+		"txkv_replica_appends_applied",
+		"txkv_replica_entries_applied",
+		"txkv_replica_follower_reads",
+		"txkv_replica_lag_entries",
+		"txkv_replica_failovers",
+		"txkv_replica_failover_last_ms",
 	} {
 		if !names[want] {
 			failures = append(failures, "missing metric "+want)
@@ -252,6 +283,19 @@ func main() {
 		failures = append(failures, fmt.Sprintf("watch events_delivered below the 20 drained: %v", v))
 	}
 
+	// The replica counters must show the replicated load, not just exist:
+	// every commit shipped WAL entries to followers, followers applied
+	// them, and at least one snapshot scan was served by a follower copy.
+	for _, want := range []string{
+		"txkv_replica_shipped_entries",
+		"txkv_replica_entries_applied",
+		"txkv_replica_follower_reads",
+	} {
+		if v := promValue(string(page), want); v <= 0 {
+			failures = append(failures, fmt.Sprintf("%s not firing: %v", want, v))
+		}
+	}
+
 	// /debug/slow: retained span trees for commit, get, and scan.
 	var slow struct {
 		Count int            `json:"count"`
@@ -277,13 +321,23 @@ func main() {
 		}
 	}
 
-	// /debug/regions: heat for the load just driven.
+	// /debug/regions: heat for the load just driven, plus one replica row
+	// per hosted region copy with role/epoch/position state.
 	var regions struct {
 		Regions []struct {
 			Server string `json:"server"`
 			Gets   int64  `json:"gets"`
 			Writes int64  `json:"writes"`
 		} `json:"regions"`
+		Replicas []struct {
+			Server  string `json:"server"`
+			Region  string `json:"region"`
+			Role    string `json:"role"`
+			Online  bool   `json:"online"`
+			Epoch   uint64 `json:"epoch"`
+			LastSeq uint64 `json:"last_seq"`
+			LagEnt  int64  `json:"lag_entries"`
+		} `json:"replicas"`
 	}
 	body, err = get(base, "/debug/regions")
 	if err != nil {
@@ -301,6 +355,36 @@ func main() {
 			failures = append(failures, fmt.Sprintf(
 				"/debug/regions heat empty: %d regions, gets=%d writes=%d",
 				len(regions.Regions), gets, writes))
+		}
+		primaries, followers := 0, 0
+		var advanced int
+		for _, r := range regions.Replicas {
+			switch r.Role {
+			case "primary":
+				primaries++
+				if r.LastSeq > 0 {
+					advanced++ // an idle region's primary legitimately sits at 0
+				}
+				if !r.Online || r.Epoch == 0 {
+					failures = append(failures, fmt.Sprintf(
+						"/debug/regions primary %s/%s implausible: online=%v epoch=%d",
+						r.Server, r.Region, r.Online, r.Epoch))
+				}
+			case "follower":
+				followers++
+				if r.Epoch == 0 {
+					failures = append(failures, fmt.Sprintf(
+						"/debug/regions follower %s/%s has zero epoch", r.Server, r.Region))
+				}
+			default:
+				failures = append(failures, fmt.Sprintf(
+					"/debug/regions replica %s/%s has unknown role %q", r.Server, r.Region, r.Role))
+			}
+		}
+		if primaries == 0 || followers == 0 || advanced == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"/debug/regions replicas incomplete: %d primaries (%d with entries), %d followers",
+				primaries, advanced, followers))
 		}
 	}
 

@@ -20,6 +20,7 @@
 //	txkvbench -experiment coldread    # store-file v1 vs v2: cold gets, cold scans, disk footprint
 //	txkvbench -experiment rpc         # wire-protocol overhead: loopback vs multi-process tcp
 //	txkvbench -experiment watch       # change streams: commit-path isolation, delivery latency, catch-up replay
+//	txkvbench -experiment replication # region replication: quorum-ack commit price, follower-read scans, failover blip
 //	txkvbench -experiment all
 //
 // The readwrite, scan, txn_retry, coldread, rpc, and watch experiments
@@ -55,7 +56,7 @@ func jsonSuffix(path, name string) string {
 func main() {
 	log.SetFlags(0)
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|rpc|watch|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig3|replaybound|truncation|clientfail|rmfail|durability|readwrite|compaction|scan|txn_retry|coldread|rpc|watch|replication|all")
 		records    = flag.Int("records", 20000, "rows to load")
 		duration   = flag.Duration("duration", 4*time.Second, "measurement duration per point")
 		threads    = flag.Int("threads", 50, "client threads (the paper uses 50)")
@@ -81,6 +82,8 @@ func main() {
 		bench.RPCJSONPath = *jsonPath
 	case "watch":
 		bench.WatchJSONPath = *jsonPath
+	case "replication":
+		bench.ReplicationJSONPath = *jsonPath
 	default:
 		if *jsonPath != "" {
 			bench.ReadWriteJSONPath = jsonSuffix(*jsonPath, "readwrite")
@@ -89,6 +92,7 @@ func main() {
 			bench.ColdReadJSONPath = jsonSuffix(*jsonPath, "coldread")
 			bench.RPCJSONPath = jsonSuffix(*jsonPath, "rpc")
 			bench.WatchJSONPath = jsonSuffix(*jsonPath, "watch")
+			bench.ReplicationJSONPath = jsonSuffix(*jsonPath, "replication")
 		}
 	}
 
@@ -118,8 +122,9 @@ func main() {
 		"coldread":    bench.ColdRead,
 		"rpc":         bench.RPC,
 		"watch":       bench.Watch,
+		"replication": bench.Replication,
 	}
-	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread", "rpc", "watch"}
+	order := []string{"fig2a", "fig2b", "fig3", "replaybound", "truncation", "clientfail", "rmfail", "durability", "readwrite", "compaction", "scan", "txn_retry", "coldread", "rpc", "watch", "replication"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -61,10 +61,11 @@ func main() {
 		dataDir  = flag.String("datadir", "", "journal durable state here and audit across a full stop+reopen")
 		compact  = flag.Duration("compact", time.Second, "storage-janitor cadence (WAL rolls, store-file + DFS log compaction) racing the faults; 0 disables")
 		remote   = flag.Bool("remote", false, "multi-process campaign: region servers join over the wire protocol behind fault proxies (partition/blackhole/slow-link/kill)")
+		repl     = flag.Int("replication", 1, "region replication factor (copies per region, primary included); >1 turns crashes into kill-the-primary failover chaos with follower reads on")
 	)
 	flag.Parse()
 	if *remote {
-		runRemote(*duration, *servers, *clients, *keys, *seed)
+		runRemote(*duration, *servers, *clients, *keys, *seed, *repl)
 		return
 	}
 	if *servers < 2 {
@@ -86,6 +87,11 @@ func main() {
 		// Trace the campaign: the slow-op ring is dumped on failure, and
 		// the registry snapshot is invariant-checked after every fault.
 		Tracing: true,
+		// With -replication, every region gets repl copies and the fault
+		// injector aims crashes at current primaries: each kill must end
+		// in a follower promotion, not a WAL-split replay.
+		ReplicationFactor: *repl,
+		FollowerReads:     *repl > 1,
 	}
 	if *dataDir != "" {
 		cfg.Persistence = txkv.PersistDisk
@@ -243,6 +249,13 @@ func main() {
 				continue
 			}
 			victim := live[rng.Intn(len(live))]
+			if *repl > 1 {
+				// Kill-the-primary: aim at a server actually leading
+				// regions, so every crash exercises the promotion path.
+				if prim := primaryServers(cluster, live); len(prim) > 0 {
+					victim = prim[rng.Intn(len(prim))]
+				}
+			}
 			fmt.Printf("[%s] crashing %s\n", time.Now().Format("15:04:05.000"), victim)
 			if err := cluster.CrashServer(victim); err == nil {
 				crashes++
@@ -263,6 +276,9 @@ func main() {
 	close(stop)
 	wg.Wait()
 	checkObs("after campaign")
+	if *repl > 1 {
+		assertFailover(cluster, crashes)
+	}
 
 	// End the watcher's feed at a known point: one sentinel commit after
 	// the writers are done, then reconcile delivered events against acks.
@@ -382,6 +398,73 @@ func main() {
 	}
 	fmt.Printf("AUDIT OK: all %d acknowledged rows intact after %d crashes\n", len(rows), crashes)
 	fmt.Printf("WATCH AUDIT OK: every acknowledged write delivered exactly once\n")
+}
+
+// primaryServers filters ids down to the servers currently leading at least
+// one online region — the kill-the-primary targets.
+func primaryServers(c *txkv.Cluster, ids []string) []string {
+	hosts := make(map[string]bool)
+	for _, row := range c.ReplicaDebugRows() {
+		if row.Role == "primary" && row.Online {
+			hosts[row.Server] = true
+		}
+	}
+	out := ids[:0:0]
+	for _, id := range ids {
+		if hosts[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// assertFailover verifies the replication guarantee after a kill-the-primary
+// campaign: at least one master-driven failover completed by follower
+// promotion (in-flight ones get a settling window), and the average failover
+// window stayed bounded. Fatal on violation.
+func assertFailover(c *txkv.Cluster, kills int) {
+	if kills == 0 {
+		return
+	}
+	const (
+		windowBudget = 5 * time.Second  // per-failover orchestration budget
+		settle       = 15 * time.Second // grace for failovers still in flight
+	)
+	// Poll until the failover counters go quiescent: kills near the end of
+	// the campaign may still be inside the detection timeout.
+	var snap obs.Snapshot
+	deadline := time.Now().Add(settle)
+	lastChange := time.Now()
+	prev := int64(-1)
+	for {
+		snap = c.Obs().Snapshot()
+		fo := snap.Counters["replica.failovers"]
+		if fo != prev {
+			prev, lastChange = fo, time.Now()
+		}
+		if fo > 0 && snap.Counters["replica.failover_promotions"] > 0 &&
+			(time.Since(lastChange) > 2*time.Second || fo >= int64(kills)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			if fo > 0 && snap.Counters["replica.failover_promotions"] > 0 {
+				break
+			}
+			dumpSlow(c)
+			log.Fatalf("no promotion-based failover observed after %d primary kills (failovers=%d promotions=%d splits=%d)",
+				kills, snap.Counters["replica.failovers"],
+				snap.Counters["replica.failover_promotions"], snap.Counters["replica.failover_splits"])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fo := snap.Counters["replica.failovers"]
+	avg := time.Duration(snap.Counters["replica.failover_total_ms"]/fo) * time.Millisecond
+	fmt.Printf("replication: %d failovers (%d regions promoted, %d WAL-split replayed), avg failover window %v\n",
+		fo, snap.Counters["replica.failover_promotions"], snap.Counters["replica.failover_splits"], avg)
+	if avg > windowBudget {
+		dumpSlow(c)
+		log.Fatalf("avg failover window %v exceeds budget %v", avg, windowBudget)
+	}
 }
 
 func keyOf(i int) txkv.Key { return txkv.Key(fmt.Sprintf("key%06d", i)) }

@@ -194,6 +194,17 @@ type proxiedNode struct {
 	proxy *faultProxy
 }
 
+// nodeHostsPrimary reports whether the node currently leads at least one
+// online region.
+func nodeHostsPrimary(pn *proxiedNode) bool {
+	for _, st := range pn.node.Server().ReplicaStates() {
+		if st.Role == kvstore.RolePrimary && st.Online {
+			return true
+		}
+	}
+	return false
+}
+
 // startProxiedNode brings up a region node advertising its proxy: all
 // traffic to the node — client reads, master assignment and recovery,
 // write-set flushes — crosses the faultable link. Heartbeats run on the
@@ -224,7 +235,7 @@ func (pn *proxiedNode) kill() {
 }
 
 // runRemote is the -remote campaign entry point.
-func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
+func runRemote(duration time.Duration, servers, clients, keys int, seed int64, repl int) {
 	if servers < 2 {
 		log.Fatal("need at least 2 region-server processes to survive kills")
 	}
@@ -233,6 +244,11 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 		HeartbeatInterval:      200 * time.Millisecond,
 		MasterHeartbeatTimeout: 800 * time.Millisecond,
 		Tracing:                true,
+		// With -replication, regions are replicated across the remote
+		// nodes and process kills aim at primaries: WAL entries cross the
+		// wire to followers before ack, and kills must end in promotions.
+		ReplicationFactor: repl,
+		FollowerReads:     repl > 1,
 	})
 	if err != nil {
 		log.Fatalf("open master: %v", err)
@@ -437,7 +453,13 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 	deadline := time.Now().Add(duration)
 	for time.Now().Before(deadline) {
 		time.Sleep(duration / 8)
-		switch rng.Intn(5) {
+		fault := rng.Intn(5)
+		if repl > 1 && rng.Intn(2) == 0 {
+			// Kill-a-replica campaign: half the schedule is process
+			// kills, so every run actually exercises promotion.
+			fault = 3
+		}
+		switch fault {
 		case 0:
 			pn := pickNode()
 			if pn == nil {
@@ -477,6 +499,19 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 				continue
 			}
 			vi := rng.Intn(len(nodes))
+			if repl > 1 {
+				// Kill-the-primary: prefer a node leading at least one
+				// region, so the kill exercises over-the-wire promotion.
+				var prim []int
+				for i, pn := range nodes {
+					if nodeHostsPrimary(pn) {
+						prim = append(prim, i)
+					}
+				}
+				if len(prim) > 0 {
+					vi = prim[rng.Intn(len(prim))]
+				}
+			}
 			victim := nodes[vi]
 			nodes = append(nodes[:vi], nodes[vi+1:]...)
 			nodeMu.Unlock()
@@ -507,6 +542,9 @@ func runRemote(duration time.Duration, servers, clients, keys int, seed int64) {
 	}
 	nodeMu.Unlock()
 	checkObs("after campaign")
+	if repl > 1 {
+		assertFailover(cluster, kills)
+	}
 
 	// End the watcher's feed at a known point and reconcile against acks.
 	if _, err := wcl.Update(context.Background(), func(txn *txkv.Txn) error {

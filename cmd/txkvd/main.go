@@ -22,6 +22,14 @@
 //
 // -debug starts the observability HTTP server (/metrics, /debug/slow,
 // /debug/regions, /debug/pprof) on the master role.
+//
+// -replication N (master role) turns on region replication: every region
+// gets N copies — one primary, N-1 followers — and a commit is acknowledged
+// only after a majority of copies hold its WAL entries. -follower-reads lets
+// snapshot scans hit follower copies when their replicated frontier covers
+// the read timestamp. -max-inflight caps concurrently-executing requests per
+// wire connection on either role (backpressure via the connection's read
+// loop).
 package main
 
 import (
@@ -46,14 +54,17 @@ func main() {
 		id        = flag.String("id", "", "region-server id (region role; default region-<pid>)")
 		servers   = flag.Int("servers", 0, "in-process region servers on the master (0 = none, remote-only)")
 		debug     = flag.String("debug", "", "debug/metrics HTTP listen address (master role; empty = off)")
+		repl      = flag.Int("replication", 1, "region replication factor: copies per region, primary included (master role; 1 = off)")
+		followerR = flag.Bool("follower-reads", false, "serve snapshot scans from follower replicas when fresh enough (master role)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently-executing requests per wire connection (0 = unlimited)")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "master":
-		runMaster(*listen, *debug, *servers)
+		runMaster(*listen, *debug, *servers, *repl, *followerR, *inflight)
 	case "region":
-		runRegion(*listen, *masterFlg, *advertise, *id)
+		runRegion(*listen, *masterFlg, *advertise, *id, *inflight)
 	default:
 		log.Fatalf("txkvd: -role must be master or region (got %q)", *role)
 	}
@@ -66,8 +77,13 @@ func waitSignal() os.Signal {
 	return <-ch
 }
 
-func runMaster(listen, debug string, servers int) {
-	cfg := txkv.Config{Servers: servers}
+func runMaster(listen, debug string, servers, repl int, followerReads bool, inflight int) {
+	cfg := txkv.Config{
+		Servers:            servers,
+		ReplicationFactor:  repl,
+		FollowerReads:      followerReads,
+		MaxInflightPerConn: inflight,
+	}
 	if servers <= 0 {
 		cfg.Servers = -1 // master-only: region servers join over RPC
 	}
@@ -96,7 +112,7 @@ func runMaster(listen, debug string, servers int) {
 	log.Printf("txkvd: %v — shutting down", sig)
 }
 
-func runRegion(listen, master, advertise, id string) {
+func runRegion(listen, master, advertise, id string, inflight int) {
 	if master == "" {
 		log.Fatal("txkvd: region role requires -master")
 	}
@@ -104,10 +120,11 @@ func runRegion(listen, master, advertise, id string) {
 		id = fmt.Sprintf("region-%d", os.Getpid())
 	}
 	node, err := rpc.StartRegionNode(rpc.RegionNodeConfig{
-		ID:         id,
-		MasterAddr: master,
-		Listen:     listen,
-		Advertise:  advertise,
+		ID:                 id,
+		MasterAddr:         master,
+		Listen:             listen,
+		Advertise:          advertise,
+		MaxInflightPerConn: inflight,
 	})
 	if err != nil {
 		log.Fatalf("txkvd: start region server: %v", err)

@@ -73,9 +73,13 @@ func (c *Cluster) NewClient(id string) (*Client, error) {
 	cl := &Client{
 		id:      id,
 		cluster: c,
-		kv:      kvstore.NewClient(kvstore.ClientConfig{ID: id, Obs: c.clientObs}, c.net, c.master),
-		ctx:     ctx,
-		cancel:  cancel,
+		kv: kvstore.NewClient(kvstore.ClientConfig{
+			ID:            id,
+			Obs:           c.clientObs,
+			FollowerReads: c.cfg.FollowerReads,
+		}, c.net, c.master),
+		ctx:    ctx,
+		cancel: cancel,
 	}
 	if !c.cfg.DisableRecovery {
 		cl.agent = core.NewClientAgent(core.ClientAgentConfig{

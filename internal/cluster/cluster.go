@@ -23,6 +23,7 @@ import (
 	"txkv/internal/metrics"
 	"txkv/internal/netsim"
 	"txkv/internal/obs"
+	"txkv/internal/replica"
 	"txkv/internal/rpc"
 	"txkv/internal/storage"
 	"txkv/internal/txlog"
@@ -51,6 +52,17 @@ type Config struct {
 	Servers int
 	// Replication is the DFS replication factor (the paper uses 2).
 	Replication int
+	// ReplicationFactor is the number of copies per REGION (primary
+	// included): the region-replication layer above the DFS. 1 (the
+	// default) disables region replication; 3 gives each region one
+	// primary and two followers, with writes acknowledged by a majority.
+	// Placement is best-effort when fewer servers than copies are live.
+	ReplicationFactor int
+	// FollowerReads routes clients' snapshot scans to follower copies when
+	// the follower's replicated frontier covers the read timestamp (bounded
+	// staleness), falling back to the primary otherwise. Needs
+	// ReplicationFactor > 1 to have any effect.
+	FollowerReads bool
 
 	// RPCLatency is the simulated one-way network latency per message.
 	RPCLatency time.Duration
@@ -147,6 +159,13 @@ type Config struct {
 	// (0 = the storage engine's default, 4 MiB).
 	StorageSegmentBytes int64
 
+	// MaxInflightPerConn caps concurrently-executing requests per wire
+	// connection when this cluster serves the RPC protocol (ServeRPC).
+	// Past the cap the connection's read loop stalls, pushing back on the
+	// peer through TCP; streaming and flow-control frames are exempt so
+	// established streams keep draining. 0 means unlimited.
+	MaxInflightPerConn int
+
 	// Tracing enables per-operation span tracing at Open: commit-pipeline
 	// and read-path stages feed per-stage histograms, and operations
 	// slower than SlowOpThreshold retain their full span tree in the
@@ -196,10 +215,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// serverUnit bundles a region server with its recovery agent.
+// serverUnit bundles a region server with its recovery agent and its
+// replication shipping engine.
 type serverUnit struct {
-	srv   *kvstore.RegionServer
-	agent *core.ServerAgent // nil when recovery is disabled
+	srv     *kvstore.RegionServer
+	agent   *core.ServerAgent // nil when recovery is disabled
+	shipper *replica.Shipper
 }
 
 // Cluster is a running integrated system.
@@ -250,6 +271,9 @@ type Cluster struct {
 	// monotonic across crash/re-add cycles.
 	cacheHitsRetired   int64
 	cacheMissesRetired int64
+	// Same treatment for the replication counters of retired incarnations.
+	replShipperRetired replica.Stats
+	replServerRetired  kvstore.ReplServerStats
 }
 
 // rmProxy is a stable indirection to the current recovery manager: the
@@ -421,8 +445,10 @@ func New(cfg Config) (*Cluster, error) {
 	c.tm = txmgr.New(c.log) // oracle seeded past every recovered commit
 	c.registerPullMetrics()
 	c.master = kvstore.NewMaster(kvstore.MasterConfig{
-		HeartbeatTimeout: cfg.MasterHeartbeatTimeout,
+		HeartbeatTimeout:  cfg.MasterHeartbeatTimeout,
+		ReplicationFactor: cfg.ReplicationFactor,
 	}, c.fs)
+	c.registerReplicaMetrics()
 
 	// Detect prior state before anything writes to the reopened logs.
 	var (
@@ -730,7 +756,8 @@ func (c *Cluster) AddServer() (string, error) {
 		Obs:                 c.serverObs,
 	}, c.fs)
 
-	unit := &serverUnit{srv: srv}
+	unit := &serverUnit{srv: srv, shipper: c.newShipper(id)}
+	srv.SetReplicator(unit.shipper)
 	if !c.cfg.DisableRecovery {
 		unit.agent = core.NewServerAgent(core.ServerAgentConfig{
 			ServerID:            id,
@@ -753,6 +780,27 @@ func (c *Cluster) AddServer() (string, error) {
 		h, m := old.srv.Cache().Stats()
 		c.cacheHitsRetired += h
 		c.cacheMissesRetired += m
+		if old.shipper != nil {
+			old.shipper.Close()
+			st := old.shipper.Stats()
+			c.replShipperRetired.ShippedBatches += st.ShippedBatches
+			c.replShipperRetired.ShippedEntries += st.ShippedEntries
+			c.replShipperRetired.ShippedBytes += st.ShippedBytes
+			c.replShipperRetired.Heartbeats += st.Heartbeats
+			c.replShipperRetired.Checkpoints += st.Checkpoints
+			c.replShipperRetired.SendErrors += st.SendErrors
+			c.replShipperRetired.QuorumTimeouts += st.QuorumTimeouts
+			c.replShipperRetired.RegionsFenced += st.RegionsFenced
+		}
+		rs := old.srv.ReplStats()
+		c.replServerRetired.Appends += rs.Appends
+		c.replServerRetired.EntriesApplied += rs.EntriesApplied
+		c.replServerRetired.Checkpoints += rs.Checkpoints
+		c.replServerRetired.Promotions += rs.Promotions
+		c.replServerRetired.StaleEpochRejects += rs.StaleEpochRejects
+		c.replServerRetired.FollowerReads += rs.FollowerReads
+		c.replServerRetired.FollowerRejects += rs.FollowerRejects
+		c.replServerRetired.LeaseRejects += rs.LeaseRejects
 	}
 	c.servers[id] = unit
 	c.serverIDs = append(c.serverIDs, id)
@@ -788,6 +836,9 @@ func (c *Cluster) CrashServer(id string) error {
 		unit.agent.Crash()
 	}
 	unit.srv.Crash()
+	if unit.shipper != nil {
+		unit.shipper.Close() // its primaries stop shipping with it
+	}
 	c.net.SetDown(id, true)
 	return nil
 }
@@ -923,6 +974,9 @@ func (c *Cluster) Stop() {
 				u.agent.Crash() // skip the final beat: coord may already be stopping
 			}
 			u.srv.Stop()
+		}
+		if u.shipper != nil {
+			u.shipper.Close()
 		}
 	}
 	if rm != nil {

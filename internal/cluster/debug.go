@@ -139,7 +139,8 @@ func (d *DebugServer) handleRegions(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(struct {
-		Scrape  time.Time        `json:"scrape"`
-		Regions []RegionHeatRate `json:"regions"`
-	}{Scrape: now, Regions: rows})
+		Scrape   time.Time        `json:"scrape"`
+		Regions  []RegionHeatRate `json:"regions"`
+		Replicas []ReplicaDebug   `json:"replicas"`
+	}{Scrape: now, Regions: rows, Replicas: d.c.ReplicaDebugRows()})
 }

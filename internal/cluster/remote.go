@@ -62,7 +62,10 @@ func (c *Cluster) ServeRPC(listen string) (string, error) {
 		return "", err
 	}
 	pool := rpc.NewPool(c.obs)
-	srv := rpc.NewServer(c.obs)
+	srv := rpc.NewServerWithConfig(rpc.ServerConfig{
+		Registry:           c.obs,
+		MaxInflightPerConn: c.cfg.MaxInflightPerConn,
+	})
 	rpc.RegisterMasterService(srv, c.master, pool)
 	rpc.RegisterDFSService(srv, c.fs)
 	rpc.RegisterTxnService(srv, &txnGateway{c: c, sessions: make(map[uint64]*gwSession)})

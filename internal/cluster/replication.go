@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"txkv/internal/kv"
+	"txkv/internal/kvstore"
+	"txkv/internal/replica"
+	"txkv/internal/rpc"
+)
+
+// Region replication in the integrated cluster: every region server gets a
+// shipping engine (internal/replica) whose follower links resolve through
+// the cluster — in-process servers get direct calls, region-server
+// processes that registered over the wire get rpc links through the shared
+// outbound pool. The master drives membership, leases, and failover; this
+// file only wires the plumbing and the replica_* metric families.
+
+// directFollowerLink calls a co-resident region server's replication
+// surface in-process.
+type directFollowerLink struct {
+	id  string
+	srv *kvstore.RegionServer
+}
+
+func (l directFollowerLink) ServerID() string { return l.id }
+
+func (l directFollowerLink) AppendEntries(regionID string, epoch uint64, entries []kvstore.ReplEntry, tipSeq uint64, safeTS kv.Timestamp) (uint64, error) {
+	return l.srv.AppendReplicated(regionID, epoch, entries, tipSeq, safeTS)
+}
+
+func (l directFollowerLink) Checkpoint(regionID string, epoch, seq uint64) error {
+	return l.srv.ApplyReplCheckpoint(regionID, epoch, seq)
+}
+
+func (l directFollowerLink) Close() {}
+
+// dialFollower resolves a follower target: in-process servers directly,
+// remote region-server processes over the wire-protocol pool.
+func (c *Cluster) dialFollower(t kvstore.ReplicaTarget) (kvstore.FollowerLink, error) {
+	c.mu.Lock()
+	u := c.servers[t.ServerID]
+	pool := c.rpcPool
+	c.mu.Unlock()
+	if u != nil {
+		return directFollowerLink{id: t.ServerID, srv: u.srv}, nil
+	}
+	if pool != nil && t.Addr != "" {
+		return rpc.NewFollowerLink(pool, t.ServerID, t.Addr), nil
+	}
+	return nil, fmt.Errorf("cluster: no route to follower %s", t.ServerID)
+}
+
+// newShipper builds one region server's shipping engine: the quorum wait is
+// bounded well under the master's failure detection, and the frontier
+// heartbeats carry the TM's safe snapshot so follower reads stay fresh on
+// idle regions.
+func (c *Cluster) newShipper(serverID string) *replica.Shipper {
+	return replica.NewShipper(replica.Config{
+		ServerID: serverID,
+		Dial:     c.dialFollower,
+		SafeTS:   c.tm.SafeSnapshot,
+	})
+}
+
+// ReplicaDebug is one /debug/regions replica row: a hosted region copy's
+// role, position, and (for primaries) worst follower lag.
+type ReplicaDebug struct {
+	Server     string `json:"server"`
+	Table      string `json:"table"`
+	Region     string `json:"region"`
+	Role       string `json:"role"`
+	Online     bool   `json:"online"`
+	Epoch      uint64 `json:"epoch"`
+	LastSeq    uint64 `json:"last_seq"`
+	Checkpoint uint64 `json:"checkpoint"`
+	FrontierTS int64  `json:"frontier_ts"`
+	LeaseMS    int64  `json:"lease_remaining_ms"`
+	LagEntries int64  `json:"lag_entries"`
+}
+
+// ReplicaDebugRows snapshots every hosted region copy across live servers,
+// follower copies included.
+func (c *Cluster) ReplicaDebugRows() []ReplicaDebug {
+	c.mu.Lock()
+	units := make(map[string]*serverUnit, len(c.servers))
+	for id, u := range c.servers {
+		units[id] = u
+	}
+	c.mu.Unlock()
+	var out []ReplicaDebug
+	for id, u := range units {
+		if u.srv.Crashed() {
+			continue
+		}
+		for _, st := range u.srv.ReplicaStates() {
+			row := ReplicaDebug{
+				Server:     id,
+				Table:      st.Info.Table,
+				Region:     st.Info.ID,
+				Role:       st.Role.String(),
+				Online:     st.Online,
+				Epoch:      st.Epoch,
+				LastSeq:    st.LastSeq,
+				Checkpoint: st.Checkpoint,
+				FrontierTS: int64(st.FrontierTS),
+				LeaseMS:    st.LeaseRemaining.Milliseconds(),
+			}
+			if st.Role == kvstore.RolePrimary && u.shipper != nil {
+				row.LagEntries = u.shipper.RegionLag(st.Info.ID)
+			}
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}
+
+// registerReplicaMetrics exposes the replica_* families: shipping volume and
+// lag from the shippers, apply/fencing/read counters from the servers, and
+// failover outcomes from the master. Sums span every server incarnation
+// ever added (crashed ones keep their frozen counters), so totals stay
+// monotonic across chaos churn.
+func (c *Cluster) registerReplicaMetrics() {
+	reg := c.obs
+	shipperStats := func() replica.Stats {
+		c.mu.Lock()
+		units := make([]*serverUnit, 0, len(c.servers))
+		for _, u := range c.servers {
+			units = append(units, u)
+		}
+		total := c.replShipperRetired
+		c.mu.Unlock()
+		for _, u := range units {
+			if u.shipper == nil {
+				continue
+			}
+			st := u.shipper.Stats()
+			total.ShippedBatches += st.ShippedBatches
+			total.ShippedEntries += st.ShippedEntries
+			total.ShippedBytes += st.ShippedBytes
+			total.Heartbeats += st.Heartbeats
+			total.Checkpoints += st.Checkpoints
+			total.SendErrors += st.SendErrors
+			total.QuorumTimeouts += st.QuorumTimeouts
+			total.RegionsFenced += st.RegionsFenced
+			total.RetainedEntries += st.RetainedEntries
+			total.LagBytes += st.LagBytes
+			if st.LagEntries > total.LagEntries {
+				total.LagEntries = st.LagEntries
+			}
+		}
+		return total
+	}
+	serverStats := func() kvstore.ReplServerStats {
+		c.mu.Lock()
+		units := make([]*serverUnit, 0, len(c.servers))
+		for _, u := range c.servers {
+			units = append(units, u)
+		}
+		total := c.replServerRetired
+		c.mu.Unlock()
+		for _, u := range units {
+			st := u.srv.ReplStats()
+			total.Appends += st.Appends
+			total.EntriesApplied += st.EntriesApplied
+			total.Checkpoints += st.Checkpoints
+			total.Promotions += st.Promotions
+			total.StaleEpochRejects += st.StaleEpochRejects
+			total.FollowerReads += st.FollowerReads
+			total.FollowerRejects += st.FollowerRejects
+			total.LeaseRejects += st.LeaseRejects
+		}
+		return total
+	}
+
+	reg.CounterFunc("replica.shipped_batches", func() int64 { return shipperStats().ShippedBatches })
+	reg.CounterFunc("replica.shipped_entries", func() int64 { return shipperStats().ShippedEntries })
+	reg.CounterFunc("replica.shipped_bytes", func() int64 { return shipperStats().ShippedBytes })
+	reg.CounterFunc("replica.heartbeats", func() int64 { return shipperStats().Heartbeats })
+	reg.CounterFunc("replica.checkpoints_shipped", func() int64 { return shipperStats().Checkpoints })
+	reg.CounterFunc("replica.send_errors", func() int64 { return shipperStats().SendErrors })
+	reg.CounterFunc("replica.quorum_timeouts", func() int64 { return shipperStats().QuorumTimeouts })
+	reg.CounterFunc("replica.regions_fenced", func() int64 { return shipperStats().RegionsFenced })
+	reg.GaugeFunc("replica.lag_entries", func() int64 { return shipperStats().LagEntries })
+	reg.GaugeFunc("replica.lag_bytes", func() int64 { return shipperStats().LagBytes })
+	reg.GaugeFunc("replica.retained_entries", func() int64 { return shipperStats().RetainedEntries })
+
+	reg.CounterFunc("replica.appends_applied", func() int64 { return serverStats().Appends })
+	reg.CounterFunc("replica.entries_applied", func() int64 { return serverStats().EntriesApplied })
+	reg.CounterFunc("replica.checkpoints_applied", func() int64 { return serverStats().Checkpoints })
+	reg.CounterFunc("replica.promotions", func() int64 { return serverStats().Promotions })
+	reg.CounterFunc("replica.stale_epoch_rejects", func() int64 { return serverStats().StaleEpochRejects })
+	reg.CounterFunc("replica.follower_reads", func() int64 { return serverStats().FollowerReads })
+	reg.CounterFunc("replica.follower_rejects", func() int64 { return serverStats().FollowerRejects })
+	reg.CounterFunc("replica.lease_rejects", func() int64 { return serverStats().LeaseRejects })
+
+	reg.CounterFunc("replica.failovers", func() int64 { return c.master.FailoverStats().Failovers })
+	reg.CounterFunc("replica.failover_promotions", func() int64 { return c.master.FailoverStats().RegionsPromoted })
+	reg.CounterFunc("replica.failover_splits", func() int64 { return c.master.FailoverStats().RegionsSplit })
+	reg.GaugeFunc("replica.failover_last_ms", func() int64 { return c.master.FailoverStats().LastFailover.Milliseconds() })
+	reg.CounterFunc("replica.failover_total_ms", func() int64 { return c.master.FailoverStats().TotalFailover.Milliseconds() })
+}

@@ -65,13 +65,18 @@ func (m *Master) MoveRegion(regionID, targetServerID string) error {
 		return fmt.Errorf("move %s: %w", regionID, err)
 	}
 	if err := target.host.OpenRegionFiles(info, files, nil, nil); err != nil {
-		// Try to restore it on the source.
+		// Try to restore it on the source. Either way the source's stream
+		// state is gone, so the group (if any) re-forms at a fresh epoch.
 		if rerr := src.host.OpenRegionFiles(info, files, nil, nil); rerr == nil {
 			reassign(srcID)
+			m.ensureReplicated(info, srcID, true)
 		}
 		return fmt.Errorf("move %s: open on %s: %w", regionID, targetServerID, err)
 	}
 	reassign(targetServerID)
+	// The region's copy moved: re-form the replication group around the new
+	// primary at a fresh epoch (stale followers re-anchor on its stream).
+	m.ensureReplicated(info, targetServerID, true)
 	return nil
 }
 

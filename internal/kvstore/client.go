@@ -27,6 +27,13 @@ type ClientConfig struct {
 	// every client of one cluster (per-client Stats stay separate). Nil
 	// records nothing.
 	Obs *ClientObs
+	// FollowerReads routes scan batches to follower replicas when the
+	// layout lists one for the region, trading bounded staleness (the
+	// follower serves only snapshots at or below its replicated frontier)
+	// for read capacity off the primary. A follower that is behind the
+	// scan's snapshot — or unreachable — falls back to the primary within
+	// the same fill, so correctness never depends on replication progress.
+	FollowerReads bool
 }
 
 // ClientObs bundles the cluster-level instruments the routing clients feed.
@@ -61,8 +68,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 const MasterNode = "master"
 
 type location struct {
-	info RegionInfo
-	ep   RegionEndpoint
+	info      RegionInfo
+	ep        RegionEndpoint
+	followers []RegionEndpoint
 }
 
 // tableLayout is a client-side snapshot of one table's region map: the
@@ -109,6 +117,13 @@ type ClientStats struct {
 	LayoutHits int64
 	// LayoutMisses is the number of locate calls that had to refresh.
 	LayoutMisses int64
+	// FollowerBatches is the number of scan batches served by a follower
+	// replica (FollowerReads routing, successful follower response).
+	FollowerBatches int64
+	// FollowerFallbacks is the number of scan batches that tried a
+	// follower and fell back to the primary (follower behind the scan's
+	// snapshot, or unreachable).
+	FollowerFallbacks int64
 }
 
 // Client is the HBase-like routing client: it caches each table's region
@@ -128,9 +143,11 @@ type Client struct {
 	mu    sync.Mutex
 	cache map[string]*tableLayout // table -> cached region map
 
-	masterLookups metrics.Counter
-	layoutHits    metrics.Counter
-	layoutMisses  metrics.Counter
+	masterLookups     metrics.Counter
+	layoutHits        metrics.Counter
+	layoutMisses      metrics.Counter
+	followerBatches   metrics.Counter
+	followerFallbacks metrics.Counter
 }
 
 // NewClient creates a routing client over the in-process loopback
@@ -158,9 +175,11 @@ func (c *Client) ID() string { return c.cfg.ID }
 // Stats returns the client's location counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		MasterLookups: c.masterLookups.Load(),
-		LayoutHits:    c.layoutHits.Load(),
-		LayoutMisses:  c.layoutMisses.Load(),
+		MasterLookups:     c.masterLookups.Load(),
+		LayoutHits:        c.layoutHits.Load(),
+		LayoutMisses:      c.layoutMisses.Load(),
+		FollowerBatches:   c.followerBatches.Load(),
+		FollowerFallbacks: c.followerFallbacks.Load(),
 	}
 }
 
@@ -196,7 +215,7 @@ func (c *Client) locate(ctx context.Context, table string, row kv.Key) (location
 	}
 	lay := &tableLayout{locs: make([]location, 0, len(located))}
 	for _, rl := range located {
-		lay.locs = append(lay.locs, location{info: rl.Info, ep: rl.Ep})
+		lay.locs = append(lay.locs, location{info: rl.Info, ep: rl.Ep, followers: rl.Followers})
 	}
 	// Resolve the row BEFORE publishing: once lay is in the cache a
 	// concurrent invalidate may mutate its slice.
@@ -238,6 +257,8 @@ func retryable(err error) bool {
 	return errors.Is(err, ErrRegionNotServing) ||
 		errors.Is(err, ErrServerStopped) ||
 		errors.Is(err, ErrTransport) ||
+		errors.Is(err, ErrStaleEpoch) ||
+		errors.Is(err, ErrLeaseExpired) ||
 		errors.Is(err, netsim.ErrNodeDown) ||
 		errors.Is(err, netsim.ErrUnreachable)
 }

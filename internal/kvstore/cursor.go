@@ -42,6 +42,11 @@ type ScanRequest struct {
 	// Batch bounds the number of entries in the response (0 = unbounded,
 	// the legacy whole-region behaviour).
 	Batch int
+	// AllowFollower permits serving this batch from a follower copy of
+	// the region, provided the follower's replicated frontier has reached
+	// MaxTS (bounded-staleness snapshot reads). When the primary copy is
+	// hosted here it is used regardless.
+	AllowFollower bool
 }
 
 // ScanResponse is one cursor-scan batch.
@@ -80,8 +85,30 @@ func (s *RegionServer) ScanBatch(ctx context.Context, req ScanRequest) (ScanResp
 	start := req.effectiveStart()
 	r, ok := s.findRegion(req.Table, start, false)
 	if !ok {
+		// Follower read: a follower copy may serve the batch if its
+		// replicated frontier has caught up to the snapshot — every commit
+		// at or below MaxTS affecting the region is already applied here.
+		if req.AllowFollower {
+			if e, fok := s.followerFor(req.Table, start); fok {
+				if kv.Timestamp(e.rep.frontier.Load()) >= req.MaxTS {
+					s.replCounters.followerReads.Add(1)
+					return s.scanRegionBatch(ctx, e.r, req)
+				}
+				s.replCounters.followerRejects.Add(1)
+				return ScanResponse{}, fmt.Errorf("%w: %s/%s on %s (frontier %d < %d)",
+					ErrFollowerBehind, req.Table, start, s.cfg.ID,
+					e.rep.frontier.Load(), req.MaxTS)
+			}
+		}
 		return ScanResponse{}, fmt.Errorf("%w: %s/%s on %s", ErrRegionNotServing, req.Table, start, s.cfg.ID)
 	}
+	return s.scanRegionBatch(ctx, r, req)
+}
+
+// scanRegionBatch serves one cursor-scan batch from a specific region copy
+// (the primary on the ordinary path, a caught-up follower on the
+// bounded-staleness path).
+func (s *RegionServer) scanRegionBatch(ctx context.Context, r *Region, req ScanRequest) (ScanResponse, error) {
 	clipped := req.Range
 	if r.Info.Range.Start > clipped.Start {
 		clipped.Start = r.Info.Range.Start

@@ -23,4 +23,26 @@ var (
 	// be re-resolved through the master, never retried against the dead
 	// address.
 	ErrTransport = errors.New("kvstore: transport failure")
+	// ErrStaleEpoch fences a deposed primary: a replica rejects any
+	// replicated append, checkpoint, or promotion whose epoch is below the
+	// one it has already seen. A fenced ex-primary therefore cannot reach
+	// quorum, so it can never acknowledge a write after a newer primary was
+	// elected. Clients treat it as retryable (the re-locate finds the new
+	// primary; write-set application is idempotent).
+	ErrStaleEpoch = errors.New("kvstore: stale replication epoch")
+	// ErrLeaseExpired reports a write reaching a replicated primary whose
+	// master-granted leader lease has lapsed (the master may be promoting a
+	// follower right now). Retryable: the client re-locates and the flush
+	// lands on whichever primary holds the next lease.
+	ErrLeaseExpired = errors.New("kvstore: leader lease expired")
+	// ErrFollowerBehind reports a bounded-staleness follower read whose
+	// snapshot timestamp is ahead of the follower's replicated frontier.
+	// The client falls back to the primary for that batch — it does NOT
+	// re-locate, so the error deliberately does not wrap
+	// ErrRegionNotServing.
+	ErrFollowerBehind = errors.New("kvstore: follower behind read snapshot")
+	// ErrReplicaGap reports a replicated append whose sequence number is
+	// not contiguous with the follower's last applied entry. The shipper
+	// rewinds to the follower's position (returned alongside) and resends.
+	ErrReplicaGap = errors.New("kvstore: replicated stream gap")
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"txkv/internal/dfs"
@@ -50,12 +51,20 @@ type RecoveryGate interface {
 	RecoverRegion(r RegionInfo, failedServer string, host RegionHost) error
 }
 
-// MasterConfig configures failure detection.
+// MasterConfig configures failure detection and replication policy.
 type MasterConfig struct {
 	// HeartbeatTimeout declares a server dead after this much silence.
 	HeartbeatTimeout time.Duration
 	// CheckInterval is the liveness scan cadence.
 	CheckInterval time.Duration
+	// ReplicationFactor is the total number of copies per region (primary
+	// included). 1 (the default) disables replication entirely.
+	ReplicationFactor int
+	// LeaseTTL is the leader-lease duration granted to primaries; leases
+	// are renewed from the liveness loop. Default: HeartbeatTimeout, so a
+	// partitioned primary's lease self-expires before the master, having
+	// waited out the same timeout, promotes a successor.
+	LeaseTTL time.Duration
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -65,14 +74,21 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.CheckInterval == 0 {
 		c.CheckInterval = c.HeartbeatTimeout / 4
 	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = leaseTTLDefault(c.HeartbeatTimeout)
+	}
 	return c
 }
 
 type serverRec struct {
-	host   RegionHost
-	addr   string // client-dialable address ("" = in-process only)
-	lastHB time.Time
-	alive  bool
+	host          RegionHost
+	addr          string // client-dialable address ("" = in-process only)
+	lastHB        time.Time
+	alive         bool
+	leaseInFlight bool // a RenewLeases batch is outstanding
 }
 
 // Master coordinates region assignment, detects server failures via
@@ -89,6 +105,7 @@ type Master struct {
 	rrCursor   int
 	tables     map[string][]RegionInfo // sorted by start key
 	assign     map[string]string       // region ID -> server ID
+	replicas   map[string]*replicaSet  // region ID -> replication group
 	recovering map[string]bool         // region ID currently offline
 	deadDone   map[string]bool         // failed servers whose regions are all back
 	splitSeq   int                     // monotonically increasing split counter
@@ -100,6 +117,33 @@ type Master struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// Failover accounting (atomic: read by metrics pulls mid-failover).
+	failovers          atomic.Int64
+	regionsPromoted    atomic.Int64
+	regionsSplit       atomic.Int64
+	lastFailoverNanos  atomic.Int64
+	totalFailoverNanos atomic.Int64
+}
+
+// FailoverStats counts master-driven failover outcomes.
+type FailoverStats struct {
+	Failovers       int64 // server failures fully processed
+	RegionsPromoted int64 // regions recovered by in-place follower promotion
+	RegionsSplit    int64 // regions recovered via the WAL-split fallback
+	LastFailover    time.Duration
+	TotalFailover   time.Duration
+}
+
+// FailoverStats snapshots the master's failover counters.
+func (m *Master) FailoverStats() FailoverStats {
+	return FailoverStats{
+		Failovers:       m.failovers.Load(),
+		RegionsPromoted: m.regionsPromoted.Load(),
+		RegionsSplit:    m.regionsSplit.Load(),
+		LastFailover:    time.Duration(m.lastFailoverNanos.Load()),
+		TotalFailover:   time.Duration(m.totalFailoverNanos.Load()),
+	}
 }
 
 // NewMaster creates a master over the given DFS.
@@ -110,6 +154,7 @@ func NewMaster(cfg MasterConfig, fs dfs.FileSystem) *Master {
 		servers:    make(map[string]*serverRec),
 		tables:     make(map[string][]RegionInfo),
 		assign:     make(map[string]string),
+		replicas:   make(map[string]*replicaSet),
 		recovering: make(map[string]bool),
 		deadDone:   make(map[string]bool),
 		stop:       make(chan struct{}),
@@ -276,6 +321,9 @@ func (m *Master) CreateTable(name string, splits []kv.Key) error {
 			return fmt.Errorf("open region %s: %w", p.info.ID, err)
 		}
 	}
+	for _, p := range placements {
+		m.ensureReplicated(p.info, p.rec.host.ID(), true)
+	}
 	return m.recordLayout(name)
 }
 
@@ -312,6 +360,9 @@ func (m *Master) RestoreTable(name string, regions []RegionInfo, edits map[strin
 			return fmt.Errorf("restore region %s: %w", p.info.ID, err)
 		}
 	}
+	for _, p := range placements {
+		m.ensureReplicated(p.info, p.rec.host.ID(), true)
+	}
 	return m.recordLayout(name)
 }
 
@@ -335,6 +386,9 @@ type RegionLocation struct {
 	Info RegionInfo
 	Host RegionHost
 	Addr string
+	// Followers lists the region's live follower copies; clients with
+	// follower reads enabled may serve bounded-staleness scans from them.
+	Followers []FollowerLocation
 }
 
 // LocateAll resolves a table's full region layout in one call: every region
@@ -363,7 +417,19 @@ func (m *Master) LocateAll(table string) ([]RegionLocation, error) {
 		if rec == nil || !rec.alive {
 			continue
 		}
-		out = append(out, RegionLocation{Info: info, Host: rec.host, Addr: rec.addr})
+		loc := RegionLocation{Info: info, Host: rec.host, Addr: rec.addr}
+		if rs := m.replicas[info.ID]; rs != nil {
+			for _, fid := range rs.followers {
+				frec := m.servers[fid]
+				if frec == nil || !frec.alive {
+					continue
+				}
+				loc.Followers = append(loc.Followers, FollowerLocation{
+					ServerID: fid, Host: frec.host, Addr: frec.addr,
+				})
+			}
+		}
+		out = append(out, loc)
 	}
 	return out, nil
 }
@@ -425,6 +491,7 @@ func (m *Master) checkOnce() {
 	for _, id := range failed {
 		m.handleServerFailure(id)
 	}
+	m.renewLeases()
 }
 
 // FailServer forcibly triggers failure handling for a server (fault
@@ -435,6 +502,7 @@ func (m *Master) FailServer(serverID string) {
 }
 
 func (m *Master) handleServerFailure(serverID string) {
+	start := time.Now()
 	m.mu.Lock()
 	rec, ok := m.servers[serverID]
 	if !ok || !rec.alive {
@@ -462,22 +530,57 @@ func (m *Master) handleServerFailure(serverID string) {
 		l.OnServerFailure(serverID, affected)
 	}
 
-	// Split the dead server's WAL by region (only durable, i.e. synced,
-	// entries exist on the DFS — the unsynced tail died with the server).
-	edits := m.splitWAL(serverID)
-
-	// Reassign and reopen each affected region; regions recover in
-	// parallel (paper §3.2: "different regions can be assigned to
-	// different servers leading to parallel recovery").
+	// Promotion-first failover: a region with a live, caught-up follower
+	// skips WAL splitting entirely — the follower already holds every
+	// quorum-acknowledged write and is promoted in place at a fresh epoch.
+	// Regions without a promotable follower fall back to the WAL-split
+	// reassignment path below.
+	var (
+		fallbackMu sync.Mutex
+		fallback   []RegionInfo
+	)
 	var wg sync.WaitGroup
 	for _, info := range affected {
 		wg.Add(1)
 		go func(info RegionInfo) {
 			defer wg.Done()
-			m.reassignRegion(info, serverID, edits[info.ID], gate)
+			if !m.promoteViaReplica(info, serverID, gate) {
+				fallbackMu.Lock()
+				fallback = append(fallback, info)
+				fallbackMu.Unlock()
+			}
 		}(info)
 	}
 	wg.Wait()
+
+	if len(fallback) > 0 {
+		// Split the dead server's WAL by region (only durable, i.e. synced,
+		// entries exist on the DFS — the unsynced tail died with the server).
+		edits := m.splitWAL(serverID)
+
+		// Reassign and reopen each affected region; regions recover in
+		// parallel (paper §3.2: "different regions can be assigned to
+		// different servers leading to parallel recovery").
+		for _, info := range fallback {
+			wg.Add(1)
+			go func(info RegionInfo) {
+				defer wg.Done()
+				m.reassignRegion(info, serverID, edits[info.ID], gate)
+			}(info)
+		}
+		wg.Wait()
+	}
+
+	// The dead server may also have carried follower copies of regions
+	// whose primaries are alive: refill those groups.
+	m.repairFollowerLoss(serverID)
+
+	m.failovers.Add(1)
+	m.regionsPromoted.Add(int64(len(affected) - len(fallback)))
+	m.regionsSplit.Add(int64(len(fallback)))
+	d := time.Since(start).Nanoseconds()
+	m.lastFailoverNanos.Store(d)
+	m.totalFailoverNanos.Add(d)
 
 	// Every region is back online: the failed server's recovery is
 	// complete. Record it and tell the (possibly restarted) recovery
@@ -574,6 +677,9 @@ func (m *Master) reassignRegion(info RegionInfo, failedServer string, edits []WA
 		m.assign[info.ID] = rec.host.ID()
 		delete(m.recovering, info.ID)
 		m.mu.Unlock()
+		// A reassigned primary gets a fresh epoch: stale follower copies
+		// re-anchor on the new incarnation's checkpoint stream.
+		m.ensureReplicated(info, rec.host.ID(), true)
 		return
 	}
 }

@@ -184,7 +184,7 @@ func (s *Scanner) fill() {
 		loc, err := s.c.locate(s.ctx, s.table, start)
 		if err == nil {
 			var resp ScanResponse
-			resp, err = loc.ep.ScanBatch(s.ctx, req)
+			resp, err = s.scanOnce(loc, req)
 			if err == nil {
 				sp.Stage("scan.fill", fillStart)
 				s.buf, s.pos = resp.KVs, 0
@@ -215,4 +215,26 @@ func (s *Scanner) fill() {
 		}
 	}
 	s.err = fmt.Errorf("kvstore: scan %s at %q retries exhausted: %w", s.table, start, lastErr)
+}
+
+// scanOnce issues one batch request at the located region: through a
+// follower replica first when the client opted into follower reads and the
+// layout lists one, falling back to the primary within the same call on ANY
+// follower error — a behind or unreachable follower costs one extra hop,
+// never a failed scan. Follower attempts carry AllowFollower so the serving
+// side enforces the staleness bound (frontier >= the scan's snapshot).
+func (s *Scanner) scanOnce(loc location, req ScanRequest) (ScanResponse, error) {
+	if s.c.cfg.FollowerReads {
+		freq := req
+		freq.AllowFollower = true
+		for _, fep := range loc.followers {
+			resp, err := fep.ScanBatch(s.ctx, freq)
+			if err == nil {
+				s.c.followerBatches.Add(1)
+				return resp, nil
+			}
+			s.c.followerFallbacks.Add(1)
+		}
+	}
+	return loc.ep.ScanBatch(s.ctx, req)
 }

@@ -134,6 +134,12 @@ type RegionServer struct {
 	hooks ServerHooks
 	cache *BlockCache
 
+	// repl is the replication shipping engine (nil = replication off).
+	// Set before Start; replicated primaries block their write acks on
+	// repl.Replicate's quorum.
+	repl         Replicator
+	replCounters replServerCounters
+
 	mu      sync.RWMutex
 	regions map[string]*regionEntry
 	wal     *wal.Writer
@@ -258,7 +264,7 @@ func (s *RegionServer) flushLoop() {
 		case <-t.C:
 			for _, r := range s.hostedRegions() {
 				if r.MemSize() >= s.cfg.MemstoreFlushBytes {
-					_ = r.Flush(s.cfg.BlockSize)
+					_ = s.flushRegion(r)
 				}
 				if th := s.cfg.CompactionThreshold; th > 0 && r.Files() > th {
 					_, _ = r.CompactTiered(s.cfg.BlockSize, s.compactionHorizon())
@@ -268,13 +274,16 @@ func (s *RegionServer) flushLoop() {
 	}
 }
 
-// regionEntry tracks a hosted region and whether it is online. A region in
-// transactional recovery is hosted but NOT online: only the recovery
-// client's replays (hasPiggy) may touch it (HBase's "recovering region"
-// state).
+// regionEntry tracks a hosted region copy and whether it is online. A
+// region in transactional recovery is hosted but NOT online: only the
+// recovery client's replays (hasPiggy) may touch it (HBase's "recovering
+// region" state). Follower copies are hosted, never online, and carry their
+// stream position in rep; they are reachable only through the replication
+// entry points and the bounded-staleness follower-read path.
 type regionEntry struct {
 	r      *Region
 	online bool
+	rep    replState
 }
 
 func (s *RegionServer) hostedRegions() []*Region {
@@ -321,14 +330,36 @@ func (s *RegionServer) SyncWAL() error {
 // findRegion returns the region containing (table, row). When
 // includeRecovering is false only online regions match.
 func (s *RegionServer) findRegion(table string, row kv.Key, includeRecovering bool) (*Region, bool) {
+	e, ok := s.findRegionEntry(table, row, includeRecovering)
+	if !ok {
+		return nil, false
+	}
+	// A deposed primary must not keep serving snapshot reads off its stale
+	// copy: once its lease lapses (the master renews only the current
+	// primary's), reads bounce as not-serving and the client re-locates to
+	// the promoted primary. Recovery replays (includeRecovering) are not
+	// client reads and stay exempt.
+	if !includeRecovering && e.rep.getRole() == RolePrimary && !e.rep.leaseValid(time.Now()) {
+		s.replCounters.leaseRejects.Add(1)
+		return nil, false
+	}
+	return e.r, true
+}
+
+func (s *RegionServer) findRegionEntry(table string, row kv.Key, includeRecovering bool) (*regionEntry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, e := range s.regions {
 		if !e.online && !includeRecovering {
 			continue
 		}
+		// Follower copies never match: they are not writable, and even
+		// recovery replays must land on the assigned (primary) copy.
+		if e.rep.getRole() == RoleFollower {
+			continue
+		}
 		if e.r.Info.Table == table && e.r.Info.Range.Contains(row) {
-			return e.r, true
+			return e, true
 		}
 	}
 	return nil, false
@@ -365,28 +396,56 @@ func (s *RegionServer) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPigg
 	// Replays from the recovery client (hasPiggy) may target regions that
 	// are still in the recovering state — that is the whole point of the
 	// pre-online recovery gate.
-	byRegion := make(map[*Region][]kv.KeyValue)
+	byRegion := make(map[*regionEntry][]kv.KeyValue)
 	for _, u := range ws.Updates {
-		r, ok := s.findRegion(u.Table, u.Row, hasPiggy)
+		e, ok := s.findRegionEntry(u.Table, u.Row, hasPiggy)
 		if !ok {
 			return fmt.Errorf("%w: %s/%s on %s", ErrRegionNotServing, u.Table, u.Row, s.cfg.ID)
 		}
-		byRegion[r] = append(byRegion[r], u.ToKeyValue(ws.CommitTS))
+		byRegion[e] = append(byRegion[e], u.ToKeyValue(ws.CommitTS))
+	}
+	// A replicated primary whose master-granted lease lapsed must stop
+	// acknowledging before the master can promote a follower; recovery
+	// replays (hasPiggy) are exempt — the gate itself runs during the
+	// window when the fresh lease may not have arrived yet.
+	if !hasPiggy {
+		now := time.Now()
+		for e := range byRegion {
+			if e.rep.getRole() == RolePrimary && !e.rep.leaseValid(now) {
+				s.replCounters.leaseRejects.Add(1)
+				return fmt.Errorf("%w: %s on %s", ErrLeaseExpired, e.r.Info.ID, s.cfg.ID)
+			}
+		}
 	}
 
 	// 1. Append to the WAL buffer (in the server's memory, not durable).
-	for r, kvs := range byRegion {
-		if err := w.Append(EncodeWALEntry(WALEntry{RegionID: r.Info.ID, KVs: kvs})); err != nil {
+	for e, kvs := range byRegion {
+		if err := w.Append(EncodeWALEntry(WALEntry{RegionID: e.r.Info.ID, KVs: kvs})); err != nil {
 			return err
 		}
 	}
 	// 2. Apply to the memstores.
-	for r, kvs := range byRegion {
-		r.Apply(kvs)
+	for e, kvs := range byRegion {
+		e.r.Apply(kvs)
 	}
-	// 3. Notify the recovery tracker, then acknowledge.
+	// 3. Notify the recovery tracker.
 	if s.hooks != nil {
 		s.hooks.OnWriteSetApplied(ws, piggy, hasPiggy)
+	}
+	// 4. Replicated primaries journal the batch to their followers and
+	// block here until a majority of the replica set holds it. A fenced
+	// region (a newer primary was elected) surfaces ErrStaleEpoch: the
+	// write is NOT acknowledged, the client re-locates, and the idempotent
+	// re-apply lands on the new primary.
+	if s.repl != nil {
+		for e, kvs := range byRegion {
+			if e.rep.getRole() != RolePrimary {
+				continue
+			}
+			if err := s.repl.Replicate(e.r.Info.ID, kvs); err != nil {
+				return err
+			}
+		}
 	}
 	// Synchronous-persistence baseline: pay the DFS sync before the ack.
 	if s.cfg.SyncWrites {
@@ -603,11 +662,23 @@ func (s *RegionServer) MarkRegionOnline(regionID string) error {
 	return nil
 }
 
-// CloseRegion removes a region from this server (rebalancing).
+// CloseRegion removes a region copy from this server (rebalancing, or a
+// follower copy being dropped).
 func (s *RegionServer) CloseRegion(regionID string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	e, ok := s.regions[regionID]
 	delete(s.regions, regionID)
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	if e.rep.getRole() == RoleFollower {
+		// Follower copies never own the store files they serve.
+		e.r.abandoned.Store(true)
+	}
+	if s.repl != nil && e.rep.getRole() == RolePrimary {
+		s.repl.DropRegion(regionID)
+	}
 }
 
 // CloseAndFlushRegion takes a region offline on this server and flushes its
@@ -634,15 +705,45 @@ func (s *RegionServer) CloseAndFlushRegion(regionID string) ([]string, error) {
 	if err := entry.r.Flush(s.cfg.BlockSize); err != nil {
 		return nil, err
 	}
+	if s.repl != nil && entry.rep.getRole() == RolePrimary {
+		s.repl.DropRegion(regionID)
+	}
 	return entry.r.storeFilePaths(), nil
 }
 
 // FlushAll flushes every hosted region's memstore (test/benchmark helper).
 func (s *RegionServer) FlushAll() error {
 	for _, r := range s.hostedRegions() {
-		if err := r.Flush(s.cfg.BlockSize); err != nil {
+		if err := s.flushRegion(r); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// flushRegion flushes one hosted region and — when the region is a
+// replicated primary — brackets the flush with a replication checkpoint.
+// The sequence is captured under an exclusive roll-barrier acquisition, so
+// every replicated append at or below it has fully reached a memstore and
+// is therefore covered by the store file the flush writes; the retained log
+// can be pruned through it and followers re-anchored on the files. The
+// capture itself is lock-only (no I/O, no network), so writers stall for
+// nanoseconds, and the follower notifications ride the shipper's sender
+// loops asynchronously.
+func (s *RegionServer) flushRegion(r *Region) error {
+	e, ok := s.entryFor(r.Info.ID)
+	replicated := ok && s.repl != nil && e.rep.getRole() == RolePrimary
+	var seq uint64
+	if replicated {
+		s.walMu.Lock()
+		seq = s.repl.LastSeq(r.Info.ID)
+		s.walMu.Unlock()
+	}
+	if err := r.Flush(s.cfg.BlockSize); err != nil {
+		return err
+	}
+	if replicated {
+		s.repl.Checkpoint(r.Info.ID, seq)
 	}
 	return nil
 }
@@ -709,7 +810,7 @@ func (s *RegionServer) RollWAL() error {
 	for _, r := range s.hostedRegions() {
 		dirty, small := r.dirtyForRoll(s.cfg.RollFlushMinBytes)
 		if !small {
-			if err := r.Flush(s.cfg.BlockSize); err != nil {
+			if err := s.flushRegion(r); err != nil {
 				return err // old generations stay; the next roll retries
 			}
 			continue

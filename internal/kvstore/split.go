@@ -134,5 +134,10 @@ func (m *Master) SplitRegion(regionID string, splitKey kv.Key) error {
 	m.assign[right.ID] = srcID
 	delete(m.recovering, parent.ID)
 	m.mu.Unlock()
+	// The parent region is retired: discard its replication group (closing
+	// follower copies) and replicate the daughters as new regions.
+	m.dropReplicaGroup(parent.ID)
+	m.ensureReplicated(left, srcID, true)
+	m.ensureReplicated(right, srcID, true)
 	return m.recordLayout(table)
 }

@@ -41,10 +41,14 @@ type RegionEndpoint interface {
 }
 
 // Location pairs a region's metadata with the endpoint serving it — one
-// entry of a transport-level layout snapshot.
+// entry of a transport-level layout snapshot. Followers lists live follower
+// copies (when the cluster replicates): endpoints a client configured for
+// follower reads may route scan batches to, falling back to Ep when a
+// follower is behind or unreachable.
 type Location struct {
-	Info RegionInfo
-	Ep   RegionEndpoint
+	Info      RegionInfo
+	Ep        RegionEndpoint
+	Followers []RegionEndpoint
 }
 
 // Transport is the master surface a Client resolves layouts and admin
@@ -107,17 +111,28 @@ func (t *LoopbackTransport) LocateAll(ctx context.Context, table string) ([]Loca
 	dial := t.dial.Load()
 	out := make([]Location, 0, len(located))
 	for _, rl := range located {
+		loc := Location{Info: rl.Info}
 		if srv, ok := rl.Host.(*RegionServer); ok {
-			out = append(out, Location{Info: rl.Info, Ep: &loopbackEndpoint{net: t.net, from: t.from, srv: srv}})
-			continue
-		}
-		if dial != nil && rl.Addr != "" {
+			loc.Ep = &loopbackEndpoint{net: t.net, from: t.from, srv: srv}
+		} else if dial != nil && rl.Addr != "" {
 			ep, err := (*dial)(rl.Addr)
 			if err != nil {
 				continue // dial failure = region offline for now; client retries
 			}
-			out = append(out, Location{Info: rl.Info, Ep: ep})
+			loc.Ep = ep
+		} else {
+			continue
 		}
+		for _, fl := range rl.Followers {
+			if srv, ok := fl.Host.(*RegionServer); ok {
+				loc.Followers = append(loc.Followers, &loopbackEndpoint{net: t.net, from: t.from, srv: srv})
+			} else if dial != nil && fl.Addr != "" {
+				if ep, err := (*dial)(fl.Addr); err == nil {
+					loc.Followers = append(loc.Followers, ep)
+				}
+			}
+		}
+		out = append(out, loc)
 	}
 	return out, nil
 }

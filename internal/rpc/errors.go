@@ -59,6 +59,12 @@ const (
 	CodeWatchLagging       ErrorCode = 40
 	CodeWatchHorizonPassed ErrorCode = 41
 	CodeWatchClosed        ErrorCode = 42
+
+	// replication.
+	CodeStaleEpoch     ErrorCode = 50
+	CodeLeaseExpired   ErrorCode = 51
+	CodeFollowerBehind ErrorCode = 52
+	CodeReplicaGap     ErrorCode = 53
 )
 
 // ErrCommitIndeterminate is the rpc-level commit-outcome-unknown sentinel.
@@ -96,6 +102,11 @@ var codeSentinels = map[ErrorCode]error{
 	CodeWatchLagging:       watch.ErrLagging,
 	CodeWatchHorizonPassed: watch.ErrHorizonPassed,
 	CodeWatchClosed:        watch.ErrClosed,
+
+	CodeStaleEpoch:     kvstore.ErrStaleEpoch,
+	CodeLeaseExpired:   kvstore.ErrLeaseExpired,
+	CodeFollowerBehind: kvstore.ErrFollowerBehind,
+	CodeReplicaGap:     kvstore.ErrReplicaGap,
 }
 
 // sentinelCodes is the reverse mapping used when encoding a handler error.
@@ -122,6 +133,10 @@ var sentinelCodes = []struct {
 	{watch.ErrLagging, CodeWatchLagging},
 	{watch.ErrHorizonPassed, CodeWatchHorizonPassed},
 	{watch.ErrClosed, CodeWatchClosed},
+	{kvstore.ErrStaleEpoch, CodeStaleEpoch},
+	{kvstore.ErrLeaseExpired, CodeLeaseExpired},
+	{kvstore.ErrFollowerBehind, CodeFollowerBehind},
+	{kvstore.ErrReplicaGap, CodeReplicaGap},
 	{context.Canceled, CodeCanceled},
 	{context.DeadlineExceeded, CodeDeadlineExceeded},
 }

@@ -55,6 +55,9 @@ func FuzzMessageDecoders(f *testing.F) {
 	f.Add(encGetReq("t", "r", "c", 1))
 	f.Add(encScanReq(kvstore.ScanRequest{Table: "t", Batch: 8}))
 	f.Add(encCommitReq(1, nil, false))
+	f.Add(encAppendEntriesReq("t.r1", 7, []kvstore.ReplEntry{{Seq: 1}}, 1, 9))
+	f.Add(encSetReplicationReq("t.r1", 7, []kvstore.ReplicaTarget{{ServerID: "rs-2"}}, 0))
+	f.Add(encSnapshotReq("t.r1", 3, 32))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -86,6 +89,16 @@ func FuzzMessageDecoders(f *testing.F) {
 		_, _, _, _, _, _ = decWatchReq(data)
 		_, _ = decWatchBatch(data, "t")
 		_, _, _ = decWatchCreditReq(data)
+		_, _, _, _, _ = decSetReplicationReq(data)
+		_, _, _, _, _, _ = decAppendEntriesReq(data)
+		_, _, _, _ = decAppendEntriesResp(data)
+		_, _, _, _, _ = decPromoteReq(data)
+		_, _ = decReplicaPos(data)
+		_, _, _ = decOpenFollowerReq(data)
+		_, _, _, _ = decCheckpointReq(data)
+		_, _ = decLeaseReq(data)
+		_, _, _, _ = decSnapshotReq(data)
+		_, _ = decSnapshotChunk(data)
 		_ = DecodeError(data)
 	})
 }

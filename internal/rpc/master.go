@@ -36,7 +36,14 @@ func RegisterMasterService(s *Server, m *kvstore.Master, pool *Pool) {
 		}
 		locs := make([]WireLocation, 0, len(located))
 		for _, rl := range located {
-			locs = append(locs, WireLocation{Info: rl.Info, Addr: rl.Addr})
+			wl := WireLocation{Info: rl.Info, Addr: rl.Addr}
+			for _, f := range rl.Followers {
+				if f.Addr == "" {
+					continue // in-process follower: unreachable from a remote client
+				}
+				wl.FollowerAddrs = append(wl.FollowerAddrs, f.Addr)
+			}
+			locs = append(locs, wl)
 		}
 		return encLocateAllResp(locs), nil
 	})
@@ -174,7 +181,11 @@ func (t *TCPTransport) LocateAll(ctx context.Context, table string) ([]kvstore.L
 		if l.Addr == "" {
 			continue // no advertised address: unreachable from this process
 		}
-		out = append(out, kvstore.Location{Info: l.Info, Ep: NewEndpoint(t.pool, l.Addr)})
+		loc := kvstore.Location{Info: l.Info, Ep: NewEndpoint(t.pool, l.Addr)}
+		for _, fa := range l.FollowerAddrs {
+			loc.Followers = append(loc.Followers, NewEndpoint(t.pool, fa))
+		}
+		out = append(out, loc)
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"txkv/internal/kvstore"
 	"txkv/internal/obs"
+	"txkv/internal/replica"
 )
 
 // registerCtx bounds the one-shot registration RPC.
@@ -37,16 +38,20 @@ type RegionNodeConfig struct {
 	Server kvstore.ServerConfig
 	// Registry, when non-nil, receives the node's rpc metrics.
 	Registry *obs.Registry
+	// MaxInflightPerConn caps concurrently-executing unary requests per
+	// connection on the node's rpc server. 0 = unlimited.
+	MaxInflightPerConn int
 }
 
 // RegionNode is a running region-server process' moving parts.
 type RegionNode struct {
-	srv  *kvstore.RegionServer
-	rpc  *Server
-	pool *Pool
-	mc   *MasterClient
-	ln   net.Listener
-	addr string // advertised address
+	srv     *kvstore.RegionServer
+	shipper *replica.Shipper
+	rpc     *Server
+	pool    *Pool
+	mc      *MasterClient
+	ln      net.Listener
+	addr    string // advertised address
 }
 
 // StartRegionNode brings a region-server process online: listen, serve the
@@ -66,8 +71,20 @@ func StartRegionNode(cfg RegionNodeConfig) (*RegionNode, error) {
 	scfg.ID = cfg.ID
 	srv := kvstore.NewRegionServer(scfg, NewRemoteFS(pool, cfg.MasterAddr))
 
+	// The node's shipping engine: follower links ride the shared pool. A
+	// remote region process has no transaction manager, so SafeTS stays nil —
+	// follower frontiers advance with applied commit timestamps only.
+	shipper := replica.NewShipper(replica.Config{
+		ServerID: cfg.ID,
+		Dial: func(t kvstore.ReplicaTarget) (kvstore.FollowerLink, error) {
+			return NewFollowerLink(pool, t.ServerID, t.Addr), nil
+		},
+	})
+	srv.SetReplicator(shipper)
+
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
+		shipper.Close()
 		pool.Close()
 		return nil, err
 	}
@@ -76,7 +93,7 @@ func StartRegionNode(cfg RegionNodeConfig) (*RegionNode, error) {
 		addr = ln.Addr().String()
 	}
 
-	rpcSrv := NewServer(cfg.Registry)
+	rpcSrv := NewServerWithConfig(ServerConfig{Registry: cfg.Registry, MaxInflightPerConn: cfg.MaxInflightPerConn})
 	RegisterRegionService(rpcSrv, srv)
 	go func() { _ = rpcSrv.Serve(ln) }()
 
@@ -84,6 +101,7 @@ func StartRegionNode(cfg RegionNodeConfig) (*RegionNode, error) {
 	// before the master can assign regions here.
 	if err := srv.Start(mc); err != nil {
 		rpcSrv.Close()
+		shipper.Close()
 		pool.Close()
 		return nil, err
 	}
@@ -92,14 +110,18 @@ func StartRegionNode(cfg RegionNodeConfig) (*RegionNode, error) {
 	if err := mc.Register(ctx, cfg.ID, addr); err != nil {
 		srv.Stop()
 		rpcSrv.Close()
+		shipper.Close()
 		pool.Close()
 		return nil, fmt.Errorf("rpc: register %s with master: %w", cfg.ID, err)
 	}
-	return &RegionNode{srv: srv, rpc: rpcSrv, pool: pool, mc: mc, ln: ln, addr: addr}, nil
+	return &RegionNode{srv: srv, shipper: shipper, rpc: rpcSrv, pool: pool, mc: mc, ln: ln, addr: addr}, nil
 }
 
 // Server exposes the node's region server (tests, debug endpoints).
 func (n *RegionNode) Server() *kvstore.RegionServer { return n.srv }
+
+// Shipper exposes the node's replication engine (tests, debug endpoints).
+func (n *RegionNode) Shipper() *replica.Shipper { return n.shipper }
 
 // Addr returns the node's advertised address.
 func (n *RegionNode) Addr() string { return n.addr }
@@ -112,6 +134,7 @@ func (n *RegionNode) ListenAddr() string { return n.ln.Addr().String() }
 // sync through the remote DFS), then the rpc server and connections close.
 func (n *RegionNode) Stop() {
 	n.srv.Stop()
+	n.shipper.Close()
 	n.rpc.Close()
 	n.pool.Close()
 }
@@ -122,6 +145,7 @@ func (n *RegionNode) Stop() {
 // recovers the node's regions elsewhere.
 func (n *RegionNode) Kill() {
 	n.srv.Crash()
+	n.shipper.Close()
 	n.rpc.Close()
 	n.pool.Close()
 }

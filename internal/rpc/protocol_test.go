@@ -10,6 +10,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"txkv/internal/dfs"
 	"txkv/internal/kv"
@@ -52,7 +53,7 @@ func TestProtocolRoundTrips(t *testing.T) {
 
 	t.Run("LocateAll response", func(t *testing.T) {
 		locs := []WireLocation{
-			{Info: sampleInfo, Addr: "127.0.0.1:4001"},
+			{Info: sampleInfo, Addr: "127.0.0.1:4001", FollowerAddrs: []string{"127.0.0.1:4002", "127.0.0.1:4003"}},
 			{Info: kvstore.RegionInfo{ID: "t.r2", Table: "t", Range: kv.KeyRange{Start: "m"}}, Addr: ""},
 		}
 		got, err := decLocateAllResp(encLocateAllResp(locs))
@@ -130,6 +131,7 @@ func TestProtocolRoundTrips(t *testing.T) {
 			Table: "t", Range: kv.KeyRange{Start: "a", End: "z"}, MaxTS: 99,
 			Resume: kv.CellKey{Row: "m", Column: "c"}, HasResume: true,
 			Columns: []string{"c", "d"}, KeysOnly: true, Batch: 128,
+			AllowFollower: true,
 		}
 		got, err := decScanReq(encScanReq(req))
 		if err != nil || !reflect.DeepEqual(got, req) {
@@ -278,6 +280,95 @@ func TestProtocolRoundTrips(t *testing.T) {
 		}
 	})
 
+	t.Run("SetReplication", func(t *testing.T) {
+		covers(RSetReplication)
+		targets := []kvstore.ReplicaTarget{{ServerID: "rs-2", Addr: "127.0.0.1:4002"}, {ServerID: "rs-3"}}
+		id, epoch, gotTargets, ttl, err := decSetReplicationReq(encSetReplicationReq("t.r1", 7, targets, 250*time.Millisecond))
+		if err != nil || id != "t.r1" || epoch != 7 || ttl != 250*time.Millisecond || !reflect.DeepEqual(gotTargets, targets) {
+			t.Fatalf("got %q %d %v %v, %v", id, epoch, gotTargets, ttl, err)
+		}
+	})
+
+	t.Run("AppendEntries", func(t *testing.T) {
+		covers(RAppendEntries)
+		entries := []kvstore.ReplEntry{{Seq: 11, KVs: sampleKVs}, {Seq: 12}}
+		id, epoch, gotEntries, tipSeq, safeTS, err := decAppendEntriesReq(encAppendEntriesReq("t.r1", 7, entries, 12, 99))
+		if err != nil || id != "t.r1" || epoch != 7 || tipSeq != 12 || safeTS != 99 || !reflect.DeepEqual(gotEntries, entries) {
+			t.Fatalf("req: got %q %d %v %d %d, %v", id, epoch, gotEntries, tipSeq, safeTS, err)
+		}
+		// Heartbeat: no entries.
+		_, _, gotEntries, _, _, err = decAppendEntriesReq(encAppendEntriesReq("t.r1", 7, nil, 12, 99))
+		if err != nil || len(gotEntries) != 0 {
+			t.Fatalf("heartbeat req: got %v, %v", gotEntries, err)
+		}
+		last, code, msg, err := decAppendEntriesResp(encAppendEntriesResp(12, CodeReplicaGap, "gap"))
+		if err != nil || last != 12 || code != CodeReplicaGap || msg != "gap" {
+			t.Fatalf("resp: got %d %d %q, %v", last, code, msg, err)
+		}
+	})
+
+	t.Run("Promote", func(t *testing.T) {
+		covers(RPromote)
+		id, epoch, ttl, staged, err := decPromoteReq(encPromoteReq("t.r1", 8, time.Second, true))
+		if err != nil || id != "t.r1" || epoch != 8 || ttl != time.Second || !staged {
+			t.Fatalf("got %q %d %v %v, %v", id, epoch, ttl, staged, err)
+		}
+	})
+
+	t.Run("ReplicaPos", func(t *testing.T) {
+		covers(RReplicaPos) // request is the shared string body
+		pos := kvstore.ReplicaPosition{Epoch: 7, LastSeq: 42, Checkpoint: 30, FrontierTS: 99}
+		got, err := decReplicaPos(encReplicaPos(pos))
+		if err != nil || got != pos {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+
+	t.Run("OpenFollower", func(t *testing.T) {
+		covers(ROpenFollower)
+		info, epoch, err := decOpenFollowerReq(encOpenFollowerReq(sampleInfo, 7))
+		if err != nil || epoch != 7 || !reflect.DeepEqual(info, sampleInfo) {
+			t.Fatalf("got %+v %d, %v", info, epoch, err)
+		}
+	})
+
+	t.Run("Checkpoint", func(t *testing.T) {
+		covers(RCheckpoint)
+		id, epoch, seq, err := decCheckpointReq(encCheckpointReq("t.r1", 7, 30))
+		if err != nil || id != "t.r1" || epoch != 7 || seq != 30 {
+			t.Fatalf("got %q %d %d, %v", id, epoch, seq, err)
+		}
+	})
+
+	t.Run("Lease", func(t *testing.T) {
+		covers(RLease)
+		grants := map[string]kvstore.LeaseGrant{
+			"t.r1": {Epoch: 7, TTL: 200 * time.Millisecond},
+			"t.r2": {Epoch: 9, TTL: time.Second},
+		}
+		got, err := decLeaseReq(encLeaseReq(grants))
+		if err != nil || !reflect.DeepEqual(got, grants) {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+		empty, err := decLeaseReq(encLeaseReq(nil))
+		if err != nil || len(empty) != 0 {
+			t.Fatalf("empty: got %+v, %v", empty, err)
+		}
+	})
+
+	t.Run("Snapshot", func(t *testing.T) {
+		covers(RSnapshot, RSnapCredit) // credit is the shared watch-credit body
+		id, fromSeq, window, err := decSnapshotReq(encSnapshotReq("t.r1", 30, 32))
+		if err != nil || id != "t.r1" || fromSeq != 30 || window != 32 {
+			t.Fatalf("req: got %q %d %d, %v", id, fromSeq, window, err)
+		}
+		chunk := []kvstore.ReplEntry{{Seq: 31, KVs: sampleKVs}}
+		got, err := decSnapshotChunk(encSnapshotChunk(chunk))
+		if err != nil || !reflect.DeepEqual(got, chunk) {
+			t.Fatalf("chunk: got %+v, %v", got, err)
+		}
+	})
+
 	t.Run("every method covered", func(t *testing.T) {
 		all := []byte{
 			MLocateAll, MCreateTable, MSplitRegion, MTableRegions, MRegister, MHeartbeat,
@@ -285,6 +376,7 @@ func TestProtocolRoundTrips(t *testing.T) {
 			RGet, RGetBatch, RScanBatch, RApply, ROpenRegion, RMarkOnline, RCloseRegion, RCloseFlush, RSyncWAL,
 			FCreate, FAppend, FSync, FClose, FAbandon, FDelete, FRename, FExists, FList, FSize, FReadAll, FReadRange,
 			WWatch, WCredit, WCancel,
+			RSetReplication, RAppendEntries, RPromote, RReplicaPos, ROpenFollower, RCheckpoint, RSnapshot, RLease, RSnapCredit,
 		}
 		for _, m := range all {
 			if !testedMethods[m] {
@@ -307,6 +399,10 @@ func TestProtocolRoundTrips(t *testing.T) {
 			{watch.ErrLagging, watch.ErrLagging},
 			{watch.ErrHorizonPassed, watch.ErrHorizonPassed},
 			{watch.ErrClosed, watch.ErrClosed},
+			{kvstore.ErrStaleEpoch, kvstore.ErrStaleEpoch},
+			{kvstore.ErrLeaseExpired, kvstore.ErrLeaseExpired},
+			{kvstore.ErrFollowerBehind, kvstore.ErrFollowerBehind},
+			{kvstore.ErrReplicaGap, kvstore.ErrReplicaGap},
 		} {
 			got := DecodeError(EncodeError(tc.in))
 			if !errors.Is(got, tc.want) {

@@ -2,6 +2,8 @@ package rpc
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
@@ -99,6 +101,156 @@ func RegisterRegionService(s *Server, rs *kvstore.RegionServer) {
 	})
 	s.Handle(RSyncWAL, func(_ context.Context, _ *Session, _ []byte) ([]byte, error) {
 		return nil, rs.SyncWAL()
+	})
+	registerReplicationService(s, rs)
+}
+
+func snapSessKey(streamID uint64) string { return fmt.Sprintf("snap.%d", streamID) }
+
+// registerReplicationService wires the replication surface: the master's
+// replica-control calls, the primary→follower shipping calls, and the
+// credit-flow catch-up stream.
+func registerReplicationService(s *Server, rs *kvstore.RegionServer) {
+	s.Handle(RSetReplication, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		regionID, epoch, targets, ttl, err := decSetReplicationReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.SetReplication(regionID, epoch, targets, ttl)
+	})
+	s.Handle(RAppendEntries, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		regionID, epoch, entries, tipSeq, safeTS, err := decAppendEntriesReq(body)
+		if err != nil {
+			return nil, err
+		}
+		// The follower's position crosses back even on rejection (gap
+		// rewind, stale-epoch fencing), so the outcome rides the response
+		// frame in-band rather than as a bare error frame.
+		last, aerr := rs.AppendReplicated(regionID, epoch, entries, tipSeq, safeTS)
+		if aerr != nil {
+			return encAppendEntriesResp(last, CodeFor(aerr), aerr.Error()), nil
+		}
+		return encAppendEntriesResp(last, 0, ""), nil
+	})
+	s.Handle(RPromote, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		regionID, epoch, ttl, staged, err := decPromoteReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if staged {
+			return nil, rs.PromoteRegionStaged(regionID, epoch, ttl)
+		}
+		return nil, rs.PromoteRegion(regionID, epoch, ttl, nil)
+	})
+	s.Handle(RReplicaPos, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		regionID, err := decStringMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		pos, err := rs.ReplicaPos(regionID)
+		if err != nil {
+			return nil, err
+		}
+		return encReplicaPos(pos), nil
+	})
+	s.Handle(ROpenFollower, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		info, epoch, err := decOpenFollowerReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.OpenRegionFollower(info, epoch)
+	})
+	s.Handle(RCheckpoint, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		regionID, epoch, seq, err := decCheckpointReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.ApplyReplCheckpoint(regionID, epoch, seq)
+	})
+	s.Handle(RLease, func(_ context.Context, _ *Session, body []byte) ([]byte, error) {
+		grants, err := decLeaseReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rs.RenewLeases(grants)
+	})
+
+	// The catch-up transfer: a credit-flow stream of the primary's retained
+	// tail above the requested position, exactly the WWatch machinery. The
+	// first frame is the region's position; each following frame is one
+	// entry chunk; RSnapCredit replenishes the window.
+	s.HandleStream(RSnapshot, func(connCtx context.Context, sess *Session, body []byte, st *ServerStream) error {
+		regionID, fromSeq, window, err := decSnapshotReq(body)
+		if err != nil {
+			return err
+		}
+		if window <= 0 {
+			window = defaultSnapshotWindow
+		}
+		repl := rs.Replicator()
+		if repl == nil {
+			return fmt.Errorf("rpc: server %s has no replicator", rs.ID())
+		}
+		tail, pos, err := repl.SnapshotTail(regionID, fromSeq)
+		if err != nil {
+			return err
+		}
+
+		ctx, cancel := context.WithCancel(connCtx)
+		defer cancel()
+		w := &serverWatch{credits: make(chan int, 64), cancel: cancel}
+		key := snapSessKey(st.ID())
+		sess.SetValue(key, w)
+		defer sess.SetValue(key, nil)
+
+		if err := st.Send(encReplicaPos(pos)); err != nil {
+			return err
+		}
+		avail := window - 1
+		for len(tail) > 0 {
+			for avail <= 0 {
+				select {
+				case n := <-w.credits:
+					avail += n
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			chunk := tail
+			if len(chunk) > snapshotChunkEntries {
+				chunk = chunk[:snapshotChunkEntries]
+			}
+			tail = tail[len(chunk):]
+			if err := st.Send(encSnapshotChunk(chunk)); err != nil {
+				return err
+			}
+			avail--
+			for {
+				select {
+				case n := <-w.credits:
+					avail += n
+					continue
+				default:
+				}
+				break
+			}
+		}
+		return nil
+	})
+	s.Handle(RSnapCredit, func(_ context.Context, sess *Session, body []byte) ([]byte, error) {
+		id, n, err := decWatchCreditReq(body)
+		if err != nil {
+			return nil, err
+		}
+		w, _ := sess.Value(snapSessKey(id)).(*serverWatch)
+		if w == nil {
+			return nil, nil // stream already finished; benign race
+		}
+		select {
+		case w.credits <- n:
+		default:
+		}
+		return nil, nil
 	})
 }
 
@@ -215,4 +367,165 @@ func (h *HostProxy) CloseAndFlushRegion(regionID string) ([]string, error) {
 func (h *HostProxy) ApplyWriteSet(ws kv.WriteSet, piggy kv.Timestamp, hasPiggy bool) error {
 	_, err := h.pool.Call(context.Background(), h.addr, RApply, encApplyReq(ws, piggy, hasPiggy))
 	return err
+}
+
+// --- replica host surface ---
+
+// HostProxy also implements kvstore.ReplicaHost, so the master drives
+// replica groups on remote processes through the same handle it assigns
+// regions with. PromoteRegion's preOnline gate gets the same decomposition
+// as open(): promote-staged (role flipped, WAL adopted, still offline), run
+// the gate in the master, then mark-online — or close on gate failure.
+
+func (h *HostProxy) OpenRegionFollower(info kvstore.RegionInfo, epoch uint64) error {
+	_, err := h.pool.Call(context.Background(), h.addr, ROpenFollower, encOpenFollowerReq(info, epoch))
+	return err
+}
+
+func (h *HostProxy) SetReplication(regionID string, epoch uint64, followers []kvstore.ReplicaTarget, leaseTTL time.Duration) error {
+	_, err := h.pool.Call(context.Background(), h.addr, RSetReplication, encSetReplicationReq(regionID, epoch, followers, leaseTTL))
+	return err
+}
+
+func (h *HostProxy) RenewLeases(grants map[string]kvstore.LeaseGrant) error {
+	ctx, cancel := context.WithTimeout(context.Background(), replCallTimeout)
+	defer cancel()
+	_, err := h.pool.Call(ctx, h.addr, RLease, encLeaseReq(grants))
+	return err
+}
+
+func (h *HostProxy) PromoteRegion(regionID string, epoch uint64, leaseTTL time.Duration, preOnline func() error) error {
+	ctx := context.Background()
+	if preOnline == nil {
+		_, err := h.pool.Call(ctx, h.addr, RPromote, encPromoteReq(regionID, epoch, leaseTTL, false))
+		return err
+	}
+	if _, err := h.pool.Call(ctx, h.addr, RPromote, encPromoteReq(regionID, epoch, leaseTTL, true)); err != nil {
+		return err
+	}
+	if err := preOnline(); err != nil {
+		h.CloseRegion(regionID) // gate failed: do not leave a promoted-but-dark region
+		return err
+	}
+	_, err := h.pool.Call(ctx, h.addr, RMarkOnline, encStringMsg(regionID))
+	return err
+}
+
+func (h *HostProxy) ReplicaPos(regionID string) (kvstore.ReplicaPosition, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replCallTimeout)
+	defer cancel()
+	resp, err := h.pool.Call(ctx, h.addr, RReplicaPos, encStringMsg(regionID))
+	if err != nil {
+		return kvstore.ReplicaPosition{}, err
+	}
+	return decReplicaPos(resp)
+}
+
+// replCallTimeout bounds replication control and shipping calls so a hung
+// follower cannot wedge a shipper's sender loop or the master's lease
+// renewal forever. Generous relative to the quorum timeout: the quorum
+// waiter gives up on its own; this only reclaims the goroutine.
+const replCallTimeout = 30 * time.Second
+
+// FollowerLink ships WAL entries to one follower region server over TCP:
+// the remote implementation of kvstore.FollowerLink that shippers dial.
+type FollowerLink struct {
+	pool     *Pool
+	serverID string
+	addr     string
+}
+
+// NewFollowerLink returns a link to follower serverID at addr, sharing the
+// pool's multiplexed connections with all other traffic to that server.
+func NewFollowerLink(pool *Pool, serverID, addr string) *FollowerLink {
+	return &FollowerLink{pool: pool, serverID: serverID, addr: addr}
+}
+
+func (l *FollowerLink) ServerID() string { return l.serverID }
+
+// AppendEntries ships a batch. The follower's position comes back even when
+// the append is rejected (that is the in-band response encoding), so the
+// shipper can rewind to the follower's gap or observe its fencing epoch.
+func (l *FollowerLink) AppendEntries(regionID string, epoch uint64, entries []kvstore.ReplEntry, tipSeq uint64, safeTS kv.Timestamp) (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replCallTimeout)
+	defer cancel()
+	resp, err := l.pool.Call(ctx, l.addr, RAppendEntries, encAppendEntriesReq(regionID, epoch, entries, tipSeq, safeTS))
+	if err != nil {
+		return 0, err
+	}
+	last, code, msg, err := decAppendEntriesResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	if code != 0 {
+		return last, &RemoteError{Code: code, Msg: msg}
+	}
+	return last, nil
+}
+
+func (l *FollowerLink) Checkpoint(regionID string, epoch uint64, seq uint64) error {
+	ctx, cancel := context.WithTimeout(context.Background(), replCallTimeout)
+	defer cancel()
+	_, err := l.pool.Call(ctx, l.addr, RCheckpoint, encCheckpointReq(regionID, epoch, seq))
+	return err
+}
+
+// Close is a no-op: the pool owns the underlying connection and shares it
+// with unary traffic to the same server.
+func (l *FollowerLink) Close() {}
+
+// PullSnapshot streams a region's retained WAL tail above fromSeq from the
+// server at addr: the catch-up path for a follower too far behind the
+// primary's shipping window. Returns the tail entries and the primary's
+// position at capture. Credit flow mirrors the watch stream — grants are
+// issued as the window half-drains.
+func PullSnapshot(ctx context.Context, pool *Pool, addr, regionID string, fromSeq uint64) ([]kvstore.ReplEntry, kvstore.ReplicaPosition, error) {
+	c, err := pool.conn(addr)
+	if err != nil {
+		return nil, kvstore.ReplicaPosition{}, err
+	}
+	cs, err := c.Stream(RSnapshot, encSnapshotReq(regionID, fromSeq, defaultSnapshotWindow))
+	if err != nil {
+		return nil, kvstore.ReplicaPosition{}, err
+	}
+	defer cs.Close()
+
+	body, done, err := cs.Recv(ctx)
+	if err != nil {
+		return nil, kvstore.ReplicaPosition{}, err
+	}
+	if done {
+		return nil, kvstore.ReplicaPosition{}, fmt.Errorf("rpc: snapshot stream ended before position frame")
+	}
+	pos, err := decReplicaPos(body)
+	if err != nil {
+		return nil, kvstore.ReplicaPosition{}, err
+	}
+
+	var entries []kvstore.ReplEntry
+	consumed := 1
+	for {
+		body, done, err := cs.Recv(ctx)
+		if err != nil {
+			return nil, kvstore.ReplicaPosition{}, err
+		}
+		if done {
+			return entries, pos, nil
+		}
+		chunk, err := decSnapshotChunk(body)
+		if err != nil {
+			return nil, kvstore.ReplicaPosition{}, err
+		}
+		entries = append(entries, chunk...)
+		consumed++
+		if consumed >= defaultSnapshotWindow/2 {
+			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, cerr := c.Call(cctx, RSnapCredit, encWatchCreditReq(cs.ID(), consumed))
+			cancel()
+			if cerr != nil {
+				return nil, kvstore.ReplicaPosition{}, cerr
+			}
+			consumed = 0
+		}
+	}
 }

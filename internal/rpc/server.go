@@ -129,6 +129,7 @@ func (s *Session) close() {
 // Server is an rpc listener: register handlers, then Serve a listener.
 type Server struct {
 	reg            *obs.Registry // optional; nil disables metrics
+	maxInflight    int           // per-connection unary request cap; 0 = unlimited
 	handlers       [256]Handler
 	streamHandlers [256]StreamHandler
 
@@ -141,11 +142,38 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer creates a server. reg, when non-nil, receives per-RPC metrics
-// (rpc.server.requests, rpc.server.errors, rpc.server.latency,
-// rpc.server.conns).
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Registry, when non-nil, receives per-RPC metrics
+	// (rpc.server.requests, rpc.server.errors, rpc.server.latency,
+	// rpc.server.conns, rpc.server.inflight_stalls).
+	Registry *obs.Registry
+
+	// MaxInflightPerConn caps concurrently-executing unary requests per
+	// connection. At the cap the connection's read loop stops reading, so a
+	// client flooding one connection feels TCP backpressure instead of
+	// spawning an unbounded handler goroutine pile. Streaming requests and
+	// flow-control messages (credits, cancels) are exempt — they are how a
+	// client drains existing work. 0 means unlimited.
+	MaxInflightPerConn int
+}
+
+// NewServer creates a server with default config. reg, when non-nil,
+// receives per-RPC metrics.
 func NewServer(reg *obs.Registry) *Server {
-	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+	return NewServerWithConfig(ServerConfig{Registry: reg})
+}
+
+// NewServerWithConfig creates a server.
+func NewServerWithConfig(cfg ServerConfig) *Server {
+	return &Server{reg: cfg.Registry, maxInflight: cfg.MaxInflightPerConn, conns: make(map[net.Conn]struct{})}
+}
+
+// flowControlMethod reports whether a method is stream flow control —
+// exempt from the inflight cap so a saturated connection can still drain
+// its streams.
+func flowControlMethod(m byte) bool {
+	return m == WCredit || m == WCancel || m == RSnapCredit
 }
 
 // Handle registers the handler for one method code. Registration must
@@ -249,6 +277,14 @@ func (s *Server) serveConn(nc net.Conn) {
 	// connection's long-lived stream handlers.
 	connCtx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Per-connection inflight cap: a token per executing unary handler.
+	// Acquiring in the read loop (not the handler goroutine) is the point —
+	// at the cap the loop stops reading and the kernel's receive window
+	// fills, pushing backpressure to the client rather than queueing frames.
+	var sem chan struct{}
+	if s.maxInflight > 0 {
+		sem = make(chan struct{}, s.maxInflight)
+	}
 	for {
 		f, err := ReadFrame(br)
 		if err != nil {
@@ -257,15 +293,30 @@ func (s *Server) serveConn(nc net.Conn) {
 		if f.Kind != KindRequest {
 			return
 		}
+		acquired := false
+		if sem != nil && s.streamHandlers[f.Method] == nil && !flowControlMethod(f.Method) {
+			select {
+			case sem <- struct{}{}:
+			default:
+				if s.reg != nil {
+					s.reg.Counter("rpc.server.inflight_stalls").Add(1)
+				}
+				sem <- struct{}{}
+			}
+			acquired = true
+		}
 		s.wg.Add(1)
-		go func(f Frame) {
+		go func(f Frame, acquired bool) {
 			defer s.wg.Done()
+			if acquired {
+				defer func() { <-sem }()
+			}
 			if s.streamHandlers[f.Method] != nil {
 				s.dispatchStream(connCtx, nc, &wmu, sess, f)
 				return
 			}
 			s.dispatch(connCtx, nc, &wmu, sess, f)
-		}(f)
+		}(f, acquired)
 	}
 }
 

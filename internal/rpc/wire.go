@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"txkv/internal/kv"
 	"txkv/internal/kvstore"
@@ -42,6 +43,20 @@ const (
 	RCloseRegion byte = 0x46
 	RCloseFlush  byte = 0x47
 	RSyncWAL     byte = 0x48
+
+	// Replication surface (served by each region-server process): the
+	// master's replica-control calls plus the primary→follower shipping
+	// stream. RSnapshot is a streaming method (KindStream frames, credit
+	// flow like WWatch; RSnapCredit replenishes).
+	RSetReplication byte = 0x49
+	RAppendEntries  byte = 0x4A
+	RPromote        byte = 0x4B
+	RReplicaPos     byte = 0x4C
+	ROpenFollower   byte = 0x4D
+	RCheckpoint     byte = 0x4E
+	RSnapshot       byte = 0x4F
+	RLease          byte = 0x50
+	RSnapCredit     byte = 0x51
 
 	// Watch surface (served by the master process; the protocol's first
 	// streaming methods — WWatch answers with KindStream frames).
@@ -232,10 +247,13 @@ func decStringMsg(b []byte) (string, error) {
 // WireLocation is one entry of a LocateAll response: region metadata plus
 // the advertised address of the server hosting it (empty = the region is
 // hosted by a server without an advertised address; remote clients skip it
-// and retry, exactly as they would an offline region).
+// and retry, exactly as they would an offline region). FollowerAddrs lists
+// the advertised addresses of live follower copies — the endpoints a
+// follower-reads client may route scan batches to.
 type WireLocation struct {
-	Info kvstore.RegionInfo
-	Addr string
+	Info          kvstore.RegionInfo
+	Addr          string
+	FollowerAddrs []string
 }
 
 func encLocateAllResp(locs []WireLocation) []byte {
@@ -243,6 +261,7 @@ func encLocateAllResp(locs []WireLocation) []byte {
 	for _, l := range locs {
 		b = appendRegionInfo(b, l.Info)
 		b = appendString(b, l.Addr)
+		b = appendStrings(b, l.FollowerAddrs)
 	}
 	return b
 }
@@ -252,7 +271,7 @@ func decLocateAllResp(b []byte) ([]WireLocation, error) {
 	n := d.count()
 	locs := make([]WireLocation, 0, n)
 	for i := 0; i < n; i++ {
-		locs = append(locs, WireLocation{Info: d.regionInfo(), Addr: d.str()})
+		locs = append(locs, WireLocation{Info: d.regionInfo(), Addr: d.str(), FollowerAddrs: d.strings()})
 	}
 	return locs, d.err
 }
@@ -413,7 +432,8 @@ func encScanReq(req kvstore.ScanRequest) []byte {
 	b = appendString(b, req.Resume.Column)
 	b = appendStrings(b, req.Columns)
 	b = appendBool(b, req.KeysOnly)
-	return appendUvarint(b, uint64(req.Batch))
+	b = appendUvarint(b, uint64(req.Batch))
+	return appendBool(b, req.AllowFollower)
 }
 
 func decScanReq(b []byte) (kvstore.ScanRequest, error) {
@@ -428,6 +448,7 @@ func decScanReq(b []byte) (kvstore.ScanRequest, error) {
 	req.Columns = d.strings()
 	req.KeysOnly = d.bool()
 	req.Batch = int(d.uvarint())
+	req.AllowFollower = d.bool()
 	return req, d.err
 }
 
@@ -502,6 +523,222 @@ func decOpenRegionReq(b []byte) (info kvstore.RegionInfo, files []string, hasFil
 	}
 	recovering = d.bool()
 	return info, files, hasFiles, edits, recovering, d.err
+}
+
+// --- replication surface ---
+
+func encSetReplicationReq(regionID string, epoch uint64, targets []kvstore.ReplicaTarget, ttl time.Duration) []byte {
+	b := appendString(nil, regionID)
+	b = appendUvarint(b, epoch)
+	b = appendUvarint(b, uint64(ttl))
+	b = appendUvarint(b, uint64(len(targets)))
+	for _, t := range targets {
+		b = appendString(b, t.ServerID)
+		b = appendString(b, t.Addr)
+	}
+	return b
+}
+
+func decSetReplicationReq(b []byte) (regionID string, epoch uint64, targets []kvstore.ReplicaTarget, ttl time.Duration, err error) {
+	d := newDec(b)
+	regionID = d.str()
+	epoch = d.uvarint()
+	ttl = time.Duration(d.uvarint())
+	n := d.count()
+	targets = make([]kvstore.ReplicaTarget, 0, n)
+	for i := 0; i < n; i++ {
+		targets = append(targets, kvstore.ReplicaTarget{ServerID: d.str(), Addr: d.str()})
+	}
+	return regionID, epoch, targets, ttl, d.err
+}
+
+func appendReplEntries(b []byte, entries []kvstore.ReplEntry) []byte {
+	b = appendUvarint(b, uint64(len(entries)))
+	for _, en := range entries {
+		b = appendUvarint(b, en.Seq)
+		b = appendUvarint(b, uint64(len(en.KVs)))
+		for _, x := range en.KVs {
+			b = kv.AppendKeyValue(b, x)
+		}
+	}
+	return b
+}
+
+func (d *dec) replEntries() []kvstore.ReplEntry {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	entries := make([]kvstore.ReplEntry, 0, n)
+	for i := 0; i < n; i++ {
+		en := kvstore.ReplEntry{Seq: d.uvarint()}
+		m := d.count()
+		for j := 0; j < m; j++ {
+			en.KVs = append(en.KVs, d.keyValue())
+		}
+		if d.err != nil {
+			return nil
+		}
+		entries = append(entries, en)
+	}
+	return entries
+}
+
+func encAppendEntriesReq(regionID string, epoch uint64, entries []kvstore.ReplEntry, tipSeq uint64, safeTS kv.Timestamp) []byte {
+	b := appendString(nil, regionID)
+	b = appendUvarint(b, epoch)
+	b = appendUvarint(b, tipSeq)
+	b = appendUvarint(b, uint64(safeTS))
+	return appendReplEntries(b, entries)
+}
+
+func decAppendEntriesReq(b []byte) (regionID string, epoch uint64, entries []kvstore.ReplEntry, tipSeq uint64, safeTS kv.Timestamp, err error) {
+	d := newDec(b)
+	regionID = d.str()
+	epoch = d.uvarint()
+	tipSeq = d.uvarint()
+	safeTS = kv.Timestamp(d.uvarint())
+	entries = d.replEntries()
+	return regionID, epoch, entries, tipSeq, safeTS, d.err
+}
+
+// encAppendEntriesResp carries the follower's position alongside the error
+// classification inside a KindResponse frame: a gap or stale-epoch rejection
+// still reports the follower's last applied sequence (the shipper rewinds to
+// it), which a bare error frame could not carry.
+func encAppendEntriesResp(lastSeq uint64, code ErrorCode, msg string) []byte {
+	b := appendUvarint(nil, lastSeq)
+	b = appendUvarint(b, uint64(code))
+	return appendString(b, msg)
+}
+
+func decAppendEntriesResp(b []byte) (uint64, ErrorCode, string, error) {
+	d := newDec(b)
+	lastSeq := d.uvarint()
+	code := ErrorCode(d.uvarint())
+	msg := d.str()
+	return lastSeq, code, msg, d.err
+}
+
+func encPromoteReq(regionID string, epoch uint64, ttl time.Duration, staged bool) []byte {
+	b := appendString(nil, regionID)
+	b = appendUvarint(b, epoch)
+	b = appendUvarint(b, uint64(ttl))
+	return appendBool(b, staged)
+}
+
+func decPromoteReq(b []byte) (regionID string, epoch uint64, ttl time.Duration, staged bool, err error) {
+	d := newDec(b)
+	regionID = d.str()
+	epoch = d.uvarint()
+	ttl = time.Duration(d.uvarint())
+	staged = d.bool()
+	return regionID, epoch, ttl, staged, d.err
+}
+
+func encReplicaPos(pos kvstore.ReplicaPosition) []byte {
+	b := appendUvarint(nil, pos.Epoch)
+	b = appendUvarint(b, pos.LastSeq)
+	b = appendUvarint(b, pos.Checkpoint)
+	return appendUvarint(b, uint64(pos.FrontierTS))
+}
+
+func decReplicaPos(b []byte) (kvstore.ReplicaPosition, error) {
+	d := newDec(b)
+	pos := kvstore.ReplicaPosition{
+		Epoch:      d.uvarint(),
+		LastSeq:    d.uvarint(),
+		Checkpoint: d.uvarint(),
+		FrontierTS: kv.Timestamp(d.uvarint()),
+	}
+	return pos, d.err
+}
+
+func encOpenFollowerReq(info kvstore.RegionInfo, epoch uint64) []byte {
+	b := appendRegionInfo(nil, info)
+	return appendUvarint(b, epoch)
+}
+
+func decOpenFollowerReq(b []byte) (kvstore.RegionInfo, uint64, error) {
+	d := newDec(b)
+	info := d.regionInfo()
+	epoch := d.uvarint()
+	return info, epoch, d.err
+}
+
+func encCheckpointReq(regionID string, epoch, seq uint64) []byte {
+	b := appendString(nil, regionID)
+	b = appendUvarint(b, epoch)
+	return appendUvarint(b, seq)
+}
+
+func decCheckpointReq(b []byte) (regionID string, epoch, seq uint64, err error) {
+	d := newDec(b)
+	regionID = d.str()
+	epoch = d.uvarint()
+	seq = d.uvarint()
+	return regionID, epoch, seq, d.err
+}
+
+func encLeaseReq(grants map[string]kvstore.LeaseGrant) []byte {
+	b := appendUvarint(nil, uint64(len(grants)))
+	for regionID, g := range grants {
+		b = appendString(b, regionID)
+		b = appendUvarint(b, g.Epoch)
+		b = appendUvarint(b, uint64(g.TTL))
+	}
+	return b
+}
+
+func decLeaseReq(b []byte) (map[string]kvstore.LeaseGrant, error) {
+	d := newDec(b)
+	n := d.count()
+	grants := make(map[string]kvstore.LeaseGrant, n)
+	for i := 0; i < n; i++ {
+		regionID := d.str()
+		g := kvstore.LeaseGrant{Epoch: d.uvarint(), TTL: time.Duration(d.uvarint())}
+		if d.err != nil {
+			break
+		}
+		grants[regionID] = g
+	}
+	return grants, d.err
+}
+
+// defaultSnapshotWindow is the credit window a snapshot puller grants: how
+// many entry chunks the server may push ahead of consumption. Chunks are
+// bounded by snapshotChunkEntries, so the window also bounds buffered bytes.
+const defaultSnapshotWindow = 32
+
+// snapshotChunkEntries caps one KindStream frame of a catch-up transfer.
+const snapshotChunkEntries = 64
+
+func encSnapshotReq(regionID string, fromSeq uint64, window int) []byte {
+	b := appendString(nil, regionID)
+	b = appendUvarint(b, fromSeq)
+	return appendUvarint(b, uint64(window))
+}
+
+func decSnapshotReq(b []byte) (regionID string, fromSeq uint64, window int, err error) {
+	d := newDec(b)
+	regionID = d.str()
+	fromSeq = d.uvarint()
+	window = int(d.uvarint())
+	return regionID, fromSeq, window, d.err
+}
+
+// The snapshot stream's first KindStream frame is the region's position
+// (encReplicaPos); each following frame is one entry chunk (appendReplEntries
+// body). The terminal KindResponse is empty — the position came first so the
+// puller knows the expected tip before entries flow.
+func encSnapshotChunk(entries []kvstore.ReplEntry) []byte {
+	return appendReplEntries(nil, entries)
+}
+
+func decSnapshotChunk(b []byte) ([]kvstore.ReplEntry, error) {
+	d := newDec(b)
+	entries := d.replEntries()
+	return entries, d.err
 }
 
 // --- transaction gateway surface ---
@@ -757,6 +994,24 @@ func methodName(m byte) string {
 		return "r.close_flush"
 	case RSyncWAL:
 		return "r.sync_wal"
+	case RSetReplication:
+		return "r.set_replication"
+	case RAppendEntries:
+		return "r.append_entries"
+	case RPromote:
+		return "r.promote"
+	case RReplicaPos:
+		return "r.replica_pos"
+	case ROpenFollower:
+		return "r.open_follower"
+	case RCheckpoint:
+		return "r.checkpoint"
+	case RSnapshot:
+		return "r.snapshot"
+	case RLease:
+		return "r.lease"
+	case RSnapCredit:
+		return "r.snap_credit"
 	case FCreate:
 		return "f.create"
 	case FAppend:
